@@ -1,0 +1,232 @@
+"""E15: ablations — remove a design ingredient, watch the property die.
+
+Each ablation knocks out one load-bearing piece of the derivations and
+confirms (with a witness) that the property the paper attributes to it
+is lost:
+
+* drop ``W1`` — the zero-token state deadlocks the abstract composite;
+* drop ``W2`` — opposite tokens survive forever even under fairness;
+* restrict Dijkstra-3's top guard to its C2 form (un-merge the
+  wrapper) — zero-token states deadlock;
+* shrink K below n-1 — the K-state ring diverges.
+
+One ablation turns out to be a *positive* control: replacing the
+central daemon by the synchronous or distributed daemon does NOT break
+Dijkstra-3 at the verified sizes — the protocol is daemon-robust, a
+stronger property than the paper needs.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.checker import check_stabilization
+from repro.core.composition import box_many
+from repro.gcl.daemon import SynchronousDaemon
+from repro.rings import (
+    btr3_abstraction,
+    btr_program,
+    c2_program,
+    dijkstra_three_state,
+    kstate_program,
+    utr_program,
+    w1_program,
+    w2_program,
+)
+from repro.rings.mappings import utr_abstraction
+
+
+def test_e15_drop_w1(benchmark):
+    """Without W1 the abstract composite cannot recover from the
+    zero-token state (even under strong fairness)."""
+
+    def experiment():
+        n = 4
+        btr = btr_program(n).compile()
+        composite = box_many([btr, w2_program(n).compile()], name="BTR[]W2")
+        return check_stabilization(
+            composite, btr, fairness="strong", compute_steps=False
+        )
+
+    result = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    assert not result.holds
+    assert result.result.witness.kind.value == "illegitimate-deadlock"
+
+
+def test_e15_drop_w2(benchmark):
+    """Without W2 two opposite tokens can never cancel: divergence even
+    under strong fairness."""
+
+    def experiment():
+        n = 4
+        btr = btr_program(n).compile()
+        composite = box_many(
+            [btr, w1_program(n, strict=True).compile()], name="BTR[]W1"
+        )
+        return check_stabilization(
+            composite, btr, fairness="strong", compute_steps=False
+        )
+
+    result = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    assert not result.holds
+    assert result.result.witness.kind.value == "divergent-cycle"
+
+
+def test_e15_unmerged_top_guard(benchmark):
+    """C2 without the W1'' merge: the zero-token (uniform) states
+    deadlock the bare C2."""
+
+    def experiment():
+        n = 4
+        return check_stabilization(
+            c2_program(n).compile(),
+            btr_program(n).compile(),
+            btr3_abstraction(n),
+            compute_steps=False,
+        )
+
+    result = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    assert not result.holds
+
+
+def test_e15_kstate_below_threshold(benchmark):
+    def experiment():
+        n, k = 5, 3
+        return check_stabilization(
+            kstate_program(n, k).compile(),
+            utr_program(n).compile(),
+            utr_abstraction(n, k),
+            compute_steps=False,
+        )
+
+    result = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    assert not result.holds
+    assert result.result.witness.kind.value == "divergent-cycle"
+
+
+def test_e15_modk_sweep(benchmark, record_table):
+    """The Z_3 case analysis is load-bearing: the Dijkstra-3 action
+    schema stabilizes for k = 3 and for no other counter modulus."""
+
+    def experiment():
+        from repro.rings import btrk_abstraction, dijkstra_three_state_modk
+
+        n = 4
+        btr = btr_program(n).compile()
+        rows = []
+        for k in (2, 3, 4, 5):
+            result = check_stabilization(
+                dijkstra_three_state_modk(n, k).compile(),
+                btr,
+                btrk_abstraction(n, k),
+                compute_steps=False,
+            )
+            rows.append(
+                {
+                    "k": k,
+                    "stabilizing": result.holds,
+                    "failure": ""
+                    if result.holds
+                    else result.result.witness.kind.value,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    assert [row["stabilizing"] for row in rows] == [False, True, False, False]
+    record_table(
+        "e15_modk_sweep",
+        format_table(rows, title="E15b the 3-state schema over counter moduli (n=4)"),
+    )
+
+
+def test_e15_daemon_robustness_positive_control(benchmark):
+    """Dijkstra-3 remains stabilizing under the synchronous daemon —
+    the one ablation that does *not* break anything (daemon
+    robustness beyond the paper's central-daemon model)."""
+
+    def experiment():
+        n = 4
+        system = dijkstra_three_state(n).compile(SynchronousDaemon())
+        return check_stabilization(
+            system,
+            btr_program(n).compile(),
+            btr3_abstraction(n),
+            compute_steps=False,
+        )
+
+    result = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    assert result.holds, result.format()
+
+
+def test_e15_summary_table(benchmark, record_table):
+    def experiment():
+        n = 4
+        btr = btr_program(n).compile()
+        alpha = btr3_abstraction(n)
+        rows = []
+        composite_no_w1 = box_many([btr, w2_program(n).compile()])
+        rows.append(
+            {
+                "ablation": "drop W1 from BTR composite",
+                "stabilizing": check_stabilization(
+                    composite_no_w1, btr, fairness="strong", compute_steps=False
+                ).holds,
+            }
+        )
+        composite_no_w2 = box_many([btr, w1_program(n, strict=True).compile()])
+        rows.append(
+            {
+                "ablation": "drop W2 from BTR composite",
+                "stabilizing": check_stabilization(
+                    composite_no_w2, btr, fairness="strong", compute_steps=False
+                ).holds,
+            }
+        )
+        rows.append(
+            {
+                "ablation": "bare C2 (no wrapper merge)",
+                "stabilizing": check_stabilization(
+                    c2_program(n).compile(), btr, alpha, compute_steps=False
+                ).holds,
+            }
+        )
+        rows.append(
+            {
+                "ablation": "K-state with K = n - 2",
+                "stabilizing": check_stabilization(
+                    kstate_program(5, 3).compile(),
+                    utr_program(5).compile(),
+                    utr_abstraction(5, 3),
+                    compute_steps=False,
+                ).holds,
+            }
+        )
+        rows.append(
+            {
+                "ablation": "(positive control) Dijkstra-3, synchronous daemon",
+                "stabilizing": check_stabilization(
+                    dijkstra_three_state(n).compile(SynchronousDaemon()),
+                    btr,
+                    alpha,
+                    compute_steps=False,
+                ).holds,
+            }
+        )
+        rows.append(
+            {
+                "ablation": "(positive control) unablated Dijkstra-3",
+                "stabilizing": check_stabilization(
+                    dijkstra_three_state(n).compile(), btr, alpha,
+                    compute_steps=False,
+                ).holds,
+            }
+        )
+        return rows
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    for row in rows:
+        expected = row["ablation"].startswith("(positive control)")
+        assert row["stabilizing"] is expected, row
+    record_table(
+        "e15_ablations", format_table(rows, title="E15 ablations (n = 4)")
+    )

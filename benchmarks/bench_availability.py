@@ -1,0 +1,54 @@
+"""E18 (extension): availability under sustained fault rates.
+
+The steady-state complement to E13: instead of one corruption and a
+recovery clock, faults arrive continuously with a per-step probability
+and the metric is the fraction of time the ring holds exactly one
+token.  Expected shape: availability 1.0 at rate 0, smooth decay with
+the rate, and a steeper decay for the slower-converging protocols.
+"""
+
+from repro.analysis import format_table
+from repro.simulation import availability_curve
+
+
+def test_e18_availability_curve(benchmark, record_table):
+    rates = (0.0, 0.01, 0.05, 0.1)
+
+    rows = benchmark.pedantic(
+        lambda: availability_curve(
+            n_processes=10, fault_probabilities=rates, steps=1500, trials=4
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    by_protocol = {}
+    for row in rows:
+        by_protocol.setdefault(row["protocol"], {})[row["fault rate"]] = row[
+            "availability"
+        ]
+    for name, curve in by_protocol.items():
+        # Perfect service with no faults...
+        assert curve[0.0] == 1.0, name
+        # ...and monotone-ish decay: the highest rate is clearly worse
+        # than fault-free, and no more available than the lowest rate
+        # within noise.
+        assert curve[0.1] < 1.0, name
+        assert curve[0.1] <= curve[0.01] + 0.05, name
+    # The slow converger (the C3 composite) pays the most at high rate.
+    at_peak = {name: curve[0.1] for name, curve in by_protocol.items()}
+    slowest = min(at_peak, key=at_peak.get)
+    assert "C3" in slowest or "3state" in slowest
+    record_table(
+        "e18_availability",
+        format_table(
+            [
+                {
+                    "protocol": row["protocol"],
+                    "fault rate": f"{row['fault rate']:.2f}",
+                    "availability": f"{row['availability']:.3f}",
+                }
+                for row in rows
+            ],
+            title="E18 availability vs fault rate (n=10, 1500 steps, 4 trials)",
+        ),
+    )

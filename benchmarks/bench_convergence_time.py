@@ -1,0 +1,95 @@
+"""E13: convergence time vs ring size for all four derived systems.
+
+The scale experiment the paper's testbed could not run: random-daemon
+simulation from uniformly random corrupted states, for rings far
+beyond exhaustive-checking size.  The *shape* to reproduce: all four
+systems converge; the two Dijkstra systems are the fastest, the
+graybox C3 composite pays a constant-factor penalty for its
+stuttering repairs, and the K-state ring sits in between.
+"""
+
+import math
+
+from repro.analysis import format_table
+from repro.simulation import convergence_curve
+
+
+def test_e13_convergence_curve(benchmark, record_table):
+    sizes = (10, 20, 30)
+
+    rows = benchmark.pedantic(
+        lambda: convergence_curve(sizes=sizes, trials=15, seed=2002),
+        rounds=1,
+        iterations=1,
+    )
+    # every cell converged
+    assert all(row["unconverged"] == 0 for row in rows)
+    by_protocol = {}
+    for row in rows:
+        by_protocol.setdefault(row["protocol"], {})[row["n"]] = row["mean"]
+    # monotone growth in n for every protocol
+    for name, curve in by_protocol.items():
+        means = [curve[n] for n in sizes]
+        assert means[0] < means[-1], (name, means)
+    # the C3 composite is the slowest at the largest size
+    largest = {name: curve[sizes[-1]] for name, curve in by_protocol.items()}
+    slowest = max(largest, key=largest.get)
+    assert "C3" in slowest or "3state" in slowest
+    record_table(
+        "e13_convergence_curve",
+        format_table(
+            [
+                {
+                    "protocol": row["protocol"],
+                    "n": row["n"],
+                    "mean": row["mean"],
+                    "median": row["median"],
+                    "p95": row["p95"],
+                    "max": row["max"],
+                }
+                for row in rows
+            ],
+            title="E13 convergence steps from random corruption "
+            "(random daemon, 15 trials/cell)",
+        ),
+    )
+
+
+def test_e13_exact_worst_case_vs_simulated_mean(benchmark, record_table):
+    """Where both substrates run (n = 5): the simulated mean sits well
+    below the checker's exact adversarial worst case."""
+
+    def experiment():
+        from repro.checker import check_stabilization
+        from repro.rings import btr3_abstraction, btr_program, dijkstra_three_state
+        from repro.simulation import convergence_curve
+
+        n = 5
+        exact = check_stabilization(
+            dijkstra_three_state(n).compile(),
+            btr_program(n).compile(),
+            btr3_abstraction(n),
+        ).worst_case_steps
+        rows = convergence_curve(
+            sizes=(n,),
+            trials=30,
+            protocols={"dijkstra-3state": (dijkstra_three_state, "three")},
+        )
+        return exact, rows[0]
+
+    exact, row = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    assert row["max"] <= exact
+    record_table(
+        "e13_exact_vs_simulated",
+        format_table(
+            [
+                {
+                    "quantity": "exact adversarial worst case",
+                    "steps": exact,
+                },
+                {"quantity": "simulated mean (random daemon)", "steps": row["mean"]},
+                {"quantity": "simulated max (30 trials)", "steps": row["max"]},
+            ],
+            title="E13 exact worst case vs simulation, Dijkstra-3, n=5",
+        ),
+    )

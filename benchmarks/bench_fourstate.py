@@ -1,0 +1,145 @@
+"""E06 + E07: the 4-state derivation (paper, Section 4).
+
+E06 regenerates Lemma 7 ([C1 <= BTR]) together with the Section 4.2
+compression diagram; E07 regenerates Theorem 8 and the wrapper-vacuity
+observations, plus Dijkstra's optimized 4-state system.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.checker import (
+    check_convergence_refinement,
+    check_init_refinement,
+    check_stabilization,
+    compression_transitions,
+    expand_to_abstract_path,
+)
+from repro.rings import (
+    btr4_abstraction,
+    btr4_program,
+    btr_program,
+    c1_program,
+    dijkstra_four_state,
+)
+from repro.rings.tokens import count_tokens, state_with_tokens, tokens_in_state
+
+
+@pytest.mark.parametrize("n", [3, 4, 5])
+def test_e06_lemma7(benchmark, n):
+    def experiment():
+        return check_convergence_refinement(
+            c1_program(n).compile(), btr_program(n).compile(), btr4_abstraction(n)
+        )
+
+    result = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    assert result.holds, result.format()
+
+
+def test_e06_compression_diagram(benchmark, record_table):
+    """Reproduce the Section 4.2 figure: a single C1 transition whose
+    abstract witness passes through intermediate BTR states."""
+
+    def experiment():
+        n = 4
+        alpha = btr4_abstraction(n)
+        btr = btr_program(n).compile()
+        c1 = c1_program(n).compile()
+        schema = btr.schema
+        rows = []
+        for source, target in compression_transitions(c1, btr, alpha):
+            witness = expand_to_abstract_path((source, target), btr, alpha)
+            rows.append(
+                {
+                    "concrete step": " -> ".join(
+                        ",".join(tokens_in_state(schema, alpha(s)))
+                        for s in (source, target)
+                    ),
+                    "abstract witness": " -> ".join(
+                        ",".join(tokens_in_state(schema, s)) or "(none)"
+                        for s in witness
+                    ),
+                    "omitted states": len(witness) - 2,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    assert rows and all(row["omitted states"] >= 1 for row in rows)
+    # The paper's figure shows a two-up-token state collapsing; confirm
+    # a multi-token compression of that shape exists.
+    assert any("," in row["concrete step"].split(" -> ")[0] for row in rows)
+    record_table(
+        "e06_compression_diagram",
+        format_table(rows[:12], title="E06 compressions of C1 over BTR (first 12)"),
+    )
+
+
+def test_e07_wrapper_vacuity(benchmark, record_table):
+    """W1' and W2' are vacuous in the 4-state encoding: every
+    configuration encodes at least one token, and never two at the
+    same process."""
+
+    def experiment():
+        n = 4
+        alpha = btr4_abstraction(n)
+        schema = btr_program(n).schema()
+        min_tokens = 10**9
+        colocated = 0
+        for state in alpha.concrete_schema.states():
+            tokens = tokens_in_state(schema, alpha(state))
+            min_tokens = min(min_tokens, len(tokens))
+            positions = [flag.split(".")[1] for flag in tokens]
+            if len(set(positions)) < len(positions):
+                colocated += 1
+        return {"min token count": min_tokens, "co-located encodings": colocated}
+
+    outcome = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    assert outcome["min token count"] >= 1
+    assert outcome["co-located encodings"] == 0
+    rows = [{"quantity": k, "value": v} for k, v in outcome.items()]
+    record_table("e07_wrapper_vacuity", format_table(rows, title="E07 wrapper vacuity"))
+
+
+@pytest.mark.parametrize("system_builder", [c1_program, dijkstra_four_state])
+@pytest.mark.parametrize("n", [3, 4])
+def test_e07_theorem8(benchmark, system_builder, n):
+    def experiment():
+        return check_stabilization(
+            system_builder(n).compile(),
+            btr_program(n).compile(),
+            btr4_abstraction(n),
+            fairness="none",
+        )
+
+    result = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    assert result.holds, result.format()
+
+
+def test_e07_table(benchmark, record_table):
+    def experiment():
+        rows = []
+        for n in (3, 4, 5):
+            btr = btr_program(n).compile()
+            alpha = btr4_abstraction(n)
+            for builder in (c1_program, dijkstra_four_state):
+                result = check_stabilization(
+                    builder(n).compile(), btr, alpha, fairness="none"
+                )
+                rows.append(
+                    {
+                        "system": builder(n).name,
+                        "n": n,
+                        "stabilizing (unfair)": result.holds,
+                        "worst-case steps": result.worst_case_steps,
+                        "core size": len(result.core),
+                    }
+                )
+        return rows
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    assert all(row["stabilizing (unfair)"] for row in rows)
+    record_table(
+        "e07_theorem8",
+        format_table(rows, title="E07 Theorem 8: 4-state systems stabilize to BTR"),
+    )

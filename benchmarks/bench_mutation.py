@@ -1,0 +1,85 @@
+"""E19 (extension): mutation adequacy of protocol and checker.
+
+Generate small syntactic mutants of each derived protocol and count
+how many the stabilization checker kills.  High kill rates certify two
+things at once: the checker discriminates (it is not vacuously
+accepting the originals), and the protocols carry almost no slack —
+nearly every symbol of Dijkstra's rings is load-bearing.
+"""
+
+from repro.analysis import format_table
+from repro.checker import check_stabilization
+from repro.rings import (
+    btr3_abstraction,
+    btr4_abstraction,
+    btr_program,
+    dijkstra_four_state,
+    dijkstra_three_state,
+    kstate_program,
+    utr_program,
+)
+from repro.rings.mappings import utr_abstraction
+from repro.transform import mutants
+
+
+def test_e19_mutation_kill_rates(benchmark, record_table):
+    def experiment():
+        n = 3
+        rows = []
+        cases = [
+            (
+                "dijkstra-3state",
+                dijkstra_three_state(n),
+                btr_program(n).compile(),
+                btr3_abstraction(n),
+            ),
+            (
+                "dijkstra-4state",
+                dijkstra_four_state(n),
+                btr_program(n).compile(),
+                btr4_abstraction(n),
+            ),
+            (
+                "k-state (K=3)",
+                kstate_program(n, 3),
+                utr_program(n).compile(),
+                utr_abstraction(n, 3),
+            ),
+        ]
+        for name, program, spec, alpha in cases:
+            generated = mutants(program)
+            killed = 0
+            for mutant in generated:
+                result = check_stabilization(
+                    mutant.program.compile(),
+                    spec,
+                    alpha,
+                    stutter_insensitive=True,
+                    fairness="weak",
+                    compute_steps=False,
+                )
+                if not result.holds:
+                    killed += 1
+            rows.append(
+                {
+                    "protocol": name,
+                    "mutants": len(generated),
+                    "killed": killed,
+                    "kill rate": killed / len(generated),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    for row in rows:
+        assert row["kill rate"] >= 0.75, row
+    record_table(
+        "e19_mutation",
+        format_table(
+            [
+                {**row, "kill rate": f"{row['kill rate']:.0%}"}
+                for row in rows
+            ],
+            title="E19 mutation kill rates (n = 3, weak fairness)",
+        ),
+    )

@@ -1,0 +1,103 @@
+"""E14: verification cost vs ring size.
+
+How the exhaustive decision procedures scale: state counts, transition
+counts, and wall-clock per check for the two headline verifications
+(Lemma 7 and Dijkstra-3 stabilization).  The benchmark fixture itself
+provides the timing series; the table records the combinatorics.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.checker import check_convergence_refinement, check_stabilization
+from repro.rings import (
+    btr3_abstraction,
+    btr4_abstraction,
+    btr_program,
+    c1_program,
+    dijkstra_three_state,
+)
+
+
+@pytest.mark.parametrize("n", [3, 4, 5, 6])
+def test_e14_lemma7_scaling(benchmark, n):
+    btr = btr_program(n).compile()
+    c1 = c1_program(n).compile()
+    alpha = btr4_abstraction(n)
+
+    result = benchmark.pedantic(
+        check_convergence_refinement, args=(c1, btr, alpha), rounds=2, iterations=1
+    )
+    assert result.holds
+
+
+@pytest.mark.parametrize("n", [3, 4, 5, 6])
+def test_e14_stabilization_scaling(benchmark, n):
+    btr = btr_program(n).compile()
+    dijkstra = dijkstra_three_state(n).compile()
+    alpha = btr3_abstraction(n)
+
+    result = benchmark.pedantic(
+        check_stabilization, args=(dijkstra, btr, alpha), rounds=2, iterations=1
+    )
+    assert result.holds
+
+
+def test_e14_recovery_depth_profile(benchmark, record_table):
+    """The exact distribution of recovery depths (best-case daemon) for
+    Dijkstra-3, bracketing the simulated times of E13 from below and
+    the adversarial worst case from above."""
+
+    def experiment():
+        from repro.checker import convergence_profile
+
+        rows = []
+        for n in (3, 4, 5):
+            btr = btr_program(n).compile()
+            system = dijkstra_three_state(n).compile()
+            result = check_stabilization(system, btr, btr3_abstraction(n))
+            profile = convergence_profile(system, result.core)
+            rows.append(
+                {
+                    "n": n,
+                    "core (depth 0)": profile.get(0, 0),
+                    "max min-depth": max(profile),
+                    "worst case (adversarial)": result.worst_case_steps,
+                    "states": system.schema.size(),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    for row in rows:
+        assert row["max min-depth"] <= row["worst case (adversarial)"]
+    record_table(
+        "e14_recovery_depth",
+        format_table(rows, title="E14b recovery-depth profile, Dijkstra-3"),
+    )
+
+
+def test_e14_combinatorics_table(benchmark, record_table):
+    def experiment():
+        rows = []
+        for n in (3, 4, 5, 6):
+            btr = btr_program(n).compile()
+            dijkstra = dijkstra_three_state(n).compile()
+            rows.append(
+                {
+                    "n": n,
+                    "BTR states": btr.schema.size(),
+                    "BTR transitions": btr.transition_count(),
+                    "3-state states": dijkstra.schema.size(),
+                    "3-state transitions": dijkstra.transition_count(),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    assert rows[-1]["BTR states"] == 4 ** (6 - 1)
+    assert rows[-1]["3-state states"] == 3**6
+    record_table(
+        "e14_combinatorics",
+        format_table(rows, title="E14 verified instance sizes"),
+    )

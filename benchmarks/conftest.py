@@ -1,0 +1,37 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one of the paper's artifacts (see
+DESIGN.md's experiment index).  Besides pytest-benchmark's timing
+table, each experiment writes its reproduced rows to
+``benchmarks/results/<experiment>.txt`` so the artifact survives
+output capturing and can be diffed against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_table(results_dir):
+    """Write (and echo) a rendered experiment table.
+
+    Usage: ``record_table("e05_theorem6", table_text)``.
+    """
+
+    def _record(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n[{name}]\n{text}")
+
+    return _record

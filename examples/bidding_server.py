@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""The bidding-server counterexample (paper, Section 1), end to end.
+
+A specification that tolerates one corrupted stored bid, and a
+sorted-list implementation that — although correct in the absence of
+faults — loses the tolerance: one corrupted list head rejects every
+later bid.
+
+Run:  python examples/bidding_server.py
+"""
+
+from repro.counterexamples import (
+    MAX_INT,
+    SortedListBiddingServer,
+    SpecBiddingServer,
+    best_k,
+    demonstrate,
+    tolerance_holds,
+)
+
+
+def fault_free_agreement(k: int = 4) -> None:
+    """Show the implementation is correct when nothing is corrupted."""
+    bids = [17, 3, 99, 54, 23, 88, 6, 42, 71]
+    spec = SpecBiddingServer(k)
+    impl = SortedListBiddingServer(k)
+    for value in bids:
+        spec.bid(value)
+        impl.bid(value)
+    assert spec.winners() == impl.winners() == best_k(bids, k)
+    print(f"fault-free: both components declare winners {impl.winners()}")
+
+
+def the_paper_scenario() -> None:
+    """Replay the corruption scenario and print the verdicts."""
+    outcome = demonstrate(k=3, pre_fault_bids=(10, 20, 30),
+                          post_fault_bids=(40, 50, 60))
+    print()
+    print("after corrupting one stored bid to MAX_INT mid-auction:")
+    print(f"  true best-3 of the legitimate bids : {outcome['true_best_k']}")
+    print(f"  spec winners                       : {outcome['spec_winners']}")
+    print(f"  implementation winners             : {outcome['impl_winners']}")
+    print(f"  spec keeps k-1 of best-k?          : {outcome['spec_tolerant']}")
+    print(f"  implementation keeps k-1 of best-k?: {outcome['impl_tolerant']}")
+    assert outcome["spec_tolerant"] and not outcome["impl_tolerant"]
+
+
+def tolerance_sweep() -> None:
+    """The failure is systematic, not a lucky stream: sweep many streams."""
+    import random
+
+    rng = random.Random(7)
+    k = 3
+    impl_failures = 0
+    spec_failures = 0
+    trials = 200
+    for _ in range(trials):
+        pre = [rng.randrange(1, 1000) for _ in range(k)]
+        post = [rng.randrange(1, 1000) for _ in range(5)]
+        spec = SpecBiddingServer(k)
+        impl = SortedListBiddingServer(k)
+        for value in pre:
+            spec.bid(value)
+            impl.bid(value)
+        spec.corrupt(spec.min_index(), MAX_INT)
+        impl.corrupt(0, MAX_INT)
+        for value in post:
+            spec.bid(value)
+            impl.bid(value)
+        bids = pre + post
+        if not tolerance_holds(spec.winners(), bids, k):
+            spec_failures += 1
+        if not tolerance_holds(impl.winners(), bids, k):
+            impl_failures += 1
+    print()
+    print(f"random sweep over {trials} auctions with one corruption each:")
+    print(f"  spec violations           : {spec_failures}")
+    print(f"  implementation violations : {impl_failures}")
+    assert spec_failures == 0
+    assert impl_failures > 0
+
+
+def main() -> None:
+    fault_free_agreement()
+    the_paper_scenario()
+    tolerance_sweep()
+    print()
+    print("Refinement preserved correctness but not fault-tolerance --")
+    print("the motivation for convergence refinement.")
+
+
+if __name__ == "__main__":
+    main()

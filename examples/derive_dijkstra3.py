@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Replay the paper's Section 5 derivation of Dijkstra's 3-state ring.
+
+The derivation, step by step and mechanically checked at each step:
+
+1.  ``BTR``       — the abstract bidirectional token ring (Section 3.1);
+2.  ``W1``/``W2`` — abstract wrappers; Theorem 6 (strong fairness);
+3.  ``BTR3``      — the 3-state mapping of BTR (Section 5);
+4.  ``W1''``/``W2'`` — the refined wrappers (Section 5.1), including
+    the paper's observation that ``W1''`` is *not* an everywhere
+    refinement of the mapped wrapper;
+5.  ``C2``        — the concrete-model refinement of BTR3 (Section 5.2)
+    with the model violations of BTR3 shown mechanically;
+6.  Dijkstra's 3-state system — stabilizing to BTR under the raw
+    unfair daemon, with its exact worst-case convergence time.
+
+Run:  python examples/derive_dijkstra3.py [n_processes]
+"""
+
+import sys
+
+from repro.checker import (
+    VerificationReport,
+    check_convergence_refinement,
+    check_stabilization,
+)
+from repro.core.composition import box_many
+from repro.gcl import check_model_compliance, render_actions
+from repro.rings import (
+    btr3_abstraction,
+    btr3_program,
+    btr_program,
+    c2_program,
+    dijkstra_three_state,
+    w1_local_program,
+    w1_program,
+    w2_program,
+    w2_refined_program,
+)
+
+
+def main(n: int = 4) -> None:
+    report = VerificationReport(f"Section 5 derivation, ring of {n} processes")
+
+    # Step 1+2: the abstract ring and its wrappers.
+    btr = btr_program(n).compile()
+    wrapped = box_many(
+        [btr, w1_program(n).compile(), w2_program(n).compile()],
+        name="BTR [] W1 [] W2",
+    )
+    report.add(
+        "Theorem 6 (strong fairness)",
+        check_stabilization(wrapped, btr, fairness="strong", compute_steps=False),
+        note="cancellation must be scheduled fairly",
+    )
+    report.add(
+        "Theorem 6 under the unfair daemon (expected to FAIL)",
+        check_stabilization(wrapped, btr, fairness="none", compute_steps=False),
+        note="co-located tokens may cross forever",
+    )
+
+    # Step 3: the 3-state encoding and its mapping.
+    alpha = btr3_abstraction(n)
+    btr3 = btr3_program(n)
+    print("BTR3 actions (abstract model -- note the neighbour writes):")
+    print(render_actions(btr3))
+    print()
+    violations = check_model_compliance(c2_program(n).processes, writes_restricted=True)
+    print(f"C2 concrete-model violations: {len(violations)} (must be 0)")
+    print()
+
+    # Step 4: refined wrappers.
+    w1pp = w1_local_program(n).compile()
+    w2p = w2_refined_program(n).compile()
+    comp_abs = box_many([btr3.compile(), w1pp, w2p], name="BTR3 [] W1'' [] W2'")
+    report.add(
+        "Lemma 9 (strong fairness)",
+        check_stabilization(
+            comp_abs, btr, alpha, fairness="strong", compute_steps=False
+        ),
+    )
+
+    # Step 5: the concrete refinement and its composite.
+    c2 = c2_program(n).compile()
+    comp_conc = box_many([c2, w1pp, w2p], name="C2 [] W1'' [] W2'")
+    report.add(
+        "Lemma 10, literal reading (known to FAIL; see EXPERIMENTS.md E09)",
+        check_convergence_refinement(comp_conc, comp_abs),
+    )
+    report.add(
+        "C2 [] W1'' [] W2' stabilizing to BTR (strong fairness)",
+        check_stabilization(
+            comp_conc, btr, alpha, fairness="strong", compute_steps=False
+        ),
+    )
+
+    # Step 6: the merged/optimized system -- Dijkstra's 3-state ring.
+    dijkstra = dijkstra_three_state(n).compile()
+    result = check_stabilization(dijkstra, btr, alpha, fairness="none")
+    report.add("Dijkstra 3-state stabilizing to BTR (unfair daemon)", result)
+
+    print(report.render())
+    print()
+    if result.worst_case_steps is not None:
+        print(
+            f"Exact worst-case convergence of Dijkstra's 3-state ring "
+            f"(n={n}): {result.worst_case_steps} steps."
+        )
+    expected_failures = {
+        "Theorem 6 under the unfair daemon (expected to FAIL)",
+        "Lemma 10, literal reading (known to FAIL; see EXPERIMENTS.md E09)",
+    }
+    unexpected = [
+        entry.label
+        for entry in report.failures()
+        if entry.label not in expected_failures
+    ]
+    assert not unexpected, f"unexpected failures: {unexpected}"
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 4)

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Automatic wrapper synthesis — the paper's future work, implemented.
+
+The paper's closing line promises "refinement tools and methodologies"
+for fault-tolerance.  This example runs the reproduction's synthesis
+tool on three inputs of increasing difficulty:
+
+1. the quickstart's broken cascade (deadlocks outside the legitimate
+   state) — repaired with a handful of transitions, verified under the
+   raw unfair daemon;
+2. the bare abstract ring BTR (no W1/W2) — the synthesizer invents the
+   token-creation/cancellation role automatically; like the paper's
+   hand-built wrappers, the result needs strong fairness;
+3. the bare C2 (the Section 5 refinement without its wrappers) — here
+   the synthesized repairs jump straight to legitimate encodings, so
+   the composite verifies under NO fairness assumption: on this
+   instance the tool beats the paper's hand-built composite, which
+   needs strong fairness.
+
+Run:  python examples/synthesize_wrapper.py
+"""
+
+from repro.gcl import parse_program
+from repro.rings import btr3_abstraction, btr_program, c2_program
+from repro.synthesis import synthesize_wrapper
+
+CASCADE = """
+program cascade
+var x.0, x.1, x.2 : mod 4
+action copy.1 :: x.1 != x.0 --> x.1 := x.0
+action copy.2 :: x.2 != x.1 --> x.2 := x.1
+init x.0 == 0 && x.1 == 0 && x.2 == 0
+"""
+
+
+def main() -> None:
+    print("1) broken cascade")
+    cascade = parse_program(CASCADE).compile()
+    result = synthesize_wrapper(cascade, cascade)
+    print("   " + result.summary())
+    assert result.holds and result.fairness == "none"
+    example = sorted(result.wrapper.transitions(), key=repr)[0]
+    schema = cascade.schema
+    print(f"   sample repair: {schema.format_state(example[0])}  -->  "
+          f"{schema.format_state(example[1])}")
+
+    print()
+    print("2) bare abstract ring BTR (inventing W1/W2's role)")
+    n = 4
+    btr = btr_program(n).compile()
+    result = synthesize_wrapper(btr, btr)
+    print("   " + result.summary())
+    assert result.holds and result.fairness == "strong"
+
+    print()
+    print("3) bare C2 toward BTR via the Section 5 mapping")
+    result = synthesize_wrapper(
+        c2_program(n).compile(), btr, btr3_abstraction(n)
+    )
+    print("   " + result.summary())
+    assert result.holds and result.fairness == "none"
+    print(f"   repaired states: {len(result.repaired_states)} "
+          f"(the paper's wrapped composite needs strong fairness; "
+          f"the synthesized one does not)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""repro — a reproduction of *Convergence Refinement* (Demirbas & Arora, ICDCS 2002).
+
+The library provides, from scratch:
+
+* the paper's core theory — systems, computations, convergence
+  isomorphism, refinement relations, stabilization, box composition,
+  abstraction functions, and executable theorem schemas
+  (:mod:`repro.core`);
+* a guarded-command language with parser, pretty-printer, and daemon
+  semantics (:mod:`repro.gcl`);
+* the complete token-ring protocol family of Sections 3-6 plus the
+  K-state protocol of the companion report (:mod:`repro.rings`);
+* finite-state decision procedures with counterexample witnesses
+  (:mod:`repro.checker`);
+* a fault-injection simulation substrate for scales beyond exhaustive
+  checking (:mod:`repro.simulation`);
+* the paper's introductory counterexamples (:mod:`repro.counterexamples`);
+* sweep/statistics helpers used by the benchmark harness
+  (:mod:`repro.analysis`).
+
+Quickstart::
+
+    from repro.rings import dijkstra_three_state, btr_token_mapping, btr_program
+    from repro.checker import check_stabilization
+
+    concrete = dijkstra_three_state(n_processes=4).compile()
+    abstract = btr_program(n_processes=4).compile()
+    alpha = btr_token_mapping(n_processes=4, k=3)
+    print(check_stabilization(concrete, abstract, alpha).format())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["core", "gcl", "rings", "checker", "simulation", "counterexamples", "analysis"]

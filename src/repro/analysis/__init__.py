@@ -1,0 +1,6 @@
+"""Sweeps and statistics for the benchmark harness."""
+
+from .stats import percentile, summarize
+from .sweep import format_table, grid, run_sweep
+
+__all__ = ["percentile", "summarize", "format_table", "grid", "run_sweep"]

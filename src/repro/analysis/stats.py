@@ -1,0 +1,65 @@
+"""Summary statistics for experiment samples.
+
+Deliberately dependency-light (the standard :mod:`statistics` module
+only) so the benchmark harness runs anywhere; numpy/scipy remain
+available to users for deeper analysis of the returned samples.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from typing import Dict, List, Sequence
+
+__all__ = ["summarize", "percentile"]
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0..100) by linear interpolation.
+
+    Raises:
+        ValueError: on an empty sample or ``q`` outside [0, 100].
+    """
+    if not samples:
+        raise ValueError("cannot take a percentile of an empty sample")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must lie in [0, 100]")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    position = (q / 100.0) * (len(ordered) - 1)
+    low = math.floor(position)
+    high = math.ceil(position)
+    if low == high:
+        return float(ordered[low])
+    fraction = position - low
+    return float(ordered[low] * (1 - fraction) + ordered[high] * fraction)
+
+
+def summarize(samples: Sequence[float]) -> Dict[str, float]:
+    """Mean / median / p95 / min / max / stdev of a sample.
+
+    Empty samples yield NaNs rather than raising, so sweep code can
+    emit a row for an all-diverged cell and keep going.
+    """
+    if not samples:
+        nan = float("nan")
+        return {
+            "mean": nan,
+            "median": nan,
+            "p95": nan,
+            "min": nan,
+            "max": nan,
+            "stdev": nan,
+            "count": 0,
+        }
+    values = [float(v) for v in samples]
+    return {
+        "mean": statistics.fmean(values),
+        "median": statistics.median(values),
+        "p95": percentile(values, 95.0),
+        "min": min(values),
+        "max": max(values),
+        "stdev": statistics.stdev(values) if len(values) > 1 else 0.0,
+        "count": len(values),
+    }

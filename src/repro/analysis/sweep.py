@@ -1,0 +1,86 @@
+"""Parameter sweeps and ASCII tables.
+
+The paper's artifacts are reproduced as printed tables; this module
+renders lists of row-dicts uniformly so every benchmark and example
+produces output in the same shape.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, Iterable, List, Mapping, Sequence
+
+__all__ = ["grid", "run_sweep", "format_table"]
+
+
+def grid(**axes: Sequence[object]) -> List[Dict[str, object]]:
+    """Cartesian product of named parameter axes.
+
+    Example:
+        >>> grid(n=[3, 4], k=[2, 3])[0]
+        {'n': 3, 'k': 2}
+    """
+    names = list(axes)
+    combos = itertools.product(*(axes[name] for name in names))
+    return [dict(zip(names, values)) for values in combos]
+
+
+def run_sweep(
+    points: Iterable[Mapping[str, object]],
+    experiment: Callable[..., Mapping[str, object]],
+) -> List[Dict[str, object]]:
+    """Run ``experiment(**point)`` for every grid point.
+
+    The experiment's returned mapping is merged over the point's
+    parameters; parameter keys the experiment also returns win.
+    """
+    rows: List[Dict[str, object]] = []
+    for point in points:
+        row: Dict[str, object] = dict(point)
+        row.update(experiment(**point))
+        rows.append(row)
+    return rows
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.1f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render rows as a fixed-width ASCII table.
+
+    Args:
+        rows: the data (all mappings; missing keys render empty).
+        columns: column order (default: keys of the first row).
+        title: optional heading line.
+
+    Returns:
+        The table text (empty string for no rows).
+    """
+    if not rows:
+        return ""
+    names = list(columns) if columns else list(rows[0])
+    rendered = [
+        [_format_cell(row.get(name, "")) for name in names] for row in rows
+    ]
+    widths = [
+        max(len(name), *(len(line[i]) for line in rendered))
+        for i, name in enumerate(names)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = "  ".join(name.ljust(width) for name, width in zip(names, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for line in rendered:
+        lines.append("  ".join(cell.rjust(width) for cell, width in zip(line, widths)))
+    return "\n".join(lines)

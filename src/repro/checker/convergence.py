@@ -1,0 +1,573 @@
+"""Stabilization checking (paper, Section 2).
+
+The paper defines::
+
+    C is stabilizing to A iff every computation of C has a suffix
+    that is a suffix of some computation of A that starts at an
+    initial state of A.
+
+The decision procedure used here is the classical closure-and-
+convergence argument, made exact for finite systems:
+
+1. Compute ``L_A``, the states of ``A`` reachable from ``A``'s initial
+   states — the *legitimate* abstract states.
+2. Compute the *greatest* set ``G`` of concrete states from which
+   ``C`` forever behaves like ``A``: start from all states whose
+   abstraction lies in ``L_A`` and repeatedly remove states with an
+   escaping transition (target outside ``G``, or image step outside
+   ``T_A``) or a premature deadlock (terminal in ``C`` but not in
+   ``A``).  ``G`` is a simulation-style fixpoint; from any state of
+   ``G`` every computation of ``C`` maps to the continuation of some
+   computation of ``A`` that passed through an initial state.
+3. Check *convergence*: outside ``G`` there must be neither a cycle
+   (a computation could circulate forever without acquiring a
+   legitimate suffix) nor a terminal state (a computation could end
+   before acquiring one).
+
+The criterion is sound: (2) gives closure and suffix-matching, (3)
+forces every maximal computation into ``G``.  It is also the standard
+*complete* criterion for the protocol instances verified here (their
+legitimate behaviour is exactly the reachable behaviour of the
+specification); the one semantic knob is fairness, exposed as
+``fairness='weak'`` which removes self-loops before the cycle
+analysis — required by systems with stuttering actions such as the
+paper's ``C3``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..core.abstraction import AbstractionFunction, identity_abstraction
+from ..core.state import State
+from ..core.system import System
+from .fairness import find_fair_trap
+from .graph import (
+    find_cycle_within,
+    has_cycle_within,
+    states_on_cycles,
+    terminal_states_within,
+)
+from .witnesses import CheckResult, Witness, WitnessKind
+
+__all__ = [
+    "StabilizationResult",
+    "legitimate_abstract_states",
+    "behavioural_core",
+    "check_stabilization",
+    "check_self_stabilization",
+    "worst_case_convergence_steps",
+    "worst_case_schedule",
+    "convergence_profile",
+]
+
+
+@dataclass(frozen=True)
+class StabilizationResult:
+    """Outcome of a stabilization check, with quantitative extras.
+
+    Attributes:
+        result: the underlying verdict/witness.
+        legitimate_abstract: ``L_A`` — legitimate states of the spec.
+        core: ``G`` — concrete states from which behaviour is forever
+            legitimate (empty on some failures).
+        worst_case_steps: length of the longest transition path that
+            stays outside ``G`` (the adversarial convergence time), or
+            ``None`` when the check failed.
+    """
+
+    result: CheckResult
+    legitimate_abstract: FrozenSet[State]
+    core: FrozenSet[State]
+    worst_case_steps: Optional[int]
+
+    @property
+    def holds(self) -> bool:
+        """The verdict."""
+        return self.result.holds
+
+    def __bool__(self) -> bool:
+        return self.result.holds
+
+    def format(self) -> str:
+        """Render the verdict plus the quantitative summary."""
+        lines = [self.result.format()]
+        lines.append(
+            f"  |L_A|={len(self.legitimate_abstract)} |core|={len(self.core)}"
+            + (
+                f" worst-case convergence={self.worst_case_steps} steps"
+                if self.worst_case_steps is not None
+                else ""
+            )
+        )
+        return "\n".join(lines)
+
+
+def legitimate_abstract_states(abstract: System) -> FrozenSet[State]:
+    """``L_A``: the abstract states reachable from the abstract initial states."""
+    return abstract.reachable()
+
+
+def behavioural_core(
+    concrete: System,
+    abstract: System,
+    alpha: Optional[AbstractionFunction] = None,
+    stutter_insensitive: bool = False,
+    fairness: str = "none",
+) -> FrozenSet[State]:
+    """The greatest set ``G`` of concrete states forever tracking ``A``.
+
+    Greatest-fixpoint computation described in the module docstring.
+    A state belongs to ``G`` iff its abstraction is legitimate, all of
+    its transitions stay in ``G`` with images that are ``A``-steps
+    (or invisible, in stutter-insensitive mode), and it deadlocks only
+    where ``A`` does.
+
+    Args:
+        concrete: implementation ``C`` (candidate stabilizing system).
+        abstract: specification ``A`` (the stabilization target).
+        alpha: abstraction from ``C``'s space onto ``A``'s; identity
+            when omitted.
+        stutter_insensitive: treat image-stuttering steps as legal.
+        fairness: under ``'weak'``/``'strong'``, a self-loop whose
+            image is *not* an ``A``-self-loop is ignored rather than
+            disqualifying — fairness prevents the daemon from taking
+            it forever, and taking it finitely often only stutters.
+            A self-loop whose image IS an ``A``-transition remains
+            acceptable under every mode (legitimate stuttering
+            behaviour of the specification itself).
+    """
+    mapping = alpha if alpha is not None else identity_abstraction(concrete.schema)
+    legitimate = legitimate_abstract_states(abstract)
+    fairness_ignores_stutter = fairness in ("weak", "strong")
+    core: Set[State] = {
+        state for state in concrete.schema.states() if mapping(state) in legitimate
+    }
+    changed = True
+    while changed:
+        changed = False
+        for state in list(core):
+            image = mapping(state)
+            successors = concrete.successors(state)
+            progress = False
+            violated = False
+            for successor in successors:
+                target_image = mapping(successor)
+                if successor == state:
+                    if abstract.has_transition(image, image):
+                        progress = True
+                        continue
+                    if stutter_insensitive or fairness_ignores_stutter:
+                        continue  # ignorable stutter, no progress
+                    violated = True
+                    break
+                if successor not in core:
+                    violated = True
+                    break
+                if target_image == image and stutter_insensitive:
+                    progress = True
+                    continue
+                if not abstract.has_transition(image, target_image):
+                    violated = True
+                    break
+                progress = True
+            if violated:
+                core.discard(state)
+                changed = True
+                continue
+            if not progress:
+                # No successors at all, or only ignorable self-loops:
+                # the state is effectively terminal and must match a
+                # terminal state of the specification.
+                if not abstract.is_terminal(image):
+                    core.discard(state)
+                    changed = True
+    return frozenset(core)
+
+
+def worst_case_convergence_steps(
+    concrete: System, core: FrozenSet[State], fairness: str = "none"
+) -> int:
+    """Length of the longest transition path staying outside ``core``.
+
+    Assumes the region outside ``core`` is acyclic (which the
+    stabilization check has established); the value is then the exact
+    adversarial convergence time: the maximum, over all states and all
+    daemon choices, of the number of steps taken before entering
+    ``core``.
+
+    Args:
+        concrete: the checked system (self-loops ignored under
+            ``fairness='weak'``).
+        core: the legitimate behavioural core ``G``.
+        fairness: ``'none'``, ``'weak'``, or ``'strong'``; must match
+            the value used for the stabilization check.  Under
+            ``'strong'`` the metric only exists when the region outside
+            the core happens to be acyclic.
+
+    Raises:
+        ValueError: if a cycle outside ``core`` is detected after all.
+    """
+    system = (
+        concrete.without_self_loops() if fairness in ("weak", "strong") else concrete
+    )
+    outside = [state for state in system.schema.states() if state not in core]
+    outside_set = set(outside)
+    # Longest path in a DAG by memoized DFS (iterative).
+    depth: Dict[State, int] = {}
+    in_progress: Set[State] = set()
+    for root in outside:
+        if root in depth:
+            continue
+        stack: List[Tuple[State, bool]] = [(root, False)]
+        while stack:
+            state, expanded = stack.pop()
+            if expanded:
+                best = 0
+                for successor in system.successors(state):
+                    if successor in outside_set:
+                        best = max(best, 1 + depth[successor])
+                    else:
+                        best = max(best, 1)
+                depth[state] = best
+                in_progress.discard(state)
+                continue
+            if state in depth:
+                continue
+            if state in in_progress:
+                raise ValueError("cycle outside the core; check stabilization first")
+            in_progress.add(state)
+            stack.append((state, True))
+            for successor in system.successors(state):
+                if successor in outside_set and successor not in depth:
+                    if successor in in_progress:
+                        raise ValueError(
+                            "cycle outside the core; check stabilization first"
+                        )
+                    stack.append((successor, False))
+    return max(depth.values(), default=0)
+
+
+def check_stabilization(
+    concrete: System,
+    abstract: System,
+    alpha: Optional[AbstractionFunction] = None,
+    stutter_insensitive: bool = False,
+    fairness: str = "none",
+    compute_steps: bool = True,
+) -> StabilizationResult:
+    """Decide "``C`` is stabilizing to ``A``".
+
+    Args:
+        concrete: the candidate system ``C`` (often a composite
+            ``C [] W``); transient faults may land it in any state of
+            its space, so convergence is demanded from *every* state.
+        abstract: the stabilization target ``A``.
+        alpha: abstraction function, identity when the spaces coincide.
+        stutter_insensitive: accept image-stuttering steps (``C3``).
+        fairness: ``'none'`` for raw central-daemon semantics,
+            ``'weak'`` to discard self-loops before the cycle analysis
+            (a stuttering action is never scheduled forever to the
+            exclusion of enabled, state-changing actions), or
+            ``'strong'`` for strong action fairness (divergence must
+            be a fair trap; see :mod:`repro.checker.fairness`).
+        compute_steps: also compute the worst-case convergence time
+            (skippable for speed in large sweeps).
+
+    Returns:
+        A :class:`StabilizationResult`; its witness on failure is a
+        divergent cycle, an illegitimate deadlock, or an empty core.
+    """
+    if fairness not in ("none", "weak", "strong"):
+        raise ValueError(f"unknown fairness mode {fairness!r}")
+    name = f"{concrete.name} stabilizing to {abstract.name}"
+    legitimate = legitimate_abstract_states(abstract)
+    analysis_system = (
+        concrete.without_self_loops() if fairness in ("weak", "strong") else concrete
+    )
+    core = behavioural_core(
+        concrete,
+        abstract,
+        alpha,
+        stutter_insensitive=stutter_insensitive,
+        fairness=fairness,
+    )
+
+    if not core:
+        return StabilizationResult(
+            CheckResult(
+                False,
+                name,
+                Witness(
+                    WitnessKind.CLOSURE_VIOLATION,
+                    "no concrete state forever tracks the specification "
+                    "(behavioural core is empty)",
+                ),
+            ),
+            legitimate,
+            core,
+            None,
+        )
+
+    outside = frozenset(
+        state for state in concrete.schema.states() if state not in core
+    )
+    deadlocks = terminal_states_within(analysis_system, outside)
+    if deadlocks:
+        stuck = min(deadlocks, key=repr)
+        return StabilizationResult(
+            CheckResult(
+                False,
+                name,
+                Witness(
+                    WitnessKind.ILLEGITIMATE_DEADLOCK,
+                    "a computation can end outside the legitimate core",
+                    (stuck,),
+                    concrete.schema,
+                ),
+            ),
+            legitimate,
+            core,
+            None,
+        )
+    if fairness == "strong":
+        trap = find_fair_trap(analysis_system, outside)
+        if trap is not None:
+            cycle = find_cycle_within(analysis_system, trap)
+            return StabilizationResult(
+                CheckResult(
+                    False,
+                    name,
+                    Witness(
+                        WitnessKind.DIVERGENT_CYCLE,
+                        "a strongly fair computation can stay forever outside "
+                        "the legitimate core (fair trap)",
+                        cycle or tuple(sorted(trap, key=repr)[:4]),
+                        concrete.schema,
+                    ),
+                ),
+                legitimate,
+                core,
+                None,
+            )
+    else:
+        divergent = states_on_cycles(analysis_system, outside)
+        if divergent:
+            cycle = find_cycle_within(analysis_system, outside)
+            return StabilizationResult(
+                CheckResult(
+                    False,
+                    name,
+                    Witness(
+                        WitnessKind.DIVERGENT_CYCLE,
+                        "a computation can cycle forever outside the legitimate core",
+                        cycle or (),
+                        concrete.schema,
+                    ),
+                ),
+                legitimate,
+                core,
+                None,
+            )
+
+    # Inside the core, stuttering must also be finitary: a cycle whose
+    # every step is image-invisible would give an infinite concrete
+    # computation whose abstract image is finite and non-maximal.
+    if stutter_insensitive and alpha is not None:
+        invisible = [
+            (source, target)
+            for source in core
+            for target in analysis_system.successors(source)
+            if target in core and alpha(source) == alpha(target)
+        ]
+        if invisible:
+            invisible_system = System(
+                concrete.schema, invisible, (), name=f"{concrete.name}|invisible"
+            )
+            if states_on_cycles(invisible_system, core):
+                cycle = find_cycle_within(invisible_system, core)
+                return StabilizationResult(
+                    CheckResult(
+                        False,
+                        name,
+                        Witness(
+                            WitnessKind.DIVERGENT_CYCLE,
+                            "cycle of abstract-invisible steps inside the core",
+                            cycle or (),
+                            concrete.schema,
+                        ),
+                    ),
+                    legitimate,
+                    core,
+                    None,
+                )
+
+    if compute_steps and not has_cycle_within(analysis_system, outside):
+        steps: Optional[int] = worst_case_convergence_steps(
+            concrete, core, fairness=fairness
+        )
+    else:
+        # Under strong fairness the sup over fair runs may be unbounded
+        # when cycles remain outside the core; report no finite metric.
+        steps = None
+    return StabilizationResult(
+        CheckResult(
+            True,
+            name,
+            detail=(
+                f"core has {len(core)} of {concrete.schema.size()} states; "
+                f"legitimate spec states: {len(legitimate)}"
+            ),
+        ),
+        legitimate,
+        core,
+        steps,
+    )
+
+
+def check_self_stabilization(
+    system: System,
+    fairness: str = "none",
+    compute_steps: bool = True,
+) -> StabilizationResult:
+    """Decide whether a system is self-stabilizing (stabilizing to itself).
+
+    The paper notes the definition "allows the possibility that A is
+    stabilizing to A" — this helper instantiates exactly that case,
+    with the identity abstraction.
+    """
+    return check_stabilization(
+        system,
+        system,
+        alpha=None,
+        fairness=fairness,
+        compute_steps=compute_steps,
+    )
+
+
+def worst_case_schedule(
+    concrete: System, core: FrozenSet[State], fairness: str = "none"
+) -> Tuple[State, ...]:
+    """An explicit worst-case recovery: the longest transition path that
+    stays outside ``core``, ending with its first step into it.
+
+    The checker's ``worst_case_steps`` is the *length* of this path;
+    this function materializes the path itself so the adversarial
+    schedule can be inspected, rendered
+    (:func:`repro.simulation.visualize.render_trace` via the states'
+    environments), or replayed.
+
+    Args:
+        concrete: the verified system.
+        core: its behavioural core (from :func:`behavioural_core` or a
+            :class:`StabilizationResult`).
+        fairness: must match the mode of the verification (self-loops
+            are skipped for ``'weak'``/``'strong'``).
+
+    Returns:
+        The state sequence, starting at the worst state and ending at
+        the first core state reached (empty when every state is in the
+        core).
+
+    Raises:
+        ValueError: if a cycle outside ``core`` exists (no finite worst
+            case).
+    """
+    system = (
+        concrete.without_self_loops() if fairness in ("weak", "strong") else concrete
+    )
+    outside = [state for state in system.schema.states() if state not in core]
+    outside_set = set(outside)
+    depth: Dict[State, int] = {}
+    best_next: Dict[State, Optional[State]] = {}
+    in_progress: Set[State] = set()
+    for root in outside:
+        if root in depth:
+            continue
+        stack: List[Tuple[State, bool]] = [(root, False)]
+        while stack:
+            state, expanded = stack.pop()
+            if expanded:
+                best = 0
+                choice: Optional[State] = None
+                for successor in sorted(system.successors(state), key=repr):
+                    if successor in outside_set:
+                        candidate = 1 + depth[successor]
+                    else:
+                        candidate = 1
+                    if candidate > best:
+                        best = candidate
+                        choice = successor
+                depth[state] = best
+                best_next[state] = choice
+                in_progress.discard(state)
+                continue
+            if state in depth:
+                continue
+            if state in in_progress:
+                raise ValueError("cycle outside the core; check stabilization first")
+            in_progress.add(state)
+            stack.append((state, True))
+            for successor in system.successors(state):
+                if successor in outside_set and successor not in depth:
+                    if successor in in_progress:
+                        raise ValueError(
+                            "cycle outside the core; check stabilization first"
+                        )
+                    stack.append((successor, False))
+    if not depth:
+        return ()
+    start = max(depth, key=lambda state: (depth[state], repr(state)))
+    path: List[State] = [start]
+    current: Optional[State] = start
+    while current is not None and current in outside_set:
+        current = best_next.get(current)
+        if current is not None:
+            path.append(current)
+    return tuple(path)
+
+
+def convergence_profile(
+    concrete: System, core: FrozenSet[State], fairness: str = "none"
+) -> Dict[int, int]:
+    """Histogram of recovery depths: how many states sit each number of
+    steps away from the core, under the *best-case* daemon.
+
+    Depth 0 counts the core itself; depth ``d`` counts the states whose
+    shortest escape into the core takes ``d`` transitions.  States that
+    cannot reach the core at all are reported under depth ``-1`` (a
+    verified-stabilizing system has none).  Complements
+    :func:`worst_case_convergence_steps`, which is the max over the
+    *adversarial* daemon; together they bracket every real daemon.
+
+    Args:
+        concrete: the system.
+        core: its behavioural core.
+        fairness: ``'weak'``/``'strong'`` ignore self-loops, matching
+            the verification mode.
+    """
+    system = (
+        concrete.without_self_loops() if fairness in ("weak", "strong") else concrete
+    )
+    # Reverse-BFS from the core.
+    predecessors: Dict[State, List[State]] = {}
+    for source, target in system.transitions():
+        predecessors.setdefault(target, []).append(source)
+    depth_of: Dict[State, int] = {state: 0 for state in core}
+    frontier: List[State] = list(core)
+    depth = 0
+    while frontier:
+        depth += 1
+        next_frontier: List[State] = []
+        for state in frontier:
+            for predecessor in predecessors.get(state, ()):  # may be outside core
+                if predecessor not in depth_of:
+                    depth_of[predecessor] = depth
+                    next_frontier.append(predecessor)
+        frontier = next_frontier
+    histogram: Dict[int, int] = {}
+    for state in system.schema.states():
+        bucket = depth_of.get(state, -1)
+        histogram[bucket] = histogram.get(bucket, 0) + 1
+    return histogram

@@ -1,0 +1,261 @@
+"""Graph algorithms over transition systems.
+
+Every decision procedure in this reproduction reduces to questions
+about the directed graph ``(Sigma, T)`` of a system: reachability,
+membership of an edge in a cycle, strongly connected components, and
+shortest paths.  This module implements those primitives iteratively
+(no recursion — state spaces run to tens of thousands of nodes) and
+without any dependency on the protocol packages.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..core.state import State
+from ..core.system import System, Transition
+
+__all__ = [
+    "reachable_set",
+    "shortest_path",
+    "strongly_connected_components",
+    "states_on_cycles",
+    "edge_on_cycle",
+    "has_cycle_within",
+    "find_cycle_within",
+    "terminal_states_within",
+    "bounded_paths",
+]
+
+
+def reachable_set(system: System, sources: Iterable[State]) -> FrozenSet[State]:
+    """States reachable from ``sources`` (inclusive).
+
+    Thin alias of :meth:`System.reachable_from`, re-exported here so
+    the checker package is self-contained for callers.
+    """
+    return system.reachable_from(sources)
+
+
+def shortest_path(
+    system: System,
+    source: State,
+    target: State,
+    min_length: int = 0,
+    max_length: Optional[int] = None,
+) -> Optional[Tuple[State, ...]]:
+    """BFS shortest path from ``source`` to ``target``.
+
+    Args:
+        system: the automaton whose transition relation is traversed.
+        source: start state.
+        target: goal state.
+        min_length: minimum number of *transitions* the path must take;
+            ``min_length=1`` excludes the empty path even when
+            ``source == target`` (used to find compression witnesses,
+            which must be genuine multi-step paths of the abstract).
+        max_length: optional inclusive bound on transitions explored.
+
+    Returns:
+        The state sequence of a shortest qualifying path (including
+        both endpoints), or ``None`` when no such path exists.
+    """
+    system.schema.validate(source)
+    system.schema.validate(target)
+    if min_length == 0 and source == target:
+        return (source,)
+    # BFS over (state, steps) where only the first visit per state at
+    # steps >= 1 matters, except we must allow re-visiting the source.
+    parents: Dict[State, Tuple[Optional[State], int]] = {}
+    frontier: List[State] = [source]
+    steps = 0
+    while frontier:
+        steps += 1
+        if max_length is not None and steps > max_length:
+            return None
+        next_frontier: List[State] = []
+        for current in frontier:
+            for successor in system.successors(current):
+                if successor == target and steps >= min_length:
+                    path = [target]
+                    back: Optional[State] = current
+                    while back is not None:
+                        path.append(back)
+                        back = parents.get(back, (None, 0))[0]
+                    path.reverse()
+                    return tuple(path)
+                if successor not in parents and successor != source:
+                    parents[successor] = (current, steps)
+                    next_frontier.append(successor)
+        frontier = next_frontier
+    return None
+
+
+def strongly_connected_components(
+    system: System, states: Optional[Iterable[State]] = None
+) -> List[FrozenSet[State]]:
+    """Tarjan's SCC algorithm, iterative, over the given state set.
+
+    Args:
+        system: automaton providing the edge relation.
+        states: the vertex set to consider (defaults to every state
+            that occurs as a transition endpoint; isolated states that
+            never appear in ``T`` are irrelevant to cycle questions).
+
+    Returns:
+        List of SCCs in reverse topological order (Tarjan's natural
+        output order: every component is emitted after its successors).
+    """
+    if states is None:
+        vertex_set: Set[State] = set()
+        for source, target in system.transitions():
+            vertex_set.add(source)
+            vertex_set.add(target)
+    else:
+        vertex_set = set(states)
+
+    index_counter = 0
+    indices: Dict[State, int] = {}
+    lowlinks: Dict[State, int] = {}
+    on_stack: Set[State] = set()
+    stack: List[State] = []
+    components: List[FrozenSet[State]] = []
+
+    for root in vertex_set:
+        if root in indices:
+            continue
+        # Iterative Tarjan: work items are (state, iterator over successors).
+        work: List[Tuple[State, Iterable[State]]] = []
+        indices[root] = lowlinks[root] = index_counter
+        index_counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        work.append((root, iter(sorted(
+            (s for s in system.successors(root) if s in vertex_set), key=repr
+        ))))
+        while work:
+            state, successor_iter = work[-1]
+            advanced = False
+            for successor in successor_iter:
+                if successor not in indices:
+                    indices[successor] = lowlinks[successor] = index_counter
+                    index_counter += 1
+                    stack.append(successor)
+                    on_stack.add(successor)
+                    work.append((successor, iter(sorted(
+                        (s for s in system.successors(successor) if s in vertex_set),
+                        key=repr,
+                    ))))
+                    advanced = True
+                    break
+                if successor in on_stack:
+                    lowlinks[state] = min(lowlinks[state], indices[successor])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlinks[parent] = min(lowlinks[parent], lowlinks[state])
+            if lowlinks[state] == indices[state]:
+                component: Set[State] = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.add(member)
+                    if member == state:
+                        break
+                components.append(frozenset(component))
+    return components
+
+
+def states_on_cycles(
+    system: System, states: Optional[Iterable[State]] = None
+) -> FrozenSet[State]:
+    """States that lie on at least one cycle (within the given set).
+
+    A state is on a cycle iff its SCC has more than one member, or it
+    has a self-loop.
+    """
+    vertex_filter = None if states is None else set(states)
+    result: Set[State] = set()
+    for component in strongly_connected_components(system, vertex_filter):
+        if len(component) > 1:
+            result |= component
+        else:
+            (only,) = component
+            if system.has_transition(only, only):
+                result.add(only)
+    return frozenset(result)
+
+
+def edge_on_cycle(system: System, source: State, target: State) -> bool:
+    """True iff transition ``(source, target)`` lies on some cycle of the system.
+
+    Equivalent to ``source`` being reachable from ``target``.
+    """
+    return source in system.reachable_from([target])
+
+
+def has_cycle_within(system: System, states: Iterable[State]) -> bool:
+    """True iff the sub-graph induced on ``states`` contains a cycle."""
+    return bool(states_on_cycles(system, states))
+
+
+def find_cycle_within(
+    system: System, states: Iterable[State]
+) -> Optional[Tuple[State, ...]]:
+    """Return a concrete cycle inside the induced sub-graph, if any.
+
+    The returned sequence starts and ends at the same state.  Used to
+    produce divergence witnesses for failed stabilization checks.
+    """
+    allowed = set(states)
+    cycle_states = states_on_cycles(system, allowed)
+    if not cycle_states:
+        return None
+    start = min(cycle_states, key=repr)
+    restricted = system.restricted_to(allowed)
+    path = shortest_path(restricted, start, start, min_length=1)
+    if path is not None:
+        return path
+    # ``start`` has its cycle through states possibly not all in cycle_states;
+    # fall back to searching within the full allowed set (already restricted).
+    for candidate in sorted(cycle_states, key=repr):  # pragma: no cover - rare
+        path = shortest_path(restricted, candidate, candidate, min_length=1)
+        if path is not None:
+            return path
+    return None
+
+
+def terminal_states_within(system: System, states: Iterable[State]) -> FrozenSet[State]:
+    """States in the given set with no outgoing transition at all.
+
+    Note this checks for terminality in the *whole* system, not in the
+    induced sub-graph: a convergence check asks whether a computation
+    can get stuck outside the legitimate set, and a state with an edge
+    leaving the set is not stuck.
+    """
+    return frozenset(state for state in states if system.is_terminal(state))
+
+
+def bounded_paths(
+    system: System, source: State, max_transitions: int
+) -> Iterable[Tuple[State, ...]]:
+    """Enumerate all paths from ``source`` with at most ``max_transitions`` edges.
+
+    Paths are yielded in depth-first order, shortest prefixes first
+    along each branch; a path ending in a terminal state is yielded
+    once and not extended.  Intended for definitional cross-checks on
+    tiny systems and for property tests.
+    """
+    if max_transitions < 0:
+        raise ValueError("max_transitions must be non-negative")
+    system.schema.validate(source)
+    stack: List[Tuple[State, ...]] = [(source,)]
+    while stack:
+        path = stack.pop()
+        yield path
+        if len(path) - 1 >= max_transitions:
+            continue
+        for successor in sorted(system.successors(path[-1]), key=repr):
+            stack.append(path + (successor,))

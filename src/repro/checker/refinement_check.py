@@ -1,0 +1,486 @@
+"""Decision procedures for the paper's refinement relations.
+
+Three relations are decided here, each over finite systems and each
+optionally through an abstraction function (paper, Section 2.3):
+
+* ``[C subseteq A]_init`` — refinement from initial states;
+* ``[C subseteq A]`` — everywhere refinement;
+* ``[C <= A]`` — convergence refinement.
+
+The convergence-refinement procedure is the heart of the reproduction.
+It is exact on finite systems and works transition-locally:
+
+1. every transition of ``C`` reachable from ``C``'s initial states
+   must map to a transition of ``A`` (this gives the
+   ``[C subseteq A]_init`` clause);
+2. every transition of ``C`` anywhere in the state space must map to a
+   non-empty *path* of ``A`` — a length-1 path is an exact step, a
+   longer path is a *compression* (the concrete jumps over states the
+   abstract passes through, as in the paper's Section 4.2 diagram);
+3. no compressing transition may lie on a cycle of ``C``: a cycle
+   through a compression would be traversed infinitely often by some
+   computation, forcing infinitely many omissions, which the
+   convergence-isomorphism definition forbids;
+4. every terminal state of ``C`` must map to a terminal state of
+   ``A``, so the matched abstract computation is maximal where the
+   concrete one ends.
+
+Together, 1-4 hold iff ``[C <= A]``: given 2-4 one splices the
+abstract paths of consecutive concrete transitions into an abstract
+computation of which the concrete computation is a convergence
+isomorphism, and conversely each clause is necessary (a violation of
+any one yields a concrete computation with no abstract partner).
+
+Stuttering (``stutter_insensitive=True``) extends the relation to the
+paper's ``C3``, whose illegitimate-state tau steps repeat a state:
+transitions whose abstract image does not move are then permitted, as
+long as no cycle of ``C`` consists solely of such invisible steps
+(which would hide divergence).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+from ..core.abstraction import AbstractionFunction, identity_abstraction
+from ..core.state import State
+from ..core.system import System, Transition
+from .graph import shortest_path
+from .witnesses import CheckResult, Witness, WitnessKind
+
+__all__ = [
+    "check_init_refinement",
+    "check_everywhere_refinement",
+    "check_convergence_refinement",
+    "check_everywhere_eventually_refinement",
+    "compression_transitions",
+    "expand_to_abstract_path",
+]
+
+
+def _resolve_alpha(
+    concrete: System, abstract: System, alpha: Optional[AbstractionFunction]
+) -> AbstractionFunction:
+    """Default to the identity abstraction when schemas coincide."""
+    if alpha is not None:
+        return alpha
+    concrete.schema.require_compatible(
+        abstract.schema, "refinement check without an abstraction function"
+    )
+    return identity_abstraction(concrete.schema)
+
+
+def check_init_refinement(
+    concrete: System,
+    abstract: System,
+    alpha: Optional[AbstractionFunction] = None,
+    stutter_insensitive: bool = False,
+    open_systems: bool = False,
+) -> CheckResult:
+    """Decide ``[C subseteq A]_init``.
+
+    Every computation of ``C`` starting from an initial state must be
+    (map to) a computation of ``A``.  Decided transition-locally over
+    the reachable part of ``C``: reachable transitions must map to
+    transitions of ``A``, initial states must map into ``A``'s initial
+    states, and reachable terminal states must map to terminal states
+    (maximality).
+
+    Args:
+        concrete: the implementation ``C``.
+        abstract: the specification ``A``.
+        alpha: abstraction function; identity if omitted (schemas must
+            then match).
+        stutter_insensitive: permit concrete transitions whose image
+            does not move the abstract state.
+        open_systems: treat both systems as *open* (sets of transitions
+            rather than complete automata): finite paths need not be
+            maximal, so the terminal-state clauses are skipped.  This
+            is the right reading for the paper's wrappers, whose
+            standalone automata are disabled almost everywhere.
+    """
+    mapping = _resolve_alpha(concrete, abstract, alpha)
+    name = f"[{concrete.name} (= {abstract.name}]_init"
+    for state in concrete.initial:
+        image = mapping(state)
+        if image not in abstract.initial:
+            return CheckResult(
+                False,
+                name,
+                Witness(
+                    WitnessKind.ILLEGAL_TRANSITION,
+                    f"initial state maps to {image!r}, not initial in {abstract.name}",
+                    (state,),
+                    concrete.schema,
+                ),
+            )
+    reachable = concrete.reachable()
+    checked = 0
+    for state in reachable:
+        image = mapping(state)
+        successors = concrete.successors(state)
+        if not successors:
+            if not open_systems and not abstract.is_terminal(image):
+                return CheckResult(
+                    False,
+                    name,
+                    Witness(
+                        WitnessKind.BAD_TERMINAL,
+                        "reachable terminal state of the concrete maps to a "
+                        "non-terminal abstract state (maximality fails)",
+                        (state,),
+                        concrete.schema,
+                    ),
+                )
+            continue
+        for successor in successors:
+            checked += 1
+            target_image = mapping(successor)
+            if target_image == image and stutter_insensitive:
+                continue
+            if not abstract.has_transition(image, target_image):
+                return CheckResult(
+                    False,
+                    name,
+                    Witness(
+                        WitnessKind.ILLEGAL_TRANSITION,
+                        f"reachable transition has no image in {abstract.name}: "
+                        f"{image!r} -> {target_image!r}",
+                        (state, successor),
+                        concrete.schema,
+                    ),
+                )
+    return CheckResult(
+        True,
+        name,
+        detail=f"{len(reachable)} reachable states, {checked} transitions checked",
+    )
+
+
+def check_everywhere_refinement(
+    concrete: System,
+    abstract: System,
+    alpha: Optional[AbstractionFunction] = None,
+    stutter_insensitive: bool = False,
+    open_systems: bool = False,
+) -> CheckResult:
+    """Decide ``[C subseteq A]`` — every computation of ``C`` is one of ``A``.
+
+    Same conditions as :func:`check_init_refinement` but quantified
+    over the whole state space rather than the reachable part, and
+    without the initial-state clause (everywhere refinement constrains
+    behaviour, not initial sets).  ``open_systems`` skips the
+    maximality clause, as for :func:`check_init_refinement`.
+    """
+    mapping = _resolve_alpha(concrete, abstract, alpha)
+    name = f"[{concrete.name} (= {abstract.name}]"
+    checked = 0
+    for state in concrete.schema.states():
+        image = mapping(state)
+        successors = concrete.successors(state)
+        if not successors:
+            if not open_systems and not abstract.is_terminal(image):
+                return CheckResult(
+                    False,
+                    name,
+                    Witness(
+                        WitnessKind.BAD_TERMINAL,
+                        "terminal state of the concrete maps to a non-terminal "
+                        "abstract state (maximality fails)",
+                        (state,),
+                        concrete.schema,
+                    ),
+                )
+            continue
+        for successor in successors:
+            checked += 1
+            target_image = mapping(successor)
+            if target_image == image and stutter_insensitive:
+                continue
+            if not abstract.has_transition(image, target_image):
+                return CheckResult(
+                    False,
+                    name,
+                    Witness(
+                        WitnessKind.ILLEGAL_TRANSITION,
+                        f"transition has no image in {abstract.name}: "
+                        f"{image!r} -> {target_image!r}",
+                        (state, successor),
+                        concrete.schema,
+                    ),
+                )
+    return CheckResult(True, name, detail=f"{checked} transitions checked")
+
+
+def compression_transitions(
+    concrete: System,
+    abstract: System,
+    alpha: Optional[AbstractionFunction] = None,
+    stutter_insensitive: bool = False,
+) -> List[Transition]:
+    """All transitions of ``C`` that compress a multi-step path of ``A``.
+
+    A transition compresses when its abstract image is not a single
+    ``A``-transition but is realizable as an ``A``-path of length two
+    or more.  Raises nothing on unmatched transitions — those are the
+    business of :func:`check_convergence_refinement`; unmatched
+    transitions are simply skipped here.
+    """
+    mapping = _resolve_alpha(concrete, abstract, alpha)
+    result: List[Transition] = []
+    for source, target in concrete.transitions():
+        image_source, image_target = mapping(source), mapping(target)
+        if image_source == image_target and stutter_insensitive:
+            continue
+        if abstract.has_transition(image_source, image_target):
+            continue
+        if shortest_path(abstract, image_source, image_target, min_length=2) is not None:
+            result.append((source, target))
+    return result
+
+
+def check_convergence_refinement(
+    concrete: System,
+    abstract: System,
+    alpha: Optional[AbstractionFunction] = None,
+    stutter_insensitive: bool = False,
+    open_systems: bool = False,
+) -> CheckResult:
+    """Decide ``[C <= A]`` — convergence refinement (paper, Section 2).
+
+    See the module docstring for the four clauses and the argument
+    that they are sound and complete on finite systems.
+
+    Args:
+        concrete: the implementation ``C``.
+        abstract: the specification ``A``.
+        alpha: abstraction function from ``C``'s space onto ``A``'s;
+            identity when omitted.
+        stutter_insensitive: extend the relation modulo stuttering
+            (needed for the paper's ``C3``; see Section 6).
+        open_systems: treat both operands as open systems (wrappers):
+            skip the maximality/terminal clauses.
+
+    Returns:
+        :class:`CheckResult` whose detail reports how many transitions
+        were exact, compressing, and stuttering.
+    """
+    mapping = _resolve_alpha(concrete, abstract, alpha)
+    name = f"[{concrete.name} <= {abstract.name}]"
+
+    init_part = check_init_refinement(
+        concrete,
+        abstract,
+        mapping,
+        stutter_insensitive=stutter_insensitive,
+        open_systems=open_systems,
+    )
+    if not init_part.holds:
+        return CheckResult(False, name, init_part.witness, detail="init-refinement clause failed")
+
+    exact = 0
+    stutters: List[Transition] = []
+    compressions: List[Transition] = []
+    for source, target in concrete.transitions():
+        image_source, image_target = mapping(source), mapping(target)
+        if image_source == image_target:
+            if stutter_insensitive:
+                stutters.append((source, target))
+                continue
+            if abstract.has_transition(image_source, image_target):
+                exact += 1
+                continue
+            return CheckResult(
+                False,
+                name,
+                Witness(
+                    WitnessKind.NO_ABSTRACT_PATH,
+                    "stuttering transition but the abstract has no self-loop at "
+                    f"{image_source!r} (rerun with stutter_insensitive=True to "
+                    "compare modulo stuttering)",
+                    (source, target),
+                    concrete.schema,
+                ),
+            )
+        if abstract.has_transition(image_source, image_target):
+            exact += 1
+            continue
+        if shortest_path(abstract, image_source, image_target, min_length=2) is None:
+            return CheckResult(
+                False,
+                name,
+                Witness(
+                    WitnessKind.NO_ABSTRACT_PATH,
+                    f"no path of {abstract.name} realizes the image "
+                    f"{image_source!r} -> {image_target!r}",
+                    (source, target),
+                    concrete.schema,
+                ),
+            )
+        compressions.append((source, target))
+
+    # Clause 3: finitely many omissions — no compression on a cycle of C.
+    for source, target in compressions:
+        if source in concrete.reachable_from([target]):
+            return CheckResult(
+                False,
+                name,
+                Witness(
+                    WitnessKind.COMPRESSION_ON_CYCLE,
+                    "compressing transition lies on a cycle of the concrete "
+                    "system: a computation around the cycle omits abstract "
+                    "states infinitely often",
+                    (source, target),
+                    concrete.schema,
+                ),
+            )
+
+    # Invisible divergence: a cycle made purely of stutters would let C
+    # loop forever while the matched abstract computation cannot move.
+    if stutters:
+        stutter_only = System(
+            concrete.schema,
+            stutters,
+            initial=(),
+            name=f"{concrete.name}|stutter-edges",
+        )
+        visible_self_loops = {
+            (source, target)
+            for source, target in stutters
+            if source == target
+        }
+        for source, target in stutters:
+            if (source, target) in visible_self_loops:
+                # A literal self-loop is a fairness artefact; the caller
+                # models weak fairness by dropping self-loops up front.
+                continue
+            if source in stutter_only.reachable_from([target]):
+                return CheckResult(
+                    False,
+                    name,
+                    Witness(
+                        WitnessKind.COMPRESSION_ON_CYCLE,
+                        "cycle of abstract-invisible transitions: the concrete "
+                        "can diverge without the abstract moving",
+                        (source, target),
+                        concrete.schema,
+                    ),
+                )
+
+    # Clause 4: terminal states must map to terminal states (closed
+    # systems only; open systems have no maximality requirement).
+    for state in concrete.schema.states() if not open_systems else ():
+        if concrete.is_terminal(state) and not abstract.is_terminal(mapping(state)):
+            return CheckResult(
+                False,
+                name,
+                Witness(
+                    WitnessKind.BAD_TERMINAL,
+                    "terminal state of the concrete maps to a non-terminal "
+                    "abstract state: the matched abstract computation would "
+                    "not be maximal",
+                    (state,),
+                    concrete.schema,
+                ),
+            )
+
+    return CheckResult(
+        True,
+        name,
+        detail=(
+            f"{exact} exact transitions, {len(compressions)} compressions, "
+            f"{len(stutters)} stutters"
+        ),
+    )
+
+
+def expand_to_abstract_path(
+    concrete_sequence: Tuple[State, ...],
+    abstract: System,
+    alpha: Optional[AbstractionFunction] = None,
+    stutter_insensitive: bool = False,
+) -> Optional[Tuple[State, ...]]:
+    """Construct the abstract computation a concrete computation tracks.
+
+    Splices the per-transition abstract paths together: each concrete
+    step contributes either the matching single abstract transition or
+    the shortest multi-step abstract path it compresses.  This is the
+    constructive content of the completeness argument and is used to
+    reproduce the paper's Section 4.2 compression diagram.
+
+    Args:
+        concrete_sequence: a computation (or prefix) of the concrete
+            system, as produced by :meth:`System.computations`.
+        abstract: the specification automaton.
+        alpha: abstraction function; identity over the abstract schema
+            when omitted (the sequence is then assumed to be already in
+            abstract coordinates).
+        stutter_insensitive: skip concrete steps whose image stutters.
+
+    Returns:
+        The abstract state sequence, or ``None`` when some concrete
+        step has no abstract realization (i.e. the systems are not in
+        a convergence-refinement relation to begin with).
+    """
+    if not concrete_sequence:
+        return None
+    mapping = alpha if alpha is not None else identity_abstraction(abstract.schema)
+    result: List[State] = [mapping(concrete_sequence[0])]
+    for source, target in zip(concrete_sequence, concrete_sequence[1:]):
+        image_source, image_target = mapping(source), mapping(target)
+        if image_source == image_target:
+            if stutter_insensitive:
+                continue
+            if abstract.has_transition(image_source, image_target):
+                result.append(image_target)
+                continue
+            return None
+        if abstract.has_transition(image_source, image_target):
+            result.append(image_target)
+            continue
+        path = shortest_path(abstract, image_source, image_target, min_length=2)
+        if path is None:
+            return None
+        result.extend(path[1:])
+    return tuple(result)
+
+
+def check_everywhere_eventually_refinement(
+    concrete: System,
+    abstract: System,
+    alpha: Optional[AbstractionFunction] = None,
+) -> CheckResult:
+    """Decide the related-work relation of the paper's Section 7.
+
+    ``C`` is an *everywhere-eventually refinement* of ``A`` iff
+    ``[C (= A]_init`` and every computation of ``C`` is an arbitrary
+    finite prefix followed by a computation of ``A``.  The second
+    clause is exactly "``C`` is stabilizing to the automaton ``A``
+    with *every* state initial" — which reduces the check to the
+    stabilization fixpoint with ``I_A = Sigma_A``.
+
+    The relation is strictly more permissive than convergence
+    refinement: ``C`` may converge along recovery paths ``A`` never
+    uses (the paper's odd-states vs even-states example, reproduced in
+    :mod:`repro.counterexamples.recovery_paths`).
+    """
+    from .convergence import check_stabilization
+
+    mapping = _resolve_alpha(concrete, abstract, alpha)
+    name = f"[{concrete.name} ee-refines {abstract.name}]"
+    init_part = check_init_refinement(concrete, abstract, mapping)
+    if not init_part.holds:
+        return CheckResult(False, name, init_part.witness,
+                           detail="init-refinement clause failed")
+    liberal = abstract.with_initial(
+        abstract.schema.states(), name=f"{abstract.name}|all-initial"
+    )
+    suffix_part = check_stabilization(
+        concrete, liberal, mapping, compute_steps=False
+    )
+    return CheckResult(
+        suffix_part.result.holds,
+        name,
+        suffix_part.result.witness,
+        detail=suffix_part.result.detail,
+    )

@@ -1,0 +1,107 @@
+"""Aggregated verification reports.
+
+The benchmark harness and the example scripts verify whole derivation
+chains (mapping well-formedness, wrapper refinement, convergence
+refinement, stabilization) and want to print one coherent table per
+experiment.  :class:`VerificationReport` collects named check results
+and renders them uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple, Union
+
+from .convergence import StabilizationResult
+from .witnesses import CheckResult
+
+__all__ = ["ReportEntry", "VerificationReport"]
+
+ResultLike = Union[CheckResult, StabilizationResult]
+
+
+@dataclass(frozen=True)
+class ReportEntry:
+    """One row of a verification report.
+
+    Attributes:
+        label: the paper artifact being checked (e.g. ``"Lemma 7"``).
+        result: the check outcome.
+        note: optional free-form annotation (parameters, fairness mode).
+    """
+
+    label: str
+    result: ResultLike
+    note: str = ""
+
+    @property
+    def holds(self) -> bool:
+        """Verdict of the underlying check."""
+        return bool(self.result)
+
+
+class VerificationReport:
+    """An ordered collection of labelled check results.
+
+    Example:
+        >>> report = VerificationReport("Theorem 8, N=3")
+        >>> # report.add("Lemma 7", some_check_result)
+        >>> # print(report.render())
+    """
+
+    def __init__(self, title: str):
+        self._title = title
+        self._entries: List[ReportEntry] = []
+
+    @property
+    def title(self) -> str:
+        """Report heading."""
+        return self._title
+
+    @property
+    def entries(self) -> Tuple[ReportEntry, ...]:
+        """All rows added so far, in insertion order."""
+        return tuple(self._entries)
+
+    def add(self, label: str, result: ResultLike, note: str = "") -> ReportEntry:
+        """Append a row and return it."""
+        entry = ReportEntry(label, result, note)
+        self._entries.append(entry)
+        return entry
+
+    def all_hold(self) -> bool:
+        """True iff every recorded check succeeded."""
+        return all(entry.holds for entry in self._entries)
+
+    def failures(self) -> Tuple[ReportEntry, ...]:
+        """The rows whose checks failed."""
+        return tuple(entry for entry in self._entries if not entry.holds)
+
+    def render(self, verbose: bool = False) -> str:
+        """Render the report as a text table.
+
+        Args:
+            verbose: include full witness/detail text for every row;
+                otherwise failures only.
+        """
+        width = max([len(entry.label) for entry in self._entries] + [len(self._title)])
+        lines = [self._title, "=" * len(self._title)]
+        for entry in self._entries:
+            verdict = "ok" if entry.holds else "FAIL"
+            note = f"  ({entry.note})" if entry.note else ""
+            lines.append(f"{entry.label.ljust(width)}  {verdict}{note}")
+            body = entry.result.format()
+            if verbose or not entry.holds:
+                lines.extend("    " + line for line in body.splitlines())
+        summary = "all checks hold" if self.all_hold() else (
+            f"{len(self.failures())} of {len(self._entries)} checks FAILED"
+        )
+        lines.append("-" * len(self._title))
+        lines.append(summary)
+        return "\n".join(lines)
+
+    def expect_all(self) -> "VerificationReport":
+        """Raise :class:`AssertionError` with the rendered report on any failure."""
+        if not self.all_hold():
+            raise AssertionError(self.render(verbose=True))
+        return self

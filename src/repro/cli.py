@@ -1,0 +1,316 @@
+"""Command-line interface: verify and simulate guarded-command programs.
+
+Subcommands::
+
+    python -m repro check FILE [--spec FILE] [--fairness MODE] ...
+    python -m repro refines CONCRETE ABSTRACT [--relation R] ...
+    python -m repro ring SYSTEM -n N [--fairness MODE]
+    python -m repro simulate FILE [--steps N] [--seed S] ...
+    python -m repro render FILE
+    python -m repro synthesize FILE [--spec FILE]
+
+``check`` decides self-stabilization of a program (or stabilization to
+a second program over the same variables); ``refines`` decides one of
+the paper's refinement relations between two programs; ``ring`` runs a
+named token-ring verification from the reproduction; ``simulate`` runs
+the random-daemon simulator and prints the trace tail; ``render``
+pretty-prints a parsed program (normalizing whitespace and sugar).
+
+All commands exit with status 0 when the checked property holds (or
+the run completes) and 1 otherwise, printing the witness, so the CLI
+is usable from shell scripts and CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .checker import (
+    check_convergence_refinement,
+    check_everywhere_eventually_refinement,
+    check_everywhere_refinement,
+    check_init_refinement,
+    check_self_stabilization,
+    check_stabilization,
+)
+from .gcl.parser import parse_program
+from .gcl.pretty import render_program
+from .simulation.runner import simulate
+
+__all__ = ["main", "build_parser"]
+
+_RELATIONS: Dict[str, Callable] = {
+    "init": check_init_refinement,
+    "everywhere": check_everywhere_refinement,
+    "convergence": check_convergence_refinement,
+    "everywhere-eventually": check_everywhere_eventually_refinement,
+}
+
+_RING_SYSTEMS = (
+    "btr",
+    "c1",
+    "dijkstra4",
+    "c2-composed",
+    "dijkstra3",
+    "c3",
+    "c3-composed",
+    "kstate",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for --help tests and shell completion)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Convergence-refinement toolkit "
+        "(reproduction of Demirbas & Arora, ICDCS 2002)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    check = commands.add_parser(
+        "check", help="check (self-)stabilization of a GCL program"
+    )
+    check.add_argument("program", help="path to the GCL program file")
+    check.add_argument(
+        "--spec",
+        help="path to a specification program over the same variables "
+        "(default: the program itself, i.e. self-stabilization)",
+    )
+    check.add_argument(
+        "--fairness",
+        choices=("none", "weak", "strong"),
+        default="none",
+        help="daemon fairness assumption (default: none)",
+    )
+    check.add_argument(
+        "--stutter-insensitive",
+        action="store_true",
+        help="compare behaviours modulo stuttering",
+    )
+
+    refines = commands.add_parser(
+        "refines", help="check a refinement relation between two programs"
+    )
+    refines.add_argument("concrete", help="path to the implementation program")
+    refines.add_argument("abstract", help="path to the specification program")
+    refines.add_argument(
+        "--relation",
+        choices=sorted(_RELATIONS),
+        default="convergence",
+        help="which relation to decide (default: convergence)",
+    )
+    refines.add_argument("--stutter-insensitive", action="store_true")
+    refines.add_argument(
+        "--open-systems",
+        action="store_true",
+        help="treat both programs as open systems (wrappers): skip the "
+        "maximality clauses",
+    )
+
+    ring = commands.add_parser(
+        "ring", help="verify a named token-ring system from the paper"
+    )
+    ring.add_argument("system", choices=_RING_SYSTEMS)
+    ring.add_argument("-n", "--processes", type=int, default=4)
+    ring.add_argument("-k", type=int, default=None,
+                      help="counter modulus for kstate (default: n)")
+    ring.add_argument(
+        "--fairness", choices=("none", "weak", "strong"), default=None,
+        help="daemon fairness (default: the weakest known-sufficient mode)",
+    )
+
+    sim = commands.add_parser("simulate", help="simulate a GCL program")
+    sim.add_argument("program", help="path to the GCL program file")
+    sim.add_argument("--steps", type=int, default=100)
+    sim.add_argument("--seed", type=int, default=0)
+    sim.add_argument(
+        "--tail", type=int, default=10, help="how many final events to print"
+    )
+
+    render = commands.add_parser("render", help="parse and pretty-print a program")
+    render.add_argument("program", help="path to the GCL program file")
+
+    synth = commands.add_parser(
+        "synthesize",
+        help="synthesize a stabilization wrapper for a program and print "
+        "it as GCL",
+    )
+    synth.add_argument("program", help="path to the GCL program file")
+    synth.add_argument(
+        "--spec",
+        help="specification program over the same variables "
+        "(default: the program itself)",
+    )
+    synth.add_argument("--stutter-insensitive", action="store_true")
+
+    return parser
+
+
+def _load(path: str):
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_program(handle.read())
+
+
+def _cmd_check(args) -> int:
+    system = _load(args.program).compile()
+    if args.spec:
+        spec = _load(args.spec).compile()
+        result = check_stabilization(
+            system,
+            spec,
+            stutter_insensitive=args.stutter_insensitive,
+            fairness=args.fairness,
+        )
+    else:
+        result = check_self_stabilization(system, fairness=args.fairness)
+    print(result.format())
+    return 0 if result.holds else 1
+
+
+def _cmd_refines(args) -> int:
+    concrete = _load(args.concrete).compile()
+    abstract = _load(args.abstract).compile()
+    checkfn = _RELATIONS[args.relation]
+    kwargs = {}
+    if args.relation != "everywhere-eventually":
+        kwargs["stutter_insensitive"] = args.stutter_insensitive
+        kwargs["open_systems"] = args.open_systems
+    result = checkfn(concrete, abstract, **kwargs)
+    print(result.format())
+    return 0 if result.holds else 1
+
+
+def _cmd_ring(args) -> int:
+    from .rings import (
+        btr3_abstraction,
+        btr4_abstraction,
+        btr_program,
+        c1_program,
+        c2_program,
+        c3_composed,
+        c3_program,
+        dijkstra_four_state,
+        dijkstra_three_state,
+        kstate_program,
+        utr_program,
+        utr_abstraction,
+        w1_local_program,
+        w2_refined_program,
+    )
+
+    def c2_composed(n_processes: int):
+        return (
+            c2_program(n_processes)
+            .merged_with(w1_local_program(n_processes))
+            .merged_with(
+                w2_refined_program(n_processes), name="C2 [] W1'' [] W2'"
+            )
+        )
+
+    n = args.processes
+    # (builder, spec builder, abstraction builder, weakest fairness, stutter)
+    table = {
+        "btr": (btr_program, btr_program, None, "none", False),
+        "c1": (c1_program, btr_program, btr4_abstraction, "none", False),
+        "dijkstra4": (dijkstra_four_state, btr_program, btr4_abstraction, "none", False),
+        "c2-composed": (c2_composed, btr_program, btr3_abstraction, "strong", False),
+        "dijkstra3": (dijkstra_three_state, btr_program, btr3_abstraction, "none", False),
+        "c3": (c3_program, btr_program, btr3_abstraction, "strong", True),
+        "c3-composed": (c3_composed, btr_program, btr3_abstraction, "strong", True),
+        "kstate": (None, None, None, "none", False),
+    }
+    if args.system == "kstate":
+        k = args.k or n
+        system = kstate_program(n, k).compile()
+        spec = utr_program(n).compile()
+        alpha = utr_abstraction(n, k)
+        fairness = args.fairness or "none"
+        stutter = False
+    else:
+        builder, spec_builder, alpha_builder, default_fairness, stutter = table[
+            args.system
+        ]
+        system = builder(n).compile()
+        spec = spec_builder(n).compile()
+        alpha = alpha_builder(n) if alpha_builder else None
+        fairness = args.fairness or default_fairness
+    result = check_stabilization(
+        system, spec, alpha, stutter_insensitive=stutter, fairness=fairness
+    )
+    print(f"fairness assumption: {fairness}")
+    print(result.format())
+    return 0 if result.holds else 1
+
+
+def _cmd_simulate(args) -> int:
+    program = _load(args.program)
+    trace = simulate(program, args.steps, rng=random.Random(args.seed))
+    schema = program.schema()
+    print(f"initial: {schema.format_state(program.state_of(trace.initial))}")
+    events = trace.events
+    skipped = max(0, len(events) - args.tail)
+    if skipped:
+        print(f"... {skipped} earlier events ...")
+    for event in events[skipped:]:
+        state = program.state_of(event.env)
+        print(f"[{event.kind}] {event.label}: {schema.format_state(state)}")
+    print(f"total: {trace.step_count()} steps, {trace.fault_count()} faults")
+    return 0
+
+
+def _cmd_render(args) -> int:
+    print(render_program(_load(args.program)))
+    return 0
+
+
+def _cmd_synthesize(args) -> int:
+    from .synthesis import synthesize_wrapper, system_to_program
+
+    program = _load(args.program)
+    system = program.compile()
+    spec = _load(args.spec).compile() if args.spec else system
+    result = synthesize_wrapper(
+        system, spec, stutter_insensitive=args.stutter_insensitive
+    )
+    print(f"# {result.summary()}", file=sys.stderr)
+    wrapper_program = system_to_program(
+        result.wrapper, list(program.variables),
+        name=f"{program.name}_wrapper",
+    )
+    print(render_program(wrapper_program))
+    return 0 if result.holds else 1
+
+
+_DISPATCH = {
+    "check": _cmd_check,
+    "refines": _cmd_refines,
+    "ring": _cmd_ring,
+    "simulate": _cmd_simulate,
+    "render": _cmd_render,
+    "synthesize": _cmd_synthesize,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit status."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _DISPATCH[args.command](args)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except Exception as exc:  # surfaced as a clean CLI error, not a traceback
+        from .core.errors import ReproError
+
+        if isinstance(exc, ReproError):
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        raise
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,134 @@
+"""The paper's core theory: systems, refinements, stabilization.
+
+This package realizes Section 2 of *Convergence Refinement*
+(Demirbas & Arora, ICDCS 2002):
+
+* :mod:`repro.core.state` / :mod:`repro.core.system` — the automaton
+  model ``(Sigma, T, I)`` and its computations;
+* :mod:`repro.core.isomorphism` — convergence isomorphism between
+  state sequences;
+* :mod:`repro.core.refinement` — ``[C (= A]_init``, ``[C (= A]``,
+  and ``[C <= A]`` (both the literal computation-level oracles and
+  the efficient graph procedures);
+* :mod:`repro.core.stabilization` — "C is stabilizing to A";
+* :mod:`repro.core.composition` — the box operator ``[]``;
+* :mod:`repro.core.abstraction` — abstraction functions between
+  state spaces (Section 2.3);
+* :mod:`repro.core.theorems` — executable instances of Theorems 0-5.
+
+The refinement/stabilization/theorem re-exports are resolved lazily
+(PEP 562): those modules pull in :mod:`repro.checker`, which itself
+builds on the state/system layer of this package, and lazy resolution
+keeps the import graph acyclic regardless of which package a user
+imports first.
+"""
+
+from .abstraction import AbstractionFunction, identity_abstraction
+from .composition import box, box_many
+from .computation import (
+    common_suffix_start,
+    is_subsequence,
+    is_suffix,
+    omission_count,
+    remove_stutter,
+    subsequence_embedding,
+    suffixes,
+)
+from .errors import (
+    AbstractionError,
+    CompositionError,
+    GCLError,
+    GCLEvalError,
+    GCLParseError,
+    RefinementError,
+    ReproError,
+    SchemaMismatchError,
+    SimulationError,
+    StateSpaceError,
+    VerificationError,
+)
+from .isomorphism import (
+    IsomorphismVerdict,
+    check_convergence_isomorphism,
+    is_convergence_isomorphism,
+)
+from .state import State, StateSchema, StateSpace
+from .system import System, successors_closure
+
+#: Names resolved lazily from submodules that depend on repro.checker.
+_LAZY_EXPORTS = {
+    "check_convergence_refinement": "refinement",
+    "check_everywhere_refinement": "refinement",
+    "check_init_refinement": "refinement",
+    "compression_transitions": "refinement",
+    "convergence_refines_on_computations": "refinement",
+    "everywhere_refines_on_computations": "refinement",
+    "expand_to_abstract_path": "refinement",
+    "refines_init_on_computations": "refinement",
+    "StabilizationResult": "stabilization",
+    "behavioural_core": "stabilization",
+    "check_self_stabilization": "stabilization",
+    "check_stabilization": "stabilization",
+    "legitimate_abstract_states": "stabilization",
+    "sequence_has_legitimate_suffix": "stabilization",
+    "stabilizes_on_computations": "stabilization",
+    "worst_case_convergence_steps": "stabilization",
+    "graybox_instance": "theorems",
+    "lemma2_instance": "theorems",
+    "lemma4_instance": "theorems",
+    "theorem0_instance": "theorems",
+    "theorem1_instance": "theorems",
+    "theorem3_instance": "theorems",
+    "theorem5_instance": "theorems",
+}
+
+
+def __getattr__(name: str):
+    """Lazily import the checker-dependent re-exports (PEP 562)."""
+    module_name = _LAZY_EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    from importlib import import_module
+
+    module = import_module(f".{module_name}", __name__)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY_EXPORTS))
+
+
+__all__ = [
+    "AbstractionFunction",
+    "identity_abstraction",
+    "box",
+    "box_many",
+    "common_suffix_start",
+    "is_subsequence",
+    "is_suffix",
+    "omission_count",
+    "remove_stutter",
+    "subsequence_embedding",
+    "suffixes",
+    "AbstractionError",
+    "CompositionError",
+    "GCLError",
+    "GCLEvalError",
+    "GCLParseError",
+    "RefinementError",
+    "ReproError",
+    "SchemaMismatchError",
+    "SimulationError",
+    "StateSpaceError",
+    "VerificationError",
+    "IsomorphismVerdict",
+    "check_convergence_isomorphism",
+    "is_convergence_isomorphism",
+    "State",
+    "StateSchema",
+    "StateSpace",
+    "System",
+    "successors_closure",
+] + sorted(_LAZY_EXPORTS)

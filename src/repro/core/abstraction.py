@@ -1,0 +1,167 @@
+"""Abstraction functions between state spaces (paper, Section 2.3).
+
+When the implementation ``C`` and the specification ``A`` use
+different state spaces, the paper relates them through an abstraction
+function: a *total* mapping from ``Sigma_C`` *onto* ``Sigma_A``.
+All refinement and stabilization definitions are then read through
+the function — a computation of ``C`` "is" a computation of ``A``
+when its pointwise image is.
+
+:class:`AbstractionFunction` wraps a plain Python callable together
+with the two schemas, and can check totality and surjectivity by
+exhaustive enumeration (the instances verified in this reproduction
+are small by construction).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Iterable, Optional, Sequence, Tuple
+
+from .errors import AbstractionError
+from .state import State, StateSchema
+from .system import System
+
+__all__ = ["AbstractionFunction", "identity_abstraction"]
+
+
+class AbstractionFunction:
+    """A total mapping from a concrete state space onto an abstract one.
+
+    Args:
+        concrete_schema: schema of ``Sigma_C``.
+        abstract_schema: schema of ``Sigma_A``.
+        mapping: callable taking a concrete state tuple to an abstract
+            state tuple.
+        name: display name used in reports.
+
+    The callable is memoized per concrete state: the derivations apply
+    the mapping to every state of every transition many times.
+    """
+
+    def __init__(
+        self,
+        concrete_schema: StateSchema,
+        abstract_schema: StateSchema,
+        mapping: Callable[[State], State],
+        name: str = "alpha",
+    ):
+        self._concrete = concrete_schema
+        self._abstract = abstract_schema
+        self._mapping = mapping
+        self._name = name
+        self._cache: Dict[State, State] = {}
+
+    @property
+    def concrete_schema(self) -> StateSchema:
+        """Schema of the concrete (implementation) state space."""
+        return self._concrete
+
+    @property
+    def abstract_schema(self) -> StateSchema:
+        """Schema of the abstract (specification) state space."""
+        return self._abstract
+
+    @property
+    def name(self) -> str:
+        """Display name of the abstraction function."""
+        return self._name
+
+    def __call__(self, state: State) -> State:
+        """Apply the abstraction to one concrete state.
+
+        Raises:
+            AbstractionError: if the input is not a concrete state or
+                the image is not an abstract state (non-totality).
+        """
+        cached = self._cache.get(state)
+        if cached is not None:
+            return cached
+        try:
+            self._concrete.validate(state)
+        except Exception as exc:
+            raise AbstractionError(f"{self._name}: input is not a concrete state: {exc}")
+        image = self._mapping(state)
+        try:
+            self._abstract.validate(image)
+        except Exception as exc:
+            raise AbstractionError(
+                f"{self._name}: image {image!r} of {state!r} is not an abstract state: {exc}"
+            )
+        self._cache[state] = image
+        return image
+
+    def map_sequence(self, sequence: Sequence[State]) -> Tuple[State, ...]:
+        """Pointwise image of a state sequence."""
+        return tuple(self(state) for state in sequence)
+
+    def image_of_states(self, states: Iterable[State]) -> FrozenSet[State]:
+        """Set image of a set of concrete states."""
+        return frozenset(self(state) for state in states)
+
+    def check_total(self) -> bool:
+        """Exhaustively verify totality over the concrete state space.
+
+        Returns True when every concrete state has a well-formed image;
+        :class:`AbstractionError` from ``__call__`` is allowed to
+        propagate so the offending state is reported.
+        """
+        for state in self._concrete.states():
+            self(state)
+        return True
+
+    def check_onto(self) -> bool:
+        """Exhaustively verify surjectivity onto the abstract space."""
+        image = {self(state) for state in self._concrete.states()}
+        return image == set(self._abstract.states())
+
+    def missed_abstract_states(self) -> FrozenSet[State]:
+        """Abstract states with no concrete preimage (empty iff onto)."""
+        image = {self(state) for state in self._concrete.states()}
+        return frozenset(set(self._abstract.states()) - image)
+
+    def preimage(self, abstract_state: State) -> FrozenSet[State]:
+        """All concrete states mapping to ``abstract_state``.
+
+        Enumerates the concrete space; intended for small instances and
+        for tests of surjectivity witnesses.
+        """
+        self._abstract.validate(abstract_state)
+        return frozenset(
+            state for state in self._concrete.states() if self(state) == abstract_state
+        )
+
+    def image_system(self, system: System, name: Optional[str] = None) -> System:
+        """The pointwise image automaton of a concrete system.
+
+        Every concrete transition ``(s, t)`` becomes the abstract
+        transition ``(alpha(s), alpha(t))``; transitions whose image
+        collapses to a stutter ``(u, u)`` are kept, since whether
+        stuttering is meaningful is decided by the caller (see
+        :meth:`repro.core.system.System.without_self_loops`).
+        """
+        transitions = [
+            (self(source), self(target)) for source, target in system.transitions()
+        ]
+        initial = [self(state) for state in system.initial]
+        return System(
+            self._abstract,
+            transitions,
+            initial,
+            name=name or f"{self._name}({system.name})",
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AbstractionFunction({self._name!r}, "
+            f"{self._concrete.describe()} -> {self._abstract.describe()})"
+        )
+
+
+def identity_abstraction(schema: StateSchema) -> AbstractionFunction:
+    """The identity abstraction on a schema.
+
+    Lets every check in the library be written uniformly against an
+    abstraction function: same-state-space comparisons (the paper's
+    Sections 2.1-2.2) simply pass the identity.
+    """
+    return AbstractionFunction(schema, schema, lambda state: state, name="id")

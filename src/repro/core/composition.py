@@ -1,0 +1,86 @@
+"""The box operator ``[]`` — union of automata (paper, Section 2.2).
+
+The paper "adds" a wrapper ``W`` to a system ``A`` by taking the
+union of the two automata, written ``A [] W``.  Both operands must
+live over the same state space; the composite's transition relation
+is the union of the operands' relations.
+
+Initial states: a wrapper is a system over ``Sigma`` whose job is to
+add recovery transitions — it has no initial states of its own (its
+``I`` is empty), so the composite inherits ``A``'s initial states.
+The operator nevertheless unions the initial sets, which reduces to
+exactly that in the wrapper case and keeps ``[]`` commutative and
+associative in general.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Set, Tuple
+
+from .errors import CompositionError
+from .state import State
+from .system import System, Transition
+
+__all__ = ["box", "box_many"]
+
+
+def box(left: System, right: System, name: str | None = None) -> System:
+    """The union automaton ``left [] right``.
+
+    Args:
+        left: typically the base system ``A`` (or ``C``).
+        right: typically a wrapper ``W``.
+        name: display name of the composite; defaults to
+            ``"<left> [] <right>"``.
+
+    Returns:
+        A :class:`~repro.core.system.System` whose transition relation
+        and initial-state set are the unions of the operands', and
+        whose transition labels merge the operands' labels.
+
+    Raises:
+        CompositionError: if the operands' schemas differ — ``[]`` is
+            only defined over a common state space.  Cross-state-space
+            wrapping first refines the wrapper (paper, Theorem 5) and
+            then composes.
+    """
+    if not left.schema.compatible_with(right.schema):
+        raise CompositionError(
+            f"cannot compose {left.name!r} [] {right.name!r}: "
+            "operands use different state spaces"
+        )
+    transitions: Set[Transition] = set(left.transitions()) | set(right.transitions())
+    labels: Dict[Transition, Set[str]] = {}
+    for system in (left, right):
+        for pair in system.transitions():
+            recorded = system.labels_of(*pair)
+            if recorded:
+                labels.setdefault(pair, set()).update(recorded)
+    return System(
+        left.schema,
+        transitions,
+        left.initial | right.initial,
+        name=name or f"{left.name} [] {right.name}",
+        labels={pair: frozenset(names) for pair, names in labels.items()},
+    )
+
+
+def box_many(systems: Iterable[System], name: str | None = None) -> System:
+    """Fold :func:`box` over several systems, left to right.
+
+    Convenient for the paper's three-way composites such as
+    ``BTR [] W1 [] W2`` and ``C2 [] W1'' [] W2'``.
+
+    Raises:
+        CompositionError: if no system is given or schemas differ.
+    """
+    iterator = iter(systems)
+    try:
+        result = next(iterator)
+    except StopIteration:
+        raise CompositionError("box_many needs at least one system")
+    for system in iterator:
+        result = box(result, system)
+    if name is not None:
+        result = result.with_name(name)
+    return result

@@ -1,0 +1,116 @@
+"""Utilities over state sequences (computations).
+
+The definitions in Section 2 of the paper quantify over computations:
+*stabilization* talks about suffixes, and *convergence isomorphism*
+talks about subsequences with finitely many omissions.  This module
+collects the sequence-level predicates those definitions need, kept
+independent of any particular :class:`~repro.core.system.System` so
+they can be property-tested in isolation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from .state import State
+
+__all__ = [
+    "is_suffix",
+    "suffixes",
+    "is_subsequence",
+    "subsequence_embedding",
+    "omission_count",
+    "remove_stutter",
+    "common_suffix_start",
+]
+
+
+def is_suffix(candidate: Sequence[State], sequence: Sequence[State]) -> bool:
+    """True iff ``candidate`` equals a suffix of ``sequence``.
+
+    The empty sequence counts as a suffix of anything, matching the
+    usual convention; callers enforcing non-emptiness do so themselves.
+    """
+    n = len(candidate)
+    if n == 0:
+        return True
+    if n > len(sequence):
+        return False
+    return tuple(sequence[len(sequence) - n :]) == tuple(candidate)
+
+
+def suffixes(sequence: Sequence[State]) -> Iterable[Tuple[State, ...]]:
+    """Yield every non-empty suffix of ``sequence``, longest first."""
+    as_tuple = tuple(sequence)
+    for start in range(len(as_tuple)):
+        yield as_tuple[start:]
+
+
+def subsequence_embedding(
+    candidate: Sequence[State], sequence: Sequence[State]
+) -> Optional[List[int]]:
+    """Greedy left-most embedding of ``candidate`` into ``sequence``.
+
+    Returns the list of indices ``p`` such that
+    ``sequence[p[i]] == candidate[i]`` and ``p`` is strictly
+    increasing, or ``None`` if no embedding exists.  The greedy
+    left-most strategy is complete: an embedding exists iff the greedy
+    one succeeds.
+    """
+    positions: List[int] = []
+    cursor = 0
+    for item in candidate:
+        while cursor < len(sequence) and sequence[cursor] != item:
+            cursor += 1
+        if cursor == len(sequence):
+            return None
+        positions.append(cursor)
+        cursor += 1
+    return positions
+
+
+def is_subsequence(candidate: Sequence[State], sequence: Sequence[State]) -> bool:
+    """True iff ``candidate`` can be obtained from ``sequence`` by deletions."""
+    return subsequence_embedding(candidate, sequence) is not None
+
+
+def omission_count(candidate: Sequence[State], sequence: Sequence[State]) -> Optional[int]:
+    """Number of states dropped by the *best* embedding of ``candidate``.
+
+    For finite sequences every embedding omits exactly
+    ``len(sequence) - len(candidate)`` states, so the count does not
+    depend on the embedding chosen.  Returns ``None`` when ``candidate``
+    is not a subsequence of ``sequence``.
+    """
+    if not is_subsequence(candidate, sequence):
+        return None
+    return len(sequence) - len(candidate)
+
+
+def remove_stutter(sequence: Sequence[State]) -> Tuple[State, ...]:
+    """Collapse maximal runs of equal consecutive states to one state.
+
+    The paper's new 3-state system ``C3`` takes tau (stuttering) steps
+    in illegitimate states; comparing computations up to stuttering is
+    done by normalizing both sides with this function.
+    """
+    result: List[State] = []
+    for state in sequence:
+        if not result or result[-1] != state:
+            result.append(state)
+    return tuple(result)
+
+
+def common_suffix_start(left: Sequence[State], right: Sequence[State]) -> Optional[int]:
+    """Index into ``left`` where its longest common suffix with ``right`` begins.
+
+    Returns ``None`` when the sequences do not even share a final
+    state.  Useful for measuring how quickly two recovery paths merge.
+    """
+    i, j = len(left) - 1, len(right) - 1
+    if i < 0 or j < 0 or left[i] != right[j]:
+        return None
+    while i > 0 and j > 0 and left[i - 1] == right[j - 1]:
+        i -= 1
+        j -= 1
+    return i

@@ -1,0 +1,82 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific errors derive from :class:`ReproError` so that
+callers can catch every library failure with a single ``except``
+clause while still being able to distinguish the individual failure
+modes.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "StateSpaceError",
+    "SchemaMismatchError",
+    "CompositionError",
+    "AbstractionError",
+    "RefinementError",
+    "VerificationError",
+    "GCLError",
+    "GCLParseError",
+    "GCLEvalError",
+    "SimulationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the library."""
+
+
+class StateSpaceError(ReproError):
+    """A state is not a member of the state space it was used with."""
+
+
+class SchemaMismatchError(ReproError):
+    """Two systems or states with incompatible schemas were combined."""
+
+
+class CompositionError(ReproError):
+    """The box composition ``A [] W`` was applied to incompatible systems."""
+
+
+class AbstractionError(ReproError):
+    """An abstraction function is not total or not onto, or was misapplied."""
+
+
+class RefinementError(ReproError):
+    """A refinement check was invoked on malformed inputs."""
+
+
+class VerificationError(ReproError):
+    """A verification procedure could not be carried out (not a negative verdict)."""
+
+
+class GCLError(ReproError):
+    """Base class for guarded-command-language errors."""
+
+
+class GCLParseError(GCLError):
+    """The GCL parser rejected its input.
+
+    Attributes:
+        line: 1-based line of the offending token (``None`` if unknown).
+        column: 1-based column of the offending token (``None`` if unknown).
+    """
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}"
+            if column is not None:
+                location += f", column {column}"
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class GCLEvalError(GCLError):
+    """An expression or action could not be evaluated in a given state."""
+
+
+class SimulationError(ReproError):
+    """A simulation run was configured inconsistently."""

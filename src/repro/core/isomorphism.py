@@ -1,0 +1,119 @@
+"""Convergence isomorphism between state sequences.
+
+Paper, Section 2::
+
+    A state sequence c is a convergence isomorphism of a state
+    sequence a iff c is a subsequence of a with at most a finite
+    number of omissions and with the same initial and final (if any)
+    state as a.
+
+For explicit (finite) sequences the definition is directly decidable;
+that decision procedure lives here together with diagnostics that the
+checker package uses to explain failures.  The paper's worked example
+is covered by the doctests below:
+
+    >>> is_convergence_isomorphism("s1 s3 s6".split(), "s1 s2 s3 s4 s5 s6".split())
+    True
+    >>> is_convergence_isomorphism("s1 s3 s5 s6".split(), "s1 s2 s5 s6".split())
+    False
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from .computation import remove_stutter, subsequence_embedding
+from .state import State
+
+__all__ = [
+    "IsomorphismVerdict",
+    "check_convergence_isomorphism",
+    "is_convergence_isomorphism",
+]
+
+
+@dataclass(frozen=True)
+class IsomorphismVerdict:
+    """Outcome of a convergence-isomorphism check.
+
+    Attributes:
+        holds: the overall verdict.
+        reason: short human-readable explanation when ``holds`` is
+            false; empty string otherwise.
+        embedding: the witness embedding (indices into the abstract
+            sequence) when ``holds`` is true.
+        omissions: number of states the concrete sequence dropped.
+    """
+
+    holds: bool
+    reason: str = ""
+    embedding: Optional[Tuple[int, ...]] = None
+    omissions: int = 0
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+
+def check_convergence_isomorphism(
+    concrete: Sequence[State],
+    abstract: Sequence[State],
+    stutter_insensitive: bool = False,
+) -> IsomorphismVerdict:
+    """Decide whether ``concrete`` is a convergence isomorphism of ``abstract``.
+
+    Args:
+        concrete: the candidate sequence ``c`` (from the implementation).
+        abstract: the reference sequence ``a`` (from the specification).
+        stutter_insensitive: when true, both sequences are first
+            normalized by collapsing stuttering steps.  This is the
+            comparison appropriate for systems with tau steps such as
+            the paper's ``C3``; the paper's definition itself is the
+            default (``False``).
+
+    Returns:
+        An :class:`IsomorphismVerdict` carrying the witness embedding
+        or the reason for failure.  The check enforces all three
+        clauses of the definition: subsequence-ness, finitely many
+        omissions (trivial for finite inputs but reported), and equal
+        endpoints.
+    """
+    c = tuple(concrete)
+    a = tuple(abstract)
+    if stutter_insensitive:
+        c = remove_stutter(c)
+        a = remove_stutter(a)
+    if not c or not a:
+        return IsomorphismVerdict(False, "sequences must be non-empty")
+    if c[0] != a[0]:
+        return IsomorphismVerdict(
+            False, f"initial states differ: {c[0]!r} vs {a[0]!r}"
+        )
+    if c[-1] != a[-1]:
+        return IsomorphismVerdict(
+            False, f"final states differ: {c[-1]!r} vs {a[-1]!r}"
+        )
+    embedding = subsequence_embedding(c, a)
+    if embedding is None:
+        return IsomorphismVerdict(
+            False,
+            "concrete sequence is not a subsequence of the abstract sequence "
+            "(it inserts states not present, or reorders them)",
+        )
+    # Force the endpoints onto the endpoints of ``a``: the definition
+    # forbids dropping the initial and final states.  A left-most
+    # embedding already pins the first occurrence; re-pin the last.
+    if a[embedding[0]] != a[0]:  # pragma: no cover - defensive, c[0]==a[0] holds
+        return IsomorphismVerdict(False, "embedding does not start at the initial state")
+    embedding[-1] = len(a) - 1
+    omissions = len(a) - len(c)
+    return IsomorphismVerdict(True, "", tuple(embedding), omissions)
+
+
+def is_convergence_isomorphism(
+    concrete: Sequence[State],
+    abstract: Sequence[State],
+    stutter_insensitive: bool = False,
+) -> bool:
+    """Boolean form of :func:`check_convergence_isomorphism`."""
+    return check_convergence_isomorphism(concrete, abstract, stutter_insensitive).holds

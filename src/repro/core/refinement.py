@@ -1,0 +1,167 @@
+"""Definitional (computation-level) refinement checks.
+
+The :mod:`repro.checker` package decides the paper's relations with
+transition-local graph procedures.  This module implements the same
+relations *literally* — by enumerating bounded computations and
+checking the quantified definitions word for word.  The definitional
+forms are exponential and only usable on tiny systems, which is
+precisely their role: they are the oracle against which the efficient
+procedures are cross-validated in the test suite, mirroring how the
+paper justifies its lemmas by reasoning over computations.
+
+The efficient procedures are re-exported here as well, so user code
+can import everything refinement-related from one place:
+
+    from repro.core.refinement import check_convergence_refinement
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+from ..checker.refinement_check import (  # noqa: F401  (re-exported)
+    check_convergence_refinement,
+    check_everywhere_refinement,
+    check_init_refinement,
+    compression_transitions,
+    expand_to_abstract_path,
+)
+from .abstraction import AbstractionFunction, identity_abstraction
+from .isomorphism import check_convergence_isomorphism
+from .state import State
+from .system import System
+
+__all__ = [
+    "refines_init_on_computations",
+    "everywhere_refines_on_computations",
+    "convergence_refines_on_computations",
+    "check_init_refinement",
+    "check_everywhere_refinement",
+    "check_convergence_refinement",
+    "compression_transitions",
+    "expand_to_abstract_path",
+]
+
+
+def _image_is_computation(
+    sequence: Tuple[State, ...],
+    abstract: System,
+    alpha: AbstractionFunction,
+    complete: bool,
+) -> bool:
+    """Does the pointwise image of ``sequence`` form an ``A``-computation?
+
+    Args:
+        complete: whether ``sequence`` is a whole (finite, maximal)
+            computation — then the image must be maximal in ``A`` —
+            or just a prefix, for which path-validity suffices.
+    """
+    image = alpha.map_sequence(sequence)
+    for current, following in zip(image, image[1:]):
+        if not abstract.has_transition(current, following):
+            return False
+    if complete and not abstract.is_terminal(image[-1]):
+        return False
+    return True
+
+
+def refines_init_on_computations(
+    concrete: System,
+    abstract: System,
+    alpha: Optional[AbstractionFunction] = None,
+    max_length: int = 8,
+) -> bool:
+    """Literal check of ``[C (= A]_init`` over bounded computations.
+
+    Enumerates every computation (prefix) of ``C`` of at most
+    ``max_length`` states from each initial state and tests that its
+    image is a computation (prefix) of ``A``.  Exhaustive — and
+    therefore exact — whenever ``max_length`` exceeds the length of
+    the longest simple path plus one, but intended for tiny systems
+    regardless.
+    """
+    mapping = alpha if alpha is not None else identity_abstraction(concrete.schema)
+    for start in concrete.initial:
+        if mapping(start) not in abstract.initial:
+            return False
+        for sequence in concrete.computations(start, max_length):
+            complete = concrete.is_terminal(sequence[-1])
+            if not _image_is_computation(sequence, abstract, mapping, complete):
+                return False
+    return True
+
+
+def everywhere_refines_on_computations(
+    concrete: System,
+    abstract: System,
+    alpha: Optional[AbstractionFunction] = None,
+    max_length: int = 8,
+) -> bool:
+    """Literal check of ``[C (= A]`` over bounded computations.
+
+    As :func:`refines_init_on_computations` but quantifying over
+    computations from *every* state of the concrete space.
+    """
+    mapping = alpha if alpha is not None else identity_abstraction(concrete.schema)
+    for start in concrete.schema.states():
+        for sequence in concrete.computations(start, max_length):
+            complete = concrete.is_terminal(sequence[-1])
+            if not _image_is_computation(sequence, abstract, mapping, complete):
+                return False
+    return True
+
+
+def convergence_refines_on_computations(
+    concrete: System,
+    abstract: System,
+    alpha: Optional[AbstractionFunction] = None,
+    max_length: int = 8,
+    stutter_insensitive: bool = False,
+) -> bool:
+    """Literal check of ``[C <= A]`` over bounded computations.
+
+    For every bounded computation of ``C`` (from every state), a
+    witness abstract computation is constructed by splicing shortest
+    abstract paths (:func:`expand_to_abstract_path`) and the
+    convergence-isomorphism definition is then checked verbatim on the
+    pair.  Also requires the initial-refinement clause.
+
+    Note: like the other ``*_on_computations`` helpers this bounds the
+    computations it looks at; it is an oracle for cross-validation,
+    not the production decision procedure.
+    """
+    mapping = alpha if alpha is not None else identity_abstraction(concrete.schema)
+    if stutter_insensitive:
+        # Initial-refinement clause modulo stuttering: the image of a
+        # reachable computation, with stutters collapsed, must be a
+        # path of A starting from an A-initial state.
+        from .computation import remove_stutter
+
+        for start in concrete.initial:
+            if mapping(start) not in abstract.initial:
+                return False
+            for sequence in concrete.computations(start, max_length):
+                image = remove_stutter(mapping.map_sequence(sequence))
+                for current, following in zip(image, image[1:]):
+                    if not abstract.has_transition(current, following):
+                        return False
+    else:
+        if not refines_init_on_computations(
+            concrete, abstract, mapping, max_length=max_length
+        ):
+            return False
+    for start in concrete.schema.states():
+        for sequence in concrete.computations(start, max_length):
+            witness = expand_to_abstract_path(
+                sequence, abstract, mapping, stutter_insensitive=stutter_insensitive
+            )
+            if witness is None:
+                return False
+            verdict = check_convergence_isomorphism(
+                mapping.map_sequence(sequence),
+                witness,
+                stutter_insensitive=stutter_insensitive,
+            )
+            if not verdict.holds:
+                return False
+    return True

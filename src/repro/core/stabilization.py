@@ -1,0 +1,122 @@
+"""Definitional (computation-level) stabilization checks.
+
+Paper, Section 2::
+
+    C is stabilizing to A iff every computation of C has a suffix
+    that is a suffix of some computation of A that starts at an
+    initial state of A.
+
+A *suffix of some computation of A from an initial state* is exactly
+a path of ``A`` that (i) starts at a state reachable from ``A``'s
+initial states, (ii) follows ``A``'s transitions, and (iii) is
+maximal where it ends.  The bounded oracle below checks the
+definition literally, computation by computation, and is used in the
+test suite to cross-validate the fixpoint procedure in
+:mod:`repro.checker.convergence` (which is re-exported here for
+convenience).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from ..checker.convergence import (  # noqa: F401  (re-exported)
+    StabilizationResult,
+    behavioural_core,
+    check_self_stabilization,
+    check_stabilization,
+    legitimate_abstract_states,
+    worst_case_convergence_steps,
+)
+from .abstraction import AbstractionFunction, identity_abstraction
+from .computation import remove_stutter
+from .state import State
+from .system import System
+
+__all__ = [
+    "sequence_has_legitimate_suffix",
+    "stabilizes_on_computations",
+    "StabilizationResult",
+    "behavioural_core",
+    "check_self_stabilization",
+    "check_stabilization",
+    "legitimate_abstract_states",
+    "worst_case_convergence_steps",
+]
+
+
+def sequence_has_legitimate_suffix(
+    sequence: Sequence[State],
+    abstract: System,
+    complete: bool,
+    stutter_insensitive: bool = False,
+) -> bool:
+    """Does ``sequence`` (already in abstract coordinates) have a suffix
+    that is a suffix of a computation of ``A`` from an initial state?
+
+    Args:
+        sequence: the abstract image of a concrete computation.
+        abstract: the target specification ``A``.
+        complete: whether the underlying concrete computation is whole
+            (ends in a terminal state) — then the matching suffix must
+            be maximal in ``A`` too — or merely a bounded prefix, for
+            which the one-state suffix reaching a legitimate state is
+            enough evidence at this bound.
+        stutter_insensitive: collapse stuttering before matching.
+    """
+    states = remove_stutter(sequence) if stutter_insensitive else tuple(sequence)
+    if not states:
+        return False
+    legitimate = abstract.reachable()
+    for start_index in range(len(states)):
+        suffix = states[start_index:]
+        if suffix[0] not in legitimate:
+            continue
+        if any(
+            not abstract.has_transition(current, following)
+            for current, following in zip(suffix, suffix[1:])
+        ):
+            continue
+        if complete and not abstract.is_terminal(suffix[-1]):
+            continue
+        return True
+    return False
+
+
+def stabilizes_on_computations(
+    concrete: System,
+    abstract: System,
+    alpha: Optional[AbstractionFunction] = None,
+    max_length: int = 12,
+    stutter_insensitive: bool = False,
+    fairness: str = "none",
+) -> bool:
+    """Literal bounded check of "``C`` is stabilizing to ``A``".
+
+    Enumerates every computation (prefix) of ``C`` up to ``max_length``
+    states from *every* state of the concrete space and applies the
+    suffix definition to its abstract image.
+
+    The check is exact for refutation at sufficient bounds (a missing
+    suffix in every extension shows up as a bounded computation whose
+    image never touches a legitimate state from which it behaves
+    legally); for confirmation it is a bounded approximation — the
+    production procedure is :func:`check_stabilization`.
+
+    Args:
+        fairness: ``'weak'`` drops self-loops before enumeration,
+            matching the treatment of stuttering systems.
+    """
+    if fairness not in ("none", "weak"):
+        raise ValueError(f"unknown fairness mode {fairness!r}")
+    mapping = alpha if alpha is not None else identity_abstraction(concrete.schema)
+    system = concrete.without_self_loops() if fairness == "weak" else concrete
+    for start in system.schema.states():
+        for sequence in system.computations(start, max_length):
+            complete = system.is_terminal(sequence[-1])
+            image = mapping.map_sequence(sequence)
+            if not sequence_has_legitimate_suffix(
+                image, abstract, complete, stutter_insensitive=stutter_insensitive
+            ):
+                return False
+    return True

@@ -1,0 +1,56 @@
+"""The paper's Section 1 counterexamples, built from scratch.
+
+* :mod:`repro.counterexamples.java_compile` — the compiled-loop
+  example with a miniature stack VM;
+* :mod:`repro.counterexamples.bidding` — the bidding-server spec vs
+  its sorted-list implementation;
+* :mod:`repro.counterexamples.figure1` — Figure 1's refinement that
+  is not stabilization-preserving.
+"""
+
+from .bidding import (
+    MAX_INT,
+    SortedListBiddingServer,
+    SpecBiddingServer,
+    best_k,
+    demonstrate,
+    tolerance_holds,
+)
+from .figure1 import STAR, figure1_abstract, figure1_concrete, figure1_schema
+from .recovery_paths import (
+    even_path_concrete,
+    odd_path_abstract,
+    recovery_schema,
+)
+from .java_compile import (
+    BYTECODE,
+    Instruction,
+    abstract_loop_system,
+    bytecode_abstraction,
+    bytecode_system,
+    corruption_states,
+    vm_step,
+)
+
+__all__ = [
+    "MAX_INT",
+    "SortedListBiddingServer",
+    "SpecBiddingServer",
+    "best_k",
+    "demonstrate",
+    "tolerance_holds",
+    "STAR",
+    "even_path_concrete",
+    "odd_path_abstract",
+    "recovery_schema",
+    "figure1_abstract",
+    "figure1_concrete",
+    "figure1_schema",
+    "BYTECODE",
+    "Instruction",
+    "abstract_loop_system",
+    "bytecode_abstraction",
+    "bytecode_system",
+    "corruption_states",
+    "vm_step",
+]

@@ -1,0 +1,182 @@
+"""The paper's second example: the bidding server.
+
+Specification: store the highest ``k`` bids seen; ``bid(v)`` replaces
+the minimum stored bid when ``v`` exceeds it.  The spec tolerates one
+corrupted stored bid in the sense that it still ends up with ``k - 1``
+of the true best-``k`` bids.
+
+Sorted-list implementation: keeps the bids sorted with the minimum at
+the head and compares incoming bids against the head only.  Correct in
+the absence of faults — but if the head is corrupted to ``MAX_INT``,
+*every* subsequent bid is rejected, and the ``k - 1`` guarantee is
+lost.
+
+Both components are implemented from scratch and exercised by the same
+driver; :func:`demonstrate` replays the paper's scenario and returns
+the machine-checkable verdicts.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+__all__ = [
+    "MAX_INT",
+    "SpecBiddingServer",
+    "SortedListBiddingServer",
+    "best_k",
+    "tolerance_holds",
+    "demonstrate",
+]
+
+#: Stand-in for the paper's MAX_INTEGER corruption value.
+MAX_INT = 2**31 - 1
+
+
+class SpecBiddingServer:
+    """The specification component: a multiset of the k highest bids.
+
+    Args:
+        k: number of winning bids to retain.
+
+    Raises:
+        ValueError: on non-positive ``k``.
+    """
+
+    def __init__(self, k: int):
+        if k < 1:
+            raise ValueError("k must be positive")
+        self.k = k
+        self._stored: List[int] = []
+
+    def bid(self, value: int) -> bool:
+        """Process one bid; returns whether it was accepted.
+
+        Before ``k`` bids have been stored every bid is accepted;
+        afterwards ``value`` replaces the minimum stored bid iff it is
+        greater than that minimum — comparing against the *recomputed*
+        minimum each time, which is what makes the spec tolerant.
+        """
+        if len(self._stored) < self.k:
+            self._stored.append(value)
+            return True
+        minimum = min(self._stored)
+        if value > minimum:
+            self._stored.remove(minimum)
+            self._stored.append(value)
+            return True
+        return False
+
+    def winners(self) -> Tuple[int, ...]:
+        """The stored bids, descending."""
+        return tuple(sorted(self._stored, reverse=True))
+
+    def corrupt(self, index: int, value: int) -> None:
+        """Transient fault: overwrite one stored bid."""
+        self._stored[index] = value
+
+    def min_index(self) -> int:
+        """Index (into internal storage) of the minimum stored bid."""
+        return self._stored.index(min(self._stored))
+
+
+class SortedListBiddingServer:
+    """The sorted-list implementation with the head-only comparison.
+
+    The list is kept ascending (minimum at the head).  ``bid(v)``
+    compares ``v`` against the *head element only*; when a corruption
+    plants a huge value at the head, the comparison rejects everything
+    — the implementation bug the paper describes.
+    """
+
+    def __init__(self, k: int):
+        if k < 1:
+            raise ValueError("k must be positive")
+        self.k = k
+        self._list: List[int] = []
+
+    def bid(self, value: int) -> bool:
+        """Process one bid; returns whether it was accepted."""
+        if len(self._list) < self.k:
+            self._insert(value)
+            return True
+        if value > self._list[0]:
+            del self._list[0]
+            self._insert(value)
+            return True
+        return False
+
+    def _insert(self, value: int) -> None:
+        position = 0
+        while position < len(self._list) and self._list[position] < value:
+            position += 1
+        self._list.insert(position, value)
+
+    def winners(self) -> Tuple[int, ...]:
+        """The stored bids, descending."""
+        return tuple(reversed(self._list))
+
+    def corrupt(self, index: int, value: int) -> None:
+        """Transient fault: overwrite one list cell (no re-sorting —
+        faults do not helpfully repair invariants)."""
+        self._list[index] = value
+
+
+def best_k(bids: Sequence[int], k: int) -> Tuple[int, ...]:
+    """The true k highest bids of a stream, descending."""
+    return tuple(sorted(bids, reverse=True)[:k])
+
+
+def tolerance_holds(
+    winners: Sequence[int], all_bids: Sequence[int], k: int
+) -> bool:
+    """The paper's tolerance criterion: the declared winners contain at
+    least ``k - 1`` of the true best-``k`` bids (as a multiset)."""
+    expected = list(best_k(all_bids, k))
+    remaining = list(winners)
+    hits = 0
+    for value in expected:
+        if value in remaining:
+            remaining.remove(value)
+            hits += 1
+    return hits >= k - 1
+
+
+def demonstrate(
+    k: int = 3,
+    pre_fault_bids: Iterable[int] = (10, 20, 30),
+    post_fault_bids: Iterable[int] = (40, 50, 60),
+) -> dict:
+    """Replay the paper's scenario on both components.
+
+    A fault corrupts one stored bid (the implementation's head) to
+    ``MAX_INT`` between two batches of bids.
+
+    Returns:
+        dict with the winners of both components, the true best-k,
+        and the tolerance verdicts — the spec's should be ``True``,
+        the implementation's ``False``.
+    """
+    pre = list(pre_fault_bids)
+    post = list(post_fault_bids)
+    spec = SpecBiddingServer(k)
+    impl = SortedListBiddingServer(k)
+    for value in pre:
+        spec.bid(value)
+        impl.bid(value)
+    # The transient fault: one stored bid becomes MAX_INT.  For the
+    # sorted list that cell is the head (index 0); for the spec the
+    # position is immaterial — corrupt the minimum for symmetry.
+    spec.corrupt(spec.min_index(), MAX_INT)
+    impl.corrupt(0, MAX_INT)
+    for value in post:
+        spec.bid(value)
+        impl.bid(value)
+    legitimate_bids = pre + post
+    return {
+        "true_best_k": best_k(legitimate_bids, k),
+        "spec_winners": spec.winners(),
+        "impl_winners": impl.winners(),
+        "spec_tolerant": tolerance_holds(spec.winners(), legitimate_bids, k),
+        "impl_tolerant": tolerance_holds(impl.winners(), legitimate_bids, k),
+    }

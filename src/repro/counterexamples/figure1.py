@@ -1,0 +1,59 @@
+"""Figure 1: initial-state refinement does not preserve stabilization.
+
+The figure's systems share states ``s0, s1, s2, s3, ...`` and ``s*``:
+
+* ``A`` has the chain transitions *and* the recovery edge
+  ``s* -> s2``;
+* ``C`` has only the chain transitions.
+
+Both have the single initial state ``s0`` and the single
+initial-state computation ``s0 s1 s2 s3 ...``, so
+``[C (= A]_init`` holds.  But after a transient fault drops the
+system at ``s*``, ``A`` recovers through ``s2`` while ``C`` is stuck
+— ``C`` is not stabilizing to ``A``.
+
+The infinite chain is folded into a finite lasso (``s3 -> s1``) so
+computations are infinite and the automata stay finite; this changes
+nothing about the argument.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..core.state import StateSchema
+from ..core.system import System
+
+__all__ = ["figure1_schema", "figure1_abstract", "figure1_concrete", "STAR"]
+
+#: The fault target state of Figure 1.
+STAR = "s*"
+
+_STATES: Tuple[str, ...] = ("s0", "s1", "s2", "s3", STAR)
+
+
+def figure1_schema() -> StateSchema:
+    """One variable ranging over the five named states."""
+    return StateSchema({"at": _STATES})
+
+
+def _chain_transitions() -> List[Tuple[Tuple[str], Tuple[str]]]:
+    return [
+        (("s0",), ("s1",)),
+        (("s1",), ("s2",)),
+        (("s2",), ("s3",)),
+        (("s3",), ("s1",)),  # lasso back: the "..." of the figure
+    ]
+
+
+def figure1_abstract() -> System:
+    """``A``: the chain plus the recovery edge ``s* -> s2``."""
+    schema = figure1_schema()
+    transitions = _chain_transitions() + [((STAR,), ("s2",))]
+    return System(schema, transitions, initial=[("s0",)], name="Figure1-A")
+
+
+def figure1_concrete() -> System:
+    """``C``: the chain only — identical from ``s0``, stuck at ``s*``."""
+    schema = figure1_schema()
+    return System(schema, _chain_transitions(), initial=[("s0",)], name="Figure1-C")

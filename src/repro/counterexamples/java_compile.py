@@ -1,0 +1,190 @@
+"""The paper's opening example: compilation does not preserve tolerance.
+
+Source program (trivially tolerant — it keeps forcing ``x = 0``)::
+
+    int x = 0;
+    while (x == x) { x = 0; }
+
+Compiled bytecode (the paper's javac output)::
+
+     0  iconst_0
+     1  istore_1
+     2  goto 7
+     5  iconst_0
+     6  istore_1
+     7  iload_1
+     8  iload_1
+     9  if_icmpeq 5
+    12  return
+
+If the local variable is corrupted *between* the two ``iload_1``
+instructions, the comparison at 9 sees two different values and the
+program falls through to ``return`` — it terminates, never restoring
+``x = 0``.
+
+This module builds both levels from scratch: the abstract one-variable
+system, and a faithful little stack VM over whose configurations the
+bytecode is a finite-state system.  The abstraction function projects
+a VM configuration to the current value of the local; VM micro-steps
+that do not change the local are stuttering steps of the abstract
+system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.abstraction import AbstractionFunction
+from ..core.state import State, StateSchema
+from ..core.system import System
+
+__all__ = [
+    "Instruction",
+    "BYTECODE",
+    "vm_step",
+    "abstract_loop_system",
+    "bytecode_system",
+    "bytecode_abstraction",
+    "corruption_states",
+]
+
+#: Values the integer variable may take in the finite model.  Two
+#: suffice: 0 (the program's target) and 1 (a corrupted value).
+VALUES: Tuple[int, ...] = (0, 1)
+
+#: Marker for an empty operand-stack slot.
+EMPTY = -1
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One bytecode instruction: an opcode and an optional operand."""
+
+    opcode: str
+    operand: Optional[int] = None
+
+    def render(self) -> str:
+        """Disassembly-style rendering."""
+        if self.operand is None:
+            return self.opcode
+        return f"{self.opcode} {self.operand}"
+
+
+#: The paper's compiled program, keyed by instruction address.
+BYTECODE: Dict[int, Instruction] = {
+    0: Instruction("iconst_0"),
+    1: Instruction("istore_1"),
+    2: Instruction("goto", 7),
+    5: Instruction("iconst_0"),
+    6: Instruction("istore_1"),
+    7: Instruction("iload_1"),
+    8: Instruction("iload_1"),
+    9: Instruction("if_icmpeq", 5),
+    12: Instruction("return"),
+}
+
+#: VM configuration: (pc, local1, stack0, stack1) — the operand stack
+#: of this program never exceeds depth two.
+_PCS: Tuple[int, ...] = tuple(sorted(BYTECODE)) + (13,)  # 13 = halted
+
+
+def vm_step(config: Tuple[int, int, int, int]) -> Optional[Tuple[int, int, int, int]]:
+    """Execute one instruction; ``None`` when halted (or at a bad pc).
+
+    The stack is modelled as two slots filled bottom-up; ``EMPTY``
+    marks an unused slot.
+    """
+    pc, local, s0, s1 = config
+    instruction = BYTECODE.get(pc)
+    if instruction is None:
+        return None
+    opcode, operand = instruction.opcode, instruction.operand
+    if opcode == "iconst_0":
+        if s0 == EMPTY:
+            return (pc + 1, local, 0, s1)
+        return (pc + 1, local, s0, 0)
+    if opcode == "istore_1":
+        if s1 != EMPTY:
+            return (pc + 1, s1, s0, EMPTY)
+        return (pc + 1, s0, EMPTY, EMPTY)
+    if opcode == "goto":
+        return (operand, local, s0, s1)
+    if opcode == "iload_1":
+        if s0 == EMPTY:
+            return (pc + 1, local, local, s1)
+        return (pc + 1, local, s0, local)
+    if opcode == "if_icmpeq":
+        if s0 == EMPTY or s1 == EMPTY:
+            # Malformed stack (possible only in corrupted configurations):
+            # fall through with whatever is there, clearing the stack.
+            return (pc + 3, local, EMPTY, EMPTY)
+        target = operand if s0 == s1 else pc + 3
+        return (target, local, EMPTY, EMPTY)
+    if opcode == "return":
+        return (13, local, EMPTY, EMPTY)
+    raise AssertionError(f"unknown opcode {opcode!r}")  # pragma: no cover
+
+
+def abstract_loop_system() -> System:
+    """The source-level system: ``x`` is repeatedly set to 0.
+
+    States are the values of ``x``; from every value there is the
+    single transition to 0 (the loop body), and from 0 a self-loop.
+    Trivially stabilizing to itself: every computation is eventually
+    constantly 0.
+    """
+    schema = StateSchema({"x": VALUES})
+    transitions = [((value,), (0,)) for value in VALUES]
+    return System(schema, transitions, initial=[(0,)], name="abstract-loop")
+
+
+def bytecode_system() -> System:
+    """The bytecode program as a finite system over VM configurations.
+
+    The state space is pc x local x two stack slots; the single
+    initial state is the entry configuration.  ``return`` leads to the
+    halted configuration, which is terminal.
+    """
+    stack_values = VALUES + (EMPTY,)
+    schema = StateSchema(
+        {"pc": _PCS, "local": VALUES, "s0": stack_values, "s1": stack_values}
+    )
+    transitions: List[Tuple[State, State]] = []
+    for config in schema.states():
+        successor = vm_step(config)  # type: ignore[arg-type]
+        if successor is not None and schema.is_valid(successor):
+            transitions.append((config, successor))
+    initial = [(0, 0, EMPTY, EMPTY)]
+    return System(schema, transitions, initial, name="bytecode-loop")
+
+
+def bytecode_abstraction() -> AbstractionFunction:
+    """Project a VM configuration to the abstract variable ``x``."""
+    concrete = bytecode_system().schema
+    abstract = abstract_loop_system().schema
+
+    def mapping(state: State) -> State:
+        return (concrete.value(state, "local"),)
+
+    return AbstractionFunction(concrete, abstract, mapping, name="alpha-vm")
+
+
+def corruption_states() -> List[State]:
+    """The paper's fault: configurations at pc=8 whose stacked copy of
+    ``x`` disagrees with the (just corrupted) local.
+
+    From any of these the VM inevitably reaches ``return`` — the
+    terminating computation that breaks stabilization.
+    """
+    system = bytecode_system()
+    schema = system.schema
+    result: List[State] = []
+    for state in schema.states():
+        pc = schema.value(state, "pc")
+        s0 = schema.value(state, "s0")
+        s1 = schema.value(state, "s1")
+        local = schema.value(state, "local")
+        if pc == 8 and s1 == EMPTY and s0 != EMPTY and s0 != local:
+            result.append(state)
+    return result

@@ -1,0 +1,56 @@
+"""Section 7's separating example: everywhere-eventually vs convergence.
+
+The paper distinguishes convergence refinement from the more
+permissive *everywhere-eventually refinement* of the earlier graybox
+work with a recovery-path example: ``A`` recovers to ``s0`` through
+the odd-numbered states (``s* s3 s1 s0``) while ``C`` recovers through
+the even-numbered ones (``s* s4 s2 s0``).  ``C`` is an
+everywhere-eventually refinement of ``A`` — every computation is a
+finite prefix followed by the legitimate behaviour at ``s0`` — but not
+a convergence refinement: ``C``'s first recovery step ``s* -> s4``
+tracks no path of ``A`` at all.
+
+Both automata handle the full six-state space (each repairs the other
+family's states by crossing over to its own path), so neither has
+spurious deadlocks.
+"""
+
+from __future__ import annotations
+
+from repro.core.state import StateSchema
+from repro.core.system import System
+
+__all__ = ["recovery_schema", "odd_path_abstract", "even_path_concrete"]
+
+_STATES = ("s0", "s1", "s2", "s3", "s4", "s*")
+
+
+def recovery_schema() -> StateSchema:
+    """One variable over the six named states."""
+    return StateSchema({"at": _STATES})
+
+
+def odd_path_abstract() -> System:
+    """``A``: recovery through odd states; even states cross over."""
+    transitions = [
+        (("s0",), ("s0",)),   # legitimate behaviour: sit at s0
+        (("s*",), ("s3",)),
+        (("s3",), ("s1",)),
+        (("s1",), ("s0",)),
+        (("s4",), ("s3",)),   # crossover from the even family
+        (("s2",), ("s1",)),
+    ]
+    return System(recovery_schema(), transitions, initial=[("s0",)], name="A-odd")
+
+
+def even_path_concrete() -> System:
+    """``C``: recovery through even states; odd states cross over."""
+    transitions = [
+        (("s0",), ("s0",)),
+        (("s*",), ("s4",)),
+        (("s4",), ("s2",)),
+        (("s2",), ("s0",)),
+        (("s3",), ("s4",)),   # crossover from the odd family
+        (("s1",), ("s2",)),
+    ]
+    return System(recovery_schema(), transitions, initial=[("s0",)], name="C-even")

@@ -1,0 +1,86 @@
+"""Guarded actions: ``guard --> x := e, y := f``.
+
+An action is a guard expression plus a *parallel* multiple assignment,
+exactly the shape of every line in the paper's protocol listings.  All
+right-hand sides are evaluated in the pre-state before any variable is
+written, so ``x := y, y := x`` swaps.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Mapping, Tuple
+
+from ..core.errors import GCLEvalError
+from .expr import Env, Expr
+
+__all__ = ["GuardedAction"]
+
+
+class GuardedAction:
+    """One guarded command.
+
+    Args:
+        name: identifier used in transition labels and reports.
+        guard: boolean :class:`~repro.gcl.expr.Expr`.
+        assignments: mapping from assigned variable name to its
+            right-hand-side expression.  Order is irrelevant
+            (assignment is parallel); duplicates are impossible by
+            construction of the mapping.
+
+    Raises:
+        ValueError: if the assignment set is empty (a guard with no
+            effect is not an action).
+    """
+
+    def __init__(self, name: str, guard: Expr, assignments: Mapping[str, Expr]):
+        if not assignments:
+            raise ValueError(f"action {name!r} assigns nothing")
+        self.name = name
+        self.guard = guard
+        self.assignments: Dict[str, Expr] = dict(assignments)
+
+    def enabled(self, env: Env) -> bool:
+        """Evaluate the guard in ``env``.
+
+        Raises:
+            GCLEvalError: if the guard is not boolean-valued.
+        """
+        value = self.guard.eval(env)
+        if not isinstance(value, bool):
+            raise GCLEvalError(
+                f"guard of action {self.name!r} evaluated to non-boolean {value!r}"
+            )
+        return value
+
+    def execute(self, env: Env) -> Dict[str, object]:
+        """Apply the parallel assignment to ``env``; returns the new environment.
+
+        The guard is *not* re-checked here — callers decide whether to
+        honour it (the daemon semantics does; tests sometimes probe
+        unguarded effects deliberately).
+        """
+        updates = {name: expr.eval(env) for name, expr in self.assignments.items()}
+        result = dict(env)
+        result.update(updates)
+        return result
+
+    def read_set(self) -> FrozenSet[str]:
+        """All variables the action reads (guard plus right-hand sides)."""
+        names = set(self.guard.free_variables())
+        for expr in self.assignments.values():
+            names |= expr.free_variables()
+        return frozenset(names)
+
+    def write_set(self) -> FrozenSet[str]:
+        """All variables the action writes."""
+        return frozenset(self.assignments)
+
+    def render(self) -> str:
+        """Paper-style one-line rendering: ``guard --> x := e, y := f``."""
+        effects = ", ".join(
+            f"{name} := {expr.render()}" for name, expr in sorted(self.assignments.items())
+        )
+        return f"{self.guard.render()} --> {effects}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"GuardedAction({self.name!r}: {self.render()})"

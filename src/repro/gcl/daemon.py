@@ -1,0 +1,136 @@
+"""Daemons: the scheduling semantics of guarded-command programs.
+
+The paper's execution model is the classical *central daemon*: at each
+step an arbitrary enabled action is selected and executed atomically.
+Dijkstra's stabilization results (and all the derivations reproduced
+here) are stated under this semantics.  Two further daemons are
+provided for experimentation:
+
+* :class:`SynchronousDaemon` — every enabled action fires at once,
+  with a deterministic conflict rule (actions are applied in program
+  order; later writes win).  Dijkstra-style rings are *not* in general
+  stabilizing under this daemon, which the ablation benchmarks
+  demonstrate.
+* :class:`DistributedDaemon` — any non-empty subset of enabled actions
+  fires simultaneously (bounded subset size keeps the relation
+  finite); strictly more transitions than the central daemon.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from .action import GuardedAction
+from .expr import Env
+
+__all__ = ["Daemon", "CentralDaemon", "SynchronousDaemon", "DistributedDaemon"]
+
+
+class Daemon:
+    """Strategy interface: which (multi-)steps a program may take.
+
+    Subclasses implement :meth:`steps`, mapping an environment to the
+    set of ``(new_environment, action_labels)`` moves the daemon
+    allows.  A move must change *something being written* — daemons
+    return moves for every selection of enabled actions, including
+    stuttering moves where the writes happen to preserve the state;
+    whether stuttering transitions are kept is the program compiler's
+    concern, not the daemon's.
+    """
+
+    name = "daemon"
+
+    def steps(
+        self, actions: Sequence[GuardedAction], env: Env
+    ) -> Iterable[Tuple[Dict[str, object], Tuple[str, ...]]]:
+        """Enumerate the daemon's moves from ``env``.
+
+        Args:
+            actions: the program's actions, in program order.
+            env: the current environment.
+
+        Yields:
+            ``(new_env, labels)`` pairs, one per allowed move.
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__}>"
+
+
+class CentralDaemon(Daemon):
+    """One enabled action at a time — the paper's execution model."""
+
+    name = "central"
+
+    def steps(
+        self, actions: Sequence[GuardedAction], env: Env
+    ) -> Iterable[Tuple[Dict[str, object], Tuple[str, ...]]]:
+        for action in actions:
+            if action.enabled(env):
+                yield action.execute(env), (action.name,)
+
+
+class SynchronousDaemon(Daemon):
+    """All enabled actions fire in one step.
+
+    Conflicting writes are resolved deterministically: actions execute
+    against the shared pre-state and their updates are merged in
+    program order, so a later action's write to the same variable wins.
+    """
+
+    name = "synchronous"
+
+    def steps(
+        self, actions: Sequence[GuardedAction], env: Env
+    ) -> Iterable[Tuple[Dict[str, object], Tuple[str, ...]]]:
+        enabled = [action for action in actions if action.enabled(env)]
+        if not enabled:
+            return
+        result = dict(env)
+        labels: List[str] = []
+        for action in enabled:
+            updates = {name: expr.eval(env) for name, expr in action.assignments.items()}
+            result.update(updates)
+            labels.append(action.name)
+        yield result, tuple(labels)
+
+
+class DistributedDaemon(Daemon):
+    """Any non-empty subset of enabled actions fires simultaneously.
+
+    Args:
+        max_concurrency: bound on the subset size (keeps the move set
+            polynomial for wide rings).  The default of 2 already
+            exhibits every read/write race the concrete model worries
+            about.
+
+    Conflicts resolve as in :class:`SynchronousDaemon`: pre-state
+    reads, program-order write merging.
+    """
+
+    name = "distributed"
+
+    def __init__(self, max_concurrency: int = 2):
+        if max_concurrency < 1:
+            raise ValueError("max_concurrency must be at least 1")
+        self.max_concurrency = max_concurrency
+
+    def steps(
+        self, actions: Sequence[GuardedAction], env: Env
+    ) -> Iterable[Tuple[Dict[str, object], Tuple[str, ...]]]:
+        enabled = [action for action in actions if action.enabled(env)]
+        limit = min(self.max_concurrency, len(enabled))
+        for size in range(1, limit + 1):
+            for subset in itertools.combinations(enabled, size):
+                result = dict(env)
+                labels: List[str] = []
+                for action in subset:
+                    updates = {
+                        name: expr.eval(env)
+                        for name, expr in action.assignments.items()
+                    }
+                    result.update(updates)
+                    labels.append(action.name)
+                yield result, tuple(labels)

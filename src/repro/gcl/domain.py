@@ -1,0 +1,113 @@
+"""Finite value domains for guarded-command variables.
+
+The paper's systems use booleans (``up.j``, the token bits) and small
+modular counters (``c.j`` over 0..K-1).  A :class:`Domain` fixes the
+finite set of values a variable ranges over; the state-space schema of
+a program is assembled from its variables' domains.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+__all__ = ["Domain", "BoolDomain", "IntRange", "ModularDomain", "EnumDomain"]
+
+
+class Domain:
+    """A finite, ordered set of values.
+
+    Args:
+        values: the member values; order is preserved and becomes the
+            enumeration order of the state space.
+        description: short text used in error messages and rendering.
+
+    Raises:
+        ValueError: on empty or duplicated values.
+    """
+
+    def __init__(self, values: Iterable[object], description: str = "domain"):
+        self._values: Tuple[object, ...] = tuple(values)
+        if not self._values:
+            raise ValueError("a domain must contain at least one value")
+        if len(set(self._values)) != len(self._values):
+            raise ValueError("domain values must be distinct")
+        self._description = description
+        self._member_set = frozenset(self._values)
+
+    @property
+    def values(self) -> Tuple[object, ...]:
+        """The member values in declaration order."""
+        return self._values
+
+    @property
+    def description(self) -> str:
+        """Short rendering of the domain (e.g. ``0..2`` or ``bool``)."""
+        return self._description
+
+    def __contains__(self, value: object) -> bool:
+        return value in self._member_set
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __iter__(self):
+        return iter(self._values)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Domain):
+            return NotImplemented
+        return self._values == other._values
+
+    def __hash__(self) -> int:
+        return hash(self._values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Domain({self._description})"
+
+
+class BoolDomain(Domain):
+    """The two-valued boolean domain ``{False, True}``."""
+
+    def __init__(self):
+        super().__init__((False, True), "bool")
+
+
+class IntRange(Domain):
+    """Consecutive integers ``low..high`` inclusive.
+
+    Raises:
+        ValueError: if ``high < low``.
+    """
+
+    def __init__(self, low: int, high: int):
+        if high < low:
+            raise ValueError(f"empty range {low}..{high}")
+        super().__init__(range(low, high + 1), f"{low}..{high}")
+        self.low = low
+        self.high = high
+
+
+class ModularDomain(IntRange):
+    """The integers modulo ``modulus``: ``0..modulus-1``.
+
+    The domain of the paper's K-state counters; arithmetic on it is
+    done with the ``(+ 1) mod K`` expression forms, not by the domain
+    itself.
+
+    Raises:
+        ValueError: if ``modulus < 1``.
+    """
+
+    def __init__(self, modulus: int):
+        if modulus < 1:
+            raise ValueError("modulus must be at least 1")
+        super().__init__(0, modulus - 1)
+        self.modulus = modulus
+        self._description = f"mod {modulus}"
+
+
+class EnumDomain(Domain):
+    """A named finite enumeration of arbitrary (hashable) values."""
+
+    def __init__(self, values: Sequence[object]):
+        super().__init__(values, "{" + ", ".join(map(str, values)) + "}")

@@ -1,0 +1,474 @@
+"""Expression AST for the guarded-command language.
+
+Expressions are small immutable trees evaluated against an
+*environment* — a mapping from variable name to value (the unpacked
+form of a state).  The node set covers exactly what the paper's
+protocols need: variables, constants, boolean connectives, (in)equality
+and ordering, integer arithmetic, and the modular operators the paper
+writes as circled-plus / circled-minus.
+
+Construction is explicit (``Eq(Var("x"), Const(1))``) with a few
+convenience builders at the bottom; the surface syntax lives in
+:mod:`repro.gcl.parser`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Mapping, Tuple
+
+from ..core.errors import GCLEvalError
+
+__all__ = [
+    "Expr",
+    "Var",
+    "Const",
+    "Not",
+    "And",
+    "Or",
+    "Implies",
+    "Eq",
+    "Ne",
+    "Lt",
+    "Le",
+    "Gt",
+    "Ge",
+    "Add",
+    "Sub",
+    "Mul",
+    "Mod",
+    "AddMod",
+    "SubMod",
+    "Ite",
+    "BigAnd",
+    "BigOr",
+    "TRUE",
+    "FALSE",
+]
+
+Env = Mapping[str, object]
+
+
+class Expr:
+    """Base class of all expression nodes.
+
+    Subclasses implement :meth:`eval`, :meth:`free_variables`, and
+    :meth:`render`.  Nodes are immutable and compare structurally.
+    """
+
+    def eval(self, env: Env) -> object:
+        """Evaluate against an environment.
+
+        Raises:
+            GCLEvalError: on unbound variables or type errors.
+        """
+        raise NotImplementedError
+
+    def free_variables(self) -> FrozenSet[str]:
+        """Names of all variables occurring in the expression."""
+        raise NotImplementedError
+
+    def render(self) -> str:
+        """Concrete-syntax rendering (re-parseable by the GCL parser)."""
+        raise NotImplementedError
+
+    def __str__(self) -> str:
+        return self.render()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.render()})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Expr):
+            return NotImplemented
+        return type(self) is type(other) and self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._key()))
+
+    def _key(self) -> tuple:
+        raise NotImplementedError
+
+
+class Var(Expr):
+    """A variable reference by name."""
+
+    def __init__(self, name: str):
+        if not name:
+            raise ValueError("variable name must be non-empty")
+        self.name = name
+
+    def eval(self, env: Env) -> object:
+        try:
+            return env[self.name]
+        except KeyError:
+            raise GCLEvalError(f"unbound variable {self.name!r}")
+
+    def free_variables(self) -> FrozenSet[str]:
+        return frozenset((self.name,))
+
+    def render(self) -> str:
+        return self.name
+
+    def _key(self) -> tuple:
+        return (self.name,)
+
+
+class Const(Expr):
+    """A literal constant (int or bool)."""
+
+    def __init__(self, value: object):
+        self.value = value
+
+    def eval(self, env: Env) -> object:
+        return self.value
+
+    def free_variables(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def render(self) -> str:
+        if self.value is True:
+            return "true"
+        if self.value is False:
+            return "false"
+        return str(self.value)
+
+    def _key(self) -> tuple:
+        return (self.value,)
+
+
+TRUE = Const(True)
+FALSE = Const(False)
+
+
+class _Unary(Expr):
+    """Shared plumbing for one-operand nodes."""
+
+    symbol = "?"
+
+    def __init__(self, operand: Expr):
+        self.operand = operand
+
+    def free_variables(self) -> FrozenSet[str]:
+        return self.operand.free_variables()
+
+    def render(self) -> str:
+        return f"{self.symbol}({self.operand.render()})"
+
+    def _key(self) -> tuple:
+        return (self.operand,)
+
+
+class Not(_Unary):
+    """Boolean negation."""
+
+    symbol = "!"
+
+    def eval(self, env: Env) -> object:
+        value = self.operand.eval(env)
+        _require_bool(value, "!")
+        return not value
+
+
+class _Binary(Expr):
+    """Shared plumbing for two-operand nodes."""
+
+    symbol = "?"
+
+    def __init__(self, left: Expr, right: Expr):
+        self.left = left
+        self.right = right
+
+    def free_variables(self) -> FrozenSet[str]:
+        return self.left.free_variables() | self.right.free_variables()
+
+    def render(self) -> str:
+        return f"({self.left.render()} {self.symbol} {self.right.render()})"
+
+    def _key(self) -> tuple:
+        return (self.left, self.right)
+
+
+def _require_bool(value: object, operator: str) -> None:
+    if not isinstance(value, bool):
+        raise GCLEvalError(f"operator {operator!r} needs a boolean, got {value!r}")
+
+
+def _require_int(value: object, operator: str) -> None:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise GCLEvalError(f"operator {operator!r} needs an integer, got {value!r}")
+
+
+class And(_Binary):
+    """Boolean conjunction (non-strict in neither operand: both evaluated)."""
+
+    symbol = "&&"
+
+    def eval(self, env: Env) -> object:
+        left = self.left.eval(env)
+        _require_bool(left, "&&")
+        if not left:
+            return False
+        right = self.right.eval(env)
+        _require_bool(right, "&&")
+        return right
+
+
+class Or(_Binary):
+    """Boolean disjunction."""
+
+    symbol = "||"
+
+    def eval(self, env: Env) -> object:
+        left = self.left.eval(env)
+        _require_bool(left, "||")
+        if left:
+            return True
+        right = self.right.eval(env)
+        _require_bool(right, "||")
+        return right
+
+
+class Implies(_Binary):
+    """Boolean implication ``left => right``."""
+
+    symbol = "=>"
+
+    def eval(self, env: Env) -> object:
+        left = self.left.eval(env)
+        _require_bool(left, "=>")
+        if not left:
+            return True
+        right = self.right.eval(env)
+        _require_bool(right, "=>")
+        return right
+
+
+class Eq(_Binary):
+    """Equality over any values."""
+
+    symbol = "=="
+
+    def eval(self, env: Env) -> object:
+        return self.left.eval(env) == self.right.eval(env)
+
+
+class Ne(_Binary):
+    """Disequality over any values."""
+
+    symbol = "!="
+
+    def eval(self, env: Env) -> object:
+        return self.left.eval(env) != self.right.eval(env)
+
+
+class _IntCompare(_Binary):
+    """Shared plumbing for integer ordering comparisons."""
+
+    comparator: Callable[[int, int], bool] = staticmethod(lambda a, b: False)
+
+    def eval(self, env: Env) -> object:
+        left = self.left.eval(env)
+        right = self.right.eval(env)
+        _require_int(left, self.symbol)
+        _require_int(right, self.symbol)
+        return type(self).comparator(left, right)
+
+
+class Lt(_IntCompare):
+    """Strictly-less-than over integers."""
+
+    symbol = "<"
+    comparator = staticmethod(lambda a, b: a < b)
+
+
+class Le(_IntCompare):
+    """Less-or-equal over integers."""
+
+    symbol = "<="
+    comparator = staticmethod(lambda a, b: a <= b)
+
+
+class Gt(_IntCompare):
+    """Strictly-greater-than over integers."""
+
+    symbol = ">"
+    comparator = staticmethod(lambda a, b: a > b)
+
+
+class Ge(_IntCompare):
+    """Greater-or-equal over integers."""
+
+    symbol = ">="
+    comparator = staticmethod(lambda a, b: a >= b)
+
+
+class _IntArith(_Binary):
+    """Shared plumbing for integer arithmetic."""
+
+    operation: Callable[[int, int], int] = staticmethod(lambda a, b: 0)
+
+    def eval(self, env: Env) -> object:
+        left = self.left.eval(env)
+        right = self.right.eval(env)
+        _require_int(left, self.symbol)
+        _require_int(right, self.symbol)
+        return type(self).operation(left, right)
+
+
+class Add(_IntArith):
+    """Integer addition."""
+
+    symbol = "+"
+    operation = staticmethod(lambda a, b: a + b)
+
+
+class Sub(_IntArith):
+    """Integer subtraction."""
+
+    symbol = "-"
+    operation = staticmethod(lambda a, b: a - b)
+
+
+class Mul(_IntArith):
+    """Integer multiplication."""
+
+    symbol = "*"
+    operation = staticmethod(lambda a, b: a * b)
+
+
+class Mod(_IntArith):
+    """Integer remainder (Python semantics: result has divisor's sign).
+
+    Raises:
+        GCLEvalError: on modulus zero.
+    """
+
+    symbol = "%"
+
+    def eval(self, env: Env) -> object:
+        left = self.left.eval(env)
+        right = self.right.eval(env)
+        _require_int(left, "%")
+        _require_int(right, "%")
+        if right == 0:
+            raise GCLEvalError("modulus by zero")
+        return left % right
+
+
+class AddMod(Expr):
+    """The paper's circled-plus: ``(left + right) mod modulus``.
+
+    Args:
+        left: integer expression.
+        right: integer expression.
+        modulus: the fixed, positive modulus (e.g. 3 for the 3-state
+            systems).
+    """
+
+    def __init__(self, left: Expr, right: Expr, modulus: int):
+        if modulus < 1:
+            raise ValueError("modulus must be positive")
+        self.left = left
+        self.right = right
+        self.modulus = modulus
+
+    def eval(self, env: Env) -> object:
+        left = self.left.eval(env)
+        right = self.right.eval(env)
+        _require_int(left, "(+)")
+        _require_int(right, "(+)")
+        return (left + right) % self.modulus
+
+    def free_variables(self) -> FrozenSet[str]:
+        return self.left.free_variables() | self.right.free_variables()
+
+    def render(self) -> str:
+        return f"(({self.left.render()} + {self.right.render()}) % {self.modulus})"
+
+    def _key(self) -> tuple:
+        return (self.left, self.right, self.modulus)
+
+
+class SubMod(Expr):
+    """The paper's circled-minus: ``(left - right) mod modulus``."""
+
+    def __init__(self, left: Expr, right: Expr, modulus: int):
+        if modulus < 1:
+            raise ValueError("modulus must be positive")
+        self.left = left
+        self.right = right
+        self.modulus = modulus
+
+    def eval(self, env: Env) -> object:
+        left = self.left.eval(env)
+        right = self.right.eval(env)
+        _require_int(left, "(-)")
+        _require_int(right, "(-)")
+        return (left - right) % self.modulus
+
+    def free_variables(self) -> FrozenSet[str]:
+        return self.left.free_variables() | self.right.free_variables()
+
+    def render(self) -> str:
+        return f"(({self.left.render()} - {self.right.render()}) % {self.modulus})"
+
+    def _key(self) -> tuple:
+        return (self.left, self.right, self.modulus)
+
+
+class Ite(Expr):
+    """Conditional expression ``condition ? then : otherwise``.
+
+    Needed to transcribe the paper's Section 6 composite listing,
+    whose mid-process actions are if-then-else cascades.  The
+    condition must evaluate to a boolean; only the selected branch's
+    value is returned (both branches may be evaluated safely — the
+    language is effect-free).
+    """
+
+    def __init__(self, condition: Expr, then: Expr, otherwise: Expr):
+        self.condition = condition
+        self.then = then
+        self.otherwise = otherwise
+
+    def eval(self, env: Env) -> object:
+        chosen = self.condition.eval(env)
+        _require_bool(chosen, "?:")
+        return self.then.eval(env) if chosen else self.otherwise.eval(env)
+
+    def free_variables(self) -> FrozenSet[str]:
+        return (
+            self.condition.free_variables()
+            | self.then.free_variables()
+            | self.otherwise.free_variables()
+        )
+
+    def render(self) -> str:
+        return (
+            f"({self.condition.render()} ? {self.then.render()} "
+            f": {self.otherwise.render()})"
+        )
+
+    def _key(self) -> tuple:
+        return (self.condition, self.then, self.otherwise)
+
+
+def BigAnd(*conjuncts: Expr) -> Expr:
+    """N-ary conjunction; ``BigAnd()`` is ``true``.
+
+    The paper's universally quantified guards (e.g. the guard of
+    ``W1``) expand to finite conjunctions per instance, which this
+    builder assembles.
+    """
+    result: Expr = TRUE
+    for conjunct in conjuncts:
+        result = conjunct if result is TRUE else And(result, conjunct)
+    return result
+
+
+def BigOr(*disjuncts: Expr) -> Expr:
+    """N-ary disjunction; ``BigOr()`` is ``false``."""
+    result: Expr = FALSE
+    for disjunct in disjuncts:
+        result = disjunct if result is FALSE else Or(result, disjunct)
+    return result

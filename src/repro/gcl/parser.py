@@ -1,0 +1,477 @@
+"""A concrete syntax for guarded-command programs.
+
+The surface syntax mirrors the paper's notation closely enough to
+transcribe its figures directly::
+
+    program dijkstra3
+    # a 3-process instance of Dijkstra's 3-state ring
+    var c.0, c.1, c.2 : mod 3
+
+    process p0 owns c.0 reads c.1
+    process p1 owns c.1 reads c.0, c.2
+    process p2 owns c.2 reads c.1, c.0
+
+    action bottom of p0 :: c.1 == (c.0 + 1) % 3 --> c.0 := (c.1 + 1) % 3
+    action mid.up of p1 :: c.0 == (c.1 + 1) % 3 --> c.1 := c.0
+    action mid.down of p1 :: c.2 == (c.1 + 1) % 3 --> c.1 := c.2
+    action top of p2 :: c.1 == c.0 && (c.1 + 1) % 3 != c.2 --> c.2 := (c.1 + 1) % 3
+
+    init c.0 == 0 && c.1 == 0 && c.2 == 0
+
+Grammar (newline-insensitive; ``#`` starts a comment):
+
+.. code-block:: text
+
+    program    := "program" IDENT decl*
+    decl       := vardecl | procdecl | actiondecl | initdecl
+    vardecl    := "var" identlist ":" domain
+    domain     := "bool" | INT ".." INT | "mod" INT
+    procdecl   := "process" IDENT "owns" identlist ["reads" identlist]
+    actiondecl := "action" IDENT ["of" IDENT] "::" expr "-->" assign ("," assign)*
+    assign     := IDENT ":=" expr
+    initdecl   := "init" expr
+
+Expression precedence, loosest first: ``=>`` (right-assoc), ``||``,
+``&&``, equality (``==`` ``!=``), ordering (``<`` ``<=`` ``>`` ``>=``),
+additive (``+`` ``-``), multiplicative (``*`` ``%``), unary (``!``
+``-``), atoms (integers, ``true``/``false``, identifiers, parentheses).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.errors import GCLParseError
+from .action import GuardedAction
+from .domain import BoolDomain, Domain, IntRange, ModularDomain
+from .expr import (
+    Add,
+    And,
+    Const,
+    Eq,
+    Expr,
+    Ge,
+    Gt,
+    Implies,
+    Ite,
+    Le,
+    Lt,
+    Mod,
+    Mul,
+    Ne,
+    Not,
+    Or,
+    Sub,
+    Var,
+)
+from .process import Process
+from .program import Program
+from .variable import Variable
+
+__all__ = ["parse_program", "parse_expression", "tokenize"]
+
+_KEYWORDS = frozenset(
+    ["program", "var", "process", "action", "init", "of", "owns", "reads",
+     "bool", "mod", "true", "false"]
+)
+
+_TOKEN_PATTERN = re.compile(
+    r"""
+    (?P<comment>\#[^\n]*)
+  | (?P<ws>\s+)
+  | (?P<int>\d+)
+  | (?P<ident>[A-Za-z_]\w*(?:\.\w+)*)
+  | (?P<op>-->|::|:=|\.\.|==|!=|<=|>=|&&|\|\||=>|[-+*%!<>(),:?])
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class _Token:
+    """One lexical token with its source position."""
+
+    kind: str  # "int" | "ident" | "keyword" | "op" | "eof"
+    text: str
+    line: int
+    column: int
+
+
+def tokenize(source: str) -> List[_Token]:
+    """Lex ``source`` into tokens (comments and whitespace dropped).
+
+    Raises:
+        GCLParseError: on any character no rule matches.
+    """
+    tokens: List[_Token] = []
+    line = 1
+    line_start = 0
+    position = 0
+    while position < len(source):
+        match = _TOKEN_PATTERN.match(source, position)
+        if match is None:
+            column = position - line_start + 1
+            raise GCLParseError(
+                f"unexpected character {source[position]!r}", line, column
+            )
+        text = match.group(0)
+        kind = match.lastgroup or ""
+        column = position - line_start + 1
+        if kind == "int":
+            tokens.append(_Token("int", text, line, column))
+        elif kind == "ident":
+            token_kind = "keyword" if text in _KEYWORDS else "ident"
+            tokens.append(_Token(token_kind, text, line, column))
+        elif kind == "op":
+            tokens.append(_Token("op", text, line, column))
+        # comments and whitespace fall through; track newlines for both
+        newlines = text.count("\n")
+        if newlines:
+            line += newlines
+            line_start = position + text.rindex("\n") + 1
+        position = match.end()
+    tokens.append(_Token("eof", "", line, len(source) - line_start + 1))
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent / precedence-climbing parser over a token list."""
+
+    def __init__(self, tokens: Sequence[_Token]):
+        self._tokens = tokens
+        self._position = 0
+
+    # -- token plumbing -------------------------------------------------
+
+    def _peek(self) -> _Token:
+        return self._tokens[self._position]
+
+    def _advance(self) -> _Token:
+        token = self._tokens[self._position]
+        if token.kind != "eof":
+            self._position += 1
+        return token
+
+    def _error(self, message: str) -> GCLParseError:
+        token = self._peek()
+        return GCLParseError(message, token.line, token.column)
+
+    def _expect_op(self, text: str) -> _Token:
+        token = self._peek()
+        if token.kind != "op" or token.text != text:
+            raise self._error(f"expected {text!r}, found {token.text!r}")
+        return self._advance()
+
+    def _expect_keyword(self, text: str) -> _Token:
+        token = self._peek()
+        if token.kind != "keyword" or token.text != text:
+            raise self._error(f"expected keyword {text!r}, found {token.text!r}")
+        return self._advance()
+
+    def _expect_ident(self) -> str:
+        token = self._peek()
+        if token.kind != "ident":
+            raise self._error(f"expected an identifier, found {token.text!r}")
+        return self._advance().text
+
+    def _expect_int(self) -> int:
+        token = self._peek()
+        if token.kind != "int":
+            raise self._error(f"expected an integer, found {token.text!r}")
+        return int(self._advance().text)
+
+    def _at_op(self, text: str) -> bool:
+        token = self._peek()
+        return token.kind == "op" and token.text == text
+
+    def _at_keyword(self, text: str) -> bool:
+        token = self._peek()
+        return token.kind == "keyword" and token.text == text
+
+    # -- program structure ----------------------------------------------
+
+    def parse_program(self) -> Program:
+        """``program IDENT decl*`` to a :class:`Program`."""
+        self._expect_keyword("program")
+        name = self._expect_ident()
+        variables: List[Variable] = []
+        actions: List[GuardedAction] = []
+        action_owner: Dict[str, Optional[str]] = {}
+        process_decls: Dict[str, Tuple[List[str], Optional[List[str]]]] = {}
+        process_order: List[str] = []
+        init_expr: Optional[Expr] = None
+        while not self._peek().kind == "eof":
+            if self._at_keyword("var"):
+                variables.extend(self._parse_vardecl())
+            elif self._at_keyword("process"):
+                proc_name, owns, reads = self._parse_procdecl()
+                if proc_name in process_decls:
+                    raise self._error(f"process {proc_name!r} declared twice")
+                process_decls[proc_name] = (owns, reads)
+                process_order.append(proc_name)
+            elif self._at_keyword("action"):
+                action, owner = self._parse_actiondecl()
+                actions.append(action)
+                action_owner[action.name] = owner
+            elif self._at_keyword("init"):
+                if init_expr is not None:
+                    raise self._error("duplicate init declaration")
+                self._advance()
+                init_expr = self.parse_expression()
+            else:
+                raise self._error(
+                    f"expected a declaration, found {self._peek().text!r}"
+                )
+        processes = self._build_processes(
+            process_order, process_decls, actions, action_owner
+        )
+        return Program(
+            name,
+            variables,
+            actions,
+            init=init_expr,
+            processes=processes or None,
+        )
+
+    def _parse_vardecl(self) -> List[Variable]:
+        self._expect_keyword("var")
+        names = [self._expect_ident()]
+        while self._at_op(","):
+            self._advance()
+            names.append(self._expect_ident())
+        self._expect_op(":")
+        domain = self._parse_domain()
+        return [Variable(name, domain) for name in names]
+
+    def _parse_domain(self) -> Domain:
+        if self._at_keyword("bool"):
+            self._advance()
+            return BoolDomain()
+        if self._at_keyword("mod"):
+            self._advance()
+            modulus = self._expect_int()
+            if modulus < 1:
+                raise self._error("modulus must be positive")
+            return ModularDomain(modulus)
+        low = self._expect_int()
+        self._expect_op("..")
+        high = self._expect_int()
+        if high < low:
+            raise self._error(f"empty range {low}..{high}")
+        return IntRange(low, high)
+
+    def _parse_procdecl(self) -> Tuple[str, List[str], Optional[List[str]]]:
+        self._expect_keyword("process")
+        name = self._expect_ident()
+        self._expect_keyword("owns")
+        owns = [self._expect_ident()]
+        while self._at_op(","):
+            self._advance()
+            owns.append(self._expect_ident())
+        reads: Optional[List[str]] = None
+        if self._at_keyword("reads"):
+            self._advance()
+            reads = [self._expect_ident()]
+            while self._at_op(","):
+                self._advance()
+                reads.append(self._expect_ident())
+        return name, owns, reads
+
+    def _parse_actiondecl(self) -> Tuple[GuardedAction, Optional[str]]:
+        self._expect_keyword("action")
+        name = self._expect_ident()
+        owner: Optional[str] = None
+        if self._at_keyword("of"):
+            self._advance()
+            owner = self._expect_ident()
+        self._expect_op("::")
+        guard = self.parse_expression()
+        self._expect_op("-->")
+        assignments: Dict[str, Expr] = {}
+        while True:
+            target = self._expect_ident()
+            self._expect_op(":=")
+            value = self.parse_expression()
+            if target in assignments:
+                raise self._error(
+                    f"action {name!r} assigns {target!r} twice"
+                )
+            assignments[target] = value
+            if self._at_op(","):
+                self._advance()
+                continue
+            break
+        return GuardedAction(name, guard, assignments), owner
+
+    def _build_processes(
+        self,
+        process_order: List[str],
+        process_decls: Dict[str, Tuple[List[str], Optional[List[str]]]],
+        actions: List[GuardedAction],
+        action_owner: Dict[str, Optional[str]],
+    ) -> List[Process]:
+        if not process_decls:
+            return []
+        orphans = [
+            action.name for action in actions if action_owner[action.name] is None
+        ]
+        if orphans:
+            raise GCLParseError(
+                "programs with process declarations must attribute every "
+                f"action with 'of'; missing for {orphans}"
+            )
+        unknown = {
+            owner
+            for owner in action_owner.values()
+            if owner is not None and owner not in process_decls
+        }
+        if unknown:
+            raise GCLParseError(f"actions reference undeclared processes {sorted(unknown)}")
+        processes: List[Process] = []
+        for proc_name in process_order:
+            owns, reads = process_decls[proc_name]
+            owned_actions = [
+                action for action in actions if action_owner[action.name] == proc_name
+            ]
+            if reads is None:
+                inferred: set = set()
+                for action in owned_actions:
+                    inferred |= action.read_set()
+                reads = sorted(inferred)
+            processes.append(Process(proc_name, owns, reads, owned_actions))
+        return processes
+
+    # -- expressions ------------------------------------------------------
+
+    def parse_expression(self) -> Expr:
+        """Entry point: parse at the loosest precedence level.
+
+        The loosest level is the right-associative conditional
+        ``cond ? then : otherwise``, below implication.
+        """
+        condition = self._parse_implies()
+        if self._at_op("?"):
+            self._advance()
+            then = self.parse_expression()
+            self._expect_op(":")
+            otherwise = self.parse_expression()
+            return Ite(condition, then, otherwise)
+        return condition
+
+    def _parse_implies(self) -> Expr:
+        left = self._parse_or()
+        if self._at_op("=>"):
+            self._advance()
+            right = self._parse_implies()  # right associative
+            return Implies(left, right)
+        return left
+
+    def _parse_or(self) -> Expr:
+        left = self._parse_and()
+        while self._at_op("||"):
+            self._advance()
+            left = Or(left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> Expr:
+        left = self._parse_equality()
+        while self._at_op("&&"):
+            self._advance()
+            left = And(left, self._parse_equality())
+        return left
+
+    def _parse_equality(self) -> Expr:
+        left = self._parse_ordering()
+        while self._at_op("==") or self._at_op("!="):
+            operator = self._advance().text
+            right = self._parse_ordering()
+            left = Eq(left, right) if operator == "==" else Ne(left, right)
+        return left
+
+    def _parse_ordering(self) -> Expr:
+        left = self._parse_additive()
+        while any(self._at_op(op) for op in ("<", "<=", ">", ">=")):
+            operator = self._advance().text
+            right = self._parse_additive()
+            node = {"<": Lt, "<=": Le, ">": Gt, ">=": Ge}[operator]
+            left = node(left, right)
+        return left
+
+    def _parse_additive(self) -> Expr:
+        left = self._parse_multiplicative()
+        while self._at_op("+") or self._at_op("-"):
+            operator = self._advance().text
+            right = self._parse_multiplicative()
+            left = Add(left, right) if operator == "+" else Sub(left, right)
+        return left
+
+    def _parse_multiplicative(self) -> Expr:
+        left = self._parse_unary()
+        while self._at_op("*") or self._at_op("%"):
+            operator = self._advance().text
+            right = self._parse_unary()
+            left = Mul(left, right) if operator == "*" else Mod(left, right)
+        return left
+
+    def _parse_unary(self) -> Expr:
+        if self._at_op("!"):
+            self._advance()
+            return Not(self._parse_unary())
+        if self._at_op("-"):
+            self._advance()
+            return Sub(Const(0), self._parse_unary())
+        return self._parse_atom()
+
+    def _parse_atom(self) -> Expr:
+        token = self._peek()
+        if token.kind == "int":
+            self._advance()
+            return Const(int(token.text))
+        if token.kind == "keyword" and token.text in ("true", "false"):
+            self._advance()
+            return Const(token.text == "true")
+        if token.kind == "ident":
+            self._advance()
+            return Var(token.text)
+        if self._at_op("("):
+            self._advance()
+            inner = self.parse_expression()
+            self._expect_op(")")
+            return inner
+        raise self._error(f"expected an expression, found {token.text!r}")
+
+
+def parse_program(source: str) -> Program:
+    """Parse a full program text.
+
+    Raises:
+        GCLParseError: with line/column information on syntax errors;
+        GCLError: on semantic problems (duplicate variables, actions
+            over undeclared variables, ...).
+    """
+    parser = _Parser(tokenize(source))
+    program = parser.parse_program()
+    trailing = parser._peek()
+    if trailing.kind != "eof":  # pragma: no cover - parse_program consumes to eof
+        raise GCLParseError("trailing input", trailing.line, trailing.column)
+    return program
+
+
+def parse_expression(source: str) -> Expr:
+    """Parse a standalone expression (used by tests and the REPL-style examples).
+
+    Raises:
+        GCLParseError: on syntax errors or trailing input.
+    """
+    parser = _Parser(tokenize(source))
+    expression = parser.parse_expression()
+    trailing = parser._peek()
+    if trailing.kind != "eof":
+        raise GCLParseError(
+            f"trailing input after expression: {trailing.text!r}",
+            trailing.line,
+            trailing.column,
+        )
+    return expression

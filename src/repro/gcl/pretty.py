@@ -1,0 +1,116 @@
+"""Rendering programs back to concrete syntax.
+
+The renderer produces text that :func:`repro.gcl.parser.parse_program`
+accepts, so round-tripping is testable; it also mirrors the paper's
+guarded-command layout closely enough that a rendered derivation can
+be compared with the figures by eye.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .domain import BoolDomain, IntRange, ModularDomain
+from .program import Program
+
+__all__ = ["render_program", "render_actions"]
+
+
+def _render_domain(variable) -> str:
+    """Concrete syntax of a variable's domain."""
+    domain = variable.domain
+    if isinstance(domain, BoolDomain):
+        return "bool"
+    if isinstance(domain, ModularDomain):
+        return f"mod {domain.modulus}"
+    if isinstance(domain, IntRange):
+        return f"{domain.low}..{domain.high}"
+    raise ValueError(
+        f"domain of {variable.name!r} has no concrete syntax: {domain.description}"
+    )
+
+
+def render_actions(program: Program) -> str:
+    """Only the action lines, paper-figure style (guard --> effects)."""
+    width = max((len(action.name) for action in program.actions), default=0)
+    lines = []
+    for action in program.actions:
+        lines.append(f"{action.name.ljust(width)}  ::  {action.render()}")
+    return "\n".join(lines)
+
+
+def render_program(program: Program) -> str:
+    """Full concrete-syntax listing of a program.
+
+    Re-parseable by :func:`repro.gcl.parser.parse_program` whenever all
+    domains have concrete syntax (bool / range / mod) and, if the
+    program declares processes, every action belongs to one.
+    """
+    # Program names may contain decoration ("K4-state", "C2 [] W1''");
+    # normalize to a parseable identifier (display names are not part
+    # of automaton equality).
+    import re
+
+    identifier = re.sub(r"\W+", "_", program.name).strip("_") or "program"
+    if not identifier[0].isalpha() and identifier[0] != "_":
+        identifier = f"p_{identifier}"
+    lines: List[str] = [f"program {identifier}"]
+    # Group consecutive variables with identical domains onto one line.
+    index = 0
+    variables = program.variables
+    while index < len(variables):
+        run_end = index + 1
+        while (
+            run_end < len(variables)
+            and variables[run_end].domain == variables[index].domain
+        ):
+            run_end += 1
+        names = ", ".join(variable.name for variable in variables[index:run_end])
+        lines.append(f"var {names} : {_render_domain(variables[index])}")
+        index = run_end
+
+    owner_of = {}
+    for process in program.processes:
+        owns = ", ".join(sorted(process.owns))
+        extra_reads = sorted(process.reads - process.owns)
+        reads = f" reads {', '.join(extra_reads)}" if extra_reads else ""
+        lines.append(f"process {process.name} owns {owns}{reads}")
+        for action in process.actions:
+            owner_of[action.name] = process.name
+
+    for action in program.actions:
+        owner = owner_of.get(action.name)
+        of_clause = f" of {owner}" if owner else ""
+        effects = ", ".join(
+            f"{name} := {expr.render()}"
+            for name, expr in sorted(action.assignments.items())
+        )
+        lines.append(
+            f"action {action.name}{of_clause} :: {action.guard.render()} --> {effects}"
+        )
+
+    init = getattr(program, "_init", None)
+    from .expr import Expr
+
+    if isinstance(init, Expr):
+        lines.append(f"init {init.render()}")
+    elif init is not None:
+        # Explicit initial-state lists render as a disjunction of
+        # per-state conjunctions, re-parseable by the grammar.
+        def literal(value: object) -> str:
+            if value is True:
+                return "true"
+            if value is False:
+                return "false"
+            return str(value)
+
+        disjuncts = []
+        for assignment in init:
+            conjuncts = " && ".join(
+                f"{name} == {literal(dict(assignment)[name])}"
+                for name in (variable.name for variable in program.variables)
+            )
+            disjuncts.append(f"({conjuncts})")
+        if disjuncts:
+            lines.append("init " + " || ".join(disjuncts))
+    return "\n".join(lines)

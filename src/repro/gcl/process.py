@@ -1,0 +1,111 @@
+"""Processes and the read/write restrictions of the execution models.
+
+Section 3.1 of the paper distinguishes two system models:
+
+* the **abstract** model lets a process read *and write* its own state
+  and the states of its two ring neighbours in one atomic step;
+* the **concrete** model lets it read neighbours but **write only its
+  own state**.
+
+The whole point of the derivations in Sections 4-6 is to refine
+abstract programs that violate the concrete restriction into programs
+that satisfy it.  :class:`Process` records which variables a process
+owns and which it may read, and :func:`check_model_compliance` decides
+mechanically whether a program fits a model — the reproduction uses it
+to confirm that ``BTR4``/``BTR3`` *break* the concrete model while
+``C1``/``C2``/``C3`` and the refined wrappers satisfy it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Sequence, Tuple
+
+from .action import GuardedAction
+
+__all__ = ["Process", "ModelViolation", "check_model_compliance"]
+
+
+class Process:
+    """A named process owning variables and holding guarded actions.
+
+    Args:
+        name: process identifier (e.g. ``"p3"``).
+        owns: variables this process may write.
+        reads: variables this process may additionally read (its own
+            are always readable); for ring processes these are the
+            neighbours' variables.
+        actions: the process's guarded actions.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        owns: Iterable[str],
+        reads: Iterable[str],
+        actions: Sequence[GuardedAction],
+    ):
+        self.name = name
+        self.owns: FrozenSet[str] = frozenset(owns)
+        self.reads: FrozenSet[str] = frozenset(reads) | self.owns
+        self.actions: Tuple[GuardedAction, ...] = tuple(actions)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Process({self.name!r}, owns={sorted(self.owns)}, actions={len(self.actions)})"
+
+
+@dataclass(frozen=True)
+class ModelViolation:
+    """One violation of a model restriction.
+
+    Attributes:
+        process: offending process name.
+        action: offending action name.
+        kind: ``"write"`` or ``"read"``.
+        variable: the variable accessed outside the allowance.
+    """
+
+    process: str
+    action: str
+    kind: str
+    variable: str
+
+    def format(self) -> str:
+        """One-line human rendering of the violation."""
+        verb = "writes" if self.kind == "write" else "reads"
+        return f"process {self.process}: action {self.action} {verb} {self.variable}"
+
+
+def check_model_compliance(
+    processes: Sequence[Process], writes_restricted: bool = True
+) -> List[ModelViolation]:
+    """Check every process's actions against its access rights.
+
+    Args:
+        processes: the program's processes.
+        writes_restricted: when true (the *concrete* model), an action
+            may write only variables its process owns; when false (the
+            *abstract* model), writes anywhere inside the declared read
+            neighbourhood are allowed — the paper's abstract model
+            permits writing a neighbour's state.
+
+    Returns:
+        All violations found (empty list means the program complies).
+        Reads outside the declared neighbourhood are violations in
+        both models.
+    """
+    violations: List[ModelViolation] = []
+    for process in processes:
+        writable = process.owns if writes_restricted else process.reads
+        for action in process.actions:
+            for variable in sorted(action.write_set()):
+                if variable not in writable:
+                    violations.append(
+                        ModelViolation(process.name, action.name, "write", variable)
+                    )
+            for variable in sorted(action.read_set()):
+                if variable not in process.reads:
+                    violations.append(
+                        ModelViolation(process.name, action.name, "read", variable)
+                    )
+    return violations

@@ -1,0 +1,84 @@
+"""Compilation of guarded-command programs to transition systems.
+
+The semantics of a program under a daemon is the automaton whose
+states are all assignments of domain values to the program's variables
+(the *full* space — stabilization analysis quantifies over arbitrary
+transient corruptions, so unreachable states matter), and whose
+transitions are the daemon's moves.
+
+Out-of-domain writes are a compile-time error: an action that can
+drive a variable outside its declared domain in some state is a bug in
+the program, and silently clamping it would falsify every check
+downstream.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..core.errors import GCLError
+from ..core.state import State
+from ..core.system import System, Transition
+from .daemon import CentralDaemon, Daemon
+from .program import Program
+
+__all__ = ["compile_program"]
+
+
+def compile_program(
+    program: Program,
+    daemon: Optional[Daemon] = None,
+    keep_stutter: bool = True,
+    name: Optional[str] = None,
+) -> System:
+    """Compile ``program`` into a :class:`~repro.core.system.System`.
+
+    Args:
+        program: the guarded-command program.
+        daemon: scheduling semantics; defaults to the paper's central
+            daemon.
+        keep_stutter: whether moves that do not change the state become
+            self-loop transitions (``True``, the faithful semantics —
+            the paper's ``C3`` genuinely stutters) or are dropped
+            (``False``, the weak-fairness quotient).
+        name: system display name (defaults to the program name, with
+            the daemon appended when it is not the central one).
+
+    Returns:
+        The compiled automaton over the program's full state space,
+        with transition labels recording the action(s) that produced
+        each transition.
+
+    Raises:
+        GCLError: if any move writes a value outside a variable's
+            declared domain.
+    """
+    chosen = daemon or CentralDaemon()
+    schema = program.schema()
+    transitions: List[Transition] = []
+    labels: Dict[Transition, Set[str]] = {}
+    for state in schema.states():
+        env = schema.unpack(state)
+        for new_env, action_labels in chosen.steps(program.actions, env):
+            try:
+                successor = schema.pack(new_env)
+            except Exception as exc:
+                raise GCLError(
+                    f"program {program.name!r}: action(s) {action_labels} drive "
+                    f"the state out of domain from {schema.format_state(state)}: {exc}"
+                )
+            if successor == state and not keep_stutter:
+                continue
+            pair = (state, successor)
+            transitions.append(pair)
+            labels.setdefault(pair, set()).update(action_labels)
+    system_name = name or (
+        program.name if chosen.name == "central" else f"{program.name}@{chosen.name}"
+    )
+    return System(
+        schema,
+        transitions,
+        program.initial_states(),
+        name=system_name,
+        labels={pair: frozenset(names) for pair, names in labels.items()},
+    )

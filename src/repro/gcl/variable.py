@@ -1,0 +1,38 @@
+"""Named variables with finite domains."""
+
+from __future__ import annotations
+
+from .domain import Domain
+
+__all__ = ["Variable"]
+
+
+class Variable:
+    """A state variable of a guarded-command program.
+
+    Args:
+        name: the variable's identifier.  The token-ring programs use
+            indexed names such as ``c.2`` or ``up.0`` — any non-empty
+            string without whitespace is accepted.
+        domain: the finite :class:`~repro.gcl.domain.Domain` of values.
+
+    Raises:
+        ValueError: on empty or whitespace-containing names.
+    """
+
+    def __init__(self, name: str, domain: Domain):
+        if not name or any(ch.isspace() for ch in name):
+            raise ValueError(f"invalid variable name {name!r}")
+        self.name = name
+        self.domain = domain
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Variable):
+            return NotImplemented
+        return self.name == other.name and self.domain == other.domain
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.domain))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Variable({self.name!r}, {self.domain.description})"

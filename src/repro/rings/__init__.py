@@ -1,0 +1,109 @@
+"""The token-ring protocol family of the paper (Sections 3-6 + K-state).
+
+* :mod:`repro.rings.btr` — the abstract bidirectional ring ``BTR``;
+* :mod:`repro.rings.wrappers_abstract` — ``W1`` and ``W2``;
+* :mod:`repro.rings.btr4` — ``BTR4``, ``C1``, Dijkstra's 4-state;
+* :mod:`repro.rings.btr3` — ``BTR3``, ``C2``, the refined wrappers
+  ``W1'``/``W1''``/``W2'``, Dijkstra's 3-state;
+* :mod:`repro.rings.c3` — the paper's new 3-state system and its
+  aggressive composite;
+* :mod:`repro.rings.kstate` — ``UTR`` and Dijkstra's K-state;
+* :mod:`repro.rings.mappings` — the abstraction functions;
+* :mod:`repro.rings.tokens` / :mod:`repro.rings.legitimate` — token
+  calculus and the invariant ``I``.
+"""
+
+from .btr import btr_actions, btr_processes, btr_program, btr_variables
+from .btr3 import (
+    btr3_program,
+    btr3_variables,
+    c2_program,
+    dijkstra_three_state,
+    dijkstra_three_state_modk,
+    three_state_initial,
+    w1_global_program,
+    w1_local_program,
+    w2_refined_program,
+)
+from .btr4 import (
+    btr4_program,
+    btr4_variables,
+    c1_program,
+    dijkstra_four_state,
+    four_state_initial,
+)
+from .c3 import c3_aggressive_composed, c3_composed, c3_program
+from .kstate import (
+    kstate_initial,
+    kstate_program,
+    utr_program,
+    utr_token_creation_wrapper,
+    utr_variables,
+)
+from .legitimate import (
+    exactly_one_token,
+    i1_holds,
+    i2_i3_hold,
+    legitimate_btr_states,
+)
+from .mappings import (
+    btr3_abstraction,
+    btr4_abstraction,
+    btrk_abstraction,
+    utr_abstraction,
+)
+from .tokens import (
+    all_single_token_states,
+    count_tokens,
+    state_with_tokens,
+    token_flags,
+    tokens_in_state,
+)
+from .topology import Ring
+from .wrappers_abstract import w1_guard, w1_program, w2_program
+
+__all__ = [
+    "btr_actions",
+    "btr_processes",
+    "btr_program",
+    "btr_variables",
+    "btr3_program",
+    "btr3_variables",
+    "c2_program",
+    "dijkstra_three_state",
+    "dijkstra_three_state_modk",
+    "three_state_initial",
+    "w1_global_program",
+    "w1_local_program",
+    "w2_refined_program",
+    "btr4_program",
+    "btr4_variables",
+    "c1_program",
+    "dijkstra_four_state",
+    "four_state_initial",
+    "c3_aggressive_composed",
+    "c3_composed",
+    "c3_program",
+    "kstate_initial",
+    "kstate_program",
+    "utr_program",
+    "utr_token_creation_wrapper",
+    "utr_variables",
+    "exactly_one_token",
+    "i1_holds",
+    "i2_i3_hold",
+    "legitimate_btr_states",
+    "btr3_abstraction",
+    "btr4_abstraction",
+    "btrk_abstraction",
+    "utr_abstraction",
+    "all_single_token_states",
+    "count_tokens",
+    "state_with_tokens",
+    "token_flags",
+    "tokens_in_state",
+    "Ring",
+    "w1_guard",
+    "w1_program",
+    "w2_program",
+]

@@ -1,0 +1,126 @@
+"""The abstract bidirectional token ring ``BTR`` (paper, Section 3.1).
+
+State: boolean token flags ``ut.j`` ("process j received the token
+from j-1", defined for ``j >= 1``) and ``dt.j`` ("... from j+1",
+defined for ``j <= N-1``).  Actions, verbatim from the paper::
+
+    ut.N --> ut.N := false; dt.(N-1) := true          (top)
+    dt.0 --> dt.0 := false; ut.1 := true              (bottom)
+    ut.j --> ut.j := false; ut.(j+1) := true          (0 < j < N)
+    dt.j --> dt.j := false; dt.(j-1) := true          (0 < j < N)
+
+The *abstract* system model applies: a process may read and write its
+neighbours' state in one atomic step — the top and bottom actions and
+the token moves all write the receiving neighbour's flag.  Initially
+there is a unique token (any placement).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..gcl.action import GuardedAction
+from ..gcl.domain import BoolDomain
+from ..gcl.expr import Const, Var
+from ..gcl.process import Process
+from ..gcl.program import Program
+from ..gcl.variable import Variable
+from .tokens import token_flags
+from .topology import Ring
+
+__all__ = ["btr_variables", "btr_actions", "btr_processes", "btr_program"]
+
+
+def btr_variables(ring: Ring) -> List[Variable]:
+    """The token-flag variables of BTR, in canonical ring order."""
+    return [Variable(name, BoolDomain()) for name in token_flags(ring)]
+
+
+def btr_actions(ring: Ring) -> List[GuardedAction]:
+    """The four action families of BTR, instantiated for ``ring``."""
+    top = ring.top
+    actions: List[GuardedAction] = [
+        GuardedAction(
+            "top",
+            Var(Ring.ut(top)),
+            {Ring.ut(top): Const(False), Ring.dt(top - 1): Const(True)},
+        ),
+        GuardedAction(
+            "bottom",
+            Var(Ring.dt(0)),
+            {Ring.dt(0): Const(False), Ring.ut(1): Const(True)},
+        ),
+    ]
+    for j in ring.middles():
+        actions.append(
+            GuardedAction(
+                f"up.{j}",
+                Var(Ring.ut(j)),
+                {Ring.ut(j): Const(False), Ring.ut(j + 1): Const(True)},
+            )
+        )
+        actions.append(
+            GuardedAction(
+                f"down.{j}",
+                Var(Ring.dt(j)),
+                {Ring.dt(j): Const(False), Ring.dt(j - 1): Const(True)},
+            )
+        )
+    return actions
+
+
+def btr_processes(ring: Ring) -> List[Process]:
+    """Process structure of BTR, for model-compliance checks.
+
+    Process ``j`` owns its own token flags; its actions also write the
+    *receiving* neighbour's flag — legal in the abstract model, a
+    violation in the concrete model (which the reproduction checks
+    mechanically).
+    """
+    top = ring.top
+    owns: Dict[int, List[str]] = {j: [] for j in ring.processes()}
+    for j in ring.up_token_indices():
+        owns[j].append(Ring.ut(j))
+    for j in ring.down_token_indices():
+        owns[j].append(Ring.dt(j))
+
+    def neighbourhood(j: int) -> List[str]:
+        names: List[str] = []
+        for neighbour in (j - 1, j + 1):
+            if 0 <= neighbour <= top:
+                names.extend(owns[neighbour])
+        return names
+
+    actions = {action.name: action for action in btr_actions(ring)}
+    processes: List[Process] = []
+    for j in ring.processes():
+        mine: List[GuardedAction] = []
+        if j == top:
+            mine.append(actions["top"])
+        if j == 0:
+            mine.append(actions["bottom"])
+        if 0 < j < top:
+            mine.append(actions[f"up.{j}"])
+            mine.append(actions[f"down.{j}"])
+        processes.append(Process(f"p{j}", owns[j], neighbourhood(j), mine))
+    return processes
+
+
+def btr_program(n_processes: int) -> Program:
+    """The abstract BTR over ``n_processes`` processes.
+
+    Initial states: every single-token placement (the paper's "unique
+    token in the system", invariant ``I1 && I2 && I3``).
+    """
+    ring = Ring(n_processes)
+    flags = token_flags(ring)
+    initial = [
+        {name: (name == placed) for name in flags} for placed in flags
+    ]
+    return Program(
+        "BTR",
+        btr_variables(ring),
+        btr_actions(ring),
+        init=initial,
+        processes=btr_processes(ring),
+    )

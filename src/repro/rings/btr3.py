@@ -1,0 +1,369 @@
+"""The 3-state derivation (paper, Section 5).
+
+``BTR3`` re-expresses BTR with one counter ``c.j`` over ``{0,1,2}``
+per process; with circled-plus denoting addition mod 3 the token
+flags are encoded as::
+
+    ut.N  =  c.(N-1) = c.N (+) 1
+    dt.0  =  c.1     = c.0 (+) 1
+    ut.j  =  c.(j-1) = c.j (+) 1
+    dt.j  =  c.(j+1) = c.j (+) 1
+
+Systems built here:
+
+* :func:`btr3_program` — the mapped abstract system.  The top and
+  bottom actions translate to single own-state writes; the interior
+  moves additionally *enforce* the receiving side of the encoding on
+  the far neighbour (``c.(j+1) := c.j`` for the up-move, ``c.(j-1) :=
+  c.j`` for the down-move, right-hand sides in the pre-state), which
+  the concrete model forbids.
+* :func:`c2_program` — ``C2``: the interior enforcement writes
+  dropped (the paper's commented clauses).
+* :func:`w1_global_program` (``W1'``), :func:`w1_local_program`
+  (``W1''``), :func:`w2_refined_program` (``W2'``) — the refined
+  wrappers.  ``W1''`` approximates the global guard of ``W1'`` with
+  the local test ``c.(N-1) = c.0`` and is *not* an everywhere
+  refinement of ``W1'`` (the reproduction demonstrates this
+  mechanically); the paper argues non-interference instead (Lemma 9).
+* :func:`dijkstra_three_state` — Dijkstra's 3-state system, the
+  paper's optimized rendering of ``C2 [] W1'' [] W2'``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping
+
+from ..gcl.action import GuardedAction
+from ..gcl.domain import ModularDomain
+from ..gcl.expr import AddMod, And, BigAnd, Const, Eq, Expr, Ne, Var
+from ..gcl.process import Process
+from ..gcl.program import Program
+from ..gcl.variable import Variable
+from .topology import Ring
+
+__all__ = [
+    "btr3_variables",
+    "three_state_initial",
+    "btr3_program",
+    "c2_program",
+    "w1_global_program",
+    "w1_local_program",
+    "w2_refined_program",
+    "dijkstra_three_state",
+    "dijkstra_three_state_modk",
+    "three_state_processes",
+]
+
+
+def btr3_variables(ring: Ring) -> List[Variable]:
+    """One mod-3 counter per process."""
+    return [Variable(Ring.c(j), ModularDomain(3)) for j in ring.processes()]
+
+
+def _plus_one(j: int) -> Expr:
+    """``c.j (+) 1``."""
+    return AddMod(Var(Ring.c(j)), Const(1), 3)
+
+
+def three_state_initial(ring: Ring) -> List[Mapping[str, object]]:
+    """Canonical initial states: the three rotations of ``(v, v+1, ..., v+1)``.
+
+    ``c.0 = v`` and ``c.j = v (+) 1`` elsewhere encodes the single
+    token ``dt.0``; all three choices of ``v`` are included so the
+    initial set is closed under the encoding's value symmetry.
+    """
+    states: List[Mapping[str, object]] = []
+    for v in range(3):
+        assignment: Dict[str, object] = {Ring.c(0): v}
+        for j in range(1, ring.n_processes):
+            assignment[Ring.c(j)] = (v + 1) % 3
+        states.append(assignment)
+    return states
+
+
+def three_state_processes(ring: Ring, actions: List[GuardedAction]) -> List[Process]:
+    """Attach 3-state actions to ring processes (ownership: own counter)."""
+    top = ring.top
+    by_name = {action.name: action for action in actions}
+    processes: List[Process] = []
+    for j in ring.processes():
+        mine: List[GuardedAction] = []
+        for key in ("top", "w1.local") if j == top else ():
+            if key in by_name:
+                mine.append(by_name[key])
+        if j == 0 and "bottom" in by_name:
+            mine.append(by_name["bottom"])
+        if 0 < j < top:
+            for key in (f"up.{j}", f"down.{j}", f"w2.cancel.{j}"):
+                if key in by_name:
+                    mine.append(by_name[key])
+        reads = [
+            Ring.c(neighbour)
+            for neighbour in (j - 1, j + 1)
+            if 0 <= neighbour <= top
+        ]
+        if j == top and ("w1.local" in by_name or "top" in by_name):
+            # Dijkstra's top process also reads the bottom's counter.
+            reads.append(Ring.c(0))
+        processes.append(Process(f"p{j}", [Ring.c(j)], reads, mine))
+    return processes
+
+
+def btr3_program(n_processes: int) -> Program:
+    """``BTR3``: the mapped abstract system, with far-neighbour enforcement."""
+    ring = Ring(n_processes)
+    top = ring.top
+    actions: List[GuardedAction] = [
+        GuardedAction(
+            "top",
+            Eq(Var(Ring.c(top - 1)), _plus_one(top)),
+            {Ring.c(top): AddMod(Var(Ring.c(top - 1)), Const(1), 3)},
+        ),
+        GuardedAction(
+            "bottom",
+            Eq(Var(Ring.c(1)), _plus_one(0)),
+            {Ring.c(0): AddMod(Var(Ring.c(1)), Const(1), 3)},
+        ),
+    ]
+    for j in ring.middles():
+        actions.append(
+            GuardedAction(
+                f"up.{j}",
+                Eq(Var(Ring.c(j - 1)), _plus_one(j)),
+                {Ring.c(j): Var(Ring.c(j - 1)), Ring.c(j + 1): Var(Ring.c(j))},
+            )
+        )
+        actions.append(
+            GuardedAction(
+                f"down.{j}",
+                Eq(Var(Ring.c(j + 1)), _plus_one(j)),
+                {Ring.c(j): Var(Ring.c(j + 1)), Ring.c(j - 1): Var(Ring.c(j))},
+            )
+        )
+    return Program(
+        "BTR3",
+        btr3_variables(ring),
+        actions,
+        init=three_state_initial(ring),
+    )
+
+
+def c2_program(n_processes: int) -> Program:
+    """``C2``: BTR3 with the far-neighbour writes commented out."""
+    ring = Ring(n_processes)
+    top = ring.top
+    actions: List[GuardedAction] = [
+        GuardedAction(
+            "top",
+            Eq(Var(Ring.c(top - 1)), _plus_one(top)),
+            {Ring.c(top): AddMod(Var(Ring.c(top - 1)), Const(1), 3)},
+        ),
+        GuardedAction(
+            "bottom",
+            Eq(Var(Ring.c(1)), _plus_one(0)),
+            {Ring.c(0): AddMod(Var(Ring.c(1)), Const(1), 3)},
+        ),
+    ]
+    for j in ring.middles():
+        actions.append(
+            GuardedAction(
+                f"up.{j}",
+                Eq(Var(Ring.c(j - 1)), _plus_one(j)),
+                {Ring.c(j): Var(Ring.c(j - 1))},
+            )
+        )
+        actions.append(
+            GuardedAction(
+                f"down.{j}",
+                Eq(Var(Ring.c(j + 1)), _plus_one(j)),
+                {Ring.c(j): Var(Ring.c(j + 1))},
+            )
+        )
+    program = Program(
+        "C2",
+        btr3_variables(ring),
+        actions,
+        init=three_state_initial(ring),
+    )
+    return Program(
+        "C2",
+        program.variables,
+        actions,
+        init=three_state_initial(ring),
+        processes=three_state_processes(ring, actions),
+    )
+
+
+def w1_global_program(n_processes: int) -> Program:
+    """``W1'``: the mapped token-creation wrapper, still global.
+
+    Guard: all counters below the top agree *and* the top holds no
+    token; action: re-point the top's counter so ``ut.N`` appears.
+    """
+    ring = Ring(n_processes)
+    top = ring.top
+    conjuncts: List[Expr] = [
+        Eq(Var(Ring.c(j)), Var(Ring.c(0))) for j in range(1, top)
+    ]
+    conjuncts.append(Ne(Var(Ring.c(top)), AddMod(Var(Ring.c(top - 1)), Const(1), 3)))
+    # The paper's guard reads c.N != c.(N-1) (+) 1 -- "ut.N is absent"
+    # is c.(N-1) != c.N (+) 1; both conjuncts are needed for the wrapper
+    # to be disabled in every single-token state, and the second is the
+    # one the paper writes.
+    action = GuardedAction(
+        "w1.global",
+        BigAnd(*conjuncts),
+        {Ring.c(top): AddMod(Var(Ring.c(top - 1)), Const(1), 3)},
+    )
+    return Program("W1'", btr3_variables(ring), [action], init=None)
+
+
+def w1_local_program(n_processes: int) -> Program:
+    """``W1''``: the local approximation of ``W1'`` at the top process.
+
+    Guard ``c.(N-1) = c.0 && c.N != c.(N-1) (+) 1``; the top process
+    reads only its two neighbours on the (wrapped) ring — the bottom's
+    counter stands in for the global all-equal test.
+    """
+    ring = Ring(n_processes)
+    top = ring.top
+    action = GuardedAction(
+        "w1.local",
+        And(
+            Eq(Var(Ring.c(top - 1)), Var(Ring.c(0))),
+            Ne(Var(Ring.c(top)), AddMod(Var(Ring.c(top - 1)), Const(1), 3)),
+        ),
+        {Ring.c(top): AddMod(Var(Ring.c(top - 1)), Const(1), 3)},
+    )
+    return Program("W1''", btr3_variables(ring), [action], init=None)
+
+
+def w2_refined_program(n_processes: int) -> Program:
+    """``W2'``: cancellation of co-located opposite tokens, in counters.
+
+    ``c.(j-1) = c.j (+) 1 && c.(j+1) = c.j (+) 1 --> c.j := c.(j-1)``
+    deletes both tokens at ``j`` (single own-state write — already
+    concrete-model compliant).
+    """
+    ring = Ring(n_processes)
+    actions: List[GuardedAction] = []
+    for j in ring.middles():
+        actions.append(
+            GuardedAction(
+                f"w2.cancel.{j}",
+                And(
+                    Eq(Var(Ring.c(j - 1)), _plus_one(j)),
+                    Eq(Var(Ring.c(j + 1)), _plus_one(j)),
+                ),
+                {Ring.c(j): Var(Ring.c(j - 1))},
+            )
+        )
+    return Program("W2'", btr3_variables(ring), actions, init=None)
+
+
+def dijkstra_three_state(n_processes: int) -> Program:
+    """Dijkstra's 3-state stabilizing token ring (paper, end of Section 5).
+
+    The optimized rendering of ``C2 [] W1'' [] W2'``::
+
+        c.(N-1) = c.0 && c.(N-1) (+) 1 != c.N --> c.N := c.(N-1) (+) 1
+        c.1 = c.0 (+) 1                       --> c.0 := c.1 (+) 1
+        c.(j-1) = c.j (+) 1                   --> c.j := c.(j-1)
+        c.(j+1) = c.j (+) 1                   --> c.j := c.(j+1)
+    """
+    ring = Ring(n_processes)
+    top = ring.top
+    actions: List[GuardedAction] = [
+        GuardedAction(
+            "top",
+            And(
+                Eq(Var(Ring.c(top - 1)), Var(Ring.c(0))),
+                Ne(AddMod(Var(Ring.c(top - 1)), Const(1), 3), Var(Ring.c(top))),
+            ),
+            {Ring.c(top): AddMod(Var(Ring.c(top - 1)), Const(1), 3)},
+        ),
+        GuardedAction(
+            "bottom",
+            Eq(Var(Ring.c(1)), _plus_one(0)),
+            {Ring.c(0): AddMod(Var(Ring.c(1)), Const(1), 3)},
+        ),
+    ]
+    for j in ring.middles():
+        actions.append(
+            GuardedAction(
+                f"up.{j}",
+                Eq(Var(Ring.c(j - 1)), _plus_one(j)),
+                {Ring.c(j): Var(Ring.c(j - 1))},
+            )
+        )
+        actions.append(
+            GuardedAction(
+                f"down.{j}",
+                Eq(Var(Ring.c(j + 1)), _plus_one(j)),
+                {Ring.c(j): Var(Ring.c(j + 1))},
+            )
+        )
+    return Program(
+        "Dijkstra3",
+        btr3_variables(ring),
+        actions,
+        init=three_state_initial(ring),
+        processes=three_state_processes(ring, actions),
+    )
+
+
+def dijkstra_three_state_modk(n_processes: int, k: int) -> Program:
+    """The Dijkstra-3 *action schema* with counters mod ``k``.
+
+    An ablation probe, not a protocol from the paper: the Section 6
+    rewriting to Dijkstra's system leans on a case analysis that only
+    closes for ``Z_3``.  The reproduction confirms mechanically that
+    ``k = 3`` is the unique modulus at which this schema stabilizes —
+    ``k = 2`` breaks closure of the legitimate behaviour and ``k >= 4``
+    introduces illegitimate deadlocks (see ``bench_ablations.py``).
+
+    Raises:
+        ValueError: for ``k < 2``.
+    """
+    if k < 2:
+        raise ValueError("counters need at least two values")
+    ring = Ring(n_processes)
+    top = ring.top
+
+    def plus_one(j: int) -> Expr:
+        return AddMod(Var(Ring.c(j)), Const(1), k)
+
+    variables = [Variable(Ring.c(j), ModularDomain(k)) for j in ring.processes()]
+    actions: List[GuardedAction] = [
+        GuardedAction(
+            "top",
+            And(
+                Eq(Var(Ring.c(top - 1)), Var(Ring.c(0))),
+                Ne(AddMod(Var(Ring.c(top - 1)), Const(1), k), Var(Ring.c(top))),
+            ),
+            {Ring.c(top): AddMod(Var(Ring.c(top - 1)), Const(1), k)},
+        ),
+        GuardedAction(
+            "bottom",
+            Eq(Var(Ring.c(1)), plus_one(0)),
+            {Ring.c(0): AddMod(Var(Ring.c(1)), Const(1), k)},
+        ),
+    ]
+    for j in ring.middles():
+        actions.append(
+            GuardedAction(
+                f"up.{j}", Eq(Var(Ring.c(j - 1)), plus_one(j)),
+                {Ring.c(j): Var(Ring.c(j - 1))},
+            )
+        )
+        actions.append(
+            GuardedAction(
+                f"down.{j}", Eq(Var(Ring.c(j + 1)), plus_one(j)),
+                {Ring.c(j): Var(Ring.c(j + 1))},
+            )
+        )
+    init = [
+        {Ring.c(0): v, **{Ring.c(j): (v + 1) % k for j in range(1, n_processes)}}
+        for v in range(k)
+    ]
+    return Program(f"D3-mod{k}", variables, actions, init=init)

@@ -1,0 +1,276 @@
+"""The 4-state derivation (paper, Section 4).
+
+``BTR4`` re-expresses BTR with two booleans per process — a colour
+``c.j`` and a direction bit ``up.j`` (``up.0 = true`` and
+``up.N = false`` are hard-wired, so the bit exists only at interior
+processes).  The token flags are *encoded*::
+
+    ut.N  ==  c.N != c.(N-1) && up.(N-1)
+    dt.0  ==  c.0  = c.1     && !up.1
+    ut.j  ==  c.j != c.(j-1) && up.(j-1) && !up.j       (0 < j < N)
+    dt.j  ==  c.j  = c.(j+1) && !up.(j+1) && up.j       (0 < j < N)
+
+Three systems are built here:
+
+* :func:`btr4_program` — the mapped abstract system.  Its actions
+  include the *enforcement writes* to neighbour state that keep the
+  encoding exactly in step with BTR (legal in the abstract model).
+* :func:`c1_program` — the refinement ``C1``: same guards, but the
+  neighbour writes are dropped (the concrete model lets a process
+  write only its own state) — the paper's "commented-out" clauses.
+* :func:`dijkstra_four_state` — Dijkstra's 4-state system, obtained
+  from ``C1 [] W1' [] W2'`` by relaxing the guards of the top and
+  mid-up actions (the wrappers ``W1'`` and ``W2'`` are *vacuous* in
+  the 4-state encoding, which the reproduction checks mechanically:
+  no 4-state configuration has zero tokens or co-located tokens).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional
+
+from ..gcl.action import GuardedAction
+from ..gcl.domain import BoolDomain
+from ..gcl.expr import And, Const, Eq, Expr, Ne, Not, Var
+from ..gcl.process import Process
+from ..gcl.program import Program
+from ..gcl.variable import Variable
+from .topology import Ring
+
+__all__ = [
+    "btr4_variables",
+    "up_expr",
+    "btr4_program",
+    "c1_program",
+    "dijkstra_four_state",
+    "four_state_initial",
+]
+
+
+def btr4_variables(ring: Ring) -> List[Variable]:
+    """Colour bits ``c.0..c.N`` then direction bits ``up.1..up.(N-1)``."""
+    variables = [Variable(Ring.c(j), BoolDomain()) for j in ring.processes()]
+    variables.extend(Variable(Ring.up(j), BoolDomain()) for j in ring.middles())
+    return variables
+
+
+def up_expr(ring: Ring, j: int) -> Expr:
+    """The direction bit at ``j`` as an expression, honouring the
+    hard-wired ``up.0 = true`` and ``up.N = false``."""
+    if j == 0:
+        return Const(True)
+    if j == ring.top:
+        return Const(False)
+    return Var(Ring.up(j))
+
+
+def _guards(ring: Ring) -> Dict[str, Expr]:
+    """The four guard families shared by BTR4 and C1."""
+    top = ring.top
+    guards: Dict[str, Expr] = {
+        "top": And(
+            Ne(Var(Ring.c(top)), Var(Ring.c(top - 1))), up_expr(ring, top - 1)
+        ),
+        "bottom": And(
+            Eq(Var(Ring.c(0)), Var(Ring.c(1))), Not(up_expr(ring, 1))
+        ),
+    }
+    for j in ring.middles():
+        guards[f"up.{j}"] = And(
+            And(Ne(Var(Ring.c(j)), Var(Ring.c(j - 1))), up_expr(ring, j - 1)),
+            Not(up_expr(ring, j)),
+        )
+        guards[f"down.{j}"] = And(
+            And(Eq(Var(Ring.c(j)), Var(Ring.c(j + 1))), Not(up_expr(ring, j + 1))),
+            up_expr(ring, j),
+        )
+    return guards
+
+
+def _four_state_processes(
+    ring: Ring, actions: List[GuardedAction]
+) -> List[Process]:
+    """Attach actions to processes; ownership is the process's own bits."""
+    top = ring.top
+    owns: Dict[int, List[str]] = {j: [Ring.c(j)] for j in ring.processes()}
+    for j in ring.middles():
+        owns[j].append(Ring.up(j))
+    by_name = {action.name: action for action in actions}
+    processes: List[Process] = []
+    for j in ring.processes():
+        mine: List[GuardedAction] = []
+        if j == top and "top" in by_name:
+            mine.append(by_name["top"])
+        if j == 0 and "bottom" in by_name:
+            mine.append(by_name["bottom"])
+        if 0 < j < top:
+            for key in (f"up.{j}", f"down.{j}"):
+                if key in by_name:
+                    mine.append(by_name[key])
+        reads: List[str] = []
+        for neighbour in (j - 1, j + 1):
+            if 0 <= neighbour <= top:
+                reads.extend(owns[neighbour])
+        processes.append(Process(f"p{j}", owns[j], reads, mine))
+    return processes
+
+
+def four_state_initial(ring: Ring) -> List[Mapping[str, object]]:
+    """Canonical initial states: uniform colours, all direction bits down.
+
+    Both uniform colourings encode the single token ``dt.0`` (the
+    bottom process is about to flip), matching BTR's unique-token
+    initial condition through the abstraction.
+    """
+    states: List[Mapping[str, object]] = []
+    for colour in (False, True):
+        assignment: Dict[str, object] = {
+            Ring.c(j): colour for j in ring.processes()
+        }
+        for j in ring.middles():
+            assignment[Ring.up(j)] = False
+        states.append(assignment)
+    return states
+
+
+def btr4_program(n_processes: int) -> Program:
+    """``BTR4``: the mapped abstract system, *with* neighbour writes.
+
+    Each action performs the encoded token hand-off **and** enforces
+    the receiving side of the encoding on the neighbour (the clauses
+    C1 later comments out).  Right-hand sides are evaluated in the
+    pre-state (parallel assignment), exactly as in the paper's
+    guarded-command semantics.
+    """
+    ring = Ring(n_processes)
+    top = ring.top
+    guards = _guards(ring)
+    actions: List[GuardedAction] = []
+
+    effects_top: Dict[str, Expr] = {Ring.c(top): Var(Ring.c(top - 1))}
+    if top - 1 >= 1:
+        effects_top[Ring.up(top - 1)] = Const(True)
+    actions.append(GuardedAction("top", guards["top"], effects_top))
+
+    effects_bottom: Dict[str, Expr] = {Ring.c(0): Not(Var(Ring.c(0)))}
+    if 1 <= top - 1:
+        effects_bottom[Ring.up(1)] = Const(False)
+    actions.append(GuardedAction("bottom", guards["bottom"], effects_bottom))
+
+    for j in ring.middles():
+        # Token moves up from j to j+1: write own state, and enforce
+        # ut.(j+1)'s encoding on the neighbour above.
+        effects_up: Dict[str, Expr] = {
+            Ring.c(j): Var(Ring.c(j - 1)),
+            Ring.up(j): Const(True),
+            Ring.c(j + 1): Not(Var(Ring.c(j - 1))),
+        }
+        if j + 1 <= top - 1:
+            effects_up[Ring.up(j + 1)] = Const(False)
+        actions.append(GuardedAction(f"up.{j}", guards[f"up.{j}"], effects_up))
+
+        # Token moves down from j to j-1: clear own bit, and enforce
+        # dt.(j-1)'s encoding on the neighbour below.
+        effects_down: Dict[str, Expr] = {
+            Ring.up(j): Const(False),
+            Ring.c(j - 1): Var(Ring.c(j)),
+        }
+        if j - 1 >= 1:
+            effects_down[Ring.up(j - 1)] = Const(True)
+        actions.append(GuardedAction(f"down.{j}", guards[f"down.{j}"], effects_down))
+
+    return Program(
+        "BTR4",
+        btr4_variables(ring),
+        actions,
+        init=four_state_initial(ring),
+    )
+
+
+def c1_program(n_processes: int) -> Program:
+    """``C1``: the concrete-model refinement of ``BTR4``.
+
+    Identical guards; every write to a neighbour's state is dropped —
+    the paper's ``//`` comments.  Complies with the concrete model
+    (verified by :func:`repro.gcl.process.check_model_compliance`).
+    """
+    ring = Ring(n_processes)
+    top = ring.top
+    guards = _guards(ring)
+    actions: List[GuardedAction] = [
+        GuardedAction("top", guards["top"], {Ring.c(top): Var(Ring.c(top - 1))}),
+        GuardedAction("bottom", guards["bottom"], {Ring.c(0): Not(Var(Ring.c(0)))}),
+    ]
+    for j in ring.middles():
+        actions.append(
+            GuardedAction(
+                f"up.{j}",
+                guards[f"up.{j}"],
+                {Ring.c(j): Var(Ring.c(j - 1)), Ring.up(j): Const(True)},
+            )
+        )
+        actions.append(
+            GuardedAction(
+                f"down.{j}", guards[f"down.{j}"], {Ring.up(j): Const(False)}
+            )
+        )
+    return Program(
+        "C1",
+        btr4_variables(ring),
+        actions,
+        init=four_state_initial(ring),
+        processes=_four_state_processes(ring, actions),
+    )
+
+
+def dijkstra_four_state(n_processes: int) -> Program:
+    """Dijkstra's 4-state stabilizing token ring (paper, end of Section 4).
+
+    ``C1 [] W1' [] W2'`` with the guards of the top and mid-up actions
+    relaxed (the dropped conjuncts are implied in legitimate states and
+    harmless elsewhere)::
+
+        c.(N-1) != c.N                      --> c.N := c.(N-1)
+        c.1 = c.0 && !up.1                  --> c.0 := !c.0
+        c.(j-1) != c.j                      --> c.j := c.(j-1); up.j := true
+        c.(j+1) = c.j && !up.(j+1) && up.j  --> up.j := false
+    """
+    ring = Ring(n_processes)
+    top = ring.top
+    actions: List[GuardedAction] = [
+        GuardedAction(
+            "top",
+            Ne(Var(Ring.c(top - 1)), Var(Ring.c(top))),
+            {Ring.c(top): Var(Ring.c(top - 1))},
+        ),
+        GuardedAction(
+            "bottom",
+            And(Eq(Var(Ring.c(1)), Var(Ring.c(0))), Not(up_expr(ring, 1))),
+            {Ring.c(0): Not(Var(Ring.c(0)))},
+        ),
+    ]
+    for j in ring.middles():
+        actions.append(
+            GuardedAction(
+                f"up.{j}",
+                Ne(Var(Ring.c(j - 1)), Var(Ring.c(j))),
+                {Ring.c(j): Var(Ring.c(j - 1)), Ring.up(j): Const(True)},
+            )
+        )
+        actions.append(
+            GuardedAction(
+                f"down.{j}",
+                And(
+                    And(Eq(Var(Ring.c(j + 1)), Var(Ring.c(j))), Not(up_expr(ring, j + 1))),
+                    up_expr(ring, j),
+                ),
+                {Ring.up(j): Const(False)},
+            )
+        )
+    return Program(
+        "Dijkstra4",
+        btr4_variables(ring),
+        actions,
+        init=four_state_initial(ring),
+        processes=_four_state_processes(ring, actions),
+    )

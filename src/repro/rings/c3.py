@@ -1,0 +1,176 @@
+"""The new 3-state system ``C3`` (paper, Section 6).
+
+``C3`` uses the same 3-state encoding as Section 5 but implements the
+interior moves the *other* way around: instead of killing the token at
+``j`` with an own-state write and leaving the creation at the
+neighbour implicit, it *creates* the destination token with an
+own-state write and leaves the deletion implicit::
+
+    c.(N-1) = c.N (+) 1 --> c.N := c.(N-1) (+) 1          (top)
+    c.1 = c.0 (+) 1     --> c.0 := c.1 (+) 1              (bottom)
+    c.(j-1) = c.j (+) 1 --> c.j := c.(j+1) (+) 1          (up; // kill ut.j)
+    c.(j+1) = c.j (+) 1 --> c.j := c.(j-1) (+) 1          (down; // kill dt.j)
+
+In legitimate states the write coincides with ``C2``'s; in corrupted
+states the action may leave the state unchanged — the *tau steps*
+(stuttering) of the paper's Section 6 figure — so all checks on ``C3``
+run stutter-insensitively under weak fairness.
+
+:func:`c3_aggressive_composed` builds the paper's final if-then-else
+composite (``C3`` with the *aggressive* ``W2'`` merged in), which the
+paper argues — and this reproduction verifies mechanically, action by
+action — is exactly Dijkstra's 3-state system.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..gcl.action import GuardedAction
+from ..gcl.expr import AddMod, And, Const, Eq, Expr, Ite, Ne, Var
+from ..gcl.program import Program
+from .btr3 import (
+    btr3_variables,
+    three_state_initial,
+    three_state_processes,
+    w1_local_program,
+    w2_refined_program,
+)
+from .topology import Ring
+
+__all__ = ["c3_program", "c3_composed", "c3_aggressive_composed"]
+
+
+def _plus_one(j: int) -> Expr:
+    """``c.j (+) 1``."""
+    return AddMod(Var(Ring.c(j)), Const(1), 3)
+
+
+def c3_program(n_processes: int) -> Program:
+    """The alternative 3-state refinement ``C3`` of BTR."""
+    ring = Ring(n_processes)
+    top = ring.top
+    actions: List[GuardedAction] = [
+        GuardedAction(
+            "top",
+            Eq(Var(Ring.c(top - 1)), _plus_one(top)),
+            {Ring.c(top): AddMod(Var(Ring.c(top - 1)), Const(1), 3)},
+        ),
+        GuardedAction(
+            "bottom",
+            Eq(Var(Ring.c(1)), _plus_one(0)),
+            {Ring.c(0): AddMod(Var(Ring.c(1)), Const(1), 3)},
+        ),
+    ]
+    for j in ring.middles():
+        actions.append(
+            GuardedAction(
+                f"up.{j}",
+                Eq(Var(Ring.c(j - 1)), _plus_one(j)),
+                {Ring.c(j): AddMod(Var(Ring.c(j + 1)), Const(1), 3)},
+            )
+        )
+        actions.append(
+            GuardedAction(
+                f"down.{j}",
+                Eq(Var(Ring.c(j + 1)), _plus_one(j)),
+                {Ring.c(j): AddMod(Var(Ring.c(j - 1)), Const(1), 3)},
+            )
+        )
+    return Program(
+        "C3",
+        btr3_variables(ring),
+        actions,
+        init=three_state_initial(ring),
+        processes=three_state_processes(ring, actions),
+    )
+
+
+def c3_composed(n_processes: int) -> Program:
+    """``C3 [] W1'' [] W2'`` — the graybox result of Theorem 13.
+
+    The wrappers are exactly the ones developed for ``C2`` in
+    Section 5.1, reused without modification (the whole point of
+    graybox design).
+    """
+    return (
+        c3_program(n_processes)
+        .merged_with(w1_local_program(n_processes))
+        .merged_with(w2_refined_program(n_processes), name="C3 [] W1'' [] W2'")
+    )
+
+
+def c3_aggressive_composed(n_processes: int) -> Program:
+    """The paper's final Section 6 listing: ``C3`` with the aggressive
+    ``W2'`` merged into the interior actions as if-then-else cascades.
+
+    The aggressive wrapper also deletes ``ut.j`` when ``ut.(j+1)``
+    holds and ``dt.j`` when ``dt.(j-1)`` holds.  Merged::
+
+        c.(j-1) = c.j (+) 1 --> if c.(j-1) = c.(j+1) then c.j := c.(j-1)
+                                 elif c.j = c.(j+1) (+) 1 then c.j := c.(j-1)
+                                 else c.j := c.(j+1) (+) 1
+        c.(j+1) = c.j (+) 1 --> if c.(j-1) = c.(j+1) then c.j := c.(j+1)
+                                 elif c.j = c.(j-1) (+) 1 then c.j := c.(j+1)
+                                 else c.j := c.(j-1) (+) 1
+
+    Because the counters live in Z_3, every branch coincides with
+    Dijkstra's simple write (the paper's closing observation); the
+    reproduction asserts the compiled automata are *equal*.
+    """
+    ring = Ring(n_processes)
+    top = ring.top
+    actions: List[GuardedAction] = [
+        GuardedAction(
+            "top",
+            And(
+                Eq(Var(Ring.c(top - 1)), Var(Ring.c(0))),
+                Ne(AddMod(Var(Ring.c(top - 1)), Const(1), 3), Var(Ring.c(top))),
+            ),
+            {Ring.c(top): AddMod(Var(Ring.c(top - 1)), Const(1), 3)},
+        ),
+        GuardedAction(
+            "bottom",
+            Eq(Var(Ring.c(1)), _plus_one(0)),
+            {Ring.c(0): AddMod(Var(Ring.c(1)), Const(1), 3)},
+        ),
+    ]
+    for j in ring.middles():
+        up_value = Ite(
+            Eq(Var(Ring.c(j - 1)), Var(Ring.c(j + 1))),
+            Var(Ring.c(j - 1)),
+            Ite(
+                Eq(Var(Ring.c(j)), _plus_one(j + 1)),
+                Var(Ring.c(j - 1)),
+                AddMod(Var(Ring.c(j + 1)), Const(1), 3),
+            ),
+        )
+        actions.append(
+            GuardedAction(
+                f"up.{j}",
+                Eq(Var(Ring.c(j - 1)), _plus_one(j)),
+                {Ring.c(j): up_value},
+            )
+        )
+        down_value = Ite(
+            Eq(Var(Ring.c(j - 1)), Var(Ring.c(j + 1))),
+            Var(Ring.c(j + 1)),
+            Ite(
+                Eq(Var(Ring.c(j)), _plus_one(j - 1)),
+                Var(Ring.c(j + 1)),
+                AddMod(Var(Ring.c(j - 1)), Const(1), 3),
+            ),
+        )
+        actions.append(
+            GuardedAction(
+                f"down.{j}",
+                Eq(Var(Ring.c(j + 1)), _plus_one(j)),
+                {Ring.c(j): down_value},
+            )
+        )
+    return Program(
+        "C3-aggressive",
+        btr3_variables(ring),
+        actions,
+        init=three_state_initial(ring),
+    )

@@ -1,0 +1,146 @@
+"""The unidirectional ring and Dijkstra's K-state protocol.
+
+The paper's companion technical report derives Dijkstra's K-state
+protocol from an abstract unidirectional token ring; the report is not
+part of the conference paper, so this module reconstructs the natural
+abstract system and the classical concrete protocol:
+
+* :func:`utr_program` — the abstract unidirectional token ring
+  ``UTR``: one boolean token flag per process, a single action family
+  ``t.j --> t.j := false; t.(j+1 mod N+1) := true``.  Tokens moving
+  onto an occupied process *merge* (the flag is simply set), which is
+  the abstraction's built-in counterpart of cancellation.
+* :func:`kstate_program` — Dijkstra's K-state system::
+
+      c.0 = c.N       --> c.0 := c.0 (+) 1        (bottom)
+      c.j != c.(j-1)  --> c.j := c.(j-1)           (j > 0)
+
+  with counters mod ``K``.  Classically self-stabilizing for
+  ``K >= N + 1`` (number of processes); the benchmark sweep
+  rediscovers the exact threshold mechanically.
+
+The abstraction (:func:`repro.rings.mappings.utr_abstraction`) decodes
+``t.0 = (c.0 = c.N)`` and ``t.j = (c.j != c.(j-1))``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping
+
+from ..gcl.action import GuardedAction
+from ..gcl.domain import BoolDomain, ModularDomain
+from ..gcl.expr import AddMod, Const, Eq, Ne, Var
+from ..gcl.process import Process
+from ..gcl.program import Program
+from ..gcl.variable import Variable
+from .topology import Ring
+
+__all__ = [
+    "utr_variables",
+    "utr_program",
+    "utr_token_creation_wrapper",
+    "kstate_variables",
+    "kstate_initial",
+    "kstate_program",
+]
+
+
+def utr_variables(ring: Ring) -> List[Variable]:
+    """One boolean token flag per process."""
+    return [Variable(Ring.t(j), BoolDomain()) for j in ring.processes()]
+
+
+def utr_program(n_processes: int) -> Program:
+    """The abstract unidirectional token ring ``UTR``.
+
+    Initial states: every single-token placement.  The move action
+    writes the successor's flag — abstract-model behaviour.
+    """
+    ring = Ring(n_processes)
+    actions = [
+        GuardedAction(
+            f"move.{j}",
+            Var(Ring.t(j)),
+            {Ring.t(j): Const(False), Ring.t(ring.succ(j)): Const(True)},
+        )
+        for j in ring.processes()
+    ]
+    flags = [Ring.t(j) for j in ring.processes()]
+    initial = [{name: (name == placed) for name in flags} for placed in flags]
+    return Program("UTR", utr_variables(ring), actions, init=initial)
+
+
+def utr_token_creation_wrapper(n_processes: int) -> Program:
+    """The unidirectional analogue of ``W1``: create a token when none
+    exists.
+
+    Included for the E11 negative result: even with this wrapper (and
+    even under strong fairness) the abstract boolean ring does *not*
+    stabilize — two tokens can rotate in lockstep forever, never
+    becoming adjacent, so no merge is ever forced.  Cancellation-style
+    wrappers have no unidirectional counterpart; the K-state counters
+    are what breaks the symmetry.
+    """
+    ring = Ring(n_processes)
+    from ..gcl.expr import BigAnd, Not
+
+    guard = BigAnd(*(Not(Var(Ring.t(j))) for j in ring.processes()))
+    action = GuardedAction("w1u.create", guard, {Ring.t(0): Const(True)})
+    return Program("W1u", utr_variables(ring), [action], init=None)
+
+
+def kstate_variables(ring: Ring, k: int) -> List[Variable]:
+    """One mod-``k`` counter per process.
+
+    Raises:
+        ValueError: for ``k < 2`` — a 1-state counter cannot even
+            represent a moving token.
+    """
+    if k < 2:
+        raise ValueError("the K-state protocol needs K >= 2")
+    return [Variable(Ring.c(j), ModularDomain(k)) for j in ring.processes()]
+
+
+def kstate_initial(ring: Ring, k: int) -> List[Mapping[str, object]]:
+    """Canonical initial states: all counters equal (token at the bottom)."""
+    return [
+        {Ring.c(j): value for j in ring.processes()} for value in range(k)
+    ]
+
+
+def kstate_program(n_processes: int, k: int) -> Program:
+    """Dijkstra's K-state protocol over ``n_processes`` processes.
+
+    Complies with the concrete model: every action writes only its own
+    counter (ownership is attached for mechanical model checking).
+    """
+    ring = Ring(n_processes)
+    top = ring.top
+    actions: List[GuardedAction] = [
+        GuardedAction(
+            "bottom",
+            Eq(Var(Ring.c(0)), Var(Ring.c(top))),
+            {Ring.c(0): AddMod(Var(Ring.c(0)), Const(1), k)},
+        )
+    ]
+    for j in range(1, n_processes):
+        actions.append(
+            GuardedAction(
+                f"copy.{j}",
+                Ne(Var(Ring.c(j)), Var(Ring.c(j - 1))),
+                {Ring.c(j): Var(Ring.c(j - 1))},
+            )
+        )
+    by_name = {action.name: action for action in actions}
+    processes: List[Process] = []
+    for j in ring.processes():
+        mine = [by_name["bottom"]] if j == 0 else [by_name[f"copy.{j}"]]
+        reads = [Ring.c(ring.pred(j))]
+        processes.append(Process(f"p{j}", [Ring.c(j)], reads, mine))
+    return Program(
+        f"K{k}-state",
+        kstate_variables(ring, k),
+        actions,
+        init=kstate_initial(ring, k),
+        processes=processes,
+    )

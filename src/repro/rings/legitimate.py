@@ -1,0 +1,53 @@
+"""The BTR invariant ``I = I1 && I2 && I3 && I4`` (paper, Section 3.1).
+
+``I1`` — some token exists; ``I2``/``I3`` — at most one process holds
+a token and holds only one; together: exactly one token.  ``I4`` (the
+token alternates direction each round) is a *history* property, not a
+state predicate — the paper notes it follows from BTR once
+``I1 && I2 && I3`` is established, and the reproduction confirms this
+behaviourally: the legitimate reachable behaviour of BTR is exactly
+token circulation, bounce, circulation (see the integration tests).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+from ..core.state import State, StateSchema
+from .tokens import count_tokens
+from .topology import Ring
+
+__all__ = ["i1_holds", "i2_i3_hold", "exactly_one_token", "legitimate_btr_states"]
+
+
+def i1_holds(schema: StateSchema, state: State) -> bool:
+    """``I1``: there exists a token in the system."""
+    return count_tokens(schema, state) >= 1
+
+
+def i2_i3_hold(schema: StateSchema, state: State) -> bool:
+    """``I2 && I3``: at most one token flag is raised anywhere.
+
+    ``I2`` forbids tokens at two distinct processes, ``I3`` forbids a
+    process from holding both an up- and a down-token; jointly they say
+    at most one flag is true, which is how they are checked here.
+    """
+    return count_tokens(schema, state) <= 1
+
+
+def exactly_one_token(schema: StateSchema, state: State) -> bool:
+    """``I1 && I2 && I3``: there is a unique token."""
+    return count_tokens(schema, state) == 1
+
+
+def legitimate_btr_states(ring: Ring, schema: StateSchema) -> FrozenSet[State]:
+    """All abstract states satisfying ``I1 && I2 && I3``.
+
+    For the abstract BTR these coincide with the states reachable from
+    the single-token initial set (verified mechanically in the test
+    suite), so the predicate form and the reachability form of
+    "legitimate" agree.
+    """
+    return frozenset(
+        state for state in schema.states() if exactly_one_token(schema, state)
+    )

@@ -1,0 +1,179 @@
+"""Abstraction functions from the encoded rings onto BTR/UTR token space.
+
+Section 2.3 of the paper relates different state spaces through a
+total abstraction function; Sections 4-6 instantiate it with the
+4-state and 3-state encodings.  The functions here compute, for every
+concrete configuration, the truth value of each token flag, producing
+the abstract BTR (or UTR) state.
+
+None of these mappings is *onto* the full abstract space — e.g. no
+4-state configuration encodes zero tokens or co-located opposite
+tokens (that is exactly why the refined wrappers ``W1'``/``W2'`` are
+vacuous), and no 3-state configuration encodes zero tokens.  The
+checks in this library never rely on surjectivity;
+:meth:`~repro.core.abstraction.AbstractionFunction.missed_abstract_states`
+reports the uncovered region, and EXPERIMENTS.md discusses how the
+paper's blanket "onto" requirement is to be read per instance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..core.abstraction import AbstractionFunction
+from ..core.state import State, StateSchema
+from .btr import btr_program
+from .btr3 import btr3_variables
+from .btr4 import btr4_variables
+from .kstate import kstate_variables, utr_program
+from .topology import Ring
+
+__all__ = [
+    "btr4_abstraction",
+    "btr3_abstraction",
+    "btrk_abstraction",
+    "utr_abstraction",
+]
+
+
+def _btr_schema(n_processes: int) -> StateSchema:
+    """The abstract BTR schema for a ring of ``n_processes``."""
+    return btr_program(n_processes).schema()
+
+
+def btr4_abstraction(n_processes: int) -> AbstractionFunction:
+    """The Section 4 mapping from 4-state configurations to BTR states.
+
+    Token flags are decoded with ``up.0 = true`` and ``up.N = false``
+    hard-wired::
+
+        ut.N  =  c.N != c.(N-1) && up.(N-1)
+        dt.0  =  c.0  = c.1     && !up.1
+        ut.j  =  c.j != c.(j-1) && up.(j-1) && !up.j
+        dt.j  =  c.j  = c.(j+1) && !up.(j+1) && up.j
+    """
+    ring = Ring(n_processes)
+    top = ring.top
+    concrete_schema = StateSchema(
+        {v.name: v.domain.values for v in btr4_variables(ring)}
+    )
+    abstract_schema = _btr_schema(n_processes)
+
+    def up_of(env: Dict[str, object], j: int) -> bool:
+        if j == 0:
+            return True
+        if j == top:
+            return False
+        return bool(env[Ring.up(j)])
+
+    def mapping(state: State) -> State:
+        env = concrete_schema.unpack(state)
+        c = {j: env[Ring.c(j)] for j in ring.processes()}
+        image: Dict[str, object] = {}
+        image[Ring.ut(top)] = c[top] != c[top - 1] and up_of(env, top - 1)
+        image[Ring.dt(0)] = c[0] == c[1] and not up_of(env, 1)
+        for j in ring.middles():
+            image[Ring.ut(j)] = (
+                c[j] != c[j - 1] and up_of(env, j - 1) and not up_of(env, j)
+            )
+            image[Ring.dt(j)] = (
+                c[j] == c[j + 1] and not up_of(env, j + 1) and up_of(env, j)
+            )
+        return abstract_schema.pack(image)
+
+    return AbstractionFunction(
+        concrete_schema, abstract_schema, mapping, name="alpha4"
+    )
+
+
+def btr3_abstraction(n_processes: int) -> AbstractionFunction:
+    """The Section 5 mapping from 3-state counters to BTR states.
+
+    With circled-plus denoting addition mod 3::
+
+        ut.N  =  c.(N-1) = c.N (+) 1
+        dt.0  =  c.1     = c.0 (+) 1
+        ut.j  =  c.(j-1) = c.j (+) 1
+        dt.j  =  c.(j+1) = c.j (+) 1
+    """
+    ring = Ring(n_processes)
+    top = ring.top
+    concrete_schema = StateSchema(
+        {v.name: v.domain.values for v in btr3_variables(ring)}
+    )
+    abstract_schema = _btr_schema(n_processes)
+
+    def mapping(state: State) -> State:
+        env = concrete_schema.unpack(state)
+        c = {j: int(env[Ring.c(j)]) for j in ring.processes()}
+        image: Dict[str, object] = {}
+        image[Ring.ut(top)] = c[top - 1] == (c[top] + 1) % 3
+        image[Ring.dt(0)] = c[1] == (c[0] + 1) % 3
+        for j in ring.middles():
+            image[Ring.ut(j)] = c[j - 1] == (c[j] + 1) % 3
+            image[Ring.dt(j)] = c[j + 1] == (c[j] + 1) % 3
+        return abstract_schema.pack(image)
+
+    return AbstractionFunction(
+        concrete_schema, abstract_schema, mapping, name="alpha3"
+    )
+
+
+def btrk_abstraction(n_processes: int, k: int) -> AbstractionFunction:
+    """The Section 5 token decoding generalized to mod-``k`` counters.
+
+    Used by the mod-``k`` ablation of the 3-state schema;
+    ``btrk_abstraction(n, 3)`` coincides with
+    :func:`btr3_abstraction` up to the counter domain object.
+    """
+    ring = Ring(n_processes)
+    top = ring.top
+    concrete_schema = StateSchema(
+        {Ring.c(j): tuple(range(k)) for j in ring.processes()}
+    )
+    abstract_schema = _btr_schema(n_processes)
+
+    def mapping(state: State) -> State:
+        env = concrete_schema.unpack(state)
+        c = {j: int(env[Ring.c(j)]) for j in ring.processes()}
+        image: Dict[str, object] = {}
+        image[Ring.ut(top)] = c[top - 1] == (c[top] + 1) % k
+        image[Ring.dt(0)] = c[1] == (c[0] + 1) % k
+        for j in ring.middles():
+            image[Ring.ut(j)] = c[j - 1] == (c[j] + 1) % k
+            image[Ring.dt(j)] = c[j + 1] == (c[j] + 1) % k
+        return abstract_schema.pack(image)
+
+    return AbstractionFunction(
+        concrete_schema, abstract_schema, mapping, name=f"alpha-mod{k}"
+    )
+
+
+def utr_abstraction(n_processes: int, k: int) -> AbstractionFunction:
+    """The K-state mapping onto the abstract unidirectional ring UTR.
+
+    A process holds the (unique, in legitimate states) privilege when
+    its counter differs from its predecessor's — except the bottom,
+    which is privileged when it *equals* the top's::
+
+        t.0  =  c.0  = c.N
+        t.j  =  c.j != c.(j-1)        (j > 0)
+    """
+    ring = Ring(n_processes)
+    top = ring.top
+    concrete_schema = StateSchema(
+        {v.name: v.domain.values for v in kstate_variables(ring, k)}
+    )
+    abstract_schema = utr_program(n_processes).schema()
+
+    def mapping(state: State) -> State:
+        env = concrete_schema.unpack(state)
+        c = {j: int(env[Ring.c(j)]) for j in ring.processes()}
+        image: Dict[str, object] = {Ring.t(0): c[0] == c[top]}
+        for j in range(1, n_processes):
+            image[Ring.t(j)] = c[j] != c[j - 1]
+        return abstract_schema.pack(image)
+
+    return AbstractionFunction(
+        concrete_schema, abstract_schema, mapping, name=f"alphaK{k}"
+    )

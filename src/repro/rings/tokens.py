@@ -1,0 +1,75 @@
+"""Token calculus over abstract BTR states.
+
+The abstract bidirectional token ring's state is a truth assignment to
+the token flags ``ut.j`` / ``dt.j``.  This module reads and writes
+token patterns, counts tokens, and builds the token-pattern states the
+invariants and the simulation metrics need.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
+
+from ..core.state import State, StateSchema
+from .topology import Ring
+
+__all__ = [
+    "token_flags",
+    "tokens_in_state",
+    "count_tokens",
+    "state_with_tokens",
+    "all_single_token_states",
+]
+
+
+def token_flags(ring: Ring) -> Tuple[str, ...]:
+    """The token flag names of the abstract BTR over ``ring``."""
+    return tuple(ring.token_variable_names())
+
+
+def tokens_in_state(schema: StateSchema, state: State) -> Tuple[str, ...]:
+    """Names of the token flags that are true in ``state``.
+
+    Works for any schema that contains (a superset of) boolean token
+    flags named ``ut.*`` / ``dt.*``; other variables are ignored, so
+    the same helper serves the wrapped and composed systems.
+    """
+    names: List[str] = []
+    for name in schema.names:
+        if name.startswith(("ut.", "dt.")) and schema.value(state, name):
+            names.append(name)
+    return tuple(names)
+
+
+def count_tokens(schema: StateSchema, state: State) -> int:
+    """Number of tokens present in ``state``."""
+    return len(tokens_in_state(schema, state))
+
+
+def state_with_tokens(schema: StateSchema, present: Iterable[str]) -> State:
+    """The BTR state in which exactly the given token flags are true.
+
+    Args:
+        schema: the abstract BTR schema.
+        present: names of the flags to set (must exist in the schema).
+
+    Raises:
+        StateSpaceError: if a name is unknown to the schema.
+    """
+    present_set = set(present)
+    assignment: Dict[str, object] = {
+        name: (name in present_set) for name in schema.names
+    }
+    return schema.pack(assignment)
+
+
+def all_single_token_states(ring: Ring, schema: StateSchema) -> Tuple[State, ...]:
+    """Every abstract state with exactly one token — BTR's initial set.
+
+    The paper starts BTR with "a unique token in the system"; all
+    single-token placements are legitimate starting points (invariant
+    ``I1 && I2 && I3``).
+    """
+    return tuple(
+        state_with_tokens(schema, (flag,)) for flag in token_flags(ring)
+    )

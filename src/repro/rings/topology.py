@@ -1,0 +1,107 @@
+"""Ring topology bookkeeping shared by all token-ring protocols.
+
+The paper's bidirectional ring consists of processes ``{0, .., N}``
+arranged in a line that tokens traverse up and down (the "ring" is the
+bounce at the ends); the unidirectional K-state ring wraps around.
+:class:`Ring` centralizes the index arithmetic and the variable-naming
+conventions (``ut.j`` for the paper's up-token at ``j``, ``dt.j`` for
+the down-token, ``c.j`` and ``up.j`` for the encoded counters) so that
+every protocol module and every abstraction function agrees on them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+__all__ = ["Ring"]
+
+
+class Ring:
+    """Index helpers for a ring of ``n_processes`` processes ``0..N``.
+
+    Args:
+        n_processes: total number of processes (the paper's ``N + 1``).
+
+    Raises:
+        ValueError: for rings of fewer than 2 processes — the paper's
+            systems need at least a bottom and a top.
+    """
+
+    def __init__(self, n_processes: int):
+        if n_processes < 2:
+            raise ValueError("a token ring needs at least 2 processes")
+        self.n_processes = n_processes
+
+    @property
+    def top(self) -> int:
+        """The paper's ``N`` — index of the top process."""
+        return self.n_processes - 1
+
+    @property
+    def bottom(self) -> int:
+        """Index of the bottom process (always 0)."""
+        return 0
+
+    def processes(self) -> range:
+        """All process indices ``0..N``."""
+        return range(self.n_processes)
+
+    def middles(self) -> range:
+        """The interior processes ``1..N-1`` (empty for a 2-ring)."""
+        return range(1, self.top)
+
+    def succ(self, j: int) -> int:
+        """Clockwise neighbour ``(j + 1) mod (N + 1)`` (unidirectional ring)."""
+        return (j + 1) % self.n_processes
+
+    def pred(self, j: int) -> int:
+        """Counter-clockwise neighbour ``(j - 1) mod (N + 1)``."""
+        return (j - 1) % self.n_processes
+
+    # -- variable naming conventions -------------------------------------
+
+    @staticmethod
+    def ut(j: int) -> str:
+        """Name of the paper's up-token flag at process ``j`` (defined for j >= 1)."""
+        return f"ut.{j}"
+
+    @staticmethod
+    def dt(j: int) -> str:
+        """Name of the down-token flag at process ``j`` (defined for j <= N-1)."""
+        return f"dt.{j}"
+
+    @staticmethod
+    def c(j: int) -> str:
+        """Name of the counter/colour variable at process ``j``."""
+        return f"c.{j}"
+
+    @staticmethod
+    def up(j: int) -> str:
+        """Name of the 4-state direction bit at process ``j`` (interior only)."""
+        return f"up.{j}"
+
+    @staticmethod
+    def t(j: int) -> str:
+        """Name of the unidirectional token flag at process ``j``."""
+        return f"t.{j}"
+
+    def up_token_indices(self) -> range:
+        """Processes ``j`` for which ``ut.j`` exists (``1..N``)."""
+        return range(1, self.n_processes)
+
+    def down_token_indices(self) -> range:
+        """Processes ``j`` for which ``dt.j`` exists (``0..N-1``)."""
+        return range(0, self.top)
+
+    def token_variable_names(self) -> List[str]:
+        """All BTR token flags, process by process: dt.0, ut.1, dt.1, ..."""
+        names: List[str] = []
+        for j in self.processes():
+            if j >= 1:
+                names.append(self.ut(j))
+            if j <= self.top - 1:
+                names.append(self.dt(j))
+        return names
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Ring(n_processes={self.n_processes})"

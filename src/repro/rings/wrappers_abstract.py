@@ -1,0 +1,96 @@
+"""The abstract stabilization wrappers ``W1`` and ``W2`` (paper, Section 3.2).
+
+``W1`` re-establishes ``I1`` (some token exists)::
+
+    (forall j : j != N : !ut.j && !dt.j)  -->  ut.N := true
+
+``W2`` establishes ``I2 && I3`` eventually by cancelling co-located
+opposite tokens, one instance per interior process ``j``::
+
+    ut.j && dt.j  -->  ut.j := false; dt.j := false
+
+Two readings of ``W1`` are provided.  The paper's literal guard
+quantifies over ``j != N`` only, so it is also enabled in the
+legitimate state whose unique token is ``ut.N`` — there the action is
+a stutter (``ut.N := true`` with ``ut.N`` already true).  The *strict*
+variant adds the conjunct ``!ut.N``, firing only when the system truly
+has no token; it is an everywhere refinement of the literal wrapper
+(it only removes stuttering computations) and is the variant to use
+under the raw unfair daemon.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..gcl.action import GuardedAction
+from ..gcl.expr import And, BigAnd, Const, Expr, Not, Var
+from ..gcl.program import Program
+from .btr import btr_variables
+from .topology import Ring
+
+__all__ = ["w1_guard", "w1_program", "w2_program"]
+
+
+def w1_guard(ring: Ring, strict: bool = False) -> Expr:
+    """The guard of ``W1``: no token anywhere below the top.
+
+    Args:
+        ring: the ring instance.
+        strict: also require ``!ut.N`` (no token at all), avoiding the
+            stutter in the legitimate ``ut.N`` state.
+    """
+    top = ring.top
+    conjuncts: List[Expr] = []
+    for j in ring.processes():
+        if j == top:
+            continue
+        if j >= 1:
+            conjuncts.append(Not(Var(Ring.ut(j))))
+        if j <= top - 1:
+            conjuncts.append(Not(Var(Ring.dt(j))))
+    if strict:
+        conjuncts.append(Not(Var(Ring.ut(top))))
+    return BigAnd(*conjuncts)
+
+
+def w1_program(n_processes: int, strict: bool = False) -> Program:
+    """The token-(re)creation wrapper ``W1`` over the BTR variables.
+
+    A wrapper is a program with no initial states of its own
+    (``init=None``); composition with the base system is done with
+    :func:`repro.core.composition.box` on the compiled automata, or
+    :meth:`repro.gcl.program.Program.merged_with` on the programs.
+    """
+    ring = Ring(n_processes)
+    action = GuardedAction(
+        "w1.create" if not strict else "w1s.create",
+        w1_guard(ring, strict=strict),
+        {Ring.ut(ring.top): Const(True)},
+    )
+    name = "W1" if not strict else "W1-strict"
+    return Program(name, btr_variables(ring), [action], init=None)
+
+
+def w2_program(n_processes: int) -> Program:
+    """The token-cancellation wrapper ``W2`` over the BTR variables.
+
+    One cancellation action per interior process; the top and bottom
+    processes have only one token flag each, so co-location cannot
+    occur there and the paper's quantification effectively ranges over
+    ``0 < j < N``.
+    """
+    ring = Ring(n_processes)
+    actions: List[GuardedAction] = []
+    for j in ring.middles():
+        actions.append(
+            GuardedAction(
+                f"w2.cancel.{j}",
+                And(Var(Ring.ut(j)), Var(Ring.dt(j))),
+                {Ring.ut(j): Const(False), Ring.dt(j): Const(False)},
+            )
+        )
+    if not actions:
+        # A 2-process ring has no interior; W2 is the null wrapper.
+        return Program("W2", btr_variables(ring), [], init=None)
+    return Program("W2", btr_variables(ring), actions, init=None)

@@ -1,0 +1,70 @@
+"""Fault-injection simulation of guarded-command programs.
+
+Environment-level execution (no state-space enumeration) for rings far
+beyond exhaustive-checking scale: schedulers
+(:mod:`~repro.simulation.scheduler`), transient-fault injectors
+(:mod:`~repro.simulation.faults`), the engine
+(:mod:`~repro.simulation.runner`), traces
+(:mod:`~repro.simulation.trace`), token decoders
+(:mod:`~repro.simulation.metrics`), and packaged experiments
+(:mod:`~repro.simulation.experiments`).
+"""
+
+from .experiments import (
+    PROTOCOLS,
+    availability_curve,
+    availability_trial,
+    convergence_curve,
+    convergence_trial,
+)
+from .faults import (
+    CorruptEverything,
+    CorruptVariables,
+    FaultInjector,
+    FaultSchedule,
+)
+from .metrics import (
+    btr_tokens,
+    four_state_tokens,
+    kstate_tokens,
+    legitimacy_predicate,
+    three_state_tokens,
+)
+from .runner import run_until, simulate
+from .scheduler import (
+    BiasedScheduler,
+    GreedyScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+)
+from .trace import Trace, TraceEvent
+from .visualize import render_ring_row, render_trace
+
+__all__ = [
+    "PROTOCOLS",
+    "availability_curve",
+    "availability_trial",
+    "convergence_curve",
+    "convergence_trial",
+    "CorruptEverything",
+    "CorruptVariables",
+    "FaultInjector",
+    "FaultSchedule",
+    "btr_tokens",
+    "four_state_tokens",
+    "kstate_tokens",
+    "legitimacy_predicate",
+    "three_state_tokens",
+    "run_until",
+    "simulate",
+    "BiasedScheduler",
+    "GreedyScheduler",
+    "RandomScheduler",
+    "RoundRobinScheduler",
+    "Scheduler",
+    "Trace",
+    "TraceEvent",
+    "render_ring_row",
+    "render_trace",
+]

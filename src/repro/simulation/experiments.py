@@ -1,0 +1,207 @@
+"""Ready-made simulation experiments used by the benchmark harness.
+
+Each experiment is a plain function returning rows of plain dicts so
+the harness (and the examples) can print paper-style tables without
+a plotting dependency.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from ..analysis.stats import summarize
+from ..gcl.program import Program
+from ..rings.btr3 import dijkstra_three_state
+from ..rings.btr4 import dijkstra_four_state
+from ..rings.c3 import c3_composed
+from ..rings.kstate import kstate_program
+from .faults import CorruptVariables, FaultInjector
+from .metrics import legitimacy_predicate
+from .runner import run_until, simulate
+from .scheduler import RandomScheduler, Scheduler
+
+__all__ = [
+    "PROTOCOLS",
+    "convergence_trial",
+    "convergence_curve",
+    "availability_trial",
+    "availability_curve",
+]
+
+#: The four derived stabilizing systems, keyed by display name:
+#: (program builder, legitimacy kind).
+PROTOCOLS: Dict[str, tuple] = {
+    "dijkstra-4state": (dijkstra_four_state, "four"),
+    "dijkstra-3state": (dijkstra_three_state, "three"),
+    "new-3state (C3 comp)": (c3_composed, "three"),
+    "k-state (K=n)": (lambda n: kstate_program(n, n), "kstate"),
+}
+
+
+def _random_environment(program: Program, rng: random.Random) -> Dict[str, object]:
+    """A uniformly random state — the post-fault starting point."""
+    return {
+        variable.name: rng.choice(variable.domain.values)
+        for variable in program.variables
+    }
+
+
+def convergence_trial(
+    program: Program,
+    kind: str,
+    n_processes: int,
+    rng: random.Random,
+    max_steps: int,
+    scheduler: Optional[Scheduler] = None,
+) -> Optional[int]:
+    """Steps to reach a single-token state from one random corruption.
+
+    Returns ``None`` when the run did not converge within ``max_steps``
+    (under the random scheduler this flags a genuine divergence or an
+    undersized budget, both worth surfacing).
+    """
+    predicate = legitimacy_predicate(kind, n_processes)
+    return run_until(
+        program,
+        predicate,
+        max_steps,
+        scheduler=scheduler or RandomScheduler(),
+        rng=rng,
+        initial=_random_environment(program, rng),
+    )
+
+
+def convergence_curve(
+    sizes: Sequence[int],
+    trials: int = 30,
+    seed: int = 2002,
+    max_steps_factor: int = 200,
+    protocols: Optional[Mapping[str, tuple]] = None,
+) -> List[Dict[str, object]]:
+    """Convergence time vs ring size for every derived protocol.
+
+    Args:
+        sizes: ring sizes (process counts) to sweep.
+        trials: random corruptions per (protocol, size) cell.
+        seed: base seed; each cell derives its own stream.
+        max_steps_factor: step budget per trial is ``factor * n**2``
+            (all four protocols converge in O(n^2) expected steps under
+            the random daemon).
+        protocols: override the protocol table (name -> (builder, kind)).
+
+    Returns:
+        One row per (protocol, size) with summary statistics of the
+        observed convergence times and the count of non-converged runs.
+    """
+    table = dict(protocols or PROTOCOLS)
+    rows: List[Dict[str, object]] = []
+    for name, (builder, kind) in table.items():
+        for n in sizes:
+            program = builder(n)
+            budget = max_steps_factor * n * n
+            times: List[int] = []
+            missed = 0
+            for trial in range(trials):
+                rng = random.Random((seed, name, n, trial).__hash__())
+                result = convergence_trial(program, kind, n, rng, budget)
+                if result is None:
+                    missed += 1
+                else:
+                    times.append(result)
+            row: Dict[str, object] = {
+                "protocol": name,
+                "n": n,
+                "trials": trials,
+                "unconverged": missed,
+            }
+            row.update(summarize(times))
+            rows.append(row)
+    return rows
+
+
+def availability_trial(
+    program: Program,
+    kind: str,
+    n_processes: int,
+    fault_probability: float,
+    steps: int,
+    rng: random.Random,
+    injector: Optional[FaultInjector] = None,
+) -> float:
+    """Fraction of time spent in legitimate states under a fault rate.
+
+    Each scheduler step is preceded, with probability
+    ``fault_probability``, by one injection (default: a single-variable
+    corruption).  The returned availability is the fraction of visited
+    environments satisfying the protocol's single-token predicate —
+    the steady-state service metric a stabilizing system trades
+    convergence speed for.
+
+    Args:
+        program: the protocol instance.
+        kind: legitimacy family (``"three"``, ``"four"``, ``"kstate"``,
+            ``"btr"``).
+        n_processes: ring size.
+        fault_probability: per-step injection probability in [0, 1].
+        steps: number of scheduler steps to run.
+        rng: the run's random source.
+        injector: perturbation applied on injection.
+    """
+    if not 0.0 <= fault_probability <= 1.0:
+        raise ValueError("fault_probability must lie in [0, 1]")
+    predicate = legitimacy_predicate(kind, n_processes)
+    chosen = injector or CorruptVariables(1)
+    # Pre-draw the fault schedule so the run itself stays reproducible.
+    fault_steps = [
+        step for step in range(steps) if rng.random() < fault_probability
+    ]
+    from .faults import FaultSchedule
+
+    trace = simulate(
+        program,
+        steps,
+        rng=rng,
+        faults=FaultSchedule(fault_steps, chosen) if fault_steps else None,
+    )
+    environments = trace.environments()
+    legitimate = sum(1 for env in environments if predicate(env))
+    return legitimate / len(environments)
+
+
+def availability_curve(
+    n_processes: int,
+    fault_probabilities: Sequence[float],
+    steps: int = 2000,
+    trials: int = 5,
+    seed: int = 977,
+    protocols: Optional[Mapping[str, tuple]] = None,
+) -> List[Dict[str, object]]:
+    """Availability vs fault rate for every derived protocol.
+
+    Returns one row per (protocol, fault rate) with the mean
+    availability over ``trials`` seeded runs.  The shape to expect:
+    availability decays smoothly with the fault rate, and decays
+    faster for slower-converging protocols.
+    """
+    table = dict(protocols or PROTOCOLS)
+    rows: List[Dict[str, object]] = []
+    for name, (builder, kind) in table.items():
+        program = builder(n_processes)
+        for probability in fault_probabilities:
+            values = []
+            for trial in range(trials):
+                rng = random.Random((seed, name, probability, trial).__hash__())
+                values.append(
+                    availability_trial(
+                        program, kind, n_processes, probability, steps, rng
+                    )
+                )
+            rows.append(
+                {
+                    "protocol": name,
+                    "fault rate": probability,
+                    "availability": sum(values) / len(values),
+                }
+            )
+    return rows

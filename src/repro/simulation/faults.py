@@ -1,0 +1,104 @@
+"""Transient-fault injection.
+
+The paper's fault model is transient state corruption: a fault may
+arbitrarily overwrite process variables but does not change the
+program.  Injectors perturb simulation environments in place-free
+style (they return new environments) and describe themselves for the
+trace log.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Mapping, Sequence, Tuple
+
+from ..core.errors import SimulationError
+from ..gcl.program import Program
+
+__all__ = [
+    "FaultInjector",
+    "CorruptVariables",
+    "CorruptEverything",
+    "FaultSchedule",
+]
+
+Env = Dict[str, object]
+
+
+class FaultInjector:
+    """Strategy interface: perturb an environment."""
+
+    def inject(self, program: Program, env: Env, rng: random.Random) -> Tuple[Env, str]:
+        """Return the corrupted environment and a description.
+
+        Implementations must draw fresh values from the variables'
+        declared domains — transient faults corrupt state, they do not
+        invent values outside the state space.
+        """
+        raise NotImplementedError
+
+
+class CorruptVariables(FaultInjector):
+    """Overwrite ``count`` randomly chosen variables with random domain values.
+
+    Args:
+        count: how many (distinct) variables to corrupt per injection.
+
+    Raises:
+        SimulationError: at injection time if the program has fewer
+            variables than ``count``.
+    """
+
+    def __init__(self, count: int = 1):
+        if count < 1:
+            raise ValueError("count must be positive")
+        self.count = count
+
+    def inject(self, program: Program, env: Env, rng: random.Random) -> Tuple[Env, str]:
+        variables = list(program.variables)
+        if len(variables) < self.count:
+            raise SimulationError(
+                f"cannot corrupt {self.count} of {len(variables)} variables"
+            )
+        chosen = rng.sample(variables, self.count)
+        result = dict(env)
+        names: List[str] = []
+        for variable in chosen:
+            result[variable.name] = rng.choice(variable.domain.values)
+            names.append(variable.name)
+        return result, f"corrupt {', '.join(sorted(names))}"
+
+
+class CorruptEverything(FaultInjector):
+    """Replace the whole state with a uniformly random one.
+
+    The harshest transient fault: the paper's stabilization property
+    quantifies over arbitrary states, and this injector samples them.
+    """
+
+    def inject(self, program: Program, env: Env, rng: random.Random) -> Tuple[Env, str]:
+        result = {
+            variable.name: rng.choice(variable.domain.values)
+            for variable in program.variables
+        }
+        return result, "corrupt all variables"
+
+
+class FaultSchedule:
+    """When to inject during a run.
+
+    Args:
+        at_steps: action-step indices (0-based, *before* the step with
+            that index executes) at which to fire the injector.
+        injector: the perturbation to apply.
+    """
+
+    def __init__(self, at_steps: Sequence[int], injector: FaultInjector):
+        self.at_steps = frozenset(at_steps)
+        self.injector = injector
+        if any(step < 0 for step in self.at_steps):
+            raise ValueError("fault steps must be non-negative")
+
+    def due(self, step: int) -> bool:
+        """Is an injection scheduled just before action-step ``step``?"""
+        return step in self.at_steps

@@ -1,0 +1,120 @@
+"""Environment-level protocol metrics.
+
+The abstraction functions in :mod:`repro.rings.mappings` work on
+packed states; simulations of large rings work on environments.  The
+decoders here duplicate the token semantics at the environment level
+so a 200-process simulation can count tokens in O(n) per step, and
+provide the legitimacy predicates (``exactly one token``) that the
+convergence-time experiments stop on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping
+
+from ..rings.topology import Ring
+
+__all__ = [
+    "btr_tokens",
+    "four_state_tokens",
+    "three_state_tokens",
+    "kstate_tokens",
+    "legitimacy_predicate",
+]
+
+Env = Mapping[str, object]
+
+
+def btr_tokens(ring: Ring, env: Env) -> List[str]:
+    """Raised token flags of an abstract BTR environment."""
+    present: List[str] = []
+    for j in ring.up_token_indices():
+        if env[Ring.ut(j)]:
+            present.append(Ring.ut(j))
+    for j in ring.down_token_indices():
+        if env[Ring.dt(j)]:
+            present.append(Ring.dt(j))
+    return present
+
+
+def four_state_tokens(ring: Ring, env: Env) -> List[str]:
+    """Decoded token flags of a 4-state environment (Section 4 mapping)."""
+    top = ring.top
+
+    def up_of(j: int) -> bool:
+        if j == 0:
+            return True
+        if j == top:
+            return False
+        return bool(env[Ring.up(j)])
+
+    present: List[str] = []
+    if env[Ring.c(top)] != env[Ring.c(top - 1)] and up_of(top - 1):
+        present.append(Ring.ut(top))
+    if env[Ring.c(0)] == env[Ring.c(1)] and not up_of(1):
+        present.append(Ring.dt(0))
+    for j in ring.middles():
+        if env[Ring.c(j)] != env[Ring.c(j - 1)] and up_of(j - 1) and not up_of(j):
+            present.append(Ring.ut(j))
+        if env[Ring.c(j)] == env[Ring.c(j + 1)] and not up_of(j + 1) and up_of(j):
+            present.append(Ring.dt(j))
+    return present
+
+
+def three_state_tokens(ring: Ring, env: Env) -> List[str]:
+    """Decoded token flags of a 3-state environment (Section 5 mapping)."""
+    top = ring.top
+    c = {j: int(env[Ring.c(j)]) for j in ring.processes()}
+    present: List[str] = []
+    if c[top - 1] == (c[top] + 1) % 3:
+        present.append(Ring.ut(top))
+    if c[1] == (c[0] + 1) % 3:
+        present.append(Ring.dt(0))
+    for j in ring.middles():
+        if c[j - 1] == (c[j] + 1) % 3:
+            present.append(Ring.ut(j))
+        if c[j + 1] == (c[j] + 1) % 3:
+            present.append(Ring.dt(j))
+    return present
+
+
+def kstate_tokens(ring: Ring, env: Env) -> List[str]:
+    """Decoded privileges of a K-state environment."""
+    top = ring.top
+    present: List[str] = []
+    if env[Ring.c(0)] == env[Ring.c(top)]:
+        present.append(Ring.t(0))
+    for j in range(1, ring.n_processes):
+        if env[Ring.c(j)] != env[Ring.c(j - 1)]:
+            present.append(Ring.t(j))
+    return present
+
+
+def legitimacy_predicate(
+    kind: str, n_processes: int
+) -> Callable[[Env], bool]:
+    """The ``exactly one token`` predicate for a protocol family.
+
+    Args:
+        kind: one of ``"btr"``, ``"four"``, ``"three"``, ``"kstate"``.
+        n_processes: ring size.
+
+    Raises:
+        ValueError: on an unknown kind.
+    """
+    ring = Ring(n_processes)
+    decoders: Dict[str, Callable[[Ring, Env], List[str]]] = {
+        "btr": btr_tokens,
+        "four": four_state_tokens,
+        "three": three_state_tokens,
+        "kstate": kstate_tokens,
+    }
+    try:
+        decoder = decoders[kind]
+    except KeyError:
+        raise ValueError(f"unknown protocol kind {kind!r}")
+
+    def predicate(env: Env) -> bool:
+        return len(decoder(ring, env)) == 1
+
+    return predicate

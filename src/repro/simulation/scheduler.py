@@ -1,0 +1,144 @@
+"""Schedulers: simulation-time stand-ins for the central daemon.
+
+The model checker quantifies over *all* daemon choices; the simulator
+plays one daemon at a time.  The schedulers here cover the
+experimentally interesting spectrum:
+
+* :class:`RandomScheduler` — uniform choice among enabled actions;
+  strongly fair with probability one, so simulations under it estimate
+  the convergence times that the strong-fairness verdicts promise.
+* :class:`RoundRobinScheduler` — deterministic cyclic scanning;
+  a simple fair daemon with reproducible traces.
+* :class:`BiasedScheduler` — prefers (or avoids) actions by name
+  predicate with a given probability; the *adversarial* settings
+  reproduce the divergence the checker finds in the abstract wrapped
+  rings (prefer token-moving actions, starve cancellations).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Mapping, Optional, Sequence
+
+from ..gcl.action import GuardedAction
+
+Env = Mapping[str, object]
+
+__all__ = [
+    "Scheduler",
+    "RandomScheduler",
+    "RoundRobinScheduler",
+    "BiasedScheduler",
+    "GreedyScheduler",
+]
+
+
+class Scheduler:
+    """Strategy interface: pick one enabled action to fire."""
+
+    def choose(
+        self, enabled: Sequence[GuardedAction], env: Env, rng: random.Random
+    ) -> GuardedAction:
+        """Select one of the enabled actions (``enabled`` is non-empty).
+
+        Args:
+            enabled: the actions whose guards hold, in program order.
+            env: the current environment — lookahead schedulers (e.g.
+                adversaries that avoid token-losing moves) evaluate
+                candidate effects against it.
+            rng: the run's random source (schedulers must draw all
+                randomness from it for reproducibility).
+        """
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Clear internal state before a fresh run (default: nothing)."""
+
+
+class RandomScheduler(Scheduler):
+    """Uniformly random choice among the enabled actions."""
+
+    def choose(
+        self, enabled: Sequence[GuardedAction], env: Env, rng: random.Random
+    ) -> GuardedAction:
+        return enabled[rng.randrange(len(enabled))]
+
+
+class RoundRobinScheduler(Scheduler):
+    """Cyclic scan over action names.
+
+    Fires the first enabled action at or after the cursor, then
+    advances the cursor past it.  Deterministic given the program.
+    """
+
+    def __init__(self):
+        self._cursor = 0
+
+    def reset(self) -> None:
+        self._cursor = 0
+
+    def choose(
+        self, enabled: Sequence[GuardedAction], env: Env, rng: random.Random
+    ) -> GuardedAction:
+        # The cursor indexes an abstract rotation; enabled lists vary in
+        # length, so rotate the enabled list by the cursor value.
+        index = self._cursor % len(enabled)
+        self._cursor += 1
+        return enabled[index]
+
+
+class BiasedScheduler(Scheduler):
+    """Prefer actions matching a predicate with probability ``bias``.
+
+    Args:
+        prefers: predicate over action names (e.g. ``lambda name: not
+            name.startswith("w2")`` starves the cancellation wrapper).
+        bias: probability of restricting the choice to the preferred
+            subset when it is non-empty; ``1.0`` is a deterministic
+            adversary.
+
+    Raises:
+        ValueError: if ``bias`` is outside ``[0, 1]``.
+    """
+
+    def __init__(self, prefers: Callable[[str], bool], bias: float = 1.0):
+        if not 0.0 <= bias <= 1.0:
+            raise ValueError("bias must lie in [0, 1]")
+        self._prefers = prefers
+        self._bias = bias
+
+    def choose(
+        self, enabled: Sequence[GuardedAction], env: Env, rng: random.Random
+    ) -> GuardedAction:
+        preferred = [action for action in enabled if self._prefers(action.name)]
+        pool: Sequence[GuardedAction] = enabled
+        if preferred and rng.random() < self._bias:
+            pool = preferred
+        return pool[rng.randrange(len(pool))]
+
+
+class GreedyScheduler(Scheduler):
+    """Pick the enabled action maximizing a score of its *effect*.
+
+    A one-step-lookahead daemon: every enabled action is executed
+    speculatively against the current environment and scored; ties are
+    broken uniformly at random.  With a score like "resulting token
+    count" this is the malicious daemon behind the divergence the
+    checker reports for the abstract wrapped ring — and with the score
+    negated it is a benevolent, fast-converging one.
+
+    Args:
+        score: callable mapping the candidate post-environment to a
+            comparable value; higher wins.
+    """
+
+    def __init__(self, score: Callable[[Env], float]):
+        self._score = score
+
+    def choose(
+        self, enabled: Sequence[GuardedAction], env: Env, rng: random.Random
+    ) -> GuardedAction:
+        scored = [(self._score(action.execute(env)), i) for i, action in enumerate(enabled)]
+        best = max(score for score, _ in scored)
+        pool = [enabled[i] for score, i in scored if score == best]
+        return pool[rng.randrange(len(pool))]

@@ -1,0 +1,108 @@
+"""Execution traces recorded by the simulator.
+
+A :class:`Trace` is the simulation-level counterpart of a computation:
+the visited environments, the action fired at each step, and any fault
+injections interleaved with them.  Traces stay at the environment
+(name->value) level so that rings far beyond exhaustive-checking scale
+can be simulated without ever materializing a state space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = ["TraceEvent", "Trace"]
+
+Env = Dict[str, object]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One entry of a trace.
+
+    Attributes:
+        kind: ``"step"`` (an action fired), ``"fault"`` (an injected
+            perturbation), or ``"stutter"`` (an action fired without
+            changing the state).
+        label: action name or fault description.
+        env: the environment *after* the event.
+    """
+
+    kind: str
+    label: str
+    env: Env
+
+
+class Trace:
+    """A recorded simulation run.
+
+    Args:
+        initial: the starting environment (copied defensively).
+    """
+
+    def __init__(self, initial: Mapping[str, object]):
+        self._initial: Env = dict(initial)
+        self._events: List[TraceEvent] = []
+
+    @property
+    def initial(self) -> Env:
+        """The starting environment (copy)."""
+        return dict(self._initial)
+
+    @property
+    def events(self) -> Tuple[TraceEvent, ...]:
+        """All recorded events in order."""
+        return tuple(self._events)
+
+    def record(self, kind: str, label: str, env: Mapping[str, object]) -> None:
+        """Append an event (the environment is copied)."""
+        self._events.append(TraceEvent(kind, label, dict(env)))
+
+    def final(self) -> Env:
+        """The last environment of the run (the initial one if no events)."""
+        if not self._events:
+            return dict(self._initial)
+        return dict(self._events[-1].env)
+
+    def environments(self) -> List[Env]:
+        """Initial environment followed by the post-state of every event."""
+        return [dict(self._initial)] + [dict(event.env) for event in self._events]
+
+    def step_count(self) -> int:
+        """Number of action firings (faults excluded)."""
+        return sum(1 for event in self._events if event.kind in ("step", "stutter"))
+
+    def fault_count(self) -> int:
+        """Number of injected faults."""
+        return sum(1 for event in self._events if event.kind == "fault")
+
+    def steps_until(self, predicate: Callable[[Env], bool]) -> Optional[int]:
+        """Actions fired before ``predicate`` first holds (0 if it holds
+        initially), counting from the *last* fault injection.
+
+        Returns ``None`` when the predicate never holds in the trace.
+        This is the standard convergence-time reading: faults reset the
+        clock, actions advance it.
+        """
+        found: Optional[int] = 0 if predicate(self._initial) else None
+        steps = 0
+        for event in self._events:
+            if event.kind == "fault":
+                steps = 0
+                found = None
+                continue
+            steps += 1
+            if found is None and predicate(event.env):
+                found = steps
+        return found
+
+    def action_labels(self) -> List[str]:
+        """Names of the actions fired, in order (faults excluded)."""
+        return [e.label for e in self._events if e.kind in ("step", "stutter")]
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Trace({len(self._events)} events, {self.fault_count()} faults)"

@@ -1,0 +1,11 @@
+"""Wrapper synthesis — the paper's future-work refinement tooling.
+
+:func:`~repro.synthesis.wrapper_synthesis.synthesize_wrapper` produces
+a dependability wrapper for a given system/spec pair and verifies the
+composite on the spot.
+"""
+
+from .render import system_to_program
+from .wrapper_synthesis import SynthesizedWrapper, synthesize_wrapper
+
+__all__ = ["SynthesizedWrapper", "synthesize_wrapper", "system_to_program"]

@@ -1,0 +1,101 @@
+"""Rendering synthesized wrappers back into guarded-command programs.
+
+A synthesized wrapper is a bare transition relation; to be *used* —
+inspected, reviewed, merged into a code base — it wants the same
+notation as every other system in the paper.  :func:`system_to_program`
+turns any finite system over a program's variables into an equivalent
+guarded-command program: one action per source state, guarded by the
+full state equality, assigning the changed variables.
+
+The rendering is exact (the produced program compiles back to the same
+automaton — enforced by the tests) though deliberately naive: it makes
+no attempt to merge guards into symbolic predicates.  Repair wrappers
+are small (the synthesizer targets only stuck states), so the naive
+form stays readable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..core.errors import VerificationError
+from ..core.system import System
+from ..gcl.action import GuardedAction
+from ..gcl.expr import BigAnd, Const, Eq, Expr, Var
+from ..gcl.program import Program
+from ..gcl.variable import Variable
+
+__all__ = ["system_to_program"]
+
+
+def _literal(value: object) -> Expr:
+    return Const(value)
+
+
+def system_to_program(
+    system: System,
+    variables: Sequence[Variable],
+    name: Optional[str] = None,
+    action_prefix: str = "repair",
+) -> Program:
+    """Express ``system`` as an equivalent guarded-command program.
+
+    Args:
+        system: the automaton to render; its schema must match the
+            given variable declarations (names, order, domains).
+        variables: the variable declarations of the target program.
+        name: program name (defaults to the system's).
+        action_prefix: prefix for the generated action names.
+
+    Returns:
+        A program whose compilation equals ``system`` (same transition
+        relation; the system's initial states are carried over as an
+        explicit initial list).
+
+    Raises:
+        VerificationError: if the declarations do not match the
+            system's schema, or the system is nondeterministic per
+            source state in a way one action per (source, target)
+            cannot express (never the case — one action is emitted per
+            transition).
+    """
+    schema = system.schema
+    declared = {variable.name: variable for variable in variables}
+    if tuple(declared) != schema.names:
+        raise VerificationError(
+            "variable declarations do not match the system's schema: "
+            f"{tuple(declared)} vs {schema.names}"
+        )
+    for variable in variables:
+        if tuple(variable.domain.values) != schema.domain_of(variable.name):
+            raise VerificationError(
+                f"domain mismatch on {variable.name!r}"
+            )
+
+    actions: List[GuardedAction] = []
+    for index, (source, target) in enumerate(sorted(system.transitions(), key=repr)):
+        guard = BigAnd(
+            *(
+                Eq(Var(name), _literal(schema.value(source, name)))
+                for name in schema.names
+            )
+        )
+        assignments: Dict[str, Expr] = {
+            name: _literal(schema.value(target, name))
+            for name in schema.names
+            if schema.value(source, name) != schema.value(target, name)
+        }
+        if not assignments:
+            # A self-loop: express it as a (stuttering) rewrite of the
+            # first variable to its own value.
+            first = schema.names[0]
+            assignments[first] = _literal(schema.value(source, first))
+        actions.append(GuardedAction(f"{action_prefix}.{index}", guard, assignments))
+
+    initial = [schema.unpack(state) for state in system.initial]
+    return Program(
+        name or system.name,
+        list(variables),
+        actions,
+        init=initial or None,
+    )

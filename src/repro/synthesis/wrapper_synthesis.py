@@ -1,0 +1,189 @@
+"""Automatic wrapper synthesis.
+
+The paper closes with: *"In future work, we will focus on devising
+refinement tools and methodologies..."* — this module is the natural
+first such tool: given a system ``C`` and the specification ``A`` it
+should stabilize to, *synthesize* a wrapper ``W`` such that
+``C [] W`` is stabilizing to ``A``.
+
+The synthesis works on the same objects the checker uses:
+
+1. compute the behavioural core ``G`` (states from which ``C`` forever
+   tracks ``A``) — the wrapper must never fire inside ``G``;
+2. outside ``G``, identify the *stuck* states: deadlocks, members of
+   cycles, and states from which ``G`` is unreachable;
+3. give each stuck state one repair transition to a core state —
+   by default the core state at minimum Hamming distance (fewest
+   variables written), which keeps repairs as local as the instance
+   allows;
+4. verify the composite.
+
+Because the box operator only ever *adds* transitions, a composite
+can still take divergent cycles of ``C`` itself; the synthesized
+repairs make every such cycle escapable, so the guarantee is
+stabilization under **strong fairness** (the repair action, enabled
+whenever the run lingers in a trap, must eventually fire).  When ``C``
+has no cycles outside the core — the deadlock-only case, like the
+quickstart's cascade — the composite stabilizes under the raw unfair
+daemon, and the result says so.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ..checker.convergence import behavioural_core, check_stabilization
+from ..checker.graph import states_on_cycles
+from ..checker.witnesses import CheckResult
+from ..core.abstraction import AbstractionFunction
+from ..core.composition import box
+from ..core.errors import VerificationError
+from ..core.state import State
+from ..core.system import System
+
+__all__ = ["SynthesizedWrapper", "synthesize_wrapper"]
+
+
+@dataclass(frozen=True)
+class SynthesizedWrapper:
+    """The product of :func:`synthesize_wrapper`.
+
+    Attributes:
+        wrapper: the synthesized repair system (no initial states).
+        composite: ``C [] W``, ready to use.
+        verification: the stabilization check of the composite.
+        fairness: the weakest fairness mode under which the composite
+            was verified (``"none"`` when no cycles survive outside
+            the core, ``"strong"`` otherwise).
+        repaired_states: the states given a repair transition.
+    """
+
+    wrapper: System
+    composite: System
+    verification: CheckResult
+    fairness: str
+    repaired_states: FrozenSet[State]
+
+    @property
+    def holds(self) -> bool:
+        """Did the synthesized composite verify?"""
+        return self.verification.holds
+
+    def summary(self) -> str:
+        """One-paragraph human rendering."""
+        return (
+            f"synthesized {self.wrapper.transition_count()} repair "
+            f"transitions over {len(self.repaired_states)} states; "
+            f"composite verified under fairness={self.fairness!r}: "
+            f"{'yes' if self.holds else 'NO'}"
+        )
+
+
+def _hamming(a: State, b: State) -> int:
+    """Number of differing components (repair write cost)."""
+    return sum(1 for x, y in zip(a, b) if x != y)
+
+
+def _nearest_core_state(state: State, core_states: List[State]) -> State:
+    """The core state writable with the fewest variable changes."""
+    return min(core_states, key=lambda target: (_hamming(state, target), repr(target)))
+
+
+def synthesize_wrapper(
+    concrete: System,
+    abstract: System,
+    alpha: Optional[AbstractionFunction] = None,
+    stutter_insensitive: bool = False,
+    repair_all_outside: bool = False,
+) -> SynthesizedWrapper:
+    """Synthesize a stabilization wrapper for ``concrete`` toward ``abstract``.
+
+    Args:
+        concrete: the system to wrap (often already model-compliant).
+        abstract: the stabilization target.
+        alpha: abstraction between the state spaces (identity if
+            omitted).
+        stutter_insensitive: passed through to the core computation and
+            the final verification.
+        repair_all_outside: repair *every* state outside the core, not
+            just the stuck ones — a larger wrapper that converges in
+            one step from anywhere (the "reset" extreme).
+
+    Returns:
+        A :class:`SynthesizedWrapper`; its ``verification`` is the
+        mechanical proof obligation discharged on the instance.
+
+    Raises:
+        VerificationError: when the behavioural core is empty — the
+            base system never tracks the specification and no wrapper
+            of added transitions can fix that.
+    """
+    core = behavioural_core(
+        concrete, abstract, alpha, stutter_insensitive=stutter_insensitive
+    )
+    if not core:
+        raise VerificationError(
+            f"{concrete.name!r} has an empty behavioural core w.r.t. "
+            f"{abstract.name!r}; wrappers only add transitions and cannot "
+            "repair the legitimate behaviour itself"
+        )
+    core_states = sorted(core, key=repr)
+    outside = [
+        state for state in concrete.schema.states() if state not in core
+    ]
+    # Cycles are detected on the raw graph: a self-loop outside the
+    # core is a divergence opportunity under the unfair daemon just as
+    # much as a longer cycle (a repair makes it escapable, which only
+    # strong fairness turns into convergence).
+    cycle_states = states_on_cycles(concrete, outside)
+
+    # States that can reach the core through C alone need no repair
+    # (unless repair_all_outside), except that membership of a cycle
+    # still needs an escape to kill the fair trap.
+    can_reach_core: set = set(core)
+    changed = True
+    while changed:
+        changed = False
+        for state in outside:
+            if state in can_reach_core:
+                continue
+            if any(t in can_reach_core for t in concrete.successors(state)):
+                can_reach_core.add(state)
+                changed = True
+
+    repairs: Dict[State, State] = {}
+    for state in outside:
+        stuck = (
+            concrete.is_terminal(state)
+            or state in cycle_states
+            or state not in can_reach_core
+        )
+        if repair_all_outside or stuck:
+            repairs[state] = _nearest_core_state(state, core_states)
+
+    wrapper = System(
+        concrete.schema,
+        list(repairs.items()),
+        initial=(),
+        name=f"W({concrete.name})",
+        labels={pair: ("w.repair",) for pair in repairs.items()},
+    )
+    composite = box(concrete, wrapper, name=f"{concrete.name} [] W")
+
+    fairness = "none" if not cycle_states else "strong"
+    verification = check_stabilization(
+        composite,
+        abstract,
+        alpha,
+        stutter_insensitive=stutter_insensitive,
+        fairness=fairness,
+        compute_steps=False,
+    )
+    return SynthesizedWrapper(
+        wrapper=wrapper,
+        composite=composite,
+        verification=verification.result,
+        fairness=fairness,
+        repaired_states=frozenset(repairs),
+    )

@@ -1,0 +1,17 @@
+"""Program transformations (refinement passes) and their tolerance behaviour.
+
+Currently: atomicity refinement (:mod:`repro.transform.atomicity`) —
+the paper's compiled-code scenario as a generic fetch/execute pass.
+"""
+
+from .atomicity import latch_name, pc_name, sequentialize, sequentialize_action
+from .mutate import Mutant, mutants
+
+__all__ = [
+    "latch_name",
+    "pc_name",
+    "sequentialize",
+    "sequentialize_action",
+    "Mutant",
+    "mutants",
+]

@@ -1,0 +1,151 @@
+"""Cross-validation: graph procedures vs definitional oracles.
+
+The efficient checkers (transition-local, fixpoint-based) and the
+literal bounded-computation oracles implement the same definitions two
+different ways.  Here they are run against each other over a corpus of
+seeded random systems — any divergence is a bug in one of the two.
+"""
+
+import random
+
+import pytest
+
+from repro.checker import (
+    check_convergence_refinement,
+    check_everywhere_refinement,
+    check_init_refinement,
+    check_stabilization,
+)
+from repro.core.refinement import (
+    convergence_refines_on_computations,
+    everywhere_refines_on_computations,
+    refines_init_on_computations,
+)
+from repro.core.stabilization import stabilizes_on_computations
+from repro.core.state import StateSchema
+from repro.core.system import System
+
+SCHEMA = StateSchema({"v": tuple(range(5))})
+ORACLE_BOUND = 7  # > |Sigma| + 1: long enough to witness every violation
+
+
+def random_system(rng: random.Random, density: float, name: str) -> System:
+    transitions = []
+    for a in range(5):
+        for b in range(5):
+            if rng.random() < density:
+                transitions.append((((a,)), ((b,))))
+    initial = [(rng.randrange(5),)]
+    return System(SCHEMA, transitions, initial=initial, name=name)
+
+
+def random_subsystem(system: System, rng: random.Random, keep: float) -> System:
+    transitions = [pair for pair in system.transitions() if rng.random() < keep]
+    return System(SCHEMA, transitions, initial=system.initial, name="sub")
+
+
+CASES = [(seed, density) for seed in range(30) for density in (0.15, 0.3, 0.5)]
+
+
+class TestRefinementAgreement:
+    @pytest.mark.parametrize("seed,density", CASES)
+    def test_init_refinement_agrees(self, seed, density):
+        rng = random.Random((seed, density, "init").__hash__())
+        abstract = random_system(rng, density, "A")
+        concrete = random_subsystem(abstract, rng, keep=0.7)
+        fast = check_init_refinement(concrete, abstract).holds
+        slow = refines_init_on_computations(concrete, abstract, max_length=ORACLE_BOUND)
+        assert fast == slow
+
+    @pytest.mark.parametrize("seed,density", CASES)
+    def test_everywhere_refinement_agrees(self, seed, density):
+        rng = random.Random((seed, density, "ew").__hash__())
+        abstract = random_system(rng, density, "A")
+        concrete = random_subsystem(abstract, rng, keep=0.7)
+        fast = check_everywhere_refinement(concrete, abstract).holds
+        slow = everywhere_refines_on_computations(
+            concrete, abstract, max_length=ORACLE_BOUND
+        )
+        assert fast == slow
+
+    @pytest.mark.parametrize("seed,density", CASES[:45])
+    def test_convergence_refinement_oracle_is_implied(self, seed, density):
+        """The exact procedure implies the bounded oracle (the oracle
+        can under-refute at its bound but never rejects a true
+        convergence refinement)."""
+        rng = random.Random((seed, density, "cr").__hash__())
+        abstract = random_system(rng, density, "A")
+        concrete = random_subsystem(abstract, rng, keep=0.6)
+        if check_convergence_refinement(concrete, abstract).holds:
+            assert convergence_refines_on_computations(
+                concrete, abstract, max_length=5
+            )
+
+
+class TestHierarchy:
+    """Everywhere refinement => convergence refinement => init refinement
+    (the paper's inclusion chain), over the random corpus."""
+
+    @pytest.mark.parametrize("seed,density", CASES)
+    def test_inclusions(self, seed, density):
+        rng = random.Random((seed, density, "hier").__hash__())
+        abstract = random_system(rng, density, "A")
+        concrete = random_subsystem(abstract, rng, keep=0.8)
+        everywhere = check_everywhere_refinement(concrete, abstract).holds
+        convergence = check_convergence_refinement(concrete, abstract).holds
+        init = check_init_refinement(concrete, abstract).holds
+        if everywhere and init:
+            assert convergence
+        if convergence:
+            assert init
+
+
+class TestStabilizationAgreement:
+    @pytest.mark.parametrize("seed,density", CASES)
+    def test_fixpoint_implies_oracle(self, seed, density):
+        """check_stabilization is sound: whenever it accepts, every
+        bounded computation indeed acquires a legitimate suffix."""
+        rng = random.Random((seed, density, "stab").__hash__())
+        abstract = random_system(rng, density, "A")
+        concrete = random_subsystem(abstract, rng, keep=0.85)
+        if check_stabilization(concrete, abstract, compute_steps=False).holds:
+            assert stabilizes_on_computations(
+                concrete, abstract, max_length=ORACLE_BOUND
+            )
+
+    @pytest.mark.parametrize("seed", range(40))
+    def test_oracle_refutations_are_confirmed(self, seed):
+        """Conversely: when the bounded oracle refutes, the fixpoint
+        procedure refutes too (the oracle's refutations are genuine)."""
+        rng = random.Random((seed, "refute").__hash__())
+        abstract = random_system(rng, 0.25, "A")
+        concrete = random_subsystem(abstract, rng, keep=0.8)
+        if not stabilizes_on_computations(concrete, abstract, max_length=ORACLE_BOUND):
+            assert not check_stabilization(
+                concrete, abstract, compute_steps=False
+            ).holds
+
+
+class TestTheorem1OnRandomCorpus:
+    """Theorem 1 exercised beyond the token rings: whenever a random
+    pair satisfies [C <= A] and A is stabilizing to B, C must be
+    stabilizing to B.  Vacuously true cases are counted to ensure the
+    corpus actually exercises the premises."""
+
+    def test_no_counterexample_and_not_vacuous(self):
+        hits = 0
+        for seed in range(120):
+            rng = random.Random((seed, "thm1").__hash__())
+            target = random_system(rng, 0.3, "B")
+            abstract = random_subsystem(target, rng, keep=0.9).with_name("A")
+            concrete = random_subsystem(abstract, rng, keep=0.8).with_name("C")
+            premise1 = check_convergence_refinement(concrete, abstract).holds
+            premise2 = check_stabilization(
+                abstract, target, compute_steps=False
+            ).holds
+            if premise1 and premise2:
+                hits += 1
+                assert check_stabilization(
+                    concrete, target, compute_steps=False
+                ).holds, f"Theorem 1 violated at seed {seed}"
+        assert hits >= 3, "corpus never satisfied the premises; widen it"

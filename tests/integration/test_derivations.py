@@ -1,0 +1,246 @@
+"""Integration tests: the paper's derivation chains end to end.
+
+Each test replays a whole section of the paper on a concrete ring
+size, going through every artifact in order, exactly as the benchmark
+harness does — these are the library-level contracts the experiments
+rely on.
+"""
+
+import pytest
+
+from repro.checker import (
+    VerificationReport,
+    check_convergence_refinement,
+    check_init_refinement,
+    check_stabilization,
+)
+from repro.core.composition import box_many
+from repro.core.theorems import graybox_instance
+from repro.gcl.process import check_model_compliance
+from repro.rings import (
+    btr3_abstraction,
+    btr3_program,
+    btr4_abstraction,
+    btr4_program,
+    btr_program,
+    c1_program,
+    c2_program,
+    c3_aggressive_composed,
+    c3_composed,
+    c3_program,
+    dijkstra_four_state,
+    dijkstra_three_state,
+    w1_local_program,
+    w1_program,
+    w2_program,
+    w2_refined_program,
+)
+
+
+class TestSection4Chain:
+    """BTR -> BTR4 -> C1 -> Dijkstra's 4-state."""
+
+    @pytest.fixture(scope="class")
+    def n(self):
+        return 4
+
+    def test_full_chain(self, n):
+        report = VerificationReport(f"Section 4, n={n}")
+        btr = btr_program(n).compile()
+        alpha = btr4_abstraction(n)
+
+        report.add(
+            "BTR4 equivalent on legitimate part",
+            check_init_refinement(btr4_program(n).compile(), btr, alpha),
+        )
+        c1 = c1_program(n).compile()
+        report.add("Lemma 7: [C1 <= BTR]", check_convergence_refinement(c1, btr, alpha))
+        report.add(
+            "Theorem 8: C1 stabilizing to BTR (unfair)",
+            check_stabilization(c1, btr, alpha, fairness="none"),
+        )
+        report.add(
+            "Dijkstra 4-state stabilizing to BTR (unfair)",
+            check_stabilization(
+                dijkstra_four_state(n).compile(), btr, alpha, fairness="none"
+            ),
+        )
+        report.expect_all()
+
+    def test_model_refinement_story(self, n):
+        """BTR4 violates the concrete model; C1 repairs every violation."""
+        # BTR4 carries no process structure (it is abstract by nature);
+        # its actions write far-side neighbours, which C1's do not.
+        c1 = c1_program(n)
+        assert check_model_compliance(c1.processes, writes_restricted=True) == []
+        btr4_actions = {a.name: a for a in btr4_program(n).actions}
+        c1_actions = {a.name: a for a in c1.actions}
+        dropped = {
+            name: btr4_actions[name].write_set() - c1_actions[name].write_set()
+            for name in c1_actions
+        }
+        # every interior move dropped at least one neighbour write.
+        for name, removed in dropped.items():
+            if name.startswith(("up.", "down.")):
+                assert removed, f"{name} should have commented-out writes"
+
+
+class TestSection5Chain:
+    """BTR -> BTR3 -> C2 + W1'' + W2' -> Dijkstra's 3-state."""
+
+    @pytest.fixture(scope="class")
+    def n(self):
+        return 4
+
+    def test_full_chain(self, n):
+        report = VerificationReport(f"Section 5, n={n}")
+        btr = btr_program(n).compile()
+        alpha = btr3_abstraction(n)
+        w1 = w1_local_program(n).compile()
+        w2 = w2_refined_program(n).compile()
+
+        report.add(
+            "BTR3 equivalent on legitimate part",
+            check_init_refinement(btr3_program(n).compile(), btr, alpha),
+        )
+        report.add(
+            "Lemma 9: BTR3 [] W1'' [] W2' stabilizing (strong fairness)",
+            check_stabilization(
+                box_many([btr3_program(n).compile(), w1, w2]),
+                btr,
+                alpha,
+                fairness="strong",
+                compute_steps=False,
+            ),
+        )
+        report.add(
+            "Theorem 11 composite stabilizing (strong fairness)",
+            check_stabilization(
+                box_many([c2_program(n).compile(), w1, w2]),
+                btr,
+                alpha,
+                fairness="strong",
+                compute_steps=False,
+            ),
+        )
+        report.add(
+            "Dijkstra 3-state stabilizing (unfair)",
+            check_stabilization(
+                dijkstra_three_state(n).compile(), btr, alpha, fairness="none"
+            ),
+        )
+        report.expect_all()
+
+    def test_worst_case_convergence_grows_with_n(self):
+        steps = {}
+        for n in (3, 4, 5):
+            result = check_stabilization(
+                dijkstra_three_state(n).compile(),
+                btr_program(n).compile(),
+                btr3_abstraction(n),
+            )
+            assert result.holds
+            steps[n] = result.worst_case_steps
+        assert steps[3] < steps[4] < steps[5]
+
+
+class TestSection6Chain:
+    """C3, the graybox reuse of the Section 5 wrappers, and the final
+    equality with Dijkstra's 3-state system."""
+
+    @pytest.fixture(scope="class")
+    def n(self):
+        return 4
+
+    def test_graybox_composite_stabilizes(self, n):
+        result = check_stabilization(
+            c3_composed(n).compile(),
+            btr_program(n).compile(),
+            btr3_abstraction(n),
+            stutter_insensitive=True,
+            fairness="strong",
+            compute_steps=False,
+        )
+        assert result.holds, result.format()
+
+    def test_same_wrappers_serve_c2_and_c3(self, n):
+        """Graybox reusability: one wrapper pair, two implementations."""
+        btr = btr_program(n).compile()
+        alpha = btr3_abstraction(n)
+        w1 = w1_local_program(n).compile()
+        w2 = w2_refined_program(n).compile()
+        for implementation in (c2_program(n), c3_program(n)):
+            composite = box_many([implementation.compile(), w1, w2])
+            result = check_stabilization(
+                composite,
+                btr,
+                alpha,
+                stutter_insensitive=True,
+                fairness="strong",
+                compute_steps=False,
+            )
+            assert result.holds, f"{implementation.name}: {result.format()}"
+
+    @pytest.mark.parametrize("n_processes", [3, 4, 5, 6])
+    def test_aggressive_composite_equals_dijkstra3(self, n_processes):
+        assert (
+            c3_aggressive_composed(n_processes).compile()
+            == dijkstra_three_state(n_processes).compile()
+        )
+
+
+class TestFairnessLandscape:
+    """The reproduction's headline finding, summarized in one table:
+    which system stabilizes under which daemon assumption."""
+
+    def test_landscape_at_n4(self):
+        n = 4
+        btr = btr_program(n).compile()
+        alpha3 = btr3_abstraction(n)
+        alpha4 = btr4_abstraction(n)
+        w1 = w1_local_program(n).compile()
+        w2 = w2_refined_program(n).compile()
+
+        systems = {
+            "BTR[]W1[]W2": (
+                box_many([btr, w1_program(n).compile(), w2_program(n).compile()]),
+                None,
+                False,
+            ),
+            "BTR3 composite": (
+                box_many([btr3_program(n).compile(), w1, w2]),
+                alpha3,
+                False,
+            ),
+            "C2 composite": (
+                box_many([c2_program(n).compile(), w1, w2]),
+                alpha3,
+                False,
+            ),
+            "C3 composite": (c3_composed(n).compile(), alpha3, True),
+            "Dijkstra3": (dijkstra_three_state(n).compile(), alpha3, False),
+            "Dijkstra4": (dijkstra_four_state(n).compile(), btr4_abstraction(n), False),
+            "C1": (c1_program(n).compile(), alpha4, False),
+        }
+        needs_fairness = {
+            "BTR[]W1[]W2": "strong",
+            "BTR3 composite": "strong",
+            "C2 composite": "strong",
+            "C3 composite": "strong",
+            "Dijkstra3": "none",
+            "Dijkstra4": "none",
+            "C1": "none",
+        }
+        for name, (system, alpha, stutter) in systems.items():
+            weakest = needs_fairness[name]
+            result = check_stabilization(
+                system, btr, alpha, stutter_insensitive=stutter,
+                fairness=weakest, compute_steps=False,
+            )
+            assert result.holds, f"{name} under {weakest}: {result.format()}"
+            if weakest == "strong":
+                result = check_stabilization(
+                    system, btr, alpha, stutter_insensitive=stutter,
+                    fairness="weak", compute_steps=False,
+                )
+                assert not result.holds, f"{name} should need strong fairness"

@@ -1,0 +1,119 @@
+"""Exhaustive micro-universe cross-validation.
+
+Over a 2-state space there are only 16 transition relations and 4
+initial-state sets — every system can be enumerated, and every *pair*
+of systems checked against the literal bounded oracles with a bound
+(5 states) that exceeds the longest possible simple path plus the
+revisit needed to witness any violation.  Unlike the random corpora,
+this is a *complete* verification of the decision procedures on the
+whole universe of tiny instances.
+"""
+
+import itertools
+
+import pytest
+
+from repro.checker import (
+    check_everywhere_refinement,
+    check_init_refinement,
+    check_stabilization,
+)
+from repro.core.refinement import (
+    everywhere_refines_on_computations,
+    refines_init_on_computations,
+)
+from repro.core.stabilization import stabilizes_on_computations
+from repro.core.state import StateSchema
+from repro.core.system import System
+
+SCHEMA = StateSchema({"v": (0, 1)})
+STATES = [(0,), (1,)]
+ALL_PAIRS = [(a, b) for a in STATES for b in STATES]
+ORACLE_BOUND = 5
+
+ALL_RELATIONS = [
+    frozenset(pairs)
+    for size in range(5)
+    for pairs in itertools.combinations(ALL_PAIRS, size)
+]
+NONEMPTY_INITIALS = [frozenset([STATES[0]]), frozenset([STATES[1]]),
+                     frozenset(STATES)]
+
+
+def all_systems():
+    for relation in ALL_RELATIONS:
+        for initial in NONEMPTY_INITIALS:
+            yield System(SCHEMA, relation, initial, name="u")
+
+
+SYSTEMS = list(all_systems())
+
+
+class TestExhaustively:
+    def test_universe_size(self):
+        assert len(SYSTEMS) == 16 * 3 == 48
+
+    def test_init_refinement_agrees_everywhere(self):
+        disagreements = []
+        for concrete in SYSTEMS:
+            for abstract in SYSTEMS:
+                fast = check_init_refinement(concrete, abstract).holds
+                slow = refines_init_on_computations(
+                    concrete, abstract, max_length=ORACLE_BOUND
+                )
+                if fast != slow:
+                    disagreements.append((concrete, abstract, fast, slow))
+        assert not disagreements, disagreements[:3]
+
+    def test_everywhere_refinement_agrees_everywhere(self):
+        disagreements = []
+        for concrete in SYSTEMS:
+            for abstract in SYSTEMS:
+                fast = check_everywhere_refinement(concrete, abstract).holds
+                slow = everywhere_refines_on_computations(
+                    concrete, abstract, max_length=ORACLE_BOUND
+                )
+                if fast != slow:
+                    disagreements.append((concrete, abstract, fast, slow))
+        assert not disagreements, disagreements[:3]
+
+    def test_stabilization_fixpoint_is_sound_everywhere(self):
+        """Acceptance by the fixpoint procedure implies the literal
+        per-computation property, across the whole universe."""
+        violations = []
+        for concrete in SYSTEMS:
+            for abstract in SYSTEMS:
+                verdict = check_stabilization(
+                    concrete, abstract, compute_steps=False
+                ).holds
+                if verdict and not stabilizes_on_computations(
+                    concrete, abstract, max_length=ORACLE_BOUND
+                ):
+                    violations.append((concrete, abstract))
+        assert not violations, violations[:3]
+
+    def test_oracle_refutations_are_matched_everywhere(self):
+        """Refutation by the bounded oracle implies refutation by the
+        fixpoint procedure (no overclaiming in either direction on the
+        micro-universe)."""
+        violations = []
+        for concrete in SYSTEMS:
+            for abstract in SYSTEMS:
+                if not stabilizes_on_computations(
+                    concrete, abstract, max_length=ORACLE_BOUND
+                ):
+                    if check_stabilization(
+                        concrete, abstract, compute_steps=False
+                    ).holds:
+                        violations.append((concrete, abstract))
+        assert not violations, violations[:3]
+
+    def test_self_stabilization_diagonal(self):
+        """On the diagonal, the fixpoint and oracle verdicts coincide
+        exactly (both directions) for every system in the universe."""
+        for system in SYSTEMS:
+            fast = check_stabilization(system, system, compute_steps=False).holds
+            slow = stabilizes_on_computations(
+                system, system, max_length=ORACLE_BOUND
+            )
+            assert fast == slow, system

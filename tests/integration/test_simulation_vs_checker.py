@@ -1,0 +1,133 @@
+"""Agreement between the two substrates: simulator vs model checker.
+
+Where the checker proves stabilization, random-daemon simulations from
+random corrupted states must converge within generous budgets; where
+the checker finds divergence, an adversarial scheduler must be able to
+realize it.  Run at sizes both substrates can handle.
+"""
+
+import random
+
+import pytest
+
+from repro.checker import check_stabilization
+from repro.rings import (
+    btr3_abstraction,
+    btr_program,
+    dijkstra_three_state,
+    dijkstra_four_state,
+    kstate_program,
+    w1_program,
+    w2_program,
+)
+from repro.rings.topology import Ring
+from repro.simulation import (
+    GreedyScheduler,
+    PROTOCOLS,
+    btr_tokens,
+    convergence_trial,
+    legitimacy_predicate,
+    run_until,
+    simulate,
+)
+
+
+class TestConvergenceAgreement:
+    @pytest.mark.parametrize("name", sorted(PROTOCOLS))
+    def test_verified_protocols_converge_in_simulation(self, name):
+        builder, kind = PROTOCOLS[name]
+        n = 7
+        program = builder(n)
+        for trial in range(5):
+            rng = random.Random((name, trial).__hash__())
+            steps = convergence_trial(
+                program, kind, n, rng, max_steps=300 * n * n
+            )
+            assert steps is not None, f"{name} failed to converge (trial {trial})"
+
+    def test_simulated_convergence_never_beats_worst_case(self):
+        """Simulated convergence times are bounded by the checker's
+        exact worst case (on a size both substrates handle)."""
+        n = 5
+        result = check_stabilization(
+            dijkstra_three_state(n).compile(),
+            btr_program(n).compile(),
+            btr3_abstraction(n),
+        )
+        assert result.holds
+        bound = result.worst_case_steps
+        program = dijkstra_three_state(n)
+        predicate = legitimacy_predicate("three", n)
+        for trial in range(30):
+            rng = random.Random(trial)
+            initial = {
+                v.name: rng.choice(v.domain.values) for v in program.variables
+            }
+            steps = run_until(program, predicate, bound + 1, rng=rng, initial=initial)
+            assert steps is not None and steps <= bound
+
+
+class TestDivergenceAgreement:
+    def test_adversary_realizes_checker_divergence(self):
+        """The checker rejects BTR[]W1[]W2 under the unfair daemon; the
+        greedy token-preserving adversary realizes the divergence."""
+        n = 6
+        program = (
+            btr_program(n)
+            .merged_with(w1_program(n, strict=True))
+            .merged_with(w2_program(n), name="wrapped")
+        )
+        ring = Ring(n)
+        initial = {v.name: False for v in program.variables}
+        initial[Ring.ut(1)] = True
+        initial[Ring.dt(n - 2)] = True
+        adversary = GreedyScheduler(lambda env: len(btr_tokens(ring, env)))
+        trace = simulate(
+            program, 2000, scheduler=adversary, rng=random.Random(0),
+            initial=initial,
+        )
+        assert len(btr_tokens(ring, trace.final())) == 2
+
+    def test_kstate_divergence_witness_is_a_real_cycle(self):
+        """K = n - 2 is refuted by the checker; its witness cycle must
+        be a genuine cycle of the compiled system, entirely within
+        multi-privilege states."""
+        n, k = 5, 3
+        from repro.rings.mappings import utr_abstraction
+        from repro.rings.kstate import utr_program
+        from repro.simulation import kstate_tokens
+
+        system = kstate_program(n, k).compile()
+        result = check_stabilization(
+            system,
+            utr_program(n).compile(),
+            utr_abstraction(n, k),
+            compute_steps=False,
+        )
+        assert not result.holds
+        cycle = result.result.witness.states
+        assert cycle and cycle[0] == cycle[-1]
+        ring = Ring(n)
+        program = kstate_program(n, k)
+        for current, following in zip(cycle, cycle[1:]):
+            assert system.has_transition(current, following)
+            env = program.env_of(current)
+            assert len(kstate_tokens(ring, env)) > 1
+
+
+class TestScaleSanity:
+    def test_fifty_process_ring_converges(self):
+        """Far beyond checking scale: a 50-process Dijkstra-3 ring
+        recovers from a random state under the random daemon."""
+        n = 50
+        program = dijkstra_three_state(n)
+        rng = random.Random(99)
+        steps = convergence_trial(program, "three", n, rng, max_steps=200 * n * n)
+        assert steps is not None
+
+    def test_four_state_scales_too(self):
+        n = 40
+        program = dijkstra_four_state(n)
+        rng = random.Random(7)
+        steps = convergence_trial(program, "four", n, rng, max_steps=200 * n * n)
+        assert steps is not None

@@ -1,0 +1,143 @@
+"""Bridge tests: simulated traces satisfy the paper's definitions.
+
+The simulator and the theory layer were built independently; here a
+*simulated* run of a concrete protocol is converted to a state
+sequence, pushed through the abstraction function, and checked against
+the literal Section 2 definitions — computation-hood, the legitimate
+suffix property, and convergence isomorphism with a constructed
+abstract witness.  Any divergence between the two substrates would
+surface here.
+"""
+
+import random
+
+import pytest
+
+from repro.checker import expand_to_abstract_path
+from repro.core.isomorphism import check_convergence_isomorphism
+from repro.core.stabilization import sequence_has_legitimate_suffix
+from repro.rings import (
+    btr3_abstraction,
+    btr_program,
+    c1_program,
+    btr4_abstraction,
+    dijkstra_three_state,
+)
+from repro.simulation import CorruptVariables, FaultSchedule, simulate
+
+
+def trace_states(program, trace):
+    """Pack a trace's environments into state tuples."""
+    return tuple(program.state_of(env) for env in trace.environments())
+
+
+class TestLegitimateRuns:
+    def test_simulated_legit_run_maps_to_a_btr_computation(self):
+        """From a legitimate start, every simulated Dijkstra-3 step's
+        image is an exact BTR transition."""
+        n = 5
+        program = dijkstra_three_state(n)
+        btr = btr_program(n).compile()
+        alpha = btr3_abstraction(n)
+        trace = simulate(program, 80, rng=random.Random(4))
+        states = trace_states(program, trace)
+        image = alpha.map_sequence(states)
+        assert btr.is_computation(image, require_maximal=False)
+
+    def test_c1_legit_run_maps_exactly_too(self):
+        n = 4
+        program = c1_program(n)
+        btr = btr_program(n).compile()
+        alpha = btr4_abstraction(n)
+        trace = simulate(program, 60, rng=random.Random(9))
+        states = trace_states(program, trace)
+        image = alpha.map_sequence(states)
+        assert btr.is_computation(image, require_maximal=False)
+
+    def test_image_run_is_a_convergence_isomorphism_of_itself_expanded(self):
+        """Expanding a legitimate image run through the witness
+        constructor must give back the run itself (no compressions in
+        legitimate states)."""
+        n = 4
+        program = dijkstra_three_state(n)
+        btr = btr_program(n).compile()
+        alpha = btr3_abstraction(n)
+        trace = simulate(program, 50, rng=random.Random(2))
+        image = alpha.map_sequence(trace_states(program, trace))
+        witness = expand_to_abstract_path(image, btr)
+        assert witness == image
+        assert check_convergence_isomorphism(image, witness).holds
+
+
+class TestFaultyRuns:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_post_fault_run_acquires_a_legitimate_suffix(self, seed):
+        """After a corruption burst, the simulated run's image must
+        satisfy the paper's stabilization clause: some suffix is a
+        suffix of a BTR computation from an initial state."""
+        n = 5
+        program = dijkstra_three_state(n)
+        btr = btr_program(n).compile()
+        alpha = btr3_abstraction(n)
+        trace = simulate(
+            program,
+            600,
+            rng=random.Random(seed),
+            faults=FaultSchedule([5], CorruptVariables(3)),
+        )
+        # Slice the run after the fault: the segment whose suffix we test.
+        environments = trace.environments()
+        fault_index = next(
+            i for i, e in enumerate(trace.events) if e.kind == "fault"
+        )
+        post_fault = environments[fault_index + 1 :]
+        states = tuple(program.state_of(env) for env in post_fault)
+        image = alpha.map_sequence(states)
+        assert sequence_has_legitimate_suffix(image, btr, complete=False)
+
+    def test_every_recovery_step_has_a_known_shape(self):
+        """Classify every image step of a faulty run.  The merged
+        Dijkstra-3 is *not* a convergence refinement of BTR (nor of
+        the wrapped abstract composite — the run-level face of the
+        Lemma 10 finding): besides exact BTR moves and compressions it
+        takes token-creation steps (the merged top action, +1 token)
+        and pairwise-cancellation steps (the merged W2' role, -2
+        tokens).  Nothing else may occur."""
+        from repro.checker.graph import shortest_path
+        from repro.rings.tokens import count_tokens
+
+        n = 4
+        program = dijkstra_three_state(n)
+        btr = btr_program(n).compile()
+        alpha = btr3_abstraction(n)
+        schema = btr.schema
+        trace = simulate(
+            program,
+            200,
+            rng=random.Random(13),
+            faults=FaultSchedule([3], CorruptVariables(3)),
+        )
+        environments = trace.environments()
+        fault_index = next(
+            i for i, e in enumerate(trace.events) if e.kind == "fault"
+        )
+        states = tuple(
+            program.state_of(env) for env in environments[fault_index + 1 :]
+        )
+        image = alpha.map_sequence(states)
+        shapes = set()
+        for current, following in zip(image, image[1:]):
+            if current == following:
+                shapes.add("stutter")
+                continue
+            if btr.has_transition(current, following):
+                shapes.add("exact")
+                continue
+            if shortest_path(btr, current, following, min_length=2) is not None:
+                shapes.add("compression")
+                continue
+            delta = count_tokens(schema, following) - count_tokens(schema, current)
+            assert delta in (1, -2, -1), (current, following, delta)
+            shapes.add("creation" if delta == 1 else "cancellation")
+        # The seeded run exercises the interesting shapes.
+        assert "exact" in shapes

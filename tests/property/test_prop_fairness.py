@@ -1,0 +1,137 @@
+"""Cross-validation of the strong-fairness trap analysis.
+
+``find_fair_trap`` decides whether a strongly fair infinite run can
+stay inside a region.  An independent oracle decides the same question
+by brute force on tiny graphs: a strongly fair run confined to the
+region exists iff there is a *fair closed walk* — a closed walk, within
+the region, such that every action enabled at any state the walk
+visits also fires somewhere along the walk.  (Looping such a walk
+forever satisfies every strong-fairness obligation it incurs.)
+
+The oracle enumerates closed walks up to a length bound that is
+exhaustive for the graph sizes used (a walk that covers distinct
+obligations never needs to be longer than |region| * (#actions + 1)
+here), so agreement over the random corpus is strong evidence both
+implementations decide the same relation.
+"""
+
+import random
+from itertools import product
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.checker.fairness import find_fair_trap
+from repro.core.state import StateSchema
+from repro.core.system import System
+
+N_STATES = 4
+SCHEMA = StateSchema({"v": tuple(range(N_STATES))})
+ACTIONS = ("a", "b", "c")
+
+
+@st.composite
+def labelled_systems(draw):
+    n_edges = draw(st.integers(min_value=0, max_value=7))
+    pairs = []
+    labels = {}
+    for _ in range(n_edges):
+        source = (draw(st.integers(min_value=0, max_value=N_STATES - 1)),)
+        target = (draw(st.integers(min_value=0, max_value=N_STATES - 1)),)
+        action = draw(st.sampled_from(ACTIONS))
+        pairs.append((source, target))
+        labels.setdefault((source, target), set()).add(action)
+    return System(SCHEMA, pairs, initial=[], name="rand", labels=labels)
+
+
+def _edge_actions(system, source, target):
+    labels = system.labels_of(source, target)
+    if labels:
+        return labels
+    return frozenset((f"<anon {source!r}->{target!r}>",))
+
+
+def _enabled_at(system, state):
+    names = set()
+    for target in system.successors(state):
+        names |= _edge_actions(system, state, target)
+    return names
+
+
+def fair_closed_walk_exists(system, region, max_length=16):
+    """Brute-force oracle: DFS over (state, path) for closed walks whose
+    visited obligations are all discharged on the walk itself."""
+    region = set(region)
+
+    edges = [
+        (s, t, a)
+        for s in region
+        for t in system.successors(s)
+        if t in region
+        for a in _edge_actions(system, s, t)
+    ]
+    if not edges:
+        return False
+
+    # Depth-first over walks, tracking (visited states, fired actions).
+    for start in sorted(region, key=repr):
+        stack = [(start, (start,), frozenset())]
+        while stack:
+            state, path, fired = stack.pop()
+            if len(path) > max_length:
+                continue
+            for target in sorted(system.successors(state), key=repr):
+                if target not in region:
+                    continue
+                new_fired = fired | _edge_actions(system, state, target)
+                new_path = path + (target,)
+                if target == start:
+                    obligations = set()
+                    for visited in set(new_path):
+                        obligations |= _enabled_at(system, visited)
+                    if obligations <= new_fired:
+                        return True
+                stack.append((target, new_path, new_fired))
+    return False
+
+
+class TestFairTrapAgainstBruteForce:
+    @settings(max_examples=150, deadline=None)
+    @given(labelled_systems(), st.data())
+    def test_agreement_on_random_regions(self, system, data):
+        region_bits = data.draw(
+            st.lists(st.booleans(), min_size=N_STATES, max_size=N_STATES)
+        )
+        region = [(v,) for v in range(N_STATES) if region_bits[v]]
+        trap = find_fair_trap(system, region)
+        oracle = fair_closed_walk_exists(system, region)
+        assert (trap is not None) == oracle, (
+            f"disagreement: trap={trap}, oracle={oracle}, "
+            f"edges={sorted(system.transitions())}, region={region}"
+        )
+
+    @settings(max_examples=80, deadline=None)
+    @given(labelled_systems())
+    def test_trap_states_lie_in_the_region(self, system):
+        region = [(v,) for v in range(N_STATES)]
+        trap = find_fair_trap(system, region)
+        if trap is not None:
+            assert trap <= set(region)
+
+    @settings(max_examples=80, deadline=None)
+    @given(labelled_systems())
+    def test_trap_is_internally_sustainable(self, system):
+        """Every action enabled at a trap state has a transition within
+        the trap — the defining property of the returned set."""
+        region = [(v,) for v in range(N_STATES)]
+        trap = find_fair_trap(system, region)
+        if trap is None:
+            return
+        internal_actions = set()
+        for source in trap:
+            for target in system.successors(source):
+                if target in trap:
+                    internal_actions |= _edge_actions(system, source, target)
+        for state in trap:
+            assert _enabled_at(system, state) <= internal_actions

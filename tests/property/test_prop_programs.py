@@ -1,0 +1,145 @@
+"""Property-based fuzzing of whole guarded-command programs.
+
+Random well-typed programs (all variables over ``mod K``, all writes
+through modular arithmetic, hence always in-domain) must:
+
+* compile deterministically,
+* round-trip through the pretty-printer and parser to an *equal*
+  automaton,
+* satisfy the daemon algebra (central ⊆ distributed; synchronous
+  singleton-step inclusion for singleton-enabled states).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gcl.action import GuardedAction
+from repro.gcl.daemon import CentralDaemon, DistributedDaemon
+from repro.gcl.domain import ModularDomain
+from repro.gcl.expr import (
+    AddMod,
+    And,
+    Const,
+    Eq,
+    Ite,
+    Ne,
+    Not,
+    Or,
+    SubMod,
+    Var,
+)
+from repro.gcl.parser import parse_program
+from repro.gcl.pretty import render_program
+from repro.gcl.program import Program
+from repro.gcl.variable import Variable
+
+MODULUS = 3
+VAR_NAMES = ("u", "w.0", "w.1")
+
+
+@st.composite
+def guard_exprs(draw, depth=0):
+    if depth >= 2:
+        kind = draw(st.sampled_from(["eq", "ne", "const"]))
+    else:
+        kind = draw(st.sampled_from(["eq", "ne", "and", "or", "not", "const"]))
+    if kind == "const":
+        return Const(draw(st.booleans()))
+    if kind in ("eq", "ne"):
+        left = Var(draw(st.sampled_from(VAR_NAMES)))
+        right = draw(
+            st.one_of(
+                st.sampled_from([Var(name) for name in VAR_NAMES]),
+                st.integers(min_value=0, max_value=MODULUS - 1).map(Const),
+            )
+        )
+        return Eq(left, right) if kind == "eq" else Ne(left, right)
+    if kind == "not":
+        return Not(draw(guard_exprs(depth=depth + 1)))
+    left = draw(guard_exprs(depth=depth + 1))
+    right = draw(guard_exprs(depth=depth + 1))
+    return (And if kind == "and" else Or)(left, right)
+
+
+@st.composite
+def value_exprs(draw, depth=0):
+    if depth >= 2:
+        return draw(
+            st.one_of(
+                st.sampled_from([Var(name) for name in VAR_NAMES]),
+                st.integers(min_value=0, max_value=MODULUS - 1).map(Const),
+            )
+        )
+    kind = draw(st.sampled_from(["var", "const", "addmod", "submod", "ite"]))
+    if kind == "var":
+        return Var(draw(st.sampled_from(VAR_NAMES)))
+    if kind == "const":
+        return Const(draw(st.integers(min_value=0, max_value=MODULUS - 1)))
+    if kind in ("addmod", "submod"):
+        left = draw(value_exprs(depth=depth + 1))
+        right = draw(value_exprs(depth=depth + 1))
+        return (AddMod if kind == "addmod" else SubMod)(left, right, MODULUS)
+    return Ite(
+        draw(guard_exprs(depth=depth + 1)),
+        draw(value_exprs(depth=depth + 1)),
+        draw(value_exprs(depth=depth + 1)),
+    )
+
+
+@st.composite
+def programs(draw):
+    n_actions = draw(st.integers(min_value=1, max_value=4))
+    actions = []
+    for index in range(n_actions):
+        targets = draw(
+            st.lists(st.sampled_from(VAR_NAMES), min_size=1, max_size=2,
+                     unique=True)
+        )
+        assignments = {name: draw(value_exprs()) for name in targets}
+        actions.append(
+            GuardedAction(f"act.{index}", draw(guard_exprs()), assignments)
+        )
+    variables = [Variable(name, ModularDomain(MODULUS)) for name in VAR_NAMES]
+    init = Eq(Var("u"), Const(0))
+    return Program("fuzzed", variables, actions, init=init)
+
+
+class TestProgramFuzz:
+    @settings(max_examples=100, deadline=None)
+    @given(programs())
+    def test_render_parse_compile_roundtrip(self, program):
+        rendered = render_program(program)
+        reparsed = parse_program(rendered)
+        assert program.compile() == reparsed.compile()
+
+    @settings(max_examples=60, deadline=None)
+    @given(programs())
+    def test_compilation_is_deterministic(self, program):
+        assert program.compile() == program.compile()
+
+    @settings(max_examples=60, deadline=None)
+    @given(programs())
+    def test_central_transitions_subset_of_distributed(self, program):
+        central = set(program.compile(CentralDaemon()).transitions())
+        distributed = set(
+            program.compile(DistributedDaemon(max_concurrency=2)).transitions()
+        )
+        assert central <= distributed
+
+    @settings(max_examples=60, deadline=None)
+    @given(programs())
+    def test_labels_cover_every_transition(self, program):
+        system = program.compile()
+        action_names = {action.name for action in program.actions}
+        for source, target in system.transitions():
+            labels = system.labels_of(source, target)
+            assert labels and labels <= action_names
+
+    @settings(max_examples=60, deadline=None)
+    @given(programs())
+    def test_enabled_actions_match_transitions(self, program):
+        """A state has outgoing transitions iff some guard holds there."""
+        system = program.compile()
+        for state in program.schema().states():
+            enabled = program.enabled_actions(state)
+            assert bool(enabled) == bool(system.successors(state))

@@ -1,0 +1,166 @@
+"""Property-based tests on the token-ring protocols.
+
+Random ring sizes, random corrupted states, random schedules — the
+protocol invariants that must survive all of them.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rings.btr import btr_program
+from repro.rings.btr3 import dijkstra_three_state
+from repro.rings.btr4 import dijkstra_four_state
+from repro.rings.kstate import kstate_program
+from repro.rings.tokens import count_tokens
+from repro.rings.topology import Ring
+from repro.simulation.metrics import (
+    four_state_tokens,
+    kstate_tokens,
+    three_state_tokens,
+)
+from repro.simulation.runner import simulate
+
+ring_sizes = st.integers(min_value=3, max_value=9)
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+def random_env(program, rng):
+    return {v.name: rng.choice(v.domain.values) for v in program.variables}
+
+
+class TestBTRInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=3, max_value=6), seeds)
+    def test_btr_never_creates_tokens(self, n, seed):
+        program = btr_program(n)
+        schema = program.schema()
+        rng = random.Random(seed)
+        state = tuple(rng.choice((False, True)) for _ in schema.names)
+        env = schema.unpack(state)
+        before = count_tokens(schema, state)
+        for action in program.actions:
+            if action.enabled(env):
+                after_env = action.execute(env)
+                after = count_tokens(schema, program.state_of(after_env))
+                assert after <= before
+
+
+class TestDijkstra3Invariants:
+    @settings(max_examples=25, deadline=None)
+    @given(ring_sizes, seeds)
+    def test_only_the_top_action_creates_tokens(self, n, seed):
+        """The merged top action carries the token-injection role of
+        the local wrapper: it may raise the count by exactly one;
+        every other action is non-increasing."""
+        program = dijkstra_three_state(n)
+        ring = Ring(n)
+        rng = random.Random(seed)
+        env = random_env(program, rng)
+        trace = simulate(program, 50, rng=rng, initial=env)
+        count = len(three_state_tokens(ring, trace.initial))
+        for event in trace.events:
+            after = len(three_state_tokens(ring, event.env))
+            if after > count:
+                assert event.label == "top"
+                assert after == count + 1
+            count = after
+
+    @settings(max_examples=25, deadline=None)
+    @given(ring_sizes, seeds)
+    def test_at_least_one_token_always(self, n, seed):
+        program = dijkstra_three_state(n)
+        ring = Ring(n)
+        rng = random.Random(seed)
+        env = random_env(program, rng)
+        trace = simulate(program, 50, rng=rng, initial=env)
+        for e in trace.environments():
+            # zero-token states exist but are left immediately: the
+            # top action (W1'' merged) is enabled in every uniform
+            # configuration, so the run can never deadlock.
+            if len(three_state_tokens(ring, e)) == 0:
+                enabled = [
+                    a for a in program.actions if a.enabled(e)
+                ]
+                assert enabled
+
+    @settings(max_examples=20, deadline=None)
+    @given(ring_sizes, seeds)
+    def test_single_token_is_closed(self, n, seed):
+        """Once exactly one token exists, every further step keeps
+        exactly one token (closure of the legitimate predicate)."""
+        program = dijkstra_three_state(n)
+        ring = Ring(n)
+        rng = random.Random(seed)
+        env = program.env_of(next(program.initial_states()))
+        trace = simulate(program, 60, rng=rng, initial=env)
+        for e in trace.environments():
+            assert len(three_state_tokens(ring, e)) == 1
+
+
+class TestDijkstra4Invariants:
+    @settings(max_examples=25, deadline=None)
+    @given(ring_sizes, seeds)
+    def test_always_at_least_one_token(self, n, seed):
+        """The 4-state encoding cannot express zero tokens — checked on
+        random trajectories at sizes beyond the exhaustive proof."""
+        program = dijkstra_four_state(n)
+        ring = Ring(n)
+        rng = random.Random(seed)
+        env = random_env(program, rng)
+        trace = simulate(program, 50, rng=rng, initial=env)
+        for e in trace.environments():
+            assert len(four_state_tokens(ring, e)) >= 1
+
+    @settings(max_examples=25, deadline=None)
+    @given(ring_sizes, seeds)
+    def test_steps_change_count_by_at_most_one_up(self, n, seed):
+        """Dijkstra-4's relaxed mid-up guard can transiently create one
+        token from corrupted states; no step creates more than one."""
+        program = dijkstra_four_state(n)
+        ring = Ring(n)
+        rng = random.Random(seed)
+        env = random_env(program, rng)
+        trace = simulate(program, 50, rng=rng, initial=env)
+        counts = [len(four_state_tokens(ring, e)) for e in trace.environments()]
+        assert all(b <= a + 1 for a, b in zip(counts, counts[1:]))
+
+    @settings(max_examples=25, deadline=None)
+    @given(ring_sizes, seeds)
+    def test_no_colocated_opposite_tokens(self, n, seed):
+        program = dijkstra_four_state(n)
+        ring = Ring(n)
+        rng = random.Random(seed)
+        env = random_env(program, rng)
+        trace = simulate(program, 50, rng=rng, initial=env)
+        for e in trace.environments():
+            tokens = four_state_tokens(ring, e)
+            positions = [flag.split(".")[1] for flag in tokens]
+            assert len(set(positions)) == len(positions)
+
+
+class TestKStateInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(ring_sizes, st.integers(min_value=2, max_value=6), seeds)
+    def test_at_least_one_privilege(self, n, k, seed):
+        """The classical sum argument: some process is always
+        privileged, for every K and every configuration."""
+        program = kstate_program(n, k)
+        ring = Ring(n)
+        rng = random.Random(seed)
+        env = random_env(program, rng)
+        trace = simulate(program, 40, rng=rng, initial=env)
+        for e in trace.environments():
+            assert len(kstate_tokens(ring, e)) >= 1
+
+    @settings(max_examples=25, deadline=None)
+    @given(ring_sizes, seeds)
+    def test_privilege_count_never_increases(self, n, seed):
+        program = kstate_program(n, n)
+        ring = Ring(n)
+        rng = random.Random(seed)
+        env = random_env(program, rng)
+        trace = simulate(program, 40, rng=rng, initial=env)
+        counts = [len(kstate_tokens(ring, e)) for e in trace.environments()]
+        assert all(a >= b for a, b in zip(counts, counts[1:]))

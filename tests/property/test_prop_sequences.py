@@ -1,0 +1,133 @@
+"""Property-based tests for sequence predicates and convergence isomorphism."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.computation import (
+    is_subsequence,
+    is_suffix,
+    omission_count,
+    remove_stutter,
+    subsequence_embedding,
+    suffixes,
+)
+from repro.core.isomorphism import is_convergence_isomorphism
+
+# Small alphabets maximize collision-rich structure per example.
+items = st.integers(min_value=0, max_value=3)
+sequences = st.lists(items, min_size=0, max_size=12)
+nonempty = st.lists(items, min_size=1, max_size=12)
+
+
+class TestSubsequenceProperties:
+    @given(sequences)
+    def test_reflexive(self, xs):
+        assert is_subsequence(xs, xs)
+
+    @given(sequences, st.data())
+    def test_every_deletion_yields_a_subsequence(self, xs, data):
+        if not xs:
+            return
+        index = data.draw(st.integers(min_value=0, max_value=len(xs) - 1))
+        shorter = xs[:index] + xs[index + 1:]
+        assert is_subsequence(shorter, xs)
+
+    @given(sequences, sequences, sequences)
+    def test_transitive(self, a, b, c):
+        if is_subsequence(a, b) and is_subsequence(b, c):
+            assert is_subsequence(a, c)
+
+    @given(sequences, sequences)
+    def test_antisymmetric_up_to_equality(self, a, b):
+        if is_subsequence(a, b) and is_subsequence(b, a):
+            assert a == b
+
+    @given(sequences, sequences)
+    def test_embedding_is_a_valid_witness(self, a, b):
+        embedding = subsequence_embedding(a, b)
+        if embedding is not None:
+            assert len(embedding) == len(a)
+            assert all(b[p] == x for p, x in zip(embedding, a))
+            assert all(p < q for p, q in zip(embedding, embedding[1:]))
+
+    @given(sequences, sequences)
+    def test_omission_count_consistency(self, a, b):
+        count = omission_count(a, b)
+        if count is not None:
+            assert count == len(b) - len(a)
+            assert count >= 0
+
+
+class TestSuffixProperties:
+    @given(nonempty)
+    def test_all_suffixes_are_suffixes(self, xs):
+        for suffix in suffixes(xs):
+            assert is_suffix(suffix, xs)
+
+    @given(nonempty)
+    def test_suffix_count(self, xs):
+        assert len(list(suffixes(xs))) == len(xs)
+
+    @given(sequences, sequences)
+    def test_suffix_implies_subsequence(self, a, b):
+        if is_suffix(a, b):
+            assert is_subsequence(a, b)
+
+
+class TestStutterProperties:
+    @given(sequences)
+    def test_idempotent(self, xs):
+        once = remove_stutter(xs)
+        assert remove_stutter(once) == once
+
+    @given(sequences)
+    def test_no_adjacent_duplicates(self, xs):
+        collapsed = remove_stutter(xs)
+        assert all(a != b for a, b in zip(collapsed, collapsed[1:]))
+
+    @given(sequences)
+    def test_is_subsequence_of_original(self, xs):
+        assert is_subsequence(remove_stutter(xs), xs)
+
+    @given(nonempty)
+    def test_preserves_endpoints(self, xs):
+        collapsed = remove_stutter(xs)
+        assert collapsed[0] == xs[0]
+        assert collapsed[-1] == xs[-1]
+
+
+class TestConvergenceIsomorphismProperties:
+    @given(nonempty)
+    def test_reflexive(self, xs):
+        assert is_convergence_isomorphism(xs, xs)
+
+    @given(nonempty, st.data())
+    def test_interior_deletion_preserves_isomorphism(self, xs, data):
+        """Dropping a non-endpoint state keeps the relation — exactly
+        the paper's 'may drop states except initial and final'."""
+        if len(xs) < 3:
+            return
+        index = data.draw(st.integers(min_value=1, max_value=len(xs) - 2))
+        shorter = xs[:index] + xs[index + 1:]
+        assert is_convergence_isomorphism(shorter, xs)
+
+    @given(nonempty, nonempty, nonempty)
+    def test_transitive(self, a, b, c):
+        if is_convergence_isomorphism(a, b) and is_convergence_isomorphism(b, c):
+            assert is_convergence_isomorphism(a, c)
+
+    @given(nonempty, nonempty)
+    def test_isomorphism_implies_endpoint_agreement(self, a, b):
+        if is_convergence_isomorphism(a, b):
+            assert a[0] == b[0] and a[-1] == b[-1]
+
+    @given(nonempty, nonempty)
+    def test_stutter_insensitive_is_weaker(self, a, b):
+        if is_convergence_isomorphism(a, b):
+            assert is_convergence_isomorphism(a, b, stutter_insensitive=True)
+
+    @given(nonempty, st.integers(min_value=1, max_value=3), st.data())
+    def test_stutter_padding_is_invisible_in_stutter_mode(self, xs, copies, data):
+        index = data.draw(st.integers(min_value=0, max_value=len(xs) - 1))
+        padded = xs[:index] + [xs[index]] * copies + xs[index:]
+        assert is_convergence_isomorphism(padded, xs, stutter_insensitive=True)

@@ -1,0 +1,158 @@
+"""Property-based tests for state schemas and the expression language."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.state import StateSchema
+from repro.gcl.expr import (
+    Add,
+    AddMod,
+    And,
+    Const,
+    Eq,
+    Expr,
+    Ite,
+    Lt,
+    Mod,
+    Mul,
+    Ne,
+    Not,
+    Or,
+    Sub,
+    SubMod,
+    Var,
+)
+from repro.gcl.parser import parse_expression
+
+# ---------------------------------------------------------------------------
+# Schemas
+# ---------------------------------------------------------------------------
+
+variable_names = st.lists(
+    st.sampled_from(["a", "b", "c", "d", "e"]), min_size=1, max_size=4, unique=True
+)
+domains = st.lists(
+    st.integers(min_value=0, max_value=9), min_size=1, max_size=4, unique=True
+)
+
+
+@st.composite
+def schemas(draw):
+    names = draw(variable_names)
+    return StateSchema({name: tuple(draw(domains)) for name in names})
+
+
+class TestSchemaProperties:
+    @given(schemas(), st.data())
+    def test_pack_unpack_roundtrip(self, schema, data):
+        assignment = {
+            name: data.draw(st.sampled_from(schema.domain_of(name)))
+            for name in schema.names
+        }
+        assert schema.unpack(schema.pack(assignment)) == assignment
+
+    @given(schemas())
+    def test_enumeration_count_matches_size(self, schema):
+        assert len(list(schema.states())) == schema.size()
+
+    @given(schemas(), st.data())
+    def test_replace_changes_only_named_component(self, schema, data):
+        state = next(iter(schema.states()))
+        name = data.draw(st.sampled_from(list(schema.names)))
+        value = data.draw(st.sampled_from(schema.domain_of(name)))
+        updated = schema.replace(state, **{name: value})
+        assert schema.value(updated, name) == value
+        for other in schema.names:
+            if other != name:
+                assert schema.value(updated, other) == schema.value(state, other)
+
+
+# ---------------------------------------------------------------------------
+# Expressions: random trees render -> parse -> evaluate identically
+# ---------------------------------------------------------------------------
+
+ENV_VARS = ("x", "y", "z")
+
+
+@st.composite
+def int_exprs(draw, depth=0) -> Expr:
+    if depth >= 3 or draw(st.booleans()):
+        if draw(st.booleans()):
+            return Var(draw(st.sampled_from(ENV_VARS)))
+        return Const(draw(st.integers(min_value=0, max_value=7)))
+    kind = draw(st.sampled_from(["add", "sub", "mul", "addmod", "submod", "ite"]))
+    left = draw(int_exprs(depth=depth + 1))
+    right = draw(int_exprs(depth=depth + 1))
+    if kind == "add":
+        return Add(left, right)
+    if kind == "sub":
+        return Sub(left, right)
+    if kind == "mul":
+        return Mul(left, right)
+    if kind == "addmod":
+        return AddMod(left, right, draw(st.integers(min_value=1, max_value=5)))
+    if kind == "submod":
+        return SubMod(left, right, draw(st.integers(min_value=1, max_value=5)))
+    condition = draw(bool_exprs(depth=depth + 1))
+    return Ite(condition, left, right)
+
+
+@st.composite
+def bool_exprs(draw, depth=0) -> Expr:
+    if depth >= 3:
+        return Const(draw(st.booleans()))
+    kind = draw(
+        st.sampled_from(["const", "eq", "ne", "lt", "and", "or", "not"])
+    )
+    if kind == "const":
+        return Const(draw(st.booleans()))
+    if kind in ("eq", "ne", "lt"):
+        left = draw(int_exprs(depth=depth + 1))
+        right = draw(int_exprs(depth=depth + 1))
+        return {"eq": Eq, "ne": Ne, "lt": Lt}[kind](left, right)
+    if kind == "not":
+        return Not(draw(bool_exprs(depth=depth + 1)))
+    left = draw(bool_exprs(depth=depth + 1))
+    right = draw(bool_exprs(depth=depth + 1))
+    return (And if kind == "and" else Or)(left, right)
+
+
+environments = st.fixed_dictionaries(
+    {name: st.integers(min_value=0, max_value=7) for name in ENV_VARS}
+)
+
+
+class TestExpressionProperties:
+    @settings(max_examples=200)
+    @given(int_exprs(), environments)
+    def test_render_parse_eval_roundtrip_int(self, expr, env):
+        reparsed = parse_expression(expr.render())
+        assert reparsed.eval(env) == expr.eval(env)
+
+    @settings(max_examples=200)
+    @given(bool_exprs(), environments)
+    def test_render_parse_eval_roundtrip_bool(self, expr, env):
+        reparsed = parse_expression(expr.render())
+        assert reparsed.eval(env) == expr.eval(env)
+
+    @given(int_exprs())
+    def test_structural_equality_after_reparse(self, expr):
+        """Rendering is faithful enough that re-rendering is stable."""
+        reparsed = parse_expression(expr.render())
+        assert parse_expression(reparsed.render()) == reparsed
+
+    @given(int_exprs(), environments)
+    def test_free_variables_bound_evaluation(self, expr, env):
+        restricted = {
+            name: value
+            for name, value in env.items()
+            if name in expr.free_variables()
+        }
+        assert expr.eval(restricted) == expr.eval(env)
+
+    @given(int_exprs(), int_exprs(), st.integers(min_value=1, max_value=5),
+           environments)
+    def test_addmod_matches_mod_of_add(self, left, right, modulus, env):
+        direct = AddMod(left, right, modulus).eval(env)
+        composed = Mod(Add(left, right), Const(modulus)).eval(env)
+        assert direct == composed

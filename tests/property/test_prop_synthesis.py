@@ -1,0 +1,78 @@
+"""Property-based tests: wrapper synthesis on random systems.
+
+Whenever a random system has a non-empty behavioural core with respect
+to a random spec, the synthesizer must produce a composite that
+verifies at the fairness level it reports — and the wrapper must be
+quiet on the core.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.checker import behavioural_core, check_stabilization
+from repro.core.errors import VerificationError
+from repro.core.state import StateSchema
+from repro.core.system import System
+from repro.synthesis import synthesize_wrapper
+
+SCHEMA = StateSchema({"v": tuple(range(5))})
+ALL_PAIRS = [((a,), (b,)) for a in range(5) for b in range(5)]
+
+
+@st.composite
+def spec_and_system(draw):
+    spec_transitions = draw(
+        st.lists(st.sampled_from(ALL_PAIRS), min_size=1, max_size=10)
+    )
+    initial = [(draw(st.integers(min_value=0, max_value=4)),)]
+    spec = System(SCHEMA, spec_transitions, initial=initial, name="spec")
+    # the candidate system: a perturbation of the spec.
+    kept = [
+        pair for pair in spec.transitions() if draw(st.booleans())
+    ]
+    extra = draw(st.lists(st.sampled_from(ALL_PAIRS), max_size=4))
+    system = System(SCHEMA, kept + extra, initial=initial, name="sys")
+    return system, spec
+
+
+class TestSynthesisOnRandomSystems:
+    @settings(max_examples=120, deadline=None)
+    @given(spec_and_system())
+    def test_synthesis_verifies_or_reports_empty_core(self, pair):
+        system, spec = pair
+        try:
+            result = synthesize_wrapper(system, spec)
+        except VerificationError:
+            assert behavioural_core(system, spec) == frozenset()
+            return
+        assert result.holds, result.verification.format()
+        # the reported fairness is honoured by an independent recheck.
+        recheck = check_stabilization(
+            result.composite, spec, fairness=result.fairness,
+            compute_steps=False,
+        )
+        assert recheck.holds
+
+    @settings(max_examples=80, deadline=None)
+    @given(spec_and_system())
+    def test_wrapper_is_quiet_on_the_core(self, pair):
+        system, spec = pair
+        try:
+            result = synthesize_wrapper(system, spec)
+        except VerificationError:
+            return
+        core = behavioural_core(system, spec)
+        for source, _target in result.wrapper.transitions():
+            assert source not in core
+
+    @settings(max_examples=60, deadline=None)
+    @given(spec_and_system())
+    def test_repair_targets_lie_in_the_core(self, pair):
+        system, spec = pair
+        try:
+            result = synthesize_wrapper(system, spec)
+        except VerificationError:
+            return
+        core = behavioural_core(system, spec)
+        for _source, target in result.wrapper.transitions():
+            assert target in core

@@ -1,0 +1,137 @@
+"""Property-based tests on random transition systems.
+
+Hypothesis-generated automata over a fixed 5-state space exercise the
+algebra of the box operator and the implication structure between the
+refinement relations and stabilization — the paper's Section 2
+reformulated as executable properties.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.checker import (
+    check_convergence_refinement,
+    check_everywhere_refinement,
+    check_init_refinement,
+    check_stabilization,
+)
+from repro.core.composition import box
+from repro.core.state import StateSchema
+from repro.core.system import System
+
+SCHEMA = StateSchema({"v": tuple(range(5))})
+ALL_PAIRS = [((a,), (b,)) for a in range(5) for b in range(5)]
+
+
+@st.composite
+def systems(draw, name="S"):
+    transitions = draw(
+        st.lists(st.sampled_from(ALL_PAIRS), min_size=0, max_size=12)
+    )
+    initial = draw(
+        st.lists(
+            st.sampled_from([(v,) for v in range(5)]), min_size=1, max_size=2
+        )
+    )
+    return System(SCHEMA, transitions, initial=initial, name=name)
+
+
+@st.composite
+def system_pairs(draw):
+    """(concrete, abstract) where concrete's relation is a subset."""
+    abstract = draw(systems(name="A"))
+    pairs = list(abstract.transitions())
+    kept = draw(st.lists(st.sampled_from(pairs), max_size=len(pairs))) if pairs else []
+    concrete = System(SCHEMA, kept, initial=abstract.initial, name="C")
+    return concrete, abstract
+
+
+class TestBoxAlgebra:
+    @settings(max_examples=60)
+    @given(systems(), systems())
+    def test_commutative(self, a, b):
+        assert box(a, b) == box(b, a)
+
+    @settings(max_examples=60)
+    @given(systems(), systems(), systems())
+    def test_associative(self, a, b, c):
+        assert box(box(a, b), c) == box(a, box(b, c))
+
+    @settings(max_examples=60)
+    @given(systems())
+    def test_idempotent(self, a):
+        assert box(a, a) == a
+
+    @settings(max_examples=60)
+    @given(systems(), systems())
+    def test_operands_everywhere_refine_composite(self, a, b):
+        """Each operand's transitions survive in the union, so each is
+        an (open) everywhere refinement of the composite."""
+        composite = box(a, b)
+        assert check_everywhere_refinement(a, composite, open_systems=True).holds
+        assert check_everywhere_refinement(b, composite, open_systems=True).holds
+
+
+class TestRefinementHierarchy:
+    @settings(max_examples=80)
+    @given(system_pairs())
+    def test_everywhere_and_init_imply_convergence(self, pair):
+        concrete, abstract = pair
+        everywhere = check_everywhere_refinement(concrete, abstract).holds
+        init = check_init_refinement(concrete, abstract).holds
+        if everywhere and init:
+            assert check_convergence_refinement(concrete, abstract).holds
+
+    @settings(max_examples=80)
+    @given(system_pairs())
+    def test_convergence_implies_init(self, pair):
+        concrete, abstract = pair
+        if check_convergence_refinement(concrete, abstract).holds:
+            assert check_init_refinement(concrete, abstract).holds
+
+    @settings(max_examples=80)
+    @given(systems())
+    def test_every_system_convergence_refines_itself(self, system):
+        assert check_convergence_refinement(system, system).holds
+
+
+class TestStabilizationProperties:
+    @settings(max_examples=80)
+    @given(systems())
+    def test_self_stabilization_is_stabilization_to_self(self, system):
+        from repro.checker import check_self_stabilization
+
+        direct = check_self_stabilization(system, compute_steps=False).holds
+        indirect = check_stabilization(system, system, compute_steps=False).holds
+        assert direct == indirect
+
+    @settings(max_examples=60)
+    @given(system_pairs(), systems())
+    def test_theorem0_on_random_instances(self, pair, target):
+        """[C (= A] and A stabilizing to B imply C stabilizing to B."""
+        concrete, abstract = pair
+        if not check_everywhere_refinement(concrete, abstract).holds:
+            return
+        if not check_init_refinement(concrete, abstract).holds:
+            return
+        if not check_stabilization(abstract, target, compute_steps=False).holds:
+            return
+        assert check_stabilization(concrete, target, compute_steps=False).holds
+
+    @settings(max_examples=60)
+    @given(systems(), systems())
+    def test_quiet_wrappers_preserve_legitimate_states(self, base, wrapper):
+        """A wrapper that never fires inside the base's legitimate
+        states (the shape of every wrapper in the paper) leaves all of
+        them in the composite's behavioural core — when the composite
+        stabilizes at all.  (A wrapper enabled inside legitimate states
+        may transiently leave them, so the guard is necessary;
+        hypothesis found the counterexample.)"""
+        legitimate = base.reachable()
+        quiet = all(
+            source not in legitimate for source, _ in wrapper.transitions()
+        ) and not (wrapper.initial - base.initial)
+        composite = box(base, wrapper)
+        result = check_stabilization(composite, base, compute_steps=False)
+        if result.holds and quiet:
+            assert legitimate <= result.core

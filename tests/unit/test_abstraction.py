@@ -1,0 +1,108 @@
+"""Unit tests for repro.core.abstraction."""
+
+import pytest
+
+from repro.core.abstraction import AbstractionFunction, identity_abstraction
+from repro.core.errors import AbstractionError
+from repro.core.state import StateSchema
+from repro.core.system import System
+
+
+@pytest.fixture
+def concrete_schema():
+    return StateSchema({"hi": (0, 1), "lo": (0, 1)})
+
+
+@pytest.fixture
+def abstract_schema():
+    return StateSchema({"v": (0, 1, 2, 3)})
+
+
+@pytest.fixture
+def alpha(concrete_schema, abstract_schema):
+    """(hi, lo) |-> 2*hi + lo : a total bijection onto 0..3."""
+    return AbstractionFunction(
+        concrete_schema,
+        abstract_schema,
+        lambda state: (2 * state[0] + state[1],),
+        name="binary",
+    )
+
+
+class TestApplication:
+    def test_maps_states(self, alpha):
+        assert alpha((1, 0)) == (2,)
+        assert alpha((1, 1)) == (3,)
+
+    def test_rejects_non_concrete_input(self, alpha):
+        with pytest.raises(AbstractionError):
+            alpha((5, 0))
+
+    def test_rejects_bad_image(self, concrete_schema, abstract_schema):
+        broken = AbstractionFunction(
+            concrete_schema, abstract_schema, lambda state: (99,)
+        )
+        with pytest.raises(AbstractionError):
+            broken((0, 0))
+
+    def test_memoization_returns_same_object(self, alpha):
+        assert alpha((0, 1)) is alpha((0, 1))
+
+    def test_map_sequence(self, alpha):
+        assert alpha.map_sequence([(0, 0), (0, 1)]) == ((0,), (1,))
+
+    def test_image_of_states(self, alpha):
+        assert alpha.image_of_states([(0, 0), (1, 1)]) == frozenset({(0,), (3,)})
+
+
+class TestTotalityAndOnto:
+    def test_bijection_is_total_and_onto(self, alpha):
+        assert alpha.check_total()
+        assert alpha.check_onto()
+        assert alpha.missed_abstract_states() == frozenset()
+
+    def test_non_onto_reports_missed(self, concrete_schema, abstract_schema):
+        collapse = AbstractionFunction(
+            concrete_schema, abstract_schema, lambda state: (0,)
+        )
+        assert collapse.check_total()
+        assert not collapse.check_onto()
+        assert collapse.missed_abstract_states() == frozenset({(1,), (2,), (3,)})
+
+    def test_preimage(self, alpha, concrete_schema, abstract_schema):
+        assert alpha.preimage((3,)) == frozenset({(1, 1)})
+        collapse = AbstractionFunction(
+            concrete_schema, abstract_schema, lambda state: (0,)
+        )
+        assert len(collapse.preimage((0,))) == 4
+
+
+class TestImageSystem:
+    def test_transitions_map_pointwise(self, alpha, concrete_schema):
+        concrete = System(
+            concrete_schema,
+            [((0, 0), (0, 1)), ((0, 1), (1, 0))],
+            initial=[(0, 0)],
+        )
+        image = alpha.image_system(concrete)
+        assert image.has_transition((0,), (1,))
+        assert image.has_transition((1,), (2,))
+        assert image.initial == frozenset({(0,)})
+
+    def test_collapsed_transitions_become_self_loops(
+        self, concrete_schema, abstract_schema
+    ):
+        collapse = AbstractionFunction(
+            concrete_schema, abstract_schema, lambda state: (0,)
+        )
+        concrete = System(concrete_schema, [((0, 0), (0, 1))], initial=[])
+        image = collapse.image_system(concrete)
+        assert image.has_transition((0,), (0,))
+
+
+class TestIdentity:
+    def test_identity_maps_to_itself(self, abstract_schema):
+        ident = identity_abstraction(abstract_schema)
+        assert ident((2,)) == (2,)
+        assert ident.check_total()
+        assert ident.check_onto()

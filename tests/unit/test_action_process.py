@@ -1,0 +1,90 @@
+"""Unit tests for guarded actions and process model compliance."""
+
+import pytest
+
+from repro.core.errors import GCLEvalError
+from repro.gcl.action import GuardedAction
+from repro.gcl.expr import And, Const, Eq, Ne, Not, Var
+from repro.gcl.process import Process, check_model_compliance
+
+
+class TestGuardedAction:
+    def test_requires_assignments(self):
+        with pytest.raises(ValueError):
+            GuardedAction("noop", Const(True), {})
+
+    def test_enabled_evaluates_guard(self):
+        action = GuardedAction("a", Eq(Var("x"), Const(1)), {"x": Const(0)})
+        assert action.enabled({"x": 1})
+        assert not action.enabled({"x": 0})
+
+    def test_enabled_rejects_non_boolean_guard(self):
+        action = GuardedAction("a", Var("x"), {"x": Const(0)})
+        with pytest.raises(GCLEvalError):
+            action.enabled({"x": 3})
+
+    def test_execute_is_parallel(self):
+        swap = GuardedAction("swap", Const(True), {"x": Var("y"), "y": Var("x")})
+        assert swap.execute({"x": 1, "y": 2}) == {"x": 2, "y": 1}
+
+    def test_execute_preserves_untouched_variables(self):
+        action = GuardedAction("a", Const(True), {"x": Const(9)})
+        result = action.execute({"x": 1, "z": 5})
+        assert result == {"x": 9, "z": 5}
+
+    def test_execute_does_not_mutate_input(self):
+        action = GuardedAction("a", Const(True), {"x": Const(9)})
+        env = {"x": 1}
+        action.execute(env)
+        assert env == {"x": 1}
+
+    def test_read_and_write_sets(self):
+        action = GuardedAction(
+            "a", Eq(Var("g"), Const(1)), {"x": Var("y"), "z": Const(0)}
+        )
+        assert action.read_set() == {"g", "y"}
+        assert action.write_set() == {"x", "z"}
+
+    def test_render_mentions_guard_and_effects(self):
+        action = GuardedAction("a", Ne(Var("x"), Var("y")), {"x": Var("y")})
+        text = action.render()
+        assert "-->" in text and "x := y" in text
+
+
+class TestProcessCompliance:
+    def _action(self, name, reads, writes):
+        guard = Const(True)
+        for read in reads:
+            guard = And(guard, Eq(Var(read), Var(read)))
+        return GuardedAction(name, guard, {w: Const(0) for w in writes})
+
+    def test_compliant_process(self):
+        action = self._action("a", ["left", "mine"], ["mine"])
+        process = Process("p", owns=["mine"], reads=["left"], actions=[action])
+        assert check_model_compliance([process]) == []
+
+    def test_concrete_model_flags_neighbour_write(self):
+        action = self._action("a", ["mine"], ["mine", "left"])
+        process = Process("p", owns=["mine"], reads=["left"], actions=[action])
+        violations = check_model_compliance([process], writes_restricted=True)
+        assert len(violations) == 1
+        assert violations[0].kind == "write"
+        assert violations[0].variable == "left"
+        assert "writes left" in violations[0].format()
+
+    def test_abstract_model_allows_neighbour_write(self):
+        action = self._action("a", ["mine"], ["mine", "left"])
+        process = Process("p", owns=["mine"], reads=["left"], actions=[action])
+        assert check_model_compliance([process], writes_restricted=False) == []
+
+    def test_read_outside_neighbourhood_flagged_in_both_models(self):
+        action = self._action("a", ["far"], ["mine"])
+        process = Process("p", owns=["mine"], reads=["left"], actions=[action])
+        for restricted in (True, False):
+            violations = check_model_compliance([process], restricted)
+            assert any(v.kind == "read" and v.variable == "far" for v in violations)
+
+    def test_own_variables_always_readable(self):
+        action = self._action("a", ["mine"], ["mine"])
+        process = Process("p", owns=["mine"], reads=[], actions=[action])
+        assert check_model_compliance([process]) == []

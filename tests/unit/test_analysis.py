@@ -1,0 +1,82 @@
+"""Unit tests for repro.analysis (stats and sweeps)."""
+
+import math
+
+import pytest
+
+from repro.analysis.stats import percentile, summarize
+from repro.analysis.sweep import format_table, grid, run_sweep
+
+
+class TestPercentile:
+    def test_median_of_odd_sample(self):
+        assert percentile([3, 1, 2], 50) == 2
+
+    def test_interpolates(self):
+        assert percentile([0, 10], 25) == 2.5
+
+    def test_extremes(self):
+        assert percentile([5, 1, 9], 0) == 1
+        assert percentile([5, 1, 9], 100) == 9
+
+    def test_single_value(self):
+        assert percentile([7], 95) == 7
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_q_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+
+class TestSummarize:
+    def test_basic_statistics(self):
+        stats = summarize([1, 2, 3, 4])
+        assert stats["mean"] == 2.5
+        assert stats["median"] == 2.5
+        assert stats["min"] == 1 and stats["max"] == 4
+        assert stats["count"] == 4
+
+    def test_single_sample_stdev_zero(self):
+        assert summarize([5])["stdev"] == 0.0
+
+    def test_empty_sample_yields_nans(self):
+        stats = summarize([])
+        assert stats["count"] == 0
+        assert math.isnan(stats["mean"])
+
+
+class TestGridAndSweep:
+    def test_grid_cartesian_product(self):
+        points = grid(n=[3, 4], k=[2, 3])
+        assert len(points) == 4
+        assert {"n": 3, "k": 2} in points
+
+    def test_run_sweep_merges_results(self):
+        points = grid(n=[1, 2])
+        rows = run_sweep(points, lambda n: {"double": 2 * n})
+        assert rows == [{"n": 1, "double": 2}, {"n": 2, "double": 4}]
+
+
+class TestFormatTable:
+    def test_contains_header_and_rows(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 10, "b": 0.125}]
+        text = format_table(rows, title="demo")
+        assert "demo" in text
+        assert "a" in text.splitlines()[1]
+        assert "10" in text
+        assert "0.1" in text  # floats rendered to one decimal
+
+    def test_boolean_rendering(self):
+        text = format_table([{"ok": True}, {"ok": False}])
+        assert "yes" in text and "no" in text
+
+    def test_explicit_column_order(self):
+        text = format_table([{"a": 1, "b": 2}], columns=["b", "a"])
+        header = text.splitlines()[0]
+        assert header.index("b") < header.index("a")
+
+    def test_empty_rows(self):
+        assert format_table([]) == ""

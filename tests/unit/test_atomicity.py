@@ -1,0 +1,164 @@
+"""Unit tests for the atomicity-refinement pass."""
+
+import pytest
+
+from repro.core.abstraction import AbstractionFunction
+from repro.core.errors import GCLError
+from repro.checker import (
+    check_init_refinement,
+    check_self_stabilization,
+    check_stabilization,
+)
+from repro.gcl.parser import parse_program
+from repro.rings import btr3_abstraction, btr_program, dijkstra_three_state
+from repro.transform import latch_name, pc_name, sequentialize, sequentialize_action
+
+HEAL = """
+program heal
+var x : mod 3
+action heal :: x != 0 --> x := 0
+init x == 0
+"""
+
+SWAP = """
+program swap
+var a, b : mod 2
+action swap :: a != b --> a := b, b := a
+init a == 0 && b == 0
+"""
+
+
+def projection(compiled_system, original_system, names):
+    """Abstraction dropping the compiler-introduced registers."""
+    cs = compiled_system.schema
+
+    def mapping(state):
+        env = cs.unpack(state)
+        return original_system.schema.pack({name: env[name] for name in names})
+
+    return AbstractionFunction(
+        cs, original_system.schema, mapping, name="drop-registers"
+    )
+
+
+class TestPassStructure:
+    def test_introduces_pc_and_latches(self):
+        program = parse_program(HEAL)
+        compiled = sequentialize_action(program, "heal")
+        names = {variable.name for variable in compiled.variables}
+        assert pc_name("heal") in names
+        assert latch_name("heal", "x") in names
+
+    def test_fetch_exec_pair_replaces_the_action(self):
+        compiled = sequentialize_action(parse_program(HEAL), "heal")
+        names = [action.name for action in compiled.actions]
+        assert names == ["heal.fetch", "heal.exec"]
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(GCLError):
+            sequentialize_action(parse_program(HEAL), "nope")
+
+    def test_initial_states_extended_with_quiescent_registers(self):
+        compiled = sequentialize_action(parse_program(HEAL), "heal")
+        (initial,) = list(compiled.initial_states())
+        env = compiled.env_of(initial)
+        assert env[pc_name("heal")] == 0
+
+    def test_multi_assignment_latches_every_target(self):
+        compiled = sequentialize_action(parse_program(SWAP), "swap")
+        names = {variable.name for variable in compiled.variables}
+        assert latch_name("swap", "a") in names
+        assert latch_name("swap", "b") in names
+
+    def test_sequentialize_all_actions(self):
+        program = parse_program(SWAP)
+        compiled = sequentialize(program)
+        assert len(compiled.actions) == 2 * len(program.actions)
+
+
+class TestSemanticsWithoutFaults:
+    def test_compiled_heal_init_refines_original(self):
+        program = parse_program(HEAL)
+        original = program.compile()
+        compiled = sequentialize(program).compile()
+        alpha = projection(compiled, original, ["x"])
+        result = check_init_refinement(
+            compiled, original, alpha, stutter_insensitive=True
+        )
+        assert result.holds, result.format()
+
+    def test_compiled_swap_preserves_the_parallel_semantics(self):
+        """The latches capture pre-state values, so the compiled swap
+        still swaps (sequential naive compilation would not)."""
+        program = parse_program(SWAP)
+        compiled = sequentialize(program)
+        env = {"a": 0, "b": 1,
+               pc_name("swap"): 0,
+               latch_name("swap", "a"): 0, latch_name("swap", "b"): 0}
+        fetch = {a.name: a for a in compiled.actions}["swap.fetch"]
+        execute = {a.name: a for a in compiled.actions}["swap.exec"]
+        after = execute.execute(fetch.execute(env))
+        assert (after["a"], after["b"]) == (1, 0)
+
+
+class TestToleranceBehaviour:
+    def test_compiled_heal_is_still_stabilizing(self):
+        """The constant-write case survives the pass (stale executes
+        are harmless no-ops)."""
+        program = parse_program(HEAL)
+        original = program.compile()
+        compiled = sequentialize(program).compile()
+        alpha = projection(compiled, original, ["x"])
+        result = check_stabilization(
+            compiled, original, alpha, stutter_insensitive=True
+        )
+        assert result.holds, result.result.format()
+
+    def test_sequentialized_bottom_breaks_dijkstra3(self):
+        """The reproduction's compiler finding: making ONE action of
+        Dijkstra's 3-state ring non-atomic destroys stabilization,
+        even under strong fairness — a stale latched write keeps
+        re-injecting tokens along a divergent cycle."""
+        n = 3
+        compiled = sequentialize_action(
+            dijkstra_three_state(n), "bottom"
+        ).compile()
+        btr = btr_program(n).compile()
+        base_alpha = btr3_abstraction(n)
+        cs = compiled.schema
+
+        def mapping(state):
+            env = cs.unpack(state)
+            return base_alpha(tuple(env[f"c.{j}"] for j in range(n)))
+
+        alpha = AbstractionFunction(cs, btr.schema, mapping, name="alpha-seq")
+        for fairness in ("none", "strong"):
+            result = check_stabilization(
+                compiled, btr, alpha, stutter_insensitive=True,
+                fairness=fairness, compute_steps=False,
+            )
+            assert not result.holds, fairness
+
+    def test_synthesized_wrapper_repairs_the_compiled_ring(self):
+        """...and the synthesis tool restores stabilization — the whole
+        paper in one test: refinement broke tolerance, a wrapper
+        (here: synthesized) gives it back."""
+        from repro.synthesis import synthesize_wrapper
+
+        n = 3
+        compiled = sequentialize_action(
+            dijkstra_three_state(n), "bottom"
+        ).compile()
+        btr = btr_program(n).compile()
+        base_alpha = btr3_abstraction(n)
+        cs = compiled.schema
+
+        def mapping(state):
+            env = cs.unpack(state)
+            return base_alpha(tuple(env[f"c.{j}"] for j in range(n)))
+
+        alpha = AbstractionFunction(cs, btr.schema, mapping, name="alpha-seq")
+        result = synthesize_wrapper(
+            compiled, btr, alpha, stutter_insensitive=True
+        )
+        assert result.holds, result.verification.format()

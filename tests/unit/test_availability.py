@@ -1,0 +1,60 @@
+"""Unit tests for the availability experiment."""
+
+import random
+
+import pytest
+
+from repro.rings import dijkstra_three_state
+from repro.simulation import availability_curve, availability_trial
+
+
+class TestAvailabilityTrial:
+    def test_perfect_without_faults(self):
+        value = availability_trial(
+            dijkstra_three_state(6), "three", 6, 0.0, 300, random.Random(0)
+        )
+        assert value == 1.0
+
+    def test_degrades_under_heavy_faults(self):
+        calm = availability_trial(
+            dijkstra_three_state(6), "three", 6, 0.0, 400, random.Random(1)
+        )
+        noisy = availability_trial(
+            dijkstra_three_state(6), "three", 6, 0.3, 400, random.Random(1)
+        )
+        assert noisy < calm
+
+    def test_value_is_a_fraction(self):
+        value = availability_trial(
+            dijkstra_three_state(5), "three", 5, 0.1, 200, random.Random(2)
+        )
+        assert 0.0 <= value <= 1.0
+
+    def test_reproducible_given_seed(self):
+        values = {
+            availability_trial(
+                dijkstra_three_state(5), "three", 5, 0.1, 200, random.Random(7)
+            )
+            for _ in range(3)
+        }
+        assert len(values) == 1
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            availability_trial(
+                dijkstra_three_state(5), "three", 5, 1.5, 10, random.Random(0)
+            )
+
+
+class TestAvailabilityCurve:
+    def test_rows_cover_the_grid(self):
+        rows = availability_curve(
+            6,
+            (0.0, 0.2),
+            steps=150,
+            trials=2,
+            protocols={"d3": (dijkstra_three_state, "three")},
+        )
+        assert len(rows) == 2
+        assert rows[0]["availability"] == 1.0
+        assert rows[1]["availability"] < 1.0

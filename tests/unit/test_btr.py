@@ -1,0 +1,141 @@
+"""Unit tests for the abstract BTR and its wrappers (paper, Section 3)."""
+
+import pytest
+
+from repro.checker import check_stabilization
+from repro.core.composition import box_many
+from repro.gcl.process import check_model_compliance
+from repro.rings.btr import btr_actions, btr_processes, btr_program
+from repro.rings.tokens import count_tokens, state_with_tokens, tokens_in_state
+from repro.rings.topology import Ring
+from repro.rings.wrappers_abstract import w1_guard, w1_program, w2_program
+
+
+class TestBTRStructure:
+    def test_action_count(self):
+        # top + bottom + 2 per interior process.
+        assert len(btr_actions(Ring(5))) == 2 + 2 * 3
+        assert len(btr_actions(Ring(2))) == 2
+
+    def test_initial_states_are_single_token(self):
+        program = btr_program(4)
+        schema = program.schema()
+        initials = list(program.initial_states())
+        assert len(initials) == 6
+        assert all(count_tokens(schema, s) == 1 for s in initials)
+
+    def test_fits_abstract_model_not_concrete(self):
+        processes = btr_processes(Ring(4))
+        assert check_model_compliance(processes, writes_restricted=False) == []
+        violations = check_model_compliance(processes, writes_restricted=True)
+        assert violations, "BTR writes neighbour state by design"
+        assert all(v.kind == "write" for v in violations)
+
+
+class TestBTRSemantics:
+    @pytest.fixture
+    def compiled(self):
+        return btr_program(4).compile()
+
+    def test_token_moves_up(self, compiled):
+        schema = compiled.schema
+        state = state_with_tokens(schema, ["ut.1"])
+        (successor,) = compiled.successors(state)
+        assert tokens_in_state(schema, successor) == ("ut.2",)
+
+    def test_token_bounces_at_top(self, compiled):
+        schema = compiled.schema
+        state = state_with_tokens(schema, ["ut.3"])
+        (successor,) = compiled.successors(state)
+        assert tokens_in_state(schema, successor) == ("dt.2",)
+
+    def test_token_bounces_at_bottom(self, compiled):
+        schema = compiled.schema
+        state = state_with_tokens(schema, ["dt.0"])
+        (successor,) = compiled.successors(state)
+        assert tokens_in_state(schema, successor) == ("ut.1",)
+
+    def test_no_token_means_deadlock(self, compiled):
+        assert compiled.is_terminal(state_with_tokens(compiled.schema, []))
+
+    def test_actions_never_create_tokens(self, compiled):
+        schema = compiled.schema
+        for source, target in compiled.transitions():
+            assert count_tokens(schema, target) <= count_tokens(schema, source)
+
+    def test_merging_loses_a_token(self, compiled):
+        schema = compiled.schema
+        state = state_with_tokens(schema, ["dt.0", "ut.1"])
+        targets = compiled.successors(state)
+        counts = {count_tokens(schema, t) for t in targets}
+        assert 1 in counts  # firing bottom merges into ut.1
+
+    def test_reachable_behaviour_is_token_circulation(self, compiled):
+        schema = compiled.schema
+        for state in compiled.reachable():
+            assert count_tokens(schema, state) == 1
+
+
+class TestWrappers:
+    def test_w1_guard_literal_allows_top_token(self):
+        ring = Ring(4)
+        program = btr_program(4)
+        schema = program.schema()
+        guard = w1_guard(ring, strict=False)
+        env = schema.unpack(state_with_tokens(schema, ["ut.3"]))
+        assert guard.eval(env) is True
+        strict_guard = w1_guard(ring, strict=True)
+        assert strict_guard.eval(env) is False
+
+    def test_w1_creates_token_from_nothing(self):
+        system = w1_program(4, strict=True).compile()
+        schema = system.schema
+        empty = state_with_tokens(schema, [])
+        (successor,) = system.successors(empty)
+        assert tokens_in_state(schema, successor) == ("ut.3",)
+
+    def test_w1_has_no_initial_states(self):
+        assert w1_program(3).compile().initial == frozenset()
+
+    def test_w2_cancels_colocated_tokens(self):
+        system = w2_program(4).compile()
+        schema = system.schema
+        state = state_with_tokens(schema, ["ut.2", "dt.2"])
+        (successor,) = system.successors(state)
+        assert tokens_in_state(schema, successor) == ()
+
+    def test_w2_ignores_separated_tokens(self):
+        system = w2_program(4).compile()
+        schema = system.schema
+        state = state_with_tokens(schema, ["ut.1", "dt.2"])
+        assert system.is_terminal(state)
+
+    def test_w2_on_two_ring_is_null(self):
+        assert w2_program(2).compile().transition_count() == 0
+
+
+class TestTheorem6:
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_holds_under_strong_fairness(self, n):
+        btr = btr_program(n).compile()
+        composite = box_many(
+            [btr, w1_program(n).compile(), w2_program(n).compile()],
+            name="BTR[]W1[]W2",
+        )
+        result = check_stabilization(
+            composite, btr, fairness="strong", compute_steps=False
+        )
+        assert result.holds, result.format()
+
+    def test_fails_under_unfair_daemon(self):
+        """The reproduction's finding: Theorem 6 needs strong fairness."""
+        n = 4
+        btr = btr_program(n).compile()
+        composite = box_many(
+            [btr, w1_program(n, strict=True).compile(), w2_program(n).compile()],
+            name="BTR[]W1s[]W2",
+        )
+        for fairness in ("none", "weak"):
+            assert not check_stabilization(
+                composite, btr, fairness=fairness, compute_steps=False
+            ).holds

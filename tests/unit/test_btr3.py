@@ -1,0 +1,218 @@
+"""Unit tests for the 3-state derivation (paper, Section 5)."""
+
+import pytest
+
+from repro.checker import (
+    check_convergence_refinement,
+    check_everywhere_refinement,
+    check_init_refinement,
+    check_stabilization,
+)
+from repro.core.composition import box_many
+from repro.gcl.process import check_model_compliance
+from repro.rings.btr import btr_program
+from repro.rings.btr3 import (
+    btr3_program,
+    c2_program,
+    dijkstra_three_state,
+    w1_global_program,
+    w1_local_program,
+    w2_refined_program,
+)
+from repro.rings.mappings import btr3_abstraction
+from repro.rings.tokens import count_tokens, state_with_tokens, tokens_in_state
+
+
+class TestStructure:
+    def test_c2_concrete_model_compliant(self):
+        assert check_model_compliance(c2_program(4).processes) == []
+
+    def test_dijkstra3_concrete_model_compliant(self):
+        assert check_model_compliance(dijkstra_three_state(4).processes) == []
+
+    def test_initial_states_encode_dt0(self):
+        n = 4
+        alpha = btr3_abstraction(n)
+        schema_abstract = btr_program(n).schema()
+        for state in c2_program(n).initial_states():
+            assert tokens_in_state(schema_abstract, alpha(state)) == ("dt.0",)
+
+    def test_three_initial_rotations(self):
+        assert len(list(dijkstra_three_state(4).initial_states())) == 3
+
+
+class TestMappingProperties:
+    @pytest.fixture
+    def alpha(self):
+        return btr3_abstraction(4)
+
+    def test_total(self, alpha):
+        assert alpha.check_total()
+
+    def test_zero_token_encodings_exist(self, alpha):
+        """Unlike the 4-state encoding, uniform counter assignments
+        encode the zero-token state — which is why W1'' is a genuine
+        wrapper here rather than vacuous."""
+        schema = btr_program(4).schema()
+        zero = [
+            state
+            for state in alpha.concrete_schema.states()
+            if count_tokens(schema, alpha(state)) == 0
+        ]
+        assert len(zero) == 3  # exactly the three uniform assignments
+        assert all(len(set(state)) == 1 for state in zero)
+
+    def test_colocated_tokens_are_representable(self, alpha):
+        """Unlike the 4-state encoding, W2' is NOT vacuous here."""
+        schema = btr_program(4).schema()
+        found = False
+        for state in alpha.concrete_schema.states():
+            tokens = tokens_in_state(schema, alpha(state))
+            positions = [flag.split(".")[1] for flag in tokens]
+            if len(set(positions)) < len(positions):
+                found = True
+                break
+        assert found
+
+
+class TestLegitimateBehaviour:
+    def test_btr3_init_refines_btr(self):
+        n = 4
+        result = check_init_refinement(
+            btr3_program(n).compile(), btr_program(n).compile(), btr3_abstraction(n)
+        )
+        assert result.holds, result.format()
+
+    def test_c2_init_refines_btr(self):
+        n = 4
+        result = check_init_refinement(
+            c2_program(n).compile(), btr_program(n).compile(), btr3_abstraction(n)
+        )
+        assert result.holds, result.format()
+
+    def test_dijkstra3_init_refines_btr(self):
+        n = 4
+        result = check_init_refinement(
+            dijkstra_three_state(n).compile(),
+            btr_program(n).compile(),
+            btr3_abstraction(n),
+        )
+        assert result.holds, result.format()
+
+
+class TestWrapperRefinements:
+    def test_w1_local_is_not_an_everywhere_refinement_of_w1_global(self):
+        """Paper, Section 5.1: 'W1'' is enabled in some states where
+        the abstract W1 is not, and hence, is not an everywhere
+        refinement.'  Verified mechanically."""
+        n = 4
+        local = w1_local_program(n).compile()
+        global_ = w1_global_program(n).compile()
+        result = check_everywhere_refinement(
+            local, global_, open_systems=True
+        )
+        assert not result.holds
+
+    @pytest.mark.parametrize("builder", [w1_global_program, w1_local_program])
+    def test_w1_is_harmless_in_single_token_states(self, builder):
+        """Both wrapper variants may fire in a single-token state (the
+        token sitting at the top), but there the action's image is an
+        exact BTR transition — the wrapper never corrupts legitimate
+        behaviour."""
+        n = 4
+        system = builder(n).compile()
+        alpha = btr3_abstraction(n)
+        btr = btr_program(n).compile()
+        schema = btr.schema
+        for source, target in system.transitions():
+            if count_tokens(schema, alpha(source)) == 1:
+                assert btr.has_transition(alpha(source), alpha(target))
+
+    def test_w2_refined_cancels_both_tokens(self):
+        n = 4
+        system = w2_refined_program(n).compile()
+        alpha = btr3_abstraction(n)
+        schema = btr_program(n).schema()
+        for source, target in system.transitions():
+            before = tokens_in_state(schema, alpha(source))
+            after = tokens_in_state(schema, alpha(target))
+            assert len(after) == len(before) - 2
+
+    def test_wrappers_have_no_initial_states(self):
+        assert w1_local_program(3).compile().initial == frozenset()
+        assert w2_refined_program(3).compile().initial == frozenset()
+
+
+class TestLemma9AndTheorem11:
+    @pytest.mark.parametrize("n", [3, 4])
+    def test_lemma9_under_strong_fairness(self, n):
+        btr = btr_program(n).compile()
+        composite = box_many(
+            [
+                btr3_program(n).compile(),
+                w1_local_program(n).compile(),
+                w2_refined_program(n).compile(),
+            ],
+            name="BTR3[]W1''[]W2'",
+        )
+        result = check_stabilization(
+            composite, btr, btr3_abstraction(n), fairness="strong",
+            compute_steps=False,
+        )
+        assert result.holds, result.format()
+
+    def test_lemma10_literal_reading_fails(self):
+        """The reproduction's finding: read literally over the 3-state
+        space, [C2[]W1''[]W2' <= BTR3[]W1''[]W2'] does not hold — C2's
+        dropped enforcement writes reach states the abstract composite
+        cannot (see EXPERIMENTS.md E09)."""
+        n = 4
+        w1 = w1_local_program(n).compile()
+        w2 = w2_refined_program(n).compile()
+        abstract = box_many([btr3_program(n).compile(), w1, w2])
+        concrete = box_many([c2_program(n).compile(), w1, w2])
+        assert not check_convergence_refinement(concrete, abstract).holds
+
+    @pytest.mark.parametrize("n", [3, 4])
+    def test_theorem11_composite_under_strong_fairness(self, n):
+        btr = btr_program(n).compile()
+        composite = box_many(
+            [
+                c2_program(n).compile(),
+                w1_local_program(n).compile(),
+                w2_refined_program(n).compile(),
+            ],
+            name="C2[]W1''[]W2'",
+        )
+        result = check_stabilization(
+            composite, btr, btr3_abstraction(n), fairness="strong",
+            compute_steps=False,
+        )
+        assert result.holds, result.format()
+
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_dijkstra3_stabilizes_under_unfair_daemon(self, n):
+        """The merged system needs no fairness at all — Dijkstra's
+        original claim, recovered mechanically."""
+        result = check_stabilization(
+            dijkstra_three_state(n).compile(),
+            btr_program(n).compile(),
+            btr3_abstraction(n),
+            fairness="none",
+        )
+        assert result.holds, result.format()
+        assert result.worst_case_steps is not None
+
+    def test_merged_top_guard_differs_from_plain_union(self):
+        """The paper's final listing is an optimization, not the raw
+        union: the union has strictly more transitions."""
+        n = 4
+        union = box_many(
+            [
+                c2_program(n).compile(),
+                w1_local_program(n).compile(),
+                w2_refined_program(n).compile(),
+            ]
+        )
+        merged = dijkstra_three_state(n).compile()
+        assert set(merged.transitions()) != set(union.transitions())

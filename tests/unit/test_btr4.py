@@ -1,0 +1,192 @@
+"""Unit tests for the 4-state derivation (paper, Section 4)."""
+
+import pytest
+
+from repro.checker import (
+    check_convergence_refinement,
+    check_init_refinement,
+    check_stabilization,
+    compression_transitions,
+)
+from repro.gcl.process import check_model_compliance
+from repro.rings.btr import btr_program
+from repro.rings.btr4 import (
+    btr4_program,
+    btr4_variables,
+    c1_program,
+    dijkstra_four_state,
+    four_state_initial,
+)
+from repro.rings.mappings import btr4_abstraction
+from repro.rings.tokens import count_tokens, tokens_in_state
+from repro.rings.topology import Ring
+
+
+class TestStructure:
+    def test_variable_layout(self):
+        variables = btr4_variables(Ring(5))
+        names = [v.name for v in variables]
+        assert names == ["c.0", "c.1", "c.2", "c.3", "c.4", "up.1", "up.2", "up.3"]
+
+    def test_canonical_initial_encodes_dt0(self):
+        program = c1_program(4)
+        schema = program.schema()
+        alpha = btr4_abstraction(4)
+        for state in program.initial_states():
+            image = alpha(state)
+            assert tokens_in_state(btr_program(4).schema(), image) == ("dt.0",)
+
+    def test_c1_is_concrete_model_compliant(self):
+        assert check_model_compliance(c1_program(4).processes) == []
+
+    def test_dijkstra4_is_concrete_model_compliant(self):
+        assert check_model_compliance(dijkstra_four_state(4).processes) == []
+
+    def test_two_process_ring_builds(self):
+        assert c1_program(2).compile().schema.size() == 4
+
+
+class TestMappingProperties:
+    """The paper's Section 4.1 vacuity observations, checked exhaustively."""
+
+    @pytest.fixture
+    def alpha(self):
+        return btr4_abstraction(4)
+
+    def test_total(self, alpha):
+        assert alpha.check_total()
+
+    def test_every_encoding_has_at_least_one_token(self, alpha):
+        """W1' is vacuous: a token always exists in the 4-state encoding."""
+        schema = btr_program(4).schema()
+        assert all(
+            count_tokens(schema, alpha(state)) >= 1
+            for state in alpha.concrete_schema.states()
+        )
+
+    def test_no_encoding_colocates_opposite_tokens(self, alpha):
+        """W2' is vacuous: ut.j && dt.j is unsatisfiable under the mapping."""
+        schema = btr_program(4).schema()
+        for state in alpha.concrete_schema.states():
+            tokens = tokens_in_state(schema, alpha(state))
+            positions = [flag.split(".")[1] for flag in tokens]
+            assert len(set(positions)) == len(positions)
+
+    def test_not_onto_full_btr_space(self, alpha):
+        """Hence the mapping misses the zero-token and co-location states."""
+        assert not alpha.check_onto()
+        missed = alpha.missed_abstract_states()
+        schema = btr_program(4).schema()
+        from repro.rings.tokens import state_with_tokens
+
+        assert state_with_tokens(schema, []) in missed
+
+
+class TestBTR4Equivalence:
+    def test_btr4_init_refines_btr(self):
+        n = 4
+        result = check_init_refinement(
+            btr4_program(n).compile(), btr_program(n).compile(), btr4_abstraction(n)
+        )
+        assert result.holds, result.format()
+
+    def test_btr4_legitimate_behaviour_covers_all_token_positions(self):
+        n = 4
+        alpha = btr4_abstraction(n)
+        btr4 = btr4_program(n).compile()
+        btr = btr_program(n).compile()
+        image = alpha.image_of_states(btr4.reachable())
+        assert image == btr.reachable()
+
+
+class TestLemma7:
+    """[C1 <= BTR] — the paper's first convergence-refinement claim."""
+
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_convergence_refinement(self, n):
+        result = check_convergence_refinement(
+            c1_program(n).compile(), btr_program(n).compile(), btr4_abstraction(n)
+        )
+        assert result.holds, result.format()
+
+    def test_compressions_exist_and_never_gain_tokens(self):
+        """The paper's proof sketch says compressions "only result in a
+        token loss"; mechanically, count-*preserving* compressions also
+        exist (a token flipping direction via a shortcut bounce), but
+        no compression ever gains a token — and none lies on a cycle,
+        which is what Lemma 7 actually needs (see EXPERIMENTS.md E06).
+        """
+        n = 4
+        alpha = btr4_abstraction(n)
+        btr = btr_program(n).compile()
+        schema = btr.schema
+        compressions = compression_transitions(
+            c1_program(n).compile(), btr, alpha
+        )
+        assert compressions, "C1 genuinely compresses BTR computations"
+        losing = 0
+        for source, target in compressions:
+            before = count_tokens(schema, alpha(source))
+            after = count_tokens(schema, alpha(target))
+            assert after <= before
+            if after < before:
+                losing += 1
+        assert losing > 0, "token-losing compressions exist too"
+
+
+class TestTheorem8:
+    @pytest.mark.parametrize("n", [3, 4])
+    def test_c1_stabilizes_to_btr_unfair(self, n):
+        """Wrappers are vacuous, so C1 alone must stabilize — and it
+        does so under the raw unfair central daemon."""
+        result = check_stabilization(
+            c1_program(n).compile(),
+            btr_program(n).compile(),
+            btr4_abstraction(n),
+            fairness="none",
+        )
+        assert result.holds, result.format()
+
+    @pytest.mark.parametrize("n", [3, 4])
+    def test_dijkstra_four_state_stabilizes_unfair(self, n):
+        result = check_stabilization(
+            dijkstra_four_state(n).compile(),
+            btr_program(n).compile(),
+            btr4_abstraction(n),
+            fairness="none",
+        )
+        assert result.holds, result.format()
+
+    def test_dijkstra4_relaxation_adds_transitions(self):
+        c1 = c1_program(4).compile()
+        d4 = dijkstra_four_state(4).compile()
+        c1_pairs = set(c1.transitions())
+        d4_pairs = set(d4.transitions())
+        assert c1_pairs < d4_pairs
+
+
+class TestMappedW1Vacuity:
+    def test_mapped_w1_guard_implies_token_already_present(self):
+        """Paper, Section 4.1: 'the guard of W1' already implies that
+        c.N != c.(N-1) && up.(N-1).  Thus W1' is vacuously
+        implemented.'  Checked over the whole 4-state space: whenever
+        the mapped guard (all interior direction bits up, top colours
+        differing) holds, ut.N is already true in the image."""
+        n = 4
+        ring = Ring(n)
+        top = ring.top
+        alpha = btr4_abstraction(n)
+        schema = alpha.concrete_schema
+        abstract_schema = btr_program(n).schema()
+        hit = 0
+        for state in schema.states():
+            env = schema.unpack(state)
+            guard = all(env[Ring.up(j)] for j in ring.middles()) and (
+                env[Ring.c(top - 1)] != env[Ring.c(top)]
+            )
+            if not guard:
+                continue
+            hit += 1
+            image = alpha(state)
+            assert abstract_schema.value(image, Ring.ut(top)) is True
+        assert hit > 0, "the mapped guard should be satisfiable"

@@ -1,0 +1,116 @@
+"""Degenerate-input robustness of the decision procedures."""
+
+import pytest
+
+from repro.checker import (
+    behavioural_core,
+    check_convergence_refinement,
+    check_everywhere_eventually_refinement,
+    check_everywhere_refinement,
+    check_init_refinement,
+    check_self_stabilization,
+    check_stabilization,
+    compression_transitions,
+    find_fair_trap,
+    worst_case_convergence_steps,
+)
+from repro.core.abstraction import AbstractionFunction
+from repro.core.state import StateSchema
+from repro.core.system import System
+
+SINGLETON = StateSchema({"v": (0,)})
+PAIR = StateSchema({"v": (0, 1)})
+
+
+class TestSingletonSpace:
+    def test_empty_system_refines_itself(self):
+        system = System(SINGLETON, [], initial=[(0,)])
+        assert check_init_refinement(system, system).holds
+        assert check_everywhere_refinement(system, system).holds
+        assert check_convergence_refinement(system, system).holds
+
+    def test_empty_system_self_stabilizes(self):
+        system = System(SINGLETON, [], initial=[(0,)])
+        result = check_self_stabilization(system)
+        assert result.holds
+        assert result.worst_case_steps == 0
+
+    def test_self_loop_only_system(self):
+        system = System(SINGLETON, [((0,), (0,))], initial=[(0,)])
+        assert check_self_stabilization(system).holds
+        assert check_convergence_refinement(system, system).holds
+
+
+class TestEmptyInitialSets:
+    def test_wrapper_like_system_init_refines_anything(self):
+        wrapper = System(PAIR, [((0,), (1,))], initial=[])
+        target = System(PAIR, [], initial=[])
+        # no initial states: the init clause is vacuous; the everywhere
+        # clause is not.
+        assert check_init_refinement(wrapper, target, open_systems=True).holds
+        assert not check_everywhere_refinement(wrapper, target).holds
+
+    def test_stabilization_with_empty_legitimate_set_fails(self):
+        concrete = System(PAIR, [((0,), (1,)), ((1,), (0,))], initial=[(0,)])
+        spec = System(PAIR, [((0,), (1,)), ((1,), (0,))], initial=[])
+        result = check_stabilization(concrete, spec, compute_steps=False)
+        assert not result.holds
+
+
+class TestTerminalSpecs:
+    def test_spec_that_halts_is_matched_by_halting_concrete(self):
+        spec = System(PAIR, [((1,), (0,))], initial=[(0,)])  # 0 terminal
+        concrete = System(PAIR, [((1,), (0,))], initial=[(0,)])
+        assert check_stabilization(concrete, spec).holds
+
+    def test_busy_concrete_fails_a_halting_spec(self):
+        spec = System(PAIR, [((1,), (0,))], initial=[(0,)])
+        concrete = System(
+            PAIR, [((1,), (0,)), ((0,), (1,))], initial=[(0,)]
+        )
+        assert not check_stabilization(concrete, spec, compute_steps=False).holds
+
+
+class TestCollapsingAbstraction:
+    def test_everything_maps_to_one_state(self):
+        concrete = System(PAIR, [((0,), (1,)), ((1,), (0,))], initial=[(0,)])
+        spec = System(SINGLETON, [((0,), (0,))], initial=[(0,)])
+        alpha = AbstractionFunction(PAIR, SINGLETON, lambda state: (0,))
+        # every concrete step is an image self-loop, which the spec has.
+        assert check_stabilization(concrete, spec, alpha).holds
+        assert check_convergence_refinement(concrete, spec, alpha).holds
+
+    def test_collapsing_onto_a_terminal_spec_needs_stutter_mode(self):
+        concrete = System(PAIR, [((0,), (1,)), ((1,), (0,))], initial=[(0,)])
+        spec = System(SINGLETON, [], initial=[(0,)])  # terminal everywhere
+        alpha = AbstractionFunction(PAIR, SINGLETON, lambda state: (0,))
+        strict = check_convergence_refinement(concrete, spec, alpha)
+        assert not strict.holds
+        # Even modulo stuttering the concrete loops invisibly forever
+        # while the spec computation must be the single state — the
+        # invisible-divergence clause rejects it.
+        relaxed = check_convergence_refinement(
+            concrete, spec, alpha, stutter_insensitive=True
+        )
+        assert not relaxed.holds
+
+
+class TestMiscellaneous:
+    def test_compression_transitions_of_identical_systems_is_empty(self):
+        system = System(PAIR, [((0,), (1,))], initial=[(0,)])
+        assert compression_transitions(system, system) == []
+
+    def test_fair_trap_on_empty_system(self):
+        system = System(PAIR, [], initial=[])
+        assert find_fair_trap(system, STATES := [(0,), (1,)]) is None
+
+    def test_worst_case_steps_with_full_core(self):
+        system = System(PAIR, [((0,), (1,)), ((1,), (0,))], initial=[(0,)])
+        core = behavioural_core(system, system)
+        assert worst_case_convergence_steps(system, core) == 0
+
+    def test_everywhere_eventually_on_identical_systems(self):
+        system = System(
+            PAIR, [((0,), (1,)), ((1,), (0,))], initial=[(0,)]
+        )
+        assert check_everywhere_eventually_refinement(system, system).holds

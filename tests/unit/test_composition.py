@@ -1,0 +1,85 @@
+"""Unit tests for the box operator (repro.core.composition)."""
+
+import pytest
+
+from repro.core.composition import box, box_many
+from repro.core.errors import CompositionError
+from repro.core.state import StateSchema
+from repro.core.system import System
+
+
+@pytest.fixture
+def schema():
+    return StateSchema({"v": (0, 1, 2)})
+
+
+@pytest.fixture
+def base(schema):
+    return System(schema, [((0,), (1,))], initial=[(0,)], name="base",
+                  labels={((0,), (1,)): ["step"]})
+
+
+@pytest.fixture
+def wrapper(schema):
+    return System(schema, [((2,), (0,))], initial=[], name="wrap",
+                  labels={((2,), (0,)): ["recover"]})
+
+
+class TestBox:
+    def test_unions_transitions(self, base, wrapper):
+        composite = box(base, wrapper)
+        assert composite.has_transition((0,), (1,))
+        assert composite.has_transition((2,), (0,))
+
+    def test_wrapper_contributes_no_initial_states(self, base, wrapper):
+        composite = box(base, wrapper)
+        assert composite.initial == base.initial
+
+    def test_initial_sets_union(self, schema, base):
+        other = System(schema, [], initial=[(1,)], name="other")
+        assert box(base, other).initial == frozenset({(0,), (1,)})
+
+    def test_merges_labels(self, base, wrapper):
+        composite = box(base, wrapper)
+        assert composite.labels_of((0,), (1,)) == frozenset({"step"})
+        assert composite.labels_of((2,), (0,)) == frozenset({"recover"})
+
+    def test_label_union_on_shared_transition(self, schema):
+        a = System(schema, [((0,), (1,))], initial=[], labels={((0,), (1,)): ["a"]})
+        b = System(schema, [((0,), (1,))], initial=[], labels={((0,), (1,)): ["b"]})
+        assert box(a, b).labels_of((0,), (1,)) == frozenset({"a", "b"})
+
+    def test_default_name(self, base, wrapper):
+        assert box(base, wrapper).name == "base [] wrap"
+
+    def test_rejects_schema_mismatch(self, base):
+        other = System(StateSchema({"w": (0, 1)}), [], initial=[])
+        with pytest.raises(CompositionError):
+            box(base, other)
+
+    def test_commutative_as_automata(self, base, wrapper):
+        assert box(base, wrapper) == box(wrapper, base)
+
+    def test_idempotent(self, base):
+        assert box(base, base) == base.with_name("x")  # equality ignores names
+
+    def test_associative(self, schema, base, wrapper):
+        third = System(schema, [((1,), (2,))], initial=[], name="third")
+        left = box(box(base, wrapper), third)
+        right = box(base, box(wrapper, third))
+        assert left == right
+
+
+class TestBoxMany:
+    def test_folds_left(self, schema, base, wrapper):
+        third = System(schema, [((1,), (2,))], initial=[], name="third")
+        composite = box_many([base, wrapper, third], name="all")
+        assert composite.name == "all"
+        assert composite.transition_count() == 3
+
+    def test_single_system(self, base):
+        assert box_many([base]) == base
+
+    def test_empty_rejected(self):
+        with pytest.raises(CompositionError):
+            box_many([])

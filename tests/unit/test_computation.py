@@ -1,0 +1,110 @@
+"""Unit tests for repro.core.computation."""
+
+import pytest
+
+from repro.core.computation import (
+    common_suffix_start,
+    is_subsequence,
+    is_suffix,
+    omission_count,
+    remove_stutter,
+    subsequence_embedding,
+    suffixes,
+)
+
+
+class TestIsSuffix:
+    def test_exact_match(self):
+        assert is_suffix("abc", "abc")
+
+    def test_proper_suffix(self):
+        assert is_suffix("bc", "abc")
+
+    def test_not_a_suffix(self):
+        assert not is_suffix("ab", "abc")
+
+    def test_longer_candidate(self):
+        assert not is_suffix("xabc", "abc")
+
+    def test_empty_candidate(self):
+        assert is_suffix("", "abc")
+
+    def test_works_on_state_tuples(self):
+        assert is_suffix([(1,), (2,)], [(0,), (1,), (2,)])
+
+
+class TestSuffixes:
+    def test_yields_all_nonempty_suffixes_longest_first(self):
+        assert list(suffixes("abc")) == [("a", "b", "c"), ("b", "c"), ("c",)]
+
+    def test_empty_sequence(self):
+        assert list(suffixes("")) == []
+
+
+class TestSubsequence:
+    def test_paper_positive_example(self):
+        # c = s1 s3 s6 vs a = s1 s2 s3 s4 s5 s6
+        assert is_subsequence("136", "123456")
+
+    def test_insertion_is_rejected(self):
+        # c = s1 s3 s5 s6 vs a = s1 s2 s5 s6 : 3 is an insertion
+        assert not is_subsequence("1356", "1256")
+
+    def test_reordering_is_rejected(self):
+        assert not is_subsequence("21", "12")
+
+    def test_embedding_positions_are_increasing(self):
+        positions = subsequence_embedding("ace", "abcde")
+        assert positions == [0, 2, 4]
+
+    def test_embedding_none_when_absent(self):
+        assert subsequence_embedding("az", "abc") is None
+
+    def test_empty_candidate_embeds_trivially(self):
+        assert subsequence_embedding("", "abc") == []
+
+    def test_greedy_is_complete_with_duplicates(self):
+        assert is_subsequence("aba", "aabba")
+
+
+class TestOmissionCount:
+    def test_counts_dropped_states(self):
+        assert omission_count("136", "123456") == 3
+
+    def test_zero_for_equal(self):
+        assert omission_count("abc", "abc") == 0
+
+    def test_none_for_non_subsequence(self):
+        assert omission_count("x", "abc") is None
+
+
+class TestRemoveStutter:
+    def test_collapses_runs(self):
+        assert remove_stutter("aaabbbcc") == ("a", "b", "c")
+
+    def test_idempotent(self):
+        once = remove_stutter("aabbaa")
+        assert remove_stutter(once) == once
+
+    def test_preserves_alternation(self):
+        assert remove_stutter("abab") == ("a", "b", "a", "b")
+
+    def test_empty(self):
+        assert remove_stutter("") == ()
+
+
+class TestCommonSuffixStart:
+    def test_full_overlap(self):
+        assert common_suffix_start("abc", "abc") == 0
+
+    def test_partial_overlap(self):
+        assert common_suffix_start("xbc", "ybc") == 1
+
+    def test_final_state_only(self):
+        assert common_suffix_start("xc", "yc") == 1
+
+    def test_no_shared_final_state(self):
+        assert common_suffix_start("ab", "cd") is None
+
+    def test_empty_sequences(self):
+        assert common_suffix_start("", "a") is None

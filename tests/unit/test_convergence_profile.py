@@ -1,0 +1,77 @@
+"""Unit tests for the convergence-depth profile."""
+
+import pytest
+
+from repro.checker import (
+    behavioural_core,
+    check_stabilization,
+    convergence_profile,
+    worst_case_convergence_steps,
+)
+from repro.core.state import StateSchema
+from repro.core.system import System
+from repro.rings import btr3_abstraction, btr_program, dijkstra_three_state
+
+
+@pytest.fixture
+def schema():
+    return StateSchema({"v": tuple(range(6))})
+
+
+def sys_of(schema, pairs, initial=((0,),)):
+    return System(schema, [((a,), (b,)) for a, b in pairs], initial=initial)
+
+
+class TestOnToySystems:
+    def test_depths_of_a_chain(self, schema):
+        system = sys_of(
+            schema, [(0, 1), (1, 2), (2, 0), (5, 4), (4, 3), (3, 0)]
+        )
+        core = behavioural_core(system, system)
+        profile = convergence_profile(system, core)
+        assert profile == {0: 3, 1: 1, 2: 1, 3: 1}
+
+    def test_unreachable_states_bucketed_as_minus_one(self, schema):
+        system = sys_of(schema, [(0, 1), (1, 2), (2, 0)])
+        core = behavioural_core(system, system)
+        profile = convergence_profile(system, core)
+        assert profile[-1] == 3  # states 3, 4, 5 can never reach the core
+
+    def test_buckets_partition_the_space(self, schema):
+        system = sys_of(
+            schema, [(0, 1), (1, 2), (2, 0), (5, 4), (4, 3), (3, 0)]
+        )
+        core = behavioural_core(system, system)
+        assert sum(convergence_profile(system, core).values()) == schema.size()
+
+    def test_weak_fairness_skips_self_loops(self, schema):
+        system = sys_of(
+            schema, [(0, 1), (1, 2), (2, 0), (3, 3), (3, 0), (4, 0), (5, 0)]
+        )
+        core = behavioural_core(
+            system.without_self_loops(), system
+        )
+        profile = convergence_profile(system, core, fairness="weak")
+        assert profile.get(-1, 0) == 0
+
+
+class TestOnDijkstra3:
+    def test_min_depth_bounded_by_worst_case(self):
+        n = 4
+        system = dijkstra_three_state(n).compile()
+        result = check_stabilization(
+            system, btr_program(n).compile(), btr3_abstraction(n)
+        )
+        profile = convergence_profile(system, result.core)
+        assert -1 not in profile
+        max_min_depth = max(profile)
+        assert max_min_depth <= result.worst_case_steps
+
+    def test_core_bucket_matches_core_size(self):
+        n = 4
+        system = dijkstra_three_state(n).compile()
+        result = check_stabilization(
+            system, btr_program(n).compile(), btr3_abstraction(n)
+        )
+        profile = convergence_profile(system, result.core)
+        assert profile[0] == len(result.core)

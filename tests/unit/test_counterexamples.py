@@ -1,0 +1,150 @@
+"""Unit tests for the three Section 1 counterexamples."""
+
+import pytest
+
+from repro.checker import (
+    check_init_refinement,
+    check_self_stabilization,
+    check_stabilization,
+)
+from repro.counterexamples.bidding import (
+    MAX_INT,
+    SortedListBiddingServer,
+    SpecBiddingServer,
+    best_k,
+    demonstrate,
+    tolerance_holds,
+)
+from repro.counterexamples.figure1 import (
+    STAR,
+    figure1_abstract,
+    figure1_concrete,
+)
+from repro.counterexamples.java_compile import (
+    BYTECODE,
+    abstract_loop_system,
+    bytecode_abstraction,
+    bytecode_system,
+    corruption_states,
+    vm_step,
+)
+
+
+class TestVM:
+    def test_program_listing_matches_paper(self):
+        assert BYTECODE[0].render() == "iconst_0"
+        assert BYTECODE[2].render() == "goto 7"
+        assert BYTECODE[9].render() == "if_icmpeq 5"
+        assert BYTECODE[12].render() == "return"
+
+    def test_normal_execution_loops_forever(self):
+        config = (0, 0, -1, -1)
+        seen = set()
+        for _ in range(50):
+            config = vm_step(config)
+            assert config is not None
+            assert config[0] != 13, "healthy run must never reach return"
+            if config in seen:
+                break
+            seen.add(config)
+        assert config in seen  # the run is periodic
+
+    def test_halted_configuration_is_terminal(self):
+        assert vm_step((13, 0, -1, -1)) is None
+
+    def test_corrupted_comparison_escapes_the_loop(self):
+        # pc=8, stacked copy 0, local corrupted to 1 (the paper's fault).
+        config = (8, 1, 0, -1)
+        while config[0] != 13:
+            config = vm_step(config)
+        assert config[0] == 13
+
+    def test_corruption_states_are_the_paper_fault(self):
+        states = corruption_states()
+        assert (8, 1, 0, -1) in states
+        assert (8, 0, 1, -1) in states
+        assert len(states) == 2
+
+
+class TestE01CompiledLoop:
+    def test_abstract_loop_is_self_stabilizing(self):
+        assert check_self_stabilization(abstract_loop_system()).holds
+
+    def test_bytecode_init_refines_abstract(self):
+        result = check_init_refinement(
+            bytecode_system(),
+            abstract_loop_system(),
+            bytecode_abstraction(),
+            stutter_insensitive=True,
+        )
+        assert result.holds, result.format()
+
+    def test_bytecode_is_not_stabilizing(self):
+        result = check_stabilization(
+            bytecode_system(),
+            abstract_loop_system(),
+            bytecode_abstraction(),
+            stutter_insensitive=True,
+        )
+        assert not result.holds
+
+
+class TestE02Bidding:
+    def test_fault_free_equivalence(self):
+        bids = [5, 1, 9, 7, 3, 8]
+        spec, impl = SpecBiddingServer(3), SortedListBiddingServer(3)
+        for value in bids:
+            spec.bid(value)
+            impl.bid(value)
+        assert spec.winners() == impl.winners() == best_k(bids, 3)
+
+    def test_low_bid_rejected_by_both(self):
+        spec, impl = SpecBiddingServer(2), SortedListBiddingServer(2)
+        for value in (10, 20):
+            spec.bid(value)
+            impl.bid(value)
+        assert not spec.bid(5)
+        assert not impl.bid(5)
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            SpecBiddingServer(0)
+        with pytest.raises(ValueError):
+            SortedListBiddingServer(0)
+
+    def test_corrupted_head_blocks_implementation(self):
+        impl = SortedListBiddingServer(2)
+        impl.bid(1)
+        impl.bid(2)
+        impl.corrupt(0, MAX_INT)
+        assert not impl.bid(100)
+
+    def test_spec_survives_corruption(self):
+        spec = SpecBiddingServer(2)
+        spec.bid(1)
+        spec.bid(2)
+        spec.corrupt(spec.min_index(), MAX_INT)
+        assert spec.bid(100)
+
+    def test_tolerance_criterion(self):
+        assert tolerance_holds([9, 8], [9, 8, 7], 3) is True
+        assert tolerance_holds([1], [9, 8, 7], 3) is False
+
+    def test_demonstrate_matches_paper(self):
+        outcome = demonstrate()
+        assert outcome["spec_tolerant"] is True
+        assert outcome["impl_tolerant"] is False
+
+
+class TestE03Figure1:
+    def test_init_refinement_holds(self):
+        assert check_init_refinement(figure1_concrete(), figure1_abstract()).holds
+
+    def test_abstract_is_self_stabilizing(self):
+        assert check_self_stabilization(figure1_abstract()).holds
+
+    def test_concrete_is_not_stabilizing_to_abstract(self):
+        result = check_stabilization(figure1_concrete(), figure1_abstract())
+        assert not result.holds
+        # the witness is exactly the fault state s*.
+        assert result.result.witness.states == ((STAR,),)

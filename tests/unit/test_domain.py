@@ -1,0 +1,66 @@
+"""Unit tests for repro.gcl.domain."""
+
+import pytest
+
+from repro.gcl.domain import BoolDomain, Domain, EnumDomain, IntRange, ModularDomain
+
+
+class TestDomain:
+    def test_basic_membership_and_order(self):
+        domain = Domain((3, 1, 2), "custom")
+        assert domain.values == (3, 1, 2)
+        assert 1 in domain and 4 not in domain
+        assert len(domain) == 3
+        assert list(domain) == [3, 1, 2]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Domain(())
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            Domain((1, 1))
+
+    def test_equality_and_hash_on_values(self):
+        assert Domain((1, 2), "a") == Domain((1, 2), "b")
+        assert hash(Domain((1, 2))) == hash(Domain((1, 2)))
+        assert Domain((1, 2)) != Domain((2, 1))
+
+
+class TestBoolDomain:
+    def test_members(self):
+        domain = BoolDomain()
+        assert domain.values == (False, True)
+        assert domain.description == "bool"
+
+
+class TestIntRange:
+    def test_inclusive_bounds(self):
+        domain = IntRange(2, 5)
+        assert domain.values == (2, 3, 4, 5)
+        assert domain.low == 2 and domain.high == 5
+
+    def test_singleton_range(self):
+        assert IntRange(7, 7).values == (7,)
+
+    def test_rejects_empty_range(self):
+        with pytest.raises(ValueError):
+            IntRange(5, 4)
+
+
+class TestModularDomain:
+    def test_members(self):
+        domain = ModularDomain(3)
+        assert domain.values == (0, 1, 2)
+        assert domain.modulus == 3
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            ModularDomain(0)
+
+
+class TestEnumDomain:
+    def test_arbitrary_values(self):
+        domain = EnumDomain(("red", "green"))
+        assert "red" in domain
+        assert "{red, green}" == domain.description

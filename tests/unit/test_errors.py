@@ -1,0 +1,62 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro.core.errors import (
+    AbstractionError,
+    CompositionError,
+    GCLError,
+    GCLEvalError,
+    GCLParseError,
+    RefinementError,
+    ReproError,
+    SchemaMismatchError,
+    SimulationError,
+    StateSpaceError,
+    VerificationError,
+)
+
+ALL_ERRORS = [
+    StateSpaceError,
+    SchemaMismatchError,
+    CompositionError,
+    AbstractionError,
+    RefinementError,
+    VerificationError,
+    GCLError,
+    GCLParseError,
+    GCLEvalError,
+    SimulationError,
+]
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("error", ALL_ERRORS)
+    def test_everything_derives_from_repro_error(self, error):
+        assert issubclass(error, ReproError)
+
+    def test_gcl_errors_nest(self):
+        assert issubclass(GCLParseError, GCLError)
+        assert issubclass(GCLEvalError, GCLError)
+
+    def test_catching_the_base_catches_all(self):
+        with pytest.raises(ReproError):
+            raise GCLParseError("boom")
+
+
+class TestParseErrorLocations:
+    def test_line_and_column_in_message(self):
+        error = GCLParseError("unexpected token", line=3, column=7)
+        assert "line 3" in str(error)
+        assert "column 7" in str(error)
+        assert error.line == 3 and error.column == 7
+
+    def test_line_only(self):
+        error = GCLParseError("oops", line=2)
+        assert "line 2" in str(error)
+        assert "column" not in str(error)
+
+    def test_no_location(self):
+        error = GCLParseError("oops")
+        assert str(error) == "oops"
+        assert error.line is None and error.column is None

@@ -1,0 +1,75 @@
+"""Unit tests for the packaged simulation experiments."""
+
+import math
+import random
+
+import pytest
+
+from repro.rings.btr3 import dijkstra_three_state
+from repro.simulation.experiments import (
+    PROTOCOLS,
+    convergence_curve,
+    convergence_trial,
+)
+
+
+class TestProtocolTable:
+    def test_contains_all_four_derived_systems(self):
+        assert len(PROTOCOLS) == 4
+        for name, (builder, kind) in PROTOCOLS.items():
+            program = builder(5)
+            assert program.actions, name
+            assert kind in ("btr", "four", "three", "kstate")
+
+
+class TestConvergenceTrial:
+    def test_converges_with_generous_budget(self):
+        rng = random.Random(3)
+        steps = convergence_trial(
+            dijkstra_three_state(8), "three", 8, rng, max_steps=20000
+        )
+        assert steps is not None and steps >= 0
+
+    def test_returns_none_on_tiny_budget(self):
+        # budget 0 forces failure unless the random state is already
+        # legitimate; draw until we hit an illegitimate start.
+        for seed in range(50):
+            rng = random.Random(seed)
+            steps = convergence_trial(
+                dijkstra_three_state(8), "three", 8, rng, max_steps=0
+            )
+            if steps is None:
+                return
+        pytest.fail("every random state was already legitimate?!")
+
+    def test_deterministic_given_seed(self):
+        results = {
+            convergence_trial(
+                dijkstra_three_state(6), "three", 6, random.Random(11), 5000
+            )
+            for _ in range(3)
+        }
+        assert len(results) == 1
+
+
+class TestConvergenceCurve:
+    def test_rows_cover_the_grid(self):
+        rows = convergence_curve(sizes=(5, 8), trials=3, seed=1)
+        assert len(rows) == len(PROTOCOLS) * 2
+        assert {row["n"] for row in rows} == {5, 8}
+
+    def test_statistics_present_when_converged(self):
+        rows = convergence_curve(sizes=(6,), trials=3, seed=2)
+        for row in rows:
+            assert row["unconverged"] == 0
+            assert not math.isnan(row["mean"])
+            assert row["count"] == 3
+
+    def test_protocol_override(self):
+        rows = convergence_curve(
+            sizes=(5,),
+            trials=2,
+            protocols={"d3": (dijkstra_three_state, "three")},
+        )
+        assert len(rows) == 1
+        assert rows[0]["protocol"] == "d3"

@@ -1,0 +1,183 @@
+"""Unit tests for the expression AST."""
+
+import pytest
+
+from repro.core.errors import GCLEvalError
+from repro.gcl.expr import (
+    Add,
+    AddMod,
+    And,
+    BigAnd,
+    BigOr,
+    Const,
+    Eq,
+    FALSE,
+    Ge,
+    Gt,
+    Implies,
+    Ite,
+    Le,
+    Lt,
+    Mod,
+    Mul,
+    Ne,
+    Not,
+    Or,
+    Sub,
+    SubMod,
+    TRUE,
+    Var,
+)
+
+ENV = {"x": 2, "y": 5, "p": True, "q": False}
+
+
+class TestAtoms:
+    def test_var_reads_environment(self):
+        assert Var("x").eval(ENV) == 2
+
+    def test_unbound_variable_raises(self):
+        with pytest.raises(GCLEvalError):
+            Var("nope").eval(ENV)
+
+    def test_var_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            Var("")
+
+    def test_const(self):
+        assert Const(7).eval(ENV) == 7
+        assert TRUE.eval(ENV) is True
+        assert FALSE.eval(ENV) is False
+
+    def test_const_rendering(self):
+        assert Const(True).render() == "true"
+        assert Const(False).render() == "false"
+        assert Const(3).render() == "3"
+
+
+class TestBooleans:
+    def test_not(self):
+        assert Not(Var("q")).eval(ENV) is True
+
+    def test_not_requires_bool(self):
+        with pytest.raises(GCLEvalError):
+            Not(Var("x")).eval(ENV)
+
+    def test_and_or(self):
+        assert And(Var("p"), Not(Var("q"))).eval(ENV) is True
+        assert Or(Var("q"), Var("q")).eval(ENV) is False
+
+    def test_and_short_circuits_value_only(self):
+        assert And(FALSE, TRUE).eval(ENV) is False
+
+    def test_implies_truth_table(self):
+        assert Implies(FALSE, FALSE).eval(ENV) is True
+        assert Implies(TRUE, FALSE).eval(ENV) is False
+        assert Implies(TRUE, TRUE).eval(ENV) is True
+
+    def test_boolean_ops_reject_ints(self):
+        with pytest.raises(GCLEvalError):
+            And(Var("x"), TRUE).eval(ENV)
+
+
+class TestComparisons:
+    def test_equality_any_type(self):
+        assert Eq(Var("x"), Const(2)).eval(ENV) is True
+        assert Ne(Var("p"), Var("q")).eval(ENV) is True
+        # Equality follows Python semantics, where True == 1.
+        assert Eq(Const(True), Const(1)).eval(ENV) is True
+
+    def test_orderings(self):
+        assert Lt(Var("x"), Var("y")).eval(ENV) is True
+        assert Le(Const(5), Var("y")).eval(ENV) is True
+        assert Gt(Var("x"), Var("y")).eval(ENV) is False
+        assert Ge(Var("y"), Const(5)).eval(ENV) is True
+
+    def test_ordering_rejects_bool(self):
+        with pytest.raises(GCLEvalError):
+            Lt(Var("p"), Const(1)).eval(ENV)
+
+
+class TestArithmetic:
+    def test_add_sub_mul(self):
+        assert Add(Var("x"), Var("y")).eval(ENV) == 7
+        assert Sub(Var("x"), Var("y")).eval(ENV) == -3
+        assert Mul(Var("x"), Var("y")).eval(ENV) == 10
+
+    def test_mod_follows_python_semantics(self):
+        assert Mod(Const(-1), Const(3)).eval(ENV) == 2
+
+    def test_mod_by_zero_raises(self):
+        with pytest.raises(GCLEvalError):
+            Mod(Var("x"), Const(0)).eval(ENV)
+
+    def test_arith_rejects_bool(self):
+        with pytest.raises(GCLEvalError):
+            Add(Var("p"), Const(1)).eval(ENV)
+
+
+class TestModularOperators:
+    def test_addmod_wraps(self):
+        assert AddMod(Const(2), Const(2), 3).eval(ENV) == 1
+
+    def test_submod_wraps(self):
+        assert SubMod(Const(0), Const(1), 3).eval(ENV) == 2
+
+    def test_modulus_must_be_positive(self):
+        with pytest.raises(ValueError):
+            AddMod(TRUE, TRUE, 0)
+
+    def test_free_variables(self):
+        expr = AddMod(Var("a"), Var("b"), 3)
+        assert expr.free_variables() == {"a", "b"}
+
+
+class TestIte:
+    def test_selects_branch(self):
+        expr = Ite(Var("p"), Var("x"), Var("y"))
+        assert expr.eval(ENV) == 2
+        assert Ite(Var("q"), Var("x"), Var("y")).eval(ENV) == 5
+
+    def test_condition_must_be_boolean(self):
+        with pytest.raises(GCLEvalError):
+            Ite(Var("x"), TRUE, FALSE).eval(ENV)
+
+    def test_free_variables_cover_all_parts(self):
+        expr = Ite(Var("p"), Var("x"), Var("y"))
+        assert expr.free_variables() == {"p", "x", "y"}
+
+
+class TestBigOps:
+    def test_bigand_empty_is_true(self):
+        assert BigAnd().eval(ENV) is True
+
+    def test_bigor_empty_is_false(self):
+        assert BigOr().eval(ENV) is False
+
+    def test_bigand_conjunction(self):
+        assert BigAnd(Var("p"), Not(Var("q")), TRUE).eval(ENV) is True
+        assert BigAnd(Var("p"), Var("q")).eval(ENV) is False
+
+    def test_bigor_disjunction(self):
+        assert BigOr(Var("q"), Var("p")).eval(ENV) is True
+
+
+class TestStructuralEquality:
+    def test_equal_trees(self):
+        assert Add(Var("x"), Const(1)) == Add(Var("x"), Const(1))
+        assert hash(Add(Var("x"), Const(1))) == hash(Add(Var("x"), Const(1)))
+
+    def test_different_node_types_unequal(self):
+        assert Add(Var("x"), Const(1)) != Sub(Var("x"), Const(1))
+
+    def test_render_roundtrips_through_parser(self):
+        from repro.gcl.parser import parse_expression
+
+        expr = Ite(
+            Eq(Var("x"), Const(1)),
+            AddMod(Var("y"), Const(1), 3),
+            Mod(Var("y"), Const(2)),
+        )
+        reparsed = parse_expression(expr.render())
+        for env in ({"x": 1, "y": 2}, {"x": 0, "y": 5}):
+            assert expr.eval(env) == reparsed.eval(env)

@@ -1,0 +1,88 @@
+"""Unit tests for the strong-fairness trap analysis."""
+
+import pytest
+
+from repro.checker.fairness import find_fair_trap, has_fair_divergence
+from repro.core.state import StateSchema
+from repro.core.system import System
+
+
+@pytest.fixture
+def schema():
+    return StateSchema({"v": tuple(range(6))})
+
+
+def sys_of(schema, labelled_pairs, name="g"):
+    """labelled_pairs: list of (a, b, action)."""
+    transitions = [((a,), (b,)) for a, b, _ in labelled_pairs]
+    labels = {}
+    for a, b, action in labelled_pairs:
+        labels.setdefault(((a,), (b,)), set()).add(action)
+    return System(schema, transitions, initial=[], name=name, labels=labels)
+
+
+class TestFairTrap:
+    def test_closed_cycle_is_a_trap(self, schema):
+        system = sys_of(schema, [(0, 1, "go"), (1, 0, "back")])
+        trap = find_fair_trap(system, [(0,), (1,)])
+        assert trap == frozenset({(0,), (1,)})
+
+    def test_cycle_with_mandatory_exit_is_not_a_trap(self, schema):
+        # "exit" is enabled at 0 and never fires inside the cycle, so a
+        # strongly fair run cannot visit 0 infinitely often.
+        system = sys_of(
+            schema, [(0, 1, "go"), (1, 0, "back"), (0, 2, "exit")]
+        )
+        assert find_fair_trap(system, [(0,), (1,)]) is None
+
+    def test_exit_with_internal_alternative_keeps_the_trap(self, schema):
+        # Action "go" has both an exiting and an internal transition;
+        # fairness for "go" is satisfiable inside the region.
+        system = sys_of(
+            schema,
+            [(0, 1, "go"), (0, 2, "go"), (1, 0, "back")],
+        )
+        assert find_fair_trap(system, [(0,), (1,)]) == frozenset({(0,), (1,)})
+
+    def test_nested_shrinking(self, schema):
+        # Outer cycle 0-1-2 with an exit at 2; inner cycle 0-1 exists
+        # after removing 2, and has no unmet obligations.
+        system = sys_of(
+            schema,
+            [
+                (0, 1, "a"),
+                (1, 0, "b"),
+                (1, 2, "c"),
+                (2, 0, "d"),
+                (2, 3, "exit"),
+            ],
+        )
+        trap = find_fair_trap(system, [(0,), (1,), (2,)])
+        # 2 must be visited finitely often ("exit" never fires inside),
+        # but the 0-1 sub-cycle survives only if action "c" (enabled at
+        # 1) can fire inside {0,1} -- it cannot, so no trap remains.
+        assert trap is None
+
+    def test_self_loop_with_alternative_is_not_a_trap(self, schema):
+        # A state whose only internal move is its own self-loop, while
+        # another enabled action must leave: fair runs leave.
+        system = sys_of(schema, [(0, 0, "spin"), (0, 1, "exit")])
+        assert find_fair_trap(system, [(0,)]) is None
+
+    def test_pure_self_loop_is_a_trap(self, schema):
+        system = sys_of(schema, [(0, 0, "spin")])
+        assert find_fair_trap(system, [(0,)]) == frozenset({(0,)})
+
+    def test_unlabelled_transitions_are_private_actions(self, schema):
+        system = System(
+            schema, [((0,), (1,)), ((1,), (0,))], initial=[], name="anon"
+        )
+        assert has_fair_divergence(system, [(0,), (1,)])
+
+    def test_empty_region(self, schema):
+        system = sys_of(schema, [(0, 1, "a")])
+        assert find_fair_trap(system, []) is None
+
+    def test_region_without_cycles(self, schema):
+        system = sys_of(schema, [(0, 1, "a"), (1, 2, "b")])
+        assert find_fair_trap(system, [(0,), (1,), (2,)]) is None

@@ -1,0 +1,130 @@
+"""Unit tests for the transition-graph algorithms."""
+
+import pytest
+
+from repro.checker.graph import (
+    bounded_paths,
+    edge_on_cycle,
+    find_cycle_within,
+    has_cycle_within,
+    shortest_path,
+    states_on_cycles,
+    strongly_connected_components,
+    terminal_states_within,
+)
+from repro.core.state import StateSchema
+from repro.core.system import System
+
+
+@pytest.fixture
+def schema():
+    return StateSchema({"v": tuple(range(8))})
+
+
+def sys_of(schema, pairs, name="g"):
+    return System(schema, [((a,), (b,)) for a, b in pairs], initial=[], name=name)
+
+
+@pytest.fixture
+def lasso(schema):
+    """0 -> 1 -> 2 -> 3 -> 1 (a lasso), 4 isolated-ish, 5 -> 5 loop."""
+    return sys_of(schema, [(0, 1), (1, 2), (2, 3), (3, 1), (4, 0), (5, 5)])
+
+
+class TestShortestPath:
+    def test_direct_edge(self, lasso):
+        assert shortest_path(lasso, (0,), (1,)) == ((0,), (1,))
+
+    def test_multi_hop(self, lasso):
+        assert shortest_path(lasso, (0,), (3,)) == ((0,), (1,), (2,), (3,))
+
+    def test_trivial_path_when_allowed(self, lasso):
+        assert shortest_path(lasso, (2,), (2,)) == ((2,),)
+
+    def test_min_length_forces_genuine_cycle(self, lasso):
+        path = shortest_path(lasso, (1,), (1,), min_length=1)
+        assert path == ((1,), (2,), (3,), (1,))
+
+    def test_min_length_two_rejects_single_edge(self, lasso):
+        # 0 -> 1 exists, but a length >= 2 realization must go around.
+        path = shortest_path(lasso, (0,), (1,), min_length=2)
+        assert path is not None
+        assert len(path) >= 3
+
+    def test_unreachable_returns_none(self, lasso):
+        assert shortest_path(lasso, (1,), (0,)) is None
+
+    def test_max_length_bound(self, lasso):
+        assert shortest_path(lasso, (0,), (3,), max_length=2) is None
+
+    def test_self_loop_min_length_one(self, lasso):
+        assert shortest_path(lasso, (5,), (5,), min_length=1) == ((5,), (5,))
+
+
+class TestSCC:
+    def test_components_partition_edge_vertices(self, lasso):
+        components = strongly_connected_components(lasso)
+        flattened = sorted(state for comp in components for state in comp)
+        assert flattened == sorted([(0,), (1,), (2,), (3,), (4,), (5,)])
+
+    def test_cycle_is_one_component(self, lasso):
+        components = strongly_connected_components(lasso)
+        assert frozenset({(1,), (2,), (3,)}) in components
+
+    def test_restricted_vertex_set(self, lasso):
+        components = strongly_connected_components(lasso, [(1,), (2,)])
+        assert all(len(c) == 1 for c in components)
+
+    def test_reverse_topological_order(self, schema):
+        chain = sys_of(schema, [(0, 1), (1, 2)])
+        components = strongly_connected_components(chain)
+        order = [next(iter(c)) for c in components]
+        assert order.index((2,)) < order.index((0,))
+
+
+class TestCycles:
+    def test_states_on_cycles(self, lasso):
+        assert states_on_cycles(lasso) == frozenset({(1,), (2,), (3,), (5,)})
+
+    def test_self_loop_counts_as_cycle(self, lasso):
+        assert (5,) in states_on_cycles(lasso)
+
+    def test_edge_on_cycle(self, lasso):
+        assert edge_on_cycle(lasso, (1,), (2,))
+        assert not edge_on_cycle(lasso, (0,), (1,))
+
+    def test_has_cycle_within_subset(self, lasso):
+        assert has_cycle_within(lasso, [(1,), (2,), (3,)])
+        assert not has_cycle_within(lasso, [(1,), (2,)])
+
+    def test_find_cycle_returns_closed_path(self, lasso):
+        cycle = find_cycle_within(lasso, [(1,), (2,), (3,)])
+        assert cycle is not None
+        assert cycle[0] == cycle[-1]
+        assert len(cycle) >= 2
+
+    def test_find_cycle_none_when_acyclic(self, lasso):
+        assert find_cycle_within(lasso, [(0,), (4,)]) is None
+
+
+class TestTerminalStates:
+    def test_terminality_is_global(self, schema):
+        graph = sys_of(schema, [(0, 1)])
+        # 1 has no outgoing edges at all; 0 has one leaving the subset.
+        assert terminal_states_within(graph, [(0,), (1,)]) == frozenset({(1,)})
+
+
+class TestBoundedPaths:
+    def test_enumerates_all_paths_up_to_bound(self, schema):
+        diamond = sys_of(schema, [(0, 1), (0, 2), (1, 3), (2, 3)])
+        paths = set(bounded_paths(diamond, (0,), 2))
+        assert ((0,), (1,), (3,)) in paths
+        assert ((0,), (2,), (3,)) in paths
+        assert ((0,),) in paths
+
+    def test_zero_bound_yields_start_only(self, lasso):
+        assert list(bounded_paths(lasso, (0,), 0)) == [((0,),)]
+
+    def test_negative_bound_rejected(self, lasso):
+        with pytest.raises(ValueError):
+            list(bounded_paths(lasso, (0,), -1))

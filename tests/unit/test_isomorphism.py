@@ -1,0 +1,78 @@
+"""Unit tests for repro.core.isomorphism (convergence isomorphism)."""
+
+import pytest
+
+from repro.core.isomorphism import (
+    check_convergence_isomorphism,
+    is_convergence_isomorphism,
+)
+
+
+class TestPaperExamples:
+    def test_positive_example_from_section_2(self):
+        # "c = s1 s3 s6 is a convergence isomorphism of a = s1..s6"
+        assert is_convergence_isomorphism(
+            "s1 s3 s6".split(), "s1 s2 s3 s4 s5 s6".split()
+        )
+
+    def test_negative_example_from_section_2(self):
+        # "c = s1 s3 s5 s6 is not ... of a = s1 s2 s5 s6"
+        assert not is_convergence_isomorphism(
+            "s1 s3 s5 s6".split(), "s1 s2 s5 s6".split()
+        )
+
+
+class TestEndpointClauses:
+    def test_equal_sequences(self):
+        assert is_convergence_isomorphism("abc", "abc")
+
+    def test_initial_state_must_match(self):
+        verdict = check_convergence_isomorphism("bc", "abc")
+        assert not verdict.holds
+        assert "initial" in verdict.reason
+
+    def test_final_state_must_match(self):
+        verdict = check_convergence_isomorphism("ab", "abc")
+        assert not verdict.holds
+        assert "final" in verdict.reason
+
+    def test_single_state_sequences(self):
+        assert is_convergence_isomorphism("a", "a")
+        assert not is_convergence_isomorphism("a", "b")
+
+    def test_empty_sequences_rejected(self):
+        assert not check_convergence_isomorphism([], []).holds
+
+
+class TestSubsequenceClause:
+    def test_insertions_rejected(self):
+        verdict = check_convergence_isomorphism("axc", "abc")
+        assert not verdict.holds
+        assert "subsequence" in verdict.reason
+
+    def test_omissions_counted(self):
+        verdict = check_convergence_isomorphism("ad", "abcd")
+        assert verdict.holds
+        assert verdict.omissions == 2
+
+    def test_embedding_is_returned(self):
+        verdict = check_convergence_isomorphism("ad", "abcd")
+        assert verdict.embedding is not None
+        assert verdict.embedding[0] == 0
+        assert verdict.embedding[-1] == 3
+
+    def test_verdict_is_truthy(self):
+        assert bool(check_convergence_isomorphism("abc", "abc"))
+        assert not bool(check_convergence_isomorphism("cba", "abc"))
+
+
+class TestStutterInsensitive:
+    def test_stuttering_concrete_accepted_when_enabled(self):
+        assert not is_convergence_isomorphism("aabbc", "abc")
+        assert is_convergence_isomorphism("aabbc", "abc", stutter_insensitive=True)
+
+    def test_stuttering_abstract_also_normalized(self):
+        assert is_convergence_isomorphism("abc", "aabbcc", stutter_insensitive=True)
+
+    def test_stutter_mode_still_checks_order(self):
+        assert not is_convergence_isomorphism("ba", "aabb", stutter_insensitive=True)

@@ -1,0 +1,122 @@
+"""Unit tests for UTR and Dijkstra's K-state protocol."""
+
+import pytest
+
+from repro.checker import (
+    check_convergence_refinement,
+    check_init_refinement,
+    check_stabilization,
+)
+from repro.gcl.process import check_model_compliance
+from repro.rings.kstate import kstate_program, utr_program
+from repro.rings.mappings import utr_abstraction
+
+
+class TestUTR:
+    def test_single_token_circulates(self):
+        system = utr_program(3).compile()
+        schema = system.schema
+        state = schema.pack({"t.0": True, "t.1": False, "t.2": False})
+        (successor,) = system.successors(state)
+        assert schema.unpack(successor) == {"t.0": False, "t.1": True, "t.2": False}
+
+    def test_wraps_around(self):
+        system = utr_program(3).compile()
+        schema = system.schema
+        state = schema.pack({"t.0": False, "t.1": False, "t.2": True})
+        (successor,) = system.successors(state)
+        assert schema.value(successor, "t.0") is True
+
+    def test_tokens_merge_on_collision(self):
+        system = utr_program(3).compile()
+        schema = system.schema
+        state = schema.pack({"t.0": True, "t.1": True, "t.2": False})
+        targets = system.successors(state)
+        merged = schema.pack({"t.0": False, "t.1": True, "t.2": False})
+        assert merged in targets
+
+    def test_initial_states_are_single_token(self):
+        program = utr_program(4)
+        assert len(list(program.initial_states())) == 4
+
+    def test_utr_is_not_self_stabilizing(self):
+        """Two tokens can rotate forever: the abstraction alone cannot
+        explain K-state convergence (see EXPERIMENTS.md E11)."""
+        from repro.checker import check_self_stabilization
+
+        assert not check_self_stabilization(utr_program(3).compile()).holds
+
+    @pytest.mark.parametrize("fairness", ["none", "weak", "strong"])
+    def test_wrapped_utr_fails_under_every_fairness(self, fairness):
+        """The unidirectional contrast to Theorem 6: two lockstep
+        tokens defeat even strong fairness — rotation keeps every
+        move action firing, so no fairness obligation is violated and
+        no merge is ever forced.  Only the K-state counters fix it."""
+        from repro.core.composition import box
+        from repro.rings import utr_token_creation_wrapper
+
+        n = 4
+        utr = utr_program(n).compile()
+        composite = box(utr, utr_token_creation_wrapper(n).compile())
+        result = check_stabilization(
+            composite, utr, fairness=fairness, compute_steps=False
+        )
+        assert not result.holds
+
+
+class TestKState:
+    def test_rejects_k_below_two(self):
+        with pytest.raises(ValueError):
+            kstate_program(3, 1)
+
+    def test_concrete_model_compliant(self):
+        assert check_model_compliance(kstate_program(4, 4).processes) == []
+
+    def test_init_refines_utr(self):
+        n, k = 4, 4
+        result = check_init_refinement(
+            kstate_program(n, k).compile(),
+            utr_program(n).compile(),
+            utr_abstraction(n, k),
+        )
+        assert result.holds, result.format()
+
+    def test_convergence_refinement_of_utr(self):
+        """[K-state <= UTR]: merges are compressions, never on cycles."""
+        n, k = 3, 3
+        result = check_convergence_refinement(
+            kstate_program(n, k).compile(),
+            utr_program(n).compile(),
+            utr_abstraction(n, k),
+        )
+        assert result.holds, result.format()
+
+    @pytest.mark.parametrize("n,k", [(3, 3), (4, 4), (5, 5), (4, 3)])
+    def test_stabilizes_for_large_enough_k(self, n, k):
+        result = check_stabilization(
+            kstate_program(n, k).compile(),
+            utr_program(n).compile(),
+            utr_abstraction(n, k),
+            fairness="none",
+        )
+        assert result.holds, result.format()
+
+    @pytest.mark.parametrize("n,k", [(4, 2), (5, 3)])
+    def test_fails_below_the_threshold(self, n, k):
+        """The classical bound, rediscovered: K >= n - 1 is required."""
+        result = check_stabilization(
+            kstate_program(n, k).compile(),
+            utr_program(n).compile(),
+            utr_abstraction(n, k),
+            fairness="none",
+            compute_steps=False,
+        )
+        assert not result.holds
+
+    def test_exactly_one_privilege_in_legitimate_states(self):
+        n, k = 4, 4
+        system = kstate_program(n, k).compile()
+        alpha = utr_abstraction(n, k)
+        for state in system.reachable():
+            image = alpha(state)
+            assert sum(1 for value in image if value) == 1

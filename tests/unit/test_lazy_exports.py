@@ -1,0 +1,47 @@
+"""Unit tests for the lazy (PEP 562) exports of repro.core."""
+
+import importlib
+import sys
+
+import pytest
+
+
+class TestLazyCoreExports:
+    def test_lazy_names_resolve(self):
+        import repro.core as core
+
+        assert callable(core.check_stabilization)
+        assert callable(core.theorem1_instance)
+        assert callable(core.convergence_refines_on_computations)
+
+    def test_unknown_attribute_raises(self):
+        import repro.core as core
+
+        with pytest.raises(AttributeError, match="no attribute"):
+            core.definitely_not_a_thing
+
+    def test_dir_lists_lazy_names(self):
+        import repro.core as core
+
+        listing = dir(core)
+        assert "check_stabilization" in listing
+        assert "graybox_instance" in listing
+
+    def test_import_order_independence(self):
+        """Importing checker first must not break core, and vice versa
+        (the historical circular-import hazard)."""
+        saved = {
+            name: module
+            for name, module in sys.modules.items()
+            if name.startswith("repro")
+        }
+        try:
+            for name in list(sys.modules):
+                if name.startswith("repro"):
+                    del sys.modules[name]
+            checker = importlib.import_module("repro.checker")
+            core = importlib.import_module("repro.core")
+            assert callable(core.check_stabilization)
+            assert callable(checker.check_stabilization)
+        finally:
+            sys.modules.update(saved)

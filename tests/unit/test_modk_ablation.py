@@ -1,0 +1,63 @@
+"""The mod-k ablation: K = 3 is the unique working modulus.
+
+The paper's Section 6 rewriting into Dijkstra's 3-state system hinges
+on a case analysis valid only in Z_3.  This test sweeps the Dijkstra-3
+action schema over counter moduli and confirms mechanically that the
+schema stabilizes exactly at k = 3 — with *typed* failures elsewhere:
+k = 2 breaks closure of the legitimate behaviour, k >= 4 introduces
+illegitimate deadlocks.
+"""
+
+import pytest
+
+from repro.checker import check_stabilization
+from repro.rings import (
+    btr3_abstraction,
+    btr_program,
+    btrk_abstraction,
+    dijkstra_three_state,
+    dijkstra_three_state_modk,
+)
+
+
+class TestModKAblation:
+    @pytest.mark.parametrize("n", [3, 4])
+    def test_k3_is_the_unique_working_modulus(self, n):
+        btr = btr_program(n).compile()
+        verdicts = {}
+        for k in (2, 3, 4, 5):
+            result = check_stabilization(
+                dijkstra_three_state_modk(n, k).compile(),
+                btr,
+                btrk_abstraction(n, k),
+                compute_steps=False,
+            )
+            verdicts[k] = result
+        assert verdicts[3].holds
+        for k in (2, 4, 5):
+            assert not verdicts[k].holds, k
+
+    def test_failure_modes_are_typed(self):
+        n = 4
+        btr = btr_program(n).compile()
+        k2 = check_stabilization(
+            dijkstra_three_state_modk(n, 2).compile(), btr,
+            btrk_abstraction(n, 2), compute_steps=False,
+        )
+        assert k2.result.witness.kind.value == "closure-violation"
+        k4 = check_stabilization(
+            dijkstra_three_state_modk(n, 4).compile(), btr,
+            btrk_abstraction(n, 4), compute_steps=False,
+        )
+        assert k4.result.witness.kind.value == "illegitimate-deadlock"
+
+    def test_mod3_schema_equals_dijkstra_three_state(self):
+        n = 4
+        assert (
+            dijkstra_three_state_modk(n, 3).compile()
+            == dijkstra_three_state(n).compile()
+        )
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            dijkstra_three_state_modk(4, 1)

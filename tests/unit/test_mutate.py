@@ -1,0 +1,99 @@
+"""Unit tests for the mutation engine, plus the mutation-kill experiment."""
+
+import pytest
+
+from repro.checker import check_stabilization
+from repro.gcl.parser import parse_program
+from repro.rings import btr3_abstraction, btr_program, dijkstra_three_state
+from repro.transform import mutants
+
+TOY = """
+program toy
+var x, y : mod 3
+action a :: x != y --> x := y
+action b :: x == y && x != 0 --> x := 0, y := 0
+init x == 0 && y == 0
+"""
+
+
+class TestMutationOperators:
+    @pytest.fixture
+    def program(self):
+        return parse_program(TOY)
+
+    def test_generates_multiple_operator_kinds(self, program):
+        descriptions = [m.description for m in mutants(program)]
+        assert any(d.startswith("drop action") for d in descriptions)
+        assert any(d.startswith("negate guard") for d in descriptions)
+        assert any("->" in d for d in descriptions)
+
+    def test_every_mutant_compiles(self, program):
+        for mutant in mutants(program):
+            mutant.program.compile()
+
+    def test_mutants_differ_from_the_original(self, program):
+        original = program.compile()
+        changed = sum(
+            1 for mutant in mutants(program) if mutant.program.compile() != original
+        )
+        # negating an unsatisfiable guard may produce an equivalent
+        # automaton; the bulk must genuinely differ.
+        assert changed >= len(mutants(program)) - 2
+
+    def test_limit_caps_the_list(self, program):
+        assert len(mutants(program, limit=3)) == 3
+
+    def test_original_is_untouched(self, program):
+        before = program.compile()
+        mutants(program)
+        assert program.compile() == before
+
+    def test_single_action_program_has_no_drop_mutants(self):
+        single = parse_program(
+            "program one\nvar x : mod 2\naction a :: x != 0 --> x := 0\n"
+            "init x == 0"
+        )
+        descriptions = [m.description for m in mutants(single)]
+        assert not any(d.startswith("drop action") for d in descriptions)
+
+
+class TestMutationKillRate:
+    def test_checker_kills_most_dijkstra3_mutants(self):
+        """Mutation adequacy in both directions: the checker is not
+        vacuously accepting, and the protocol has little slack."""
+        n = 3
+        original = dijkstra_three_state(n)
+        btr = btr_program(n).compile()
+        alpha = btr3_abstraction(n)
+        generated = mutants(original)
+        assert len(generated) >= 15
+        killed = 0
+        survivors = []
+        for mutant in generated:
+            result = check_stabilization(
+                mutant.program.compile(),
+                btr,
+                alpha,
+                stutter_insensitive=True,
+                fairness="weak",
+                compute_steps=False,
+            )
+            if result.holds:
+                survivors.append(mutant.description)
+            else:
+                killed += 1
+        assert killed / len(generated) >= 0.8, survivors
+
+    def test_dropping_any_action_kills(self):
+        n = 3
+        btr = btr_program(n).compile()
+        alpha = btr3_abstraction(n)
+        for mutant in mutants(dijkstra_three_state(n)):
+            if not mutant.description.startswith("drop action"):
+                continue
+            result = check_stabilization(
+                mutant.program.compile(), btr, alpha,
+                stutter_insensitive=True, fairness="weak",
+                compute_steps=False,
+            )
+            assert not result.holds, mutant.description

@@ -1,0 +1,182 @@
+"""Unit tests for the GCL parser and lexer."""
+
+import pytest
+
+from repro.core.errors import GCLError, GCLParseError
+from repro.gcl.domain import BoolDomain, IntRange, ModularDomain
+from repro.gcl.parser import parse_expression, parse_program, tokenize
+
+
+class TestTokenizer:
+    def test_symbols_and_identifiers(self):
+        tokens = tokenize("c.0 := (x + 1) % 3 --> ..")
+        texts = [t.text for t in tokens]
+        assert texts == ["c.0", ":=", "(", "x", "+", "1", ")", "%", "3",
+                         "-->", "..", ""]
+
+    def test_keywords_are_distinguished(self):
+        kinds = {t.text: t.kind for t in tokenize("var x bool true foo")}
+        assert kinds["var"] == "keyword"
+        assert kinds["bool"] == "keyword"
+        assert kinds["true"] == "keyword"
+        assert kinds["foo"] == "ident"
+
+    def test_comments_and_whitespace_dropped(self):
+        tokens = tokenize("x # this is a comment\n y")
+        assert [t.text for t in tokens if t.kind != "eof"] == ["x", "y"]
+
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("a\n  b")
+        b_token = [t for t in tokens if t.text == "b"][0]
+        assert (b_token.line, b_token.column) == (2, 3)
+
+    def test_unknown_character_raises_with_location(self):
+        with pytest.raises(GCLParseError, match="line 1"):
+            tokenize("x @ y")
+
+    def test_dotted_identifiers(self):
+        tokens = tokenize("up.10.z")
+        assert tokens[0].text == "up.10.z"
+
+
+class TestExpressionParsing:
+    def test_precedence_arithmetic_over_comparison(self):
+        expr = parse_expression("x + 1 == y * 2")
+        assert expr.eval({"x": 3, "y": 2}) is True
+
+    def test_precedence_comparison_over_and(self):
+        expr = parse_expression("x < 2 && y < 2")
+        assert expr.eval({"x": 1, "y": 1}) is True
+        assert expr.eval({"x": 2, "y": 1}) is False
+
+    def test_and_binds_tighter_than_or(self):
+        expr = parse_expression("true || false && false")
+        assert expr.eval({}) is True
+
+    def test_implies_is_right_associative(self):
+        expr = parse_expression("false => false => false")
+        # false => (false => false) == true
+        assert expr.eval({}) is True
+
+    def test_unary_not_and_minus(self):
+        assert parse_expression("!(x == 1)").eval({"x": 2}) is True
+        assert parse_expression("-x + 3").eval({"x": 1}) == 2
+
+    def test_ternary(self):
+        expr = parse_expression("x == 0 ? 10 : 20")
+        assert expr.eval({"x": 0}) == 10
+        assert expr.eval({"x": 1}) == 20
+
+    def test_nested_ternary_right_associates(self):
+        expr = parse_expression("x == 0 ? 1 : x == 1 ? 2 : 3")
+        assert expr.eval({"x": 2}) == 3
+
+    def test_parentheses(self):
+        assert parse_expression("(x + 1) % 3").eval({"x": 2}) == 0
+
+    def test_trailing_input_rejected(self):
+        with pytest.raises(GCLParseError, match="trailing"):
+            parse_expression("x + 1 y")
+
+    def test_dangling_operator_rejected(self):
+        with pytest.raises(GCLParseError):
+            parse_expression("x +")
+
+
+class TestProgramParsing:
+    SOURCE = """
+    program demo
+    var x, y : mod 3
+    var flag : bool
+    var level : 1..4
+
+    process left owns x reads y
+    process right owns y, flag, level reads x
+
+    action bump of left :: x != y --> x := (x + 1) % 3
+    action sync of right :: flag && level < 4 --> y := x, flag := false
+
+    init x == 0 && y == 0 && !flag && level == 1
+    """
+
+    def test_variables_with_all_domain_forms(self):
+        program = parse_program(self.SOURCE)
+        assert program.variable("x").domain == ModularDomain(3)
+        assert program.variable("flag").domain == BoolDomain()
+        assert program.variable("level").domain == IntRange(1, 4)
+
+    def test_actions_and_multiassignment(self):
+        program = parse_program(self.SOURCE)
+        sync = {a.name: a for a in program.actions}["sync"]
+        assert sync.write_set() == {"y", "flag"}
+
+    def test_processes_and_ownership(self):
+        program = parse_program(self.SOURCE)
+        by_name = {p.name: p for p in program.processes}
+        assert by_name["left"].owns == {"x"}
+        assert by_name["right"].owns == {"y", "flag", "level"}
+        assert [a.name for a in by_name["left"].actions] == ["bump"]
+
+    def test_initial_states(self):
+        program = parse_program(self.SOURCE)
+        assert list(program.initial_states()) == [(0, 0, False, 1)]
+
+    def test_program_without_processes(self):
+        program = parse_program(
+            "program tiny\nvar x : bool\naction t :: x --> x := false"
+        )
+        assert program.processes == ()
+
+    def test_process_without_reads_clause_infers(self):
+        program = parse_program(
+            "program tiny\nvar x, y : bool\nprocess p owns x\n"
+            "action t of p :: y --> x := false"
+        )
+        assert program.processes[0].reads == {"x", "y"}
+
+    def test_orphan_action_with_processes_rejected(self):
+        with pytest.raises(GCLParseError, match="of"):
+            parse_program(
+                "program bad\nvar x : bool\nprocess p owns x\n"
+                "action t :: x --> x := false"
+            )
+
+    def test_unknown_process_rejected(self):
+        with pytest.raises(GCLParseError, match="undeclared"):
+            parse_program(
+                "program bad\nvar x : bool\nprocess p owns x\n"
+                "action t of q :: x --> x := false"
+            )
+
+    def test_duplicate_process_rejected(self):
+        with pytest.raises(GCLParseError, match="twice"):
+            parse_program(
+                "program bad\nvar x : bool\nprocess p owns x\nprocess p owns x"
+            )
+
+    def test_duplicate_init_rejected(self):
+        with pytest.raises(GCLParseError, match="duplicate init"):
+            parse_program(
+                "program bad\nvar x : bool\ninit x\ninit !x"
+            )
+
+    def test_duplicate_assignment_rejected(self):
+        with pytest.raises(GCLParseError, match="twice"):
+            parse_program(
+                "program bad\nvar x : bool\n"
+                "action t :: x --> x := false, x := true"
+            )
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(GCLParseError, match="empty range"):
+            parse_program("program bad\nvar x : 5..2")
+
+    def test_semantic_errors_bubble_as_gcl_errors(self):
+        with pytest.raises(GCLError):
+            parse_program(
+                "program bad\nvar x : bool\naction t :: y --> x := false"
+            )
+
+    def test_missing_program_keyword(self):
+        with pytest.raises(GCLParseError):
+            parse_program("var x : bool")

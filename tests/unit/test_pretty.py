@@ -1,0 +1,61 @@
+"""Unit tests for the GCL pretty-printer (incl. round-tripping)."""
+
+import pytest
+
+from repro.gcl.parser import parse_program
+from repro.gcl.pretty import render_actions, render_program
+from repro.rings import btr3_program, c2_program, dijkstra_three_state
+
+
+SOURCE = """
+program demo
+var x, y : mod 3
+var flag : bool
+
+process left owns x reads y
+process right owns flag, y reads x
+
+action bump of left :: x != y --> x := (x + 1) % 3
+action sync of right :: flag --> flag := false, y := x
+
+init x == 0 && y == 0 && !flag
+"""
+
+
+class TestRenderProgram:
+    def test_roundtrip_compiles_to_equal_automaton(self):
+        original = parse_program(SOURCE)
+        rendered = render_program(original)
+        reparsed = parse_program(rendered)
+        assert original.compile() == reparsed.compile()
+
+    def test_groups_variables_with_equal_domains(self):
+        rendered = render_program(parse_program(SOURCE))
+        assert "var x, y : mod 3" in rendered
+
+    def test_mentions_processes_and_ownership(self):
+        rendered = render_program(parse_program(SOURCE))
+        assert "process left owns x reads y" in rendered
+
+    def test_ring_programs_roundtrip(self):
+        for builder in (c2_program, dijkstra_three_state):
+            program = builder(3)
+            reparsed = parse_program(render_program(program))
+            assert program.compile() == reparsed.compile()
+
+    def test_btr3_roundtrip_without_processes(self):
+        program = btr3_program(3)
+        reparsed = parse_program(render_program(program))
+        assert program.compile() == reparsed.compile()
+
+
+class TestRenderActions:
+    def test_one_line_per_action(self):
+        program = parse_program(SOURCE)
+        lines = render_actions(program).splitlines()
+        assert len(lines) == len(program.actions)
+        assert any("bump" in line for line in lines)
+
+    def test_empty_program(self):
+        program = parse_program("program empty\nvar x : bool")
+        assert render_actions(program) == ""

@@ -1,0 +1,169 @@
+"""Unit tests for the simulation engine and the token decoders."""
+
+import random
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.gcl.parser import parse_program
+from repro.rings.btr import btr_program
+from repro.rings.btr3 import dijkstra_three_state
+from repro.rings.btr4 import dijkstra_four_state
+from repro.rings.kstate import kstate_program
+from repro.rings.mappings import btr3_abstraction, btr4_abstraction, utr_abstraction
+from repro.rings.tokens import tokens_in_state
+from repro.rings.topology import Ring
+from repro.simulation.faults import CorruptVariables, FaultSchedule
+from repro.simulation.metrics import (
+    btr_tokens,
+    four_state_tokens,
+    kstate_tokens,
+    legitimacy_predicate,
+    three_state_tokens,
+)
+from repro.simulation.runner import run_until, simulate
+
+COUNTDOWN = """
+program countdown
+var x : 0..5
+action dec :: x > 0 --> x := x - 1
+init x == 5
+"""
+
+
+class TestSimulate:
+    def test_runs_to_deadlock(self):
+        program = parse_program(COUNTDOWN)
+        trace = simulate(program, steps=100, rng=random.Random(0))
+        assert trace.final() == {"x": 0}
+        assert trace.step_count() == 5
+
+    def test_step_budget_respected(self):
+        program = parse_program(COUNTDOWN)
+        trace = simulate(program, steps=2, rng=random.Random(0))
+        assert trace.final() == {"x": 3}
+
+    def test_stop_when_predicate(self):
+        program = parse_program(COUNTDOWN)
+        trace = simulate(
+            program, 100, rng=random.Random(0),
+            stop_when=lambda env: env["x"] == 2,
+        )
+        assert trace.final() == {"x": 2}
+
+    def test_explicit_initial_environment(self):
+        program = parse_program(COUNTDOWN)
+        trace = simulate(program, 100, rng=random.Random(0), initial={"x": 1})
+        assert trace.step_count() == 1
+
+    def test_missing_initial_variable_rejected(self):
+        program = parse_program(COUNTDOWN)
+        with pytest.raises(SimulationError):
+            simulate(program, 10, initial={})
+
+    def test_program_without_initial_needs_explicit(self):
+        program = parse_program(
+            "program w\nvar x : bool\naction t :: x --> x := false"
+        )
+        with pytest.raises(SimulationError):
+            simulate(program, 10)
+
+    def test_fault_injection_recorded(self):
+        program = parse_program(COUNTDOWN)
+        trace = simulate(
+            program, 10, rng=random.Random(0),
+            faults=FaultSchedule([1], CorruptVariables(1)),
+        )
+        assert trace.fault_count() == 1
+
+    def test_stutter_steps_marked(self):
+        program = parse_program(
+            "program s\nvar x : bool\naction idle :: x --> x := true\ninit x"
+        )
+        trace = simulate(program, 3, rng=random.Random(0))
+        assert all(e.kind == "stutter" for e in trace.events)
+
+
+class TestRunUntil:
+    def test_returns_steps_on_success(self):
+        program = parse_program(COUNTDOWN)
+        steps = run_until(
+            program, lambda env: env["x"] == 0, 100, rng=random.Random(0)
+        )
+        assert steps == 5
+
+    def test_returns_none_on_budget_exhaustion(self):
+        program = parse_program(COUNTDOWN)
+        assert run_until(
+            program, lambda env: env["x"] == -1, 3, rng=random.Random(0)
+        ) is None
+
+
+class TestTokenDecoders:
+    """Each env-level decoder must agree with the packed abstraction."""
+
+    def test_btr_tokens_match_schema_decoder(self):
+        n = 4
+        program = btr_program(n)
+        schema = program.schema()
+        ring = Ring(n)
+        for state in list(schema.states())[:64]:
+            env = schema.unpack(state)
+            assert set(btr_tokens(ring, env)) == set(tokens_in_state(schema, state))
+
+    def test_four_state_decoder_matches_alpha4(self):
+        n = 4
+        alpha = btr4_abstraction(n)
+        abstract_schema = btr_program(n).schema()
+        ring = Ring(n)
+        program = dijkstra_four_state(n)
+        schema = program.schema()
+        for state in schema.states():
+            env = schema.unpack(state)
+            expected = set(tokens_in_state(abstract_schema, alpha(state)))
+            assert set(four_state_tokens(ring, env)) == expected
+
+    def test_three_state_decoder_matches_alpha3(self):
+        n = 4
+        alpha = btr3_abstraction(n)
+        abstract_schema = btr_program(n).schema()
+        ring = Ring(n)
+        schema = dijkstra_three_state(n).schema()
+        for state in schema.states():
+            env = schema.unpack(state)
+            expected = set(tokens_in_state(abstract_schema, alpha(state)))
+            assert set(three_state_tokens(ring, env)) == expected
+
+    def test_kstate_decoder_matches_alphak(self):
+        n, k = 4, 3
+        alpha = utr_abstraction(n, k)
+        ring = Ring(n)
+        program = kstate_program(n, k)
+        schema = program.schema()
+        abstract_schema = alpha.abstract_schema
+        for state in schema.states():
+            env = schema.unpack(state)
+            image = alpha(state)
+            expected = {
+                name
+                for name in abstract_schema.names
+                if abstract_schema.value(image, name)
+            }
+            assert set(kstate_tokens(ring, env)) == expected
+
+
+class TestLegitimacyPredicate:
+    def test_three_state_initial_is_legitimate(self):
+        program = dijkstra_three_state(5)
+        predicate = legitimacy_predicate("three", 5)
+        env = program.env_of(next(program.initial_states()))
+        assert predicate(env)
+
+    def test_uniform_counters_are_not(self):
+        predicate = legitimacy_predicate("three", 5)
+        env = {Ring.c(j): 0 for j in range(5)}
+        assert not predicate(env)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            legitimacy_predicate("bogus", 4)

@@ -1,0 +1,145 @@
+"""Unit tests for schedulers and fault injectors."""
+
+import random
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.gcl.action import GuardedAction
+from repro.gcl.expr import Const, Var
+from repro.rings.btr3 import dijkstra_three_state
+from repro.simulation.faults import (
+    CorruptEverything,
+    CorruptVariables,
+    FaultSchedule,
+)
+from repro.simulation.scheduler import (
+    BiasedScheduler,
+    GreedyScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+)
+
+
+def actions(*names):
+    return [GuardedAction(name, Const(True), {"x": Const(0)}) for name in names]
+
+
+class TestRandomScheduler:
+    def test_covers_all_choices_eventually(self):
+        scheduler = RandomScheduler()
+        pool = actions("a", "b", "c")
+        rng = random.Random(0)
+        seen = {scheduler.choose(pool, {}, rng).name for _ in range(100)}
+        assert seen == {"a", "b", "c"}
+
+    def test_reproducible_with_seed(self):
+        pool = actions("a", "b", "c")
+        picks1 = [RandomScheduler().choose(pool, {}, random.Random(7)).name
+                  for _ in range(1)]
+        picks2 = [RandomScheduler().choose(pool, {}, random.Random(7)).name
+                  for _ in range(1)]
+        assert picks1 == picks2
+
+
+class TestRoundRobinScheduler:
+    def test_cycles_through_positions(self):
+        scheduler = RoundRobinScheduler()
+        pool = actions("a", "b")
+        rng = random.Random(0)
+        names = [scheduler.choose(pool, {}, rng).name for _ in range(4)]
+        assert names == ["a", "b", "a", "b"]
+
+    def test_reset_restarts_cursor(self):
+        scheduler = RoundRobinScheduler()
+        pool = actions("a", "b")
+        rng = random.Random(0)
+        scheduler.choose(pool, {}, rng)
+        scheduler.reset()
+        assert scheduler.choose(pool, {}, rng).name == "a"
+
+
+class TestBiasedScheduler:
+    def test_full_bias_restricts_to_preferred(self):
+        scheduler = BiasedScheduler(lambda name: name == "b", bias=1.0)
+        pool = actions("a", "b")
+        rng = random.Random(0)
+        assert all(
+            scheduler.choose(pool, {}, rng).name == "b" for _ in range(20)
+        )
+
+    def test_zero_bias_is_uniform(self):
+        scheduler = BiasedScheduler(lambda name: name == "b", bias=0.0)
+        pool = actions("a", "b")
+        rng = random.Random(0)
+        seen = {scheduler.choose(pool, {}, rng).name for _ in range(50)}
+        assert seen == {"a", "b"}
+
+    def test_falls_back_when_no_preferred_enabled(self):
+        scheduler = BiasedScheduler(lambda name: name == "zz", bias=1.0)
+        pool = actions("a")
+        assert scheduler.choose(pool, {}, random.Random(0)).name == "a"
+
+    def test_bias_range_validated(self):
+        with pytest.raises(ValueError):
+            BiasedScheduler(lambda name: True, bias=1.5)
+
+
+class TestGreedyScheduler:
+    def test_maximizes_score_of_effect(self):
+        low = GuardedAction("low", Const(True), {"x": Const(1)})
+        high = GuardedAction("high", Const(True), {"x": Const(5)})
+        scheduler = GreedyScheduler(lambda env: env["x"])
+        chosen = scheduler.choose([low, high], {"x": 0}, random.Random(0))
+        assert chosen.name == "high"
+
+    def test_ties_broken_among_best_only(self):
+        a = GuardedAction("a", Const(True), {"x": Const(5)})
+        b = GuardedAction("b", Const(True), {"x": Const(5)})
+        c = GuardedAction("c", Const(True), {"x": Const(1)})
+        scheduler = GreedyScheduler(lambda env: env["x"])
+        rng = random.Random(0)
+        names = {scheduler.choose([a, b, c], {"x": 0}, rng).name for _ in range(30)}
+        assert names == {"a", "b"}
+
+
+class TestFaultInjectors:
+    @pytest.fixture
+    def program(self):
+        return dijkstra_three_state(5)
+
+    def test_corrupt_variables_changes_exactly_count(self, program):
+        injector = CorruptVariables(2)
+        env = program.env_of(next(program.initial_states()))
+        corrupted, description = injector.inject(program, env, random.Random(3))
+        assert "corrupt" in description
+        assert set(corrupted) == set(env)
+        # at most 2 entries differ (random redraw may coincide).
+        assert sum(1 for k in env if env[k] != corrupted[k]) <= 2
+
+    def test_corrupt_values_stay_in_domain(self, program):
+        injector = CorruptEverything()
+        env = program.env_of(next(program.initial_states()))
+        corrupted, _ = injector.inject(program, env, random.Random(5))
+        program.state_of(corrupted)  # raises if out of domain
+
+    def test_corrupt_count_validation(self):
+        with pytest.raises(ValueError):
+            CorruptVariables(0)
+
+    def test_too_many_variables_raises(self, program):
+        injector = CorruptVariables(100)
+        env = program.env_of(next(program.initial_states()))
+        with pytest.raises(SimulationError):
+            injector.inject(program, env, random.Random(0))
+
+
+class TestFaultSchedule:
+    def test_due_steps(self):
+        schedule = FaultSchedule([0, 5], CorruptVariables(1))
+        assert schedule.due(0) and schedule.due(5)
+        assert not schedule.due(1)
+
+    def test_negative_steps_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSchedule([-1], CorruptVariables(1))

@@ -1,0 +1,225 @@
+"""Unit tests for stabilization checking."""
+
+import pytest
+
+from repro.core.stabilization import (
+    behavioural_core,
+    check_self_stabilization,
+    check_stabilization,
+    legitimate_abstract_states,
+    sequence_has_legitimate_suffix,
+    stabilizes_on_computations,
+    worst_case_convergence_steps,
+)
+from repro.core.state import StateSchema
+from repro.core.system import System
+from repro.checker.witnesses import WitnessKind
+
+
+@pytest.fixture
+def schema():
+    return StateSchema({"v": tuple(range(6))})
+
+
+def sys_of(schema, pairs, initial=((0,),), name="s", labels=None):
+    label_map = None
+    if labels:
+        label_map = {((a,), (b,)): names for (a, b), names in labels.items()}
+    return System(
+        schema,
+        [((a,), (b,)) for a, b in pairs],
+        initial=initial,
+        name=name,
+        labels=label_map,
+    )
+
+
+@pytest.fixture
+def ring_spec(schema):
+    """Legitimate behaviour: the 3-cycle 0 -> 1 -> 2 -> 0."""
+    return sys_of(schema, [(0, 1), (1, 2), (2, 0)], name="spec")
+
+
+class TestLegitimateStates:
+    def test_reachable_set(self, ring_spec):
+        assert legitimate_abstract_states(ring_spec) == {(0,), (1,), (2,)}
+
+
+class TestBehaviouralCore:
+    def test_core_of_converging_system(self, schema, ring_spec):
+        concrete = sys_of(
+            schema,
+            [(0, 1), (1, 2), (2, 0), (3, 0), (4, 3), (5, 3)],
+            name="C",
+        )
+        core = behavioural_core(concrete, ring_spec)
+        assert core == {(0,), (1,), (2,)}
+
+    def test_escaping_state_is_excluded(self, schema, ring_spec):
+        # 2 -> 3 escapes the legitimate region, poisoning the whole cycle.
+        concrete = sys_of(schema, [(0, 1), (1, 2), (2, 0), (2, 3)], name="C")
+        core = behavioural_core(concrete, ring_spec)
+        assert core == frozenset()
+
+    def test_premature_deadlock_excluded(self, schema, ring_spec):
+        concrete = sys_of(schema, [(0, 1), (1, 2)], name="C")  # stops at 2
+        core = behavioural_core(concrete, ring_spec)
+        assert (2,) not in core
+
+    def test_stutter_tolerated_in_stutter_mode(self, schema, ring_spec):
+        concrete = sys_of(schema, [(0, 1), (1, 1), (1, 2), (2, 0)], name="C")
+        assert behavioural_core(concrete, ring_spec) == frozenset()
+        assert behavioural_core(
+            concrete, ring_spec, stutter_insensitive=True
+        ) == {(0,), (1,), (2,)}
+
+
+class TestCheckStabilization:
+    def test_converging_system_holds(self, schema, ring_spec):
+        concrete = sys_of(
+            schema,
+            [(0, 1), (1, 2), (2, 0), (3, 0), (4, 3), (5, 3)],
+            name="C",
+        )
+        result = check_stabilization(concrete, ring_spec)
+        assert result.holds
+        assert result.worst_case_steps == 2  # 4 or 5 -> 3 -> 0
+
+    def test_divergent_cycle_fails(self, schema, ring_spec):
+        concrete = sys_of(
+            schema, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 3), (5, 0)], name="C"
+        )
+        result = check_stabilization(concrete, ring_spec)
+        assert not result.holds
+        assert result.result.witness.kind is WitnessKind.DIVERGENT_CYCLE
+
+    def test_illegitimate_deadlock_fails(self, schema, ring_spec):
+        concrete = sys_of(
+            schema, [(0, 1), (1, 2), (2, 0), (4, 3), (5, 3)], name="C"
+        )
+        result = check_stabilization(concrete, ring_spec)
+        assert not result.holds
+        assert result.result.witness.kind is WitnessKind.ILLEGITIMATE_DEADLOCK
+
+    def test_empty_core_reported(self, schema, ring_spec):
+        concrete = sys_of(schema, [(0, 3), (3, 0), (1, 3), (2, 3), (4, 3), (5, 3)],
+                          name="C")
+        result = check_stabilization(concrete, ring_spec)
+        assert not result.holds
+        assert result.result.witness.kind is WitnessKind.CLOSURE_VIOLATION
+
+    def test_weak_fairness_discounts_self_loops(self, schema, ring_spec):
+        concrete = sys_of(
+            schema,
+            [(0, 1), (1, 2), (2, 0), (3, 3), (3, 0), (4, 3), (5, 3)],
+            name="C",
+        )
+        assert not check_stabilization(concrete, ring_spec, fairness="none").holds
+        assert check_stabilization(concrete, ring_spec, fairness="weak").holds
+
+    def test_self_loop_only_state_is_a_deadlock_under_weak(self, schema, ring_spec):
+        concrete = sys_of(
+            schema,
+            [(0, 1), (1, 2), (2, 0), (3, 3), (4, 0), (5, 0)],
+            name="C",
+        )
+        result = check_stabilization(concrete, ring_spec, fairness="weak")
+        assert not result.holds
+        assert result.result.witness.kind is WitnessKind.ILLEGITIMATE_DEADLOCK
+
+    def test_strong_fairness_breaks_escapable_cycle(self, schema, ring_spec):
+        # 3 <-> 4 cycle via action "spin", with an exit labelled "exit"
+        # from 3 to 0.  Unfair: divergent.  Strong fairness: must exit.
+        concrete = sys_of(
+            schema,
+            [(0, 1), (1, 2), (2, 0), (3, 4), (4, 3), (3, 0), (5, 0)],
+            name="C",
+            labels={(3, 4): ["spin"], (4, 3): ["spin"], (3, 0): ["exit"],
+                    (5, 0): ["r"]},
+        )
+        assert not check_stabilization(concrete, ring_spec, fairness="none").holds
+        assert check_stabilization(concrete, ring_spec, fairness="strong").holds
+
+    def test_strong_fairness_detects_true_trap(self, schema, ring_spec):
+        # 3 <-> 4 with no exit at all: divergent under every fairness.
+        concrete = sys_of(
+            schema,
+            [(0, 1), (1, 2), (2, 0), (3, 4), (4, 3), (5, 0)],
+            name="C",
+            labels={(3, 4): ["spin"], (4, 3): ["spin"], (5, 0): ["r"]},
+        )
+        assert not check_stabilization(concrete, ring_spec, fairness="strong").holds
+
+    def test_unknown_fairness_rejected(self, schema, ring_spec):
+        with pytest.raises(ValueError):
+            check_stabilization(ring_spec, ring_spec, fairness="bogus")
+
+    def test_compute_steps_flag(self, schema, ring_spec):
+        concrete = sys_of(
+            schema,
+            [(0, 1), (1, 2), (2, 0), (3, 0), (4, 0), (5, 0)],
+            name="C",
+        )
+        result = check_stabilization(concrete, ring_spec, compute_steps=False)
+        assert result.holds
+        assert result.worst_case_steps is None
+
+
+class TestSelfStabilization:
+    def test_spec_with_recovery_is_self_stabilizing(self, schema):
+        system = sys_of(
+            schema, [(0, 1), (1, 2), (2, 0), (3, 0), (4, 0), (5, 0)], name="S"
+        )
+        assert check_self_stabilization(system).holds
+
+    def test_spec_without_recovery_is_not(self, schema, ring_spec):
+        assert not check_self_stabilization(ring_spec).holds
+
+
+class TestWorstCaseSteps:
+    def test_longest_escape_path(self, schema, ring_spec):
+        concrete = sys_of(
+            schema, [(0, 1), (1, 2), (2, 0), (5, 4), (4, 3), (3, 0)], name="C"
+        )
+        core = behavioural_core(concrete, ring_spec)
+        assert worst_case_convergence_steps(concrete, core) == 3
+
+    def test_cycle_outside_core_raises(self, schema, ring_spec):
+        concrete = sys_of(schema, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 3)], name="C")
+        core = behavioural_core(concrete, ring_spec)
+        with pytest.raises(ValueError):
+            worst_case_convergence_steps(concrete, core)
+
+
+class TestDefinitionalOracle:
+    def test_suffix_detection(self, ring_spec):
+        assert sequence_has_legitimate_suffix(
+            [(4,), (3,), (0,), (1,)], ring_spec, complete=False
+        )
+        assert not sequence_has_legitimate_suffix(
+            [(4,), (3,)], ring_spec, complete=False
+        )
+
+    def test_complete_requires_terminal_match(self, ring_spec):
+        # the spec never terminates, so no complete run can match.
+        assert not sequence_has_legitimate_suffix(
+            [(0,), (1,)], ring_spec, complete=True
+        )
+
+    def test_oracle_agrees_on_positive(self, schema, ring_spec):
+        concrete = sys_of(
+            schema,
+            [(0, 1), (1, 2), (2, 0), (3, 0), (4, 3), (5, 3)],
+            name="C",
+        )
+        assert stabilizes_on_computations(concrete, ring_spec, max_length=8)
+
+    def test_oracle_agrees_on_negative(self, schema, ring_spec):
+        concrete = sys_of(
+            schema, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 3), (5, 0)], name="C"
+        )
+        assert not stabilizes_on_computations(concrete, ring_spec, max_length=8)
+
+    def test_oracle_fairness_validation(self, ring_spec):
+        with pytest.raises(ValueError):
+            stabilizes_on_computations(ring_spec, ring_spec, fairness="bogus")

@@ -1,0 +1,122 @@
+"""Unit tests for automatic wrapper synthesis."""
+
+import pytest
+
+from repro.core.errors import VerificationError
+from repro.core.state import StateSchema
+from repro.core.system import System
+from repro.gcl.parser import parse_program
+from repro.rings import btr3_abstraction, btr_program, c2_program
+from repro.synthesis import synthesize_wrapper
+
+CASCADE = """
+program cascade
+var x.0, x.1, x.2 : mod 3
+action copy.1 :: x.1 != x.0 --> x.1 := x.0
+action copy.2 :: x.2 != x.1 --> x.2 := x.1
+init x.0 == 0 && x.1 == 0 && x.2 == 0
+"""
+
+
+@pytest.fixture
+def cascade():
+    return parse_program(CASCADE).compile()
+
+
+class TestCascadeSynthesis:
+    def test_composite_verifies(self, cascade):
+        result = synthesize_wrapper(cascade, cascade)
+        assert result.holds, result.verification.format()
+
+    def test_deadlock_only_case_needs_no_fairness(self, cascade):
+        result = synthesize_wrapper(cascade, cascade)
+        assert result.fairness == "none"
+
+    def test_wrapper_disabled_on_the_core(self, cascade):
+        from repro.checker import behavioural_core
+
+        result = synthesize_wrapper(cascade, cascade)
+        core = behavioural_core(cascade, cascade)
+        for source, _target in result.wrapper.transitions():
+            assert source not in core
+
+    def test_wrapper_has_no_initial_states(self, cascade):
+        result = synthesize_wrapper(cascade, cascade)
+        assert result.wrapper.initial == frozenset()
+
+    def test_repairs_are_hamming_minimal_into_the_core(self, cascade):
+        from repro.checker import behavioural_core
+
+        result = synthesize_wrapper(cascade, cascade)
+        core = sorted(behavioural_core(cascade, cascade), key=repr)
+        for source, target in result.wrapper.transitions():
+            assert target in core
+            best = min(
+                sum(1 for a, b in zip(source, c) if a != b) for c in core
+            )
+            actual = sum(1 for a, b in zip(source, target) if a != b)
+            assert actual == best
+
+    def test_summary_mentions_counts(self, cascade):
+        result = synthesize_wrapper(cascade, cascade)
+        assert "repair" in result.summary()
+
+
+class TestRingSynthesis:
+    def test_bare_btr_gets_a_stabilizer(self):
+        """The synthesized wrapper plays the role of W1 [] W2 for the
+        abstract ring (strong fairness, like the paper's wrappers)."""
+        btr = btr_program(4).compile()
+        result = synthesize_wrapper(btr, btr)
+        assert result.holds
+        assert result.fairness == "strong"
+
+    def test_bare_c2_repairs_verify_unfairly(self):
+        """Better than the paper's hand-built composite: direct repairs
+        avoid the crossing schedules, so no fairness is needed."""
+        n = 4
+        result = synthesize_wrapper(
+            c2_program(n).compile(),
+            btr_program(n).compile(),
+            btr3_abstraction(n),
+        )
+        assert result.holds
+        assert result.fairness == "none"
+        assert len(result.repaired_states) <= 15
+
+    def test_repair_all_outside_is_bigger_but_still_correct(self):
+        n = 3
+        sparse = synthesize_wrapper(
+            c2_program(n).compile(),
+            btr_program(n).compile(),
+            btr3_abstraction(n),
+        )
+        full = synthesize_wrapper(
+            c2_program(n).compile(),
+            btr_program(n).compile(),
+            btr3_abstraction(n),
+            repair_all_outside=True,
+        )
+        assert full.holds
+        assert len(full.repaired_states) >= len(sparse.repaired_states)
+
+
+class TestDegenerateInputs:
+    def test_empty_core_is_an_error(self):
+        schema = StateSchema({"v": (0, 1)})
+        # the system leaves its only legitimate state immediately.
+        system = System(schema, [((0,), (1,)), ((1,), (0,))], initial=[(0,)])
+        spec = System(schema, [((0,), (0,))], initial=[(0,)])
+        with pytest.raises(VerificationError):
+            synthesize_wrapper(system, spec)
+
+    def test_already_stabilizing_system_gets_an_empty_or_tiny_wrapper(self):
+        schema = StateSchema({"v": (0, 1, 2)})
+        system = System(
+            schema,
+            [((0,), (1,)), ((1,), (0,)), ((2,), (0,))],
+            initial=[(0,)],
+        )
+        result = synthesize_wrapper(system, system)
+        assert result.holds
+        assert result.wrapper.transition_count() == 0

@@ -1,0 +1,106 @@
+"""Unit tests for rendering systems back to guarded-command programs."""
+
+import pytest
+
+from repro.core.errors import VerificationError
+from repro.core.state import StateSchema
+from repro.core.system import System
+from repro.cli import main
+from repro.gcl.domain import IntRange, ModularDomain
+from repro.gcl.parser import parse_program
+from repro.gcl.pretty import render_program
+from repro.gcl.variable import Variable
+from repro.synthesis import synthesize_wrapper, system_to_program
+
+CASCADE = """
+program cascade
+var x.0, x.1, x.2 : mod 3
+action copy.1 :: x.1 != x.0 --> x.1 := x.0
+action copy.2 :: x.2 != x.1 --> x.2 := x.1
+init x.0 == 0 && x.1 == 0 && x.2 == 0
+"""
+
+
+class TestSystemToProgram:
+    def test_roundtrip_on_a_small_system(self):
+        schema = StateSchema({"v": (0, 1, 2)})
+        system = System(
+            schema, [((1,), (0,)), ((2,), (0,))], initial=[(0,)], name="sys"
+        )
+        program = system_to_program(system, [Variable("v", IntRange(0, 2))])
+        assert program.compile() == system
+
+    def test_self_loops_roundtrip(self):
+        schema = StateSchema({"v": (0, 1)})
+        system = System(schema, [((0,), (0,)), ((1,), (0,))], initial=[(0,)])
+        program = system_to_program(system, [Variable("v", IntRange(0, 1))])
+        assert program.compile() == system
+
+    def test_empty_system(self):
+        schema = StateSchema({"v": (0, 1)})
+        system = System(schema, [], initial=[])
+        program = system_to_program(system, [Variable("v", IntRange(0, 1))])
+        assert program.compile() == system
+
+    def test_rejects_mismatched_declarations(self):
+        schema = StateSchema({"v": (0, 1)})
+        system = System(schema, [], initial=[])
+        with pytest.raises(VerificationError):
+            system_to_program(system, [Variable("w", IntRange(0, 1))])
+        with pytest.raises(VerificationError):
+            system_to_program(system, [Variable("v", IntRange(0, 2))])
+
+    def test_synthesized_wrapper_roundtrips_through_gcl_text(self):
+        """The full tool chain: synthesize -> render to program ->
+        pretty-print -> reparse -> compile: same automaton."""
+        program = parse_program(CASCADE)
+        system = program.compile()
+        result = synthesize_wrapper(system, system)
+        wrapper_program = system_to_program(
+            result.wrapper, list(program.variables), name="wrapper"
+        )
+        text = render_program(wrapper_program)
+        reparsed = parse_program(text)
+        assert reparsed.compile() == result.wrapper
+
+    def test_rendered_wrapper_composes_back_to_a_verified_composite(self):
+        from repro.checker import check_stabilization
+        from repro.core.composition import box
+
+        program = parse_program(CASCADE)
+        system = program.compile()
+        result = synthesize_wrapper(system, system)
+        wrapper_program = system_to_program(
+            result.wrapper, list(program.variables), name="wrapper"
+        )
+        composite = box(system, wrapper_program.compile())
+        assert check_stabilization(composite, system).holds
+
+
+class TestCliSynthesize:
+    def test_prints_parseable_wrapper(self, tmp_path, capsys):
+        path = tmp_path / "cascade.gcl"
+        path.write_text(CASCADE)
+        assert main(["synthesize", str(path)]) == 0
+        captured = capsys.readouterr()
+        assert "synthesized" in captured.err
+        wrapper = parse_program(captured.out)
+        assert wrapper.actions
+
+    def test_with_explicit_spec(self, tmp_path, capsys):
+        path = tmp_path / "cascade.gcl"
+        path.write_text(CASCADE)
+        assert main(["synthesize", str(path), "--spec", str(path)]) == 0
+
+    def test_empty_core_reports_cli_error(self, tmp_path, capsys):
+        # The program halts everywhere while the spec never halts, so
+        # no state of the program ever tracks the spec: empty core.
+        frozen = tmp_path / "frozen.gcl"
+        frozen.write_text("program frozen\nvar x : bool\ninit x == false")
+        spec = tmp_path / "spec.gcl"
+        spec.write_text(
+            "program spec\nvar x : bool\n"
+            "action flip :: true --> x := !x\ninit x == false"
+        )
+        assert main(["synthesize", str(frozen), "--spec", str(spec)]) == 2
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,98 @@
+"""Unit tests for the executable theorem schemas (Theorems 0-5)."""
+
+import pytest
+
+from repro.core.state import StateSchema
+from repro.core.system import System
+from repro.core.theorems import (
+    lemma2_instance,
+    lemma4_instance,
+    theorem0_instance,
+    theorem1_instance,
+    theorem3_instance,
+    theorem5_instance,
+)
+
+
+@pytest.fixture
+def schema():
+    return StateSchema({"v": tuple(range(5))})
+
+
+def sys_of(schema, pairs, initial=((0,),), name="s"):
+    return System(schema, [((a,), (b,)) for a, b in pairs], initial=initial, name=name)
+
+
+@pytest.fixture
+def spec(schema):
+    """Legitimate cycle 0 -> 1 -> 0; recovery 2 -> 0, 3 -> 2, 4 -> 2."""
+    return sys_of(schema, [(0, 1), (1, 0), (2, 0), (3, 2), (4, 2)], name="A")
+
+
+@pytest.fixture
+def refined(schema):
+    """An everywhere refinement of spec: one recovery path dropped ...
+    but keeping 4 -> 2 (terminality must match)."""
+    return sys_of(schema, [(0, 1), (1, 0), (2, 0), (3, 2), (4, 2)], name="C")
+
+
+@pytest.fixture
+def wrapper(schema):
+    """Extra recovery transitions (a dependability wrapper)."""
+    return System(
+        schema,
+        [((2,), (0,)), ((3,), (0,)), ((4,), (0,))],
+        initial=[],
+        name="W",
+    )
+
+
+class TestTheorem0And1:
+    def test_theorem0_instance_all_rows_hold(self, spec, refined):
+        report = theorem0_instance(refined, spec, spec)
+        assert report.all_hold(), report.render(verbose=True)
+
+    def test_theorem1_instance_all_rows_hold(self, spec, refined):
+        report = theorem1_instance(refined, spec, spec)
+        assert report.all_hold(), report.render(verbose=True)
+
+    def test_theorem1_reports_premise_failure(self, schema, spec):
+        bogus = sys_of(schema, [(0, 2)], name="C")
+        report = theorem1_instance(bogus, spec, spec)
+        assert not report.all_hold()
+        assert any("premise" in e.label for e in report.failures())
+
+
+class TestWrapperLemmas:
+    def test_lemma2_instance(self, spec, refined, wrapper):
+        report = lemma2_instance(refined, spec, wrapper)
+        assert report.all_hold(), report.render(verbose=True)
+
+    def test_theorem3_instance(self, spec, refined, wrapper):
+        report = theorem3_instance(refined, spec, wrapper)
+        assert report.all_hold(), report.render(verbose=True)
+
+    def test_lemma4_instance_with_refined_wrapper(self, schema, spec, wrapper):
+        # W' keeps only some of W's transitions: an open-system
+        # everywhere refinement.  The composite must still stabilize:
+        # the base spec supplies the missing recovery for 3 and 4.
+        refined_wrapper = System(
+            schema, [((2,), (0,))], initial=[], name="W'"
+        )
+        report = lemma4_instance(spec, wrapper, refined_wrapper)
+        assert report.all_hold(), report.render(verbose=True)
+
+    def test_theorem5_instance(self, schema, spec, refined, wrapper):
+        refined_wrapper = System(
+            schema, [((2,), (0,)), ((3,), (0,))], initial=[], name="W'"
+        )
+        report = theorem5_instance(refined, spec, wrapper, refined_wrapper)
+        assert report.all_hold(), report.render(verbose=True)
+
+    def test_theorem5_flags_nonrefining_wrapper(self, schema, spec, refined, wrapper):
+        # A wrapper transition absent from W and unrealizable in W.
+        rogue = System(schema, [((1,), (3,))], initial=[], name="rogue")
+        report = theorem5_instance(refined, spec, wrapper, rogue)
+        assert not report.all_hold()
+        labels = [e.label for e in report.failures()]
+        assert any("W' <= W" in label for label in labels)

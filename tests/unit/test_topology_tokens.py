@@ -1,0 +1,103 @@
+"""Unit tests for ring topology, token calculus, and the invariant I."""
+
+import pytest
+
+from repro.rings.legitimate import (
+    exactly_one_token,
+    i1_holds,
+    i2_i3_hold,
+    legitimate_btr_states,
+)
+from repro.rings.btr import btr_program
+from repro.rings.tokens import (
+    all_single_token_states,
+    count_tokens,
+    state_with_tokens,
+    token_flags,
+    tokens_in_state,
+)
+from repro.rings.topology import Ring
+
+
+class TestRing:
+    def test_rejects_tiny_rings(self):
+        with pytest.raises(ValueError):
+            Ring(1)
+
+    def test_top_and_bottom(self):
+        ring = Ring(5)
+        assert ring.top == 4
+        assert ring.bottom == 0
+
+    def test_middles(self):
+        assert list(Ring(5).middles()) == [1, 2, 3]
+        assert list(Ring(2).middles()) == []
+
+    def test_succ_pred_wrap(self):
+        ring = Ring(4)
+        assert ring.succ(3) == 0
+        assert ring.pred(0) == 3
+
+    def test_variable_names(self):
+        assert Ring.ut(3) == "ut.3"
+        assert Ring.dt(0) == "dt.0"
+        assert Ring.c(2) == "c.2"
+        assert Ring.up(1) == "up.1"
+        assert Ring.t(4) == "t.4"
+
+    def test_token_indices(self):
+        ring = Ring(4)
+        assert list(ring.up_token_indices()) == [1, 2, 3]
+        assert list(ring.down_token_indices()) == [0, 1, 2]
+
+    def test_token_variable_names_count(self):
+        # 2N flags for N+1 processes.
+        for n in (2, 3, 5):
+            assert len(Ring(n).token_variable_names()) == 2 * (n - 1)
+
+
+class TestTokenCalculus:
+    @pytest.fixture
+    def schema(self):
+        return btr_program(4).schema()
+
+    def test_token_flags_match_schema(self, schema):
+        assert set(token_flags(Ring(4))) == set(schema.names)
+
+    def test_state_with_tokens_roundtrip(self, schema):
+        state = state_with_tokens(schema, ["ut.2", "dt.1"])
+        assert set(tokens_in_state(schema, state)) == {"ut.2", "dt.1"}
+        assert count_tokens(schema, state) == 2
+
+    def test_empty_token_state(self, schema):
+        state = state_with_tokens(schema, [])
+        assert count_tokens(schema, state) == 0
+
+    def test_all_single_token_states(self, schema):
+        states = all_single_token_states(Ring(4), schema)
+        assert len(states) == 6
+        assert all(count_tokens(schema, s) == 1 for s in states)
+
+
+class TestInvariantI:
+    @pytest.fixture
+    def schema(self):
+        return btr_program(3).schema()
+
+    def test_i1(self, schema):
+        assert i1_holds(schema, state_with_tokens(schema, ["ut.1"]))
+        assert not i1_holds(schema, state_with_tokens(schema, []))
+
+    def test_i2_i3(self, schema):
+        assert i2_i3_hold(schema, state_with_tokens(schema, []))
+        assert i2_i3_hold(schema, state_with_tokens(schema, ["dt.0"]))
+        assert not i2_i3_hold(schema, state_with_tokens(schema, ["ut.1", "dt.1"]))
+
+    def test_exactly_one(self, schema):
+        assert exactly_one_token(schema, state_with_tokens(schema, ["ut.2"]))
+        assert not exactly_one_token(schema, state_with_tokens(schema, []))
+
+    def test_predicate_matches_reachability(self, schema):
+        """The invariant states are exactly BTR's reachable states."""
+        btr = btr_program(3).compile()
+        assert legitimate_btr_states(Ring(3), schema) == btr.reachable()

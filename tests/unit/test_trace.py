@@ -1,0 +1,70 @@
+"""Unit tests for simulation traces."""
+
+import pytest
+
+from repro.simulation.trace import Trace, TraceEvent
+
+
+@pytest.fixture
+def trace():
+    t = Trace({"x": 0})
+    t.record("step", "inc", {"x": 1})
+    t.record("fault", "corrupt x", {"x": 9})
+    t.record("step", "dec", {"x": 8})
+    t.record("stutter", "noop", {"x": 8})
+    t.record("step", "dec", {"x": 7})
+    return t
+
+
+class TestTrace:
+    def test_initial_is_defensive_copy(self):
+        source = {"x": 0}
+        trace = Trace(source)
+        source["x"] = 99
+        assert trace.initial == {"x": 0}
+
+    def test_events_in_order(self, trace):
+        assert [e.kind for e in trace.events] == [
+            "step", "fault", "step", "stutter", "step",
+        ]
+
+    def test_final_environment(self, trace):
+        assert trace.final() == {"x": 7}
+
+    def test_final_of_empty_trace_is_initial(self):
+        assert Trace({"x": 3}).final() == {"x": 3}
+
+    def test_environments_includes_initial(self, trace):
+        envs = trace.environments()
+        assert envs[0] == {"x": 0}
+        assert len(envs) == 6
+
+    def test_step_and_fault_counts(self, trace):
+        assert trace.step_count() == 4  # stutters count as steps
+        assert trace.fault_count() == 1
+
+    def test_action_labels_exclude_faults(self, trace):
+        assert trace.action_labels() == ["inc", "dec", "noop", "dec"]
+
+    def test_len(self, trace):
+        assert len(trace) == 5
+
+
+class TestStepsUntil:
+    def test_immediately_true(self):
+        trace = Trace({"x": 0})
+        assert trace.steps_until(lambda env: env["x"] == 0) == 0
+
+    def test_counts_steps_to_first_hit(self, trace):
+        assert trace.steps_until(lambda env: env["x"] == 8) == 1
+
+    def test_fault_resets_the_clock(self, trace):
+        # x == 1 holds before the fault only; after the reset it never
+        # holds again, so the answer is None.
+        assert trace.steps_until(lambda env: env["x"] == 1) is None
+
+    def test_counts_from_last_fault(self, trace):
+        assert trace.steps_until(lambda env: env["x"] == 7) == 3
+
+    def test_never_satisfied(self, trace):
+        assert trace.steps_until(lambda env: env["x"] == 42) is None

@@ -1,0 +1,91 @@
+"""Unit tests for the ASCII ring visualizer."""
+
+import random
+
+import pytest
+
+from repro.rings import dijkstra_three_state, kstate_program
+from repro.rings.topology import Ring
+from repro.simulation import (
+    CorruptVariables,
+    FaultSchedule,
+    render_ring_row,
+    render_trace,
+    simulate,
+)
+
+
+class TestRenderRow:
+    def test_btr_up_and_down_tokens(self):
+        ring = Ring(4)
+        env = {name: False for name in ring.token_variable_names()}
+        env["ut.1"] = True
+        env["dt.2"] = True
+        assert render_ring_row(ring, env, "btr") == ".^v."
+
+    def test_colocated_tokens_render_x(self):
+        ring = Ring(4)
+        env = {name: False for name in ring.token_variable_names()}
+        env["ut.2"] = True
+        env["dt.2"] = True
+        assert render_ring_row(ring, env, "btr") == "..X."
+
+    def test_kstate_privileges_render_star(self):
+        ring = Ring(3)
+        env = {"c.0": 0, "c.1": 0, "c.2": 0}  # uniform: bottom privileged
+        assert render_ring_row(ring, env, "kstate") == "*.."
+
+    def test_three_state_row_length(self):
+        ring = Ring(6)
+        program = dijkstra_three_state(6)
+        env = program.env_of(next(program.initial_states()))
+        row = render_ring_row(ring, env, "three")
+        assert len(row) == 6
+        assert row.count("v") == 1
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            render_ring_row(Ring(3), {}, "bogus")
+
+
+class TestRenderTrace:
+    @pytest.fixture
+    def trace(self):
+        return simulate(
+            dijkstra_three_state(6),
+            60,
+            rng=random.Random(1),
+            faults=FaultSchedule([10], CorruptVariables(2)),
+        )
+
+    def test_header_and_initial_row(self, trace):
+        text = render_trace(trace, Ring(6), "three")
+        lines = text.splitlines()
+        assert lines[0].strip().startswith("step")
+        assert "(initial)" in lines[1]
+
+    def test_fault_marked_in_gutter(self, trace):
+        text = render_trace(trace, Ring(6), "three", only_changes=False)
+        assert "  ! corrupt" in text
+
+    def test_max_rows_elides(self, trace):
+        text = render_trace(trace, Ring(6), "three", max_rows=3)
+        assert "..." in text
+        # header + initial + 3 rows + ellipsis
+        assert len(text.splitlines()) <= 6
+
+    def test_only_changes_skips_static_rows(self):
+        trace = simulate(dijkstra_three_state(6), 40, rng=random.Random(2))
+        dense = render_trace(trace, Ring(6), "three", only_changes=False)
+        sparse = render_trace(trace, Ring(6), "three", only_changes=True)
+        assert len(sparse.splitlines()) <= len(dense.splitlines())
+
+    def test_every_row_shows_exactly_the_ring_width(self, trace):
+        ring = Ring(6)
+        text = render_trace(trace, ring, "three", only_changes=False)
+        for line in text.splitlines()[1:]:
+            if line.strip().startswith("..."):
+                continue
+            column = line[7 : 7 + ring.n_processes]
+            assert len(column) == ring.n_processes
+            assert set(column) <= set(".^vX*")

@@ -1,0 +1,96 @@
+"""Unit tests for witnesses, check results, and verification reports."""
+
+import pytest
+
+from repro.checker.report import VerificationReport
+from repro.checker.witnesses import CheckResult, Witness, WitnessKind
+from repro.core.state import StateSchema
+
+
+@pytest.fixture
+def schema():
+    return StateSchema({"x": (0, 1)})
+
+
+class TestWitness:
+    def test_format_includes_kind_and_message(self, schema):
+        witness = Witness(
+            WitnessKind.DIVERGENT_CYCLE, "spins forever", ((0,), (1,)), schema
+        )
+        text = witness.format()
+        assert "divergent-cycle" in text
+        assert "spins forever" in text
+        assert "x=0" in text and "x=1" in text
+
+    def test_format_without_schema_uses_repr(self):
+        witness = Witness(WitnessKind.BAD_TERMINAL, "stuck", ((0,),))
+        assert "(0,)" in witness.format()
+
+
+class TestCheckResult:
+    def test_truthiness(self):
+        assert CheckResult(True, "p")
+        assert not CheckResult(False, "p")
+
+    def test_format_verdicts(self):
+        assert "HOLDS" in CheckResult(True, "prop").format()
+        assert "FAILS" in CheckResult(False, "prop").format()
+
+    def test_format_includes_detail_and_witness(self, schema):
+        result = CheckResult(
+            False,
+            "prop",
+            Witness(WitnessKind.BAD_TERMINAL, "stuck", ((0,),), schema),
+            detail="7 transitions",
+        )
+        text = result.format()
+        assert "7 transitions" in text
+        assert "stuck" in text
+
+    def test_expect_passes_through_on_success(self):
+        result = CheckResult(True, "p")
+        assert result.expect() is result
+
+    def test_expect_raises_with_rendered_failure(self):
+        with pytest.raises(AssertionError, match="FAILS"):
+            CheckResult(False, "p").expect()
+
+
+class TestVerificationReport:
+    def test_all_hold_and_failures(self):
+        report = VerificationReport("demo")
+        report.add("one", CheckResult(True, "one"))
+        report.add("two", CheckResult(False, "two"))
+        assert not report.all_hold()
+        assert [entry.label for entry in report.failures()] == ["two"]
+
+    def test_render_contains_rows_and_summary(self):
+        report = VerificationReport("demo")
+        report.add("alpha", CheckResult(True, "alpha"), note="n=3")
+        report.add("beta", CheckResult(False, "beta"))
+        text = report.render()
+        assert "alpha" in text and "ok" in text
+        assert "beta" in text and "FAIL" in text
+        assert "1 of 2 checks FAILED" in text
+        assert "(n=3)" in text
+
+    def test_render_verbose_includes_bodies(self):
+        report = VerificationReport("demo")
+        report.add("alpha", CheckResult(True, "alpha", detail="42 states"))
+        assert "42 states" in report.render(verbose=True)
+        assert "42 states" not in report.render(verbose=False)
+
+    def test_expect_all(self):
+        good = VerificationReport("good")
+        good.add("x", CheckResult(True, "x"))
+        assert good.expect_all() is good
+        bad = VerificationReport("bad")
+        bad.add("x", CheckResult(False, "x"))
+        with pytest.raises(AssertionError):
+            bad.expect_all()
+
+    def test_entries_are_ordered(self):
+        report = VerificationReport("demo")
+        for index in range(5):
+            report.add(f"row{index}", CheckResult(True, "p"))
+        assert [e.label for e in report.entries] == [f"row{i}" for i in range(5)]

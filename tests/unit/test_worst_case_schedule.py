@@ -1,0 +1,78 @@
+"""Unit tests for the worst-case schedule extractor."""
+
+import pytest
+
+from repro.checker import (
+    behavioural_core,
+    check_stabilization,
+    worst_case_convergence_steps,
+    worst_case_schedule,
+)
+from repro.core.state import StateSchema
+from repro.core.system import System
+from repro.rings import btr3_abstraction, btr_program, dijkstra_three_state
+
+
+@pytest.fixture
+def schema():
+    return StateSchema({"v": tuple(range(6))})
+
+
+def sys_of(schema, pairs, initial=((0,),)):
+    return System(schema, [((a,), (b,)) for a, b in pairs], initial=initial)
+
+
+class TestOnToySystems:
+    def test_path_matches_reported_length(self, schema):
+        system = sys_of(
+            schema, [(0, 1), (1, 2), (2, 0), (5, 4), (4, 3), (3, 0)]
+        )
+        core = behavioural_core(system, system)
+        steps = worst_case_convergence_steps(system, core)
+        path = worst_case_schedule(system, core)
+        assert len(path) - 1 == steps == 3
+        assert path == ((5,), (4,), (3,), (0,))
+
+    def test_path_is_a_real_computation_prefix(self, schema):
+        system = sys_of(
+            schema, [(0, 1), (1, 2), (2, 0), (5, 4), (4, 3), (3, 0)]
+        )
+        core = behavioural_core(system, system)
+        path = worst_case_schedule(system, core)
+        assert system.is_computation(path, require_maximal=False)
+
+    def test_only_last_state_in_core(self, schema):
+        system = sys_of(
+            schema, [(0, 1), (1, 2), (2, 0), (5, 4), (4, 3), (3, 0)]
+        )
+        core = behavioural_core(system, system)
+        path = worst_case_schedule(system, core)
+        assert all(state not in core for state in path[:-1])
+        assert path[-1] in core
+
+    def test_empty_when_everything_is_core(self, schema):
+        system = sys_of(schema, [(v, (v + 1) % 6) for v in range(6)],
+                        initial=[(v,) for v in range(6)])
+        core = behavioural_core(system, system)
+        assert core == frozenset((v,) for v in range(6))
+        assert worst_case_schedule(system, core) == ()
+
+    def test_cycle_outside_core_raises(self, schema):
+        system = sys_of(schema, [(0, 0), (3, 4), (4, 3)])
+        core = frozenset({(0,)})
+        with pytest.raises(ValueError):
+            worst_case_schedule(system, core)
+
+
+class TestOnDijkstra3:
+    def test_schedule_realizes_the_exact_bound(self):
+        n = 4
+        system = dijkstra_three_state(n).compile()
+        result = check_stabilization(
+            system, btr_program(n).compile(), btr3_abstraction(n)
+        )
+        assert result.holds
+        path = worst_case_schedule(system, result.core)
+        assert len(path) - 1 == result.worst_case_steps
+        assert system.is_computation(path, require_maximal=False)
+        assert path[-1] in result.core
