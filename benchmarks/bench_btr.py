@@ -38,7 +38,7 @@ def test_e05_theorem6_per_size(benchmark, n):
         assert row["weak"] is False
 
 
-def test_e05_theorem6_table(benchmark, record_table):
+def test_e05_theorem6_table(benchmark, record_table, record_metrics):
     rows = benchmark.pedantic(
         lambda: [_theorem6_row(n) for n in (2, 3, 4, 5)], rounds=1, iterations=1
     )
@@ -49,4 +49,29 @@ def test_e05_theorem6_table(benchmark, record_table):
             columns=["n", "|Sigma|", "none", "weak", "strong"],
             title="E05 Theorem 6: BTR [] W1 [] W2 stabilizing to BTR, by fairness",
         ),
+        rows=rows,
     )
+    # Instrumented rerun of the largest strong-fairness cell: the
+    # metrics JSON gives the experiment its state-count/phase-timing
+    # trajectory alongside the verdict table.
+    from repro.obs import Recorder
+
+    recorder = Recorder(kind="bench")
+    recorder.annotate(experiment="e05_theorem6", n=5, fairness="strong")
+    n = 5
+    composite = box_many(
+        [
+            btr_program(n).compile(),
+            w1_program(n).compile(),
+            w2_program(n).compile(),
+        ],
+        name="BTR[]W1[]W2",
+    )
+    check_stabilization(
+        composite,
+        btr_program(n).compile(),
+        fairness="strong",
+        compute_steps=False,
+        instrumentation=recorder,
+    )
+    record_metrics("e05_theorem6", recorder)

@@ -55,9 +55,15 @@ def test_e13_convergence_curve(benchmark, record_table):
     )
 
 
-def test_e13_exact_worst_case_vs_simulated_mean(benchmark, record_table):
+def test_e13_exact_worst_case_vs_simulated_mean(
+    benchmark, record_table, record_metrics
+):
     """Where both substrates run (n = 5): the simulated mean sits well
     below the checker's exact adversarial worst case."""
+    from repro.obs import Recorder
+
+    recorder = Recorder(kind="bench")
+    recorder.annotate(experiment="e13_exact_vs_simulated", n=5)
 
     def experiment():
         from repro.checker import check_stabilization
@@ -69,6 +75,7 @@ def test_e13_exact_worst_case_vs_simulated_mean(benchmark, record_table):
             dijkstra_three_state(n).compile(),
             btr_program(n).compile(),
             btr3_abstraction(n),
+            instrumentation=recorder,
         ).worst_case_steps
         rows = convergence_curve(
             sizes=(n,),
@@ -79,17 +86,20 @@ def test_e13_exact_worst_case_vs_simulated_mean(benchmark, record_table):
 
     exact, row = benchmark.pedantic(experiment, rounds=1, iterations=1)
     assert row["max"] <= exact
+    table_rows = [
+        {
+            "quantity": "exact adversarial worst case",
+            "steps": exact,
+        },
+        {"quantity": "simulated mean (random daemon)", "steps": row["mean"]},
+        {"quantity": "simulated max (30 trials)", "steps": row["max"]},
+    ]
     record_table(
         "e13_exact_vs_simulated",
         format_table(
-            [
-                {
-                    "quantity": "exact adversarial worst case",
-                    "steps": exact,
-                },
-                {"quantity": "simulated mean (random daemon)", "steps": row["mean"]},
-                {"quantity": "simulated max (30 trials)", "steps": row["max"]},
-            ],
+            table_rows,
             title="E13 exact worst case vs simulation, Dijkstra-3, n=5",
         ),
+        rows=table_rows,
     )
+    record_metrics("e13_exact_vs_simulated", recorder)

@@ -42,6 +42,7 @@ from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 from ..core.abstraction import AbstractionFunction, identity_abstraction
 from ..core.state import State
 from ..core.system import System
+from ..obs import NULL_INSTRUMENTATION, Instrumentation
 from .fairness import find_fair_trap
 from .graph import (
     find_cycle_within,
@@ -115,6 +116,7 @@ def behavioural_core(
     alpha: Optional[AbstractionFunction] = None,
     stutter_insensitive: bool = False,
     fairness: str = "none",
+    instrumentation: Instrumentation = NULL_INSTRUMENTATION,
 ) -> FrozenSet[State]:
     """The greatest set ``G`` of concrete states forever tracking ``A``.
 
@@ -137,16 +139,27 @@ def behavioural_core(
             A self-loop whose image IS an ``A``-transition remains
             acceptable under every mode (legitimate stuttering
             behaviour of the specification itself).
+        instrumentation: observability sink; counts the states
+            enumerated, the fixpoint iterations, and the evictions per
+            iteration (null and free by default).
     """
     mapping = alpha if alpha is not None else identity_abstraction(concrete.schema)
     legitimate = legitimate_abstract_states(abstract)
     fairness_ignores_stutter = fairness in ("weak", "strong")
-    core: Set[State] = {
-        state for state in concrete.schema.states() if mapping(state) in legitimate
-    }
+    enumerated = 0
+    core: Set[State] = set()
+    for state in concrete.schema.states():
+        enumerated += 1
+        if mapping(state) in legitimate:
+            core.add(state)
+    instrumentation.count("check.states.enumerated", enumerated)
+    instrumentation.count("check.candidates.initial", len(core))
+    iterations = 0
     changed = True
     while changed:
         changed = False
+        iterations += 1
+        evicted = 0
         for state in list(core):
             image = mapping(state)
             successors = concrete.successors(state)
@@ -175,6 +188,7 @@ def behavioural_core(
             if violated:
                 core.discard(state)
                 changed = True
+                evicted += 1
                 continue
             if not progress:
                 # No successors at all, or only ignorable self-loops:
@@ -183,6 +197,15 @@ def behavioural_core(
                 if not abstract.is_terminal(image):
                     core.discard(state)
                     changed = True
+                    evicted += 1
+        instrumentation.event(
+            "check.fixpoint.iteration",
+            index=iterations,
+            evicted=evicted,
+            remaining=len(core),
+        )
+        instrumentation.count("check.states.evicted", evicted)
+    instrumentation.count("check.fixpoint.iterations", iterations)
     return frozenset(core)
 
 
@@ -256,6 +279,7 @@ def check_stabilization(
     stutter_insensitive: bool = False,
     fairness: str = "none",
     compute_steps: bool = True,
+    instrumentation: Instrumentation = NULL_INSTRUMENTATION,
 ) -> StabilizationResult:
     """Decide "``C`` is stabilizing to ``A``".
 
@@ -274,6 +298,9 @@ def check_stabilization(
             be a fair trap; see :mod:`repro.checker.fairness`).
         compute_steps: also compute the worst-case convergence time
             (skippable for speed in large sweeps).
+        instrumentation: observability sink (phase timings, state
+            counts, fixpoint iterations, the verdict); the null
+            default is free.
 
     Returns:
         A :class:`StabilizationResult`; its witness on failure is a
@@ -281,18 +308,54 @@ def check_stabilization(
     """
     if fairness not in ("none", "weak", "strong"):
         raise ValueError(f"unknown fairness mode {fairness!r}")
+    with instrumentation.span("check.total"):
+        result = _decide_stabilization(
+            concrete,
+            abstract,
+            alpha,
+            stutter_insensitive,
+            fairness,
+            compute_steps,
+            instrumentation,
+        )
+    instrumentation.count("check.legitimate.size", len(result.legitimate_abstract))
+    instrumentation.count("check.core.size", len(result.core))
+    witness = result.result.witness
+    instrumentation.event(
+        "check.verdict",
+        check=result.result.check,
+        holds=result.holds,
+        witness=witness.kind.name if witness is not None else None,
+        worst_case_steps=result.worst_case_steps,
+    )
+    return result
+
+
+def _decide_stabilization(
+    concrete: System,
+    abstract: System,
+    alpha: Optional[AbstractionFunction],
+    stutter_insensitive: bool,
+    fairness: str,
+    compute_steps: bool,
+    instrumentation: Instrumentation,
+) -> StabilizationResult:
+    """The phases of :func:`check_stabilization`, each under a span."""
     name = f"{concrete.name} stabilizing to {abstract.name}"
-    legitimate = legitimate_abstract_states(abstract)
+    with instrumentation.span("check.legitimate"):
+        legitimate = legitimate_abstract_states(abstract)
     analysis_system = (
         concrete.without_self_loops() if fairness in ("weak", "strong") else concrete
     )
-    core = behavioural_core(
-        concrete,
-        abstract,
-        alpha,
-        stutter_insensitive=stutter_insensitive,
-        fairness=fairness,
-    )
+    with instrumentation.span("check.core"):
+        core = behavioural_core(
+            concrete,
+            abstract,
+            alpha,
+            stutter_insensitive=stutter_insensitive,
+            fairness=fairness,
+            instrumentation=instrumentation,
+        )
 
     if not core:
         return StabilizationResult(
@@ -313,7 +376,9 @@ def check_stabilization(
     outside = frozenset(
         state for state in concrete.schema.states() if state not in core
     )
-    deadlocks = terminal_states_within(analysis_system, outside)
+    instrumentation.count("check.outside.size", len(outside))
+    with instrumentation.span("check.deadlock_search"):
+        deadlocks = terminal_states_within(analysis_system, outside)
     if deadlocks:
         stuck = min(deadlocks, key=repr)
         return StabilizationResult(
@@ -332,7 +397,8 @@ def check_stabilization(
             None,
         )
     if fairness == "strong":
-        trap = find_fair_trap(analysis_system, outside)
+        with instrumentation.span("check.cycle_search"):
+            trap = find_fair_trap(analysis_system, outside)
         if trap is not None:
             cycle = find_cycle_within(analysis_system, trap)
             return StabilizationResult(
@@ -352,7 +418,8 @@ def check_stabilization(
                 None,
             )
     else:
-        divergent = states_on_cycles(analysis_system, outside)
+        with instrumentation.span("check.cycle_search"):
+            divergent = states_on_cycles(analysis_system, outside)
         if divergent:
             cycle = find_cycle_within(analysis_system, outside)
             return StabilizationResult(
@@ -375,42 +442,49 @@ def check_stabilization(
     # every step is image-invisible would give an infinite concrete
     # computation whose abstract image is finite and non-maximal.
     if stutter_insensitive and alpha is not None:
-        invisible = [
-            (source, target)
-            for source in core
-            for target in analysis_system.successors(source)
-            if target in core and alpha(source) == alpha(target)
-        ]
-        if invisible:
-            invisible_system = System(
-                concrete.schema, invisible, (), name=f"{concrete.name}|invisible"
-            )
-            if states_on_cycles(invisible_system, core):
-                cycle = find_cycle_within(invisible_system, core)
-                return StabilizationResult(
-                    CheckResult(
-                        False,
-                        name,
-                        Witness(
-                            WitnessKind.DIVERGENT_CYCLE,
-                            "cycle of abstract-invisible steps inside the core",
-                            cycle or (),
-                            concrete.schema,
-                        ),
-                    ),
-                    legitimate,
-                    core,
-                    None,
+        with instrumentation.span("check.invisible_cycles"):
+            invisible = [
+                (source, target)
+                for source in core
+                for target in analysis_system.successors(source)
+                if target in core and alpha(source) == alpha(target)
+            ]
+            invisible_cycle: Optional[Tuple[State, ...]] = None
+            if invisible:
+                invisible_system = System(
+                    concrete.schema, invisible, (), name=f"{concrete.name}|invisible"
                 )
+                if states_on_cycles(invisible_system, core):
+                    invisible_cycle = (
+                        find_cycle_within(invisible_system, core) or ()
+                    )
+        if invisible_cycle is not None:
+            return StabilizationResult(
+                CheckResult(
+                    False,
+                    name,
+                    Witness(
+                        WitnessKind.DIVERGENT_CYCLE,
+                        "cycle of abstract-invisible steps inside the core",
+                        invisible_cycle,
+                        concrete.schema,
+                    ),
+                ),
+                legitimate,
+                core,
+                None,
+            )
 
-    if compute_steps and not has_cycle_within(analysis_system, outside):
-        steps: Optional[int] = worst_case_convergence_steps(
-            concrete, core, fairness=fairness
-        )
-    else:
-        # Under strong fairness the sup over fair runs may be unbounded
-        # when cycles remain outside the core; report no finite metric.
-        steps = None
+    with instrumentation.span("check.worst_case"):
+        if compute_steps and not has_cycle_within(analysis_system, outside):
+            steps: Optional[int] = worst_case_convergence_steps(
+                concrete, core, fairness=fairness
+            )
+        else:
+            # Under strong fairness the sup over fair runs may be
+            # unbounded when cycles remain outside the core; report no
+            # finite metric.
+            steps = None
     return StabilizationResult(
         CheckResult(
             True,
@@ -430,6 +504,7 @@ def check_self_stabilization(
     system: System,
     fairness: str = "none",
     compute_steps: bool = True,
+    instrumentation: Instrumentation = NULL_INSTRUMENTATION,
 ) -> StabilizationResult:
     """Decide whether a system is self-stabilizing (stabilizing to itself).
 
@@ -443,6 +518,7 @@ def check_self_stabilization(
         alpha=None,
         fairness=fairness,
         compute_steps=compute_steps,
+        instrumentation=instrumentation,
     )
 
 

@@ -45,6 +45,7 @@ from typing import List, Optional, Set, Tuple
 from ..core.abstraction import AbstractionFunction, identity_abstraction
 from ..core.state import State
 from ..core.system import System, Transition
+from ..obs import NULL_INSTRUMENTATION, Instrumentation
 from .graph import shortest_path
 from .witnesses import CheckResult, Witness, WitnessKind
 
@@ -76,6 +77,7 @@ def check_init_refinement(
     alpha: Optional[AbstractionFunction] = None,
     stutter_insensitive: bool = False,
     open_systems: bool = False,
+    instrumentation: Instrumentation = NULL_INSTRUMENTATION,
 ) -> CheckResult:
     """Decide ``[C subseteq A]_init``.
 
@@ -98,6 +100,8 @@ def check_init_refinement(
             maximal, so the terminal-state clauses are skipped.  This
             is the right reading for the paper's wrappers, whose
             standalone automata are disabled almost everywhere.
+        instrumentation: observability sink (reachable-state and
+            transition counts); the null default is free.
     """
     mapping = _resolve_alpha(concrete, abstract, alpha)
     name = f"[{concrete.name} (= {abstract.name}]_init"
@@ -114,7 +118,9 @@ def check_init_refinement(
                     concrete.schema,
                 ),
             )
-    reachable = concrete.reachable()
+    with instrumentation.span("refine.init_clause"):
+        reachable = concrete.reachable()
+    instrumentation.count("refine.reachable.size", len(reachable))
     checked = 0
     for state in reachable:
         image = mapping(state)
@@ -150,6 +156,7 @@ def check_init_refinement(
                         concrete.schema,
                     ),
                 )
+    instrumentation.count("refine.init.transitions.checked", checked)
     return CheckResult(
         True,
         name,
@@ -163,6 +170,7 @@ def check_everywhere_refinement(
     alpha: Optional[AbstractionFunction] = None,
     stutter_insensitive: bool = False,
     open_systems: bool = False,
+    instrumentation: Instrumentation = NULL_INSTRUMENTATION,
 ) -> CheckResult:
     """Decide ``[C subseteq A]`` — every computation of ``C`` is one of ``A``.
 
@@ -209,6 +217,7 @@ def check_everywhere_refinement(
                         concrete.schema,
                     ),
                 )
+    instrumentation.count("refine.everywhere.transitions.checked", checked)
     return CheckResult(True, name, detail=f"{checked} transitions checked")
 
 
@@ -245,6 +254,7 @@ def check_convergence_refinement(
     alpha: Optional[AbstractionFunction] = None,
     stutter_insensitive: bool = False,
     open_systems: bool = False,
+    instrumentation: Instrumentation = NULL_INSTRUMENTATION,
 ) -> CheckResult:
     """Decide ``[C <= A]`` — convergence refinement (paper, Section 2).
 
@@ -260,11 +270,42 @@ def check_convergence_refinement(
             (needed for the paper's ``C3``; see Section 6).
         open_systems: treat both operands as open systems (wrappers):
             skip the maximality/terminal clauses.
+        instrumentation: observability sink (per-clause timings,
+            exact/compression/stutter counts, the verdict); the null
+            default is free.
 
     Returns:
         :class:`CheckResult` whose detail reports how many transitions
         were exact, compressing, and stuttering.
     """
+    with instrumentation.span("refine.total"):
+        result = _decide_convergence_refinement(
+            concrete,
+            abstract,
+            alpha,
+            stutter_insensitive,
+            open_systems,
+            instrumentation,
+        )
+    witness = result.witness
+    instrumentation.event(
+        "refine.verdict",
+        check=result.check,
+        holds=result.holds,
+        witness=witness.kind.name if witness is not None else None,
+    )
+    return result
+
+
+def _decide_convergence_refinement(
+    concrete: System,
+    abstract: System,
+    alpha: Optional[AbstractionFunction],
+    stutter_insensitive: bool,
+    open_systems: bool,
+    instrumentation: Instrumentation,
+) -> CheckResult:
+    """The clauses of :func:`check_convergence_refinement`, instrumented."""
     mapping = _resolve_alpha(concrete, abstract, alpha)
     name = f"[{concrete.name} <= {abstract.name}]"
 
@@ -274,6 +315,7 @@ def check_convergence_refinement(
         mapping,
         stutter_insensitive=stutter_insensitive,
         open_systems=open_systems,
+        instrumentation=instrumentation,
     )
     if not init_part.holds:
         return CheckResult(False, name, init_part.witness, detail="init-refinement clause failed")
@@ -281,59 +323,64 @@ def check_convergence_refinement(
     exact = 0
     stutters: List[Transition] = []
     compressions: List[Transition] = []
-    for source, target in concrete.transitions():
-        image_source, image_target = mapping(source), mapping(target)
-        if image_source == image_target:
-            if stutter_insensitive:
-                stutters.append((source, target))
-                continue
+    with instrumentation.span("refine.transition_scan"):
+        for source, target in concrete.transitions():
+            image_source, image_target = mapping(source), mapping(target)
+            if image_source == image_target:
+                if stutter_insensitive:
+                    stutters.append((source, target))
+                    continue
+                if abstract.has_transition(image_source, image_target):
+                    exact += 1
+                    continue
+                return CheckResult(
+                    False,
+                    name,
+                    Witness(
+                        WitnessKind.NO_ABSTRACT_PATH,
+                        "stuttering transition but the abstract has no self-loop at "
+                        f"{image_source!r} (rerun with stutter_insensitive=True to "
+                        "compare modulo stuttering)",
+                        (source, target),
+                        concrete.schema,
+                    ),
+                )
             if abstract.has_transition(image_source, image_target):
                 exact += 1
                 continue
-            return CheckResult(
-                False,
-                name,
-                Witness(
-                    WitnessKind.NO_ABSTRACT_PATH,
-                    "stuttering transition but the abstract has no self-loop at "
-                    f"{image_source!r} (rerun with stutter_insensitive=True to "
-                    "compare modulo stuttering)",
-                    (source, target),
-                    concrete.schema,
-                ),
-            )
-        if abstract.has_transition(image_source, image_target):
-            exact += 1
-            continue
-        if shortest_path(abstract, image_source, image_target, min_length=2) is None:
-            return CheckResult(
-                False,
-                name,
-                Witness(
-                    WitnessKind.NO_ABSTRACT_PATH,
-                    f"no path of {abstract.name} realizes the image "
-                    f"{image_source!r} -> {image_target!r}",
-                    (source, target),
-                    concrete.schema,
-                ),
-            )
-        compressions.append((source, target))
+            if shortest_path(abstract, image_source, image_target, min_length=2) is None:
+                return CheckResult(
+                    False,
+                    name,
+                    Witness(
+                        WitnessKind.NO_ABSTRACT_PATH,
+                        f"no path of {abstract.name} realizes the image "
+                        f"{image_source!r} -> {image_target!r}",
+                        (source, target),
+                        concrete.schema,
+                    ),
+                )
+            compressions.append((source, target))
+    instrumentation.count("refine.transitions.exact", exact)
+    instrumentation.count("refine.transitions.compressing", len(compressions))
+    instrumentation.count("refine.transitions.stuttering", len(stutters))
 
     # Clause 3: finitely many omissions — no compression on a cycle of C.
-    for source, target in compressions:
-        if source in concrete.reachable_from([target]):
-            return CheckResult(
-                False,
-                name,
-                Witness(
-                    WitnessKind.COMPRESSION_ON_CYCLE,
-                    "compressing transition lies on a cycle of the concrete "
-                    "system: a computation around the cycle omits abstract "
-                    "states infinitely often",
-                    (source, target),
-                    concrete.schema,
-                ),
-            )
+    with instrumentation.span("refine.cycle_clause"):
+        for source, target in compressions:
+            if source in concrete.reachable_from([target]):
+                return CheckResult(
+                    False,
+                    name,
+                    Witness(
+                        WitnessKind.COMPRESSION_ON_CYCLE,
+                        "compressing transition lies on a cycle of the concrete "
+                        "system: a computation around the cycle omits abstract "
+                        "states infinitely often",
+                        (source, target),
+                        concrete.schema,
+                    ),
+                )
 
     # Invisible divergence: a cycle made purely of stutters would let C
     # loop forever while the matched abstract computation cannot move.
@@ -449,6 +496,7 @@ def check_everywhere_eventually_refinement(
     concrete: System,
     abstract: System,
     alpha: Optional[AbstractionFunction] = None,
+    instrumentation: Instrumentation = NULL_INSTRUMENTATION,
 ) -> CheckResult:
     """Decide the related-work relation of the paper's Section 7.
 
@@ -476,7 +524,8 @@ def check_everywhere_eventually_refinement(
         abstract.schema.states(), name=f"{abstract.name}|all-initial"
     )
     suffix_part = check_stabilization(
-        concrete, liberal, mapping, compute_steps=False
+        concrete, liberal, mapping, compute_steps=False,
+        instrumentation=instrumentation,
     )
     return CheckResult(
         suffix_part.result.holds,

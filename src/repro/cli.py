@@ -6,6 +6,7 @@ Subcommands::
     python -m repro refines CONCRETE ABSTRACT [--relation R] ...
     python -m repro ring SYSTEM -n N [--fairness MODE]
     python -m repro simulate FILE [--steps N] [--seed S] ...
+    python -m repro report RUN.jsonl [--events]
     python -m repro render FILE
     python -m repro synthesize FILE [--spec FILE]
 
@@ -13,8 +14,16 @@ Subcommands::
 a second program over the same variables); ``refines`` decides one of
 the paper's refinement relations between two programs; ``ring`` runs a
 named token-ring verification from the reproduction; ``simulate`` runs
-the random-daemon simulator and prints the trace tail; ``render``
-pretty-prints a parsed program (normalizing whitespace and sugar).
+the random-daemon simulator and prints the trace tail; ``report``
+summarizes an observability file written with ``--obs-out`` /
+``--trace-out``; ``render`` pretty-prints a parsed program
+(normalizing whitespace and sugar).
+
+The ``check``, ``refines``, ``ring``, and ``simulate`` subcommands
+accept ``--obs-out PATH``: the run is then instrumented and its
+structured record (counters, phase timings, events) is written to
+``PATH`` as JSON Lines, readable by ``repro report`` or any JSONL
+consumer.
 
 All commands exit with status 0 when the checked property holds (or
 the run completes) and 1 otherwise, printing the witness, so the CLI
@@ -24,7 +33,7 @@ is usable from shell scripts and CI.
 from __future__ import annotations
 
 import argparse
-import random
+import os
 import sys
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -38,6 +47,8 @@ from .checker import (
 )
 from .gcl.parser import parse_program
 from .gcl.pretty import render_program
+from .obs import NULL_INSTRUMENTATION, Recorder, write_jsonl
+from .obs.report import summarize_text
 from .simulation.runner import simulate
 
 __all__ = ["main", "build_parser"]
@@ -90,6 +101,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="compare behaviours modulo stuttering",
     )
+    _add_obs_out(check)
 
     refines = commands.add_parser(
         "refines", help="check a refinement relation between two programs"
@@ -109,6 +121,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="treat both programs as open systems (wrappers): skip the "
         "maximality clauses",
     )
+    _add_obs_out(refines)
 
     ring = commands.add_parser(
         "ring", help="verify a named token-ring system from the paper"
@@ -121,13 +134,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--fairness", choices=("none", "weak", "strong"), default=None,
         help="daemon fairness (default: the weakest known-sufficient mode)",
     )
+    _add_obs_out(ring)
 
     sim = commands.add_parser("simulate", help="simulate a GCL program")
     sim.add_argument("program", help="path to the GCL program file")
     sim.add_argument("--steps", type=int, default=100)
-    sim.add_argument("--seed", type=int, default=0)
+    sim.add_argument(
+        "--seed", type=int, default=0,
+        help="RNG seed for the random daemon (default 0; recorded in "
+        "the run metadata)",
+    )
     sim.add_argument(
         "--tail", type=int, default=10, help="how many final events to print"
+    )
+    sim.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="archive the full trace as JSON Lines (replayable via "
+        "'repro report' and Trace.from_jsonl)",
+    )
+    _add_obs_out(sim)
+
+    report = commands.add_parser(
+        "report",
+        help="summarize an observability JSONL file (run records "
+        "written with --obs-out, traces written with --trace-out)",
+    )
+    report.add_argument("run", help="path to the JSONL file")
+    report.add_argument(
+        "--events",
+        action="store_true",
+        help="list every event instead of aggregating by name",
     )
 
     render = commands.add_parser("render", help="parse and pretty-print a program")
@@ -149,37 +186,80 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_obs_out(subparser: argparse.ArgumentParser) -> None:
+    """Attach the shared ``--obs-out`` observability flag."""
+    subparser.add_argument(
+        "--obs-out",
+        metavar="PATH",
+        help="write the structured run record (counters, phase timings, "
+        "events) to PATH as JSON Lines; inspect with 'repro report'",
+    )
+
+
+def _recorder_for(args, kind: str):
+    """A :class:`Recorder` when ``--obs-out`` was given, else the null object.
+
+    Returns ``(instrumentation, recorder_or_None)``.
+    """
+    if getattr(args, "obs_out", None):
+        recorder = Recorder(kind=kind)
+        return recorder, recorder
+    return NULL_INSTRUMENTATION, None
+
+
+def _flush_recorder(args, recorder: Optional[Recorder]) -> None:
+    """Persist the run record when one was collected."""
+    if recorder is not None:
+        write_jsonl([recorder.record()], args.obs_out)
+        print(f"run record written to {args.obs_out}", file=sys.stderr)
+
+
 def _load(path: str):
     with open(path, "r", encoding="utf-8") as handle:
         return parse_program(handle.read())
 
 
 def _cmd_check(args) -> int:
+    instrumentation, recorder = _recorder_for(args, "check")
     system = _load(args.program).compile()
+    instrumentation.annotate(
+        program=args.program, fairness=args.fairness,
+        stutter_insensitive=args.stutter_insensitive,
+    )
     if args.spec:
         spec = _load(args.spec).compile()
+        instrumentation.annotate(spec=args.spec)
         result = check_stabilization(
             system,
             spec,
             stutter_insensitive=args.stutter_insensitive,
             fairness=args.fairness,
+            instrumentation=instrumentation,
         )
     else:
-        result = check_self_stabilization(system, fairness=args.fairness)
+        result = check_self_stabilization(
+            system, fairness=args.fairness, instrumentation=instrumentation
+        )
     print(result.format())
+    _flush_recorder(args, recorder)
     return 0 if result.holds else 1
 
 
 def _cmd_refines(args) -> int:
+    instrumentation, recorder = _recorder_for(args, "refines")
     concrete = _load(args.concrete).compile()
     abstract = _load(args.abstract).compile()
+    instrumentation.annotate(
+        concrete=args.concrete, abstract=args.abstract, relation=args.relation
+    )
     checkfn = _RELATIONS[args.relation]
-    kwargs = {}
+    kwargs = {"instrumentation": instrumentation}
     if args.relation != "everywhere-eventually":
         kwargs["stutter_insensitive"] = args.stutter_insensitive
         kwargs["open_systems"] = args.open_systems
     result = checkfn(concrete, abstract, **kwargs)
     print(result.format())
+    _flush_recorder(args, recorder)
     return 0 if result.holds else 1
 
 
@@ -237,17 +317,24 @@ def _cmd_ring(args) -> int:
         spec = spec_builder(n).compile()
         alpha = alpha_builder(n) if alpha_builder else None
         fairness = args.fairness or default_fairness
+    instrumentation, recorder = _recorder_for(args, "ring")
+    instrumentation.annotate(system=args.system, n=n, fairness=fairness)
     result = check_stabilization(
-        system, spec, alpha, stutter_insensitive=stutter, fairness=fairness
+        system, spec, alpha, stutter_insensitive=stutter, fairness=fairness,
+        instrumentation=instrumentation,
     )
     print(f"fairness assumption: {fairness}")
     print(result.format())
+    _flush_recorder(args, recorder)
     return 0 if result.holds else 1
 
 
 def _cmd_simulate(args) -> int:
+    instrumentation, recorder = _recorder_for(args, "simulate")
     program = _load(args.program)
-    trace = simulate(program, args.steps, rng=random.Random(args.seed))
+    trace = simulate(
+        program, args.steps, seed=args.seed, instrumentation=instrumentation
+    )
     schema = program.schema()
     print(f"initial: {schema.format_state(program.state_of(trace.initial))}")
     events = trace.events
@@ -258,6 +345,18 @@ def _cmd_simulate(args) -> int:
         state = program.state_of(event.env)
         print(f"[{event.kind}] {event.label}: {schema.format_state(state)}")
     print(f"total: {trace.step_count()} steps, {trace.fault_count()} faults")
+    if args.trace_out:
+        with open(args.trace_out, "w", encoding="utf-8") as handle:
+            handle.write(trace.to_jsonl())
+        print(f"trace archived to {args.trace_out}", file=sys.stderr)
+    _flush_recorder(args, recorder)
+    return 0
+
+
+def _cmd_report(args) -> int:
+    with open(args.run, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    print(summarize_text(text, events=args.events))
     return 0
 
 
@@ -289,6 +388,7 @@ _DISPATCH = {
     "refines": _cmd_refines,
     "ring": _cmd_ring,
     "simulate": _cmd_simulate,
+    "report": _cmd_report,
     "render": _cmd_render,
     "synthesize": _cmd_synthesize,
 }
@@ -300,6 +400,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return _DISPATCH[args.command](args)
+    except BrokenPipeError:
+        # stdout was closed early (e.g. `repro report ... | head`);
+        # suppress the interpreter's close-time flush error too.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

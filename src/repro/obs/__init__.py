@@ -1,0 +1,51 @@
+"""Structured observability for checker, simulator, and benchmark runs.
+
+The package provides three layers:
+
+* :mod:`repro.obs.instrument` — the :class:`Instrumentation` protocol
+  the engines report through, the zero-overhead
+  :class:`NullInstrumentation` default, and the :class:`Recorder`
+  that captures timed spans, monotonic counters, and discrete events;
+* :mod:`repro.obs.record` — the :class:`RunRecord` artifact and its
+  JSONL sink/loader, so every run can be archived and inspected later;
+* :mod:`repro.obs.report` — the human-readable summary renderer used
+  by the ``repro report`` CLI subcommand.
+
+Instrumented entry points (``check_stabilization``, the refinement
+checks, ``simulate``/``run_until``) take ``instrumentation=`` and
+default to :data:`NULL_INSTRUMENTATION`, so uninstrumented callers pay
+one attribute call per reported event and nothing else.
+"""
+
+from .instrument import (
+    NULL_INSTRUMENTATION,
+    Instrumentation,
+    NullInstrumentation,
+    Recorder,
+)
+from .record import (
+    EventRecord,
+    RunRecord,
+    RunRecordError,
+    SpanStats,
+    load_jsonl,
+    loads_jsonl,
+    write_jsonl,
+)
+from .report import summarize_record, summarize_text
+
+__all__ = [
+    "Instrumentation",
+    "NullInstrumentation",
+    "NULL_INSTRUMENTATION",
+    "Recorder",
+    "EventRecord",
+    "RunRecord",
+    "RunRecordError",
+    "SpanStats",
+    "load_jsonl",
+    "loads_jsonl",
+    "write_jsonl",
+    "summarize_record",
+    "summarize_text",
+]

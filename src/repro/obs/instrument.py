@@ -1,0 +1,182 @@
+"""Instrumentation protocol, null object, and the recording implementation.
+
+The hot paths of the library (the stabilization fixpoint, the
+refinement transition scan, the simulator's step loop) accept an
+:class:`Instrumentation` and report what they do through four verbs:
+
+* ``count(name, delta)`` — bump a monotonic counter;
+* ``event(name, **fields)`` — record a discrete occurrence;
+* ``span(name)`` — a context manager timing one phase;
+* ``annotate(**fields)`` — attach run-level metadata.
+
+Two implementations exist.  :class:`NullInstrumentation` is the
+default everywhere: every verb is a no-op, ``span`` hands back one
+shared, reusable context manager, and the instance carries no state at
+all (``__slots__ = ()``), so an uninstrumented caller pays exactly one
+attribute lookup and one call per reported event — no allocation, no
+branching in the engine code.  :class:`Recorder` captures everything
+into an in-memory :class:`~repro.obs.record.RunRecord` that can be
+persisted as JSONL and rendered by ``repro report``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional
+
+from .record import EventRecord, RunRecord, SpanStats
+
+__all__ = [
+    "Instrumentation",
+    "NullInstrumentation",
+    "NULL_INSTRUMENTATION",
+    "Recorder",
+]
+
+
+class _NullSpan:
+    """The shared no-op context manager returned by the null object."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Instrumentation:
+    """The protocol instrumented code talks to.
+
+    The base class *is* the null behaviour: subclasses override the
+    verbs they care about.  Instrumented code must treat the verbs as
+    fire-and-forget — none of them returns a value (``span`` returns a
+    context manager) and none may raise.
+    """
+
+    __slots__ = ()
+
+    def count(self, name: str, delta: int = 1) -> None:
+        """Add ``delta`` to the monotonic counter ``name``."""
+
+    def event(self, name: str, /, **fields: object) -> None:
+        """Record a discrete event with arbitrary JSON-safe fields."""
+
+    def span(self, name: str):
+        """A context manager timing the phase ``name``."""
+        return _NULL_SPAN
+
+    def annotate(self, **fields: object) -> None:
+        """Merge run-level metadata (program name, seed, flags, ...)."""
+
+
+class NullInstrumentation(Instrumentation):
+    """Explicit zero-overhead implementation (identical to the base).
+
+    Kept as a distinct class so call sites can default to
+    ``NULL_INSTRUMENTATION`` and tests can assert the null path is
+    allocation-free: the instance has no ``__dict__``, and ``span``
+    always returns the same shared object.
+    """
+
+    __slots__ = ()
+
+
+#: Module-level singleton used as the default argument everywhere.
+NULL_INSTRUMENTATION = NullInstrumentation()
+
+
+class _RecorderSpan:
+    """Context manager that reports its duration back to the recorder."""
+
+    __slots__ = ("_recorder", "_name", "_start")
+
+    def __init__(self, recorder: "Recorder", name: str):
+        self._recorder = recorder
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_RecorderSpan":
+        self._start = self._recorder._clock()
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        self._recorder._finish_span(
+            self._name, self._recorder._clock() - self._start
+        )
+        return False
+
+
+class Recorder(Instrumentation):
+    """Instrumentation that captures a structured run record in memory.
+
+    Spans are aggregated per name (total seconds + number of entries),
+    counters are summed, events are kept in order with a timestamp
+    relative to the recorder's creation.
+
+    Args:
+        kind: what the run is (``"check"``, ``"simulate"``, ...);
+            stored on the resulting :class:`RunRecord`.
+        clock: monotonic time source in seconds (injectable for
+            deterministic tests; default ``time.perf_counter``).
+    """
+
+    def __init__(
+        self,
+        kind: str = "run",
+        clock: Callable[[], float] = time.perf_counter,
+    ):
+        self.kind = kind
+        self._clock = clock
+        self._t0 = clock()
+        self._meta: Dict[str, object] = {}
+        self._counters: Dict[str, int] = {}
+        self._spans: Dict[str, SpanStats] = {}
+        self._events: List[EventRecord] = []
+
+    def count(self, name: str, delta: int = 1) -> None:
+        self._counters[name] = self._counters.get(name, 0) + delta
+
+    def event(self, name: str, /, **fields: object) -> None:
+        self._events.append(
+            EventRecord(name, self._clock() - self._t0, dict(fields))
+        )
+
+    def span(self, name: str) -> _RecorderSpan:
+        return _RecorderSpan(self, name)
+
+    def annotate(self, **fields: object) -> None:
+        self._meta.update(fields)
+
+    def _finish_span(self, name: str, seconds: float) -> None:
+        stats = self._spans.get(name)
+        if stats is None:
+            self._spans[name] = SpanStats(seconds, 1)
+        else:
+            self._spans[name] = SpanStats(
+                stats.seconds + seconds, stats.calls + 1
+            )
+
+    @property
+    def counters(self) -> Dict[str, int]:
+        """Current counter values (live view as a copy)."""
+        return dict(self._counters)
+
+    def counter(self, name: str, default: int = 0) -> int:
+        """One counter's current value."""
+        return self._counters.get(name, default)
+
+    def record(self) -> RunRecord:
+        """Snapshot everything captured so far as a :class:`RunRecord`."""
+        return RunRecord(
+            kind=self.kind,
+            meta=dict(self._meta),
+            counters=dict(self._counters),
+            spans=dict(self._spans),
+            events=list(self._events),
+            wall_seconds=self._clock() - self._t0,
+        )

@@ -1,0 +1,227 @@
+"""Run records and their JSONL persistence.
+
+A :class:`RunRecord` is the durable artifact of an instrumented run:
+metadata, monotonic counters, aggregated span timings, and the ordered
+event log.  Records serialize to JSON Lines — one self-describing
+object per line, distinguished by a ``"t"`` tag::
+
+    {"t": "run", "kind": "check", "wall_seconds": 0.012, "meta": {...}}
+    {"t": "counter", "name": "check.states.enumerated", "value": 64}
+    {"t": "span", "name": "check.core", "seconds": 0.008, "calls": 1}
+    {"t": "event", "name": "check.fixpoint.iteration", "at": 0.004,
+     "fields": {"index": 1, "evicted": 3}}
+
+A ``"run"`` line opens a record; the counter/span/event lines that
+follow attach to it, so one file can archive several runs back to
+back.  The same tagged-line convention is used by
+:meth:`repro.simulation.trace.Trace.to_jsonl`, which lets ``repro
+report`` summarize run records and archived traces from the same file
+format.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Union
+
+from ..core.errors import ReproError
+
+__all__ = [
+    "SpanStats",
+    "EventRecord",
+    "RunRecord",
+    "RunRecordError",
+    "write_jsonl",
+    "load_jsonl",
+    "loads_jsonl",
+]
+
+
+class RunRecordError(ReproError):
+    """A run-record file or line could not be parsed."""
+
+
+@dataclass(frozen=True)
+class SpanStats:
+    """Aggregated timing of one named phase.
+
+    Attributes:
+        seconds: total wall time spent inside the span.
+        calls: how many times the span was entered.
+    """
+
+    seconds: float
+    calls: int
+
+
+@dataclass(frozen=True)
+class EventRecord:
+    """One discrete event.
+
+    Attributes:
+        name: event name (dotted, e.g. ``"sim.progress"``).
+        at: seconds since the recorder was created.
+        fields: JSON-safe payload.
+    """
+
+    name: str
+    at: float
+    fields: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class RunRecord:
+    """Everything one instrumented run reported.
+
+    Attributes:
+        kind: the run flavour (``"check"``, ``"refines"``,
+            ``"simulate"``, ``"ring"``, ...).
+        meta: run-level annotations (program name, seed, flags).
+        counters: monotonic counter totals.
+        spans: per-phase aggregated timings.
+        events: the ordered event log.
+        wall_seconds: total wall time of the run.
+    """
+
+    kind: str
+    meta: Dict[str, object] = field(default_factory=dict)
+    counters: Dict[str, int] = field(default_factory=dict)
+    spans: Dict[str, SpanStats] = field(default_factory=dict)
+    events: List[EventRecord] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        """A plain-JSON view (used by the benchmark metrics sink)."""
+        return {
+            "kind": self.kind,
+            "wall_seconds": self.wall_seconds,
+            "meta": dict(self.meta),
+            "counters": dict(self.counters),
+            "spans": {
+                name: {"seconds": stats.seconds, "calls": stats.calls}
+                for name, stats in self.spans.items()
+            },
+            "events": [
+                {"name": event.name, "at": event.at, "fields": dict(event.fields)}
+                for event in self.events
+            ],
+        }
+
+    def to_jsonl_lines(self) -> List[str]:
+        """Serialize as the tagged JSONL lines described in the module doc."""
+        lines = [
+            json.dumps(
+                {
+                    "t": "run",
+                    "kind": self.kind,
+                    "wall_seconds": self.wall_seconds,
+                    "meta": self.meta,
+                },
+                sort_keys=True,
+            )
+        ]
+        for name in sorted(self.counters):
+            lines.append(
+                json.dumps(
+                    {"t": "counter", "name": name, "value": self.counters[name]},
+                    sort_keys=True,
+                )
+            )
+        for name in sorted(self.spans):
+            stats = self.spans[name]
+            lines.append(
+                json.dumps(
+                    {
+                        "t": "span",
+                        "name": name,
+                        "seconds": stats.seconds,
+                        "calls": stats.calls,
+                    },
+                    sort_keys=True,
+                )
+            )
+        for event in self.events:
+            lines.append(
+                json.dumps(
+                    {
+                        "t": "event",
+                        "name": event.name,
+                        "at": event.at,
+                        "fields": event.fields,
+                    },
+                    sort_keys=True,
+                )
+            )
+        return lines
+
+
+def write_jsonl(
+    records: Iterable[RunRecord], path: Union[str, Path]
+) -> None:
+    """Persist run records to ``path``, one tagged JSON object per line."""
+    lines: List[str] = []
+    for record in records:
+        lines.extend(record.to_jsonl_lines())
+    Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def loads_jsonl(text: str) -> List[RunRecord]:
+    """Parse run records out of JSONL text.
+
+    Lines with unknown tags (e.g. archived trace lines) are skipped so
+    mixed files remain loadable; counter/span/event lines appearing
+    before any ``"run"`` line are an error.
+
+    Raises:
+        RunRecordError: on malformed JSON or an orphaned record line.
+    """
+    records: List[RunRecord] = []
+    current: Union[RunRecord, None] = None
+    for index, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise RunRecordError(f"line {index}: not valid JSON ({exc})")
+        if not isinstance(payload, dict):
+            raise RunRecordError(f"line {index}: expected a JSON object")
+        tag = payload.get("t")
+        if tag == "run":
+            current = RunRecord(
+                kind=str(payload.get("kind", "run")),
+                meta=dict(payload.get("meta", {})),
+                wall_seconds=float(payload.get("wall_seconds", 0.0)),
+            )
+            records.append(current)
+            continue
+        if tag in ("counter", "span", "event"):
+            if current is None:
+                raise RunRecordError(
+                    f"line {index}: {tag!r} line before any 'run' line"
+                )
+            if tag == "counter":
+                current.counters[str(payload["name"])] = int(payload["value"])
+            elif tag == "span":
+                current.spans[str(payload["name"])] = SpanStats(
+                    float(payload["seconds"]), int(payload["calls"])
+                )
+            else:
+                current.events.append(
+                    EventRecord(
+                        str(payload["name"]),
+                        float(payload.get("at", 0.0)),
+                        dict(payload.get("fields", {})),
+                    )
+                )
+            continue
+        # Unknown tag (trace archive lines, future extensions): skip.
+    return records
+
+
+def load_jsonl(path: Union[str, Path]) -> List[RunRecord]:
+    """Load run records from a JSONL file (see :func:`loads_jsonl`)."""
+    return loads_jsonl(Path(path).read_text(encoding="utf-8"))

@@ -1,0 +1,109 @@
+"""Human-readable rendering of run records and archived traces.
+
+This is the presentation layer behind ``repro report``: given the
+JSONL text of an observability file, it summarizes every run record
+(metadata, counters, phase timings, events) and every archived
+simulator trace found in it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .record import RunRecord, loads_jsonl
+
+__all__ = ["summarize_record", "summarize_text"]
+
+
+def _format_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.3f} s"
+    if seconds >= 0.001:
+        return f"{seconds * 1e3:.3f} ms"
+    return f"{seconds * 1e6:.1f} us"
+
+
+def summarize_record(record: RunRecord, events: bool = False) -> str:
+    """Render one :class:`RunRecord` as an indented text block.
+
+    Args:
+        record: the record to render.
+        events: show every event individually instead of aggregating
+            the event log by name.
+    """
+    lines = [f"run: {record.kind} ({_format_seconds(record.wall_seconds)} wall)"]
+    if record.meta:
+        rendered = ", ".join(
+            f"{key}={record.meta[key]!r}" for key in sorted(record.meta)
+        )
+        lines.append(f"  meta: {rendered}")
+    if record.counters:
+        lines.append("  counters:")
+        width = max(len(name) for name in record.counters)
+        for name in sorted(record.counters):
+            lines.append(f"    {name.ljust(width)}  {record.counters[name]}")
+    if record.spans:
+        lines.append("  phases:")
+        width = max(len(name) for name in record.spans)
+        for name in sorted(record.spans):
+            stats = record.spans[name]
+            suffix = f"  ({stats.calls} calls)" if stats.calls != 1 else ""
+            lines.append(
+                f"    {name.ljust(width)}  "
+                f"{_format_seconds(stats.seconds)}{suffix}"
+            )
+    if record.events:
+        if events:
+            lines.append("  events:")
+            for event in record.events:
+                rendered = ", ".join(
+                    f"{key}={event.fields[key]!r}" for key in sorted(event.fields)
+                )
+                lines.append(
+                    f"    [{_format_seconds(event.at)}] {event.name}"
+                    + (f": {rendered}" if rendered else "")
+                )
+        else:
+            tally: Dict[str, int] = {}
+            for event in record.events:
+                tally[event.name] = tally.get(event.name, 0) + 1
+            rendered = ", ".join(
+                f"{name} x{tally[name]}" for name in sorted(tally)
+            )
+            lines.append(f"  events: {len(record.events)} ({rendered})")
+    return "\n".join(lines)
+
+
+def _summarize_traces(text: str) -> List[str]:
+    """Summary blocks for any archived traces found in the text."""
+    # Imported lazily: repro.simulation.runner imports repro.obs, so a
+    # module-level import here would be circular during package init.
+    from ..simulation.trace import Trace
+
+    blocks: List[str] = []
+    for trace in Trace.all_from_jsonl(text):
+        kinds: Dict[str, int] = {}
+        for event in trace.events:
+            kinds[event.kind] = kinds.get(event.kind, 0) + 1
+        breakdown = ", ".join(f"{kinds[kind]} {kind}" for kind in sorted(kinds))
+        blocks.append(
+            f"trace: {len(trace)} events"
+            + (f" ({breakdown})" if breakdown else "")
+            + f"\n  steps: {trace.step_count()}  faults: {trace.fault_count()}"
+            + f"\n  variables: {len(trace.initial)}"
+        )
+    return blocks
+
+
+def summarize_text(text: str, events: bool = False) -> str:
+    """Summarize every run record and archived trace in JSONL text.
+
+    Returns an explanatory placeholder when the file holds neither.
+    """
+    blocks = [
+        summarize_record(record, events=events) for record in loads_jsonl(text)
+    ]
+    blocks.extend(_summarize_traces(text))
+    if not blocks:
+        return "no run records or traces found"
+    return "\n\n".join(blocks)

@@ -6,15 +6,21 @@ enumeration, so rings of hundreds of processes are simulated in
 linear-per-step time.  This is the substrate for every scale
 experiment in the benchmark harness (the model checker covers the
 small instances exhaustively; the simulator extends the curves).
+
+Both entry points take ``instrumentation=`` (default: the free null
+object) and report steps fired, stutters, faults injected, wall time
+per 1000 steps, and the convergence step when a stop predicate fires.
 """
 
 from __future__ import annotations
 
 import random
+import time
 from typing import Callable, Dict, Mapping, Optional
 
 from ..core.errors import SimulationError
 from ..gcl.program import Program
+from ..obs import NULL_INSTRUMENTATION, Instrumentation
 from .faults import FaultSchedule
 from .scheduler import RandomScheduler, Scheduler
 from .trace import Trace
@@ -22,6 +28,9 @@ from .trace import Trace
 __all__ = ["simulate", "run_until"]
 
 Env = Dict[str, object]
+
+#: How often (in fired steps) the engine emits a ``sim.progress`` event.
+_PROGRESS_EVERY = 1000
 
 
 def _initial_env(program: Program, initial: Optional[Mapping[str, object]]) -> Env:
@@ -54,6 +63,8 @@ def simulate(
     initial: Optional[Mapping[str, object]] = None,
     faults: Optional[FaultSchedule] = None,
     stop_when: Optional[Callable[[Env], bool]] = None,
+    seed: Optional[int] = None,
+    instrumentation: Instrumentation = NULL_INSTRUMENTATION,
 ) -> Trace:
     """Run ``program`` for up to ``steps`` scheduler-chosen actions.
 
@@ -61,13 +72,20 @@ def simulate(
         program: the guarded-command program (central-daemon semantics).
         steps: maximum number of action firings.
         scheduler: daemon strategy (default: uniformly random).
-        rng: random source (default: a fresh ``Random(0)`` for
-            reproducibility; pass your own seeded instance in sweeps).
+        rng: random source; overrides ``seed`` when given.
         initial: starting environment; defaults to the program's first
             declared initial state.
         faults: optional injection schedule.
         stop_when: optional predicate — the run stops as soon as it
             holds *after a step* (checked after fault injections too).
+        seed: seed for the default random source when ``rng`` is
+            omitted (default 0, for reproducibility); the effective
+            seed is recorded in the run metadata (``None`` when an
+            external ``rng`` hides it).
+        instrumentation: observability sink — steps/stutters/faults
+            counters, periodic ``sim.progress`` timing events, and the
+            ``sim.converged``/``sim.deadlock`` outcome; the null
+            default is free.
 
     Returns:
         The recorded :class:`~repro.simulation.trace.Trace`.  The run
@@ -75,24 +93,50 @@ def simulate(
     """
     chosen_scheduler = scheduler or RandomScheduler()
     chosen_scheduler.reset()
-    source = rng or random.Random(0)
+    if rng is not None:
+        source = rng
+        effective_seed: Optional[int] = None
+    else:
+        effective_seed = 0 if seed is None else seed
+        source = random.Random(effective_seed)
+    instrumentation.annotate(
+        program=program.name, max_steps=steps, seed=effective_seed
+    )
     env = _initial_env(program, initial)
     trace = Trace(env)
+    fired = 0
+    window_start = time.perf_counter()
     for step in range(steps):
         if faults is not None and faults.due(step):
             env, description = faults.injector.inject(program, env, source)
             trace.record("fault", description, env)
+            instrumentation.count("sim.faults")
             if stop_when is not None and stop_when(env):
-                break
+                instrumentation.event("sim.converged", step=trace.step_count())
+                return trace
         enabled = [action for action in program.actions if action.enabled(env)]
         if not enabled:
+            instrumentation.event("sim.deadlock", step=fired)
             break
         action = chosen_scheduler.choose(enabled, env, source)
         new_env = action.execute(env)
-        kind = "stutter" if new_env == env else "step"
+        if new_env == env:
+            kind = "stutter"
+            instrumentation.count("sim.stutters")
+        else:
+            kind = "step"
         env = new_env
         trace.record(kind, action.name, env)
+        instrumentation.count("sim.steps")
+        fired += 1
+        if fired % _PROGRESS_EVERY == 0:
+            now = time.perf_counter()
+            instrumentation.event(
+                "sim.progress", steps=fired, window_seconds=now - window_start
+            )
+            window_start = now
         if stop_when is not None and stop_when(env):
+            instrumentation.event("sim.converged", step=trace.step_count())
             break
     return trace
 
@@ -104,12 +148,16 @@ def run_until(
     scheduler: Optional[Scheduler] = None,
     rng: Optional[random.Random] = None,
     initial: Optional[Mapping[str, object]] = None,
+    seed: Optional[int] = None,
+    instrumentation: Instrumentation = NULL_INSTRUMENTATION,
 ) -> Optional[int]:
     """Steps taken until ``predicate`` holds, or ``None`` within ``max_steps``.
 
     Convenience wrapper over :func:`simulate` used by convergence-time
     experiments: the count excludes nothing (every fired action counts,
     stutters included — an unfair-to-the-protocol but simple clock).
+    The convergence step (or the timeout) is recorded as a
+    ``sim.run_until`` event on the instrumentation.
     """
     trace = simulate(
         program,
@@ -118,8 +166,13 @@ def run_until(
         rng=rng,
         initial=initial,
         stop_when=predicate,
+        seed=seed,
+        instrumentation=instrumentation,
     )
     final = trace.final()
     if not predicate(final):
+        instrumentation.event("sim.run_until", converged=False, steps=None)
         return None
-    return trace.step_count()
+    steps = trace.step_count()
+    instrumentation.event("sim.run_until", converged=True, steps=steps)
+    return steps

@@ -9,8 +9,11 @@ can be simulated without ever materializing a state space.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.errors import SimulationError
 
 __all__ = ["TraceEvent", "Trace"]
 
@@ -100,6 +103,82 @@ class Trace:
     def action_labels(self) -> List[str]:
         """Names of the actions fired, in order (faults excluded)."""
         return [e.label for e in self._events if e.kind in ("step", "stutter")]
+
+    def to_jsonl(self) -> str:
+        """Serialize as tagged JSON Lines (the ``repro.obs`` file format).
+
+        A ``{"t": "trace", ...}`` line carries the initial environment;
+        each event follows as a ``{"t": "trace-event", ...}`` line.
+        The result can be archived next to run records and summarized
+        (or replayed via :meth:`from_jsonl`) by ``repro report``.
+        Environments must be JSON-safe, which holds for every finite
+        GCL domain (bools, ints, strings).
+        """
+        lines = [json.dumps({"t": "trace", "initial": self._initial},
+                            sort_keys=True)]
+        for event in self._events:
+            lines.append(
+                json.dumps(
+                    {
+                        "t": "trace-event",
+                        "kind": event.kind,
+                        "label": event.label,
+                        "env": event.env,
+                    },
+                    sort_keys=True,
+                )
+            )
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def all_from_jsonl(cls, text: str) -> List["Trace"]:
+        """Every trace archived in ``text`` (other tagged lines skipped).
+
+        Raises:
+            SimulationError: on malformed JSON or a ``trace-event``
+                line appearing before any ``trace`` line.
+        """
+        traces: List["Trace"] = []
+        current: Optional["Trace"] = None
+        for index, line in enumerate(text.splitlines(), start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise SimulationError(f"line {index}: not valid JSON ({exc})")
+            if not isinstance(payload, dict):
+                continue
+            tag = payload.get("t")
+            if tag == "trace":
+                current = cls(payload.get("initial", {}))
+                traces.append(current)
+            elif tag == "trace-event":
+                if current is None:
+                    raise SimulationError(
+                        f"line {index}: trace event before any trace header"
+                    )
+                current.record(
+                    str(payload["kind"]),
+                    str(payload["label"]),
+                    payload.get("env", {}),
+                )
+        return traces
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> "Trace":
+        """Rebuild the single trace serialized by :meth:`to_jsonl`.
+
+        Raises:
+            SimulationError: when the text holds zero or several traces.
+        """
+        traces = cls.all_from_jsonl(text)
+        if len(traces) != 1:
+            raise SimulationError(
+                f"expected exactly one archived trace, found {len(traces)}"
+            )
+        return traces[0]
 
     def __len__(self) -> int:
         return len(self._events)

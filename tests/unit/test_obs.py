@@ -1,0 +1,430 @@
+"""Unit tests for the structured observability layer (`repro.obs`)."""
+
+import json
+
+import pytest
+
+from repro.checker import check_self_stabilization, check_stabilization
+from repro.checker.refinement_check import check_convergence_refinement
+from repro.gcl import parse_program
+from repro.obs import (
+    NULL_INSTRUMENTATION,
+    EventRecord,
+    Instrumentation,
+    NullInstrumentation,
+    Recorder,
+    RunRecord,
+    RunRecordError,
+    SpanStats,
+    load_jsonl,
+    loads_jsonl,
+    write_jsonl,
+)
+from repro.obs.report import summarize_record, summarize_text
+from repro.rings import btr_program
+from repro.simulation import (
+    CorruptVariables,
+    FaultSchedule,
+    run_until,
+    simulate,
+)
+
+SPIN = """
+program spin
+var x : mod 2
+action flip0 :: x == 0 --> x := 1
+action flip1 :: x == 1 --> x := 0
+init x == 0
+"""
+
+STAY = """
+program stay
+var x : mod 2
+action stay :: x == 0 --> x := 0
+init x == 0
+"""
+
+
+class FakeClock:
+    """Deterministic clock advancing by a fixed tick per reading."""
+
+    def __init__(self, tick: float = 1.0):
+        self.now = 0.0
+        self.tick = tick
+
+    def __call__(self) -> float:
+        value = self.now
+        self.now += self.tick
+        return value
+
+
+class TestNullInstrumentation:
+    def test_all_verbs_are_noops(self):
+        null = NullInstrumentation()
+        assert null.count("x") is None
+        assert null.count("x", 5) is None
+        assert null.event("e", detail=1) is None
+        assert null.annotate(key="value") is None
+
+    def test_span_is_a_working_context_manager(self):
+        with NULL_INSTRUMENTATION.span("phase"):
+            pass
+
+    def test_span_allocates_nothing(self):
+        # Counter-based allocation check: the null object must hand out
+        # the *same* span object on every call — N calls, one identity.
+        null = NullInstrumentation()
+        spans = [null.span(f"phase-{i}") for i in range(1000)]
+        assert all(span is spans[0] for span in spans)
+
+    def test_null_object_carries_no_state(self):
+        # __slots__ = () on the whole hierarchy: no per-instance dict
+        # to grow, so the verbs cannot accumulate anything.
+        null = NullInstrumentation()
+        assert not hasattr(null, "__dict__")
+        null.count("c", 3)
+        null.event("e", field=1)
+        null.annotate(meta="x")
+        assert not hasattr(null, "__dict__")
+
+    def test_base_class_is_the_null_behaviour(self):
+        base = Instrumentation()
+        assert base.span("x") is NullInstrumentation().span("y")
+
+
+class TestRecorder:
+    def test_counters_accumulate(self):
+        recorder = Recorder()
+        recorder.count("a")
+        recorder.count("a", 4)
+        recorder.count("b", 2)
+        assert recorder.counters == {"a": 5, "b": 2}
+        assert recorder.counter("a") == 5
+        assert recorder.counter("missing") == 0
+        assert recorder.counter("missing", -1) == -1
+
+    def test_spans_aggregate_per_name(self):
+        recorder = Recorder(clock=FakeClock())
+        with recorder.span("phase"):
+            pass
+        with recorder.span("phase"):
+            pass
+        record = recorder.record()
+        assert record.spans["phase"].calls == 2
+        # FakeClock ticks once per reading: each span lasts one tick.
+        assert record.spans["phase"].seconds == pytest.approx(2.0)
+
+    def test_events_keep_order_and_fields(self):
+        recorder = Recorder(clock=FakeClock())
+        recorder.event("first", value=1)
+        recorder.event("second", value=2, flag=True)
+        record = recorder.record()
+        assert [event.name for event in record.events] == ["first", "second"]
+        assert record.events[1].fields == {"value": 2, "flag": True}
+        assert record.events[0].at < record.events[1].at
+
+    def test_annotate_merges(self):
+        recorder = Recorder(kind="check")
+        recorder.annotate(seed=3)
+        recorder.annotate(program="p", seed=7)
+        record = recorder.record()
+        assert record.kind == "check"
+        assert record.meta == {"seed": 7, "program": "p"}
+
+    def test_record_is_a_snapshot(self):
+        recorder = Recorder()
+        recorder.count("a")
+        before = recorder.record()
+        recorder.count("a")
+        assert before.counters == {"a": 1}
+        assert recorder.record().counters == {"a": 2}
+
+
+class TestJsonlRoundTrip:
+    def _sample(self) -> RunRecord:
+        return RunRecord(
+            kind="check",
+            meta={"program": "p.gcl", "seed": 0},
+            counters={"check.states.enumerated": 64},
+            spans={"check.core": SpanStats(0.25, 2)},
+            events=[EventRecord("check.verdict", 0.5, {"holds": True})],
+            wall_seconds=0.75,
+        )
+
+    def test_round_trip_through_text(self):
+        record = self._sample()
+        text = "\n".join(record.to_jsonl_lines())
+        loaded = loads_jsonl(text)
+        assert len(loaded) == 1
+        assert loaded[0].to_dict() == record.to_dict()
+
+    def test_round_trip_through_file(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        records = [self._sample(), RunRecord(kind="simulate")]
+        write_jsonl(records, path)
+        loaded = load_jsonl(path)
+        assert [r.to_dict() for r in loaded] == [r.to_dict() for r in records]
+
+    def test_every_line_is_valid_json(self):
+        for line in self._sample().to_jsonl_lines():
+            json.loads(line)
+
+    def test_unknown_tags_are_skipped(self):
+        text = '{"t": "trace", "initial": {"x": 0}}\n{"t": "run", "kind": "r"}'
+        assert len(loads_jsonl(text)) == 1
+
+    def test_orphan_record_line_rejected(self):
+        with pytest.raises(RunRecordError):
+            loads_jsonl('{"t": "counter", "name": "c", "value": 1}')
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(RunRecordError):
+            loads_jsonl("not json at all")
+
+    def test_recorder_to_file_round_trip(self, tmp_path):
+        recorder = Recorder(kind="simulate", clock=FakeClock(0.001))
+        recorder.annotate(seed=7)
+        recorder.count("sim.steps", 100)
+        with recorder.span("sim.total"):
+            recorder.event("sim.progress", steps=50)
+        path = tmp_path / "run.jsonl"
+        write_jsonl([recorder.record()], path)
+        (loaded,) = load_jsonl(path)
+        assert loaded.meta == {"seed": 7}
+        assert loaded.counters["sim.steps"] == 100
+        assert loaded.spans["sim.total"].calls == 1
+        assert loaded.events[0].fields == {"steps": 50}
+
+
+class TestInstrumentedChecker:
+    def test_state_count_matches_schema_on_four_process_ring(self):
+        system = btr_program(4).compile()
+        recorder = Recorder()
+        result = check_stabilization(
+            system, system, instrumentation=recorder, fairness="weak"
+        )
+        assert recorder.counter("check.states.enumerated") == system.schema.size()
+        assert recorder.counter("check.states.enumerated") == len(
+            list(system.schema.states())
+        )
+        assert recorder.counter("check.core.size") == len(result.core)
+        assert recorder.counter("check.legitimate.size") == len(
+            result.legitimate_abstract
+        )
+        assert recorder.counter("check.outside.size") == system.schema.size() - len(
+            result.core
+        )
+
+    def test_fixpoint_iteration_events(self):
+        program = parse_program(SPIN).compile()
+        recorder = Recorder()
+        check_self_stabilization(program, instrumentation=recorder)
+        iterations = recorder.counter("check.fixpoint.iterations")
+        assert iterations >= 1
+        events = [
+            e for e in recorder.record().events
+            if e.name == "check.fixpoint.iteration"
+        ]
+        assert len(events) == iterations
+        assert events[0].fields["index"] == 1
+        # Evictions recorded per iteration sum to the total counter.
+        assert sum(e.fields["evicted"] for e in events) == recorder.counter(
+            "check.states.evicted"
+        )
+
+    def test_verdict_event_and_phase_spans(self):
+        program = parse_program(SPIN).compile()
+        recorder = Recorder()
+        result = check_self_stabilization(program, instrumentation=recorder)
+        record = recorder.record()
+        (verdict,) = [e for e in record.events if e.name == "check.verdict"]
+        assert verdict.fields["holds"] == result.holds
+        for phase in ("check.total", "check.legitimate", "check.core"):
+            assert phase in record.spans
+        assert record.spans["check.total"].seconds >= record.spans[
+            "check.core"
+        ].seconds
+
+    def test_uninstrumented_call_unchanged(self):
+        # The default instrumentation must not alter the verdict.
+        system = btr_program(3).compile()
+        plain = check_stabilization(system, system, fairness="weak")
+        recorded = check_stabilization(
+            system, system, fairness="weak", instrumentation=Recorder()
+        )
+        assert plain.holds == recorded.holds
+        assert plain.core == recorded.core
+
+
+class TestInstrumentedRefinement:
+    def test_transition_counts(self):
+        system = parse_program(SPIN).compile()
+        recorder = Recorder()
+        result = check_convergence_refinement(
+            system, system, instrumentation=recorder
+        )
+        assert result.holds
+        # SPIN has exactly two transitions (0->1 and 1->0), both exact.
+        assert recorder.counter("refine.transitions.exact") == 2
+        assert recorder.counter("refine.transitions.compressing") == 0
+        assert recorder.counter("refine.transitions.stuttering") == 0
+        record = recorder.record()
+        (verdict,) = [e for e in record.events if e.name == "refine.verdict"]
+        assert verdict.fields["holds"] is True
+        assert "refine.transition_scan" in record.spans
+
+
+class TestInstrumentedSimulator:
+    def test_exact_step_counts(self):
+        program = parse_program(SPIN)
+        recorder = Recorder()
+        trace = simulate(program, 10, instrumentation=recorder)
+        assert recorder.counter("sim.steps") == 10
+        assert recorder.counter("sim.steps") == trace.step_count()
+        assert recorder.counter("sim.stutters") == 0
+        assert recorder.counter("sim.faults") == 0
+
+    def test_stutter_counts(self):
+        program = parse_program(STAY)
+        recorder = Recorder()
+        trace = simulate(program, 5, instrumentation=recorder)
+        assert recorder.counter("sim.steps") == 5
+        assert recorder.counter("sim.stutters") == 5
+        assert trace.step_count() == 5
+
+    def test_fault_counts(self):
+        program = parse_program(SPIN)
+        recorder = Recorder()
+        schedule = FaultSchedule(at_steps=[2, 4], injector=CorruptVariables(1))
+        simulate(program, 10, faults=schedule, instrumentation=recorder)
+        assert recorder.counter("sim.faults") == 2
+
+    def test_seed_recorded_in_meta(self):
+        program = parse_program(SPIN)
+        recorder = Recorder()
+        simulate(program, 3, seed=42, instrumentation=recorder)
+        assert recorder.record().meta["seed"] == 42
+
+    def test_default_seed_is_zero(self):
+        program = parse_program(SPIN)
+        recorder = Recorder()
+        simulate(program, 3, instrumentation=recorder)
+        assert recorder.record().meta["seed"] == 0
+
+    def test_external_rng_hides_the_seed(self):
+        import random
+
+        program = parse_program(SPIN)
+        recorder = Recorder()
+        simulate(program, 3, rng=random.Random(1), instrumentation=recorder)
+        assert recorder.record().meta["seed"] is None
+
+    def test_seed_changes_the_run(self):
+        # Two always-enabled actions: the daemon's random choice (and
+        # hence the trace) must depend on the seed.
+        program = parse_program(
+            """
+program pair
+var x, y : mod 2
+action fx0 :: x == 0 --> x := 1
+action fx1 :: x == 1 --> x := 0
+action fy0 :: y == 0 --> y := 1
+action fy1 :: y == 1 --> y := 0
+init x == 0 && y == 0
+"""
+        )
+        labels_a = simulate(program, 30, seed=1).action_labels()
+        labels_b = simulate(program, 30, seed=2).action_labels()
+        assert labels_a != labels_b
+
+    def test_convergence_event_from_run_until(self):
+        program = parse_program(SPIN)
+        recorder = Recorder()
+        steps = run_until(
+            program,
+            lambda env: env["x"] == 1,
+            max_steps=10,
+            instrumentation=recorder,
+        )
+        assert steps == 1
+        events = {e.name: e for e in recorder.record().events}
+        assert events["sim.run_until"].fields == {"converged": True, "steps": 1}
+        assert events["sim.converged"].fields == {"step": 1}
+
+    def test_timeout_event_from_run_until(self):
+        program = parse_program(SPIN)
+        recorder = Recorder()
+        steps = run_until(
+            program,
+            lambda env: False,
+            max_steps=5,
+            instrumentation=recorder,
+        )
+        assert steps is None
+        (event,) = [
+            e for e in recorder.record().events if e.name == "sim.run_until"
+        ]
+        assert event.fields == {"converged": False, "steps": None}
+
+    def test_deadlock_event(self):
+        toy = parse_program(
+            """
+program toy
+var x : mod 3
+action heal :: x != 0 --> x := 0
+init x == 0
+"""
+        )
+        recorder = Recorder()
+        simulate(toy, 5, instrumentation=recorder)
+        (event,) = [
+            e for e in recorder.record().events if e.name == "sim.deadlock"
+        ]
+        assert event.fields == {"step": 0}
+
+    def test_progress_events_every_1000_steps(self):
+        program = parse_program(SPIN)
+        recorder = Recorder()
+        simulate(program, 2500, instrumentation=recorder)
+        progress = [
+            e for e in recorder.record().events if e.name == "sim.progress"
+        ]
+        assert [e.fields["steps"] for e in progress] == [1000, 2000]
+        assert all(e.fields["window_seconds"] >= 0 for e in progress)
+
+
+class TestReportRendering:
+    def test_summarize_record_shows_key_metrics(self):
+        recorder = Recorder(kind="check", clock=FakeClock(0.001))
+        recorder.annotate(program="ring.gcl")
+        recorder.count("check.states.enumerated", 64)
+        with recorder.span("check.core"):
+            pass
+        recorder.event("check.verdict", holds=True)
+        text = summarize_record(recorder.record())
+        assert "run: check" in text
+        assert "check.states.enumerated" in text
+        assert "64" in text
+        assert "check.core" in text
+        assert "check.verdict" in text
+
+    def test_summarize_text_renders_runs_and_traces(self):
+        recorder = Recorder(kind="simulate")
+        recorder.count("sim.steps", 3)
+        trace_lines = (
+            '{"t": "trace", "initial": {"x": 0}}\n'
+            '{"t": "trace-event", "kind": "step", "label": "a", "env": {"x": 1}}'
+        )
+        text = "\n".join(recorder.record().to_jsonl_lines()) + "\n" + trace_lines
+        rendered = summarize_text(text)
+        assert "run: simulate" in rendered
+        assert "trace: 1 events" in rendered
+
+    def test_summarize_empty_text(self):
+        assert "no run records" in summarize_text("")
+
+    def test_event_listing_mode(self):
+        recorder = Recorder(clock=FakeClock(0.001))
+        recorder.event("sim.progress", steps=1000)
+        rendered = summarize_record(recorder.record(), events=True)
+        assert "steps=1000" in rendered

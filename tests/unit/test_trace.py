@@ -50,6 +50,66 @@ class TestTrace:
         assert len(trace) == 5
 
 
+class TestJsonlRoundTrip:
+    def test_round_trip_preserves_everything(self, trace):
+        restored = Trace.from_jsonl(trace.to_jsonl())
+        assert restored.initial == trace.initial
+        assert restored.events == trace.events
+        assert restored.final() == trace.final()
+        assert restored.step_count() == trace.step_count()
+        assert restored.fault_count() == trace.fault_count()
+
+    def test_empty_trace_round_trips(self):
+        trace = Trace({"x": 3, "flag": True})
+        restored = Trace.from_jsonl(trace.to_jsonl())
+        assert restored.initial == {"x": 3, "flag": True}
+        assert len(restored) == 0
+
+    def test_serialized_form_is_tagged_jsonl(self, trace):
+        import json
+
+        lines = trace.to_jsonl().splitlines()
+        assert json.loads(lines[0])["t"] == "trace"
+        assert all(
+            json.loads(line)["t"] == "trace-event" for line in lines[1:]
+        )
+        assert len(lines) == 1 + len(trace.events)
+
+    def test_all_from_jsonl_reads_several_traces(self, trace):
+        text = trace.to_jsonl() + Trace({"x": 5}).to_jsonl()
+        traces = Trace.all_from_jsonl(text)
+        assert len(traces) == 2
+        assert traces[1].initial == {"x": 5}
+
+    def test_all_from_jsonl_skips_run_record_lines(self, trace):
+        text = '{"t": "run", "kind": "simulate"}\n' + trace.to_jsonl()
+        traces = Trace.all_from_jsonl(text)
+        assert len(traces) == 1
+        assert traces[0].events == trace.events
+
+    def test_from_jsonl_requires_exactly_one_trace(self, trace):
+        from repro.core.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            Trace.from_jsonl("")
+        with pytest.raises(SimulationError):
+            Trace.from_jsonl(trace.to_jsonl() + trace.to_jsonl())
+
+    def test_orphan_event_line_rejected(self):
+        from repro.core.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            Trace.all_from_jsonl(
+                '{"t": "trace-event", "kind": "step", "label": "a", "env": {}}'
+            )
+
+    def test_malformed_json_rejected(self):
+        from repro.core.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            Trace.all_from_jsonl("{not json")
+
+
 class TestStepsUntil:
     def test_immediately_true(self):
         trace = Trace({"x": 0})
