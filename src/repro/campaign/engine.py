@@ -1,0 +1,409 @@
+"""The resilient campaign executor.
+
+Executes a grid of :class:`~repro.campaign.grid.CellSpec` cells with
+the four resilience properties the soak-testing workload needs:
+
+* **Timeouts** — every simulation cell runs under a cooperative
+  wall-clock deadline (:func:`repro.simulation.runner.execute`); a
+  pathological run ends as a first-class ``timeout`` outcome and the
+  campaign moves on.
+* **Crash isolation** — a cell that raises is retried up to
+  ``retries`` times with deterministically derived sub-seeds; if every
+  attempt crashes the cell is recorded as ``error`` and the campaign
+  continues.  Only ``KeyboardInterrupt`` stops the sweep.
+* **Checkpoint/resume** — each finished cell is appended to the
+  checkpoint file as one tagged JSONL line *and flushed* before the
+  next cell starts, so an interrupt (SIGINT, OOM kill, power loss)
+  between cells loses at most the cell in flight.  Resuming verifies
+  the grid fingerprint and skips every completed cell.
+* **Graceful checker degradation** — verification cells run under a
+  state budget and report ``partial`` instead of exhausting memory.
+
+Suspected-divergence runs archive their full trace (when a trace
+directory is configured) so the non-converging schedule can be
+replayed and inspected with ``repro report``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from ..core.errors import SimulationError
+from ..obs import (
+    NULL_INSTRUMENTATION,
+    Instrumentation,
+    append_jsonl_line,
+    load_tagged_lines,
+)
+from ..simulation.faults import FaultSchedule
+from ..simulation.metrics import legitimacy_predicate
+from ..simulation.runner import SimStatus, execute
+from .grid import (
+    SYSTEMS,
+    CellSpec,
+    build_injector,
+    build_scheduler,
+    derive_seed,
+    grid_signature,
+)
+from .outcomes import CellResult, CellStatus
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignResult",
+    "execute_cell",
+    "run_campaign",
+]
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Tunables shared by every cell of a campaign.
+
+    Attributes:
+        steps: step budget per simulation run.
+        deadline: wall-clock budget per run in seconds (``None``
+            disables the timeout).
+        retries: extra attempts (each with a fresh derived sub-seed)
+            after a crashed attempt; timeouts are recorded, not
+            retried — a deadline that tripped once will almost
+            certainly trip again.
+        seed: the campaign master seed every sub-seed derives from.
+        fault_count: transient faults injected per run, as a burst
+            before steps ``0 .. fault_count-1``.
+        state_budget: state cap for verification cells (``None`` =
+            unbounded).
+        checkpoint: the tagged-JSONL checkpoint file (``None`` =
+            in-memory only, no resume).
+        trace_dir: where suspected-divergence traces are archived
+            (``None`` = do not archive).
+
+    Raises:
+        SimulationError: on a non-positive budget, so a misconfigured
+            campaign dies before the first cell rather than deep in a
+            run.
+    """
+
+    steps: int = 5000
+    deadline: Optional[float] = 10.0
+    retries: int = 1
+    seed: int = 0
+    fault_count: int = 1
+    state_budget: Optional[int] = 500_000
+    checkpoint: Optional[Union[str, Path]] = None
+    trace_dir: Optional[Union[str, Path]] = None
+
+    def __post_init__(self) -> None:
+        if self.steps < 1:
+            raise SimulationError(f"steps must be positive, got {self.steps}")
+        if self.deadline is not None and self.deadline <= 0:
+            raise SimulationError(
+                f"deadline must be positive seconds, got {self.deadline}"
+            )
+        if self.retries < 0:
+            raise SimulationError(f"retries must be >= 0, got {self.retries}")
+        if self.fault_count < 1:
+            raise SimulationError(
+                f"fault count must be positive, got {self.fault_count}"
+            )
+        if self.state_budget is not None and self.state_budget < 1:
+            raise SimulationError(
+                f"state budget must be positive, got {self.state_budget}"
+            )
+
+
+@dataclass
+class CampaignResult:
+    """What a (possibly partial) campaign run produced.
+
+    Attributes:
+        results: one :class:`CellResult` per *finished* cell, in grid
+            order — both the cells executed now and those restored
+            from the checkpoint.
+        executed: cells executed in this invocation.
+        skipped: cells restored from the checkpoint and not re-run.
+        pending: cells still to do (non-zero after an interrupt).
+        interrupted: whether the sweep stopped on ``KeyboardInterrupt``.
+    """
+
+    results: List[CellResult] = field(default_factory=list)
+    executed: int = 0
+    skipped: int = 0
+    pending: int = 0
+    interrupted: bool = False
+
+    def counts(self) -> Dict[CellStatus, int]:
+        """Finished cells per outcome."""
+        tally: Dict[CellStatus, int] = {}
+        for result in self.results:
+            tally[result.status] = tally.get(result.status, 0) + 1
+        return tally
+
+    @property
+    def ok(self) -> bool:
+        """No errors and nothing left pending."""
+        return not self.interrupted and self.pending == 0 and not any(
+            result.status is CellStatus.ERROR for result in self.results
+        )
+
+
+def _trace_path(trace_dir: Union[str, Path], cell_id: str) -> Path:
+    """Filesystem-safe archive path for one cell's trace."""
+    return Path(trace_dir) / (cell_id.replace(":", "_") + ".trace.jsonl")
+
+
+def _attempt_simulation(
+    cell: CellSpec, config: CampaignConfig, seed: int
+) -> CellResult:
+    """One attempt at a simulation cell (may raise; caller isolates)."""
+    entry = SYSTEMS[cell.system]
+    program = entry.builder(cell.n)
+    predicate = legitimacy_predicate(entry.legit_kind, cell.n)
+    injector = build_injector(cell.injector)
+    injector.validate(program)
+    scheduler = build_scheduler(cell.scheduler, entry.legit_kind, cell.n)
+    faults = FaultSchedule(range(config.fault_count), injector)
+    outcome = execute(
+        program,
+        config.steps,
+        scheduler=scheduler,
+        faults=faults,
+        stop_when=predicate,
+        seed=seed,
+        deadline=config.deadline,
+    )
+    cell_id = cell.cell_id()
+    if outcome.status is SimStatus.CONVERGED:
+        return CellResult(
+            cell_id, CellStatus.CONVERGED, 1, outcome.wall_seconds,
+            steps=outcome.steps, seed=seed,
+            detail=f"converged in {outcome.steps} steps",
+        )
+    if outcome.status is SimStatus.TIMEOUT:
+        return CellResult(
+            cell_id, CellStatus.TIMEOUT, 1, outcome.wall_seconds,
+            steps=outcome.steps, seed=seed,
+            detail=f"deadline of {config.deadline}s elapsed "
+            f"after {outcome.steps} steps",
+        )
+    if outcome.status is SimStatus.DEADLOCK and predicate(outcome.trace.final()):
+        return CellResult(
+            cell_id, CellStatus.CONVERGED, 1, outcome.wall_seconds,
+            steps=outcome.steps, seed=seed,
+            detail="halted inside the legitimate set",
+        )
+    # Step budget exhausted (or an illegitimate halt): suspected
+    # divergence — archive the trace for replay when configured.
+    trace_path: Optional[str] = None
+    if config.trace_dir is not None:
+        path = _trace_path(config.trace_dir, cell_id)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(outcome.trace.to_jsonl(), encoding="utf-8")
+        trace_path = str(path)
+    reason = (
+        "deadlocked outside the legitimate set"
+        if outcome.status is SimStatus.DEADLOCK
+        else f"no convergence within {config.steps} steps"
+    )
+    return CellResult(
+        cell_id, CellStatus.DIVERGED, 1, outcome.wall_seconds,
+        steps=outcome.steps, seed=seed,
+        detail=f"suspected divergence: {reason}", trace_path=trace_path,
+    )
+
+
+def _attempt_check(cell: CellSpec, config: CampaignConfig) -> CellResult:
+    """One attempt at a verification cell (may raise; caller isolates)."""
+    from ..checker.convergence import check_stabilization
+
+    entry = SYSTEMS[cell.system]
+    start = time.perf_counter()
+    concrete = entry.builder(cell.n).compile()
+    spec = entry.spec_builder(cell.n).compile()
+    alpha = entry.alpha_builder(cell.n) if entry.alpha_builder else None
+    result = check_stabilization(
+        concrete,
+        spec,
+        alpha,
+        stutter_insensitive=entry.stutter_insensitive,
+        fairness=entry.fairness,
+        compute_steps=False,
+        state_budget=config.state_budget,
+    )
+    seconds = time.perf_counter() - start
+    cell_id = cell.cell_id()
+    if result.is_partial:
+        partial = result.result.partial
+        assert partial is not None
+        return CellResult(
+            cell_id, CellStatus.PARTIAL, 1, seconds, detail=partial.format()
+        )
+    if result.holds:
+        return CellResult(
+            cell_id, CellStatus.CONVERGED, 1, seconds,
+            detail=f"stabilization verified (core {len(result.core)} states)",
+        )
+    witness = result.result.witness
+    kind = witness.kind.value if witness is not None else "unknown"
+    return CellResult(
+        cell_id, CellStatus.DIVERGED, 1, seconds,
+        detail=f"stabilization fails: {kind}",
+    )
+
+
+def execute_cell(cell: CellSpec, config: CampaignConfig) -> CellResult:
+    """Run one cell to a guaranteed outcome — never raises (except
+    ``KeyboardInterrupt``).
+
+    Crashed attempts retry with sub-seeds derived from
+    ``(campaign seed, cell id, attempt)``; a cell whose every attempt
+    crashed is recorded as ``error`` carrying the last exception.
+    """
+    cell_id = cell.cell_id()
+    start = time.perf_counter()
+    last_error: Optional[BaseException] = None
+    attempts = 0
+    for attempt in range(config.retries + 1):
+        attempts += 1
+        try:
+            if cell.kind == "check":
+                result = _attempt_check(cell, config)
+            else:
+                seed = derive_seed(config.seed, cell_id, attempt)
+                result = _attempt_simulation(cell, config, seed)
+        except KeyboardInterrupt:
+            raise
+        except BaseException as exc:  # crash isolation: anything else
+            last_error = exc
+            continue
+        if attempts > 1:
+            result = CellResult(
+                result.cell_id, result.status, attempts,
+                time.perf_counter() - start, steps=result.steps,
+                seed=result.seed,
+                detail=result.detail + f" (after {attempts - 1} crashed "
+                f"attempt{'s' if attempts > 2 else ''})",
+                trace_path=result.trace_path,
+            )
+        return result
+    return CellResult(
+        cell_id, CellStatus.ERROR, attempts,
+        time.perf_counter() - start,
+        detail=f"{type(last_error).__name__}: {last_error}",
+    )
+
+
+def _load_checkpoint(
+    path: Union[str, Path], cells: Sequence[CellSpec], resume: bool
+) -> Dict[str, CellResult]:
+    """Completed cells from an existing checkpoint, after validation."""
+    file = Path(path)
+    if not file.exists():
+        return {}
+    if not resume:
+        raise SimulationError(
+            f"checkpoint {file} already exists; resume the campaign "
+            "(--resume) or remove the file to start over"
+        )
+    headers = load_tagged_lines(file, "campaign-meta")
+    signature = grid_signature(cells)
+    if headers and headers[-1].get("grid") != signature:
+        raise SimulationError(
+            f"checkpoint {file} was written for a different grid "
+            f"({headers[-1].get('grid')} != {signature}); refusing to "
+            "resume — rerun with the original axes or remove the file"
+        )
+    completed: Dict[str, CellResult] = {}
+    for payload in load_tagged_lines(file, "campaign-cell"):
+        result = CellResult.from_payload(payload)
+        completed[result.cell_id] = result
+    return completed
+
+
+def run_campaign(
+    cells: Sequence[CellSpec],
+    config: CampaignConfig,
+    resume: bool = False,
+    instrumentation: Instrumentation = NULL_INSTRUMENTATION,
+    executor: Callable[[CellSpec, CampaignConfig], CellResult] = execute_cell,
+    on_cell: Optional[Callable[[CellSpec, CellResult], None]] = None,
+) -> CampaignResult:
+    """Sweep ``cells`` resiliently; see the module docstring.
+
+    Args:
+        cells: the grid, in execution order.
+        config: shared tunables (budgets, checkpoint, master seed).
+        resume: continue from ``config.checkpoint`` — required when
+            the file already exists (a guard against accidentally
+            mixing two campaigns), harmless when it does not.
+        instrumentation: observability sink — per-cell events plus
+            executed/skipped/status counters.
+        executor: the per-cell runner (injectable for tests).
+        on_cell: optional progress callback after each executed cell.
+
+    Returns:
+        A :class:`CampaignResult`; ``interrupted`` is set (instead of
+        the ``KeyboardInterrupt`` propagating) when the sweep was cut
+        short, with the checkpoint already flushed for every finished
+        cell.
+
+    Raises:
+        SimulationError: when the checkpoint exists without ``resume``
+            or belongs to a different grid.
+    """
+    completed: Dict[str, CellResult] = {}
+    if config.checkpoint is not None:
+        completed = _load_checkpoint(config.checkpoint, cells, resume)
+        if not Path(config.checkpoint).exists():
+            append_jsonl_line(
+                config.checkpoint,
+                {
+                    "t": "campaign-meta",
+                    "grid": grid_signature(cells),
+                    "cells": len(cells),
+                    "seed": config.seed,
+                    "steps": config.steps,
+                },
+            )
+    instrumentation.annotate(
+        cells=len(cells), seed=config.seed, steps=config.steps
+    )
+    campaign = CampaignResult()
+    interrupted_at: Optional[int] = None
+    for index, cell in enumerate(cells):
+        cell_id = cell.cell_id()
+        if cell_id in completed:
+            campaign.skipped += 1
+            campaign.results.append(completed[cell_id])
+            instrumentation.count("campaign.cells.skipped")
+            continue
+        try:
+            result = executor(cell, config)
+        except KeyboardInterrupt:
+            interrupted_at = index
+            break
+        campaign.executed += 1
+        campaign.results.append(result)
+        instrumentation.count("campaign.cells.executed")
+        instrumentation.count(f"campaign.status.{result.status.value}")
+        instrumentation.event(
+            "campaign.cell",
+            id=cell_id,
+            status=result.status.value,
+            attempts=result.attempts,
+            seconds=result.seconds,
+        )
+        if config.checkpoint is not None:
+            append_jsonl_line(config.checkpoint, result.to_payload())
+        if on_cell is not None:
+            on_cell(cell, result)
+    if interrupted_at is not None:
+        campaign.interrupted = True
+        campaign.pending = len(cells) - interrupted_at
+        instrumentation.event(
+            "campaign.interrupted", at=interrupted_at, pending=campaign.pending
+        )
+    return campaign

@@ -11,6 +11,7 @@ Public surface:
   counterexample values and rendered verification reports.
 """
 
+from .budget import BudgetMeter, PartialExploration
 from .convergence import (
     StabilizationResult,
     behavioural_core,
@@ -44,6 +45,8 @@ from .report import ReportEntry, VerificationReport
 from .witnesses import CheckResult, Witness, WitnessKind
 
 __all__ = [
+    "BudgetMeter",
+    "PartialExploration",
     "StabilizationResult",
     "behavioural_core",
     "check_self_stabilization",

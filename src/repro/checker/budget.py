@@ -1,0 +1,115 @@
+"""State budgets and partial verdicts for graceful checker degradation.
+
+The exact decision procedures enumerate state spaces whose size is
+exponential in the ring size.  On a campaign sweep that is a
+liability: one oversized instance would exhaust memory and take the
+whole campaign down with it.  A :class:`StateBudget` caps how many
+states a procedure may enumerate; when the cap is hit the procedure
+returns a structured ``PARTIAL`` verdict — a
+:class:`PartialExploration` attached to the :class:`~repro.checker.
+witnesses.CheckResult` — instead of raising ``MemoryError`` (or
+grinding on until the OOM killer arrives).
+
+A partial verdict is *not* a failure: it reports exactly how far the
+exploration got (states explored, size of the unprocessed frontier,
+the phase that ran out) so a caller can retry with a larger budget or
+fall back to simulation-based evidence.  ``CheckResult.holds`` is
+``False`` for partial results — soundness first: an unfinished check
+affirms nothing — but ``CheckResult.is_partial`` distinguishes
+"budget ran out" from "a counterexample exists".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional, TypeVar
+
+__all__ = ["PartialExploration", "BudgetExceeded", "BudgetMeter"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class PartialExploration:
+    """How far a budget-capped exploration got before the cap hit.
+
+    Attributes:
+        explored: states (or transitions, per ``unit``) processed.
+        frontier: size of the known-but-unprocessed frontier at the
+            moment the budget ran out (0 when the procedure does not
+            maintain an explicit frontier).
+        budget: the cap that was in force.
+        phase: which phase of the procedure was interrupted (e.g.
+            ``"check.core"``, ``"refine.transition_scan"``).
+        unit: what ``explored`` counts (``"states"`` by default).
+    """
+
+    explored: int
+    frontier: int
+    budget: int
+    phase: str
+    unit: str = "states"
+
+    def format(self) -> str:
+        """One-line human rendering used inside verdict output."""
+        return (
+            f"budget of {self.budget} {self.unit} exhausted in {self.phase}: "
+            f"{self.explored} explored, frontier {self.frontier}"
+        )
+
+
+class BudgetExceeded(Exception):
+    """Internal control-flow signal: an enumeration hit its budget.
+
+    Carries the :class:`PartialExploration` describing the cut-off.
+    Never escapes the public checker entry points — they catch it and
+    return a ``PARTIAL`` :class:`~repro.checker.witnesses.CheckResult`.
+    """
+
+    def __init__(self, partial: PartialExploration):
+        super().__init__(partial.format())
+        self.partial = partial
+
+
+class BudgetMeter:
+    """A mutable counter enforcing a state budget across phases.
+
+    Args:
+        budget: maximum number of states to enumerate, or ``None`` for
+            unlimited (every method is then a cheap no-op check).
+
+    Raises:
+        ValueError: when ``budget`` is zero or negative.
+    """
+
+    __slots__ = ("budget", "explored")
+
+    def __init__(self, budget: Optional[int]):
+        if budget is not None and budget <= 0:
+            raise ValueError(f"state budget must be positive, got {budget}")
+        self.budget = budget
+        self.explored = 0
+
+    def charge(
+        self, phase: str, count: int = 1, frontier: int = 0, unit: str = "states"
+    ) -> None:
+        """Consume ``count`` units; raise :class:`BudgetExceeded` past the cap."""
+        self.explored += count
+        if self.budget is not None and self.explored > self.budget:
+            raise BudgetExceeded(
+                PartialExploration(
+                    explored=self.explored - count,
+                    frontier=frontier,
+                    budget=self.budget,
+                    phase=phase,
+                    unit=unit,
+                )
+            )
+
+    def metered(
+        self, items: Iterable[T], phase: str, unit: str = "states"
+    ) -> Iterator[T]:
+        """Yield from ``items``, charging one unit per element."""
+        for item in items:
+            self.charge(phase, unit=unit)
+            yield item

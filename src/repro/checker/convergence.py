@@ -43,6 +43,7 @@ from ..core.abstraction import AbstractionFunction, identity_abstraction
 from ..core.state import State
 from ..core.system import System
 from ..obs import NULL_INSTRUMENTATION, Instrumentation
+from .budget import BudgetExceeded, BudgetMeter
 from .fairness import find_fair_trap
 from .graph import (
     find_cycle_within,
@@ -88,6 +89,11 @@ class StabilizationResult:
         """The verdict."""
         return self.result.holds
 
+    @property
+    def is_partial(self) -> bool:
+        """Did the check stop at its state budget rather than decide?"""
+        return self.result.is_partial
+
     def __bool__(self) -> bool:
         return self.result.holds
 
@@ -105,9 +111,30 @@ class StabilizationResult:
         return "\n".join(lines)
 
 
-def legitimate_abstract_states(abstract: System) -> FrozenSet[State]:
-    """``L_A``: the abstract states reachable from the abstract initial states."""
-    return abstract.reachable()
+def legitimate_abstract_states(
+    abstract: System, meter: Optional[BudgetMeter] = None
+) -> FrozenSet[State]:
+    """``L_A``: the abstract states reachable from the abstract initial states.
+
+    Args:
+        abstract: the specification system.
+        meter: optional state budget; the reachability search then
+            charges one unit per state expanded and stops with a
+            :class:`~repro.checker.budget.BudgetExceeded` (carrying the
+            frontier size) instead of outgrowing memory.
+    """
+    if meter is None or meter.budget is None:
+        return abstract.reachable()
+    seen: Set[State] = set(abstract.initial)
+    frontier: List[State] = list(seen)
+    while frontier:
+        meter.charge("check.legitimate", frontier=len(frontier))
+        state = frontier.pop()
+        for successor in abstract.successors(state):
+            if successor not in seen:
+                seen.add(successor)
+                frontier.append(successor)
+    return frozenset(seen)
 
 
 def behavioural_core(
@@ -117,6 +144,7 @@ def behavioural_core(
     stutter_insensitive: bool = False,
     fairness: str = "none",
     instrumentation: Instrumentation = NULL_INSTRUMENTATION,
+    meter: Optional[BudgetMeter] = None,
 ) -> FrozenSet[State]:
     """The greatest set ``G`` of concrete states forever tracking ``A``.
 
@@ -142,13 +170,18 @@ def behavioural_core(
         instrumentation: observability sink; counts the states
             enumerated, the fixpoint iterations, and the evictions per
             iteration (null and free by default).
+        meter: optional state budget; the full-space scan then raises
+            :class:`~repro.checker.budget.BudgetExceeded` at the cap
+            instead of materializing an unbounded candidate set.
     """
     mapping = alpha if alpha is not None else identity_abstraction(concrete.schema)
-    legitimate = legitimate_abstract_states(abstract)
+    legitimate = legitimate_abstract_states(abstract, meter=meter)
     fairness_ignores_stutter = fairness in ("weak", "strong")
     enumerated = 0
     core: Set[State] = set()
     for state in concrete.schema.states():
+        if meter is not None:
+            meter.charge("check.core", frontier=len(core))
         enumerated += 1
         if mapping(state) in legitimate:
             core.add(state)
@@ -280,6 +313,7 @@ def check_stabilization(
     fairness: str = "none",
     compute_steps: bool = True,
     instrumentation: Instrumentation = NULL_INSTRUMENTATION,
+    state_budget: Optional[int] = None,
 ) -> StabilizationResult:
     """Decide "``C`` is stabilizing to ``A``".
 
@@ -301,6 +335,12 @@ def check_stabilization(
         instrumentation: observability sink (phase timings, state
             counts, fixpoint iterations, the verdict); the null
             default is free.
+        state_budget: optional cap on the number of states the check
+            may enumerate across all of its phases.  When the cap is
+            hit the result is a structured ``PARTIAL`` verdict
+            (``result.is_partial`` is true, ``result.result.partial``
+            reports states explored and frontier size) — never a
+            ``MemoryError``.
 
     Returns:
         A :class:`StabilizationResult`; its witness on failure is a
@@ -308,16 +348,34 @@ def check_stabilization(
     """
     if fairness not in ("none", "weak", "strong"):
         raise ValueError(f"unknown fairness mode {fairness!r}")
+    meter = BudgetMeter(state_budget)
+    name = f"{concrete.name} stabilizing to {abstract.name}"
     with instrumentation.span("check.total"):
-        result = _decide_stabilization(
-            concrete,
-            abstract,
-            alpha,
-            stutter_insensitive,
-            fairness,
-            compute_steps,
-            instrumentation,
-        )
+        try:
+            result = _decide_stabilization(
+                concrete,
+                abstract,
+                alpha,
+                stutter_insensitive,
+                fairness,
+                compute_steps,
+                instrumentation,
+                meter,
+            )
+        except BudgetExceeded as exc:
+            instrumentation.event(
+                "check.partial",
+                phase=exc.partial.phase,
+                explored=exc.partial.explored,
+                frontier=exc.partial.frontier,
+                budget=exc.partial.budget,
+            )
+            return StabilizationResult(
+                CheckResult(False, name, partial=exc.partial),
+                frozenset(),
+                frozenset(),
+                None,
+            )
     instrumentation.count("check.legitimate.size", len(result.legitimate_abstract))
     instrumentation.count("check.core.size", len(result.core))
     witness = result.result.witness
@@ -339,11 +397,12 @@ def _decide_stabilization(
     fairness: str,
     compute_steps: bool,
     instrumentation: Instrumentation,
+    meter: Optional[BudgetMeter] = None,
 ) -> StabilizationResult:
     """The phases of :func:`check_stabilization`, each under a span."""
     name = f"{concrete.name} stabilizing to {abstract.name}"
     with instrumentation.span("check.legitimate"):
-        legitimate = legitimate_abstract_states(abstract)
+        legitimate = legitimate_abstract_states(abstract, meter=meter)
     analysis_system = (
         concrete.without_self_loops() if fairness in ("weak", "strong") else concrete
     )
@@ -355,6 +414,7 @@ def _decide_stabilization(
             stutter_insensitive=stutter_insensitive,
             fairness=fairness,
             instrumentation=instrumentation,
+            meter=meter,
         )
 
     if not core:
@@ -373,9 +433,10 @@ def _decide_stabilization(
             None,
         )
 
-    outside = frozenset(
-        state for state in concrete.schema.states() if state not in core
-    )
+    states = concrete.schema.states()
+    if meter is not None:
+        states = meter.metered(states, "check.outside")
+    outside = frozenset(state for state in states if state not in core)
     instrumentation.count("check.outside.size", len(outside))
     with instrumentation.span("check.deadlock_search"):
         deadlocks = terminal_states_within(analysis_system, outside)
@@ -505,6 +566,7 @@ def check_self_stabilization(
     fairness: str = "none",
     compute_steps: bool = True,
     instrumentation: Instrumentation = NULL_INSTRUMENTATION,
+    state_budget: Optional[int] = None,
 ) -> StabilizationResult:
     """Decide whether a system is self-stabilizing (stabilizing to itself).
 
@@ -519,6 +581,7 @@ def check_self_stabilization(
         fairness=fairness,
         compute_steps=compute_steps,
         instrumentation=instrumentation,
+        state_budget=state_budget,
     )
 
 

@@ -46,6 +46,7 @@ from ..core.abstraction import AbstractionFunction, identity_abstraction
 from ..core.state import State
 from ..core.system import System, Transition
 from ..obs import NULL_INSTRUMENTATION, Instrumentation
+from .budget import BudgetExceeded, BudgetMeter
 from .graph import shortest_path
 from .witnesses import CheckResult, Witness, WitnessKind
 
@@ -71,6 +72,36 @@ def _resolve_alpha(
     return identity_abstraction(concrete.schema)
 
 
+def _partial_result(
+    name: str, exc: BudgetExceeded, instrumentation: Instrumentation
+) -> CheckResult:
+    """The ``PARTIAL`` verdict for a budget-capped refinement check."""
+    instrumentation.event(
+        "refine.partial",
+        phase=exc.partial.phase,
+        explored=exc.partial.explored,
+        frontier=exc.partial.frontier,
+        budget=exc.partial.budget,
+    )
+    return CheckResult(False, name, partial=exc.partial)
+
+
+def _reachable_metered(system: System, meter: BudgetMeter, phase: str):
+    """``system.reachable()`` with per-state budget charging."""
+    if meter.budget is None:
+        return system.reachable()
+    seen = set(system.initial)
+    frontier = list(seen)
+    while frontier:
+        meter.charge(phase, frontier=len(frontier))
+        state = frontier.pop()
+        for successor in system.successors(state):
+            if successor not in seen:
+                seen.add(successor)
+                frontier.append(successor)
+    return frozenset(seen)
+
+
 def check_init_refinement(
     concrete: System,
     abstract: System,
@@ -78,6 +109,8 @@ def check_init_refinement(
     stutter_insensitive: bool = False,
     open_systems: bool = False,
     instrumentation: Instrumentation = NULL_INSTRUMENTATION,
+    state_budget: Optional[int] = None,
+    meter: Optional[BudgetMeter] = None,
 ) -> CheckResult:
     """Decide ``[C subseteq A]_init``.
 
@@ -102,9 +135,41 @@ def check_init_refinement(
             standalone automata are disabled almost everywhere.
         instrumentation: observability sink (reachable-state and
             transition counts); the null default is free.
+        state_budget: optional cap on states/transitions enumerated;
+            past it the result is a structured ``PARTIAL`` verdict
+            instead of a memory blow-up.
+        meter: a shared :class:`~repro.checker.budget.BudgetMeter`
+            (used by enclosing checks to pool one budget across
+            clauses); overrides ``state_budget`` and lets
+            :class:`~repro.checker.budget.BudgetExceeded` propagate to
+            the owner.
     """
-    mapping = _resolve_alpha(concrete, abstract, alpha)
+    own_meter = meter is None
+    active = meter if meter is not None else BudgetMeter(state_budget)
     name = f"[{concrete.name} (= {abstract.name}]_init"
+    try:
+        return _decide_init_refinement(
+            concrete, abstract, alpha, stutter_insensitive, open_systems,
+            instrumentation, active, name,
+        )
+    except BudgetExceeded as exc:
+        if not own_meter:
+            raise
+        return _partial_result(name, exc, instrumentation)
+
+
+def _decide_init_refinement(
+    concrete: System,
+    abstract: System,
+    alpha: Optional[AbstractionFunction],
+    stutter_insensitive: bool,
+    open_systems: bool,
+    instrumentation: Instrumentation,
+    meter: BudgetMeter,
+    name: str,
+) -> CheckResult:
+    """The clauses of :func:`check_init_refinement`, budget-metered."""
+    mapping = _resolve_alpha(concrete, abstract, alpha)
     for state in concrete.initial:
         image = mapping(state)
         if image not in abstract.initial:
@@ -119,7 +184,7 @@ def check_init_refinement(
                 ),
             )
     with instrumentation.span("refine.init_clause"):
-        reachable = concrete.reachable()
+        reachable = _reachable_metered(concrete, meter, "refine.init.reachable")
     instrumentation.count("refine.reachable.size", len(reachable))
     checked = 0
     for state in reachable:
@@ -141,6 +206,7 @@ def check_init_refinement(
             continue
         for successor in successors:
             checked += 1
+            meter.charge("refine.init.transitions", unit="transitions")
             target_image = mapping(successor)
             if target_image == image and stutter_insensitive:
                 continue
@@ -171,6 +237,8 @@ def check_everywhere_refinement(
     stutter_insensitive: bool = False,
     open_systems: bool = False,
     instrumentation: Instrumentation = NULL_INSTRUMENTATION,
+    state_budget: Optional[int] = None,
+    meter: Optional[BudgetMeter] = None,
 ) -> CheckResult:
     """Decide ``[C subseteq A]`` — every computation of ``C`` is one of ``A``.
 
@@ -179,11 +247,37 @@ def check_everywhere_refinement(
     without the initial-state clause (everywhere refinement constrains
     behaviour, not initial sets).  ``open_systems`` skips the
     maximality clause, as for :func:`check_init_refinement`.
+    ``state_budget``/``meter`` behave as for
+    :func:`check_init_refinement`.
     """
-    mapping = _resolve_alpha(concrete, abstract, alpha)
+    own_meter = meter is None
+    active = meter if meter is not None else BudgetMeter(state_budget)
     name = f"[{concrete.name} (= {abstract.name}]"
+    try:
+        return _decide_everywhere_refinement(
+            concrete, abstract, alpha, stutter_insensitive, open_systems,
+            instrumentation, active, name,
+        )
+    except BudgetExceeded as exc:
+        if not own_meter:
+            raise
+        return _partial_result(name, exc, instrumentation)
+
+
+def _decide_everywhere_refinement(
+    concrete: System,
+    abstract: System,
+    alpha: Optional[AbstractionFunction],
+    stutter_insensitive: bool,
+    open_systems: bool,
+    instrumentation: Instrumentation,
+    meter: BudgetMeter,
+    name: str,
+) -> CheckResult:
+    """The scan of :func:`check_everywhere_refinement`, budget-metered."""
+    mapping = _resolve_alpha(concrete, abstract, alpha)
     checked = 0
-    for state in concrete.schema.states():
+    for state in meter.metered(concrete.schema.states(), "refine.everywhere"):
         image = mapping(state)
         successors = concrete.successors(state)
         if not successors:
@@ -255,6 +349,7 @@ def check_convergence_refinement(
     stutter_insensitive: bool = False,
     open_systems: bool = False,
     instrumentation: Instrumentation = NULL_INSTRUMENTATION,
+    state_budget: Optional[int] = None,
 ) -> CheckResult:
     """Decide ``[C <= A]`` — convergence refinement (paper, Section 2).
 
@@ -273,20 +368,30 @@ def check_convergence_refinement(
         instrumentation: observability sink (per-clause timings,
             exact/compression/stutter counts, the verdict); the null
             default is free.
+        state_budget: one budget pooled across every clause; past it
+            the result is a structured ``PARTIAL`` verdict instead of
+            a memory blow-up.
 
     Returns:
         :class:`CheckResult` whose detail reports how many transitions
         were exact, compressing, and stuttering.
     """
+    meter = BudgetMeter(state_budget)
+    name = f"[{concrete.name} <= {abstract.name}]"
     with instrumentation.span("refine.total"):
-        result = _decide_convergence_refinement(
-            concrete,
-            abstract,
-            alpha,
-            stutter_insensitive,
-            open_systems,
-            instrumentation,
-        )
+        try:
+            result = _decide_convergence_refinement(
+                concrete,
+                abstract,
+                alpha,
+                stutter_insensitive,
+                open_systems,
+                instrumentation,
+                meter,
+                name,
+            )
+        except BudgetExceeded as exc:
+            return _partial_result(name, exc, instrumentation)
     witness = result.witness
     instrumentation.event(
         "refine.verdict",
@@ -304,10 +409,11 @@ def _decide_convergence_refinement(
     stutter_insensitive: bool,
     open_systems: bool,
     instrumentation: Instrumentation,
+    meter: BudgetMeter,
+    name: str,
 ) -> CheckResult:
     """The clauses of :func:`check_convergence_refinement`, instrumented."""
     mapping = _resolve_alpha(concrete, abstract, alpha)
-    name = f"[{concrete.name} <= {abstract.name}]"
 
     init_part = check_init_refinement(
         concrete,
@@ -316,6 +422,7 @@ def _decide_convergence_refinement(
         stutter_insensitive=stutter_insensitive,
         open_systems=open_systems,
         instrumentation=instrumentation,
+        meter=meter,
     )
     if not init_part.holds:
         return CheckResult(False, name, init_part.witness, detail="init-refinement clause failed")
@@ -324,7 +431,9 @@ def _decide_convergence_refinement(
     stutters: List[Transition] = []
     compressions: List[Transition] = []
     with instrumentation.span("refine.transition_scan"):
-        for source, target in concrete.transitions():
+        for source, target in meter.metered(
+            concrete.transitions(), "refine.transition_scan", unit="transitions"
+        ):
             image_source, image_target = mapping(source), mapping(target)
             if image_source == image_target:
                 if stutter_insensitive:
@@ -416,7 +525,12 @@ def _decide_convergence_refinement(
 
     # Clause 4: terminal states must map to terminal states (closed
     # systems only; open systems have no maximality requirement).
-    for state in concrete.schema.states() if not open_systems else ():
+    terminal_scan = (
+        meter.metered(concrete.schema.states(), "refine.terminal_scan")
+        if not open_systems
+        else ()
+    )
+    for state in terminal_scan:
         if concrete.is_terminal(state) and not abstract.is_terminal(mapping(state)):
             return CheckResult(
                 False,
@@ -497,6 +611,7 @@ def check_everywhere_eventually_refinement(
     abstract: System,
     alpha: Optional[AbstractionFunction] = None,
     instrumentation: Instrumentation = NULL_INSTRUMENTATION,
+    state_budget: Optional[int] = None,
 ) -> CheckResult:
     """Decide the related-work relation of the paper's Section 7.
 
@@ -516,7 +631,11 @@ def check_everywhere_eventually_refinement(
 
     mapping = _resolve_alpha(concrete, abstract, alpha)
     name = f"[{concrete.name} ee-refines {abstract.name}]"
-    init_part = check_init_refinement(concrete, abstract, mapping)
+    init_part = check_init_refinement(
+        concrete, abstract, mapping, state_budget=state_budget
+    )
+    if init_part.is_partial:
+        return CheckResult(False, name, partial=init_part.partial)
     if not init_part.holds:
         return CheckResult(False, name, init_part.witness,
                            detail="init-refinement clause failed")
@@ -525,11 +644,12 @@ def check_everywhere_eventually_refinement(
     )
     suffix_part = check_stabilization(
         concrete, liberal, mapping, compute_steps=False,
-        instrumentation=instrumentation,
+        instrumentation=instrumentation, state_budget=state_budget,
     )
     return CheckResult(
         suffix_part.result.holds,
         name,
         suffix_part.result.witness,
         detail=suffix_part.result.detail,
+        partial=suffix_part.result.partial,
     )

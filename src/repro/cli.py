@@ -6,6 +6,7 @@ Subcommands::
     python -m repro refines CONCRETE ABSTRACT [--relation R] ...
     python -m repro ring SYSTEM -n N [--fairness MODE]
     python -m repro simulate FILE [--steps N] [--seed S] ...
+    python -m repro campaign [--smoke] [--resume] [--checkpoint F] ...
     python -m repro report RUN.jsonl [--events]
     python -m repro render FILE
     python -m repro synthesize FILE [--spec FILE]
@@ -16,8 +17,10 @@ the paper's refinement relations between two programs; ``ring`` runs a
 named token-ring verification from the reproduction; ``simulate`` runs
 the random-daemon simulator and prints the trace tail; ``report``
 summarizes an observability file written with ``--obs-out`` /
-``--trace-out``; ``render`` pretty-prints a parsed program
-(normalizing whitespace and sugar).
+``--trace-out``; ``campaign`` sweeps a resilient fault-injection grid
+over the derived rings with checkpoint/resume (see
+:mod:`repro.campaign` and ``docs/ROBUSTNESS.md``); ``render``
+pretty-prints a parsed program (normalizing whitespace and sugar).
 
 The ``check``, ``refines``, ``ring``, and ``simulate`` subcommands
 accept ``--obs-out PATH``: the run is then instrumented and its
@@ -70,6 +73,47 @@ _RING_SYSTEMS = (
     "c3-composed",
     "kstate",
 )
+
+_CAMPAIGN_SYSTEMS = ("dijkstra4", "dijkstra3", "c3-composed", "kstate", "btr")
+_CAMPAIGN_SCHEDULERS = (
+    "random", "round-robin", "starve-wrappers", "greedy-tokens"
+)
+_CAMPAIGN_INJECTORS = ("corrupt-1", "corrupt-3", "corrupt-all")
+
+
+def _int_at_least(minimum: int) -> Callable[[str], int]:
+    """An argparse ``type`` that rejects integers below ``minimum``.
+
+    Bad values die at parse time with a one-line ``error: argument
+    --steps: must be at least 1, got -5`` instead of surfacing later
+    as a confusing simulator or checker failure.
+    """
+
+    def parse(text: str) -> int:
+        try:
+            value = int(text)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"expected an integer, got {text!r}"
+            )
+        if value < minimum:
+            raise argparse.ArgumentTypeError(
+                f"must be at least {minimum}, got {value}"
+            )
+        return value
+
+    return parse
+
+
+def _positive_float(text: str) -> float:
+    """An argparse ``type`` for strictly positive real arguments."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be positive, got {value}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -127,8 +171,8 @@ def build_parser() -> argparse.ArgumentParser:
         "ring", help="verify a named token-ring system from the paper"
     )
     ring.add_argument("system", choices=_RING_SYSTEMS)
-    ring.add_argument("-n", "--processes", type=int, default=4)
-    ring.add_argument("-k", type=int, default=None,
+    ring.add_argument("-n", "--processes", type=_int_at_least(3), default=4)
+    ring.add_argument("-k", type=_int_at_least(2), default=None,
                       help="counter modulus for kstate (default: n)")
     ring.add_argument(
         "--fairness", choices=("none", "weak", "strong"), default=None,
@@ -138,14 +182,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     sim = commands.add_parser("simulate", help="simulate a GCL program")
     sim.add_argument("program", help="path to the GCL program file")
-    sim.add_argument("--steps", type=int, default=100)
+    sim.add_argument("--steps", type=_int_at_least(1), default=100)
     sim.add_argument(
-        "--seed", type=int, default=0,
+        "--seed", type=_int_at_least(0), default=0,
         help="RNG seed for the random daemon (default 0; recorded in "
         "the run metadata)",
     )
     sim.add_argument(
-        "--tail", type=int, default=10, help="how many final events to print"
+        "--tail", type=_int_at_least(0), default=10,
+        help="how many final events to print",
     )
     sim.add_argument(
         "--trace-out",
@@ -154,6 +199,91 @@ def build_parser() -> argparse.ArgumentParser:
         "'repro report' and Trace.from_jsonl)",
     )
     _add_obs_out(sim)
+
+    camp = commands.add_parser(
+        "campaign",
+        help="sweep a resilient fault-injection campaign over the "
+        "derived rings (checkpoint/resume, per-run timeouts, budgeted "
+        "verification)",
+    )
+    camp.add_argument(
+        "--systems", nargs="+", choices=_CAMPAIGN_SYSTEMS,
+        default=None, metavar="SYSTEM",
+        help="systems to sweep (default: every stabilizing ring; "
+        f"known: {', '.join(_CAMPAIGN_SYSTEMS)})",
+    )
+    camp.add_argument(
+        "--sizes", nargs="+", type=_int_at_least(3), default=[3, 4],
+        metavar="N", help="ring sizes to sweep (default: 3 4)",
+    )
+    camp.add_argument(
+        "--schedulers", nargs="+", choices=_CAMPAIGN_SCHEDULERS,
+        default=["random"], metavar="SCHED",
+        help="daemons to sweep (default: random; known: "
+        f"{', '.join(_CAMPAIGN_SCHEDULERS)})",
+    )
+    camp.add_argument(
+        "--injectors", nargs="+", choices=_CAMPAIGN_INJECTORS,
+        default=["corrupt-all"], metavar="INJ",
+        help="fault injectors to sweep (default: corrupt-all; known: "
+        f"{', '.join(_CAMPAIGN_INJECTORS)})",
+    )
+    camp.add_argument(
+        "--seeds", type=_int_at_least(1), default=3,
+        help="seed indices per grid point (default: 3)",
+    )
+    camp.add_argument(
+        "--seed", type=_int_at_least(0), default=0,
+        help="campaign master seed; every cell derives its own "
+        "sub-seed from it (default: 0)",
+    )
+    camp.add_argument(
+        "--steps", type=_int_at_least(1), default=5000,
+        help="step budget per simulation run (default: 5000)",
+    )
+    camp.add_argument(
+        "--faults", type=_int_at_least(1), default=1,
+        help="transient faults injected per run (default: 1)",
+    )
+    camp.add_argument(
+        "--deadline", type=_positive_float, default=10.0,
+        help="wall-clock budget per run in seconds (default: 10)",
+    )
+    camp.add_argument(
+        "--retries", type=_int_at_least(0), default=1,
+        help="extra attempts after a crashed cell (default: 1)",
+    )
+    camp.add_argument(
+        "--state-budget", type=_int_at_least(1), default=500_000,
+        help="state cap for verification cells; past it the checker "
+        "reports PARTIAL instead of exhausting memory "
+        "(default: 500000)",
+    )
+    camp.add_argument(
+        "--with-check", action="store_true",
+        help="also run one budget-capped stabilization check per "
+        "(system, size)",
+    )
+    camp.add_argument(
+        "--checkpoint", metavar="PATH",
+        help="tagged-JSONL checkpoint file: one line per completed "
+        "cell, flushed incrementally; required for --resume",
+    )
+    camp.add_argument(
+        "--resume", action="store_true",
+        help="continue from the checkpoint, skipping completed cells",
+    )
+    camp.add_argument(
+        "--trace-out", metavar="DIR",
+        help="archive the trace of every suspected-divergence run "
+        "under DIR (replayable via 'repro report')",
+    )
+    camp.add_argument(
+        "--smoke", action="store_true",
+        help="run the small fixed CI grid (two systems, one seed, "
+        "budgeted checks) regardless of the axis flags",
+    )
+    _add_obs_out(camp)
 
     report = commands.add_parser(
         "report",
@@ -353,6 +483,64 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+def _cmd_campaign(args) -> int:
+    from .campaign import (
+        CampaignConfig,
+        build_grid,
+        run_campaign,
+        summarize_campaign,
+    )
+    from .campaign.grid import DEFAULT_SYSTEMS
+
+    if args.smoke:
+        cells = build_grid(
+            systems=("dijkstra4", "dijkstra3"), sizes=(3,),
+            schedulers=("random",), injectors=("corrupt-all",),
+            seeds=1, with_check=True,
+        )
+        config = CampaignConfig(
+            steps=1000, deadline=30.0, retries=args.retries,
+            seed=args.seed, state_budget=100_000,
+            checkpoint=args.checkpoint, trace_dir=args.trace_out,
+        )
+    else:
+        cells = build_grid(
+            systems=tuple(args.systems or DEFAULT_SYSTEMS),
+            sizes=tuple(args.sizes),
+            schedulers=tuple(args.schedulers),
+            injectors=tuple(args.injectors),
+            seeds=args.seeds,
+            with_check=args.with_check,
+        )
+        config = CampaignConfig(
+            steps=args.steps, deadline=args.deadline,
+            retries=args.retries, seed=args.seed,
+            fault_count=args.faults, state_budget=args.state_budget,
+            checkpoint=args.checkpoint, trace_dir=args.trace_out,
+        )
+    instrumentation, recorder = _recorder_for(args, "campaign")
+
+    def progress(cell, result) -> None:
+        print(
+            f"[{result.status.value}] {result.cell_id} "
+            f"({result.seconds:.2f}s)",
+            file=sys.stderr,
+        )
+
+    result = run_campaign(
+        cells, config, resume=args.resume,
+        instrumentation=instrumentation, on_cell=progress,
+    )
+    print(summarize_campaign(result))
+    if result.interrupted:
+        print(
+            "interrupted; resume with --resume and the same axes",
+            file=sys.stderr,
+        )
+    _flush_recorder(args, recorder)
+    return 0 if result.ok else 1
+
+
 def _cmd_report(args) -> int:
     with open(args.run, "r", encoding="utf-8") as handle:
         text = handle.read()
@@ -388,6 +576,7 @@ _DISPATCH = {
     "refines": _cmd_refines,
     "ring": _cmd_ring,
     "simulate": _cmd_simulate,
+    "campaign": _cmd_campaign,
     "report": _cmd_report,
     "render": _cmd_render,
     "synthesize": _cmd_synthesize,

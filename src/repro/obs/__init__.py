@@ -28,7 +28,9 @@ from .record import (
     RunRecord,
     RunRecordError,
     SpanStats,
+    append_jsonl_line,
     load_jsonl,
+    load_tagged_lines,
     loads_jsonl,
     write_jsonl,
 )
@@ -43,7 +45,9 @@ __all__ = [
     "RunRecord",
     "RunRecordError",
     "SpanStats",
+    "append_jsonl_line",
     "load_jsonl",
+    "load_tagged_lines",
     "loads_jsonl",
     "write_jsonl",
     "summarize_record",

@@ -34,6 +34,8 @@ __all__ = [
     "RunRecord",
     "RunRecordError",
     "write_jsonl",
+    "append_jsonl_line",
+    "load_tagged_lines",
     "load_jsonl",
     "loads_jsonl",
 ]
@@ -165,6 +167,55 @@ def write_jsonl(
     for record in records:
         lines.extend(record.to_jsonl_lines())
     Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def append_jsonl_line(path: Union[str, Path], payload: Dict[str, object]) -> None:
+    """Append one tagged JSON object to ``path`` and flush it to disk.
+
+    This is the incremental-checkpoint primitive: the campaign engine
+    appends one self-describing line per completed cell, so a crash or
+    SIGINT between cells loses nothing.  ``payload`` must carry a
+    ``"t"`` tag (enforced) so the file stays readable by every tagged-
+    JSONL consumer in :mod:`repro.obs` — readers skip tags they do not
+    know.
+
+    Raises:
+        RunRecordError: when the payload has no ``"t"`` tag.
+    """
+    if "t" not in payload:
+        raise RunRecordError("tagged JSONL lines require a 't' tag")
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(payload, sort_keys=True) + "\n")
+        handle.flush()
+
+
+def load_tagged_lines(path: Union[str, Path], tag: str) -> List[Dict[str, object]]:
+    """All JSONL objects in ``path`` carrying ``"t": tag``, in file order.
+
+    Lines with other tags are skipped (the file may interleave run
+    records, traces, and checkpoint lines).  A missing file yields an
+    empty list — the natural reading for "no checkpoint yet".
+
+    Raises:
+        RunRecordError: on malformed JSON.
+    """
+    file = Path(path)
+    if not file.exists():
+        return []
+    rows: List[Dict[str, object]] = []
+    for index, line in enumerate(
+        file.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise RunRecordError(f"line {index}: not valid JSON ({exc})")
+        if isinstance(payload, dict) and payload.get("t") == tag:
+            rows.append(payload)
+    return rows
 
 
 def loads_jsonl(text: str) -> List[RunRecord]:

@@ -30,7 +30,7 @@ from .metrics import (
     legitimacy_predicate,
     three_state_tokens,
 )
-from .runner import run_until, simulate
+from .runner import SimOutcome, SimStatus, execute, run_until, simulate
 from .scheduler import (
     BiasedScheduler,
     GreedyScheduler,
@@ -56,6 +56,9 @@ __all__ = [
     "kstate_tokens",
     "legitimacy_predicate",
     "three_state_tokens",
+    "SimOutcome",
+    "SimStatus",
+    "execute",
     "run_until",
     "simulate",
     "BiasedScheduler",

@@ -10,6 +10,7 @@ trace log.
 from __future__ import annotations
 
 import random
+import warnings
 from typing import Callable, Dict, List, Mapping, Sequence, Tuple
 
 from ..core.errors import SimulationError
@@ -37,30 +38,62 @@ class FaultInjector:
         """
         raise NotImplementedError
 
+    def validate(self, program: Program) -> None:
+        """Fail fast when the injector cannot apply to ``program``.
+
+        Called by the simulation engine before the first step (and by
+        the campaign engine when a grid is built), so a misconfigured
+        injector aborts a run at construction time, not mid-campaign.
+
+        Raises:
+            SimulationError: when the injector is incompatible with
+                the program (default: never).
+        """
+
 
 class CorruptVariables(FaultInjector):
     """Overwrite ``count`` randomly chosen variables with random domain values.
 
     Args:
         count: how many (distinct) variables to corrupt per injection.
+        clamp: when true, a program with fewer than ``count`` variables
+            gets all of them corrupted (with a one-time warning)
+            instead of an error — the right behaviour for campaign
+            grids that pair one injector with rings of many sizes.
 
     Raises:
-        SimulationError: at injection time if the program has fewer
-            variables than ``count``.
+        ValueError: when ``count`` is not positive.
+        SimulationError: from :meth:`validate` (and hence at the start
+            of any simulation) if the program has fewer variables than
+            ``count`` and ``clamp`` is off.
     """
 
-    def __init__(self, count: int = 1):
+    def __init__(self, count: int = 1, clamp: bool = False):
         if count < 1:
             raise ValueError("count must be positive")
         self.count = count
+        self.clamp = clamp
+
+    def validate(self, program: Program) -> None:
+        total = len(list(program.variables))
+        if total < self.count and not self.clamp:
+            raise SimulationError(
+                f"cannot corrupt {self.count} of {total} variables "
+                f"(pass clamp=True to corrupt all {total} instead)"
+            )
 
     def inject(self, program: Program, env: Env, rng: random.Random) -> Tuple[Env, str]:
         variables = list(program.variables)
-        if len(variables) < self.count:
-            raise SimulationError(
-                f"cannot corrupt {self.count} of {len(variables)} variables"
+        count = self.count
+        if len(variables) < count:
+            self.validate(program)  # raises unless clamping is on
+            warnings.warn(
+                f"CorruptVariables(count={self.count}) clamped to the "
+                f"{len(variables)} variables of {program.name!r}",
+                stacklevel=2,
             )
-        chosen = rng.sample(variables, self.count)
+            count = len(variables)
+        chosen = rng.sample(variables, count)
         result = dict(env)
         names: List[str] = []
         for variable in chosen:

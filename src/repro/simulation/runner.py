@@ -7,15 +7,28 @@ linear-per-step time.  This is the substrate for every scale
 experiment in the benchmark harness (the model checker covers the
 small instances exhaustively; the simulator extends the curves).
 
-Both entry points take ``instrumentation=`` (default: the free null
-object) and report steps fired, stutters, faults injected, wall time
-per 1000 steps, and the convergence step when a stop predicate fires.
+Three entry points:
+
+* :func:`execute` — the full engine; returns a typed
+  :class:`SimOutcome` (status, trace, steps, wall time) and supports a
+  cooperative wall-clock ``deadline`` so a pathological run ends as a
+  first-class :data:`SimStatus.TIMEOUT` instead of hanging its caller;
+* :func:`simulate` — compatibility wrapper returning just the
+  :class:`~repro.simulation.trace.Trace`;
+* :func:`run_until` — convergence-time helper returning the step
+  count (or ``None``).
+
+All of them take ``instrumentation=`` (default: the free null object)
+and report steps fired, stutters, faults injected, wall time per 1000
+steps, and the convergence step when a stop predicate fires.
 """
 
 from __future__ import annotations
 
 import random
 import time
+from dataclasses import dataclass
+from enum import Enum
 from typing import Callable, Dict, Mapping, Optional
 
 from ..core.errors import SimulationError
@@ -25,12 +38,59 @@ from .faults import FaultSchedule
 from .scheduler import RandomScheduler, Scheduler
 from .trace import Trace
 
-__all__ = ["simulate", "run_until"]
+__all__ = ["SimStatus", "SimOutcome", "execute", "simulate", "run_until"]
 
 Env = Dict[str, object]
 
 #: How often (in fired steps) the engine emits a ``sim.progress`` event.
 _PROGRESS_EVERY = 1000
+
+
+class SimStatus(Enum):
+    """How a simulation run ended."""
+
+    #: The ``stop_when`` predicate fired.
+    CONVERGED = "converged"
+    #: The step budget ran out with the predicate never (or not yet)
+    #: holding — with a ``stop_when`` this is *suspected divergence*.
+    EXHAUSTED = "exhausted"
+    #: No action was enabled (the program halted).
+    DEADLOCK = "deadlock"
+    #: The wall-clock ``deadline`` elapsed before anything else.
+    TIMEOUT = "timeout"
+
+
+@dataclass(frozen=True)
+class SimOutcome:
+    """Typed result of one simulation run.
+
+    Replaces the old convention of "a bare :class:`Trace`, interpret it
+    yourself" for callers — like the campaign engine — that must react
+    differently to convergence, budget exhaustion, deadlock, and
+    timeout without re-deriving the classification from the trace.
+
+    Attributes:
+        status: how the run ended.
+        trace: everything that happened (always complete up to the
+            stopping point, including on timeout).
+        steps: actions fired (stutters included, faults excluded).
+        faults: fault injections performed.
+        wall_seconds: wall-clock duration of the run.
+        seed: the effective RNG seed (``None`` when an external ``rng``
+            hides it).
+    """
+
+    status: SimStatus
+    trace: Trace
+    steps: int
+    faults: int
+    wall_seconds: float
+    seed: Optional[int]
+
+    @property
+    def converged(self) -> bool:
+        """Did the stop predicate fire?"""
+        return self.status is SimStatus.CONVERGED
 
 
 def _initial_env(program: Program, initial: Optional[Mapping[str, object]]) -> Env:
@@ -55,7 +115,7 @@ def _initial_env(program: Program, initial: Optional[Mapping[str, object]]) -> E
     )
 
 
-def simulate(
+def execute(
     program: Program,
     steps: int,
     scheduler: Optional[Scheduler] = None,
@@ -64,8 +124,9 @@ def simulate(
     faults: Optional[FaultSchedule] = None,
     stop_when: Optional[Callable[[Env], bool]] = None,
     seed: Optional[int] = None,
+    deadline: Optional[float] = None,
     instrumentation: Instrumentation = NULL_INSTRUMENTATION,
-) -> Trace:
+) -> SimOutcome:
     """Run ``program`` for up to ``steps`` scheduler-chosen actions.
 
     Args:
@@ -75,21 +136,27 @@ def simulate(
         rng: random source; overrides ``seed`` when given.
         initial: starting environment; defaults to the program's first
             declared initial state.
-        faults: optional injection schedule.
+        faults: optional injection schedule.  The injector is validated
+            against the program *before* the first step, so a
+            misconfigured injector fails fast instead of mid-run.
         stop_when: optional predicate — the run stops as soon as it
             holds *after a step* (checked after fault injections too).
         seed: seed for the default random source when ``rng`` is
             omitted (default 0, for reproducibility); the effective
             seed is recorded in the run metadata (``None`` when an
             external ``rng`` hides it).
+        deadline: optional wall-clock budget in seconds.  The check is
+            cooperative (once per loop iteration): when it trips, the
+            run ends with :data:`SimStatus.TIMEOUT` and a complete
+            trace rather than raising.
         instrumentation: observability sink — steps/stutters/faults
             counters, periodic ``sim.progress`` timing events, and the
-            ``sim.converged``/``sim.deadlock`` outcome; the null
-            default is free.
+            ``sim.converged``/``sim.deadlock``/``sim.timeout`` outcome;
+            the null default is free.
 
     Returns:
-        The recorded :class:`~repro.simulation.trace.Trace`.  The run
-        also stops early if no action is enabled (deadlock).
+        A :class:`SimOutcome` carrying the recorded
+        :class:`~repro.simulation.trace.Trace` and the typed status.
     """
     chosen_scheduler = scheduler or RandomScheduler()
     chosen_scheduler.reset()
@@ -99,23 +166,35 @@ def simulate(
     else:
         effective_seed = 0 if seed is None else seed
         source = random.Random(effective_seed)
+    if faults is not None:
+        faults.injector.validate(program)
     instrumentation.annotate(
         program=program.name, max_steps=steps, seed=effective_seed
     )
     env = _initial_env(program, initial)
     trace = Trace(env)
+    status = SimStatus.EXHAUSTED
     fired = 0
-    window_start = time.perf_counter()
+    start = time.perf_counter()
+    window_start = start
     for step in range(steps):
+        if deadline is not None and time.perf_counter() - start >= deadline:
+            status = SimStatus.TIMEOUT
+            instrumentation.event(
+                "sim.timeout", step=fired, deadline_seconds=deadline
+            )
+            break
         if faults is not None and faults.due(step):
             env, description = faults.injector.inject(program, env, source)
             trace.record("fault", description, env)
             instrumentation.count("sim.faults")
             if stop_when is not None and stop_when(env):
+                status = SimStatus.CONVERGED
                 instrumentation.event("sim.converged", step=trace.step_count())
-                return trace
+                break
         enabled = [action for action in program.actions if action.enabled(env)]
         if not enabled:
+            status = SimStatus.DEADLOCK
             instrumentation.event("sim.deadlock", step=fired)
             break
         action = chosen_scheduler.choose(enabled, env, source)
@@ -136,9 +215,49 @@ def simulate(
             )
             window_start = now
         if stop_when is not None and stop_when(env):
+            status = SimStatus.CONVERGED
             instrumentation.event("sim.converged", step=trace.step_count())
             break
-    return trace
+    return SimOutcome(
+        status=status,
+        trace=trace,
+        steps=trace.step_count(),
+        faults=trace.fault_count(),
+        wall_seconds=time.perf_counter() - start,
+        seed=effective_seed,
+    )
+
+
+def simulate(
+    program: Program,
+    steps: int,
+    scheduler: Optional[Scheduler] = None,
+    rng: Optional[random.Random] = None,
+    initial: Optional[Mapping[str, object]] = None,
+    faults: Optional[FaultSchedule] = None,
+    stop_when: Optional[Callable[[Env], bool]] = None,
+    seed: Optional[int] = None,
+    deadline: Optional[float] = None,
+    instrumentation: Instrumentation = NULL_INSTRUMENTATION,
+) -> Trace:
+    """Like :func:`execute`, returning just the recorded trace.
+
+    Kept for the many call sites (experiments, examples, tests) that
+    only need the trace; new outcome-sensitive callers should prefer
+    :func:`execute`.
+    """
+    return execute(
+        program,
+        steps,
+        scheduler=scheduler,
+        rng=rng,
+        initial=initial,
+        faults=faults,
+        stop_when=stop_when,
+        seed=seed,
+        deadline=deadline,
+        instrumentation=instrumentation,
+    ).trace
 
 
 def run_until(
@@ -149,17 +268,18 @@ def run_until(
     rng: Optional[random.Random] = None,
     initial: Optional[Mapping[str, object]] = None,
     seed: Optional[int] = None,
+    deadline: Optional[float] = None,
     instrumentation: Instrumentation = NULL_INSTRUMENTATION,
 ) -> Optional[int]:
     """Steps taken until ``predicate`` holds, or ``None`` within ``max_steps``.
 
-    Convenience wrapper over :func:`simulate` used by convergence-time
+    Convenience wrapper over :func:`execute` used by convergence-time
     experiments: the count excludes nothing (every fired action counts,
     stutters included — an unfair-to-the-protocol but simple clock).
     The convergence step (or the timeout) is recorded as a
     ``sim.run_until`` event on the instrumentation.
     """
-    trace = simulate(
+    outcome = execute(
         program,
         max_steps,
         scheduler=scheduler,
@@ -167,12 +287,15 @@ def run_until(
         initial=initial,
         stop_when=predicate,
         seed=seed,
+        deadline=deadline,
         instrumentation=instrumentation,
     )
-    final = trace.final()
-    if not predicate(final):
+    # The final-state re-check keeps the historical zero-step edge case:
+    # a run of 0 steps whose initial state already satisfies the
+    # predicate counts as converged in 0 steps.
+    if not outcome.converged and not predicate(outcome.trace.final()):
         instrumentation.event("sim.run_until", converged=False, steps=None)
         return None
-    steps = trace.step_count()
+    steps = outcome.steps
     instrumentation.event("sim.run_until", converged=True, steps=steps)
     return steps

@@ -1,0 +1,135 @@
+"""Unit tests for state budgets and PARTIAL checker verdicts.
+
+The degradation contract: a budget-capped check never exhausts memory
+— past the cap it returns a structured ``PARTIAL`` verdict recording
+how far it got — and a budget large enough to finish changes nothing:
+the verdict is identical to the unbudgeted run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.checker import (
+    check_convergence_refinement,
+    check_init_refinement,
+    check_self_stabilization,
+    check_stabilization,
+)
+from repro.checker.budget import BudgetExceeded, BudgetMeter, PartialExploration
+from repro.rings import btr_program, btr4_abstraction, dijkstra_four_state
+
+
+class TestBudgetMeter:
+    def test_unlimited_meter_never_trips(self):
+        meter = BudgetMeter(None)
+        meter.charge("phase", count=10**9)
+        assert meter.explored == 10**9
+
+    def test_charge_past_budget_raises_with_cutoff_details(self):
+        meter = BudgetMeter(3)
+        meter.charge("check.core", count=3)
+        with pytest.raises(BudgetExceeded) as excinfo:
+            meter.charge("check.core", frontier=7)
+        partial = excinfo.value.partial
+        assert partial.explored == 3
+        assert partial.budget == 3
+        assert partial.frontier == 7
+        assert partial.phase == "check.core"
+
+    def test_metered_yields_until_the_cap(self):
+        meter = BudgetMeter(2)
+        consumed = []
+        with pytest.raises(BudgetExceeded):
+            for item in meter.metered("abcde", "scan"):
+                consumed.append(item)
+        assert consumed == ["a", "b"]
+
+    def test_budget_is_pooled_across_phases(self):
+        meter = BudgetMeter(5)
+        meter.charge("first", count=4)
+        with pytest.raises(BudgetExceeded) as excinfo:
+            meter.charge("second", count=2)
+        assert excinfo.value.partial.phase == "second"
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_nonpositive_budget_rejected(self, bad):
+        with pytest.raises(ValueError):
+            BudgetMeter(bad)
+
+    def test_partial_format_mentions_budget_and_phase(self):
+        partial = PartialExploration(10, 4, 10, "refine.everywhere")
+        text = partial.format()
+        assert "10" in text and "refine.everywhere" in text and "frontier 4" in text
+
+
+class TestStabilizationBudget:
+    def test_tiny_budget_yields_partial_not_memoryerror(self, btr4_bundle):
+        btr, _, dijkstra4, alpha4 = btr4_bundle
+        result = check_stabilization(dijkstra4, btr, alpha4, state_budget=3)
+        assert result.is_partial
+        assert not result.holds
+        assert result.result.verdict == "PARTIAL"
+        assert result.result.partial.explored <= 3
+        assert "budget" in result.result.format()
+
+    def test_large_budget_matches_unbudgeted_verdict(self, btr4_bundle):
+        btr, _, dijkstra4, alpha4 = btr4_bundle
+        unbudgeted = check_stabilization(dijkstra4, btr, alpha4)
+        budgeted = check_stabilization(
+            dijkstra4, btr, alpha4, state_budget=10**9
+        )
+        assert unbudgeted.holds and budgeted.holds
+        assert not budgeted.is_partial
+        assert budgeted.core == unbudgeted.core
+
+    def test_self_stabilization_accepts_budget(self, btr4_bundle):
+        btr, _, _, _ = btr4_bundle
+        result = check_self_stabilization(btr, state_budget=2)
+        assert result.is_partial
+
+    def test_failing_check_is_not_partial(self, btr4_bundle):
+        # BTR does not self-stabilize: a real counterexample, not a
+        # budget cut-off, and the two must stay distinguishable.
+        btr, _, _, _ = btr4_bundle
+        result = check_self_stabilization(btr)
+        assert not result.holds
+        assert not result.is_partial
+        assert result.result.verdict == "FAILS"
+
+
+class TestRefinementBudget:
+    def test_init_refinement_tiny_budget_is_partial(self, btr4_bundle):
+        btr, c1, _, alpha4 = btr4_bundle
+        result = check_init_refinement(c1, btr, alpha4, state_budget=2)
+        assert result.is_partial
+        assert not result.holds
+
+    def test_init_refinement_large_budget_matches_unbudgeted(self, btr4_bundle):
+        btr, c1, _, alpha4 = btr4_bundle
+        unbudgeted = check_init_refinement(c1, btr, alpha4)
+        budgeted = check_init_refinement(c1, btr, alpha4, state_budget=10**9)
+        assert budgeted.holds == unbudgeted.holds
+        assert not budgeted.is_partial
+
+    def test_convergence_refinement_tiny_budget_is_partial(self):
+        n = 3
+        concrete = dijkstra_four_state(n).compile()
+        abstract = btr_program(n).compile()
+        result = check_convergence_refinement(
+            concrete, abstract, btr4_abstraction(n), state_budget=2
+        )
+        assert result.is_partial
+        assert "budget" in result.format()
+
+    def test_convergence_refinement_large_budget_matches_unbudgeted(self):
+        n = 3
+        concrete = dijkstra_four_state(n).compile()
+        abstract = btr_program(n).compile()
+        alpha = btr4_abstraction(n)
+        unbudgeted = check_convergence_refinement(concrete, abstract, alpha)
+        budgeted = check_convergence_refinement(
+            concrete, abstract, alpha, state_budget=10**9
+        )
+        assert budgeted.holds == unbudgeted.holds
+        assert not budgeted.is_partial

@@ -252,3 +252,79 @@ class TestObservability:
         (record,) = load_jsonl(out)
         verdicts = [e for e in record.events if e.name == "check.verdict"]
         assert verdicts and verdicts[0].fields["holds"] is False
+
+
+class TestNumericValidation:
+    """Bad numeric arguments die at parse time with a clear message."""
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["simulate", "x.gcl", "--steps", "0"],
+            ["simulate", "x.gcl", "--steps", "-5"],
+            ["simulate", "x.gcl", "--seed", "-1"],
+            ["simulate", "x.gcl", "--tail", "-2"],
+            ["simulate", "x.gcl", "--steps", "many"],
+            ["ring", "dijkstra3", "-n", "2"],
+            ["ring", "kstate", "-n", "4", "-k", "1"],
+            ["campaign", "--seeds", "0"],
+            ["campaign", "--seed", "-1"],
+            ["campaign", "--steps", "0"],
+            ["campaign", "--faults", "0"],
+            ["campaign", "--deadline", "0"],
+            ["campaign", "--deadline", "-1.5"],
+            ["campaign", "--retries", "-1"],
+            ["campaign", "--state-budget", "0"],
+            ["campaign", "--sizes", "2"],
+        ],
+    )
+    def test_rejected_at_parse_time(self, argv, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "must be" in err or "expected a" in err
+
+    def test_valid_arguments_still_parse(self):
+        args = build_parser().parse_args(
+            ["campaign", "--seed", "0", "--steps", "10", "--deadline", "0.5"]
+        )
+        assert args.seed == 0 and args.steps == 10 and args.deadline == 0.5
+
+
+class TestCampaignCommand:
+    def test_smoke_grid_exits_zero(self, capsys):
+        assert main(["campaign", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "campaign summary" in out
+        assert "dijkstra4 n=3" in out and "dijkstra3 n=3" in out
+
+    def test_checkpoint_and_resume_round_trip(self, tmp_path, capsys):
+        checkpoint = tmp_path / "campaign.jsonl"
+        argv = [
+            "campaign", "--systems", "dijkstra3", "--sizes", "3",
+            "--seeds", "1", "--steps", "500",
+            "--checkpoint", str(checkpoint),
+        ]
+        assert main(argv) == 0
+        assert checkpoint.exists()
+        capsys.readouterr()
+        # Without --resume an existing checkpoint is refused ...
+        assert main(argv) == 2
+        assert "resume" in capsys.readouterr().err
+        # ... with it, every cell is skipped.
+        assert main(argv + ["--resume"]) == 0
+        assert "resumed 1" in capsys.readouterr().out
+
+    def test_campaign_obs_out(self, tmp_path):
+        from repro.obs import load_jsonl
+
+        out = tmp_path / "campaign-obs.jsonl"
+        argv = [
+            "campaign", "--systems", "dijkstra3", "--sizes", "3",
+            "--seeds", "1", "--steps", "500", "--obs-out", str(out),
+        ]
+        assert main(argv) == 0
+        (record,) = load_jsonl(out)
+        assert record.kind == "campaign"
+        assert record.counters.get("campaign.cells.executed") == 1

@@ -1,0 +1,117 @@
+"""Unit tests for typed simulation outcomes and deadline support.
+
+Every run ends in exactly one :class:`SimStatus`; the tests below pin
+one deterministic run per status, plus the determinism contract the
+campaign engine relies on: identical seeds yield byte-identical
+traces.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gcl.parser import parse_program
+from repro.rings.btr3 import dijkstra_three_state
+from repro.simulation.faults import CorruptEverything, FaultSchedule
+from repro.simulation.metrics import legitimacy_predicate
+from repro.simulation.runner import SimOutcome, SimStatus, execute, simulate
+
+COUNTDOWN = """
+program countdown
+var x : 0..5
+action dec :: x > 0 --> x := x - 1
+init x == 5
+"""
+
+SPINNER = """
+program spinner
+var x : bool
+action flip :: true --> x := !x
+init x == false
+"""
+
+
+class TestSimStatus:
+    def test_converged_when_stop_predicate_fires(self):
+        outcome = execute(
+            parse_program(COUNTDOWN), 100, seed=0,
+            stop_when=lambda env: env["x"] == 2,
+        )
+        assert outcome.status is SimStatus.CONVERGED
+        assert outcome.converged
+        assert outcome.trace.final() == {"x": 2}
+        assert outcome.steps == 3
+
+    def test_exhausted_when_step_budget_runs_out(self):
+        outcome = execute(parse_program(SPINNER), 4, seed=0)
+        assert outcome.status is SimStatus.EXHAUSTED
+        assert not outcome.converged
+        assert outcome.steps == 4
+
+    def test_deadlock_when_no_action_enabled(self):
+        outcome = execute(parse_program(COUNTDOWN), 100, seed=0)
+        assert outcome.status is SimStatus.DEADLOCK
+        assert outcome.trace.final() == {"x": 0}
+        assert outcome.steps == 5
+
+    def test_timeout_when_deadline_elapses(self):
+        outcome = execute(parse_program(SPINNER), 10**8, seed=0, deadline=1e-9)
+        assert outcome.status is SimStatus.TIMEOUT
+        assert not outcome.converged
+        # The deadline tripped long before the step budget.
+        assert outcome.steps < 10**8
+
+    def test_outcome_records_seed_and_wall_time(self):
+        outcome = execute(parse_program(COUNTDOWN), 10, seed=42)
+        assert outcome.seed == 42
+        assert outcome.wall_seconds >= 0.0
+        assert isinstance(outcome, SimOutcome)
+
+    def test_timeout_on_ring_with_faults(self):
+        # The campaign configuration in miniature: a fault-injected
+        # ring run whose deadline elapses is reported as TIMEOUT, not
+        # as an error or a hang.
+        program = dijkstra_three_state(4)
+        outcome = execute(
+            program, 10**8, seed=1, deadline=1e-9,
+            faults=FaultSchedule([0], CorruptEverything()),
+            stop_when=legitimacy_predicate("three", 4),
+        )
+        assert outcome.status is SimStatus.TIMEOUT
+
+
+class TestDeterminism:
+    def test_identical_seeds_give_byte_identical_traces(self):
+        program = dijkstra_three_state(4)
+
+        def run():
+            return execute(
+                program, 200, seed=99,
+                faults=FaultSchedule([0, 5], CorruptEverything()),
+                stop_when=legitimacy_predicate("three", 4),
+            )
+
+        first, second = run(), run()
+        assert first.trace.to_jsonl() == second.trace.to_jsonl()
+        assert first.status is second.status
+        assert first.steps == second.steps
+
+    def test_different_seeds_diverge(self):
+        program = dijkstra_three_state(5)
+
+        def run(seed):
+            return execute(
+                program, 200, seed=seed,
+                faults=FaultSchedule([0], CorruptEverything()),
+            ).trace.to_jsonl()
+
+        # At least one of a handful of seeds must differ from seed 0
+        # (all-equal would mean the seed is ignored).
+        assert any(run(seed) != run(0) for seed in range(1, 5))
+
+    def test_simulate_wrapper_matches_execute(self):
+        program = parse_program(COUNTDOWN)
+        assert (
+            simulate(program, 10, seed=3).to_jsonl()
+            == execute(program, 10, seed=3).trace.to_jsonl()
+        )

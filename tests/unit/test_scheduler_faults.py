@@ -7,12 +7,16 @@ import pytest
 from repro.core.errors import SimulationError
 from repro.gcl.action import GuardedAction
 from repro.gcl.expr import Const, Var
+from repro.gcl.parser import parse_program
 from repro.rings.btr3 import dijkstra_three_state
+from repro.rings.topology import Ring
 from repro.simulation.faults import (
     CorruptEverything,
     CorruptVariables,
     FaultSchedule,
 )
+from repro.simulation.metrics import three_state_tokens
+from repro.simulation.runner import execute
 from repro.simulation.scheduler import (
     BiasedScheduler,
     GreedyScheduler,
@@ -132,6 +136,129 @@ class TestFaultInjectors:
         env = program.env_of(next(program.initial_states()))
         with pytest.raises(SimulationError):
             injector.inject(program, env, random.Random(0))
+
+
+TWO_COUNTERS = """
+program twocounters
+var x : 0..9
+var y : 0..9
+action incx :: x < 9 --> x := x + 1
+action incy :: y < 9 --> y := y + 1
+init x == 0 && y == 0
+"""
+
+
+class TestAdversarialSchedulers:
+    def test_full_bias_starves_unpreferred_over_a_whole_run(self):
+        # The starvation daemon: with bias 1.0 the unpreferred action
+        # never fires while any preferred one is enabled, so y stays 0
+        # until x saturates.
+        program = parse_program(TWO_COUNTERS)
+        scheduler = BiasedScheduler(lambda name: name == "incx", bias=1.0)
+        outcome = execute(program, 9, scheduler=scheduler, seed=0)
+        assert outcome.trace.final() == {"x": 9, "y": 0}
+
+    def test_partial_bias_lets_the_starved_action_through(self):
+        program = parse_program(TWO_COUNTERS)
+        scheduler = BiasedScheduler(lambda name: name == "incx", bias=0.5)
+        outcome = execute(program, 18, scheduler=scheduler, seed=0)
+        assert outcome.trace.final()["y"] > 0
+
+    def test_greedy_picks_token_maximizing_ring_action(self):
+        # The worst-case daemon of the campaign grid: on the 3-state
+        # ring it always fires an action whose successor has at least
+        # as many tokens as any alternative.
+        n = 4
+        program = dijkstra_three_state(n)
+        ring = Ring(n)
+        score = lambda env: len(three_state_tokens(ring, env))
+        scheduler = GreedyScheduler(score=score)
+        env = program.env_of(next(program.initial_states()))
+        # Perturb into a multi-token state deterministically.
+        env, _ = CorruptEverything().inject(program, env, random.Random(2))
+        enabled = [a for a in program.actions if a.enabled(env)]
+        chosen = scheduler.choose(enabled, env, random.Random(0))
+        best = max(score(a.execute(env)) for a in enabled)
+        assert score(chosen.execute(env)) == best
+
+    def test_greedy_is_deterministic_up_to_rng(self):
+        program = parse_program(TWO_COUNTERS)
+        scheduler = GreedyScheduler(score=lambda env: env["x"] - env["y"])
+        outcome = execute(program, 9, scheduler=scheduler, seed=5)
+        # Maximizing x - y is the same starvation schedule.
+        assert outcome.trace.final() == {"x": 9, "y": 0}
+
+
+class TestInjectorValidation:
+    @pytest.fixture
+    def program(self):
+        return dijkstra_three_state(3)
+
+    def test_validate_accepts_feasible_count(self, program):
+        CorruptVariables(2).validate(program)  # must not raise
+
+    def test_validate_rejects_oversized_count_before_any_step(self, program):
+        with pytest.raises(SimulationError, match="cannot corrupt"):
+            CorruptVariables(100).validate(program)
+
+    def test_oversized_count_with_clamp_warns_and_corrupts_all(self, program):
+        injector = CorruptVariables(100, clamp=True)
+        injector.validate(program)  # clamping: construction-time OK
+        env = program.env_of(next(program.initial_states()))
+        with pytest.warns(UserWarning, match="clamp"):
+            corrupted, _ = injector.inject(program, env, random.Random(0))
+        assert set(corrupted) == set(env)
+        program.state_of(corrupted)  # still in-domain
+
+    def test_execute_fails_fast_on_infeasible_injector(self, program):
+        # The engine calls validate() before the first step: the run
+        # dies immediately, not at the scheduled fault step.
+        with pytest.raises(SimulationError, match="cannot corrupt"):
+            execute(
+                program, 100, seed=0,
+                faults=FaultSchedule([50], CorruptVariables(100)),
+            )
+
+
+class TestInjectorDomainProperty:
+    """Property: injectors only ever produce in-domain values."""
+
+    def test_seeded_sweep_stays_in_domain(self):
+        program = dijkstra_three_state(4)
+        env = program.env_of(next(program.initial_states()))
+        for seed in range(50):
+            rng = random.Random(seed)
+            for injector in (
+                CorruptVariables(1),
+                CorruptVariables(3),
+                CorruptEverything(),
+            ):
+                corrupted, _ = injector.inject(program, dict(env), rng)
+                program.state_of(corrupted)  # raises if out of domain
+
+    def test_hypothesis_sweep_stays_in_domain(self):
+        hypothesis = pytest.importorskip("hypothesis")
+        st = pytest.importorskip("hypothesis.strategies")
+        program = dijkstra_three_state(4)
+        env = program.env_of(next(program.initial_states()))
+
+        @hypothesis.settings(max_examples=60, deadline=None)
+        @hypothesis.given(
+            seed=st.integers(min_value=0, max_value=2**32 - 1),
+            count=st.integers(min_value=1, max_value=8),
+        )
+        def check(seed, count):
+            injector = CorruptVariables(count, clamp=True)
+            corrupted, _ = injector.inject(
+                program, dict(env), random.Random(seed)
+            )
+            program.state_of(corrupted)  # raises if out of domain
+
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", UserWarning)  # clamp warnings
+            check()
 
 
 class TestFaultSchedule:
