@@ -1,0 +1,158 @@
+"""P01: scaling of the sharded parallel checker and the result cache.
+
+Three artifacts:
+
+* a worker-scaling table — wall time of the stabilization check at
+  1/2/4 workers on the largest ring the smoke budget allows, with the
+  verdict asserted byte-identical at every width (speedup is reported,
+  not asserted: single-core CI runners legitimately show ~1x, and the
+  fork/IPC overhead only amortizes once states() enumeration dominates);
+* a cache table — cold-miss vs warm-hit wall time for the same
+  verification through :class:`repro.parallel.VerificationCache`;
+* a metrics JSON with the parallel obs counters (rounds, batches,
+  states expanded) from an instrumented sharded run.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.analysis import format_table
+from repro.checker import check_stabilization
+from repro.obs import Recorder
+from repro.parallel import (
+    VerificationCache,
+    cache_key,
+    parallel_available,
+    program_fingerprint,
+)
+from repro.rings import btr3_abstraction, btr_program, dijkstra_three_state
+
+#: Ring size for the scaling sweep: the largest whose sequential check
+#: stays inside the CI smoke budget (3^n * 2n transition scans).
+SCALE_N = 5
+
+WORKER_WIDTHS = (1, 2, 4)
+
+
+def _timed_check(n: int, workers: int):
+    concrete = dijkstra_three_state(n).compile()
+    spec = btr_program(n).compile()
+    alpha = btr3_abstraction(n)
+    start = time.perf_counter()
+    result = check_stabilization(
+        concrete, spec, alpha, compute_steps=False, workers=workers
+    )
+    return time.perf_counter() - start, result
+
+
+def _scaling_rows(n: int):
+    rows = []
+    baseline = None
+    reference = None
+    for workers in WORKER_WIDTHS:
+        if workers > 1 and not parallel_available():
+            continue
+        seconds, result = _timed_check(n, workers)
+        rendered = result.format()
+        if reference is None:
+            baseline, reference = seconds, rendered
+        assert rendered == reference, (
+            f"verdict changed at {workers} workers"
+        )
+        rows.append(
+            {
+                "workers": workers,
+                "seconds": round(seconds, 4),
+                "speedup": round(baseline / seconds, 2) if seconds else None,
+                "holds": result.holds,
+            }
+        )
+    return rows
+
+
+def test_p01_worker_scaling(benchmark, record_table):
+    rows = benchmark.pedantic(
+        _scaling_rows, args=(SCALE_N,), rounds=1, iterations=1
+    )
+    assert all(row["holds"] for row in rows)
+    record_table(
+        "p01_parallel_scaling",
+        format_table(
+            rows,
+            columns=["workers", "seconds", "speedup", "holds"],
+            title=(
+                f"P01 sharded checker scaling: Dijkstra3(n={SCALE_N}) "
+                "stabilizing to BTR"
+            ),
+        ),
+        rows=rows,
+    )
+
+
+def test_p01_cache_cold_vs_warm(benchmark, record_table, tmp_path):
+    cache = VerificationCache(tmp_path / "cache")
+    key = cache_key(
+        "bench-check",
+        [
+            program_fingerprint(dijkstra_three_state(4)),
+            program_fingerprint(btr_program(4)),
+        ],
+        {"n": 4, "fairness": "none"},
+    )
+
+    def cold_then_warm():
+        rows = []
+        start = time.perf_counter()
+        assert cache.get(key) is None  # cold miss
+        _, result = _timed_check(4, 1)
+        cache.put(key, {"holds": result.holds, "text": result.format()})
+        rows.append(
+            {
+                "path": "cold (miss + check + store)",
+                "seconds": round(time.perf_counter() - start, 4),
+            }
+        )
+        start = time.perf_counter()
+        hit = cache.get(key)
+        rows.append(
+            {"path": "warm (hit)", "seconds": round(time.perf_counter() - start, 4)}
+        )
+        assert hit is not None and hit["holds"]
+        return rows
+
+    rows = benchmark.pedantic(cold_then_warm, rounds=1, iterations=1)
+    record_table(
+        "p01_cache_cold_warm",
+        format_table(
+            rows,
+            columns=["path", "seconds"],
+            title="P01 verification cache: cold miss vs warm hit (n=4)",
+        ),
+        rows=rows,
+    )
+
+
+@pytest.mark.skipif(not parallel_available(), reason="no fork start method")
+def test_p01_sharded_counters(benchmark, record_metrics):
+    recorder = Recorder(kind="bench")
+    recorder.annotate(experiment="p01_parallel", n=4, workers=2)
+
+    def instrumented():
+        return check_stabilization(
+            dijkstra_three_state(4).compile(),
+            btr_program(4).compile(),
+            btr3_abstraction(4),
+            compute_steps=False,
+            workers=2,
+            instrumentation=recorder,
+        )
+
+    result = benchmark.pedantic(instrumented, rounds=1, iterations=1)
+    assert result.holds
+    record = recorder.record()
+    assert record.counters.get("parallel.workers") == 2
+    assert record.counters.get("parallel.batches", 0) > 0
+    record_metrics("p01_parallel", recorder)

@@ -29,7 +29,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.errors import SimulationError
 from ..obs import (
@@ -80,6 +80,18 @@ class CampaignConfig:
             in-memory only, no resume).
         trace_dir: where suspected-divergence traces are archived
             (``None`` = do not archive).
+        workers: worker processes executing grid cells concurrently
+            (``1`` = sequential).  Cells land in the checkpoint in
+            completion order, but rows are keyed by cell id and the
+            assembled results stay in grid order, so a campaign can be
+            resumed under any other worker count.  Sub-seeds derive
+            from cell ids, never from execution order, so per-cell
+            outcomes are identical at every worker count.
+        cache_dir: root of the content-addressed verification cache
+            (``None`` = no caching).  Verification cells whose program
+            and parameters match a cached verdict are served from disk
+            (their ``detail`` gains a ``[cached]`` marker); ``partial``
+            and ``error`` outcomes are never cached.
 
     Raises:
         SimulationError: on a non-positive budget, so a misconfigured
@@ -95,10 +107,16 @@ class CampaignConfig:
     state_budget: Optional[int] = 500_000
     checkpoint: Optional[Union[str, Path]] = None
     trace_dir: Optional[Union[str, Path]] = None
+    workers: int = 1
+    cache_dir: Optional[Union[str, Path]] = None
 
     def __post_init__(self) -> None:
         if self.steps < 1:
             raise SimulationError(f"steps must be positive, got {self.steps}")
+        if self.workers < 1:
+            raise SimulationError(
+                f"workers must be positive, got {self.workers}"
+            )
         if self.deadline is not None and self.deadline <= 0:
             raise SimulationError(
                 f"deadline must be positive seconds, got {self.deadline}"
@@ -215,10 +233,53 @@ def _attempt_simulation(
     )
 
 
+def _check_cache_key(cell: CellSpec, config: CampaignConfig) -> str:
+    """The content address of one verification cell's verdict.
+
+    Keyed on the canonical fingerprints of the concrete and spec
+    programs plus the verdict-relevant parameters.  Execution-only
+    knobs (workers, deadlines, checkpoint paths) are excluded: they
+    cannot change the verdict, so runs under different settings share
+    entries.
+    """
+    from ..parallel import cache_key, program_fingerprint
+
+    entry = SYSTEMS[cell.system]
+    return cache_key(
+        "campaign-check",
+        [
+            program_fingerprint(entry.builder(cell.n)),
+            program_fingerprint(entry.spec_builder(cell.n)),
+        ],
+        {
+            "system": cell.system,
+            "n": cell.n,
+            "fairness": entry.fairness,
+            "stutter_insensitive": entry.stutter_insensitive,
+            "state_budget": config.state_budget,
+        },
+    )
+
+
 def _attempt_check(cell: CellSpec, config: CampaignConfig) -> CellResult:
     """One attempt at a verification cell (may raise; caller isolates)."""
     from ..checker.convergence import check_stabilization
 
+    cache = key = None
+    if config.cache_dir is not None:
+        from ..parallel import VerificationCache
+
+        cache = VerificationCache(config.cache_dir)
+        key = _check_cache_key(cell, config)
+        hit = cache.get(key)
+        if hit is not None:
+            cached = CellResult.from_payload(dict(hit))
+            return CellResult(
+                cached.cell_id, cached.status, cached.attempts,
+                cached.seconds, steps=cached.steps, seed=cached.seed,
+                detail=cached.detail + " [cached]",
+                trace_path=cached.trace_path,
+            )
     entry = SYSTEMS[cell.system]
     start = time.perf_counter()
     concrete = entry.builder(cell.n).compile()
@@ -242,16 +303,20 @@ def _attempt_check(cell: CellSpec, config: CampaignConfig) -> CellResult:
             cell_id, CellStatus.PARTIAL, 1, seconds, detail=partial.format()
         )
     if result.holds:
-        return CellResult(
+        outcome = CellResult(
             cell_id, CellStatus.CONVERGED, 1, seconds,
             detail=f"stabilization verified (core {len(result.core)} states)",
         )
-    witness = result.result.witness
-    kind = witness.kind.value if witness is not None else "unknown"
-    return CellResult(
-        cell_id, CellStatus.DIVERGED, 1, seconds,
-        detail=f"stabilization fails: {kind}",
-    )
+    else:
+        witness = result.result.witness
+        kind = witness.kind.value if witness is not None else "unknown"
+        outcome = CellResult(
+            cell_id, CellStatus.DIVERGED, 1, seconds,
+            detail=f"stabilization fails: {kind}",
+        )
+    if cache is not None and key is not None:
+        cache.put(key, outcome.to_payload())
+    return outcome
 
 
 def execute_cell(cell: CellSpec, config: CampaignConfig) -> CellResult:
@@ -372,6 +437,16 @@ def run_campaign(
         cells=len(cells), seed=config.seed, steps=config.steps
     )
     campaign = CampaignResult()
+    workers = config.workers
+    if workers > 1:
+        from ..parallel import resolve_workers
+
+        workers = resolve_workers(workers)
+    if workers > 1:
+        return _run_campaign_parallel(
+            cells, config, completed, workers, instrumentation,
+            executor, on_cell, campaign,
+        )
     interrupted_at: Optional[int] = None
     for index, cell in enumerate(cells):
         cell_id = cell.cell_id()
@@ -405,5 +480,99 @@ def run_campaign(
         campaign.pending = len(cells) - interrupted_at
         instrumentation.event(
             "campaign.interrupted", at=interrupted_at, pending=campaign.pending
+        )
+    return campaign
+
+
+def _run_cell_task(item: "Tuple[int, CellSpec]") -> "Tuple[int, CellResult]":
+    """Pool task: run one grid cell with the fork-inherited executor.
+
+    The executor and config ride into the worker through the pool's
+    copy-on-write context (they may be closures, which do not pickle);
+    only the ``(index, cell)`` pair crosses as a pickle.
+    """
+    from ..parallel.pool import worker_context
+
+    index, cell = item
+    ctx = worker_context()
+    executor: Callable[[CellSpec, CampaignConfig], CellResult] = (
+        ctx["campaign_executor"]  # type: ignore[assignment]
+    )
+    config: CampaignConfig = ctx["campaign_config"]  # type: ignore[assignment]
+    return index, executor(cell, config)
+
+
+def _run_campaign_parallel(
+    cells: Sequence[CellSpec],
+    config: CampaignConfig,
+    completed: Dict[str, CellResult],
+    workers: int,
+    instrumentation: Instrumentation,
+    executor: Callable[[CellSpec, CampaignConfig], CellResult],
+    on_cell: Optional[Callable[[CellSpec, CellResult], None]],
+    campaign: CampaignResult,
+) -> CampaignResult:
+    """The ``workers > 1`` body of :func:`run_campaign`.
+
+    Pending cells fan out over a worker pool; the driver remains the
+    only checkpoint writer, appending each result the moment it lands
+    (completion order).  The assembled ``results`` list is rebuilt in
+    grid order at the end, so callers — and resumes under any other
+    worker count — see exactly what the sequential sweep produces:
+    checkpoint rows are keyed by cell id, never by worker or arrival
+    position.
+    """
+    from ..parallel.pool import WorkerPool
+
+    instrumentation.count("parallel.workers", workers)
+    pending_items: List[Tuple[int, CellSpec]] = []
+    for index, cell in enumerate(cells):
+        if cell.cell_id() in completed:
+            campaign.skipped += 1
+            instrumentation.count("campaign.cells.skipped")
+        else:
+            pending_items.append((index, cell))
+    finished: Dict[int, CellResult] = {}
+    interrupted = False
+    if pending_items:
+        with WorkerPool(
+            workers, campaign_executor=executor, campaign_config=config
+        ) as pool:
+            try:
+                for index, result in pool.imap_unordered(
+                    _run_cell_task, pending_items
+                ):
+                    finished[index] = result
+                    campaign.executed += 1
+                    instrumentation.count("campaign.cells.executed")
+                    instrumentation.count(
+                        f"campaign.status.{result.status.value}"
+                    )
+                    instrumentation.event(
+                        "campaign.cell",
+                        id=result.cell_id,
+                        status=result.status.value,
+                        attempts=result.attempts,
+                        seconds=result.seconds,
+                    )
+                    if config.checkpoint is not None:
+                        append_jsonl_line(config.checkpoint, result.to_payload())
+                    if on_cell is not None:
+                        on_cell(cells[index], result)
+            except KeyboardInterrupt:
+                interrupted = True
+    for index, cell in enumerate(cells):
+        cell_id = cell.cell_id()
+        if cell_id in completed:
+            campaign.results.append(completed[cell_id])
+        elif index in finished:
+            campaign.results.append(finished[index])
+    if interrupted:
+        campaign.interrupted = True
+        campaign.pending = len(cells) - len(campaign.results)
+        instrumentation.event(
+            "campaign.interrupted",
+            at=len(campaign.results),
+            pending=campaign.pending,
         )
     return campaign

@@ -112,7 +112,10 @@ class StabilizationResult:
 
 
 def legitimate_abstract_states(
-    abstract: System, meter: Optional[BudgetMeter] = None
+    abstract: System,
+    meter: Optional[BudgetMeter] = None,
+    workers: int = 1,
+    instrumentation: Instrumentation = NULL_INSTRUMENTATION,
 ) -> FrozenSet[State]:
     """``L_A``: the abstract states reachable from the abstract initial states.
 
@@ -122,7 +125,23 @@ def legitimate_abstract_states(
             charges one unit per state expanded and stops with a
             :class:`~repro.checker.budget.BudgetExceeded` (carrying the
             frontier size) instead of outgrowing memory.
+        workers: degree of parallelism; above 1 the search runs as a
+            sharded BFS (:func:`repro.parallel.parallel_reachable`)
+            and returns the identical set.
+        instrumentation: observability sink for the sharded search's
+            round/batch counters (unused sequentially).
     """
+    if workers > 1:
+        from ..parallel import parallel_reachable
+
+        return parallel_reachable(
+            abstract,
+            abstract.initial,
+            workers,
+            meter=meter if meter is not None and meter.budget is not None else None,
+            phase="check.legitimate",
+            instrumentation=instrumentation,
+        )
     if meter is None or meter.budget is None:
         return abstract.reachable()
     seen: Set[State] = set(abstract.initial)
@@ -137,6 +156,49 @@ def legitimate_abstract_states(
     return frozenset(seen)
 
 
+def _must_evict(
+    state: State,
+    member,
+    concrete: System,
+    abstract: System,
+    mapping,
+    stutter_insensitive: bool,
+    fairness_ignores_stutter: bool,
+) -> bool:
+    """Whether ``state`` leaves the core, judged against ``member``.
+
+    ``member`` is the current core membership test — the live
+    (Gauss-Seidel) set on the sequential path, a frozen per-round
+    (Jacobi) snapshot on the parallel path.  Both iterate the same
+    monotone operator, so they reach the same greatest fixpoint.
+    """
+    image = mapping(state)
+    progress = False
+    for successor in concrete.successors(state):
+        target_image = mapping(successor)
+        if successor == state:
+            if abstract.has_transition(image, image):
+                progress = True
+                continue
+            if stutter_insensitive or fairness_ignores_stutter:
+                continue  # ignorable stutter, no progress
+            return True
+        if not member(successor):
+            return True
+        if target_image == image and stutter_insensitive:
+            progress = True
+            continue
+        if not abstract.has_transition(image, target_image):
+            return True
+        progress = True
+    if not progress:
+        # No successors at all, or only ignorable self-loops: the
+        # state is effectively terminal and must match a terminal
+        # state of the specification.
+        return not abstract.is_terminal(image)
+    return False
+
+
 def behavioural_core(
     concrete: System,
     abstract: System,
@@ -145,6 +207,7 @@ def behavioural_core(
     fairness: str = "none",
     instrumentation: Instrumentation = NULL_INSTRUMENTATION,
     meter: Optional[BudgetMeter] = None,
+    workers: int = 1,
 ) -> FrozenSet[State]:
     """The greatest set ``G`` of concrete states forever tracking ``A``.
 
@@ -173,10 +236,30 @@ def behavioural_core(
         meter: optional state budget; the full-space scan then raises
             :class:`~repro.checker.budget.BudgetExceeded` at the cap
             instead of materializing an unbounded candidate set.
+        workers: degree of parallelism.  Above 1 the candidate scan is
+            partitioned across worker processes and the fixpoint runs
+            as synchronous (Jacobi) eviction rounds; the resulting set
+            is identical to the sequential (Gauss-Seidel) one — the
+            eviction operator is monotone, so every iteration order
+            reaches the same greatest fixpoint.
     """
     mapping = alpha if alpha is not None else identity_abstraction(concrete.schema)
-    legitimate = legitimate_abstract_states(abstract, meter=meter)
+    legitimate = legitimate_abstract_states(
+        abstract, meter=meter, workers=workers, instrumentation=instrumentation
+    )
     fairness_ignores_stutter = fairness in ("weak", "strong")
+    if workers > 1:
+        return _behavioural_core_sharded(
+            concrete,
+            abstract,
+            mapping,
+            legitimate,
+            stutter_insensitive,
+            fairness_ignores_stutter,
+            instrumentation,
+            meter,
+            workers,
+        )
     enumerated = 0
     core: Set[State] = set()
     for state in concrete.schema.states():
@@ -194,43 +277,13 @@ def behavioural_core(
         iterations += 1
         evicted = 0
         for state in list(core):
-            image = mapping(state)
-            successors = concrete.successors(state)
-            progress = False
-            violated = False
-            for successor in successors:
-                target_image = mapping(successor)
-                if successor == state:
-                    if abstract.has_transition(image, image):
-                        progress = True
-                        continue
-                    if stutter_insensitive or fairness_ignores_stutter:
-                        continue  # ignorable stutter, no progress
-                    violated = True
-                    break
-                if successor not in core:
-                    violated = True
-                    break
-                if target_image == image and stutter_insensitive:
-                    progress = True
-                    continue
-                if not abstract.has_transition(image, target_image):
-                    violated = True
-                    break
-                progress = True
-            if violated:
+            if _must_evict(
+                state, core.__contains__, concrete, abstract, mapping,
+                stutter_insensitive, fairness_ignores_stutter,
+            ):
                 core.discard(state)
                 changed = True
                 evicted += 1
-                continue
-            if not progress:
-                # No successors at all, or only ignorable self-loops:
-                # the state is effectively terminal and must match a
-                # terminal state of the specification.
-                if not abstract.is_terminal(image):
-                    core.discard(state)
-                    changed = True
-                    evicted += 1
         instrumentation.event(
             "check.fixpoint.iteration",
             index=iterations,
@@ -238,6 +291,72 @@ def behavioural_core(
             remaining=len(core),
         )
         instrumentation.count("check.states.evicted", evicted)
+    instrumentation.count("check.fixpoint.iterations", iterations)
+    return frozenset(core)
+
+
+def _behavioural_core_sharded(
+    concrete: System,
+    abstract: System,
+    mapping,
+    legitimate: FrozenSet[State],
+    stutter_insensitive: bool,
+    fairness_ignores_stutter: bool,
+    instrumentation: Instrumentation,
+    meter: Optional[BudgetMeter],
+    workers: int,
+) -> FrozenSet[State]:
+    """The ``workers > 1`` body of :func:`behavioural_core`.
+
+    The candidate scan partitions the full state space across the
+    worker pool; each fixpoint round re-forks the pool so the workers
+    inherit the current core snapshot copy-on-write and evaluate the
+    same eviction predicate the sequential loop uses
+    (:func:`_must_evict`), against that frozen snapshot.
+    """
+    from ..parallel import parallel_filter_states
+
+    states = list(concrete.schema.states())
+    candidates = parallel_filter_states(
+        states,
+        lambda state: mapping(state) in legitimate,
+        workers,
+        meter=meter,
+        phase="check.core",
+        instrumentation=instrumentation,
+    )
+    instrumentation.count("check.states.enumerated", len(states))
+    instrumentation.count("check.candidates.initial", len(candidates))
+    core: Set[State] = set(candidates)
+    iterations = 0
+    changed = True
+    while changed:
+        iterations += 1
+        snapshot = frozenset(core)
+        member = snapshot.__contains__
+
+        def evicts(state: State) -> bool:
+            return _must_evict(
+                state, member, concrete, abstract, mapping,
+                stutter_insensitive, fairness_ignores_stutter,
+            )
+
+        evicted_states = parallel_filter_states(
+            sorted(core, key=repr),
+            evicts,
+            workers,
+            phase="check.fixpoint",
+            instrumentation=instrumentation,
+        )
+        changed = bool(evicted_states)
+        core.difference_update(evicted_states)
+        instrumentation.event(
+            "check.fixpoint.iteration",
+            index=iterations,
+            evicted=len(evicted_states),
+            remaining=len(core),
+        )
+        instrumentation.count("check.states.evicted", len(evicted_states))
     instrumentation.count("check.fixpoint.iterations", iterations)
     return frozenset(core)
 
@@ -314,6 +433,7 @@ def check_stabilization(
     compute_steps: bool = True,
     instrumentation: Instrumentation = NULL_INSTRUMENTATION,
     state_budget: Optional[int] = None,
+    workers: int = 1,
 ) -> StabilizationResult:
     """Decide "``C`` is stabilizing to ``A``".
 
@@ -341,6 +461,13 @@ def check_stabilization(
             (``result.is_partial`` is true, ``result.result.partial``
             reports states explored and frontier size) — never a
             ``MemoryError``.
+        workers: worker processes for the set-computation phases
+            (``L_A`` reachability, the candidate scan, the fixpoint
+            rounds); the witness-search phases always run sequentially
+            on the resulting sets, so the verdict — including its
+            witness and formatted rendering — is identical for every
+            worker count.  Degrades to 1 where fork-based pools are
+            unavailable.
 
     Returns:
         A :class:`StabilizationResult`; its witness on failure is a
@@ -348,6 +475,12 @@ def check_stabilization(
     """
     if fairness not in ("none", "weak", "strong"):
         raise ValueError(f"unknown fairness mode {fairness!r}")
+    if workers > 1:
+        from ..parallel import resolve_workers
+
+        workers = resolve_workers(workers)
+        if workers > 1:
+            instrumentation.count("parallel.workers", workers)
     meter = BudgetMeter(state_budget)
     name = f"{concrete.name} stabilizing to {abstract.name}"
     with instrumentation.span("check.total"):
@@ -361,6 +494,7 @@ def check_stabilization(
                 compute_steps,
                 instrumentation,
                 meter,
+                workers,
             )
         except BudgetExceeded as exc:
             instrumentation.event(
@@ -398,11 +532,15 @@ def _decide_stabilization(
     compute_steps: bool,
     instrumentation: Instrumentation,
     meter: Optional[BudgetMeter] = None,
+    workers: int = 1,
 ) -> StabilizationResult:
     """The phases of :func:`check_stabilization`, each under a span."""
     name = f"{concrete.name} stabilizing to {abstract.name}"
     with instrumentation.span("check.legitimate"):
-        legitimate = legitimate_abstract_states(abstract, meter=meter)
+        legitimate = legitimate_abstract_states(
+            abstract, meter=meter, workers=workers,
+            instrumentation=instrumentation,
+        )
     analysis_system = (
         concrete.without_self_loops() if fairness in ("weak", "strong") else concrete
     )
@@ -415,6 +553,7 @@ def _decide_stabilization(
             fairness=fairness,
             instrumentation=instrumentation,
             meter=meter,
+            workers=workers,
         )
 
     if not core:
@@ -504,9 +643,12 @@ def _decide_stabilization(
     # computation whose abstract image is finite and non-maximal.
     if stutter_insensitive and alpha is not None:
         with instrumentation.span("check.invisible_cycles"):
+            # Canonical order: ``core`` was assembled either
+            # sequentially or shard-parallel; sorting keeps the edge
+            # list (and so any cycle witness) identical either way.
             invisible = [
                 (source, target)
-                for source in core
+                for source in sorted(core, key=repr)
                 for target in analysis_system.successors(source)
                 if target in core and alpha(source) == alpha(target)
             ]
@@ -567,6 +709,7 @@ def check_self_stabilization(
     compute_steps: bool = True,
     instrumentation: Instrumentation = NULL_INSTRUMENTATION,
     state_budget: Optional[int] = None,
+    workers: int = 1,
 ) -> StabilizationResult:
     """Decide whether a system is self-stabilizing (stabilizing to itself).
 
@@ -582,6 +725,7 @@ def check_self_stabilization(
         compute_steps=compute_steps,
         instrumentation=instrumentation,
         state_budget=state_budget,
+        workers=workers,
     )
 
 

@@ -111,6 +111,7 @@ def check_init_refinement(
     instrumentation: Instrumentation = NULL_INSTRUMENTATION,
     state_budget: Optional[int] = None,
     meter: Optional[BudgetMeter] = None,
+    workers: int = 1,
 ) -> CheckResult:
     """Decide ``[C subseteq A]_init``.
 
@@ -143,6 +144,9 @@ def check_init_refinement(
             clauses); overrides ``state_budget`` and lets
             :class:`~repro.checker.budget.BudgetExceeded` propagate to
             the owner.
+        workers: worker processes for the reachability phase (sharded
+            BFS above 1); the clause scans and witnesses are identical
+            for every worker count.
     """
     own_meter = meter is None
     active = meter if meter is not None else BudgetMeter(state_budget)
@@ -150,7 +154,7 @@ def check_init_refinement(
     try:
         return _decide_init_refinement(
             concrete, abstract, alpha, stutter_insensitive, open_systems,
-            instrumentation, active, name,
+            instrumentation, active, name, workers,
         )
     except BudgetExceeded as exc:
         if not own_meter:
@@ -167,6 +171,7 @@ def _decide_init_refinement(
     instrumentation: Instrumentation,
     meter: BudgetMeter,
     name: str,
+    workers: int = 1,
 ) -> CheckResult:
     """The clauses of :func:`check_init_refinement`, budget-metered."""
     mapping = _resolve_alpha(concrete, abstract, alpha)
@@ -184,10 +189,27 @@ def _decide_init_refinement(
                 ),
             )
     with instrumentation.span("refine.init_clause"):
-        reachable = _reachable_metered(concrete, meter, "refine.init.reachable")
+        if workers > 1:
+            from ..parallel import parallel_reachable
+
+            reachable = parallel_reachable(
+                concrete,
+                concrete.initial,
+                workers,
+                meter=meter if meter.budget is not None else None,
+                phase="refine.init.reachable",
+                instrumentation=instrumentation,
+            )
+        else:
+            reachable = _reachable_metered(
+                concrete, meter, "refine.init.reachable"
+            )
     instrumentation.count("refine.reachable.size", len(reachable))
     checked = 0
-    for state in reachable:
+    # Canonical scan order: the reachable set may have been assembled
+    # sequentially or shard-parallel; sorting makes the first witness
+    # (and so the whole verdict) independent of how it was built.
+    for state in sorted(reachable, key=repr):
         image = mapping(state)
         successors = concrete.successors(state)
         if not successors:
@@ -350,6 +372,7 @@ def check_convergence_refinement(
     open_systems: bool = False,
     instrumentation: Instrumentation = NULL_INSTRUMENTATION,
     state_budget: Optional[int] = None,
+    workers: int = 1,
 ) -> CheckResult:
     """Decide ``[C <= A]`` — convergence refinement (paper, Section 2).
 
@@ -371,11 +394,23 @@ def check_convergence_refinement(
         state_budget: one budget pooled across every clause; past it
             the result is a structured ``PARTIAL`` verdict instead of
             a memory blow-up.
+        workers: worker processes for the reachability phase and the
+            transition scan (sharded above 1); the cycle clauses and
+            witness search run sequentially either way, so the verdict
+            — witness and rendering included — is identical for every
+            worker count.  Degrades to 1 where fork-based pools are
+            unavailable.
 
     Returns:
         :class:`CheckResult` whose detail reports how many transitions
         were exact, compressing, and stuttering.
     """
+    if workers > 1:
+        from ..parallel import resolve_workers
+
+        workers = resolve_workers(workers)
+        if workers > 1:
+            instrumentation.count("parallel.workers", workers)
     meter = BudgetMeter(state_budget)
     name = f"[{concrete.name} <= {abstract.name}]"
     with instrumentation.span("refine.total"):
@@ -389,6 +424,7 @@ def check_convergence_refinement(
                 instrumentation,
                 meter,
                 name,
+                workers,
             )
         except BudgetExceeded as exc:
             return _partial_result(name, exc, instrumentation)
@@ -411,6 +447,7 @@ def _decide_convergence_refinement(
     instrumentation: Instrumentation,
     meter: BudgetMeter,
     name: str,
+    workers: int = 1,
 ) -> CheckResult:
     """The clauses of :func:`check_convergence_refinement`, instrumented."""
     mapping = _resolve_alpha(concrete, abstract, alpha)
@@ -423,6 +460,7 @@ def _decide_convergence_refinement(
         open_systems=open_systems,
         instrumentation=instrumentation,
         meter=meter,
+        workers=workers,
     )
     if not init_part.holds:
         return CheckResult(False, name, init_part.witness, detail="init-refinement clause failed")
@@ -430,46 +468,88 @@ def _decide_convergence_refinement(
     exact = 0
     stutters: List[Transition] = []
     compressions: List[Transition] = []
-    with instrumentation.span("refine.transition_scan"):
-        for source, target in meter.metered(
-            concrete.transitions(), "refine.transition_scan", unit="transitions"
-        ):
+    if workers > 1:
+        from ..parallel import parallel_transition_scan
+
+        with instrumentation.span("refine.transition_scan"):
+            scan = parallel_transition_scan(
+                list(concrete.transitions()),
+                abstract,
+                mapping,
+                stutter_insensitive,
+                workers,
+                meter=meter if meter.budget is not None else None,
+                phase="refine.transition_scan",
+                instrumentation=instrumentation,
+            )
+        if scan.violation is not None:
+            kind, source, target = scan.violation
             image_source, image_target = mapping(source), mapping(target)
-            if image_source == image_target:
-                if stutter_insensitive:
-                    stutters.append((source, target))
-                    continue
+            if kind == "stutter-no-self-loop":
+                message = (
+                    "stuttering transition but the abstract has no self-loop at "
+                    f"{image_source!r} (rerun with stutter_insensitive=True to "
+                    "compare modulo stuttering)"
+                )
+            else:
+                message = (
+                    f"no path of {abstract.name} realizes the image "
+                    f"{image_source!r} -> {image_target!r}"
+                )
+            return CheckResult(
+                False,
+                name,
+                Witness(
+                    WitnessKind.NO_ABSTRACT_PATH,
+                    message,
+                    (source, target),
+                    concrete.schema,
+                ),
+            )
+        exact = scan.exact
+        stutters = scan.stutters
+        compressions = scan.compressions
+    else:
+        with instrumentation.span("refine.transition_scan"):
+            for source, target in meter.metered(
+                concrete.transitions(), "refine.transition_scan", unit="transitions"
+            ):
+                image_source, image_target = mapping(source), mapping(target)
+                if image_source == image_target:
+                    if stutter_insensitive:
+                        stutters.append((source, target))
+                        continue
+                    if abstract.has_transition(image_source, image_target):
+                        exact += 1
+                        continue
+                    return CheckResult(
+                        False,
+                        name,
+                        Witness(
+                            WitnessKind.NO_ABSTRACT_PATH,
+                            "stuttering transition but the abstract has no self-loop at "
+                            f"{image_source!r} (rerun with stutter_insensitive=True to "
+                            "compare modulo stuttering)",
+                            (source, target),
+                            concrete.schema,
+                        ),
+                    )
                 if abstract.has_transition(image_source, image_target):
                     exact += 1
                     continue
-                return CheckResult(
-                    False,
-                    name,
-                    Witness(
-                        WitnessKind.NO_ABSTRACT_PATH,
-                        "stuttering transition but the abstract has no self-loop at "
-                        f"{image_source!r} (rerun with stutter_insensitive=True to "
-                        "compare modulo stuttering)",
-                        (source, target),
-                        concrete.schema,
-                    ),
-                )
-            if abstract.has_transition(image_source, image_target):
-                exact += 1
-                continue
-            if shortest_path(abstract, image_source, image_target, min_length=2) is None:
-                return CheckResult(
-                    False,
-                    name,
-                    Witness(
-                        WitnessKind.NO_ABSTRACT_PATH,
-                        f"no path of {abstract.name} realizes the image "
-                        f"{image_source!r} -> {image_target!r}",
-                        (source, target),
-                        concrete.schema,
-                    ),
-                )
-            compressions.append((source, target))
+                if shortest_path(abstract, image_source, image_target, min_length=2) is None:
+                    return CheckResult(
+                        False,
+                        name,
+                        Witness(
+                            WitnessKind.NO_ABSTRACT_PATH,
+                            f"no path of {abstract.name} realizes the image "
+                            f"{image_source!r} -> {image_target!r}",
+                            (source, target),
+                            concrete.schema,
+                        ),
+                    )
+                compressions.append((source, target))
     instrumentation.count("refine.transitions.exact", exact)
     instrumentation.count("refine.transitions.compressing", len(compressions))
     instrumentation.count("refine.transitions.stuttering", len(stutters))

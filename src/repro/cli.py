@@ -145,6 +145,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="compare behaviours modulo stuttering",
     )
+    _add_parallel_flags(check)
     _add_obs_out(check)
 
     refines = commands.add_parser(
@@ -283,6 +284,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the small fixed CI grid (two systems, one seed, "
         "budgeted checks) regardless of the axis flags",
     )
+    _add_parallel_flags(camp)
     _add_obs_out(camp)
 
     report = commands.add_parser(
@@ -314,6 +316,21 @@ def build_parser() -> argparse.ArgumentParser:
     synth.add_argument("--stutter-insensitive", action="store_true")
 
     return parser
+
+
+def _add_parallel_flags(subparser: argparse.ArgumentParser) -> None:
+    """Attach the shared ``--workers`` / ``--cache-dir`` flags."""
+    subparser.add_argument(
+        "--workers", type=_int_at_least(1), default=1, metavar="N",
+        help="worker processes for the state-space phases (default: 1; "
+        "the verdict is identical at every worker count)",
+    )
+    subparser.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="content-addressed verification cache: verdicts are keyed "
+        "by the canonical program fingerprint plus the checker "
+        "parameters, so re-checking an unchanged spec is a file read",
+    )
 
 
 def _add_obs_out(subparser: argparse.ArgumentParser) -> None:
@@ -351,13 +368,38 @@ def _load(path: str):
 
 def _cmd_check(args) -> int:
     instrumentation, recorder = _recorder_for(args, "check")
-    system = _load(args.program).compile()
+    program = _load(args.program)
+    spec_program = _load(args.spec) if args.spec else None
+    cache = key = None
+    if args.cache_dir:
+        from .parallel import VerificationCache, cache_key, program_fingerprint
+
+        fingerprints = [program_fingerprint(program)]
+        if spec_program is not None:
+            fingerprints.append(program_fingerprint(spec_program))
+        key = cache_key(
+            "check",
+            fingerprints,
+            {
+                "fairness": args.fairness,
+                "stutter_insensitive": args.stutter_insensitive,
+                "self": spec_program is None,
+            },
+        )
+        cache = VerificationCache(args.cache_dir, instrumentation)
+        hit = cache.get(key)
+        if hit is not None:
+            print(hit["text"])
+            print("verification cache: hit", file=sys.stderr)
+            _flush_recorder(args, recorder)
+            return 0 if hit["holds"] else 1
+    system = program.compile()
     instrumentation.annotate(
         program=args.program, fairness=args.fairness,
-        stutter_insensitive=args.stutter_insensitive,
+        stutter_insensitive=args.stutter_insensitive, workers=args.workers,
     )
-    if args.spec:
-        spec = _load(args.spec).compile()
+    if spec_program is not None:
+        spec = spec_program.compile()
         instrumentation.annotate(spec=args.spec)
         result = check_stabilization(
             system,
@@ -365,12 +407,17 @@ def _cmd_check(args) -> int:
             stutter_insensitive=args.stutter_insensitive,
             fairness=args.fairness,
             instrumentation=instrumentation,
+            workers=args.workers,
         )
     else:
         result = check_self_stabilization(
-            system, fairness=args.fairness, instrumentation=instrumentation
+            system, fairness=args.fairness, instrumentation=instrumentation,
+            workers=args.workers,
         )
     print(result.format())
+    if cache is not None and key is not None and not result.is_partial:
+        cache.put(key, {"holds": result.holds, "text": result.format()})
+        print("verification cache: stored", file=sys.stderr)
     _flush_recorder(args, recorder)
     return 0 if result.holds else 1
 
@@ -502,6 +549,7 @@ def _cmd_campaign(args) -> int:
             steps=1000, deadline=30.0, retries=args.retries,
             seed=args.seed, state_budget=100_000,
             checkpoint=args.checkpoint, trace_dir=args.trace_out,
+            workers=args.workers, cache_dir=args.cache_dir,
         )
     else:
         cells = build_grid(
@@ -517,6 +565,7 @@ def _cmd_campaign(args) -> int:
             retries=args.retries, seed=args.seed,
             fault_count=args.faults, state_budget=args.state_budget,
             checkpoint=args.checkpoint, trace_dir=args.trace_out,
+            workers=args.workers, cache_dir=args.cache_dir,
         )
     instrumentation, recorder = _recorder_for(args, "campaign")
 

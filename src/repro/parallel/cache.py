@@ -1,0 +1,187 @@
+"""The content-addressed verification cache.
+
+A verification verdict is a pure function of (a) the checked
+program(s) and (b) the checker parameters.  The cache exploits that:
+verdicts are stored under a key derived from a *canonical program
+fingerprint* plus the parameters, so
+
+* re-checking an unchanged spec — across campaign cells, CLI
+  invocations, and CI runs — is a single file read;
+* reformatting a spec (whitespace, comments, re-ordered sugar) does
+  **not** bust the cache: the fingerprint hashes the pretty-printed
+  rendering of the *parsed* program, and the parser already discards
+  comments and layout (see
+  :func:`repro.gcl.pretty.render_program`);
+* any semantic change (a guard, an effect, a domain, an init
+  predicate) *does* change the rendering and therefore the key.
+
+The worker count is deliberately **excluded** from the key: the
+parallel and sequential paths return identical verdicts (that is the
+package's core invariant), so they share cache entries.
+
+Entries are JSON files written atomically (temp file + ``os.replace``)
+under two-level fan-out directories, safe for concurrent writers —
+the worst race is two processes computing the same verdict and one
+rename winning, which is idempotent.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Mapping, Optional, Sequence, Union
+
+from ..gcl.parser import parse_program
+from ..gcl.pretty import render_program
+from ..gcl.program import Program
+from ..obs import NULL_INSTRUMENTATION, Instrumentation
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "canonical_program_text",
+    "program_fingerprint",
+    "cache_key",
+    "VerificationCache",
+]
+
+#: Bumped whenever the stored payload layout or the key derivation
+#: changes; part of every key, so stale formats can never collide.
+CACHE_SCHEMA_VERSION = 1
+
+
+def canonical_program_text(source: Union[str, Program]) -> str:
+    """The canonical concrete syntax of a program.
+
+    Args:
+        source: either raw GCL text (parsed first, which drops
+            comments and whitespace) or an already-parsed
+            :class:`~repro.gcl.program.Program`.
+
+    Returns:
+        The pretty-printer's normalized rendering — the fixed point
+        that all reformatting-equivalent sources share.
+    """
+    program = parse_program(source) if isinstance(source, str) else source
+    return render_program(program)
+
+
+def program_fingerprint(source: Union[str, Program]) -> str:
+    """SHA-256 hex digest of a program's canonical text."""
+    text = canonical_program_text(source)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def cache_key(
+    kind: str,
+    fingerprints: Sequence[str],
+    params: Mapping[str, object],
+) -> str:
+    """Derive the content address of one verification.
+
+    Args:
+        kind: what was checked (``"check"``, ``"refines"``,
+            ``"campaign-check"``); namespaces the parameter space.
+        fingerprints: the :func:`program_fingerprint` of every program
+            involved, in role order (program, spec, ...).
+        params: the verdict-relevant checker parameters (fairness,
+            stuttering, relation, state budget...).  Worker counts and
+            other execution-only knobs must NOT be included.
+
+    Returns:
+        A SHA-256 hex key, stable across processes and platforms.
+    """
+    material = json.dumps(
+        {
+            "v": CACHE_SCHEMA_VERSION,
+            "kind": kind,
+            "fingerprints": list(fingerprints),
+            "params": {key: params[key] for key in sorted(params)},
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+class VerificationCache:
+    """A directory of content-addressed verification verdicts.
+
+    Args:
+        root: the cache directory (created lazily on first write).
+        instrumentation: observability sink; every lookup counts
+            ``cache.hit`` or ``cache.miss`` and every write counts
+            ``cache.store``.
+
+    Attributes:
+        hits: lookups served from the cache in this process.
+        misses: lookups that found nothing.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        instrumentation: Instrumentation = NULL_INSTRUMENTATION,
+    ):
+        self.root = Path(root)
+        self._instrumentation = instrumentation
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, object]]:
+        """The stored payload for ``key``, or ``None``.
+
+        Unreadable or corrupt entries (killed writer, disk trouble)
+        count as misses — the caller recomputes and overwrites.
+        """
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except (OSError, ValueError):
+            self.misses += 1
+            self._instrumentation.count("cache.miss")
+            return None
+        if entry.get("v") != CACHE_SCHEMA_VERSION or "payload" not in entry:
+            self.misses += 1
+            self._instrumentation.count("cache.miss")
+            return None
+        self.hits += 1
+        self._instrumentation.count("cache.hit")
+        self._instrumentation.event("cache.hit", key=key)
+        return dict(entry["payload"])
+
+    def put(self, key: str, payload: Mapping[str, object]) -> None:
+        """Store ``payload`` under ``key`` atomically.
+
+        A concurrent writer of the same key is harmless: both compute
+        the same verdict and ``os.replace`` is atomic.
+        """
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {"v": CACHE_SCHEMA_VERSION, "key": key, "payload": dict(payload)}
+        descriptor, temp_name = tempfile.mkstemp(
+            dir=str(path.parent), suffix=".tmp"
+        )
+        try:
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                json.dump(entry, handle, sort_keys=True)
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+        self._instrumentation.count("cache.store")
+
+    def __len__(self) -> int:
+        """Number of entries currently stored on disk."""
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))

@@ -1,0 +1,45 @@
+"""Stable state hashing and shard assignment.
+
+Sharded exploration must route every state to the same shard in every
+process and in every run: Python's built-in ``hash`` is randomized per
+interpreter for strings, so the shard function is built on CRC-32 of
+the state's ``repr`` instead.  State tuples in this library hold
+booleans, integers, and short strings, all of which have
+deterministic, value-only ``repr``s — the hash is therefore stable
+across processes, runs, and platforms, which also keeps checkpoint
+and cache artifacts portable.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from ..core.state import State
+
+__all__ = ["stable_state_hash", "shard_of"]
+
+
+def stable_state_hash(state: State) -> int:
+    """A process-independent 32-bit hash of a state tuple.
+
+    Args:
+        state: a state whose component values have deterministic
+            ``repr``s (bool/int/str — everything the GCL domains and
+            ring schemas produce).
+    """
+    return zlib.crc32(repr(state).encode("utf-8"))
+
+
+def shard_of(state: State, shards: int) -> int:
+    """The shard (worker index) that owns ``state``.
+
+    Args:
+        state: the state to route.
+        shards: number of shards; must be positive.
+
+    Raises:
+        ValueError: when ``shards`` is not positive.
+    """
+    if shards < 1:
+        raise ValueError(f"shard count must be positive, got {shards}")
+    return stable_state_hash(state) % shards

@@ -1,0 +1,179 @@
+"""The fork-based worker pool behind sharded exploration.
+
+The pool exploits copy-on-write ``fork`` semantics instead of pickling
+work context: the driver stashes the per-phase context (the system
+under exploration, abstraction closures, auxiliary state sets) in a
+module-level slot and *then* forks the workers, which inherit it for
+free.  Only the small per-task batches (lists of states or indices)
+cross the process boundary as pickles.  This is what lets abstraction
+functions — arbitrary Python closures, unpicklable by design — ride
+along into the workers untouched.
+
+Consequences callers must respect:
+
+* a :class:`WorkerPool`'s context is frozen at ``__enter__``; a phase
+  whose shared data changes between rounds (the fixpoint eviction
+  passes) opens a fresh pool per round, which on Linux is a handful of
+  milliseconds of fork cost;
+* on platforms without ``fork`` (or inside a daemonic worker process,
+  where nested pools are forbidden) :func:`resolve_workers` degrades
+  to ``1`` and every caller falls back to the sequential path — the
+  verdict is identical either way, only the wall-clock changes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, TypeVar
+
+__all__ = [
+    "WorkerPool",
+    "parallel_available",
+    "resolve_workers",
+    "worker_context",
+    "contiguous_chunks",
+    "shard_batches",
+]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: The per-phase context inherited by forked workers.  Written by
+#: :meth:`WorkerPool.__enter__` in the parent immediately before the
+#: fork; read by the task functions in :mod:`repro.parallel.sharding`
+#: running in the children.
+_WORKER_CONTEXT: Dict[str, object] = {}
+
+
+def worker_context() -> Dict[str, object]:
+    """The live context mapping (parent: staging; child: inherited)."""
+    return _WORKER_CONTEXT
+
+
+def parallel_available() -> bool:
+    """Whether fork-based worker pools can run on this platform."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def resolve_workers(workers: int) -> int:
+    """Clamp a requested worker count to what this process can use.
+
+    Args:
+        workers: requested degree of parallelism (``1`` = sequential).
+
+    Returns:
+        ``workers`` when fork-based pools are usable here, else ``1``
+        (no ``fork`` start method, or we are already inside a daemonic
+        pool worker, which may not spawn children).
+
+    Raises:
+        ValueError: when ``workers`` is not positive.
+    """
+    if workers < 1:
+        raise ValueError(f"worker count must be positive, got {workers}")
+    if workers == 1:
+        return 1
+    if not parallel_available():
+        return 1
+    if multiprocessing.current_process().daemon:
+        return 1
+    return workers
+
+
+class WorkerPool:
+    """A context-managed fork pool with copy-on-write work context.
+
+    Args:
+        workers: number of worker processes (must be >= 2; callers
+            resolve ``1`` to the sequential path before getting here).
+        context: the phase context the workers inherit (systems,
+            abstraction closures, frozen state sets).
+
+    Example::
+
+        with WorkerPool(4, system=system) as pool:
+            results = pool.map(_expand_batch, batches)
+    """
+
+    def __init__(self, workers: int, **context: object):
+        if workers < 2:
+            raise ValueError(
+                f"WorkerPool needs at least 2 workers, got {workers}"
+            )
+        self.workers = workers
+        self._context = context
+        self._pool: Optional[object] = None
+        self._saved: Optional[Dict[str, object]] = None
+
+    def __enter__(self) -> "WorkerPool":
+        self._saved = dict(_WORKER_CONTEXT)
+        _WORKER_CONTEXT.clear()
+        _WORKER_CONTEXT.update(self._context)
+        ctx = multiprocessing.get_context("fork")
+        self._pool = ctx.Pool(processes=self.workers)
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        pool = self._pool
+        self._pool = None
+        if pool is not None:
+            pool.terminate()  # type: ignore[attr-defined]
+            pool.join()  # type: ignore[attr-defined]
+        _WORKER_CONTEXT.clear()
+        if self._saved is not None:
+            _WORKER_CONTEXT.update(self._saved)
+            self._saved = None
+        return False
+
+    def map(
+        self, task: Callable[[T], R], batches: Sequence[T]
+    ) -> List[R]:
+        """Run ``task`` over ``batches`` across the workers, in order."""
+        if self._pool is None:
+            raise RuntimeError("WorkerPool used outside its context")
+        return self._pool.map(task, batches)  # type: ignore[attr-defined]
+
+    def imap_unordered(
+        self, task: Callable[[T], R], items: Sequence[T]
+    ) -> Iterable[R]:
+        """Yield ``task`` results as they complete, in any order.
+
+        The campaign executor consumes this so finished cells can be
+        checkpointed the moment they land, regardless of grid order.
+        """
+        if self._pool is None:
+            raise RuntimeError("WorkerPool used outside its context")
+        return self._pool.imap_unordered(task, items)  # type: ignore[attr-defined]
+
+
+def contiguous_chunks(items: Sequence[T], chunk_count: int) -> List[List[T]]:
+    """Split ``items`` into at most ``chunk_count`` contiguous chunks.
+
+    Index order is preserved across the concatenation of the chunks,
+    which is what lets the transition scan reconstruct the *first*
+    violation in sequential order from per-chunk results.
+    """
+    if chunk_count < 1:
+        raise ValueError(f"chunk count must be positive, got {chunk_count}")
+    total = len(items)
+    if total == 0:
+        return []
+    size = (total + chunk_count - 1) // chunk_count
+    return [list(items[i : i + size]) for i in range(0, total, size)]
+
+
+def shard_batches(states: Iterable[T], shards: int) -> List[List[T]]:
+    """Group ``states`` into per-shard batches by stable state hash.
+
+    The same state always lands in the same batch index, so a frontier
+    is partitioned identically regardless of the order states were
+    discovered in — the cross-shard "handoff" of sharded BFS is just
+    the driver routing each newly found state to its owning batch for
+    the next round.
+    """
+    from .hashing import shard_of
+
+    batches: List[List[T]] = [[] for _ in range(shards)]
+    for state in states:
+        batches[shard_of(state, shards)].append(state)  # type: ignore[arg-type]
+    return [batch for batch in batches if batch]

@@ -1,0 +1,296 @@
+"""Sharded parallel exploration primitives.
+
+Three primitives cover everything the checkers parallelize; each one
+computes exactly the set (or classification) its sequential
+counterpart computes, so the calling checker's verdict logic does not
+change at all:
+
+* :func:`parallel_reachable` — sharded BFS.  The frontier is
+  partitioned across workers by the stable state hash
+  (:func:`repro.parallel.hashing.shard_of`); each worker expands its
+  shard's batch and hands the successors back to the driver, which
+  routes every newly discovered state to its owning shard for the
+  next round (the *batched cross-shard handoff*).  The result is the
+  same reachable set BFS computes, found level by level.
+* :func:`parallel_filter_states` — a partitioned filter over any
+  state collection with an arbitrary (closure) predicate.  Used for
+  the behavioural-core candidate scan and for the fixpoint eviction
+  rounds, whose predicate closes over the current core snapshot.
+* :func:`parallel_transition_scan` — the convergence-refinement
+  transition classification, chunked contiguously so the *first*
+  violating transition in sequential order is recoverable from the
+  per-chunk results (witness-identical to the sequential scan).
+
+Budget composition: every primitive accepts the caller's
+:class:`~repro.checker.budget.BudgetMeter` and charges it in the
+driver, batch by batch, before dispatch — a budget overrun raises the
+same :class:`~repro.checker.budget.BudgetExceeded` the sequential
+code raises and the caller's ``PARTIAL`` machinery takes over
+unchanged.  (Because charging is batch-granular, the ``explored``
+tally of a parallel ``PARTIAL`` verdict can differ from the
+sequential one by up to a batch; completed runs always charge the
+same total.)
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Callable,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..checker.budget import BudgetMeter
+from ..core.state import State
+from ..core.system import System, Transition
+from ..obs import NULL_INSTRUMENTATION, Instrumentation
+from .pool import WorkerPool, contiguous_chunks, shard_batches, worker_context
+
+__all__ = [
+    "parallel_reachable",
+    "parallel_filter_states",
+    "parallel_transition_scan",
+    "TransitionScan",
+]
+
+#: Default number of batches dispatched per worker per round — small
+#: enough to amortize pickling, large enough to smooth stragglers.
+_BATCHES_PER_WORKER = 4
+
+
+def _expand_batch(states: List[State]) -> List[State]:
+    """Worker task: successors of a batch, deduplicated batch-locally."""
+    system: System = worker_context()["system"]  # type: ignore[assignment]
+    seen = set(states)
+    out: List[State] = []
+    for state in states:
+        for successor in system.successors(state):
+            if successor not in seen:
+                seen.add(successor)
+                out.append(successor)
+    return out
+
+
+def _filter_batch(states: List[State]) -> List[State]:
+    """Worker task: the subset of a batch satisfying the predicate."""
+    predicate: Callable[[State], bool] = worker_context()[  # type: ignore[assignment]
+        "predicate"
+    ]
+    return [state for state in states if predicate(state)]
+
+
+def parallel_reachable(
+    system: System,
+    sources: Iterable[State],
+    workers: int,
+    meter: Optional[BudgetMeter] = None,
+    phase: str = "parallel.reachable",
+    instrumentation: Instrumentation = NULL_INSTRUMENTATION,
+) -> FrozenSet[State]:
+    """All states reachable from ``sources``, explored shard-parallel.
+
+    Equal (as a set) to ``system.reachable_from(sources)``.
+
+    Args:
+        system: the automaton to explore (inherited by the workers at
+            fork time; never pickled).
+        sources: the BFS roots.
+        workers: worker processes; must be >= 2 (callers route 1 to
+            the sequential path).
+        meter: optional shared state budget, charged one unit per
+            state at the moment its round is dispatched — mirroring
+            the sequential per-expansion charge.
+        phase: the budget/obs phase label.
+        instrumentation: observability sink for the round, batch, and
+            expansion counters.
+
+    Raises:
+        BudgetExceeded: via ``meter`` when the budget runs out.
+    """
+    seen = set(sources)
+    frontier: List[State] = list(seen)
+    with WorkerPool(workers, system=system) as pool:
+        while frontier:
+            if meter is not None:
+                meter.charge(phase, count=len(frontier), frontier=len(frontier))
+            batches = shard_batches(frontier, workers * _BATCHES_PER_WORKER)
+            instrumentation.count("parallel.rounds")
+            instrumentation.count("parallel.batches", len(batches))
+            instrumentation.count("parallel.states.expanded", len(frontier))
+            frontier = []
+            for successors in pool.map(_expand_batch, batches):
+                for state in successors:
+                    if state not in seen:
+                        seen.add(state)
+                        frontier.append(state)
+    return frozenset(seen)
+
+
+def parallel_filter_states(
+    states: Sequence[State],
+    predicate: Callable[[State], bool],
+    workers: int,
+    meter: Optional[BudgetMeter] = None,
+    phase: str = "parallel.filter",
+    instrumentation: Instrumentation = NULL_INSTRUMENTATION,
+) -> List[State]:
+    """The states satisfying ``predicate``, scanned shard-parallel.
+
+    Order-preserving over ``states`` (chunks are contiguous and
+    results are concatenated in chunk order), so callers that build
+    sets or iterate the survivors see the sequential order.
+
+    Args:
+        states: the collection to filter (materialized by the caller).
+        predicate: any callable, including closures over large frozen
+            sets — workers inherit it via fork, nothing is pickled.
+        workers: worker processes (>= 2).
+        meter: optional budget, charged per chunk before dispatch.
+        phase: the budget/obs phase label.
+        instrumentation: observability sink.
+    """
+    chunks = contiguous_chunks(states, workers * _BATCHES_PER_WORKER)
+    if not chunks:
+        return []
+    survivors: List[State] = []
+    with WorkerPool(workers, predicate=predicate) as pool:
+        if meter is not None:
+            for chunk in chunks:
+                meter.charge(phase, count=len(chunk), frontier=0)
+        instrumentation.count("parallel.batches", len(chunks))
+        instrumentation.count("parallel.states.expanded", len(states))
+        for kept in pool.map(_filter_batch, chunks):
+            survivors.extend(kept)
+    return survivors
+
+
+class TransitionScan:
+    """Aggregated result of a parallel refinement transition scan.
+
+    Attributes:
+        exact: transitions whose image is a single abstract step.
+        stutters: image-stuttering transitions, in sequential order
+            (only collected under ``stutter_insensitive``).
+        compressions: multi-step-compressing transitions, in
+            sequential order.
+        violation: ``None``, or ``(kind, source, target)`` for the
+            *first* violating transition in sequential order, where
+            ``kind`` is ``"stutter-no-self-loop"`` or ``"no-path"``.
+    """
+
+    __slots__ = ("exact", "stutters", "compressions", "violation")
+
+    def __init__(
+        self,
+        exact: int,
+        stutters: List[Transition],
+        compressions: List[Transition],
+        violation: Optional[Tuple[str, State, State]],
+    ):
+        self.exact = exact
+        self.stutters = stutters
+        self.compressions = compressions
+        self.violation = violation
+
+
+def _scan_chunk(
+    chunk: List[Tuple[int, Transition]]
+) -> Tuple[int, List[Transition], List[Transition], Optional[Tuple[int, str, State, State]]]:
+    """Worker task: classify one contiguous chunk of transitions.
+
+    Returns the per-chunk tallies plus the first violation's *global*
+    index, so the driver can pick the globally first violation.
+    """
+    from ..checker.graph import shortest_path
+
+    ctx = worker_context()
+    mapping = ctx["mapping"]
+    abstract: System = ctx["abstract"]  # type: ignore[assignment]
+    stutter_insensitive: bool = ctx["stutter_insensitive"]  # type: ignore[assignment]
+    exact = 0
+    stutters: List[Transition] = []
+    compressions: List[Transition] = []
+    for index, (source, target) in chunk:
+        image_source, image_target = mapping(source), mapping(target)  # type: ignore[operator]
+        if image_source == image_target:
+            if stutter_insensitive:
+                stutters.append((source, target))
+                continue
+            if abstract.has_transition(image_source, image_target):
+                exact += 1
+                continue
+            return exact, stutters, compressions, (
+                index, "stutter-no-self-loop", source, target,
+            )
+        if abstract.has_transition(image_source, image_target):
+            exact += 1
+            continue
+        if shortest_path(abstract, image_source, image_target, min_length=2) is None:
+            return exact, stutters, compressions, (index, "no-path", source, target)
+        compressions.append((source, target))
+    return exact, stutters, compressions, None
+
+
+def parallel_transition_scan(
+    transitions: Sequence[Transition],
+    abstract: System,
+    mapping: Callable[[State], State],
+    stutter_insensitive: bool,
+    workers: int,
+    meter: Optional[BudgetMeter] = None,
+    phase: str = "refine.transition_scan",
+    instrumentation: Instrumentation = NULL_INSTRUMENTATION,
+) -> TransitionScan:
+    """Classify every transition for the convergence-refinement check.
+
+    Produces exactly what the sequential scan in
+    :func:`repro.checker.refinement_check.check_convergence_refinement`
+    produces: the same tallies in the same order, and — when any
+    transition violates — the violation the sequential scan would have
+    reported first (chunks are contiguous, each worker reports its
+    first violation's global index, the driver takes the minimum).
+
+    Args:
+        transitions: the concrete transitions in sequential iteration
+            order (materialized by the caller).
+        abstract: the specification automaton.
+        mapping: the abstraction function (fork-inherited closure).
+        stutter_insensitive: accept image-stuttering transitions.
+        workers: worker processes (>= 2).
+        meter: optional budget, charged per chunk (in transitions).
+        phase: the budget/obs phase label.
+        instrumentation: observability sink.
+    """
+    indexed = list(enumerate(transitions))
+    chunks = contiguous_chunks(indexed, workers * _BATCHES_PER_WORKER)
+    if not chunks:
+        return TransitionScan(0, [], [], None)
+    with WorkerPool(
+        workers,
+        mapping=mapping,
+        abstract=abstract,
+        stutter_insensitive=stutter_insensitive,
+    ) as pool:
+        if meter is not None:
+            for chunk in chunks:
+                meter.charge(phase, count=len(chunk), unit="transitions")
+        instrumentation.count("parallel.batches", len(chunks))
+        results = pool.map(_scan_chunk, chunks)
+    first: Optional[Tuple[int, str, State, State]] = None
+    for _, _, _, found in results:
+        if found is not None and (first is None or found[0] < first[0]):
+            first = found
+    if first is not None:
+        return TransitionScan(0, [], [], (first[1], first[2], first[3]))
+    exact = 0
+    stutters: List[Transition] = []
+    compressions: List[Transition] = []
+    for chunk_exact, chunk_stutters, chunk_compressions, _ in results:
+        exact += chunk_exact
+        stutters.extend(chunk_stutters)
+        compressions.extend(chunk_compressions)
+    return TransitionScan(exact, stutters, compressions, None)

@@ -1,0 +1,101 @@
+"""Property-based differential testing of the sharded exploration.
+
+Random small guarded-command programs (reusing the generator design of
+``test_prop_programs``) drive the parallel primitives against their
+sequential counterparts: the sharded BFS must discover exactly the
+reachable set, the partitioned filter must keep exactly the
+predicate's survivors in order, and the full stabilization verdict
+must render identically.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.checker import check_self_stabilization
+from repro.gcl.action import GuardedAction
+from repro.gcl.domain import ModularDomain
+from repro.gcl.expr import AddMod, Const, Eq, Ne, Var
+from repro.gcl.program import Program
+from repro.gcl.variable import Variable
+from repro.parallel import parallel_available
+from repro.parallel.sharding import parallel_filter_states, parallel_reachable
+
+import pytest
+
+pytestmark = pytest.mark.skipif(
+    not parallel_available(), reason="no fork start method"
+)
+
+MODULUS = 3
+VAR_NAMES = ("u", "w.0")
+
+
+@st.composite
+def small_programs(draw):
+    """Random well-typed two-variable programs over ``mod 3``."""
+    n_actions = draw(st.integers(min_value=1, max_value=3))
+    actions = []
+    for index in range(n_actions):
+        guard_var = draw(st.sampled_from(VAR_NAMES))
+        guard_value = draw(st.integers(min_value=0, max_value=MODULUS - 1))
+        guard_kind = draw(st.sampled_from([Eq, Ne]))
+        target = draw(st.sampled_from(VAR_NAMES))
+        effect = draw(
+            st.one_of(
+                st.integers(min_value=0, max_value=MODULUS - 1).map(Const),
+                st.sampled_from(
+                    [AddMod(Var(name), Const(1), MODULUS) for name in VAR_NAMES]
+                ),
+            )
+        )
+        actions.append(
+            GuardedAction(
+                f"act.{index}",
+                guard_kind(Var(guard_var), Const(guard_value)),
+                {target: effect},
+            )
+        )
+    variables = [Variable(name, ModularDomain(MODULUS)) for name in VAR_NAMES]
+    init = Eq(Var("u"), Const(0))
+    return Program("fuzzed", variables, actions, init=init)
+
+
+class TestShardedPrimitives:
+    @settings(max_examples=25, deadline=None)
+    @given(small_programs())
+    def test_sharded_bfs_finds_the_reachable_set(self, program):
+        system = program.compile()
+        sequential = system.reachable()
+        sharded = parallel_reachable(system, system.initial, workers=2)
+        assert sharded == sequential
+
+    @settings(max_examples=25, deadline=None)
+    @given(small_programs())
+    def test_sharded_bfs_from_full_space(self, program):
+        """From every state as a source, BFS must return the whole
+        space — the degenerate case exercising maximal fan-out."""
+        system = program.compile()
+        states = list(system.schema.states())
+        sharded = parallel_reachable(system, states, workers=2)
+        assert sharded == frozenset(states) | system.reachable_from(states)
+
+    @settings(max_examples=25, deadline=None)
+    @given(small_programs(), st.integers(min_value=0, max_value=MODULUS - 1))
+    def test_parallel_filter_matches_comprehension(self, program, pivot):
+        system = program.compile()
+        states = list(system.schema.states())
+        predicate = lambda state: state[0] == pivot  # noqa: E731
+        survivors = parallel_filter_states(states, predicate, workers=2)
+        assert survivors == [s for s in states if predicate(s)]
+
+    @settings(max_examples=15, deadline=None)
+    @given(small_programs())
+    def test_self_stabilization_verdict_identical(self, program):
+        """End to end: the full decision procedure renders the same
+        verdict sequentially and sharded."""
+        system = program.compile()
+        sequential = check_self_stabilization(system, compute_steps=False)
+        parallel = check_self_stabilization(
+            system, compute_steps=False, workers=2
+        )
+        assert sequential.format() == parallel.format()

@@ -1,0 +1,135 @@
+"""Unit tests for the content-addressed verification cache.
+
+The contract: reformatting a program (whitespace, comments) must not
+change its fingerprint; any semantic edit must; cache keys separate
+checks by kind and parameters but never by execution-only knobs; and
+the store survives corrupt entries by treating them as misses.
+"""
+
+from __future__ import annotations
+
+from repro.obs import Recorder
+from repro.parallel import (
+    VerificationCache,
+    cache_key,
+    canonical_program_text,
+    program_fingerprint,
+)
+
+TOY = """
+program toy
+var x : mod 3
+action heal :: x != 0 --> x := 0
+init x == 0
+"""
+
+# The same program, reformatted: comments, blank lines, extra spaces.
+TOY_REFORMATTED = """
+# a comment the parser discards
+program toy
+
+var x    : mod 3
+
+# another comment
+action heal ::   x != 0   -->   x := 0
+init   x == 0
+"""
+
+# One semantic edit: the action heals to 1, not 0.
+TOY_EDITED = """
+program toy
+var x : mod 3
+action heal :: x != 0 --> x := 1
+init x == 0
+"""
+
+
+class TestFingerprint:
+    def test_reformatting_does_not_change_the_fingerprint(self):
+        assert program_fingerprint(TOY) == program_fingerprint(TOY_REFORMATTED)
+
+    def test_semantic_edit_changes_the_fingerprint(self):
+        assert program_fingerprint(TOY) != program_fingerprint(TOY_EDITED)
+
+    def test_canonical_text_is_a_fixed_point(self):
+        canonical = canonical_program_text(TOY)
+        assert canonical_program_text(canonical) == canonical
+
+    def test_parsed_program_and_source_agree(self):
+        from repro.gcl.parser import parse_program
+
+        assert program_fingerprint(parse_program(TOY)) == program_fingerprint(
+            TOY
+        )
+
+
+class TestCacheKey:
+    FP = program_fingerprint(TOY)
+
+    def test_key_is_stable(self):
+        params = {"fairness": "none", "stutter_insensitive": False}
+        assert cache_key("check", [self.FP], params) == cache_key(
+            "check", [self.FP], params
+        )
+
+    def test_key_ignores_param_order(self):
+        a = cache_key("check", [self.FP], {"a": 1, "b": 2})
+        b = cache_key("check", [self.FP], {"b": 2, "a": 1})
+        assert a == b
+
+    def test_key_separates_kinds_params_and_fingerprints(self):
+        base = cache_key("check", [self.FP], {"fairness": "none"})
+        assert cache_key("refines", [self.FP], {"fairness": "none"}) != base
+        assert cache_key("check", [self.FP], {"fairness": "weak"}) != base
+        other = program_fingerprint(TOY_EDITED)
+        assert cache_key("check", [other], {"fairness": "none"}) != base
+
+    def test_fingerprint_role_order_matters(self):
+        other = program_fingerprint(TOY_EDITED)
+        assert cache_key("refines", [self.FP, other], {}) != cache_key(
+            "refines", [other, self.FP], {}
+        )
+
+
+class TestVerificationCache:
+    def test_miss_then_store_then_hit(self, tmp_path):
+        cache = VerificationCache(tmp_path / "cache")
+        key = cache_key("check", [program_fingerprint(TOY)], {})
+        assert cache.get(key) is None
+        cache.put(key, {"holds": True, "text": "toy: HOLDS"})
+        assert cache.get(key) == {"holds": True, "text": "toy: HOLDS"}
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert len(cache) == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        root = tmp_path / "cache"
+        cache = VerificationCache(root)
+        key = cache_key("check", [program_fingerprint(TOY)], {})
+        cache.put(key, {"holds": True})
+        path = root / key[:2] / f"{key}.json"
+        path.write_text("{not json", encoding="utf-8")
+        assert cache.get(key) is None
+
+    def test_schema_version_mismatch_is_a_miss(self, tmp_path):
+        root = tmp_path / "cache"
+        cache = VerificationCache(root)
+        key = cache_key("check", [program_fingerprint(TOY)], {})
+        path = root / key[:2] / f"{key}.json"
+        path.parent.mkdir(parents=True)
+        path.write_text('{"v": 0, "payload": {"holds": true}}', "utf-8")
+        assert cache.get(key) is None
+
+    def test_counters_flow_to_instrumentation(self, tmp_path):
+        recorder = Recorder(kind="test")
+        cache = VerificationCache(tmp_path / "cache", recorder)
+        key = cache_key("check", [program_fingerprint(TOY)], {})
+        cache.get(key)
+        cache.put(key, {"holds": False})
+        cache.get(key)
+        record = recorder.record()
+        assert record.counters["cache.miss"] == 1
+        assert record.counters["cache.store"] == 1
+        assert record.counters["cache.hit"] == 1
+
+    def test_empty_cache_has_length_zero(self, tmp_path):
+        assert len(VerificationCache(tmp_path / "nonexistent")) == 0
