@@ -1,0 +1,128 @@
+"""P02: throughput of the packed kernel engine vs the tuple engine.
+
+An N-sweep over the K-state ring (K = N, the smallest stabilizing
+configuration) times the full stabilization check — K-state refines
+the unidirectional token ring — on both engines and reports states per
+second and peak RSS.  Verdicts are asserted byte-identical at every
+size; the speedup on the largest configuration is asserted ≥ 3x,
+the headline claim of the packed engine.  The small configuration is
+expected to show the tuple engine ahead: lowering the program to a
+kernel has fixed cost, and the bitset fixpoints only pay off once the
+state space is large enough to amortize it (see docs/PERFORMANCE.md).
+
+Artifacts: ``results/p02_kernel_scaling.{txt,json}`` with the sweep
+table and ``results/p02_kernel.metrics.json`` with the ``engine.*``
+and ``check.*`` counters from an instrumented packed run.
+"""
+
+from __future__ import annotations
+
+import resource
+import time
+
+from repro.analysis import format_table
+from repro.checker import check_stabilization
+from repro.obs import Recorder
+from repro.rings import kstate_program, utr_abstraction, utr_program
+
+#: (n, k) sweep: 256, 3125, and 46656 concrete states.  The largest is
+#: where the >= 3x assertion applies; the CI smoke budget allows it
+#: because the packed engine finishes it in about a second.
+SWEEP = ((4, 4), (5, 5), (6, 6))
+
+#: Required speedup of packed over tuple on the largest configuration.
+REQUIRED_SPEEDUP = 3.0
+
+
+def _peak_rss_kib() -> int:
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+
+
+def _timed_check(n: int, k: int, engine: str):
+    concrete = kstate_program(n, k)
+    spec = utr_program(n)
+    alpha = utr_abstraction(n, k)
+    size = concrete.schema().size()
+    start = time.perf_counter()
+    result = check_stabilization(
+        concrete, spec, alpha, compute_steps=False, engine=engine
+    )
+    seconds = time.perf_counter() - start
+    return seconds, size, result
+
+
+def _sweep_rows():
+    rows = []
+    for n, k in SWEEP:
+        verdicts = {}
+        timings = {}
+        size = None
+        for engine in ("tuple", "packed"):
+            seconds, size, result = _timed_check(n, k, engine)
+            verdicts[engine] = result.format()
+            timings[engine] = seconds
+        assert verdicts["packed"] == verdicts["tuple"], (
+            f"verdict diverged at n={n}, k={k}"
+        )
+        rows.append(
+            {
+                "n": n,
+                "k": k,
+                "states": size,
+                "tuple_s": round(timings["tuple"], 4),
+                "packed_s": round(timings["packed"], 4),
+                "tuple_states_per_s": round(size / timings["tuple"]),
+                "packed_states_per_s": round(size / timings["packed"]),
+                "speedup": round(timings["tuple"] / timings["packed"], 2),
+                "peak_rss_kib": _peak_rss_kib(),
+            }
+        )
+    return rows
+
+
+def test_p02_kernel_scaling(benchmark, record_table):
+    rows = benchmark.pedantic(_sweep_rows, rounds=1, iterations=1)
+    largest = rows[-1]
+    assert largest["speedup"] >= REQUIRED_SPEEDUP, (
+        f"packed engine only {largest['speedup']}x over tuple on "
+        f"{largest['states']} states; the kernel's headline claim is "
+        f">= {REQUIRED_SPEEDUP}x"
+    )
+    record_table(
+        "p02_kernel_scaling",
+        format_table(
+            rows,
+            columns=[
+                "n", "k", "states", "tuple_s", "packed_s",
+                "tuple_states_per_s", "packed_states_per_s",
+                "speedup", "peak_rss_kib",
+            ],
+            title=(
+                "P02 packed kernel throughput: K-state(n, k=n) "
+                "stabilizing to UTR, tuple vs packed"
+            ),
+        ),
+        rows=rows,
+    )
+
+
+def test_p02_kernel_counters(benchmark, record_metrics):
+    recorder = Recorder(kind="bench")
+    recorder.annotate(experiment="p02_kernel", n=5, k=5, engine="packed")
+
+    def instrumented():
+        return check_stabilization(
+            kstate_program(5, 5),
+            utr_program(5),
+            utr_abstraction(5, 5),
+            compute_steps=False,
+            engine="packed",
+            instrumentation=recorder,
+        )
+
+    result = benchmark.pedantic(instrumented, rounds=1, iterations=1)
+    assert result.holds
+    record = recorder.record()
+    assert record.counters.get("engine.packed") == 1
+    assert record.counters.get("check.states.enumerated", 0) > 0
+    record_metrics("p02_kernel", recorder)

@@ -92,11 +92,16 @@ class CampaignConfig:
             and parameters match a cached verdict are served from disk
             (their ``detail`` gains a ``[cached]`` marker); ``partial``
             and ``error`` outcomes are never cached.
+        engine: checker engine for verification cells — ``"packed"``
+            (dense state codes, bitset fixpoints; automatic fallback
+            to tuple where packing cannot apply) or ``"tuple"``.
+            Verdicts are identical either way, so the engine is — like
+            ``workers`` — excluded from the verification cache key.
 
     Raises:
-        SimulationError: on a non-positive budget, so a misconfigured
-            campaign dies before the first cell rather than deep in a
-            run.
+        SimulationError: on a non-positive budget or an unknown
+            engine, so a misconfigured campaign dies before the first
+            cell rather than deep in a run.
     """
 
     steps: int = 5000
@@ -109,10 +114,15 @@ class CampaignConfig:
     trace_dir: Optional[Union[str, Path]] = None
     workers: int = 1
     cache_dir: Optional[Union[str, Path]] = None
+    engine: str = "packed"
 
     def __post_init__(self) -> None:
         if self.steps < 1:
             raise SimulationError(f"steps must be positive, got {self.steps}")
+        if self.engine not in ("packed", "tuple"):
+            raise SimulationError(
+                f"unknown engine {self.engine!r}; expected 'packed' or 'tuple'"
+            )
         if self.workers < 1:
             raise SimulationError(
                 f"workers must be positive, got {self.workers}"
@@ -237,19 +247,24 @@ def _check_cache_key(cell: CellSpec, config: CampaignConfig) -> str:
     """The content address of one verification cell's verdict.
 
     Keyed on the canonical fingerprints of the concrete and spec
-    programs plus the verdict-relevant parameters.  Execution-only
-    knobs (workers, deadlines, checkpoint paths) are excluded: they
-    cannot change the verdict, so runs under different settings share
+    programs plus the verdict-relevant parameters.  The fingerprints
+    carry the semantics flags the programs are checked under
+    (``keep_stutter``, the fairness mode): the same source under
+    different semantics is a different transition system and must not
+    share a verdict.  Execution-only knobs (workers, the checker
+    engine, deadlines, checkpoint paths) are excluded: they cannot
+    change the verdict, so runs under different settings share
     entries.
     """
     from ..parallel import cache_key, program_fingerprint
 
     entry = SYSTEMS[cell.system]
+    semantics = {"keep_stutter": True, "fairness": entry.fairness}
     return cache_key(
         "campaign-check",
         [
-            program_fingerprint(entry.builder(cell.n)),
-            program_fingerprint(entry.spec_builder(cell.n)),
+            program_fingerprint(entry.builder(cell.n), semantics=semantics),
+            program_fingerprint(entry.spec_builder(cell.n), semantics=semantics),
         ],
         {
             "system": cell.system,
@@ -282,8 +297,11 @@ def _attempt_check(cell: CellSpec, config: CampaignConfig) -> CellResult:
             )
     entry = SYSTEMS[cell.system]
     start = time.perf_counter()
-    concrete = entry.builder(cell.n).compile()
-    spec = entry.spec_builder(cell.n).compile()
+    # Programs go in uncompiled: the packed engine lowers them straight
+    # to a successor kernel, never materializing the transition table
+    # (the tuple engine compiles them itself; verdicts are identical).
+    concrete = entry.builder(cell.n)
+    spec = entry.spec_builder(cell.n)
     alpha = entry.alpha_builder(cell.n) if entry.alpha_builder else None
     result = check_stabilization(
         concrete,
@@ -293,6 +311,7 @@ def _attempt_check(cell: CellSpec, config: CampaignConfig) -> CellResult:
         fairness=entry.fairness,
         compute_steps=False,
         state_budget=config.state_budget,
+        engine=config.engine,
     )
     seconds = time.perf_counter() - start
     cell_id = cell.cell_id()

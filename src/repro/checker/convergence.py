@@ -37,11 +37,12 @@ paper's ``C3``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple, Union
 
 from ..core.abstraction import AbstractionFunction, identity_abstraction
 from ..core.state import State
 from ..core.system import System
+from ..gcl.program import Program
 from ..obs import NULL_INSTRUMENTATION, Instrumentation
 from .budget import BudgetExceeded, BudgetMeter
 from .fairness import find_fair_trap
@@ -63,6 +64,65 @@ __all__ = [
     "worst_case_schedule",
     "convergence_profile",
 ]
+
+#: Checker entry points accept a compiled system or a raw program; the
+#: packed engine lowers programs directly, the tuple engine compiles.
+SystemOrProgram = Union[System, Program]
+
+ENGINES = ("packed", "tuple")
+
+
+def _as_system(source: SystemOrProgram) -> System:
+    """The tuple-engine view of a check source."""
+    return source if isinstance(source, System) else source.compile()
+
+
+def _source_name(source: SystemOrProgram) -> str:
+    return source.name
+
+
+def _select_engine(
+    engine: str,
+    concrete: SystemOrProgram,
+    abstract: SystemOrProgram,
+    state_budget: Optional[int],
+    instrumentation: Instrumentation,
+) -> bool:
+    """Whether the packed engine runs, emitting the ``engine.*`` counters.
+
+    The packed engine is refused (with an automatic fallback to the
+    tuple engine) when a schema is too large to intern, or when a
+    state budget is tight enough that the tuple engine could cut the
+    check PARTIAL — the budgeted exploration order is the tuple
+    engine's, so PARTIAL verdicts must come from it byte-for-byte.
+    """
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected 'packed' or 'tuple'")
+    if engine != "packed":
+        return False
+    from ..kernel import packed_fallback_reason, source_schema
+
+    reason = packed_fallback_reason(concrete, abstract)
+    if reason is None and state_budget is not None:
+        # The tuple engine meters the legitimate reachability twice
+        # (the check.legitimate span and behavioural_core's own call),
+        # the candidate scan, and the outside scan — at most
+        # 2|Sigma_A| + 2|Sigma_C| charges.  At or above this floor no
+        # budget can trip, so skipping the meter is sound.
+        floor = 2 * source_schema(abstract).size() + 2 * source_schema(concrete).size()
+        if state_budget < floor:
+            reason = (
+                f"state budget {state_budget} is below the packed-engine "
+                f"floor of {floor} states (a PARTIAL cut must replay the "
+                f"tuple engine's exploration order)"
+            )
+    if reason is not None:
+        instrumentation.count("engine.fallback.tuple", 1)
+        instrumentation.event("engine.fallback", requested=engine, reason=reason)
+        return False
+    instrumentation.count("engine.packed", 1)
+    instrumentation.event("engine.selected", engine="packed")
+    return True
 
 
 @dataclass(frozen=True)
@@ -425,8 +485,8 @@ def worst_case_convergence_steps(
 
 
 def check_stabilization(
-    concrete: System,
-    abstract: System,
+    concrete: SystemOrProgram,
+    abstract: SystemOrProgram,
     alpha: Optional[AbstractionFunction] = None,
     stutter_insensitive: bool = False,
     fairness: str = "none",
@@ -434,6 +494,7 @@ def check_stabilization(
     instrumentation: Instrumentation = NULL_INSTRUMENTATION,
     state_budget: Optional[int] = None,
     workers: int = 1,
+    engine: str = "tuple",
 ) -> StabilizationResult:
     """Decide "``C`` is stabilizing to ``A``".
 
@@ -468,6 +529,16 @@ def check_stabilization(
             witness and formatted rendering — is identical for every
             worker count.  Degrades to 1 where fork-based pools are
             unavailable.
+        engine: ``'tuple'`` (the default) walks tuple states through
+            an eagerly compiled :class:`System`; ``'packed'`` interns
+            states as dense ints and runs the bitset fixpoints of
+            :mod:`repro.kernel` — same verdicts, witnesses, and
+            counters, decoded back to tuples at this boundary.  Packed
+            falls back to tuple automatically (with an
+            ``engine.fallback`` event) for unpackable schemas or tight
+            state budgets.  Both sides may be a
+            :class:`~repro.gcl.program.Program`; the packed engine then
+            skips transition-table materialization entirely.
 
     Returns:
         A :class:`StabilizationResult`; its witness on failure is a
@@ -475,6 +546,7 @@ def check_stabilization(
     """
     if fairness not in ("none", "weak", "strong"):
         raise ValueError(f"unknown fairness mode {fairness!r}")
+    packed = _select_engine(engine, concrete, abstract, state_budget, instrumentation)
     if workers > 1:
         from ..parallel import resolve_workers
 
@@ -482,20 +554,36 @@ def check_stabilization(
         if workers > 1:
             instrumentation.count("parallel.workers", workers)
     meter = BudgetMeter(state_budget)
-    name = f"{concrete.name} stabilizing to {abstract.name}"
+    name = f"{_source_name(concrete)} stabilizing to {_source_name(abstract)}"
     with instrumentation.span("check.total"):
         try:
-            result = _decide_stabilization(
-                concrete,
-                abstract,
-                alpha,
-                stutter_insensitive,
-                fairness,
-                compute_steps,
-                instrumentation,
-                meter,
-                workers,
-            )
+            if packed:
+                result = _decide_stabilization_packed(
+                    concrete,
+                    abstract,
+                    alpha,
+                    stutter_insensitive,
+                    fairness,
+                    compute_steps,
+                    instrumentation,
+                    workers,
+                )
+            else:
+                concrete_system = _as_system(concrete)
+                abstract_system = (
+                    concrete_system if abstract is concrete else _as_system(abstract)
+                )
+                result = _decide_stabilization(
+                    concrete_system,
+                    abstract_system,
+                    alpha,
+                    stutter_insensitive,
+                    fairness,
+                    compute_steps,
+                    instrumentation,
+                    meter,
+                    workers,
+                )
         except BudgetExceeded as exc:
             instrumentation.event(
                 "check.partial",
@@ -703,13 +791,261 @@ def _decide_stabilization(
     )
 
 
+def _decide_stabilization_packed(
+    concrete_source: SystemOrProgram,
+    abstract_source: SystemOrProgram,
+    alpha: Optional[AbstractionFunction],
+    stutter_insensitive: bool,
+    fairness: str,
+    compute_steps: bool,
+    instrumentation: Instrumentation,
+    workers: int = 1,
+) -> StabilizationResult:
+    """:func:`_decide_stabilization` on the packed kernel engine.
+
+    Phase for phase the same procedure — same spans, same witness
+    messages, same counters — but the hot set computations run as
+    bitset fixpoints over interned int codes.  Witness *construction*
+    on failure decodes back to tuples; the strong-fairness trap search
+    and cycle extraction materialize the tuple system (it is built by
+    the same compilation path, so the resulting witness is the tuple
+    engine's exact one).  The region sets handed to those subroutines
+    are assembled in schema order, which makes their internal set
+    layout — and therefore every order-dependent traversal — identical
+    to the tuple engine's.
+    """
+    from ..kernel import (
+        as_kernel,
+        drop_self_loops,
+        image_codes,
+        packed_core,
+        packed_has_cycle,
+        packed_longest_path,
+        packed_reachable,
+        packed_terminals,
+    )
+
+    name = f"{_source_name(concrete_source)} stabilizing to {_source_name(abstract_source)}"
+    kernel = as_kernel(concrete_source)
+    abstract_kernel = (
+        kernel if abstract_source is concrete_source else as_kernel(abstract_source)
+    )
+    interner = kernel.interner
+    size = kernel.size
+    with instrumentation.span("check.legitimate"):
+        legitimate_flags = packed_reachable(
+            abstract_kernel.successors,
+            abstract_kernel.initial_codes,
+            abstract_kernel.size,
+            workers=workers,
+            instrumentation=instrumentation,
+        )
+    legitimate = frozenset(
+        abstract_kernel.interner.decode(code)
+        for code in range(abstract_kernel.size)
+        if legitimate_flags[code]
+    )
+    fairness_ignores_stutter = fairness in ("weak", "strong")
+    analysis_succ = (
+        drop_self_loops(kernel.successors)
+        if fairness_ignores_stutter
+        else kernel.successors
+    )
+    with instrumentation.span("check.core"):
+        image_of = image_codes(interner, abstract_kernel.interner, alpha)
+        core_flags = packed_core(
+            kernel.successors,
+            abstract_kernel.successors,
+            image_of,
+            legitimate_flags,
+            size,
+            stutter_insensitive,
+            fairness_ignores_stutter,
+            instrumentation=instrumentation,
+            workers=workers,
+        )
+    core = frozenset(
+        interner.decode(code) for code in range(size) if core_flags[code]
+    )
+
+    if not core:
+        return StabilizationResult(
+            CheckResult(
+                False,
+                name,
+                Witness(
+                    WitnessKind.CLOSURE_VIOLATION,
+                    "no concrete state forever tracks the specification "
+                    "(behavioural core is empty)",
+                ),
+            ),
+            legitimate,
+            core,
+            None,
+        )
+
+    outside_flags = bytearray(
+        0 if core_flags[code] else 1 for code in range(size)
+    )
+    instrumentation.count("check.outside.size", size - len(core))
+    with instrumentation.span("check.deadlock_search"):
+        deadlock_codes = packed_terminals(analysis_succ, outside_flags)
+    if deadlock_codes:
+        stuck = min((interner.decode(code) for code in deadlock_codes), key=repr)
+        return StabilizationResult(
+            CheckResult(
+                False,
+                name,
+                Witness(
+                    WitnessKind.ILLEGITIMATE_DEADLOCK,
+                    "a computation can end outside the legitimate core",
+                    (stuck,),
+                    interner.schema,
+                ),
+            ),
+            legitimate,
+            core,
+            None,
+        )
+
+    def decode_outside() -> FrozenSet[State]:
+        # Schema insertion order: identical set layout to the tuple
+        # engine's generator-built frozenset, so every set-iteration-
+        # order-dependent subroutine (the fair-trap search) sees the
+        # same traversal and returns the same witness.
+        return frozenset(
+            interner.decode(code) for code in range(size) if outside_flags[code]
+        )
+
+    def analysis_system_of() -> System:
+        system = kernel.materialize()
+        return system.without_self_loops() if fairness_ignores_stutter else system
+
+    if fairness == "strong":
+        with instrumentation.span("check.cycle_search"):
+            trap = None
+            if packed_has_cycle(analysis_succ, outside_flags):
+                analysis_system = analysis_system_of()
+                trap = find_fair_trap(analysis_system, decode_outside())
+        if trap is not None:
+            cycle = find_cycle_within(analysis_system, trap)
+            return StabilizationResult(
+                CheckResult(
+                    False,
+                    name,
+                    Witness(
+                        WitnessKind.DIVERGENT_CYCLE,
+                        "a strongly fair computation can stay forever outside "
+                        "the legitimate core (fair trap)",
+                        cycle or tuple(sorted(trap, key=repr)[:4]),
+                        interner.schema,
+                    ),
+                ),
+                legitimate,
+                core,
+                None,
+            )
+    else:
+        with instrumentation.span("check.cycle_search"):
+            has_divergent = packed_has_cycle(analysis_succ, outside_flags)
+        if has_divergent:
+            cycle = find_cycle_within(analysis_system_of(), decode_outside())
+            return StabilizationResult(
+                CheckResult(
+                    False,
+                    name,
+                    Witness(
+                        WitnessKind.DIVERGENT_CYCLE,
+                        "a computation can cycle forever outside the legitimate core",
+                        cycle or (),
+                        interner.schema,
+                    ),
+                ),
+                legitimate,
+                core,
+                None,
+            )
+
+    if stutter_insensitive and alpha is not None:
+
+        def invisible_succ(code: int) -> Tuple[int, ...]:
+            image = image_of[code]
+            return tuple(
+                target
+                for target in analysis_succ(code)
+                if core_flags[target] and image_of[target] == image
+            )
+
+        with instrumentation.span("check.invisible_cycles"):
+            invisible_cycle: Optional[Tuple[State, ...]] = None
+            if packed_has_cycle(invisible_succ, core_flags):
+                # Reconstruct the witness exactly as the tuple engine
+                # does, on the materialized system.
+                analysis_system = analysis_system_of()
+                invisible = [
+                    (source, target)
+                    for source in sorted(core, key=repr)
+                    for target in analysis_system.successors(source)
+                    if target in core and alpha(source) == alpha(target)
+                ]
+                invisible_system = System(
+                    interner.schema,
+                    invisible,
+                    (),
+                    name=f"{_source_name(concrete_source)}|invisible",
+                )
+                if states_on_cycles(invisible_system, core):
+                    invisible_cycle = (
+                        find_cycle_within(invisible_system, core) or ()
+                    )
+        if invisible_cycle is not None:
+            return StabilizationResult(
+                CheckResult(
+                    False,
+                    name,
+                    Witness(
+                        WitnessKind.DIVERGENT_CYCLE,
+                        "cycle of abstract-invisible steps inside the core",
+                        invisible_cycle,
+                        interner.schema,
+                    ),
+                ),
+                legitimate,
+                core,
+                None,
+            )
+
+    with instrumentation.span("check.worst_case"):
+        if compute_steps and not packed_has_cycle(analysis_succ, outside_flags):
+            steps: Optional[int] = packed_longest_path(analysis_succ, outside_flags)
+        else:
+            # Under strong fairness the sup over fair runs may be
+            # unbounded when cycles remain outside the core; report no
+            # finite metric.
+            steps = None
+    return StabilizationResult(
+        CheckResult(
+            True,
+            name,
+            detail=(
+                f"core has {len(core)} of {interner.schema.size()} states; "
+                f"legitimate spec states: {len(legitimate)}"
+            ),
+        ),
+        legitimate,
+        core,
+        steps,
+    )
+
+
 def check_self_stabilization(
-    system: System,
+    system: SystemOrProgram,
     fairness: str = "none",
     compute_steps: bool = True,
     instrumentation: Instrumentation = NULL_INSTRUMENTATION,
     state_budget: Optional[int] = None,
     workers: int = 1,
+    engine: str = "tuple",
 ) -> StabilizationResult:
     """Decide whether a system is self-stabilizing (stabilizing to itself).
 
@@ -726,6 +1062,7 @@ def check_self_stabilization(
         instrumentation=instrumentation,
         state_budget=state_budget,
         workers=workers,
+        engine=engine,
     )
 
 

@@ -40,13 +40,14 @@ long as no cycle of ``C`` consists solely of such invisible steps
 
 from __future__ import annotations
 
-from typing import List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from ..core.abstraction import AbstractionFunction, identity_abstraction
 from ..core.state import State
 from ..core.system import System, Transition
 from ..obs import NULL_INSTRUMENTATION, Instrumentation
 from .budget import BudgetExceeded, BudgetMeter
+from .convergence import ENGINES, SystemOrProgram, _as_system, _source_name
 from .graph import shortest_path
 from .witnesses import CheckResult, Witness, WitnessKind
 
@@ -58,6 +59,369 @@ __all__ = [
     "compression_transitions",
     "expand_to_abstract_path",
 ]
+
+
+def _schema_of(source: SystemOrProgram):
+    return source.schema if isinstance(source, System) else source.schema()
+
+
+def _select_refinement_engine(
+    engine: str,
+    concrete: SystemOrProgram,
+    abstract: SystemOrProgram,
+    state_budget: Optional[int],
+    instrumentation: Instrumentation,
+    shared_meter: bool = False,
+) -> bool:
+    """Whether the packed refinement attempt runs (``engine.*`` counters).
+
+    The packed engine runs refinement clauses *optimistically*: it can
+    prove success, but a violation witness depends on tuple-set
+    iteration order, so failures replay on the tuple engine.  Budgeted
+    checks (and clauses sharing an enclosing meter) go straight to the
+    tuple engine — the PARTIAL cut must follow its exploration order.
+    """
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected 'packed' or 'tuple'")
+    if engine != "packed":
+        return False
+    from ..kernel import packed_fallback_reason
+
+    reason = packed_fallback_reason(concrete, abstract)
+    if reason is None and shared_meter:
+        reason = "a shared budget meter pins the check to the tuple engine"
+    if reason is None and state_budget is not None:
+        reason = (
+            f"state budget {state_budget} is set; budgeted exploration "
+            f"follows the tuple engine's order"
+        )
+    if reason is not None:
+        instrumentation.count("engine.fallback.tuple", 1)
+        instrumentation.event("engine.fallback", requested=engine, reason=reason)
+        return False
+    instrumentation.count("engine.packed", 1)
+    instrumentation.event("engine.selected", engine="packed")
+    return True
+
+
+_VIOLATION_REPLAY_REASON = (
+    "violation found; replaying on the tuple engine for the witness"
+)
+_ALPHA_REPLAY_REASON = (
+    "the abstraction maps some state outside the abstract schema; "
+    "replaying on the tuple engine"
+)
+
+
+def _packed_violation_fallback(
+    instrumentation: Instrumentation, reason: str = _VIOLATION_REPLAY_REASON
+) -> None:
+    """Record that a packed attempt is handing the check back."""
+    instrumentation.count("engine.fallback.tuple", 1)
+    instrumentation.event("engine.fallback", requested="packed", reason=reason)
+
+
+def _packed_refinement_context(
+    concrete: SystemOrProgram,
+    abstract: SystemOrProgram,
+    alpha: Optional[AbstractionFunction],
+):
+    """Kernels and the dense image table for a packed refinement attempt.
+
+    Returns ``None`` when some concrete state's image is not a valid
+    abstract state — the tuple engine's membership tests then carry the
+    semantics, so the attempt is abandoned before it starts.
+    """
+    from ..kernel import as_kernel, image_codes
+
+    if alpha is None:
+        _schema_of(concrete).require_compatible(
+            _schema_of(abstract), "refinement check without an abstraction function"
+        )
+    kernel = as_kernel(concrete)
+    abstract_kernel = kernel if abstract is concrete else as_kernel(abstract)
+    image_of = image_codes(kernel.interner, abstract_kernel.interner, alpha)
+    if any(code < 0 for code in image_of):
+        return None
+    return kernel, abstract_kernel, image_of
+
+
+def _packed_init_clauses(
+    kernel,
+    abstract_kernel,
+    image_of: List[int],
+    stutter_insensitive: bool,
+    open_systems: bool,
+    instrumentation: Instrumentation,
+) -> Optional[Tuple[int, int]]:
+    """The ``[C (= A]_init`` clauses over packed codes.
+
+    Returns ``(reachable_count, transitions_checked)`` when every
+    clause holds, ``None`` on the first violation (the caller replays
+    on the tuple engine for the witness).  Counters are *not* emitted
+    here — the caller owns them, so a failed attempt emits nothing.
+    """
+    from ..kernel import count_flags, packed_reachable
+
+    initial_images = set(abstract_kernel.initial_codes)
+    for code in kernel.initial_codes:
+        if image_of[code] not in initial_images:
+            return None
+    with instrumentation.span("refine.init_clause"):
+        reachable = packed_reachable(
+            kernel.successors, kernel.initial_codes, kernel.size
+        )
+    abstract_succ = abstract_kernel.successors
+    checked = 0
+    for code in range(kernel.size):
+        if not reachable[code]:
+            continue
+        successors = kernel.successors(code)
+        image = image_of[code]
+        if not successors:
+            if not open_systems and abstract_succ(image):
+                return None
+            continue
+        for successor in successors:
+            checked += 1
+            target_image = image_of[successor]
+            if target_image == image and stutter_insensitive:
+                continue
+            if target_image not in abstract_succ(image):
+                return None
+    return count_flags(reachable), checked
+
+
+def _packed_path2(
+    abstract_succ,
+    abstract_size: int,
+    source: int,
+    target: int,
+    memo: Dict[int, bytearray],
+) -> bool:
+    """Is there an abstract path of length >= 2 from source to target?
+
+    A path of two or more transitions decomposes as two fixed steps
+    followed by any walk: ``source -> mid -> start ~> target`` — the
+    packed equivalent of ``shortest_path(..., min_length=2)``'s
+    existence test, with inclusive-reachability flags memoized per
+    ``start`` code.
+    """
+    from ..kernel import packed_reachable
+
+    for mid in abstract_succ(source):
+        for start in abstract_succ(mid):
+            flags = memo.get(start)
+            if flags is None:
+                flags = packed_reachable(abstract_succ, (start,), abstract_size)
+                memo[start] = flags
+            if flags[target]:
+                return True
+    return False
+
+
+def _dict_reachable(adjacency: Dict[int, List[int]], start: int) -> Set[int]:
+    """Inclusive reachability over an explicit edge list (stutter graph)."""
+    seen = {start}
+    stack = [start]
+    while stack:
+        code = stack.pop()
+        for successor in adjacency.get(code, ()):
+            if successor not in seen:
+                seen.add(successor)
+                stack.append(successor)
+    return seen
+
+
+def _packed_init_attempt(
+    concrete: SystemOrProgram,
+    abstract: SystemOrProgram,
+    alpha: Optional[AbstractionFunction],
+    stutter_insensitive: bool,
+    open_systems: bool,
+    instrumentation: Instrumentation,
+    name: str,
+) -> Optional[CheckResult]:
+    """Packed ``[C (= A]_init``; ``None`` means replay on the tuple engine."""
+    context = _packed_refinement_context(concrete, abstract, alpha)
+    if context is None:
+        _packed_violation_fallback(instrumentation, _ALPHA_REPLAY_REASON)
+        return None
+    kernel, abstract_kernel, image_of = context
+    clauses = _packed_init_clauses(
+        kernel, abstract_kernel, image_of, stutter_insensitive, open_systems,
+        instrumentation,
+    )
+    if clauses is None:
+        _packed_violation_fallback(instrumentation)
+        return None
+    reachable_count, checked = clauses
+    instrumentation.count("refine.reachable.size", reachable_count)
+    instrumentation.count("refine.init.transitions.checked", checked)
+    return CheckResult(
+        True,
+        name,
+        detail=f"{reachable_count} reachable states, {checked} transitions checked",
+    )
+
+
+def _packed_everywhere_attempt(
+    concrete: SystemOrProgram,
+    abstract: SystemOrProgram,
+    alpha: Optional[AbstractionFunction],
+    stutter_insensitive: bool,
+    open_systems: bool,
+    instrumentation: Instrumentation,
+    name: str,
+) -> Optional[CheckResult]:
+    """Packed ``[C (= A]``; ``None`` means replay on the tuple engine."""
+    context = _packed_refinement_context(concrete, abstract, alpha)
+    if context is None:
+        _packed_violation_fallback(instrumentation, _ALPHA_REPLAY_REASON)
+        return None
+    kernel, abstract_kernel, image_of = context
+    abstract_succ = abstract_kernel.successors
+    checked = 0
+    for code in range(kernel.size):
+        successors = kernel.successors(code)
+        image = image_of[code]
+        if not successors:
+            if not open_systems and abstract_succ(image):
+                _packed_violation_fallback(instrumentation)
+                return None
+            continue
+        for successor in successors:
+            checked += 1
+            target_image = image_of[successor]
+            if target_image == image and stutter_insensitive:
+                continue
+            if target_image not in abstract_succ(image):
+                _packed_violation_fallback(instrumentation)
+                return None
+    instrumentation.count("refine.everywhere.transitions.checked", checked)
+    return CheckResult(True, name, detail=f"{checked} transitions checked")
+
+
+def _packed_convergence_attempt(
+    concrete: SystemOrProgram,
+    abstract: SystemOrProgram,
+    alpha: Optional[AbstractionFunction],
+    stutter_insensitive: bool,
+    open_systems: bool,
+    instrumentation: Instrumentation,
+    name: str,
+) -> Optional[CheckResult]:
+    """Packed ``[C <= A]``; ``None`` means replay on the tuple engine.
+
+    Runs all four clauses over packed codes and, on success, emits the
+    tuple engine's exact counters and success detail.  Any violation
+    abandons the attempt with *no* counters emitted (only spans, which
+    measure work actually done) — the tuple replay then produces the
+    byte-identical witness and counters.
+    """
+    from ..kernel import packed_reachable
+
+    context = _packed_refinement_context(concrete, abstract, alpha)
+    if context is None:
+        _packed_violation_fallback(instrumentation, _ALPHA_REPLAY_REASON)
+        return None
+    kernel, abstract_kernel, image_of = context
+    init_clauses = _packed_init_clauses(
+        kernel, abstract_kernel, image_of, stutter_insensitive, open_systems,
+        instrumentation,
+    )
+    if init_clauses is None:
+        _packed_violation_fallback(instrumentation)
+        return None
+    reachable_count, init_checked = init_clauses
+
+    size = kernel.size
+    abstract_succ = abstract_kernel.successors
+    exact = 0
+    stutter_edges: List[Tuple[int, int]] = []
+    compression_edges: List[Tuple[int, int]] = []
+    path2_memo: Dict[int, bytearray] = {}
+    holds = True
+    with instrumentation.span("refine.transition_scan"):
+        for code in range(size):
+            image = image_of[code]
+            for successor in kernel.successors(code):
+                target_image = image_of[successor]
+                if target_image == image:
+                    if stutter_insensitive:
+                        stutter_edges.append((code, successor))
+                        continue
+                    if image in abstract_succ(image):
+                        exact += 1
+                        continue
+                    holds = False
+                    break
+                if target_image in abstract_succ(image):
+                    exact += 1
+                    continue
+                if _packed_path2(
+                    abstract_succ, abstract_kernel.size, image, target_image,
+                    path2_memo,
+                ):
+                    compression_edges.append((code, successor))
+                    continue
+                holds = False
+                break
+            if not holds:
+                break
+    if not holds:
+        _packed_violation_fallback(instrumentation)
+        return None
+
+    cycle_memo: Dict[int, bytearray] = {}
+    with instrumentation.span("refine.cycle_clause"):
+        for source, target in compression_edges:
+            flags = cycle_memo.get(target)
+            if flags is None:
+                flags = packed_reachable(kernel.successors, (target,), size)
+                cycle_memo[target] = flags
+            if flags[source]:
+                holds = False
+                break
+    if not holds:
+        _packed_violation_fallback(instrumentation)
+        return None
+
+    if stutter_edges:
+        adjacency: Dict[int, List[int]] = {}
+        for source, target in stutter_edges:
+            adjacency.setdefault(source, []).append(target)
+        stutter_memo: Dict[int, Set[int]] = {}
+        for source, target in stutter_edges:
+            if source == target:
+                continue
+            seen = stutter_memo.get(target)
+            if seen is None:
+                seen = _dict_reachable(adjacency, target)
+                stutter_memo[target] = seen
+            if source in seen:
+                _packed_violation_fallback(instrumentation)
+                return None
+
+    if not open_systems:
+        for code in range(size):
+            if not kernel.successors(code) and abstract_succ(image_of[code]):
+                _packed_violation_fallback(instrumentation)
+                return None
+
+    instrumentation.count("refine.reachable.size", reachable_count)
+    instrumentation.count("refine.init.transitions.checked", init_checked)
+    instrumentation.count("refine.transitions.exact", exact)
+    instrumentation.count("refine.transitions.compressing", len(compression_edges))
+    instrumentation.count("refine.transitions.stuttering", len(stutter_edges))
+    return CheckResult(
+        True,
+        name,
+        detail=(
+            f"{exact} exact transitions, {len(compression_edges)} compressions, "
+            f"{len(stutter_edges)} stutters"
+        ),
+    )
 
 
 def _resolve_alpha(
@@ -103,8 +467,8 @@ def _reachable_metered(system: System, meter: BudgetMeter, phase: str):
 
 
 def check_init_refinement(
-    concrete: System,
-    abstract: System,
+    concrete: SystemOrProgram,
+    abstract: SystemOrProgram,
     alpha: Optional[AbstractionFunction] = None,
     stutter_insensitive: bool = False,
     open_systems: bool = False,
@@ -112,6 +476,7 @@ def check_init_refinement(
     state_budget: Optional[int] = None,
     meter: Optional[BudgetMeter] = None,
     workers: int = 1,
+    engine: str = "tuple",
 ) -> CheckResult:
     """Decide ``[C subseteq A]_init``.
 
@@ -147,14 +512,33 @@ def check_init_refinement(
         workers: worker processes for the reachability phase (sharded
             BFS above 1); the clause scans and witnesses are identical
             for every worker count.
+        engine: ``"packed"`` proves the clauses over dense state codes
+            (bitset reachability, no transition table); any violation,
+            unpackable schema, or budget replays on the tuple engine,
+            so verdicts and witnesses are identical either way.
     """
     own_meter = meter is None
     active = meter if meter is not None else BudgetMeter(state_budget)
-    name = f"[{concrete.name} (= {abstract.name}]_init"
+    name = f"[{_source_name(concrete)} (= {_source_name(abstract)}]_init"
+    packed = _select_refinement_engine(
+        engine, concrete, abstract, state_budget, instrumentation,
+        shared_meter=meter is not None,
+    )
+    if packed:
+        result = _packed_init_attempt(
+            concrete, abstract, alpha, stutter_insensitive, open_systems,
+            instrumentation, name,
+        )
+        if result is not None:
+            return result
+    concrete_system = _as_system(concrete)
+    abstract_system = (
+        concrete_system if abstract is concrete else _as_system(abstract)
+    )
     try:
         return _decide_init_refinement(
-            concrete, abstract, alpha, stutter_insensitive, open_systems,
-            instrumentation, active, name, workers,
+            concrete_system, abstract_system, alpha, stutter_insensitive,
+            open_systems, instrumentation, active, name, workers,
         )
     except BudgetExceeded as exc:
         if not own_meter:
@@ -253,14 +637,15 @@ def _decide_init_refinement(
 
 
 def check_everywhere_refinement(
-    concrete: System,
-    abstract: System,
+    concrete: SystemOrProgram,
+    abstract: SystemOrProgram,
     alpha: Optional[AbstractionFunction] = None,
     stutter_insensitive: bool = False,
     open_systems: bool = False,
     instrumentation: Instrumentation = NULL_INSTRUMENTATION,
     state_budget: Optional[int] = None,
     meter: Optional[BudgetMeter] = None,
+    engine: str = "tuple",
 ) -> CheckResult:
     """Decide ``[C subseteq A]`` — every computation of ``C`` is one of ``A``.
 
@@ -269,16 +654,31 @@ def check_everywhere_refinement(
     without the initial-state clause (everywhere refinement constrains
     behaviour, not initial sets).  ``open_systems`` skips the
     maximality clause, as for :func:`check_init_refinement`.
-    ``state_budget``/``meter`` behave as for
+    ``state_budget``/``meter``/``engine`` behave as for
     :func:`check_init_refinement`.
     """
     own_meter = meter is None
     active = meter if meter is not None else BudgetMeter(state_budget)
-    name = f"[{concrete.name} (= {abstract.name}]"
+    name = f"[{_source_name(concrete)} (= {_source_name(abstract)}]"
+    packed = _select_refinement_engine(
+        engine, concrete, abstract, state_budget, instrumentation,
+        shared_meter=meter is not None,
+    )
+    if packed:
+        result = _packed_everywhere_attempt(
+            concrete, abstract, alpha, stutter_insensitive, open_systems,
+            instrumentation, name,
+        )
+        if result is not None:
+            return result
+    concrete_system = _as_system(concrete)
+    abstract_system = (
+        concrete_system if abstract is concrete else _as_system(abstract)
+    )
     try:
         return _decide_everywhere_refinement(
-            concrete, abstract, alpha, stutter_insensitive, open_systems,
-            instrumentation, active, name,
+            concrete_system, abstract_system, alpha, stutter_insensitive,
+            open_systems, instrumentation, active, name,
         )
     except BudgetExceeded as exc:
         if not own_meter:
@@ -365,14 +765,15 @@ def compression_transitions(
 
 
 def check_convergence_refinement(
-    concrete: System,
-    abstract: System,
+    concrete: SystemOrProgram,
+    abstract: SystemOrProgram,
     alpha: Optional[AbstractionFunction] = None,
     stutter_insensitive: bool = False,
     open_systems: bool = False,
     instrumentation: Instrumentation = NULL_INSTRUMENTATION,
     state_budget: Optional[int] = None,
     workers: int = 1,
+    engine: str = "tuple",
 ) -> CheckResult:
     """Decide ``[C <= A]`` — convergence refinement (paper, Section 2).
 
@@ -400,11 +801,19 @@ def check_convergence_refinement(
             — witness and rendering included — is identical for every
             worker count.  Degrades to 1 where fork-based pools are
             unavailable.
+        engine: ``"packed"`` proves all four clauses over dense state
+            codes (programs lower straight to a successor kernel, no
+            transition table); any violation, unpackable schema, or
+            state budget replays on the tuple engine, so verdicts,
+            witnesses, and counters are identical either way.
 
     Returns:
         :class:`CheckResult` whose detail reports how many transitions
         were exact, compressing, and stuttering.
     """
+    packed = _select_refinement_engine(
+        engine, concrete, abstract, state_budget, instrumentation
+    )
     if workers > 1:
         from ..parallel import resolve_workers
 
@@ -412,20 +821,33 @@ def check_convergence_refinement(
         if workers > 1:
             instrumentation.count("parallel.workers", workers)
     meter = BudgetMeter(state_budget)
-    name = f"[{concrete.name} <= {abstract.name}]"
+    name = f"[{_source_name(concrete)} <= {_source_name(abstract)}]"
     with instrumentation.span("refine.total"):
         try:
-            result = _decide_convergence_refinement(
-                concrete,
-                abstract,
-                alpha,
-                stutter_insensitive,
-                open_systems,
-                instrumentation,
-                meter,
-                name,
-                workers,
-            )
+            result = None
+            if packed:
+                result = _packed_convergence_attempt(
+                    concrete, abstract, alpha, stutter_insensitive,
+                    open_systems, instrumentation, name,
+                )
+            if result is None:
+                concrete_system = _as_system(concrete)
+                abstract_system = (
+                    concrete_system
+                    if abstract is concrete
+                    else _as_system(abstract)
+                )
+                result = _decide_convergence_refinement(
+                    concrete_system,
+                    abstract_system,
+                    alpha,
+                    stutter_insensitive,
+                    open_systems,
+                    instrumentation,
+                    meter,
+                    name,
+                    workers,
+                )
         except BudgetExceeded as exc:
             return _partial_result(name, exc, instrumentation)
     witness = result.witness
@@ -687,11 +1109,12 @@ def expand_to_abstract_path(
 
 
 def check_everywhere_eventually_refinement(
-    concrete: System,
-    abstract: System,
+    concrete: SystemOrProgram,
+    abstract: SystemOrProgram,
     alpha: Optional[AbstractionFunction] = None,
     instrumentation: Instrumentation = NULL_INSTRUMENTATION,
     state_budget: Optional[int] = None,
+    engine: str = "tuple",
 ) -> CheckResult:
     """Decide the related-work relation of the paper's Section 7.
 
@@ -709,22 +1132,30 @@ def check_everywhere_eventually_refinement(
     """
     from .convergence import check_stabilization
 
-    mapping = _resolve_alpha(concrete, abstract, alpha)
-    name = f"[{concrete.name} ee-refines {abstract.name}]"
+    if alpha is None:
+        _schema_of(concrete).require_compatible(
+            _schema_of(abstract), "refinement check without an abstraction function"
+        )
+        mapping = identity_abstraction(_schema_of(concrete))
+    else:
+        mapping = alpha
+    name = f"[{_source_name(concrete)} ee-refines {_source_name(abstract)}]"
     init_part = check_init_refinement(
-        concrete, abstract, mapping, state_budget=state_budget
+        concrete, abstract, mapping, state_budget=state_budget, engine=engine
     )
     if init_part.is_partial:
         return CheckResult(False, name, partial=init_part.partial)
     if not init_part.holds:
         return CheckResult(False, name, init_part.witness,
                            detail="init-refinement clause failed")
-    liberal = abstract.with_initial(
-        abstract.schema.states(), name=f"{abstract.name}|all-initial"
+    abstract_system = _as_system(abstract)
+    liberal = abstract_system.with_initial(
+        abstract_system.schema.states(), name=f"{abstract_system.name}|all-initial"
     )
     suffix_part = check_stabilization(
         concrete, liberal, mapping, compute_steps=False,
         instrumentation=instrumentation, state_budget=state_budget,
+        engine=engine,
     )
     return CheckResult(
         suffix_part.result.holds,

@@ -145,6 +145,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="compare behaviours modulo stuttering",
     )
+    _add_engine_flag(check)
     _add_parallel_flags(check)
     _add_obs_out(check)
 
@@ -284,6 +285,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the small fixed CI grid (two systems, one seed, "
         "budgeted checks) regardless of the axis flags",
     )
+    _add_engine_flag(camp)
     _add_parallel_flags(camp)
     _add_obs_out(camp)
 
@@ -316,6 +318,17 @@ def build_parser() -> argparse.ArgumentParser:
     synth.add_argument("--stutter-insensitive", action="store_true")
 
     return parser
+
+
+def _add_engine_flag(subparser: argparse.ArgumentParser) -> None:
+    """Attach the shared ``--engine`` flag (packed-state kernel vs tuple)."""
+    subparser.add_argument(
+        "--engine", choices=("packed", "tuple"), default="packed",
+        help="checker engine: 'packed' runs dense state codes and bitset "
+        "fixpoints (falls back to tuple automatically where packing "
+        "cannot apply); 'tuple' is the reference set-based engine. "
+        "Verdicts are identical either way (default: packed)",
+    )
 
 
 def _add_parallel_flags(subparser: argparse.ArgumentParser) -> None:
@@ -374,9 +387,16 @@ def _cmd_check(args) -> int:
     if args.cache_dir:
         from .parallel import VerificationCache, cache_key, program_fingerprint
 
-        fingerprints = [program_fingerprint(program)]
+        # The semantics flags are part of the fingerprint: the same
+        # source under a different daemon semantics or fairness mode is
+        # a different transition system.  The engine (like the worker
+        # count) is excluded — verdicts are identical across engines.
+        semantics = {"keep_stutter": True, "fairness": args.fairness}
+        fingerprints = [program_fingerprint(program, semantics=semantics)]
         if spec_program is not None:
-            fingerprints.append(program_fingerprint(spec_program))
+            fingerprints.append(
+                program_fingerprint(spec_program, semantics=semantics)
+            )
         key = cache_key(
             "check",
             fingerprints,
@@ -393,26 +413,29 @@ def _cmd_check(args) -> int:
             print("verification cache: hit", file=sys.stderr)
             _flush_recorder(args, recorder)
             return 0 if hit["holds"] else 1
-    system = program.compile()
     instrumentation.annotate(
         program=args.program, fairness=args.fairness,
         stutter_insensitive=args.stutter_insensitive, workers=args.workers,
+        engine=args.engine,
     )
+    # The program goes to the checker uncompiled: the packed engine
+    # lowers it straight to a successor kernel (no transition table);
+    # the tuple engine compiles it itself.  Verdicts are identical.
     if spec_program is not None:
-        spec = spec_program.compile()
         instrumentation.annotate(spec=args.spec)
         result = check_stabilization(
-            system,
-            spec,
+            program,
+            spec_program,
             stutter_insensitive=args.stutter_insensitive,
             fairness=args.fairness,
             instrumentation=instrumentation,
             workers=args.workers,
+            engine=args.engine,
         )
     else:
         result = check_self_stabilization(
-            system, fairness=args.fairness, instrumentation=instrumentation,
-            workers=args.workers,
+            program, fairness=args.fairness, instrumentation=instrumentation,
+            workers=args.workers, engine=args.engine,
         )
     print(result.format())
     if cache is not None and key is not None and not result.is_partial:
@@ -550,6 +573,7 @@ def _cmd_campaign(args) -> int:
             seed=args.seed, state_budget=100_000,
             checkpoint=args.checkpoint, trace_dir=args.trace_out,
             workers=args.workers, cache_dir=args.cache_dir,
+            engine=args.engine,
         )
     else:
         cells = build_grid(
@@ -566,6 +590,7 @@ def _cmd_campaign(args) -> int:
             fault_count=args.faults, state_budget=args.state_budget,
             checkpoint=args.checkpoint, trace_dir=args.trace_out,
             workers=args.workers, cache_dir=args.cache_dir,
+            engine=args.engine,
         )
     instrumentation, recorder = _recorder_for(args, "campaign")
 

@@ -1,0 +1,322 @@
+"""Bitset fixpoints over packed state codes.
+
+Packed re-implementations of the checker's hot set computations —
+reachability, the behavioural-core greatest fixpoint, cycle/terminal
+detection, and the worst-case convergence metric — operating on flag
+arrays indexed by interner codes instead of Python sets of tuples.
+
+Every function here computes exactly the set its tuple counterpart in
+:mod:`repro.checker.convergence` / :mod:`repro.checker.graph`
+computes (the eviction operator is monotone, so iteration order is
+free), and emits the same observability counters.  The one documented
+divergence is ``check.fixpoint.iterations`` and the per-iteration
+events: the sequential packed sweep visits codes in ascending order
+while the tuple sweep visits set order, so Gauss–Seidel round *counts*
+may differ even though the fixpoint — and the total
+``check.states.evicted`` — are identical (the same caveat PR 3
+documents for Jacobi rounds at ``workers > 1``).
+
+Parallelism mirrors :mod:`repro.parallel.sharding`, but shards on the
+packed int itself (``code % batches``) — no ``repr`` hashing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Sequence, Set, Tuple
+
+from ..obs import NULL_INSTRUMENTATION, Instrumentation
+from ..parallel.pool import WorkerPool, contiguous_chunks, worker_context
+from .bitset import make_flags
+
+__all__ = [
+    "SuccessorFn",
+    "packed_reachable",
+    "packed_core",
+    "packed_has_cycle",
+    "packed_terminals",
+    "packed_longest_path",
+]
+
+#: A packed successor function: code in, ascending successor codes out.
+SuccessorFn = Callable[[int], Tuple[int, ...]]
+
+#: Shard batches per worker per round (mirrors ``repro.parallel.sharding``).
+_BATCHES_PER_WORKER = 4
+
+
+def _expand_batch(batch: List[int]) -> List[int]:
+    """Worker task: expand one batch of frontier codes."""
+    succ_of: SuccessorFn = worker_context()["packed_succ"]
+    found: List[int] = []
+    for code in batch:
+        found.extend(succ_of(code))
+    return found
+
+
+def _filter_chunk(chunk: List[int]) -> List[int]:
+    """Worker task: keep the codes satisfying the staged predicate."""
+    predicate: Callable[[int], bool] = worker_context()["packed_predicate"]
+    return [code for code in chunk if predicate(code)]
+
+
+def packed_reachable(
+    succ_of: SuccessorFn,
+    sources: Iterable[int],
+    size: int,
+    workers: int = 1,
+    instrumentation: Instrumentation = NULL_INSTRUMENTATION,
+) -> bytearray:
+    """Flags of the codes reachable from ``sources`` (inclusive).
+
+    Sequentially a plain stack search; above one worker a round-based
+    sharded BFS where frontier codes are routed to the shard
+    ``code % batches`` — the packed analogue of the tuple engine's
+    ``stable_state_hash`` routing, with the same ``parallel.*``
+    counters.
+    """
+    seen = make_flags(size)
+    initial: List[int] = []
+    for code in sources:
+        if not seen[code]:
+            seen[code] = 1
+            initial.append(code)
+    if workers <= 1:
+        stack = initial
+        while stack:
+            code = stack.pop()
+            for successor in succ_of(code):
+                if not seen[successor]:
+                    seen[successor] = 1
+                    stack.append(successor)
+        return seen
+    n_batches = workers * _BATCHES_PER_WORKER
+    frontier = sorted(initial)
+    with WorkerPool(workers, packed_succ=succ_of) as pool:
+        while frontier:
+            instrumentation.count("parallel.rounds", 1)
+            instrumentation.count("parallel.states.expanded", len(frontier))
+            sharded: List[List[int]] = [[] for _ in range(n_batches)]
+            for code in frontier:
+                sharded[code % n_batches].append(code)
+            batches = [batch for batch in sharded if batch]
+            instrumentation.count("parallel.batches", len(batches))
+            next_frontier: List[int] = []
+            for found in pool.map(_expand_batch, batches):
+                for code in found:
+                    if not seen[code]:
+                        seen[code] = 1
+                        next_frontier.append(code)
+            frontier = sorted(next_frontier)
+    return seen
+
+
+def _must_evict_packed(
+    code: int,
+    concrete_succ: SuccessorFn,
+    abstract_succ: SuccessorFn,
+    image_of: Sequence[int],
+    member_flags: Sequence[int],
+    stutter_insensitive: bool,
+    fairness_ignores_stutter: bool,
+) -> bool:
+    """Packed transliteration of ``checker.convergence._must_evict``."""
+    image = image_of[code]
+    image_successors = abstract_succ(image)
+    progress = False
+    for successor in concrete_succ(code):
+        target_image = image_of[successor]
+        if successor == code:
+            if image in image_successors:
+                progress = True
+                continue
+            if stutter_insensitive or fairness_ignores_stutter:
+                continue  # ignorable stutter, no progress
+            return True
+        if not member_flags[successor]:
+            return True
+        if target_image == image and stutter_insensitive:
+            progress = True
+            continue
+        if target_image not in image_successors:
+            return True
+        progress = True
+    if not progress:
+        # Effectively terminal: must match a terminal abstract state.
+        return bool(image_successors)
+    return False
+
+
+def packed_core(
+    concrete_succ: SuccessorFn,
+    abstract_succ: SuccessorFn,
+    image_of: Sequence[int],
+    legitimate: bytearray,
+    size: int,
+    stutter_insensitive: bool,
+    fairness_ignores_stutter: bool,
+    instrumentation: Instrumentation = NULL_INSTRUMENTATION,
+    workers: int = 1,
+) -> bytearray:
+    """The behavioural core as flags over concrete codes.
+
+    Same greatest fixpoint as ``checker.convergence.behavioural_core``:
+    candidates are the codes whose image is legitimate, then states
+    with escaping transitions or premature deadlocks are evicted until
+    stable.  ``image_of[code]`` may be ``-1`` for states whose image
+    is not a valid abstract state; they are simply never candidates.
+    """
+    flags = make_flags(size)
+    remaining = 0
+    if workers > 1:
+        chunks = contiguous_chunks(list(range(size)), workers)
+        instrumentation.count("parallel.batches", len(chunks))
+        instrumentation.count("parallel.states.expanded", size)
+
+        def is_candidate(code: int) -> bool:
+            image = image_of[code]
+            return image >= 0 and bool(legitimate[image])
+
+        with WorkerPool(workers, packed_predicate=is_candidate) as pool:
+            for kept in pool.map(_filter_chunk, chunks):
+                for code in kept:
+                    flags[code] = 1
+                    remaining += 1
+    else:
+        for code in range(size):
+            image = image_of[code]
+            if image >= 0 and legitimate[image]:
+                flags[code] = 1
+                remaining += 1
+    instrumentation.count("check.states.enumerated", size)
+    instrumentation.count("check.candidates.initial", remaining)
+    iterations = 0
+    changed = True
+    while changed:
+        changed = False
+        iterations += 1
+        evicted = 0
+        if workers > 1:
+            members = [code for code in range(size) if flags[code]]
+            snapshot = bytes(flags)
+
+            def evicts(code: int) -> bool:
+                return _must_evict_packed(
+                    code, concrete_succ, abstract_succ, image_of, snapshot,
+                    stutter_insensitive, fairness_ignores_stutter,
+                )
+
+            chunks = contiguous_chunks(members, workers)
+            instrumentation.count("parallel.batches", len(chunks))
+            instrumentation.count("parallel.states.expanded", len(members))
+            with WorkerPool(workers, packed_predicate=evicts) as pool:
+                for kicked in pool.map(_filter_chunk, chunks):
+                    for code in kicked:
+                        flags[code] = 0
+                        evicted += 1
+        else:
+            for code in range(size):
+                if flags[code] and _must_evict_packed(
+                    code, concrete_succ, abstract_succ, image_of, flags,
+                    stutter_insensitive, fairness_ignores_stutter,
+                ):
+                    flags[code] = 0
+                    evicted += 1
+        changed = evicted > 0
+        remaining -= evicted
+        instrumentation.event(
+            "check.fixpoint.iteration",
+            index=iterations,
+            evicted=evicted,
+            remaining=remaining,
+        )
+        instrumentation.count("check.states.evicted", evicted)
+    instrumentation.count("check.fixpoint.iterations", iterations)
+    return flags
+
+
+def packed_has_cycle(succ_of: SuccessorFn, region: bytearray) -> bool:
+    """Whether a cycle (including a self-loop) lies within ``region``.
+
+    ``succ_of`` must already reflect the analysis semantics (callers
+    filter self-loops for weak/strong fairness before passing it in).
+    """
+    size = len(region)
+    color = bytearray(size)  # 0 white, 1 gray, 2 black
+    for root in range(size):
+        if not region[root] or color[root]:
+            continue
+        color[root] = 1
+        stack: List[Tuple[int, Iterable[int]]] = [(root, iter(succ_of(root)))]
+        while stack:
+            code, pending = stack[-1]
+            descended = False
+            for successor in pending:
+                if not region[successor]:
+                    continue
+                if color[successor] == 1:
+                    return True
+                if color[successor] == 0:
+                    color[successor] = 1
+                    stack.append((successor, iter(succ_of(successor))))
+                    descended = True
+                    break
+            if not descended:
+                color[code] = 2
+                stack.pop()
+    return False
+
+
+def packed_terminals(succ_of: SuccessorFn, region: bytearray) -> List[int]:
+    """Codes in ``region`` with no successors at all, ascending."""
+    return [
+        code
+        for code in range(len(region))
+        if region[code] and not succ_of(code)
+    ]
+
+
+def packed_longest_path(succ_of: SuccessorFn, outside: bytearray) -> int:
+    """Longest transition path staying within the ``outside`` region.
+
+    Packed transliteration of
+    ``checker.convergence.worst_case_convergence_steps``: memoized
+    longest-path DFS over the (assumed acyclic) region, where a step
+    landing outside the region (i.e. into the core) still counts as
+    one step.
+
+    Raises:
+        ValueError: if a cycle is found after all, with the tuple
+            engine's exact message.
+    """
+    depth: Dict[int, int] = {}
+    in_progress: Set[int] = set()
+    for root in range(len(outside)):
+        if not outside[root] or root in depth:
+            continue
+        stack: List[Tuple[int, bool]] = [(root, False)]
+        while stack:
+            code, expanded = stack.pop()
+            if expanded:
+                best = 0
+                for successor in succ_of(code):
+                    if outside[successor]:
+                        best = max(best, 1 + depth[successor])
+                    else:
+                        best = max(best, 1)
+                depth[code] = best
+                in_progress.discard(code)
+                continue
+            if code in depth:
+                continue
+            if code in in_progress:
+                raise ValueError("cycle outside the core; check stabilization first")
+            in_progress.add(code)
+            stack.append((code, True))
+            for successor in succ_of(code):
+                if outside[successor] and successor not in depth:
+                    if successor in in_progress:
+                        raise ValueError(
+                            "cycle outside the core; check stabilization first"
+                        )
+                    stack.append((successor, False))
+    return max(depth.values(), default=0)

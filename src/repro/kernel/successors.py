@@ -1,0 +1,216 @@
+"""Compiled successor kernels: packed transitions generated on the fly.
+
+A :class:`PackedKernel` is the packed engine's replacement for an
+eagerly compiled :class:`~repro.core.system.System`: a successor
+*function* over dense int codes, memoized per state, with no global
+transition table.  Two constructors:
+
+* :meth:`PackedKernel.from_program` lowers a guarded-command program
+  directly.  Under the plain central daemon each action's parallel
+  assignment becomes a **digit-delta** update on the mixed-radix code
+  (no pack/unpack of the successor tuple at all); other daemons route
+  through the daemon's ``steps`` and pack once per move.  Out-of-domain
+  writes raise exactly the :class:`~repro.core.errors.GCLError` that
+  ``compile_program`` raises.
+* :meth:`PackedKernel.from_system` wraps an existing ``System``
+  (encode/decode at the edges) so every checker entry point accepts
+  both representations.
+
+``materialize()`` produces — and caches — the tuple ``System`` for the
+rare phases that need one (witness reconstruction under strong
+fairness); for program-built kernels it is byte-identical to
+``program.compile()`` because it *is* ``compile_program`` on the same
+inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core.errors import GCLError
+from ..core.state import StateSchema
+from ..core.system import System
+from ..gcl.daemon import CentralDaemon, Daemon
+from ..gcl.program import Program
+from ..gcl.semantics import compile_program
+from .interner import StateInterner
+
+__all__ = ["PackedKernel"]
+
+
+class PackedKernel:
+    """A packed transition relation: codes in, successor codes out.
+
+    Successor tuples are deduplicated, sorted ascending, and memoized
+    per source code — the fixpoints revisit states freely.
+    """
+
+    __slots__ = (
+        "interner",
+        "name",
+        "size",
+        "initial_codes",
+        "_successors_of",
+        "_memo",
+        "_materializer",
+        "_materialized",
+    )
+
+    def __init__(
+        self,
+        interner: StateInterner,
+        successors_of: Callable[[int], Tuple[int, ...]],
+        initial_codes: Tuple[int, ...],
+        name: str,
+        materializer: Callable[[], System],
+    ):
+        self.interner = interner
+        self.name = name
+        self.size = interner.size
+        self.initial_codes = initial_codes
+        self._successors_of = successors_of
+        self._memo: List[Optional[Tuple[int, ...]]] = [None] * interner.size
+        self._materializer = materializer
+        self._materialized: Optional[System] = None
+
+    @property
+    def schema(self) -> StateSchema:
+        """The schema of the packed state space."""
+        return self.interner.schema
+
+    def successors(self, code: int) -> Tuple[int, ...]:
+        """Successor codes of ``code``, ascending, memoized."""
+        cached = self._memo[code]
+        if cached is None:
+            cached = self._successors_of(code)
+            self._memo[code] = cached
+        return cached
+
+    def materialize(self) -> System:
+        """The equivalent tuple-state ``System`` (cached on first call)."""
+        if self._materialized is None:
+            self._materialized = self._materializer()
+        return self._materialized
+
+    @classmethod
+    def from_program(
+        cls,
+        program: Program,
+        daemon: Optional[Daemon] = None,
+        keep_stutter: bool = True,
+        name: Optional[str] = None,
+    ) -> "PackedKernel":
+        """Lower ``program`` to a packed kernel (no transition table).
+
+        Mirrors :func:`~repro.gcl.semantics.compile_program` exactly:
+        same daemon default, same stutter handling, same system name,
+        and the same :class:`GCLError` on out-of-domain writes.
+        """
+        chosen = daemon or CentralDaemon()
+        schema = program.schema()
+        interner = StateInterner(schema)
+        system_name = name or (
+            program.name
+            if chosen.name == "central"
+            else f"{program.name}@{chosen.name}"
+        )
+        actions = tuple(program.actions)
+        if type(chosen) is CentralDaemon:
+            places = interner.places_by_name()
+            digit_maps = interner.digit_maps_by_name()
+
+            def central_successors(code: int) -> Tuple[int, ...]:
+                env = interner.decode_env(code)
+                found: List[int] = []
+                for action in actions:
+                    if not action.enabled(env):
+                        continue
+                    # Parallel assignment: all right-hand sides read the
+                    # pre-state.  Evaluation errors propagate raw, as
+                    # they do from ``daemon.steps`` in compile_program.
+                    updates = [
+                        (target, expr.eval(env))
+                        for target, expr in action.assignments.items()
+                    ]
+                    try:
+                        new_code = code
+                        for target, value in updates:
+                            new_code += (
+                                digit_maps[target][value]
+                                - digit_maps[target][env[target]]
+                            ) * places[target]
+                    except (KeyError, TypeError):
+                        # Unknown variable or out-of-domain value: take
+                        # the tuple path to raise compile_program's error.
+                        new_code = _pack_move(
+                            interner, program, action.execute(env),
+                            (action.name,), code,
+                        )
+                    if not keep_stutter and new_code == code:
+                        continue
+                    found.append(new_code)
+                return tuple(sorted(set(found)))
+
+            successors_of = central_successors
+        else:
+
+            def daemon_successors(code: int) -> Tuple[int, ...]:
+                env = interner.decode_env(code)
+                found: List[int] = []
+                for new_env, action_labels in chosen.steps(actions, env):
+                    new_code = _pack_move(
+                        interner, program, new_env, action_labels, code
+                    )
+                    if not keep_stutter and new_code == code:
+                        continue
+                    found.append(new_code)
+                return tuple(sorted(set(found)))
+
+            successors_of = daemon_successors
+
+        initial_codes = tuple(
+            sorted(interner.encode(state) for state in program.initial_states())
+        )
+
+        def materializer() -> System:
+            return compile_program(program, chosen, keep_stutter, system_name)
+
+        return cls(interner, successors_of, initial_codes, system_name, materializer)
+
+    @classmethod
+    def from_system(cls, system: System) -> "PackedKernel":
+        """Wrap an already-compiled ``System`` as a packed kernel."""
+        interner = StateInterner(system.schema)
+
+        def successors_of(code: int) -> Tuple[int, ...]:
+            state = interner.decode(code)
+            return tuple(
+                sorted(interner.encode(target) for target in system.successors(state))
+            )
+
+        initial_codes = tuple(
+            sorted(interner.encode(state) for state in system.initial)
+        )
+        return cls(
+            interner, successors_of, initial_codes, system.name, lambda: system
+        )
+
+
+def _pack_move(
+    interner: StateInterner,
+    program: Program,
+    new_env: Dict[str, object],
+    action_labels: Tuple[str, ...],
+    source_code: int,
+) -> int:
+    """Pack one daemon move, raising compile_program's exact error."""
+    schema = interner.schema
+    try:
+        successor = schema.pack(new_env)
+    except Exception as exc:
+        state = interner.decode(source_code)
+        raise GCLError(
+            f"program {program.name!r}: action(s) {action_labels} drive "
+            f"the state out of domain from {schema.format_state(state)}: {exc}"
+        )
+    return interner.encode(successor)

@@ -49,7 +49,10 @@ __all__ = [
 
 #: Bumped whenever the stored payload layout or the key derivation
 #: changes; part of every key, so stale formats can never collide.
-CACHE_SCHEMA_VERSION = 1
+#: Version 2: fingerprints gained the engine-relevant semantics flags
+#: (``keep_stutter``, fairness mode) — under version 1 two checks that
+#: compiled the same program under different semantics could collide.
+CACHE_SCHEMA_VERSION = 2
 
 
 def canonical_program_text(source: Union[str, Program]) -> str:
@@ -68,9 +71,29 @@ def canonical_program_text(source: Union[str, Program]) -> str:
     return render_program(program)
 
 
-def program_fingerprint(source: Union[str, Program]) -> str:
-    """SHA-256 hex digest of a program's canonical text."""
+def program_fingerprint(
+    source: Union[str, Program],
+    semantics: Optional[Mapping[str, object]] = None,
+) -> str:
+    """SHA-256 hex digest of a program's canonical text.
+
+    Args:
+        source: raw GCL text or a parsed program.
+        semantics: the engine-relevant semantics flags the program is
+            compiled/checked under (``keep_stutter``, the fairness
+            mode, ...).  The same source under different semantics is
+            a different transition system, so these must be part of
+            the fingerprint; omitting the mapping fingerprints the
+            bare source.  Keys are serialized canonically (sorted,
+            compact JSON), so dict ordering never perturbs the digest.
+    """
     text = canonical_program_text(source)
+    if semantics:
+        text += "\n\x00semantics=" + json.dumps(
+            {key: semantics[key] for key in sorted(semantics)},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 

@@ -1,0 +1,316 @@
+"""Differential tests: the packed kernel engine against the tuple engine.
+
+The core invariant of :mod:`repro.kernel` is verdict identity: for
+every ring system, spec, abstraction, fairness mode, worker count, and
+budget, ``engine="packed"`` must produce a *byte-identical* formatted
+verdict — same holds/fails, same witness states, same counts — as the
+reference tuple engine, and the shared size-based observability
+counters must agree.  These tests enforce it on every ring system of
+the reproduction (including the failing controls and ``PARTIAL``
+budget cuts), on both decision procedures, and through the CLI.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.checker import (
+    check_convergence_refinement,
+    check_everywhere_eventually_refinement,
+    check_stabilization,
+)
+from repro.obs import Recorder
+from repro.parallel import parallel_available
+from repro.rings import (
+    btr3_abstraction,
+    btr4_abstraction,
+    btr_program,
+    c3_composed,
+    dijkstra_four_state,
+    dijkstra_three_state,
+    kstate_program,
+    utr_abstraction,
+    utr_program,
+)
+
+# Every ring verification of the reproduction:
+# (name, concrete, spec, alpha, fairness, stutter_insensitive)
+RING_CASES = [
+    (
+        "dijkstra4-n3",
+        lambda: dijkstra_four_state(3),
+        lambda: btr_program(3),
+        lambda: btr4_abstraction(3),
+        "none", False,
+    ),
+    (
+        "dijkstra3-n4",
+        lambda: dijkstra_three_state(4),
+        lambda: btr_program(4),
+        lambda: btr3_abstraction(4),
+        "none", False,
+    ),
+    (
+        "c3-composed-n3",
+        lambda: c3_composed(3),
+        lambda: btr_program(3),
+        lambda: btr3_abstraction(3),
+        "strong", True,
+    ),
+    (
+        "kstate-n4",
+        lambda: kstate_program(4, 4),
+        lambda: utr_program(4),
+        lambda: utr_abstraction(4, 4),
+        "none", False,
+    ),
+    (
+        "btr-n4-control",  # the deliberate non-stabilizing control
+        lambda: btr_program(4),
+        lambda: btr_program(4),
+        lambda: None,
+        "none", False,
+    ),
+    (
+        "kstate-n4-k3-refuted",  # K = n - 1 < n: a failing case
+        lambda: kstate_program(4, 3),
+        lambda: utr_program(4),
+        lambda: utr_abstraction(4, 3),
+        "none", False,
+    ),
+]
+
+# Size-based counters both engines must emit identically.  (Not in the
+# list: check.fixpoint.iterations — the documented sweep-order caveat —
+# and parallel.* batch shapes.)
+SHARED_COUNTERS = (
+    "check.states.enumerated",
+    "check.candidates.initial",
+    "check.legitimate.size",
+    "check.core.size",
+    "check.outside.size",
+    "check.states.evicted",
+)
+
+_WORKER_COUNTS = [1, 4] if parallel_available() else [1]
+
+
+class TestStabilizationDifferential:
+    @pytest.mark.parametrize(
+        "name,concrete,spec,alpha,fairness,stutter",
+        RING_CASES,
+        ids=[case[0] for case in RING_CASES],
+    )
+    @pytest.mark.parametrize("workers", _WORKER_COUNTS)
+    def test_verdicts_byte_identical(
+        self, name, concrete, spec, alpha, fairness, stutter, workers
+    ):
+        kwargs = dict(
+            alpha=alpha(), stutter_insensitive=stutter, fairness=fairness,
+            workers=workers,
+        )
+        tuple_rec, packed_rec = Recorder(), Recorder()
+        tuple_verdict = check_stabilization(
+            concrete(), spec(), engine="tuple",
+            instrumentation=tuple_rec, **kwargs
+        )
+        packed_verdict = check_stabilization(
+            concrete(), spec(), engine="packed",
+            instrumentation=packed_rec, **kwargs
+        )
+        assert tuple_verdict.format() == packed_verdict.format()
+        assert tuple_verdict.holds == packed_verdict.holds
+        assert (
+            tuple_verdict.legitimate_abstract
+            == packed_verdict.legitimate_abstract
+        )
+        assert tuple_verdict.core == packed_verdict.core
+        assert packed_rec.record().counters["engine.packed"] == 1
+        tuple_counters = tuple_rec.record().counters
+        packed_counters = packed_rec.record().counters
+        for counter in SHARED_COUNTERS:
+            assert tuple_counters.get(counter) == packed_counters.get(
+                counter
+            ), counter
+
+    @pytest.mark.parametrize(
+        "name,concrete,spec,alpha,fairness,stutter",
+        RING_CASES,
+        ids=[case[0] for case in RING_CASES],
+    )
+    def test_program_and_system_sources_agree(
+        self, name, concrete, spec, alpha, fairness, stutter
+    ):
+        """The packed engine lowers programs directly; handing it the
+        compiled system instead must not change a byte."""
+        kwargs = dict(
+            alpha=alpha(), stutter_insensitive=stutter, fairness=fairness,
+            engine="packed",
+        )
+        from_programs = check_stabilization(concrete(), spec(), **kwargs)
+        from_systems = check_stabilization(
+            concrete().compile(), spec().compile(), **kwargs
+        )
+        assert from_programs.format() == from_systems.format()
+
+    def test_partial_budget_cut_byte_identical(self):
+        """Below the packed-engine floor the check must fall back and
+        reproduce the tuple engine's PARTIAL cut exactly."""
+        recorder = Recorder()
+        tuple_verdict = check_stabilization(
+            dijkstra_three_state(4), btr_program(4), btr3_abstraction(4),
+            state_budget=10, engine="tuple",
+        )
+        packed_verdict = check_stabilization(
+            dijkstra_three_state(4), btr_program(4), btr3_abstraction(4),
+            state_budget=10, engine="packed", instrumentation=recorder,
+        )
+        assert tuple_verdict.is_partial and packed_verdict.is_partial
+        assert tuple_verdict.format() == packed_verdict.format()
+        assert recorder.record().counters["engine.fallback.tuple"] == 1
+
+    def test_generous_budget_still_identical(self):
+        tuple_verdict = check_stabilization(
+            dijkstra_four_state(3), btr_program(3), btr4_abstraction(3),
+            state_budget=10_000_000, engine="tuple",
+        )
+        packed_verdict = check_stabilization(
+            dijkstra_four_state(3), btr_program(3), btr4_abstraction(3),
+            state_budget=10_000_000, engine="packed",
+        )
+        assert tuple_verdict.format() == packed_verdict.format()
+
+
+class TestRefinementDifferential:
+    @pytest.mark.parametrize(
+        "name,concrete,spec,alpha,fairness,stutter",
+        RING_CASES,
+        ids=[case[0] for case in RING_CASES],
+    )
+    def test_convergence_refinement_byte_identical(
+        self, name, concrete, spec, alpha, fairness, stutter
+    ):
+        kwargs = dict(alpha=alpha(), stutter_insensitive=stutter)
+        tuple_verdict = check_convergence_refinement(
+            concrete(), spec(), engine="tuple", **kwargs
+        )
+        packed_verdict = check_convergence_refinement(
+            concrete(), spec(), engine="packed", **kwargs
+        )
+        assert tuple_verdict.format() == packed_verdict.format()
+        if not tuple_verdict.holds:
+            assert (
+                tuple_verdict.witness.states == packed_verdict.witness.states
+            )
+
+    def test_holding_refinement_counters_agree(self):
+        tuple_rec, packed_rec = Recorder(), Recorder()
+        tuple_verdict = check_convergence_refinement(
+            kstate_program(4, 4), utr_program(4), utr_abstraction(4, 4),
+            engine="tuple", instrumentation=tuple_rec,
+        )
+        packed_verdict = check_convergence_refinement(
+            kstate_program(4, 4), utr_program(4), utr_abstraction(4, 4),
+            engine="packed", instrumentation=packed_rec,
+        )
+        assert tuple_verdict.holds and packed_verdict.holds
+        assert tuple_verdict.format() == packed_verdict.format()
+        tuple_counters = tuple_rec.record().counters
+        packed_counters = packed_rec.record().counters
+        for counter in (
+            "refine.reachable.size",
+            "refine.init.transitions.checked",
+            "refine.transitions.exact",
+            "refine.transitions.compressing",
+            "refine.transitions.stuttering",
+        ):
+            assert tuple_counters[counter] == packed_counters[counter], counter
+
+    def test_everywhere_eventually_byte_identical(self):
+        tuple_verdict = check_everywhere_eventually_refinement(
+            dijkstra_four_state(3), btr_program(3), btr4_abstraction(3),
+            engine="tuple",
+        )
+        packed_verdict = check_everywhere_eventually_refinement(
+            dijkstra_four_state(3), btr_program(3), btr4_abstraction(3),
+            engine="packed",
+        )
+        assert tuple_verdict.format() == packed_verdict.format()
+
+    @pytest.mark.skipif(
+        not parallel_available(), reason="no fork start method"
+    )
+    def test_workers_and_engines_commute(self):
+        baseline = check_convergence_refinement(
+            dijkstra_four_state(3), btr_program(3), btr4_abstraction(3),
+            engine="tuple",
+        )
+        for workers in (1, 4):
+            for engine in ("tuple", "packed"):
+                verdict = check_convergence_refinement(
+                    dijkstra_four_state(3), btr_program(3),
+                    btr4_abstraction(3), workers=workers, engine=engine,
+                )
+                assert verdict.format() == baseline.format(), (workers, engine)
+
+
+class TestCliDifferential:
+    def test_check_output_identical_across_engines(self, tmp_path, capsys):
+        from repro.cli import main
+
+        spec = tmp_path / "toy.gcl"
+        spec.write_text(
+            "program toy\n"
+            "var x : mod 3\n"
+            "action heal :: x != 0 --> x := 0\n"
+            "init x == 0\n"
+        )
+        code_packed = main(["check", str(spec), "--engine", "packed"])
+        out_packed = capsys.readouterr().out
+        code_tuple = main(["check", str(spec), "--engine", "tuple"])
+        out_tuple = capsys.readouterr().out
+        assert code_packed == code_tuple
+        assert out_packed == out_tuple
+
+    def test_engine_defaults_to_packed(self, tmp_path, capsys):
+        from repro.cli import main
+
+        spec = tmp_path / "toy.gcl"
+        spec.write_text(
+            "program toy\n"
+            "var x : mod 3\n"
+            "action heal :: x != 0 --> x := 0\n"
+            "init x == 0\n"
+        )
+        record = tmp_path / "run.jsonl"
+        main(["check", str(spec), "--obs-out", str(record)])
+        capsys.readouterr()
+        assert '"engine.packed"' in record.read_text(encoding="utf-8")
+
+    def test_bad_engine_flag_rejected_at_parse_time(self, tmp_path, capsys):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as caught:
+            main(["check", "whatever.gcl", "--engine", "bogus"])
+        assert caught.value.code == 2
+        assert "--engine" in capsys.readouterr().err
+
+    def test_engines_share_cache_entries(self, tmp_path, capsys):
+        """The engine is excluded from the cache key: a verdict stored
+        by one engine is served to the other."""
+        from repro.cli import main
+
+        spec = tmp_path / "toy.gcl"
+        spec.write_text(
+            "program toy\n"
+            "var x : mod 3\n"
+            "action heal :: x != 0 --> x := 0\n"
+            "init x == 0\n"
+        )
+        cache_dir = tmp_path / "cache"
+        main(["check", str(spec), "--engine", "tuple",
+              "--cache-dir", str(cache_dir)])
+        assert "verification cache: stored" in capsys.readouterr().err
+        main(["check", str(spec), "--engine", "packed",
+              "--cache-dir", str(cache_dir)])
+        assert "verification cache: hit" in capsys.readouterr().err

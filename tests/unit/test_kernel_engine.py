@@ -1,0 +1,198 @@
+"""Unit tests for the packed successor kernel and engine selection.
+
+The contract: a kernel lowered straight from a program produces
+exactly the successor codes the compiled transition table holds, under
+every daemon and ``keep_stutter`` mode, raising the compiler's exact
+errors; and the checkers' engine selection emits the ``engine.*``
+counters, falls back with a reason where packing cannot apply, and
+rejects unknown engines the way the CLI rejects a bad flag.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.checker import check_convergence_refinement, check_stabilization
+from repro.core.errors import GCLError
+from repro.core.state import StateSchema
+from repro.core.system import System
+from repro.gcl.daemon import CentralDaemon, DistributedDaemon, SynchronousDaemon
+from repro.kernel import PackedKernel, as_kernel, packed_fallback_reason
+from repro.obs import Recorder
+from repro.rings import (
+    btr3_abstraction,
+    btr_program,
+    c3_composed,
+    dijkstra_three_state,
+    kstate_program,
+)
+
+DAEMONS = [
+    ("central", lambda: CentralDaemon()),
+    ("synchronous", lambda: SynchronousDaemon()),
+    ("distributed-2", lambda: DistributedDaemon(max_concurrency=2)),
+]
+
+PROGRAMS = [
+    ("btr", lambda: btr_program(3)),
+    ("dijkstra3", lambda: dijkstra_three_state(3)),
+    ("c3-composed", lambda: c3_composed(3)),
+    ("kstate", lambda: kstate_program(3, 3)),
+]
+
+
+class TestSuccessorParity:
+    @pytest.mark.parametrize(
+        "pname,build", PROGRAMS, ids=[p[0] for p in PROGRAMS]
+    )
+    @pytest.mark.parametrize(
+        "dname,daemon", DAEMONS, ids=[d[0] for d in DAEMONS]
+    )
+    @pytest.mark.parametrize("keep_stutter", [True, False])
+    def test_kernel_matches_compiled_table(
+        self, pname, build, dname, daemon, keep_stutter
+    ):
+        program = build()
+        kernel = PackedKernel.from_program(
+            program, daemon=daemon(), keep_stutter=keep_stutter
+        )
+        system = program.compile(daemon=daemon(), keep_stutter=keep_stutter)
+        interner = kernel.interner
+        assert kernel.name == system.name
+        assert sorted(kernel.initial_codes) == sorted(
+            interner.encode(state) for state in system.initial
+        )
+        for code, state in enumerate(system.schema.states()):
+            expected = sorted(
+                interner.encode(s) for s in system.successors(state)
+            )
+            assert list(kernel.successors(code)) == expected
+
+    def test_from_system_round_trips(self):
+        system = btr_program(3).compile()
+        kernel = PackedKernel.from_system(system)
+        for code, state in enumerate(system.schema.states()):
+            assert [
+                kernel.interner.decode(s) for s in kernel.successors(code)
+            ] == sorted(system.successors(state))
+
+    def test_materialize_equals_compile(self):
+        """The kernel's materialized system is byte-identically the
+        compiled one — witness construction depends on this."""
+        program = dijkstra_three_state(3)
+        kernel = PackedKernel.from_program(program)
+        materialized = kernel.materialize()
+        compiled = program.compile()
+        assert materialized.name == compiled.name
+        assert materialized.initial == compiled.initial
+        assert set(materialized.transitions()) == set(compiled.transitions())
+
+    def test_out_of_domain_move_raises_the_compilers_error(self):
+        """A program whose action drives the state out of domain must
+        raise through the kernel with the compiler's exact message."""
+        from repro.gcl.action import GuardedAction
+        from repro.gcl.domain import IntRange
+        from repro.gcl.expr import Add, Const, Eq, Var
+        from repro.gcl.program import Program
+        from repro.gcl.variable import Variable
+
+        bad = Program(
+            "escaper",
+            [Variable("x", IntRange(0, 2))],
+            [GuardedAction("up", Eq(Var("x"), Const(2)), {"x": Add(Var("x"), Const(1))})],
+            init=Eq(Var("x"), Const(0)),
+        )
+        with pytest.raises(GCLError) as compiled_err:
+            bad.compile()
+        kernel = PackedKernel.from_program(bad)
+        code = kernel.interner.encode((2,))
+        with pytest.raises(GCLError) as kernel_err:
+            kernel.successors(code)
+        assert str(kernel_err.value) == str(compiled_err.value)
+
+
+class TestEngineSelection:
+    def test_packed_counter_on_selection(self):
+        recorder = Recorder()
+        check_stabilization(
+            btr_program(3), btr_program(3), engine="packed",
+            instrumentation=recorder,
+        )
+        record = recorder.record()
+        assert record.counters["engine.packed"] == 1
+        assert "engine.fallback.tuple" not in record.counters
+
+    def test_no_engine_counters_on_tuple(self):
+        recorder = Recorder()
+        check_stabilization(
+            btr_program(3), btr_program(3), engine="tuple",
+            instrumentation=recorder,
+        )
+        assert not any(
+            name.startswith("engine.") for name in recorder.record().counters
+        )
+
+    def test_unpackable_schema_falls_back_with_reason(self):
+        wide = StateSchema({f"x{i}": (0, 1) for i in range(23)})
+        states = list(wide.states())[:2]
+        system = System(wide, [(states[0], states[1])], initial=[states[0]])
+        assert packed_fallback_reason(system) is not None
+        recorder = Recorder()
+        check_stabilization(
+            system, system, engine="packed", instrumentation=recorder,
+            state_budget=50,
+        )
+        record = recorder.record()
+        assert record.counters["engine.fallback.tuple"] == 1
+        events = [e for e in record.events if e.name == "engine.fallback"]
+        assert events and events[0].fields["requested"] == "packed"
+
+    def test_tight_budget_falls_back(self):
+        recorder = Recorder()
+        check_stabilization(
+            dijkstra_three_state(3), btr_program(3), btr3_abstraction(3),
+            engine="packed", state_budget=5, instrumentation=recorder,
+        )
+        record = recorder.record()
+        assert record.counters["engine.fallback.tuple"] == 1
+        reason = [
+            e for e in record.events if e.name == "engine.fallback"
+        ][0].fields["reason"]
+        assert "budget" in reason
+
+    @pytest.mark.parametrize("checkfn", [
+        check_stabilization, check_convergence_refinement,
+    ])
+    def test_unknown_engine_rejected(self, checkfn):
+        with pytest.raises(ValueError, match=r"unknown engine 'bogus'"):
+            checkfn(btr_program(3), btr_program(3), engine="bogus")
+
+    def test_campaign_config_rejects_unknown_engine(self):
+        from repro.campaign import CampaignConfig
+        from repro.core.errors import SimulationError
+
+        with pytest.raises(SimulationError, match=r"unknown engine"):
+            CampaignConfig(engine="bogus")
+
+    def test_refinement_replay_emits_fallback(self):
+        """A failing refinement under the packed engine replays on the
+        tuple engine (for the witness) and says so."""
+        recorder = Recorder()
+        result = check_convergence_refinement(
+            dijkstra_three_state(3), btr_program(3), btr3_abstraction(3),
+            engine="packed", instrumentation=recorder,
+        )
+        assert not result.holds
+        record = recorder.record()
+        assert record.counters["engine.packed"] == 1
+        assert record.counters["engine.fallback.tuple"] == 1
+
+
+class TestAsKernel:
+    def test_program_and_system_views_agree(self):
+        program = kstate_program(3, 3)
+        from_program = as_kernel(program)
+        from_system = as_kernel(program.compile())
+        assert from_program.size == from_system.size
+        for code in range(from_program.size):
+            assert from_program.successors(code) == from_system.successors(code)

@@ -1,0 +1,138 @@
+"""Unit tests for the mixed-radix state interner.
+
+The contract: ``encode``/``decode`` are exact inverses over every ring
+schema of the reproduction, codes follow the schema's lexicographic
+enumeration order (first variable most significant), and malformed
+states raise the schema's own errors — the interner never invents new
+failure modes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import StateSpaceError
+from repro.core.state import StateSchema
+from repro.kernel import (
+    MAX_PACKED_STATES,
+    StateInterner,
+    can_pack,
+    unpackable_reason,
+)
+from repro.rings import (
+    btr3_program,
+    btr4_program,
+    btr_program,
+    c1_program,
+    c2_program,
+    c3_composed,
+    c3_program,
+    dijkstra_four_state,
+    dijkstra_three_state,
+    kstate_program,
+    utr_program,
+    w1_local_program,
+    w1_program,
+    w2_program,
+    w2_refined_program,
+)
+
+# Every ring schema of the reproduction, at a small size.
+RING_BUILDERS = [
+    ("btr", lambda: btr_program(3)),
+    ("btr3", lambda: btr3_program(3)),
+    ("btr4", lambda: btr4_program(3)),
+    ("c1", lambda: c1_program(3)),
+    ("c2", lambda: c2_program(3)),
+    ("c3", lambda: c3_program(3)),
+    ("c3-composed", lambda: c3_composed(3)),
+    ("dijkstra3", lambda: dijkstra_three_state(3)),
+    ("dijkstra4", lambda: dijkstra_four_state(3)),
+    ("kstate", lambda: kstate_program(3, 3)),
+    ("utr", lambda: utr_program(3)),
+    ("w1", lambda: w1_program(3)),
+    ("w2", lambda: w2_program(3)),
+    ("w1-local", lambda: w1_local_program(3)),
+    ("w2-refined", lambda: w2_refined_program(3)),
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "name,builder", RING_BUILDERS, ids=[b[0] for b in RING_BUILDERS]
+    )
+    def test_every_ring_schema_round_trips_in_enumeration_order(
+        self, name, builder
+    ):
+        """Codes are exactly the index in ``schema.states()`` order —
+        the mixed-radix encoding with the first variable most
+        significant — and decode inverts encode everywhere."""
+        schema = builder().schema()
+        interner = StateInterner(schema)
+        assert interner.size == schema.size()
+        for expected_code, state in enumerate(schema.states()):
+            code = interner.encode(state)
+            assert code == expected_code
+            assert interner.decode(code) == state
+
+    def test_decode_env_matches_schema_order(self):
+        schema = StateSchema({"x": (0, 1), "y": ("a", "b", "c")})
+        interner = StateInterner(schema)
+        assert interner.decode_env(5) == {"x": 1, "y": "c"}
+
+    def test_non_integer_domains_pack_fine(self):
+        """Mixed-radix interning is positional, not arithmetic: any
+        hashable domain values work."""
+        schema = StateSchema({"mode": ("idle", "busy"), "t": (False, True)})
+        interner = StateInterner(schema)
+        states = list(schema.states())
+        assert [interner.encode(s) for s in states] == list(range(4))
+        assert [interner.decode(c) for c in range(4)] == states
+
+
+class TestErrors:
+    SCHEMA = StateSchema({"x": (0, 1, 2), "y": (0, 1)})
+
+    def test_encode_rejects_out_of_domain_values(self):
+        interner = StateInterner(self.SCHEMA)
+        with pytest.raises(StateSpaceError) as caught:
+            interner.encode((0, 7))
+        # The interner regenerates the schema's own validation error.
+        with pytest.raises(StateSpaceError) as reference:
+            self.SCHEMA.validate((0, 7))
+        assert str(caught.value) == str(reference.value)
+
+    def test_encode_rejects_wrong_arity(self):
+        interner = StateInterner(self.SCHEMA)
+        with pytest.raises(StateSpaceError):
+            interner.encode((0,))
+        with pytest.raises(StateSpaceError):
+            interner.encode((0, 1, 2))
+
+    def test_decode_rejects_out_of_range_codes(self):
+        interner = StateInterner(self.SCHEMA)
+        with pytest.raises(ValueError, match=r"outside the state space"):
+            interner.decode(interner.size)
+        with pytest.raises(ValueError, match=r"outside the state space"):
+            interner.decode(-1)
+
+
+class TestPackability:
+    def test_small_schemas_are_packable(self):
+        schema = btr_program(4).schema()
+        assert can_pack(schema)
+        assert unpackable_reason(schema) is None
+
+    def test_oversized_schema_is_refused_with_a_reason(self):
+        # 2^23 states: one bit past the flag-array bound.
+        schema = StateSchema({f"x{i}": (0, 1) for i in range(23)})
+        assert schema.size() == 2 * MAX_PACKED_STATES
+        assert not can_pack(schema)
+        reason = unpackable_reason(schema)
+        assert reason is not None
+        assert str(MAX_PACKED_STATES) in reason
+
+    def test_boundary_schema_is_packable(self):
+        schema = StateSchema({f"x{i}": (0, 1) for i in range(22)})
+        assert schema.size() == MAX_PACKED_STATES
+        assert can_pack(schema)

@@ -62,6 +62,43 @@ class TestFingerprint:
             TOY
         )
 
+    def test_keep_stutter_flip_changes_the_fingerprint(self):
+        """Regression: the same source compiled under different
+        semantics (keep_stutter, fairness) is a different transition
+        system — under the old scheme both hashed identically and a
+        cached verdict for one could be served for the other."""
+        kept = program_fingerprint(
+            TOY, semantics={"keep_stutter": True, "fairness": "none"}
+        )
+        dropped = program_fingerprint(
+            TOY, semantics={"keep_stutter": False, "fairness": "none"}
+        )
+        assert kept != dropped
+
+    def test_fairness_mode_changes_the_fingerprint(self):
+        none = program_fingerprint(
+            TOY, semantics={"keep_stutter": True, "fairness": "none"}
+        )
+        strong = program_fingerprint(
+            TOY, semantics={"keep_stutter": True, "fairness": "strong"}
+        )
+        assert none != strong
+
+    def test_semantics_mapping_order_is_canonical(self):
+        a = program_fingerprint(
+            TOY, semantics={"keep_stutter": True, "fairness": "none"}
+        )
+        b = program_fingerprint(
+            TOY, semantics={"fairness": "none", "keep_stutter": True}
+        )
+        assert a == b
+
+    def test_bare_fingerprint_differs_from_semantics_fingerprint(self):
+        bare = program_fingerprint(TOY)
+        tagged = program_fingerprint(TOY, semantics={"keep_stutter": True})
+        assert bare != tagged
+        assert program_fingerprint(TOY, semantics={}) == bare
+
 
 class TestCacheKey:
     FP = program_fingerprint(TOY)
