@@ -1,29 +1,42 @@
-"""P02: throughput of the packed kernel engine vs the tuple engine.
+"""P02/P05: throughput of the packed and vector engines.
 
 An N-sweep over the K-state ring (K = N, the smallest stabilizing
 configuration) times the full stabilization check — K-state refines
-the unidirectional token ring — on both engines and reports states per
+the unidirectional token ring — across engines and reports states per
 second and peak RSS.  Verdicts are asserted byte-identical at every
-size; the speedup on the largest configuration is asserted ≥ 3x,
-the headline claim of the packed engine.  The small configuration is
-expected to show the tuple engine ahead: lowering the program to a
-kernel has fixed cost, and the bitset fixpoints only pay off once the
-state space is large enough to amortize it (see docs/PERFORMANCE.md).
+size; the speedup on the largest configuration is asserted against
+each engine's headline claim: packed ≥ 3x over tuple (P02), vector
+≥ 5x over packed (P05, on the ~10⁶-state (7, 7) configuration).  The
+small configurations are expected to show the simpler engine ahead:
+lowering the program to a kernel (and, for the vector engine,
+materializing full-space action tables) has fixed cost that only pays
+off once the state space is large enough to amortize it (see
+docs/PERFORMANCE.md).
 
-Artifacts: ``results/p02_kernel_scaling.{txt,json}`` with the sweep
-table and ``results/p02_kernel.metrics.json`` with the ``engine.*``
-and ``check.*`` counters from an instrumented packed run.
+Artifacts: ``results/p02_kernel_scaling.{txt,json}`` and
+``results/p05_vector_scaling.{txt,json}`` with the sweep tables, and
+``results/{p02_kernel,p05_vector}.metrics.json`` with the ``engine.*``
+and ``check.*`` counters from instrumented runs.
 """
 
 from __future__ import annotations
 
+import json
 import resource
 import time
 
+import pytest
+
 from repro.analysis import format_table
 from repro.checker import check_stabilization
+from repro.kernel.vector import numpy_available
 from repro.obs import Recorder
 from repro.rings import kstate_program, utr_abstraction, utr_program
+
+needs_numpy = pytest.mark.skipif(
+    not numpy_available(),
+    reason="the P05 claims are about the vector engine, which needs NumPy",
+)
 
 #: (n, k) sweep: 256, 3125, and 46656 concrete states.  The largest is
 #: where the >= 3x assertion applies; the CI smoke budget allows it
@@ -32,6 +45,15 @@ SWEEP = ((4, 4), (5, 5), (6, 6))
 
 #: Required speedup of packed over tuple on the largest configuration.
 REQUIRED_SPEEDUP = 3.0
+
+#: (n, k) sweep for the vector engine: 3125, 46656, and 823543
+#: concrete states.  The largest is the ~10⁶-state configuration the
+#: ≥ 5x assertion applies to; the packed engine needs tens of seconds
+#: there, which is exactly the gap the frontier arrays close.
+VECTOR_SWEEP = ((5, 5), (6, 6), (7, 7))
+
+#: Required speedup of vector over packed on the largest configuration.
+REQUIRED_VECTOR_SPEEDUP = 5.0
 
 
 def _peak_rss_kib() -> int:
@@ -75,6 +97,44 @@ def _sweep_rows():
                 "packed_states_per_s": round(size / timings["packed"]),
                 "speedup": round(timings["tuple"] / timings["packed"], 2),
                 "peak_rss_kib": _peak_rss_kib(),
+            }
+        )
+    return rows
+
+
+def _vector_sweep_rows():
+    """P05 rows: packed vs vector, states/sec and peak RSS per engine.
+
+    ``ru_maxrss`` is a whole-process high-water mark, so the per-engine
+    figures are monotone across the sweep — each reports the highest
+    footprint seen up to and including that engine's run.
+    """
+    rows = []
+    for n, k in VECTOR_SWEEP:
+        verdicts = {}
+        timings = {}
+        rss = {}
+        size = None
+        for engine in ("packed", "vector"):
+            seconds, size, result = _timed_check(n, k, engine)
+            verdicts[engine] = result.format()
+            timings[engine] = seconds
+            rss[engine] = _peak_rss_kib()
+        assert verdicts["vector"] == verdicts["packed"], (
+            f"verdict diverged at n={n}, k={k}"
+        )
+        rows.append(
+            {
+                "n": n,
+                "k": k,
+                "states": size,
+                "packed_s": round(timings["packed"], 4),
+                "vector_s": round(timings["vector"], 4),
+                "packed_states_per_s": round(size / timings["packed"]),
+                "vector_states_per_s": round(size / timings["vector"]),
+                "speedup": round(timings["packed"] / timings["vector"], 2),
+                "packed_peak_rss_kib": rss["packed"],
+                "vector_peak_rss_kib": rss["vector"],
             }
         )
     return rows
@@ -126,3 +186,60 @@ def test_p02_kernel_counters(benchmark, record_metrics):
     assert record.counters.get("engine.packed") == 1
     assert record.counters.get("check.states.enumerated", 0) > 0
     record_metrics("p02_kernel", recorder)
+
+
+@needs_numpy
+def test_p05_vector_scaling(benchmark, record_table):
+    rows = benchmark.pedantic(_vector_sweep_rows, rounds=1, iterations=1)
+    largest = rows[-1]
+    assert largest["speedup"] >= REQUIRED_VECTOR_SPEEDUP, (
+        f"vector engine only {largest['speedup']}x over packed on "
+        f"{largest['states']} states; the frontier arrays' headline "
+        f"claim is >= {REQUIRED_VECTOR_SPEEDUP}x"
+    )
+    record_table(
+        "p05_vector_scaling",
+        format_table(
+            rows,
+            columns=[
+                "n", "k", "states", "packed_s", "vector_s",
+                "packed_states_per_s", "vector_states_per_s",
+                "speedup", "packed_peak_rss_kib", "vector_peak_rss_kib",
+            ],
+            title=(
+                "P05 vector engine throughput: K-state(n, k=n) "
+                "stabilizing to UTR, packed vs vector"
+            ),
+        ),
+        rows=rows,
+    )
+
+
+@needs_numpy
+def test_p05_vector_counters(benchmark, record_metrics, results_dir):
+    recorder = Recorder(kind="bench")
+    recorder.annotate(experiment="p05_vector", n=6, k=6, engine="vector")
+
+    def instrumented():
+        return check_stabilization(
+            kstate_program(6, 6),
+            utr_program(6),
+            utr_abstraction(6, 6),
+            compute_steps=False,
+            engine="vector",
+            instrumentation=recorder,
+        )
+
+    result = benchmark.pedantic(instrumented, rounds=1, iterations=1)
+    assert result.holds
+    record = recorder.record()
+    assert record.counters.get("engine.vector") == 1
+    assert record.counters.get("check.states.enumerated", 0) > 0
+    record_metrics("p05_vector", recorder)
+    payload = json.loads(
+        (results_dir / "p05_vector.metrics.json").read_text()
+    )
+    environment = payload["environment"]
+    assert environment["engine"] == "vector"
+    assert environment["numpy"] is not None
+    assert environment["python"]

@@ -18,10 +18,12 @@ from __future__ import annotations
 
 import json
 import pathlib
+import platform
 from typing import Mapping, Optional, Sequence
 
 import pytest
 
+from repro.kernel.vector import numpy_version
 from repro.obs import Recorder
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
@@ -71,10 +73,17 @@ def record_metrics(results_dir):
     """
 
     def _record(name: str, recorder: Recorder) -> None:
+        payload = recorder.record().to_dict()
+        meta = payload.get("meta", {})
+        # Perf rows are only comparable across machines when the payload
+        # says which engine ran and on which interpreter/NumPy; ``numpy``
+        # is null on a pure-Python install, where "vector" falls back.
+        payload["environment"] = {
+            "engine": meta.get("engine") if isinstance(meta, dict) else None,
+            "numpy": numpy_version(),
+            "python": platform.python_version(),
+        }
         path = results_dir / f"{name}.metrics.json"
-        path.write_text(
-            json.dumps(recorder.record().to_dict(), indent=2, sort_keys=True)
-            + "\n"
-        )
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
     return _record

@@ -119,9 +119,10 @@ class CampaignConfig:
     def __post_init__(self) -> None:
         if self.steps < 1:
             raise SimulationError(f"steps must be positive, got {self.steps}")
-        if self.engine not in ("packed", "tuple"):
+        if self.engine not in ("packed", "tuple", "vector"):
             raise SimulationError(
-                f"unknown engine {self.engine!r}; expected 'packed' or 'tuple'"
+                f"unknown engine {self.engine!r}; expected one of 'packed', "
+                f"'tuple', 'vector'"
             )
         if self.workers < 1:
             raise SimulationError(

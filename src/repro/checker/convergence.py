@@ -69,7 +69,7 @@ __all__ = [
 #: packed engine lowers programs directly, the tuple engine compiles.
 SystemOrProgram = Union[System, Program]
 
-ENGINES = ("packed", "tuple")
+ENGINES = ("packed", "tuple", "vector")
 
 
 def _as_system(source: SystemOrProgram) -> System:
@@ -87,19 +87,26 @@ def _select_engine(
     abstract: SystemOrProgram,
     state_budget: Optional[int],
     instrumentation: Instrumentation,
-) -> bool:
-    """Whether the packed engine runs, emitting the ``engine.*`` counters.
+) -> str:
+    """The engine that actually runs, emitting the ``engine.*`` counters.
 
-    The packed engine is refused (with an automatic fallback to the
-    tuple engine) when a schema is too large to intern, or when a
-    state budget is tight enough that the tuple engine could cut the
-    check PARTIAL — the budgeted exploration order is the tuple
-    engine's, so PARTIAL verdicts must come from it byte-for-byte.
+    The packed and vector engines are refused (with an automatic
+    fallback to the tuple engine) when a schema is too large to
+    intern, or when a state budget is tight enough that the tuple
+    engine could cut the check PARTIAL — the budgeted exploration
+    order is the tuple engine's, so PARTIAL verdicts must come from it
+    byte-for-byte.  The vector engine additionally falls back to the
+    *packed* engine when NumPy is missing or the program lies outside
+    the statically lowerable fragment (non-central daemons,
+    non-int/bool domains, dynamically typed expressions).
     """
     if engine not in ENGINES:
-        raise ValueError(f"unknown engine {engine!r}; expected 'packed' or 'tuple'")
-    if engine != "packed":
-        return False
+        raise ValueError(
+            f"unknown engine {engine!r}; expected one of 'packed', "
+            f"'tuple', 'vector'"
+        )
+    if engine == "tuple":
+        return "tuple"
     from ..kernel import packed_fallback_reason, source_schema
 
     reason = packed_fallback_reason(concrete, abstract)
@@ -119,10 +126,22 @@ def _select_engine(
     if reason is not None:
         instrumentation.count("engine.fallback.tuple", 1)
         instrumentation.event("engine.fallback", requested=engine, reason=reason)
-        return False
+        return "tuple"
+    if engine == "vector":
+        from ..kernel.vector import vector_fallback_reason
+
+        vector_reason = vector_fallback_reason(concrete, abstract)
+        if vector_reason is None:
+            instrumentation.count("engine.vector", 1)
+            instrumentation.event("engine.selected", engine="vector")
+            return "vector"
+        instrumentation.count("engine.fallback.packed", 1)
+        instrumentation.event(
+            "engine.fallback", requested="vector", reason=vector_reason
+        )
     instrumentation.count("engine.packed", 1)
     instrumentation.event("engine.selected", engine="packed")
-    return True
+    return "packed"
 
 
 @dataclass(frozen=True)
@@ -546,7 +565,7 @@ def check_stabilization(
     """
     if fairness not in ("none", "weak", "strong"):
         raise ValueError(f"unknown fairness mode {fairness!r}")
-    packed = _select_engine(engine, concrete, abstract, state_budget, instrumentation)
+    selected = _select_engine(engine, concrete, abstract, state_budget, instrumentation)
     if workers > 1:
         from ..parallel import resolve_workers
 
@@ -557,7 +576,17 @@ def check_stabilization(
     name = f"{_source_name(concrete)} stabilizing to {_source_name(abstract)}"
     with instrumentation.span("check.total"):
         try:
-            if packed:
+            if selected == "vector":
+                result = _decide_stabilization_vector(
+                    concrete,
+                    abstract,
+                    alpha,
+                    stutter_insensitive,
+                    fairness,
+                    compute_steps,
+                    instrumentation,
+                )
+            elif selected == "packed":
                 result = _decide_stabilization_packed(
                     concrete,
                     abstract,
@@ -867,6 +896,13 @@ def _decide_stabilization_packed(
     core = frozenset(
         interner.decode(code) for code in range(size) if core_flags[code]
     )
+    if abstract_kernel is not kernel:
+        # The abstraction's successor function is done after the core
+        # fixpoint; release its memo instead of carrying it through the
+        # witness phases.
+        instrumentation.count(
+            "kernel.memo.evictions", abstract_kernel.clear_memo()
+        )
 
     if not core:
         return StabilizationResult(
@@ -1018,6 +1054,248 @@ def _decide_stabilization_packed(
     with instrumentation.span("check.worst_case"):
         if compute_steps and not packed_has_cycle(analysis_succ, outside_flags):
             steps: Optional[int] = packed_longest_path(analysis_succ, outside_flags)
+        else:
+            # Under strong fairness the sup over fair runs may be
+            # unbounded when cycles remain outside the core; report no
+            # finite metric.
+            steps = None
+    return StabilizationResult(
+        CheckResult(
+            True,
+            name,
+            detail=(
+                f"core has {len(core)} of {interner.schema.size()} states; "
+                f"legitimate spec states: {len(legitimate)}"
+            ),
+        ),
+        legitimate,
+        core,
+        steps,
+    )
+
+
+def _decide_stabilization_vector(
+    concrete_source: SystemOrProgram,
+    abstract_source: SystemOrProgram,
+    alpha: Optional[AbstractionFunction],
+    stutter_insensitive: bool,
+    fairness: str,
+    compute_steps: bool,
+    instrumentation: Instrumentation,
+) -> StabilizationResult:
+    """:func:`_decide_stabilization` on the vectorized frontier engine.
+
+    Phase for phase the same procedure as the packed decide — same
+    spans, same witness messages, same counters — but the hot set
+    computations run as whole-frontier array fixpoints
+    (:mod:`repro.kernel.vector.fixpoint`).  The array fixpoints run
+    single-process regardless of ``workers`` (a frontier batch *is*
+    the data-parallel unit), so no ``parallel.*`` round counters are
+    emitted — the same documented divergence class as the fixpoint
+    iteration counts.  Witness construction on failure decodes back to
+    tuples and materializes the tuple system exactly as the packed
+    engine does, so failing verdicts are byte-identical.
+    """
+    import numpy as np
+
+    from ..kernel.vector import (
+        as_vector_kernel,
+        vector_core,
+        vector_has_cycle,
+        vector_image_codes,
+        vector_longest_path,
+        vector_reachable,
+        vector_terminals,
+    )
+
+    name = f"{_source_name(concrete_source)} stabilizing to {_source_name(abstract_source)}"
+    kernel = as_vector_kernel(concrete_source)
+    abstract_kernel = (
+        kernel
+        if abstract_source is concrete_source
+        else as_vector_kernel(abstract_source)
+    )
+    interner = kernel.interner
+    size = kernel.size
+    with instrumentation.span("check.legitimate"):
+        legitimate_flags = vector_reachable(
+            abstract_kernel, abstract_kernel.initial_array
+        )
+    # Ascending-code decode: identical set layout to the packed and
+    # tuple engines, so order-dependent witness subroutines agree.
+    legitimate = frozenset(
+        abstract_kernel.interner.decode(int(code))
+        for code in np.nonzero(legitimate_flags)[0]
+    )
+    fairness_ignores_stutter = fairness in ("weak", "strong")
+    with instrumentation.span("check.core"):
+        image_of = vector_image_codes(interner, abstract_kernel.interner, alpha)
+        core_flags = vector_core(
+            kernel,
+            abstract_kernel,
+            image_of,
+            legitimate_flags,
+            stutter_insensitive,
+            fairness_ignores_stutter,
+            instrumentation=instrumentation,
+        )
+    core = frozenset(
+        interner.decode(int(code)) for code in np.nonzero(core_flags)[0]
+    )
+
+    if not core:
+        return StabilizationResult(
+            CheckResult(
+                False,
+                name,
+                Witness(
+                    WitnessKind.CLOSURE_VIOLATION,
+                    "no concrete state forever tracks the specification "
+                    "(behavioural core is empty)",
+                ),
+            ),
+            legitimate,
+            core,
+            None,
+        )
+
+    outside_flags = ~core_flags
+    instrumentation.count("check.outside.size", size - len(core))
+    with instrumentation.span("check.deadlock_search"):
+        deadlock_codes = vector_terminals(
+            kernel, outside_flags, drop_self=fairness_ignores_stutter
+        )
+    if deadlock_codes.size:
+        stuck = min(
+            (interner.decode(int(code)) for code in deadlock_codes), key=repr
+        )
+        return StabilizationResult(
+            CheckResult(
+                False,
+                name,
+                Witness(
+                    WitnessKind.ILLEGITIMATE_DEADLOCK,
+                    "a computation can end outside the legitimate core",
+                    (stuck,),
+                    interner.schema,
+                ),
+            ),
+            legitimate,
+            core,
+            None,
+        )
+
+    def decode_outside() -> FrozenSet[State]:
+        # Schema insertion order, as in the packed decide.
+        return frozenset(
+            interner.decode(int(code)) for code in np.nonzero(outside_flags)[0]
+        )
+
+    def analysis_system_of() -> System:
+        system = kernel.materialize()
+        return system.without_self_loops() if fairness_ignores_stutter else system
+
+    if fairness == "strong":
+        with instrumentation.span("check.cycle_search"):
+            trap = None
+            if vector_has_cycle(
+                kernel, outside_flags, drop_self=fairness_ignores_stutter
+            ):
+                analysis_system = analysis_system_of()
+                trap = find_fair_trap(analysis_system, decode_outside())
+        if trap is not None:
+            cycle = find_cycle_within(analysis_system, trap)
+            return StabilizationResult(
+                CheckResult(
+                    False,
+                    name,
+                    Witness(
+                        WitnessKind.DIVERGENT_CYCLE,
+                        "a strongly fair computation can stay forever outside "
+                        "the legitimate core (fair trap)",
+                        cycle or tuple(sorted(trap, key=repr)[:4]),
+                        interner.schema,
+                    ),
+                ),
+                legitimate,
+                core,
+                None,
+            )
+    else:
+        with instrumentation.span("check.cycle_search"):
+            has_divergent = vector_has_cycle(
+                kernel, outside_flags, drop_self=fairness_ignores_stutter
+            )
+        if has_divergent:
+            cycle = find_cycle_within(analysis_system_of(), decode_outside())
+            return StabilizationResult(
+                CheckResult(
+                    False,
+                    name,
+                    Witness(
+                        WitnessKind.DIVERGENT_CYCLE,
+                        "a computation can cycle forever outside the legitimate core",
+                        cycle or (),
+                        interner.schema,
+                    ),
+                ),
+                legitimate,
+                core,
+                None,
+            )
+
+    if stutter_insensitive and alpha is not None:
+        with instrumentation.span("check.invisible_cycles"):
+            invisible_cycle: Optional[Tuple[State, ...]] = None
+            if vector_has_cycle(
+                kernel,
+                core_flags,
+                drop_self=fairness_ignores_stutter,
+                image_of=image_of,
+            ):
+                # Reconstruct the witness exactly as the tuple engine
+                # does, on the materialized system.
+                analysis_system = analysis_system_of()
+                invisible = [
+                    (source, target)
+                    for source in sorted(core, key=repr)
+                    for target in analysis_system.successors(source)
+                    if target in core and alpha(source) == alpha(target)
+                ]
+                invisible_system = System(
+                    interner.schema,
+                    invisible,
+                    (),
+                    name=f"{_source_name(concrete_source)}|invisible",
+                )
+                if states_on_cycles(invisible_system, core):
+                    invisible_cycle = (
+                        find_cycle_within(invisible_system, core) or ()
+                    )
+        if invisible_cycle is not None:
+            return StabilizationResult(
+                CheckResult(
+                    False,
+                    name,
+                    Witness(
+                        WitnessKind.DIVERGENT_CYCLE,
+                        "cycle of abstract-invisible steps inside the core",
+                        invisible_cycle,
+                        interner.schema,
+                    ),
+                ),
+                legitimate,
+                core,
+                None,
+            )
+
+    with instrumentation.span("check.worst_case"):
+        if compute_steps and not vector_has_cycle(
+            kernel, outside_flags, drop_self=fairness_ignores_stutter
+        ):
+            steps: Optional[int] = vector_longest_path(
+                kernel, outside_flags, drop_self=fairness_ignores_stutter
+            )
         else:
             # Under strong fairness the sup over fair runs may be
             # unbounded when cycles remain outside the core; report no

@@ -72,19 +72,25 @@ def _select_refinement_engine(
     state_budget: Optional[int],
     instrumentation: Instrumentation,
     shared_meter: bool = False,
-) -> bool:
-    """Whether the packed refinement attempt runs (``engine.*`` counters).
+) -> str:
+    """The refinement engine that actually runs (``engine.*`` counters).
 
-    The packed engine runs refinement clauses *optimistically*: it can
-    prove success, but a violation witness depends on tuple-set
-    iteration order, so failures replay on the tuple engine.  Budgeted
-    checks (and clauses sharing an enclosing meter) go straight to the
-    tuple engine — the PARTIAL cut must follow its exploration order.
+    The packed and vector engines run refinement clauses
+    *optimistically*: they can prove success, but a violation witness
+    depends on tuple-set iteration order, so failures replay on the
+    tuple engine.  Budgeted checks (and clauses sharing an enclosing
+    meter) go straight to the tuple engine — the PARTIAL cut must
+    follow its exploration order.  The vector engine additionally
+    falls back to the *packed* engine when NumPy is missing or the
+    program lies outside the statically lowerable fragment.
     """
     if engine not in ENGINES:
-        raise ValueError(f"unknown engine {engine!r}; expected 'packed' or 'tuple'")
-    if engine != "packed":
-        return False
+        raise ValueError(
+            f"unknown engine {engine!r}; expected one of 'packed', "
+            f"'tuple', 'vector'"
+        )
+    if engine == "tuple":
+        return "tuple"
     from ..kernel import packed_fallback_reason
 
     reason = packed_fallback_reason(concrete, abstract)
@@ -98,10 +104,22 @@ def _select_refinement_engine(
     if reason is not None:
         instrumentation.count("engine.fallback.tuple", 1)
         instrumentation.event("engine.fallback", requested=engine, reason=reason)
-        return False
+        return "tuple"
+    if engine == "vector":
+        from ..kernel.vector import vector_fallback_reason
+
+        vector_reason = vector_fallback_reason(concrete, abstract)
+        if vector_reason is None:
+            instrumentation.count("engine.vector", 1)
+            instrumentation.event("engine.selected", engine="vector")
+            return "vector"
+        instrumentation.count("engine.fallback.packed", 1)
+        instrumentation.event(
+            "engine.fallback", requested="vector", reason=vector_reason
+        )
     instrumentation.count("engine.packed", 1)
     instrumentation.event("engine.selected", engine="packed")
-    return True
+    return "packed"
 
 
 _VIOLATION_REPLAY_REASON = (
@@ -114,11 +132,13 @@ _ALPHA_REPLAY_REASON = (
 
 
 def _packed_violation_fallback(
-    instrumentation: Instrumentation, reason: str = _VIOLATION_REPLAY_REASON
+    instrumentation: Instrumentation,
+    reason: str = _VIOLATION_REPLAY_REASON,
+    requested: str = "packed",
 ) -> None:
-    """Record that a packed attempt is handing the check back."""
+    """Record that a packed/vector attempt is handing the check back."""
     instrumentation.count("engine.fallback.tuple", 1)
-    instrumentation.event("engine.fallback", requested="packed", reason=reason)
+    instrumentation.event("engine.fallback", requested=requested, reason=reason)
 
 
 def _packed_refinement_context(
@@ -424,6 +444,291 @@ def _packed_convergence_attempt(
     )
 
 
+def _vector_refinement_context(
+    concrete: SystemOrProgram,
+    abstract: SystemOrProgram,
+    alpha: Optional[AbstractionFunction],
+):
+    """Kernels and the image array for a vector refinement attempt.
+
+    The array analogue of :func:`_packed_refinement_context`: returns
+    ``None`` when some concrete state's image is not a valid abstract
+    state, abandoning the attempt to the tuple engine.
+    """
+    from ..kernel.vector import as_vector_kernel, vector_image_codes
+
+    if alpha is None:
+        _schema_of(concrete).require_compatible(
+            _schema_of(abstract), "refinement check without an abstraction function"
+        )
+    kernel = as_vector_kernel(concrete)
+    abstract_kernel = kernel if abstract is concrete else as_vector_kernel(abstract)
+    image_of = vector_image_codes(kernel.interner, abstract_kernel.interner, alpha)
+    if bool((image_of < 0).any()):
+        return None
+    return kernel, abstract_kernel, image_of
+
+
+def _vector_init_clauses(
+    kernel,
+    abstract_kernel,
+    image_of,
+    stutter_insensitive: bool,
+    open_systems: bool,
+    instrumentation: Instrumentation,
+) -> Optional[Tuple[int, int]]:
+    """The ``[C (= A]_init`` clauses over code arrays.
+
+    Returns ``(reachable_count, transitions_checked)`` when every
+    clause holds, ``None`` on the first violation (the caller replays
+    on the tuple engine for the witness).  As in the packed attempt,
+    counters are *not* emitted here — a failed attempt emits nothing.
+    ``transitions_checked`` matches the packed count exactly because
+    ``succ_pairs`` deduplicates per (origin, target) pair, just as the
+    packed kernel's sorted successor tuples do.
+    """
+    import numpy as np
+
+    from ..kernel.vector import vector_reachable
+
+    if not bool(
+        np.isin(image_of[kernel.initial_array], abstract_kernel.initial_array).all()
+    ):
+        return None
+    with instrumentation.span("refine.init_clause"):
+        reachable = vector_reachable(kernel, kernel.initial_array)
+    codes = np.nonzero(reachable)[0]
+    origins, targets = kernel.succ_pairs(codes)
+    sources = codes[origins]
+    image_source = image_of[sources]
+    image_target = image_of[targets]
+    checked = int(origins.size)
+    if stutter_insensitive:
+        needs_edge = image_target != image_source
+    else:
+        needs_edge = np.ones(targets.shape, dtype=bool)
+    if needs_edge.any() and not bool(
+        abstract_kernel.has_edge(
+            image_source[needs_edge], image_target[needs_edge]
+        ).all()
+    ):
+        return None
+    if not open_systems:
+        has_successor = np.bincount(origins, minlength=codes.size) > 0
+        terminal_images = image_of[codes[~has_successor]]
+        if bool((~abstract_kernel.terminal_flags()[terminal_images]).any()):
+            return None
+    return int(codes.size), checked
+
+
+def _vector_init_attempt(
+    concrete: SystemOrProgram,
+    abstract: SystemOrProgram,
+    alpha: Optional[AbstractionFunction],
+    stutter_insensitive: bool,
+    open_systems: bool,
+    instrumentation: Instrumentation,
+    name: str,
+) -> Optional[CheckResult]:
+    """Vector ``[C (= A]_init``; ``None`` means replay on the tuple engine."""
+    context = _vector_refinement_context(concrete, abstract, alpha)
+    if context is None:
+        _packed_violation_fallback(
+            instrumentation, _ALPHA_REPLAY_REASON, requested="vector"
+        )
+        return None
+    kernel, abstract_kernel, image_of = context
+    clauses = _vector_init_clauses(
+        kernel, abstract_kernel, image_of, stutter_insensitive, open_systems,
+        instrumentation,
+    )
+    if clauses is None:
+        _packed_violation_fallback(instrumentation, requested="vector")
+        return None
+    reachable_count, checked = clauses
+    instrumentation.count("refine.reachable.size", reachable_count)
+    instrumentation.count("refine.init.transitions.checked", checked)
+    return CheckResult(
+        True,
+        name,
+        detail=f"{reachable_count} reachable states, {checked} transitions checked",
+    )
+
+
+def _vector_everywhere_attempt(
+    concrete: SystemOrProgram,
+    abstract: SystemOrProgram,
+    alpha: Optional[AbstractionFunction],
+    stutter_insensitive: bool,
+    open_systems: bool,
+    instrumentation: Instrumentation,
+    name: str,
+) -> Optional[CheckResult]:
+    """Vector ``[C (= A]``; ``None`` means replay on the tuple engine."""
+    import numpy as np
+
+    context = _vector_refinement_context(concrete, abstract, alpha)
+    if context is None:
+        _packed_violation_fallback(
+            instrumentation, _ALPHA_REPLAY_REASON, requested="vector"
+        )
+        return None
+    kernel, abstract_kernel, image_of = context
+    codes = np.arange(kernel.size, dtype=np.int64)
+    origins, targets = kernel.succ_pairs(codes)
+    image_source = image_of[origins]
+    image_target = image_of[targets]
+    checked = int(origins.size)
+    if stutter_insensitive:
+        needs_edge = image_target != image_source
+    else:
+        needs_edge = np.ones(targets.shape, dtype=bool)
+    if needs_edge.any() and not bool(
+        abstract_kernel.has_edge(
+            image_source[needs_edge], image_target[needs_edge]
+        ).all()
+    ):
+        _packed_violation_fallback(instrumentation, requested="vector")
+        return None
+    if not open_systems:
+        terminal_images = image_of[kernel.terminal_flags()]
+        if bool((~abstract_kernel.terminal_flags()[terminal_images]).any()):
+            _packed_violation_fallback(instrumentation, requested="vector")
+            return None
+    instrumentation.count("refine.everywhere.transitions.checked", checked)
+    return CheckResult(True, name, detail=f"{checked} transitions checked")
+
+
+def _vector_convergence_attempt(
+    concrete: SystemOrProgram,
+    abstract: SystemOrProgram,
+    alpha: Optional[AbstractionFunction],
+    stutter_insensitive: bool,
+    open_systems: bool,
+    instrumentation: Instrumentation,
+    name: str,
+) -> Optional[CheckResult]:
+    """Vector ``[C <= A]``; ``None`` means replay on the tuple engine.
+
+    All four clauses over code arrays, success-only like the packed
+    attempt: on success the tuple engine's exact counters and detail
+    are emitted; any violation abandons the attempt with no counters
+    (only spans, which measure work actually done) and the tuple
+    replay produces the byte-identical witness.
+    """
+    import numpy as np
+
+    from ..kernel.vector import vector_reachable
+    from ..kernel.vector.kernel import _unique_sorted
+
+    context = _vector_refinement_context(concrete, abstract, alpha)
+    if context is None:
+        _packed_violation_fallback(
+            instrumentation, _ALPHA_REPLAY_REASON, requested="vector"
+        )
+        return None
+    kernel, abstract_kernel, image_of = context
+    init_clauses = _vector_init_clauses(
+        kernel, abstract_kernel, image_of, stutter_insensitive, open_systems,
+        instrumentation,
+    )
+    if init_clauses is None:
+        _packed_violation_fallback(instrumentation, requested="vector")
+        return None
+    reachable_count, init_checked = init_clauses
+
+    with instrumentation.span("refine.transition_scan"):
+        codes = np.arange(kernel.size, dtype=np.int64)
+        sources, targets = kernel.succ_pairs(codes)
+        image_source = image_of[sources]
+        image_target = image_of[targets]
+        same_image = image_target == image_source
+        abstract_edge = abstract_kernel.has_edge(image_source, image_target)
+        if stutter_insensitive:
+            stutter_mask = same_image
+        else:
+            stutter_mask = np.zeros(targets.shape, dtype=bool)
+        exact = int((~stutter_mask & abstract_edge).sum())
+        rest = ~stutter_mask & ~abstract_edge
+        rest_sources = sources[rest]
+        rest_targets = targets[rest]
+        rest_image_source = image_source[rest]
+        rest_image_target = image_target[rest]
+        # A same-image step with no abstract self-loop (and stuttering
+        # not allowed) is an immediate violation, never a compression.
+        if bool((rest_image_source == rest_image_target).any()):
+            _packed_violation_fallback(instrumentation, requested="vector")
+            return None
+        # Clause 2 for the rest: the image must be realizable as an
+        # abstract path of length >= 2 — two fixed steps then any walk.
+        # One reachability per distinct source image, from the union of
+        # its two-step frontier (the union of the packed attempt's
+        # per-start memoized flags).
+        for image in _unique_sorted(rest_image_source):
+            _, mids = abstract_kernel.succ_pairs(image.reshape(1))
+            starts = np.empty(0, dtype=np.int64)
+            if mids.size:
+                _, starts = abstract_kernel.succ_pairs(_unique_sorted(mids))
+                starts = _unique_sorted(starts)
+            if starts.size == 0:
+                _packed_violation_fallback(instrumentation, requested="vector")
+                return None
+            reach = vector_reachable(abstract_kernel, starts)
+            if not bool(reach[rest_image_target[rest_image_source == image]].all()):
+                _packed_violation_fallback(instrumentation, requested="vector")
+                return None
+
+    # Clause 3: no compression on a cycle of C — one concrete
+    # reachability per distinct compression target.
+    with instrumentation.span("refine.cycle_clause"):
+        for target in _unique_sorted(rest_targets):
+            reach = vector_reachable(kernel, target.reshape(1))
+            if bool(reach[rest_sources[rest_targets == target]].any()):
+                _packed_violation_fallback(instrumentation, requested="vector")
+                return None
+
+    # Invisible divergence: no cycle made purely of stutter edges
+    # (literal self-loops excepted, as in the tuple engine).
+    stutter_count = int(stutter_mask.sum())
+    if stutter_count:
+        stutter_sources = sources[stutter_mask].tolist()
+        stutter_targets = targets[stutter_mask].tolist()
+        adjacency: Dict[int, List[int]] = {}
+        for source, target in zip(stutter_sources, stutter_targets):
+            adjacency.setdefault(source, []).append(target)
+        stutter_memo: Dict[int, Set[int]] = {}
+        for source, target in zip(stutter_sources, stutter_targets):
+            if source == target:
+                continue
+            seen = stutter_memo.get(target)
+            if seen is None:
+                seen = _dict_reachable(adjacency, target)
+                stutter_memo[target] = seen
+            if source in seen:
+                _packed_violation_fallback(instrumentation, requested="vector")
+                return None
+
+    if not open_systems:
+        terminal_images = image_of[kernel.terminal_flags()]
+        if bool((~abstract_kernel.terminal_flags()[terminal_images]).any()):
+            _packed_violation_fallback(instrumentation, requested="vector")
+            return None
+
+    instrumentation.count("refine.reachable.size", reachable_count)
+    instrumentation.count("refine.init.transitions.checked", init_checked)
+    instrumentation.count("refine.transitions.exact", exact)
+    instrumentation.count("refine.transitions.compressing", int(rest_sources.size))
+    instrumentation.count("refine.transitions.stuttering", stutter_count)
+    return CheckResult(
+        True,
+        name,
+        detail=(
+            f"{exact} exact transitions, {int(rest_sources.size)} compressions, "
+            f"{stutter_count} stutters"
+        ),
+    )
+
+
 def _resolve_alpha(
     concrete: System, abstract: System, alpha: Optional[AbstractionFunction]
 ) -> AbstractionFunction:
@@ -520,12 +825,15 @@ def check_init_refinement(
     own_meter = meter is None
     active = meter if meter is not None else BudgetMeter(state_budget)
     name = f"[{_source_name(concrete)} (= {_source_name(abstract)}]_init"
-    packed = _select_refinement_engine(
+    selected = _select_refinement_engine(
         engine, concrete, abstract, state_budget, instrumentation,
         shared_meter=meter is not None,
     )
-    if packed:
-        result = _packed_init_attempt(
+    if selected != "tuple":
+        attempt = (
+            _vector_init_attempt if selected == "vector" else _packed_init_attempt
+        )
+        result = attempt(
             concrete, abstract, alpha, stutter_insensitive, open_systems,
             instrumentation, name,
         )
@@ -660,12 +968,17 @@ def check_everywhere_refinement(
     own_meter = meter is None
     active = meter if meter is not None else BudgetMeter(state_budget)
     name = f"[{_source_name(concrete)} (= {_source_name(abstract)}]"
-    packed = _select_refinement_engine(
+    selected = _select_refinement_engine(
         engine, concrete, abstract, state_budget, instrumentation,
         shared_meter=meter is not None,
     )
-    if packed:
-        result = _packed_everywhere_attempt(
+    if selected != "tuple":
+        attempt = (
+            _vector_everywhere_attempt
+            if selected == "vector"
+            else _packed_everywhere_attempt
+        )
+        result = attempt(
             concrete, abstract, alpha, stutter_insensitive, open_systems,
             instrumentation, name,
         )
@@ -811,7 +1124,7 @@ def check_convergence_refinement(
         :class:`CheckResult` whose detail reports how many transitions
         were exact, compressing, and stuttering.
     """
-    packed = _select_refinement_engine(
+    selected = _select_refinement_engine(
         engine, concrete, abstract, state_budget, instrumentation
     )
     if workers > 1:
@@ -825,7 +1138,12 @@ def check_convergence_refinement(
     with instrumentation.span("refine.total"):
         try:
             result = None
-            if packed:
+            if selected == "vector":
+                result = _vector_convergence_attempt(
+                    concrete, abstract, alpha, stutter_insensitive,
+                    open_systems, instrumentation, name,
+                )
+            elif selected == "packed":
                 result = _packed_convergence_attempt(
                     concrete, abstract, alpha, stutter_insensitive,
                     open_systems, instrumentation, name,

@@ -321,13 +321,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _add_engine_flag(subparser: argparse.ArgumentParser) -> None:
-    """Attach the shared ``--engine`` flag (packed-state kernel vs tuple)."""
+    """Attach the shared ``--engine`` flag (vector/packed kernels vs tuple)."""
     subparser.add_argument(
-        "--engine", choices=("packed", "tuple"), default="packed",
-        help="checker engine: 'packed' runs dense state codes and bitset "
-        "fixpoints (falls back to tuple automatically where packing "
-        "cannot apply); 'tuple' is the reference set-based engine. "
-        "Verdicts are identical either way (default: packed)",
+        "--engine", choices=("packed", "tuple", "vector"), default="packed",
+        help="checker engine: 'vector' batch-evaluates whole frontiers as "
+        "NumPy arrays (needs the repro[vector] extra; falls back to packed "
+        "without it); 'packed' runs dense state codes and bitset fixpoints "
+        "(falls back to tuple automatically where packing cannot apply); "
+        "'tuple' is the reference set-based engine. Verdicts are identical "
+        "either way (default: packed)",
     )
 
 

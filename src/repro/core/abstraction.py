@@ -33,6 +33,15 @@ class AbstractionFunction:
         mapping: callable taking a concrete state tuple to an abstract
             state tuple.
         name: display name used in reports.
+        array_mapping: optional batch form of ``mapping`` for the
+            vector engine.  It receives one NumPy column per concrete
+            variable (bool dtype for all-bool domains, int64
+            otherwise), all of equal length, and must return one column
+            of abstract-domain values per abstract variable — the
+            pointwise image of ``mapping`` over the batch.  Must not
+            require NumPy at definition time (this module never imports
+            it); the columns it is handed already are arrays, so plain
+            operators suffice.
 
     The callable is memoized per concrete state: the derivations apply
     the mapping to every state of every transition many times.
@@ -44,11 +53,13 @@ class AbstractionFunction:
         abstract_schema: StateSchema,
         mapping: Callable[[State], State],
         name: str = "alpha",
+        array_mapping: Optional[Callable[[Dict[str, object]], Dict[str, object]]] = None,
     ):
         self._concrete = concrete_schema
         self._abstract = abstract_schema
         self._mapping = mapping
         self._name = name
+        self._array_mapping = array_mapping
         self._cache: Dict[State, State] = {}
 
     @property
@@ -65,6 +76,13 @@ class AbstractionFunction:
     def name(self) -> str:
         """Display name of the abstraction function."""
         return self._name
+
+    @property
+    def array_mapping(
+        self,
+    ) -> Optional[Callable[[Dict[str, object]], Dict[str, object]]]:
+        """The batch form of the mapping, when one was supplied."""
+        return self._array_mapping
 
     def __call__(self, state: State) -> State:
         """Apply the abstraction to one concrete state.

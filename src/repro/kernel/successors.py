@@ -86,6 +86,18 @@ class PackedKernel:
             self._memo[code] = cached
         return cached
 
+    def clear_memo(self) -> int:
+        """Drop every memoized successor tuple; returns the count dropped.
+
+        The checkers call this between phases once a kernel's successor
+        function is no longer needed (e.g. the abstraction kernel after
+        the core fixpoint) so the memo table — which otherwise grows
+        unboundedly across phases — is released eagerly.
+        """
+        evicted = sum(1 for entry in self._memo if entry is not None)
+        self._memo = [None] * self.size
+        return evicted
+
     def materialize(self) -> System:
         """The equivalent tuple-state ``System`` (cached on first call)."""
         if self._materialized is None:

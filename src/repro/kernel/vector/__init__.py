@@ -1,0 +1,100 @@
+"""The vectorized frontier engine (``engine="vector"``).
+
+Batch NumPy successor kernels and frontier-array fixpoints over packed
+codes: guards lower to boolean masks over int64 code arrays, parallel
+assignments to vectorized digit-deltas, and the checker's hot set
+computations to whole-frontier array operations.  Selected with
+``engine="vector"``; verdicts, witnesses, and observability counters
+match the tuple and packed engines byte for byte.
+
+NumPy is optional (the ``repro[vector]`` extra).  This package stays
+importable without it: :mod:`.availability` and :mod:`.analyze` are
+NumPy-free, and the array modules load only when NumPy is present —
+engine selection consults :func:`vector_fallback_reason` first and
+falls back to the packed engine otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...core.system import System
+from ..engine import CheckSource
+from .analyze import (
+    BOOL,
+    INT,
+    MAX_VECTOR_CELLS,
+    domain_type,
+    expr_type,
+    unlowerable_reason,
+)
+from .availability import (
+    HAVE_NUMPY,
+    NUMPY_MISSING_REASON,
+    numpy_available,
+    numpy_version,
+)
+
+__all__ = [
+    "BOOL",
+    "INT",
+    "HAVE_NUMPY",
+    "MAX_VECTOR_CELLS",
+    "NUMPY_MISSING_REASON",
+    "domain_type",
+    "expr_type",
+    "numpy_available",
+    "numpy_version",
+    "unlowerable_reason",
+    "vector_fallback_reason",
+]
+
+
+def vector_fallback_reason(*sources: CheckSource) -> Optional[str]:
+    """Why the vector engine cannot run on these sources (``None`` = it can).
+
+    NumPy-free by construction: on a pure-Python install the first
+    check already returns :data:`NUMPY_MISSING_REASON` without touching
+    the array modules.  Compiled systems always lower (the CSR edge
+    form never evaluates expressions); programs must pass the static
+    analysis of :func:`.analyze.unlowerable_reason`.
+    """
+    if not numpy_available():
+        return NUMPY_MISSING_REASON
+    for source in sources:
+        if isinstance(source, System):
+            continue
+        reason = unlowerable_reason(source)
+        if reason is not None:
+            return reason
+    return None
+
+
+if numpy_available():
+    from .fixpoint import (
+        region_edges,
+        vector_core,
+        vector_has_cycle,
+        vector_longest_path,
+        vector_reachable,
+        vector_terminals,
+    )
+    from .image import vector_image_codes
+    from .kernel import VectorKernel, VectorLoweringError, as_vector_kernel
+    from .lower import ArrayEnv, ArrayFn, lower_expr
+
+    __all__ += [
+        "ArrayEnv",
+        "ArrayFn",
+        "VectorKernel",
+        "VectorLoweringError",
+        "as_vector_kernel",
+        "lower_expr",
+        "vector_image_codes",
+        "region_edges",
+        "vector_core",
+        "vector_has_cycle",
+        "vector_longest_path",
+        "vector_reachable",
+        "vector_terminals",
+    ]

@@ -1,0 +1,48 @@
+"""NumPy availability probing for the vector engine.
+
+NumPy is an *optional* dependency (the ``repro[vector]`` extra): the
+pure-Python install must keep working, so nothing in this module — or
+in :func:`vector_fallback_reason` — imports NumPy at module load.
+``HAVE_NUMPY`` is re-read on every check, which lets tests simulate a
+NumPy-less install by monkeypatching it.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from typing import Optional
+
+__all__ = ["HAVE_NUMPY", "numpy_available", "numpy_version", "NUMPY_MISSING_REASON"]
+
+
+def _probe() -> bool:
+    try:
+        return importlib.util.find_spec("numpy") is not None
+    except (ImportError, ValueError):  # pragma: no cover - exotic loaders
+        return False
+
+
+#: Whether NumPy is importable.  Module-level so tests can monkeypatch
+#: it to exercise the vector->packed fallback without uninstalling.
+HAVE_NUMPY: bool = _probe()
+
+NUMPY_MISSING_REASON = (
+    "NumPy is not installed; the vector engine needs the repro[vector] "
+    "extra (pip install 'repro[vector]')"
+)
+
+
+def numpy_available() -> bool:
+    """Whether the vector engine's array backend can load (patchable)."""
+    return HAVE_NUMPY
+
+
+def numpy_version() -> Optional[str]:
+    """The installed NumPy version string, or ``None`` without NumPy."""
+    if not numpy_available():
+        return None
+    try:
+        import numpy
+    except ImportError:  # pragma: no cover - HAVE_NUMPY raced the env
+        return None
+    return str(numpy.__version__)

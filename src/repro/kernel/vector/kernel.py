@@ -1,0 +1,397 @@
+"""Batch successor kernels: whole-frontier transitions in NumPy calls.
+
+A :class:`VectorKernel` is the vector engine's replacement for the
+packed engine's per-code successor closure: the transition relation as
+*arrays*.  Two constructions:
+
+* :meth:`VectorKernel.from_program` lowers a guarded-command program
+  under the plain central daemon.  Each action's guard becomes a
+  boolean mask over the full int64 code space (mixed-radix digit
+  extraction with the interner's precomputed divisors and moduli), and
+  its parallel assignment becomes a vectorized digit-delta, yielding
+  one ``(enabled, successor)`` table pair per action.  Successors of
+  an entire frontier are then a handful of gathers — no Python loop
+  per state.  Out-of-domain writes raise exactly the
+  :class:`~repro.core.errors.GCLError` that ``compile_program``
+  raises, reconstructed through the packed engine's ``_pack_move``.
+* :meth:`VectorKernel.from_system` wraps an already-compiled
+  :class:`~repro.core.system.System` as sorted CSR edge arrays.
+
+Both forms expose the same batch API (:meth:`succ_pairs`,
+:meth:`has_edge`, :meth:`terminal_flags`) consumed by the array
+fixpoints in :mod:`.fixpoint`, plus the scalar :meth:`successors` and
+:meth:`materialize` bridges the witness phases need.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ...core.system import System
+from ...gcl.daemon import CentralDaemon, Daemon
+from ...gcl.program import Program
+from ...gcl.semantics import compile_program
+from ..engine import CheckSource
+from ..interner import StateInterner
+from ..successors import _pack_move
+from .analyze import domain_type, unlowerable_reason
+from .lower import ArrayEnv, lower_expr
+
+__all__ = ["VectorKernel", "VectorLoweringError", "as_vector_kernel"]
+
+
+class VectorLoweringError(ValueError):
+    """A program (or daemon) has no array lowering.
+
+    Engine selection consults :func:`.analyze.unlowerable_reason`
+    before constructing a kernel, so checker paths never see this;
+    it guards direct construction.
+    """
+
+
+def as_vector_kernel(source: CheckSource) -> "VectorKernel":
+    """The vector-engine view of a check source (mirrors ``as_kernel``)."""
+    if isinstance(source, System):
+        return VectorKernel.from_system(source)
+    return VectorKernel.from_program(source)
+
+
+class VectorKernel:
+    """The transition relation as arrays: code batches in, edges out.
+
+    Edge batches are deduplicated per ``(origin, target)`` pair and
+    sorted by origin position then target code — the array analogue of
+    the packed kernel's deduplicated, ascending successor tuples, which
+    is what keeps transition *counts* (and so the refinement checkers'
+    ``checked`` counters) identical across engines.
+    """
+
+    __slots__ = (
+        "interner",
+        "name",
+        "size",
+        "initial_codes",
+        "initial_array",
+        "_keep_stutter",
+        "_tables",
+        "_indptr",
+        "_targets",
+        "_edge_keys",
+        "_terminal_cache",
+        "_materializer",
+        "_materialized",
+    )
+
+    def __init__(
+        self,
+        interner: StateInterner,
+        initial_codes: Tuple[int, ...],
+        name: str,
+        keep_stutter: bool,
+        tables: Optional[List[Tuple[np.ndarray, np.ndarray]]],
+        indptr: Optional[np.ndarray],
+        targets: Optional[np.ndarray],
+        edge_keys: Optional[np.ndarray],
+        materializer: Callable[[], System],
+    ):
+        self.interner = interner
+        self.name = name
+        self.size = interner.size
+        self.initial_codes = initial_codes
+        self.initial_array = np.asarray(initial_codes, dtype=np.int64)
+        self._keep_stutter = keep_stutter
+        self._tables = tables
+        self._indptr = indptr
+        self._targets = targets
+        self._edge_keys = edge_keys
+        self._terminal_cache: Dict[bool, np.ndarray] = {}
+        self._materializer = materializer
+        self._materialized: Optional[System] = None
+
+    @property
+    def schema(self):
+        """The schema of the packed state space."""
+        return self.interner.schema
+
+    def materialize(self) -> System:
+        """The equivalent tuple-state ``System`` (cached on first call)."""
+        if self._materialized is None:
+            self._materialized = self._materializer()
+        return self._materialized
+
+    # ------------------------------------------------------------------
+    # The batch API consumed by the array fixpoints.
+    # ------------------------------------------------------------------
+
+    def succ_pairs(self, codes: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """All transitions out of a batch of codes, as parallel arrays.
+
+        Returns ``(origins, targets)`` where ``origins`` indexes into
+        ``codes`` (positions, not codes) and ``targets`` holds
+        successor codes.  Pairs are unique and sorted by
+        ``(origin, target)``.
+        """
+        codes = np.asarray(codes, dtype=np.int64)
+        if codes.size == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        if self._tables is not None:
+            origin_parts: List[np.ndarray] = []
+            target_parts: List[np.ndarray] = []
+            for enabled, succ in self._tables:
+                mask = enabled[codes]
+                if not self._keep_stutter:
+                    mask = mask & (succ[codes] != codes)
+                positions = np.nonzero(mask)[0]
+                if positions.size:
+                    origin_parts.append(positions)
+                    target_parts.append(succ[codes[positions]])
+            if not origin_parts:
+                empty = np.empty(0, dtype=np.int64)
+                return empty, empty
+            origins = np.concatenate(origin_parts)
+            targets = np.concatenate(target_parts)
+            keys = _unique_sorted(origins * np.int64(self.size) + targets)
+            return keys // self.size, keys % self.size
+        counts = self._indptr[codes + 1] - self._indptr[codes]
+        origins = np.repeat(np.arange(codes.size, dtype=np.int64), counts)
+        gathered = _ranges(self._indptr[codes], counts)
+        return origins, self._targets[gathered]
+
+    def has_edge(self, sources: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        """Element-wise transition membership for parallel code arrays."""
+        sources = np.asarray(sources, dtype=np.int64)
+        targets = np.asarray(targets, dtype=np.int64)
+        if self._tables is not None:
+            hit = np.zeros(sources.shape, dtype=bool)
+            for enabled, succ in self._tables:
+                found = enabled[sources] & (succ[sources] == targets)
+                if not self._keep_stutter:
+                    found &= targets != sources
+                hit |= found
+            return hit
+        if self._edge_keys.size == 0:
+            return np.zeros(sources.shape, dtype=bool)
+        keys = sources * np.int64(self.size) + targets
+        slots = np.searchsorted(self._edge_keys, keys)
+        slots_clipped = np.minimum(slots, self._edge_keys.size - 1)
+        return (slots < self._edge_keys.size) & (
+            self._edge_keys[slots_clipped] == keys
+        )
+
+    def terminal_flags(self, drop_self: bool = False) -> np.ndarray:
+        """Full-space mask of codes with no successors (cached).
+
+        With ``drop_self`` the relation is first stripped of self-loops
+        — the analysis view under weak/strong fairness.
+        """
+        cached = self._terminal_cache.get(drop_self)
+        if cached is not None:
+            return cached
+        if self._tables is not None:
+            codes = np.arange(self.size, dtype=np.int64)
+            has_successor = np.zeros(self.size, dtype=bool)
+            for enabled, succ in self._tables:
+                if drop_self or not self._keep_stutter:
+                    has_successor |= enabled & (succ != codes)
+                else:
+                    has_successor |= enabled
+            terminal = ~has_successor
+        else:
+            counts = self._indptr[1:] - self._indptr[:-1]
+            if drop_self:
+                edge_sources = np.repeat(
+                    np.arange(self.size, dtype=np.int64), counts
+                )
+                self_loops = np.bincount(
+                    edge_sources[self._targets == edge_sources],
+                    minlength=self.size,
+                )
+                counts = counts - self_loops
+            terminal = counts == 0
+        self._terminal_cache[drop_self] = terminal
+        return terminal
+
+    def successors(self, code: int) -> Tuple[int, ...]:
+        """Scalar bridge: successor codes of one code, ascending."""
+        _, targets = self.succ_pairs(np.asarray([code], dtype=np.int64))
+        return tuple(int(target) for target in targets)
+
+    # ------------------------------------------------------------------
+    # Constructions.
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_program(
+        cls,
+        program: Program,
+        daemon: Optional[Daemon] = None,
+        keep_stutter: bool = True,
+        name: Optional[str] = None,
+    ) -> "VectorKernel":
+        """Lower ``program`` to full-space per-action successor tables.
+
+        Raises:
+            VectorLoweringError: for non-central daemons or programs
+                outside the statically lowerable fragment (see
+                :func:`.analyze.unlowerable_reason`).
+            GCLError: when some action drives a state out of its
+                domain — the exact error ``compile_program`` raises.
+        """
+        chosen = daemon or CentralDaemon()
+        reason = unlowerable_reason(program, chosen)
+        if reason is not None:
+            raise VectorLoweringError(
+                f"program {program.name!r} has no array lowering: {reason}"
+            )
+        schema = program.schema()
+        interner = StateInterner(schema)
+        size = interner.size
+        system_name = name or (
+            program.name
+            if chosen.name == "central"
+            else f"{program.name}@{chosen.name}"
+        )
+        var_types = {
+            var_name: domain_type(domain)
+            for var_name, domain in zip(schema.names, schema.domains)
+        }
+        places = interner.places_by_name()
+        radixes = dict(zip(schema.names, (len(domain) for domain in schema.domains)))
+        codes = np.arange(size, dtype=np.int64)
+        # Digit extraction once per variable; values via int64 lookup
+        # tables (bools become 0/1, consistently with Python's bool-int
+        # coercion).
+        digits: Dict[str, np.ndarray] = {}
+        env: ArrayEnv = {}
+        value_tables: Dict[str, np.ndarray] = {}
+        inverse_tables: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+        for var_name, domain in zip(schema.names, schema.domains):
+            digit = (codes // places[var_name]) % radixes[var_name]
+            values = np.asarray([int(value) for value in domain], dtype=np.int64)
+            order = np.argsort(values, kind="stable")
+            digits[var_name] = digit
+            value_tables[var_name] = values
+            env[var_name] = values[digit]
+            inverse_tables[var_name] = (values[order], order.astype(np.int64))
+        tables: List[Tuple[np.ndarray, np.ndarray]] = []
+        for action in program.actions:
+            guard = lower_expr(action.guard, var_types)
+            mask = np.broadcast_to(
+                np.asarray(guard(env), dtype=bool), (size,)
+            )
+            enabled = np.nonzero(mask)[0]
+            successor_table = codes.copy()
+            if enabled.size:
+                action_env: ArrayEnv = {
+                    free: env[free][enabled]
+                    for rhs in action.assignments.values()
+                    for free in rhs.free_variables()
+                }
+                delta = np.zeros(enabled.shape, dtype=np.int64)
+                for target, rhs in action.assignments.items():
+                    lowered = lower_expr(rhs, var_types)
+                    values = np.asarray(lowered(action_env)).astype(
+                        np.int64, copy=False
+                    )
+                    if values.ndim == 0:
+                        values = np.broadcast_to(values, enabled.shape)
+                    sorted_values, sorted_digits = inverse_tables[target]
+                    slots = np.searchsorted(sorted_values, values)
+                    slots_clipped = np.minimum(slots, sorted_values.size - 1)
+                    valid = (slots < sorted_values.size) & (
+                        sorted_values[slots_clipped] == values
+                    )
+                    if not bool(valid.all()):
+                        _raise_out_of_domain(
+                            interner, program, action,
+                            int(enabled[int(np.argmax(~valid))]),
+                        )
+                    new_digits = sorted_digits[slots_clipped]
+                    delta += (new_digits - digits[target][enabled]) * np.int64(
+                        places[target]
+                    )
+                successor_table[enabled] = enabled + delta
+            tables.append((np.asarray(mask), successor_table))
+        initial_codes = tuple(
+            sorted(interner.encode(state) for state in program.initial_states())
+        )
+
+        def materializer() -> System:
+            return compile_program(program, chosen, keep_stutter, system_name)
+
+        return cls(
+            interner, initial_codes, system_name, keep_stutter,
+            tables, None, None, None, materializer,
+        )
+
+    @classmethod
+    def from_system(cls, system: System) -> "VectorKernel":
+        """Wrap an already-compiled ``System`` as sorted CSR edge arrays."""
+        interner = StateInterner(system.schema)
+        size = interner.size
+        edge_keys = np.fromiter(
+            (
+                interner.encode(source) * size + interner.encode(target)
+                for source, target in system.transitions()
+            ),
+            dtype=np.int64,
+            count=system.transition_count(),
+        )
+        edge_keys.sort()
+        sources = edge_keys // size
+        targets = edge_keys % size
+        indptr = np.zeros(size + 1, dtype=np.int64)
+        np.cumsum(np.bincount(sources, minlength=size), out=indptr[1:])
+        initial_codes = tuple(
+            sorted(interner.encode(state) for state in system.initial)
+        )
+        return cls(
+            interner, initial_codes, system.name, True,
+            None, indptr, targets, edge_keys, lambda: system,
+        )
+
+
+def _raise_out_of_domain(
+    interner: StateInterner, program: Program, action, code: int
+) -> None:
+    """Raise ``compile_program``'s exact out-of-domain ``GCLError``.
+
+    Routes the offending state through the packed engine's
+    ``_pack_move`` so the message — program name, action label,
+    formatted source state, packing error — is byte-identical.
+    """
+    env = interner.decode_env(code)
+    _pack_move(interner, program, action.execute(env), (action.name,), code)
+    raise AssertionError(  # pragma: no cover - _pack_move always raises here
+        "out-of-domain write did not reproduce on the scalar path"
+    )
+
+
+def _unique_sorted(values: np.ndarray) -> np.ndarray:
+    """Sorted distinct values — ``np.unique`` as an explicit sort+mask.
+
+    ``np.unique`` routes some integer inputs through a hash table that
+    is an order of magnitude slower than sorting on multi-million-
+    element edge batches; the engine's dedup is always over int64 keys,
+    where sort-and-compare-adjacent is the fast path.
+    """
+    if values.size == 0:
+        return values
+    values = np.sort(values)
+    keep = np.empty(values.shape, dtype=bool)
+    keep[0] = True
+    np.not_equal(values[1:], values[:-1], out=keep[1:])
+    return values[keep]
+
+
+def _ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenated ``[start, start+count)`` index ranges, vectorized."""
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    ends = np.cumsum(counts)
+    offsets = np.repeat(starts - (ends - counts), counts)
+    return np.arange(total, dtype=np.int64) + offsets

@@ -1,0 +1,121 @@
+"""Expression lowering: GCL ASTs to NumPy array evaluators.
+
+``lower_expr`` turns an expression that passed the static analysis of
+:mod:`.analyze` into a closure over an *array environment* — a mapping
+from variable name to an int64 array of that variable's value in each
+state of a batch.  Boolean-typed nodes return boolean arrays, integer
+nodes int64 arrays; scalars (from constants) are left to NumPy
+broadcasting.
+
+The semantics match per-state evaluation exactly on statically typed
+programs: comparisons between bools and ints agree because bool is an
+int subtype in Python and bools are carried as 0/1 in int64 arrays;
+``%`` follows the divisor's sign in both Python and NumPy; ``&&`` /
+``||`` evaluate both operands, which is observationally identical to
+the evaluator's short-circuit because the language is effect-free and
+analysis guarantees neither operand can raise.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from ...gcl import expr as ast
+from .analyze import BOOL, expr_type
+
+__all__ = ["ArrayEnv", "ArrayFn", "lower_expr"]
+
+#: A batch environment: variable name -> int64 value array (one entry
+#: per state in the batch; bools are carried as 0/1).
+ArrayEnv = Dict[str, np.ndarray]
+
+#: A lowered expression: array environment in, value array (or NumPy
+#: scalar, for constant subtrees) out.
+ArrayFn = Callable[[ArrayEnv], np.ndarray]
+
+
+def lower_expr(node: ast.Expr, var_types: Dict[str, str]) -> ArrayFn:
+    """Lower one statically typed expression to an array evaluator.
+
+    Raises:
+        ValueError: if the expression does not type under
+            :func:`.analyze.expr_type` (callers are expected to have
+            gated on :func:`.analyze.unlowerable_reason` already).
+    """
+    if expr_type(node, var_types) is None:
+        raise ValueError(f"expression {node.render()} is not lowerable")
+    return _lower(node, var_types)
+
+
+def _lower(node: ast.Expr, var_types: Dict[str, str]) -> ArrayFn:
+    if isinstance(node, ast.Var):
+        name = node.name
+        if var_types[name] == BOOL:
+            return lambda env: env[name] != 0
+        return lambda env: env[name]
+    if isinstance(node, ast.Const):
+        if isinstance(node.value, bool):
+            constant_bool = np.bool_(node.value)
+            return lambda env: constant_bool
+        constant_int = np.int64(node.value)
+        return lambda env: constant_int
+    if isinstance(node, ast.Not):
+        operand = _lower(node.operand, var_types)
+        return lambda env: ~operand(env)
+    if isinstance(node, ast.And):
+        left, right = _lower(node.left, var_types), _lower(node.right, var_types)
+        return lambda env: left(env) & right(env)
+    if isinstance(node, ast.Or):
+        left, right = _lower(node.left, var_types), _lower(node.right, var_types)
+        return lambda env: left(env) | right(env)
+    if isinstance(node, ast.Implies):
+        left, right = _lower(node.left, var_types), _lower(node.right, var_types)
+        return lambda env: ~left(env) | right(env)
+    if isinstance(node, ast.Eq):
+        left, right = _lower(node.left, var_types), _lower(node.right, var_types)
+        return lambda env: left(env) == right(env)
+    if isinstance(node, ast.Ne):
+        left, right = _lower(node.left, var_types), _lower(node.right, var_types)
+        return lambda env: left(env) != right(env)
+    if isinstance(node, ast.Lt):
+        left, right = _lower(node.left, var_types), _lower(node.right, var_types)
+        return lambda env: left(env) < right(env)
+    if isinstance(node, ast.Le):
+        left, right = _lower(node.left, var_types), _lower(node.right, var_types)
+        return lambda env: left(env) <= right(env)
+    if isinstance(node, ast.Gt):
+        left, right = _lower(node.left, var_types), _lower(node.right, var_types)
+        return lambda env: left(env) > right(env)
+    if isinstance(node, ast.Ge):
+        left, right = _lower(node.left, var_types), _lower(node.right, var_types)
+        return lambda env: left(env) >= right(env)
+    if isinstance(node, ast.Add):
+        left, right = _lower(node.left, var_types), _lower(node.right, var_types)
+        return lambda env: left(env) + right(env)
+    if isinstance(node, ast.Sub):
+        left, right = _lower(node.left, var_types), _lower(node.right, var_types)
+        return lambda env: left(env) - right(env)
+    if isinstance(node, ast.Mul):
+        left, right = _lower(node.left, var_types), _lower(node.right, var_types)
+        return lambda env: left(env) * right(env)
+    if isinstance(node, ast.Mod):
+        left, right = _lower(node.left, var_types), _lower(node.right, var_types)
+        return lambda env: left(env) % right(env)
+    if isinstance(node, ast.AddMod):
+        left, right = _lower(node.left, var_types), _lower(node.right, var_types)
+        modulus = np.int64(node.modulus)
+        return lambda env: (left(env) + right(env)) % modulus
+    if isinstance(node, ast.SubMod):
+        left, right = _lower(node.left, var_types), _lower(node.right, var_types)
+        modulus = np.int64(node.modulus)
+        return lambda env: (left(env) - right(env)) % modulus
+    if isinstance(node, ast.Ite):
+        condition = _lower(node.condition, var_types)
+        then = _lower(node.then, var_types)
+        otherwise = _lower(node.otherwise, var_types)
+        return lambda env: np.where(condition(env), then(env), otherwise(env))
+    raise ValueError(
+        f"no lowering for expression node {type(node).__name__}"
+    )  # pragma: no cover - expr_type rejects unknown nodes first

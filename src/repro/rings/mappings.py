@@ -81,8 +81,32 @@ def btr4_abstraction(n_processes: int) -> AbstractionFunction:
             )
         return abstract_schema.pack(image)
 
+    def array_mapping(columns: Dict[str, object]) -> Dict[str, object]:
+        # Lazy import: only the vector engine calls the batch form, and
+        # it only exists when NumPy does.
+        import numpy as np
+
+        c = {j: columns[Ring.c(j)] for j in ring.processes()}
+        true = np.ones(np.shape(c[0]), dtype=bool)
+
+        def up(j: int) -> object:
+            if j == 0:
+                return true
+            if j == top:
+                return ~true
+            return columns[Ring.up(j)]
+
+        image: Dict[str, object] = {}
+        image[Ring.ut(top)] = (c[top] != c[top - 1]) & up(top - 1)
+        image[Ring.dt(0)] = (c[0] == c[1]) & ~up(1)
+        for j in ring.middles():
+            image[Ring.ut(j)] = (c[j] != c[j - 1]) & up(j - 1) & ~up(j)
+            image[Ring.dt(j)] = (c[j] == c[j + 1]) & ~up(j + 1) & up(j)
+        return image
+
     return AbstractionFunction(
-        concrete_schema, abstract_schema, mapping, name="alpha4"
+        concrete_schema, abstract_schema, mapping, name="alpha4",
+        array_mapping=array_mapping,
     )
 
 
@@ -114,8 +138,19 @@ def btr3_abstraction(n_processes: int) -> AbstractionFunction:
             image[Ring.dt(j)] = c[j + 1] == (c[j] + 1) % 3
         return abstract_schema.pack(image)
 
+    def array_mapping(columns: Dict[str, object]) -> Dict[str, object]:
+        c = {j: columns[Ring.c(j)] for j in ring.processes()}
+        image: Dict[str, object] = {}
+        image[Ring.ut(top)] = c[top - 1] == (c[top] + 1) % 3
+        image[Ring.dt(0)] = c[1] == (c[0] + 1) % 3
+        for j in ring.middles():
+            image[Ring.ut(j)] = c[j - 1] == (c[j] + 1) % 3
+            image[Ring.dt(j)] = c[j + 1] == (c[j] + 1) % 3
+        return image
+
     return AbstractionFunction(
-        concrete_schema, abstract_schema, mapping, name="alpha3"
+        concrete_schema, abstract_schema, mapping, name="alpha3",
+        array_mapping=array_mapping,
     )
 
 
@@ -144,8 +179,19 @@ def btrk_abstraction(n_processes: int, k: int) -> AbstractionFunction:
             image[Ring.dt(j)] = c[j + 1] == (c[j] + 1) % k
         return abstract_schema.pack(image)
 
+    def array_mapping(columns: Dict[str, object]) -> Dict[str, object]:
+        c = {j: columns[Ring.c(j)] for j in ring.processes()}
+        image: Dict[str, object] = {}
+        image[Ring.ut(top)] = c[top - 1] == (c[top] + 1) % k
+        image[Ring.dt(0)] = c[1] == (c[0] + 1) % k
+        for j in ring.middles():
+            image[Ring.ut(j)] = c[j - 1] == (c[j] + 1) % k
+            image[Ring.dt(j)] = c[j + 1] == (c[j] + 1) % k
+        return image
+
     return AbstractionFunction(
-        concrete_schema, abstract_schema, mapping, name=f"alpha-mod{k}"
+        concrete_schema, abstract_schema, mapping, name=f"alpha-mod{k}",
+        array_mapping=array_mapping,
     )
 
 
@@ -174,6 +220,14 @@ def utr_abstraction(n_processes: int, k: int) -> AbstractionFunction:
             image[Ring.t(j)] = c[j] != c[j - 1]
         return abstract_schema.pack(image)
 
+    def array_mapping(columns: Dict[str, object]) -> Dict[str, object]:
+        c = {j: columns[Ring.c(j)] for j in ring.processes()}
+        image: Dict[str, object] = {Ring.t(0): c[0] == c[top]}
+        for j in range(1, n_processes):
+            image[Ring.t(j)] = c[j] != c[j - 1]
+        return image
+
     return AbstractionFunction(
-        concrete_schema, abstract_schema, mapping, name=f"alphaK{k}"
+        concrete_schema, abstract_schema, mapping, name=f"alphaK{k}",
+        array_mapping=array_mapping,
     )

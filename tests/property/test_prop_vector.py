@@ -1,0 +1,150 @@
+"""Property-based differential testing of the vector engine.
+
+The same random small guarded-command programs that drive
+``test_prop_kernel`` drive the vector engine against both references:
+the lowered successor tables must agree with the packed kernel code
+for code, the frontier-array fixpoints must compute the bitset sets
+exactly, and the full verdicts — stabilization and convergence
+refinement, witness rendering included — must be byte-identical across
+all three engines.  The fallback property (a vector request on a
+pure-Python install renders the packed verdict) has no NumPy
+dependency and runs everywhere.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.checker import check_convergence_refinement, check_self_stabilization
+from repro.kernel import PackedKernel, codes_of_flags, packed_reachable
+from repro.kernel.vector import numpy_available
+from repro.obs import Recorder
+from tests.property.test_prop_kernel import small_programs
+
+needs_numpy = pytest.mark.skipif(
+    not numpy_available(), reason="NumPy not installed"
+)
+
+
+@needs_numpy
+class TestVectorPrimitives:
+    @settings(max_examples=40, deadline=None)
+    @given(small_programs())
+    def test_lowered_successors_match_packed(self, program):
+        from repro.kernel.vector import VectorKernel
+
+        vector = VectorKernel.from_program(program)
+        packed = PackedKernel.from_program(program)
+        assert vector.initial_codes == packed.initial_codes
+        for code in range(packed.size):
+            assert vector.successors(code) == packed.successors(code), code
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_programs())
+    def test_vector_reachable_equals_packed_reachable(self, program):
+        import numpy as np
+
+        from repro.kernel.vector import as_vector_kernel, vector_reachable
+
+        packed = PackedKernel.from_program(program)
+        vector = as_vector_kernel(program)
+        flags = packed_reachable(
+            packed.successors, packed.initial_codes, packed.size
+        )
+        vector_flags = vector_reachable(vector, vector.initial_array)
+        assert list(codes_of_flags(flags)) == [
+            int(code) for code in np.nonzero(vector_flags)[0]
+        ]
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_programs())
+    def test_vector_terminals_and_cycles_match_packed(self, program):
+        import numpy as np
+
+        from repro.kernel import packed_has_cycle, packed_terminals
+        from repro.kernel.vector import (
+            as_vector_kernel,
+            vector_has_cycle,
+            vector_terminals,
+        )
+
+        packed = PackedKernel.from_program(program)
+        vector = as_vector_kernel(program)
+        everywhere = bytearray(b"\x01") * packed.size
+        region = np.ones(vector.size, dtype=bool)
+        assert packed_terminals(packed.successors, everywhere) == [
+            int(code) for code in vector_terminals(vector, region)
+        ]
+        assert vector_has_cycle(vector, region) == packed_has_cycle(
+            packed.successors, everywhere
+        )
+
+
+class TestVectorVerdicts:
+    @settings(max_examples=25, deadline=None)
+    @given(small_programs())
+    def test_self_stabilization_verdict_identical(self, program):
+        """End to end across all three engines, witness states included.
+
+        Runs on a pure-Python install too: there the vector request
+        exercises the packed fallback, which must render the same
+        verdict anyway.
+        """
+        verdicts = {
+            engine: check_self_stabilization(
+                program, compute_steps=False, engine=engine
+            )
+            for engine in ("tuple", "packed", "vector")
+        }
+        assert (
+            verdicts["vector"].format()
+            == verdicts["packed"].format()
+            == verdicts["tuple"].format()
+        )
+        assert verdicts["vector"].core == verdicts["tuple"].core
+        assert (
+            verdicts["vector"].legitimate_abstract
+            == verdicts["tuple"].legitimate_abstract
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(small_programs(), small_programs())
+    def test_convergence_refinement_verdict_identical(self, concrete, spec):
+        tuple_verdict = check_convergence_refinement(
+            concrete, spec, engine="tuple"
+        )
+        vector_verdict = check_convergence_refinement(
+            concrete, spec, engine="vector"
+        )
+        assert tuple_verdict.format() == vector_verdict.format()
+
+    @settings(max_examples=15, deadline=None)
+    @given(small_programs(), small_programs())
+    def test_stutter_insensitive_refinement_identical(self, concrete, spec):
+        tuple_verdict = check_convergence_refinement(
+            concrete, spec, stutter_insensitive=True, engine="tuple"
+        )
+        vector_verdict = check_convergence_refinement(
+            concrete, spec, stutter_insensitive=True, engine="vector"
+        )
+        assert tuple_verdict.format() == vector_verdict.format()
+
+    @settings(max_examples=15, deadline=None)
+    @given(small_programs())
+    def test_fallback_verdict_identical_without_numpy(self, program):
+        """NumPy-free by construction: with availability forced off,
+        a vector request must fall back and match the packed verdict."""
+        from repro.kernel.vector import availability
+
+        with pytest.MonkeyPatch.context() as patcher:
+            patcher.setattr(availability, "HAVE_NUMPY", False)
+            recorder = Recorder()
+            fallback_verdict = check_self_stabilization(
+                program, compute_steps=False, engine="vector",
+                instrumentation=recorder,
+            )
+        packed_verdict = check_self_stabilization(
+            program, compute_steps=False, engine="packed"
+        )
+        assert fallback_verdict.format() == packed_verdict.format()
+        assert recorder.record().counters["engine.fallback.packed"] == 1
