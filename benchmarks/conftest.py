@@ -29,6 +29,20 @@ from repro.obs import Recorder
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
+def environment_stanza(engine: Optional[str] = None) -> Mapping[str, object]:
+    """The provenance block every results row carries.
+
+    Perf rows are only comparable across machines when the payload says
+    which engine ran and on which interpreter/NumPy; ``numpy`` is null
+    on a pure-Python install, where "vector" falls back.
+    """
+    return {
+        "engine": engine,
+        "numpy": numpy_version(),
+        "python": platform.python_version(),
+    }
+
+
 @pytest.fixture(scope="session")
 def results_dir() -> pathlib.Path:
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
@@ -48,13 +62,21 @@ def record_table(results_dir):
         name: str,
         text: str,
         rows: Optional[Sequence[Mapping[str, object]]] = None,
+        engine: Optional[str] = None,
     ) -> None:
         path = results_dir / f"{name}.txt"
         path.write_text(text + "\n")
         if rows is not None:
             json_path = results_dir / f"{name}.json"
             json_path.write_text(
-                json.dumps([dict(row) for row in rows], indent=2, default=str)
+                json.dumps(
+                    {
+                        "environment": dict(environment_stanza(engine)),
+                        "rows": [dict(row) for row in rows],
+                    },
+                    indent=2,
+                    default=str,
+                )
                 + "\n"
             )
         print(f"\n[{name}]\n{text}")
@@ -75,14 +97,10 @@ def record_metrics(results_dir):
     def _record(name: str, recorder: Recorder) -> None:
         payload = recorder.record().to_dict()
         meta = payload.get("meta", {})
-        # Perf rows are only comparable across machines when the payload
-        # says which engine ran and on which interpreter/NumPy; ``numpy``
-        # is null on a pure-Python install, where "vector" falls back.
-        payload["environment"] = {
-            "engine": meta.get("engine") if isinstance(meta, dict) else None,
-            "numpy": numpy_version(),
-            "python": platform.python_version(),
-        }
+        engine = meta.get("engine") if isinstance(meta, dict) else None
+        payload["environment"] = dict(
+            environment_stanza(engine if isinstance(engine, str) else None)
+        )
         path = results_dir / f"{name}.metrics.json"
         path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 

@@ -35,9 +35,12 @@ from ..core.errors import SimulationError
 from ..obs import (
     NULL_INSTRUMENTATION,
     Instrumentation,
+    Recorder,
+    RunRecord,
     append_jsonl_line,
     load_tagged_lines,
 )
+from ..parallel.pool import using_worker_instrumentation, worker_instrumentation
 from ..simulation.faults import FaultSchedule
 from ..simulation.metrics import legitimacy_predicate
 from ..simulation.runner import SimStatus, execute
@@ -203,6 +206,7 @@ def _attempt_simulation(
         stop_when=predicate,
         seed=seed,
         deadline=config.deadline,
+        instrumentation=worker_instrumentation(),
     )
     cell_id = cell.cell_id()
     if outcome.status is SimStatus.CONVERGED:
@@ -313,6 +317,7 @@ def _attempt_check(cell: CellSpec, config: CampaignConfig) -> CellResult:
         compute_steps=False,
         state_budget=config.state_budget,
         engine=config.engine,
+        instrumentation=worker_instrumentation(),
     )
     seconds = time.perf_counter() - start
     cell_id = cell.cell_id()
@@ -378,6 +383,32 @@ def execute_cell(cell: CellSpec, config: CampaignConfig) -> CellResult:
         cell_id, CellStatus.ERROR, attempts,
         time.perf_counter() - start,
         detail=f"{type(last_error).__name__}: {last_error}",
+    )
+
+
+def _note_cell(
+    instrumentation: Instrumentation, result: CellResult
+) -> None:
+    """Driver-side per-cell bookkeeping shared by both sweep modes.
+
+    Counts executed cells and per-status tallies, keeps cache hits
+    under their own ``cache.hit`` metric (a ``[cached]`` cell was
+    served from disk, not verified again), and feeds the
+    convergence-step distribution histogram — the quantity the
+    convergence-time workloads in PAPERS.md are about.
+    """
+    instrumentation.count("campaign.cells.executed")
+    instrumentation.count(f"campaign.status.{result.status.value}")
+    if "[cached]" in result.detail:
+        instrumentation.count("cache.hit")
+    if result.status is CellStatus.CONVERGED and result.steps is not None:
+        instrumentation.observe("campaign.converge.steps", result.steps)
+    instrumentation.event(
+        "campaign.cell",
+        id=result.cell_id,
+        status=result.status.value,
+        attempts=result.attempts,
+        seconds=result.seconds,
     )
 
 
@@ -476,21 +507,16 @@ def run_campaign(
             instrumentation.count("campaign.cells.skipped")
             continue
         try:
-            result = executor(cell, config)
+            # In-process cells report straight to the run's sink (the
+            # same slot forked workers rebind to their own recorder).
+            with using_worker_instrumentation(instrumentation):
+                result = executor(cell, config)
         except KeyboardInterrupt:
             interrupted_at = index
             break
         campaign.executed += 1
         campaign.results.append(result)
-        instrumentation.count("campaign.cells.executed")
-        instrumentation.count(f"campaign.status.{result.status.value}")
-        instrumentation.event(
-            "campaign.cell",
-            id=cell_id,
-            status=result.status.value,
-            attempts=result.attempts,
-            seconds=result.seconds,
-        )
+        _note_cell(instrumentation, result)
         if config.checkpoint is not None:
             append_jsonl_line(config.checkpoint, result.to_payload())
         if on_cell is not None:
@@ -504,12 +530,18 @@ def run_campaign(
     return campaign
 
 
-def _run_cell_task(item: "Tuple[int, CellSpec]") -> "Tuple[int, CellResult]":
+def _run_cell_task(
+    item: "Tuple[int, CellSpec]",
+) -> "Tuple[int, CellResult, Optional[RunRecord]]":
     """Pool task: run one grid cell with the fork-inherited executor.
 
     The executor and config ride into the worker through the pool's
     copy-on-write context (they may be closures, which do not pickle);
-    only the ``(index, cell)`` pair crosses as a pickle.
+    only the ``(index, cell)`` pair crosses as a pickle.  When the
+    driver staged ``campaign_record`` in the context, the cell runs
+    under a fresh per-cell :class:`Recorder` whose snapshot travels
+    back with the result for the driver to absorb; otherwise the
+    record slot comes back ``None`` and telemetry costs nothing.
     """
     from ..parallel.pool import worker_context
 
@@ -519,7 +551,12 @@ def _run_cell_task(item: "Tuple[int, CellSpec]") -> "Tuple[int, CellResult]":
         ctx["campaign_executor"]  # type: ignore[assignment]
     )
     config: CampaignConfig = ctx["campaign_config"]  # type: ignore[assignment]
-    return index, executor(cell, config)
+    if not ctx.get("campaign_record"):
+        return index, executor(cell, config), None
+    recorder = Recorder(kind="worker")
+    with using_worker_instrumentation(recorder):
+        result = executor(cell, config)
+    return index, result, recorder.record()
 
 
 def _run_campaign_parallel(
@@ -554,27 +591,23 @@ def _run_campaign_parallel(
             pending_items.append((index, cell))
     finished: Dict[int, CellResult] = {}
     interrupted = False
+    record_workers = instrumentation is not NULL_INSTRUMENTATION
     if pending_items:
         with WorkerPool(
-            workers, campaign_executor=executor, campaign_config=config
+            workers,
+            campaign_executor=executor,
+            campaign_config=config,
+            campaign_record=record_workers,
         ) as pool:
             try:
-                for index, result in pool.imap_unordered(
+                for index, result, record in pool.imap_unordered(
                     _run_cell_task, pending_items
                 ):
                     finished[index] = result
                     campaign.executed += 1
-                    instrumentation.count("campaign.cells.executed")
-                    instrumentation.count(
-                        f"campaign.status.{result.status.value}"
-                    )
-                    instrumentation.event(
-                        "campaign.cell",
-                        id=result.cell_id,
-                        status=result.status.value,
-                        attempts=result.attempts,
-                        seconds=result.seconds,
-                    )
+                    if record is not None:
+                        instrumentation.absorb(record)
+                    _note_cell(instrumentation, result)
                     if config.checkpoint is not None:
                         append_jsonl_line(config.checkpoint, result.to_payload())
                     if on_cell is not None:

@@ -43,7 +43,7 @@ from ..core.abstraction import AbstractionFunction, identity_abstraction
 from ..core.state import State
 from ..core.system import System
 from ..gcl.program import Program
-from ..obs import NULL_INSTRUMENTATION, Instrumentation
+from ..obs import NULL_INSTRUMENTATION, Instrumentation, ProgressEmitter
 from .budget import BudgetExceeded, BudgetMeter
 from .fairness import find_fair_trap
 from .graph import (
@@ -349,6 +349,7 @@ def behavioural_core(
             core.add(state)
     instrumentation.count("check.states.enumerated", enumerated)
     instrumentation.count("check.candidates.initial", len(core))
+    progress = ProgressEmitter(instrumentation, "check.core")
     iterations = 0
     changed = True
     while changed:
@@ -370,6 +371,8 @@ def behavioural_core(
             remaining=len(core),
         )
         instrumentation.count("check.states.evicted", evicted)
+        instrumentation.observe("check.round.evicted", evicted)
+        progress.tick(iterations, len(core), enumerated * iterations)
     instrumentation.count("check.fixpoint.iterations", iterations)
     return frozenset(core)
 
@@ -407,6 +410,7 @@ def _behavioural_core_sharded(
     instrumentation.count("check.states.enumerated", len(states))
     instrumentation.count("check.candidates.initial", len(candidates))
     core: Set[State] = set(candidates)
+    progress = ProgressEmitter(instrumentation, "check.core")
     iterations = 0
     changed = True
     while changed:
@@ -436,6 +440,8 @@ def _behavioural_core_sharded(
             remaining=len(core),
         )
         instrumentation.count("check.states.evicted", len(evicted_states))
+        instrumentation.observe("check.round.evicted", len(evicted_states))
+        progress.tick(iterations, len(core), len(states) * iterations)
     instrumentation.count("check.fixpoint.iterations", iterations)
     return frozenset(core)
 
@@ -855,9 +861,11 @@ def _decide_stabilization_packed(
     )
 
     name = f"{_source_name(concrete_source)} stabilizing to {_source_name(abstract_source)}"
-    kernel = as_kernel(concrete_source)
+    kernel = as_kernel(concrete_source, instrumentation=instrumentation)
     abstract_kernel = (
-        kernel if abstract_source is concrete_source else as_kernel(abstract_source)
+        kernel
+        if abstract_source is concrete_source
+        else as_kernel(abstract_source, instrumentation=instrumentation)
     )
     interner = kernel.interner
     size = kernel.size
@@ -1119,7 +1127,9 @@ def _decide_stabilization_vector(
     size = kernel.size
     with instrumentation.span("check.legitimate"):
         legitimate_flags = vector_reachable(
-            abstract_kernel, abstract_kernel.initial_array
+            abstract_kernel,
+            abstract_kernel.initial_array,
+            instrumentation=instrumentation,
         )
     # Ascending-code decode: identical set layout to the packed and
     # tuple engines, so order-dependent witness subroutines agree.

@@ -45,7 +45,7 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 from ..core.abstraction import AbstractionFunction, identity_abstraction
 from ..core.state import State
 from ..core.system import System, Transition
-from ..obs import NULL_INSTRUMENTATION, Instrumentation
+from ..obs import NULL_INSTRUMENTATION, Instrumentation, ProgressEmitter
 from .budget import BudgetExceeded, BudgetMeter
 from .convergence import ENGINES, SystemOrProgram, _as_system, _source_name
 from .graph import shortest_path
@@ -362,8 +362,11 @@ def _packed_convergence_attempt(
     compression_edges: List[Tuple[int, int]] = []
     path2_memo: Dict[int, bytearray] = {}
     holds = True
+    progress = ProgressEmitter(instrumentation, "refine.transition_scan")
     with instrumentation.span("refine.transition_scan"):
         for code in range(size):
+            if progress.enabled and code and code % 4096 == 0:
+                progress.tick(0, size - code, code)
             image = image_of[code]
             for successor in kernel.successors(code):
                 target_image = image_of[successor]
@@ -496,7 +499,9 @@ def _vector_init_clauses(
     ):
         return None
     with instrumentation.span("refine.init_clause"):
-        reachable = vector_reachable(kernel, kernel.initial_array)
+        reachable = vector_reachable(
+            kernel, kernel.initial_array, instrumentation=instrumentation
+        )
     codes = np.nonzero(reachable)[0]
     origins, targets = kernel.succ_pairs(codes)
     sources = codes[origins]
@@ -1250,10 +1255,15 @@ def _decide_convergence_refinement(
         stutters = scan.stutters
         compressions = scan.compressions
     else:
+        progress = ProgressEmitter(instrumentation, "refine.transition_scan")
+        scanned = 0
         with instrumentation.span("refine.transition_scan"):
             for source, target in meter.metered(
                 concrete.transitions(), "refine.transition_scan", unit="transitions"
             ):
+                scanned += 1
+                if progress.enabled and scanned % 4096 == 0:
+                    progress.tick(0, 0, scanned)
                 image_source, image_target = mapping(source), mapping(target)
                 if image_source == image_target:
                     if stutter_insensitive:

@@ -22,11 +22,16 @@ over the derived rings with checkpoint/resume (see
 :mod:`repro.campaign` and ``docs/ROBUSTNESS.md``); ``render``
 pretty-prints a parsed program (normalizing whitespace and sugar).
 
-The ``check``, ``refines``, ``ring``, and ``simulate`` subcommands
-accept ``--obs-out PATH``: the run is then instrumented and its
-structured record (counters, phase timings, events) is written to
-``PATH`` as JSON Lines, readable by ``repro report`` or any JSONL
-consumer.
+The ``check``, ``refines``, ``ring``, ``simulate``, and ``campaign``
+subcommands accept ``--obs-out PATH``: the run is then instrumented
+and its structured record (counters, gauges, histograms, the span
+trace tree, events) is written to ``PATH`` as JSON Lines, readable by
+``repro report`` or any JSONL consumer.  ``repro report`` can also
+export the record as Chrome ``trace_event`` JSON (``--format=trace``)
+or Prometheus text (``--format=prom``).  The same subcommands accept
+``--progress`` (render throttled ``progress.*`` heartbeats as live
+stderr ticker lines) and ``--profile-out PATH`` (wrap the whole
+command in ``cProfile`` and store the pstats dump).
 
 All commands exit with status 0 when the checked property holds (or
 the run completes) and 1 otherwise, printing the witness, so the CLI
@@ -50,7 +55,14 @@ from .checker import (
 )
 from .gcl.parser import parse_program
 from .gcl.pretty import render_program
-from .obs import NULL_INSTRUMENTATION, Recorder, write_jsonl
+from .obs import (
+    NULL_INSTRUMENTATION,
+    Instrumentation,
+    ProgressTicker,
+    Recorder,
+    TeeInstrumentation,
+    write_jsonl,
+)
 from .obs.report import summarize_text
 from .simulation.runner import simulate
 
@@ -300,6 +312,15 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="list every event instead of aggregating by name",
     )
+    report.add_argument(
+        "--format",
+        choices=("text", "trace", "prom"),
+        default="text",
+        help="output format: 'text' human summary (default), 'trace' "
+        "Chrome trace_event JSON (open in chrome://tracing or "
+        "Perfetto), 'prom' Prometheus text exposition (textfile "
+        "collector compatible)",
+    )
 
     render = commands.add_parser("render", help="parse and pretty-print a program")
     render.add_argument("program", help="path to the GCL program file")
@@ -349,24 +370,53 @@ def _add_parallel_flags(subparser: argparse.ArgumentParser) -> None:
 
 
 def _add_obs_out(subparser: argparse.ArgumentParser) -> None:
-    """Attach the shared ``--obs-out`` observability flag."""
+    """Attach the shared observability flags.
+
+    ``--obs-out`` records the run; ``--progress`` renders live
+    heartbeat ticker lines; ``--profile-out`` wraps the whole command
+    in ``cProfile``.  The three compose freely.
+    """
     subparser.add_argument(
         "--obs-out",
         metavar="PATH",
-        help="write the structured run record (counters, phase timings, "
-        "events) to PATH as JSON Lines; inspect with 'repro report'",
+        help="write the structured run record (counters, gauges, "
+        "histograms, span trace tree, events) to PATH as JSON Lines; "
+        "inspect with 'repro report' or export with --format=trace/prom",
+    )
+    subparser.add_argument(
+        "--progress",
+        action="store_true",
+        help="render throttled progress.* heartbeats (round, frontier "
+        "size, states/sec, RSS) as live stderr ticker lines",
+    )
+    subparser.add_argument(
+        "--profile-out",
+        metavar="PATH",
+        help="profile the whole command under cProfile and store the "
+        "pstats dump at PATH (inspect with python -m pstats)",
     )
 
 
 def _recorder_for(args, kind: str):
-    """A :class:`Recorder` when ``--obs-out`` was given, else the null object.
+    """The instrumentation stack the flags of ``args`` ask for.
 
-    Returns ``(instrumentation, recorder_or_None)``.
+    Returns ``(instrumentation, recorder_or_None)``: a
+    :class:`Recorder` when ``--obs-out`` was given, a
+    :class:`ProgressTicker` when ``--progress`` was given, both teed
+    together when both were — and the null object when neither.
     """
+    recorder: Optional[Recorder] = None
+    sinks: List[Instrumentation] = []
     if getattr(args, "obs_out", None):
         recorder = Recorder(kind=kind)
-        return recorder, recorder
-    return NULL_INSTRUMENTATION, None
+        sinks.append(recorder)
+    if getattr(args, "progress", False):
+        sinks.append(ProgressTicker())
+    if not sinks:
+        return NULL_INSTRUMENTATION, None
+    if len(sinks) == 1:
+        return sinks[0], recorder
+    return TeeInstrumentation(*sinks), recorder
 
 
 def _flush_recorder(args, recorder: Optional[Recorder]) -> None:
@@ -620,6 +670,15 @@ def _cmd_campaign(args) -> int:
 def _cmd_report(args) -> int:
     with open(args.run, "r", encoding="utf-8") as handle:
         text = handle.read()
+    if args.format != "text":
+        from .obs import chrome_trace, loads_jsonl, prometheus_text
+
+        records = loads_jsonl(text)
+        if args.format == "trace":
+            print(chrome_trace(records))
+        else:
+            sys.stdout.write(prometheus_text(records))
+        return 0
     print(summarize_text(text, events=args.events))
     return 0
 
@@ -663,8 +722,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns the process exit status."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    command = _DISPATCH[args.command]
     try:
-        return _DISPATCH[args.command](args)
+        profile_out = getattr(args, "profile_out", None)
+        if profile_out:
+            import cProfile
+
+            profiler = cProfile.Profile()
+            try:
+                return profiler.runcall(command, args)
+            finally:
+                profiler.dump_stats(profile_out)
+                print(f"profile written to {profile_out}", file=sys.stderr)
+        return command(args)
     except BrokenPipeError:
         # stdout was closed early (e.g. `repro report ... | head`);
         # suppress the interpreter's close-time flush error too.

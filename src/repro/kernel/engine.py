@@ -18,6 +18,7 @@ from ..core.errors import StateSpaceError
 from ..core.state import State, StateSchema
 from ..core.system import System
 from ..gcl.program import Program
+from ..obs import NULL_INSTRUMENTATION, Instrumentation
 from .interner import StateInterner, unpackable_reason
 from .successors import PackedKernel
 
@@ -40,16 +41,26 @@ def as_system(source: CheckSource) -> System:
     return source if isinstance(source, System) else source.compile()
 
 
-def as_kernel(source: CheckSource) -> PackedKernel:
+def as_kernel(
+    source: CheckSource,
+    instrumentation: Instrumentation = NULL_INSTRUMENTATION,
+) -> PackedKernel:
     """The packed-engine view of a check source.
 
     Programs lower straight to a successor kernel — no transition
     table; compiled systems are wrapped with encode/decode at the
-    edges.
+    edges.  The lowering is timed as an ``engine.lower`` span whose
+    attributes name the source flavour and the resulting packed
+    state-space size.
     """
-    if isinstance(source, System):
-        return PackedKernel.from_system(source)
-    return PackedKernel.from_program(source)
+    lowering = "system" if isinstance(source, System) else "program"
+    with instrumentation.span("engine.lower", source=lowering):
+        if isinstance(source, System):
+            kernel = PackedKernel.from_system(source)
+        else:
+            kernel = PackedKernel.from_program(source)
+    instrumentation.gauge("engine.packed.size", kernel.size)
+    return kernel
 
 
 def source_schema(source: CheckSource) -> StateSchema:

@@ -24,8 +24,18 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Iterable, List, Sequence, Set, Tuple
 
-from ..obs import NULL_INSTRUMENTATION, Instrumentation
-from ..parallel.pool import WorkerPool, contiguous_chunks, worker_context
+from ..obs import NULL_INSTRUMENTATION, Instrumentation, ProgressEmitter
+from ..parallel.pool import (
+    WorkerPool,
+    contiguous_chunks,
+    worker_context,
+    worker_instrumentation,
+)
+
+#: Sequential loops report progress once per this many expansions —
+#: frequent enough for a live ticker, cheap enough to disappear in the
+#: noise (the emitter itself throttles on wall time on top of this).
+_HEARTBEAT_EVERY = 4096
 from .bitset import make_flags
 
 __all__ = [
@@ -47,16 +57,27 @@ _BATCHES_PER_WORKER = 4
 def _expand_batch(batch: List[int]) -> List[int]:
     """Worker task: expand one batch of frontier codes."""
     succ_of: SuccessorFn = worker_context()["packed_succ"]
+    obs = worker_instrumentation()
     found: List[int] = []
-    for code in batch:
-        found.extend(succ_of(code))
+    with obs.span("parallel.worker.expand", batch=len(batch)):
+        for code in batch:
+            successors = succ_of(code)
+            obs.observe("parallel.worker.fan_out", len(successors))
+            found.extend(successors)
+    obs.count("parallel.worker.batches")
+    obs.count("parallel.worker.states.expanded", len(batch))
     return found
 
 
 def _filter_chunk(chunk: List[int]) -> List[int]:
     """Worker task: keep the codes satisfying the staged predicate."""
     predicate: Callable[[int], bool] = worker_context()["packed_predicate"]
-    return [code for code in chunk if predicate(code)]
+    obs = worker_instrumentation()
+    with obs.span("parallel.worker.filter", batch=len(chunk)):
+        kept = [code for code in chunk if predicate(code)]
+    obs.count("parallel.worker.batches")
+    obs.count("parallel.worker.states.scanned", len(chunk))
+    return kept
 
 
 def packed_reachable(
@@ -80,10 +101,15 @@ def packed_reachable(
         if not seen[code]:
             seen[code] = 1
             initial.append(code)
+    progress = ProgressEmitter(instrumentation, "packed.reachable")
     if workers <= 1:
         stack = initial
+        expanded = 0
         while stack:
             code = stack.pop()
+            expanded += 1
+            if progress.enabled and expanded % _HEARTBEAT_EVERY == 0:
+                progress.tick(0, len(stack), expanded)
             for successor in succ_of(code):
                 if not seen[successor]:
                     seen[successor] = 1
@@ -91,17 +117,25 @@ def packed_reachable(
         return seen
     n_batches = workers * _BATCHES_PER_WORKER
     frontier = sorted(initial)
+    rounds = 0
+    expanded = 0
     with WorkerPool(workers, packed_succ=succ_of) as pool:
         while frontier:
             instrumentation.count("parallel.rounds", 1)
             instrumentation.count("parallel.states.expanded", len(frontier))
+            instrumentation.observe("parallel.frontier.size", len(frontier))
+            rounds += 1
+            expanded += len(frontier)
+            progress.tick(rounds, len(frontier), expanded)
             sharded: List[List[int]] = [[] for _ in range(n_batches)]
             for code in frontier:
                 sharded[code % n_batches].append(code)
             batches = [batch for batch in sharded if batch]
             instrumentation.count("parallel.batches", len(batches))
             next_frontier: List[int] = []
-            for found in pool.map(_expand_batch, batches):
+            for found in pool.map_observed(
+                _expand_batch, batches, instrumentation
+            ):
                 for code in found:
                     if not seen[code]:
                         seen[code] = 1
@@ -177,7 +211,9 @@ def packed_core(
             return image >= 0 and bool(legitimate[image])
 
         with WorkerPool(workers, packed_predicate=is_candidate) as pool:
-            for kept in pool.map(_filter_chunk, chunks):
+            for kept in pool.map_observed(
+                _filter_chunk, chunks, instrumentation
+            ):
                 for code in kept:
                     flags[code] = 1
                     remaining += 1
@@ -189,6 +225,7 @@ def packed_core(
                 remaining += 1
     instrumentation.count("check.states.enumerated", size)
     instrumentation.count("check.candidates.initial", remaining)
+    progress = ProgressEmitter(instrumentation, "packed.core")
     iterations = 0
     changed = True
     while changed:
@@ -209,7 +246,9 @@ def packed_core(
             instrumentation.count("parallel.batches", len(chunks))
             instrumentation.count("parallel.states.expanded", len(members))
             with WorkerPool(workers, packed_predicate=evicts) as pool:
-                for kicked in pool.map(_filter_chunk, chunks):
+                for kicked in pool.map_observed(
+                    _filter_chunk, chunks, instrumentation
+                ):
                     for code in kicked:
                         flags[code] = 0
                         evicted += 1
@@ -230,6 +269,8 @@ def packed_core(
             remaining=remaining,
         )
         instrumentation.count("check.states.evicted", evicted)
+        instrumentation.observe("check.round.evicted", evicted)
+        progress.tick(iterations, remaining, size * iterations)
     instrumentation.count("check.fixpoint.iterations", iterations)
     return flags
 

@@ -22,7 +22,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from ...obs import NULL_INSTRUMENTATION, Instrumentation
+from ...obs import NULL_INSTRUMENTATION, Instrumentation, ProgressEmitter
 from .kernel import VectorKernel, _ranges, _unique_sorted
 
 __all__ = [
@@ -35,13 +35,25 @@ __all__ = [
 ]
 
 
-def vector_reachable(kernel: VectorKernel, sources: np.ndarray) -> np.ndarray:
+def vector_reachable(
+    kernel: VectorKernel,
+    sources: np.ndarray,
+    instrumentation: Instrumentation = NULL_INSTRUMENTATION,
+) -> np.ndarray:
     """Boolean flags of the codes reachable from ``sources`` (inclusive)."""
     seen = np.zeros(kernel.size, dtype=bool)
     frontier = _unique_sorted(np.asarray(sources, dtype=np.int64))
     if frontier.size:
         seen[frontier] = True
+    progress = ProgressEmitter(instrumentation, "vector.reachable")
+    rounds = 0
+    expanded = 0
     while frontier.size:
+        if progress.enabled:
+            rounds += 1
+            expanded += int(frontier.size)
+            instrumentation.observe("vector.frontier.size", int(frontier.size))
+            progress.tick(rounds, int(frontier.size), expanded)
         _, targets = kernel.succ_pairs(frontier)
         fresh = _unique_sorted(targets)
         fresh = fresh[~seen[fresh]]
@@ -86,6 +98,7 @@ def vector_core(
     instrumentation.count("check.candidates.initial", remaining)
     abs_has_successor = ~abstract_kernel.terminal_flags()
     ignorable_stutter = stutter_insensitive or fairness_ignores_stutter
+    progress = ProgressEmitter(instrumentation, "vector.core")
     iterations = 0
     changed = True
     while changed:
@@ -118,8 +131,8 @@ def vector_core(
         )
         count = members.size
         evict = np.bincount(origins[evict_edge], minlength=count) > 0
-        progress = np.bincount(origins[progress_edge], minlength=count) > 0
-        evict |= ~progress & abs_has_successor[image_of[members]]
+        progressed = np.bincount(origins[progress_edge], minlength=count) > 0
+        evict |= ~progressed & abs_has_successor[image_of[members]]
         evicted = int(evict.sum())
         flags[members[evict]] = False
         changed = evicted > 0
@@ -131,6 +144,8 @@ def vector_core(
             remaining=remaining,
         )
         instrumentation.count("check.states.evicted", evicted)
+        instrumentation.observe("check.round.evicted", evicted)
+        progress.tick(iterations, remaining, size * iterations)
     instrumentation.count("check.fixpoint.iterations", iterations)
     return flags
 

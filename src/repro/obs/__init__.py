@@ -1,15 +1,24 @@
 """Structured observability for checker, simulator, and benchmark runs.
 
-The package provides three layers:
+The package provides five layers:
 
 * :mod:`repro.obs.instrument` — the :class:`Instrumentation` protocol
-  the engines report through, the zero-overhead
-  :class:`NullInstrumentation` default, and the :class:`Recorder`
-  that captures timed spans, monotonic counters, and discrete events;
-* :mod:`repro.obs.record` — the :class:`RunRecord` artifact and its
-  JSONL sink/loader, so every run can be archived and inspected later;
-* :mod:`repro.obs.report` — the human-readable summary renderer used
-  by the ``repro report`` CLI subcommand.
+  the engines report through (counters, gauges, histograms, events,
+  nested spans, worker-record absorption), the zero-overhead
+  :class:`NullInstrumentation` default, the :class:`Recorder` that
+  captures everything, plus :class:`ProgressEmitter` (throttled
+  ``progress.*`` heartbeats), :class:`ProgressTicker` (live stderr
+  rendering), and :class:`TeeInstrumentation` (verb fan-out);
+* :mod:`repro.obs.registry` — the gauge/histogram metrics registry
+  and its deterministic merge helpers;
+* :mod:`repro.obs.trace` — the hierarchical span tree
+  (:class:`SpanNode`) behind every record;
+* :mod:`repro.obs.record` — the :class:`RunRecord` artifact, its
+  JSONL sink/loader, and :func:`merge_records` for folding per-worker
+  records into run totals;
+* :mod:`repro.obs.report` / :mod:`repro.obs.export` — the summary
+  renderer and the Chrome ``trace_event`` / Prometheus exporters
+  behind the ``repro report`` CLI subcommand.
 
 Instrumented entry points (``check_stabilization``, the refinement
 checks, ``simulate``/``run_until``) take ``instrumentation=`` and
@@ -17,11 +26,15 @@ default to :data:`NULL_INSTRUMENTATION`, so uninstrumented callers pay
 one attribute call per reported event and nothing else.
 """
 
+from .export import chrome_trace, metric_name, prometheus_text
 from .instrument import (
     NULL_INSTRUMENTATION,
     Instrumentation,
     NullInstrumentation,
+    ProgressEmitter,
+    ProgressTicker,
     Recorder,
+    TeeInstrumentation,
 )
 from .record import (
     EventRecord,
@@ -32,24 +45,49 @@ from .record import (
     load_jsonl,
     load_tagged_lines,
     loads_jsonl,
+    merge_records,
     write_jsonl,
 )
+from .registry import (
+    DEFAULT_BUCKETS,
+    GaugeStats,
+    HistogramStats,
+    MetricsRegistry,
+    merge_gauges,
+    merge_histograms,
+)
 from .report import summarize_record, summarize_text
+from .trace import SpanNode, render_span_tree
 
 __all__ = [
     "Instrumentation",
     "NullInstrumentation",
     "NULL_INSTRUMENTATION",
     "Recorder",
+    "ProgressEmitter",
+    "ProgressTicker",
+    "TeeInstrumentation",
     "EventRecord",
     "RunRecord",
     "RunRecordError",
     "SpanStats",
+    "SpanNode",
+    "GaugeStats",
+    "HistogramStats",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
     "append_jsonl_line",
     "load_jsonl",
     "load_tagged_lines",
     "loads_jsonl",
+    "merge_records",
+    "merge_gauges",
+    "merge_histograms",
     "write_jsonl",
+    "chrome_trace",
+    "prometheus_text",
+    "metric_name",
+    "render_span_tree",
     "summarize_record",
     "summarize_text",
 ]

@@ -1,0 +1,137 @@
+"""Export run records to external tooling formats.
+
+Two exporters back ``repro report --format=...``:
+
+* :func:`chrome_trace` — Chrome ``trace_event`` JSON (load it in
+  ``chrome://tracing`` or Perfetto).  Every record becomes its own
+  ``pid`` lane; each span-tree node is a complete ("X") event with
+  microsecond start/duration, and each recorded event is an instant
+  ("i") mark, so merged multi-worker records render as interleaved
+  per-worker timelines.
+* :func:`prometheus_text` — the Prometheus text exposition format
+  (textfile-collector compatible).  Counters, gauges, and fixed-bucket
+  histograms (with cumulative ``le`` buckets, ``_sum`` and ``_count``)
+  are emitted under sanitized all-lowercase ``repro_``-prefixed names;
+  multiple records in a file are merged deterministically first.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Dict, List, Sequence
+
+from .record import RunRecord, merge_records
+
+__all__ = ["chrome_trace", "prometheus_text", "metric_name"]
+
+_NAME_RE = re.compile(r"[^a-z_]")
+
+
+def metric_name(name: str, prefix: str = "repro_") -> str:
+    """A Prometheus-safe metric name: lowercase letters and ``_`` only.
+
+    ``check.states.enumerated`` becomes
+    ``repro_check_states_enumerated``.  Any character outside
+    ``[a-z_]`` (after lowercasing) maps to ``_``, which keeps the
+    output inside the strict name grammar the CI smoke validates.
+    """
+    return prefix + _NAME_RE.sub("_", name.lower())
+
+
+def _format_value(value: float) -> str:
+    """Render a sample value without stray float noise."""
+    if float(value) == int(value):
+        return str(int(value))
+    return repr(float(value))
+
+
+def chrome_trace(records: Sequence[RunRecord]) -> str:
+    """Chrome ``trace_event`` JSON for the given records.
+
+    Timestamps are microseconds relative to the earliest record's
+    ``wall_base``; each record gets its own ``pid`` so worker lanes
+    stay visually separate even after a merge.
+    """
+    base = min((record.wall_base for record in records), default=0.0)
+    trace_events: List[Dict[str, object]] = []
+    for pid, record in enumerate(records):
+        offset_us = (record.wall_base - base) * 1e6
+        trace_events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": f"{record.kind}[{pid}]"},
+            }
+        )
+        for node in record.tree:
+            trace_events.append(
+                {
+                    "name": node.name,
+                    "cat": record.kind,
+                    "ph": "X",
+                    "ts": node.start * 1e6 + offset_us,
+                    "dur": node.seconds * 1e6,
+                    "pid": pid,
+                    "tid": 0,
+                    "args": dict(node.attrs),
+                }
+            )
+        for event in record.events:
+            trace_events.append(
+                {
+                    "name": event.name,
+                    "cat": record.kind,
+                    "ph": "i",
+                    "ts": event.at * 1e6 + offset_us,
+                    "pid": pid,
+                    "tid": 0,
+                    "s": "p",
+                    "args": dict(event.fields),
+                }
+            )
+    return json.dumps(
+        {"traceEvents": trace_events, "displayTimeUnit": "ms"},
+        sort_keys=True,
+    )
+
+
+def prometheus_text(records: Sequence[RunRecord]) -> str:
+    """Prometheus text exposition of the records' metrics.
+
+    Multiple records are merged first
+    (:func:`~repro.obs.record.merge_records`), so the output reflects
+    run totals.  Returns lines terminated by a trailing newline; every
+    sample line matches ``^[a-z_]+(\\{.*\\})? [0-9.eE+-]+$``.
+    """
+    if not records:
+        return ""
+    merged = records[0] if len(records) == 1 else merge_records(list(records))
+    lines: List[str] = []
+    for name in sorted(merged.counters):
+        metric = metric_name(name)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_format_value(merged.counters[name])}")
+    for name in sorted(merged.gauges):
+        metric = metric_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(merged.gauges[name].value)}")
+    for name in sorted(merged.histograms):
+        metric = metric_name(name)
+        stats = merged.histograms[name]
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = stats.cumulative()
+        for bound, running in zip(stats.bounds, cumulative):
+            lines.append(
+                f'{metric}_bucket{{le="{_format_value(bound)}"}} {running}'
+            )
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {stats.count}')
+        lines.append(f"{metric}_sum {_format_value(stats.total)}")
+        lines.append(f"{metric}_count {stats.count}")
+    for name in sorted(merged.spans):
+        metric = metric_name(name + ".seconds")
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {repr(float(merged.spans[name].seconds))}")
+    return "\n".join(lines) + "\n"

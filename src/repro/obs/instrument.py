@@ -2,35 +2,57 @@
 
 The hot paths of the library (the stabilization fixpoint, the
 refinement transition scan, the simulator's step loop) accept an
-:class:`Instrumentation` and report what they do through four verbs:
+:class:`Instrumentation` and report what they do through seven verbs:
 
 * ``count(name, delta)`` — bump a monotonic counter;
+* ``gauge(name, value)`` — set a last-value-wins measurement;
+* ``observe(name, value)`` — add an observation to a fixed-bucket
+  histogram;
 * ``event(name, **fields)`` — record a discrete occurrence;
-* ``span(name)`` — a context manager timing one phase;
-* ``annotate(**fields)`` — attach run-level metadata.
+* ``span(name, **attrs)`` — a context manager timing one phase, with
+  optional per-span attributes; spans nest, forming a trace tree;
+* ``annotate(**fields)`` — attach run-level metadata;
+* ``absorb(record)`` — fold a finished worker's
+  :class:`~repro.obs.record.RunRecord` into this run (cross-process
+  aggregation).
 
-Two implementations exist.  :class:`NullInstrumentation` is the
-default everywhere: every verb is a no-op, ``span`` hands back one
-shared, reusable context manager, and the instance carries no state at
-all (``__slots__ = ()``), so an uninstrumented caller pays exactly one
-attribute lookup and one call per reported event — no allocation, no
-branching in the engine code.  :class:`Recorder` captures everything
-into an in-memory :class:`~repro.obs.record.RunRecord` that can be
-persisted as JSONL and rendered by ``repro report``.
+:class:`NullInstrumentation` is the default everywhere: every verb is
+a no-op, ``span`` hands back one shared, reusable context manager, and
+the instance carries no state at all (``__slots__ = ()``), so an
+uninstrumented caller pays exactly one attribute lookup and one call
+per reported event — no allocation, no branching in the engine code.
+:class:`Recorder` captures everything into an in-memory
+:class:`~repro.obs.record.RunRecord` that can be persisted as JSONL
+and rendered or exported by ``repro report``.
 """
 
 from __future__ import annotations
 
+import sys
+import threading
 import time
-from typing import Callable, Dict, List, Optional
+from typing import (
+    Callable,
+    Dict,
+    IO,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from .record import EventRecord, RunRecord, SpanStats
+from .registry import GaugeStats, MetricsRegistry
+from .trace import SpanNode, rebase_nodes
 
 __all__ = [
     "Instrumentation",
     "NullInstrumentation",
     "NULL_INSTRUMENTATION",
     "Recorder",
+    "ProgressEmitter",
+    "ProgressTicker",
+    "TeeInstrumentation",
 ]
 
 
@@ -63,15 +85,30 @@ class Instrumentation:
     def count(self, name: str, delta: int = 1) -> None:
         """Add ``delta`` to the monotonic counter ``name``."""
 
+    def gauge(self, name: str, value: float) -> None:
+        """Set the last-value-wins measurement ``name``."""
+
+    def observe(self, name: str, value: float) -> None:
+        """Add one observation to the fixed-bucket histogram ``name``."""
+
     def event(self, name: str, /, **fields: object) -> None:
         """Record a discrete event with arbitrary JSON-safe fields."""
 
-    def span(self, name: str):
-        """A context manager timing the phase ``name``."""
+    def span(self, name: str, /, **attrs: object):
+        """A context manager timing the phase ``name``.
+
+        Spans nest: a span entered while another is open becomes its
+        child in the trace tree.  ``attrs`` attach JSON-safe
+        attributes to this span instance (batch sizes, engine names,
+        round counts).
+        """
         return _NULL_SPAN
 
     def annotate(self, **fields: object) -> None:
         """Merge run-level metadata (program name, seed, flags, ...)."""
+
+    def absorb(self, record: RunRecord) -> None:
+        """Fold a finished worker record into this run (no-op here)."""
 
 
 class NullInstrumentation(Instrumentation):
@@ -90,93 +127,392 @@ class NullInstrumentation(Instrumentation):
 NULL_INSTRUMENTATION = NullInstrumentation()
 
 
+def _is_null(instrumentation: Instrumentation) -> bool:
+    """True when ``instrumentation`` is the no-op base/null object."""
+    return type(instrumentation) in (Instrumentation, NullInstrumentation)
+
+
 class _RecorderSpan:
     """Context manager that reports its duration back to the recorder."""
 
-    __slots__ = ("_recorder", "_name", "_start")
+    __slots__ = ("_recorder", "_name", "_attrs", "_start", "_index")
 
-    def __init__(self, recorder: "Recorder", name: str):
+    def __init__(
+        self, recorder: "Recorder", name: str, attrs: Dict[str, object]
+    ):
         self._recorder = recorder
         self._name = name
+        self._attrs = attrs
         self._start = 0.0
+        self._index = -1
 
     def __enter__(self) -> "_RecorderSpan":
-        self._start = self._recorder._clock()
+        self._start, self._index = self._recorder._enter_span(
+            self._name, self._attrs
+        )
         return self
 
     def __exit__(self, *exc_info: object) -> bool:
-        self._recorder._finish_span(
-            self._name, self._recorder._clock() - self._start
-        )
+        self._recorder._exit_span(self._name, self._start, self._index)
         return False
 
 
 class Recorder(Instrumentation):
     """Instrumentation that captures a structured run record in memory.
 
-    Spans are aggregated per name (total seconds + number of entries),
-    counters are summed, events are kept in order with a timestamp
-    relative to the recorder's creation.
+    Spans are aggregated per name (total seconds + number of entries)
+    *and* recorded individually as a trace tree — nesting is tracked
+    with a per-thread stack, so spans opened on different threads form
+    independent subtrees rather than false parent/child edges.
+    Counters are summed, gauges keep their last value, histogram
+    observations land in fixed buckets, and events are kept in order
+    with a timestamp relative to the recorder's creation.
+
+    All verbs are safe to call from several threads at once: updates
+    happen under one internal lock.  (The lock is uncontended in the
+    common single-threaded case and the engines' hot loops batch their
+    reporting, so this costs nothing measurable.)
 
     Args:
         kind: what the run is (``"check"``, ``"simulate"``, ...);
             stored on the resulting :class:`RunRecord`.
         clock: monotonic time source in seconds (injectable for
             deterministic tests; default ``time.perf_counter``).
+        wall: absolute epoch time source (injectable for deterministic
+            tests; default ``time.time``).  Read once at creation and
+            stored as the record's ``wall_base`` so records from
+            several processes can merge onto one timeline.
     """
 
     def __init__(
         self,
         kind: str = "run",
         clock: Callable[[], float] = time.perf_counter,
+        wall: Callable[[], float] = time.time,
     ):
         self.kind = kind
         self._clock = clock
         self._t0 = clock()
+        self._wall_base = wall()
+        self._lock = threading.Lock()
         self._meta: Dict[str, object] = {}
         self._counters: Dict[str, int] = {}
+        self._metrics = MetricsRegistry()
         self._spans: Dict[str, SpanStats] = {}
+        self._tree: List[SpanNode] = []
         self._events: List[EventRecord] = []
+        self._stack = threading.local()
 
     def count(self, name: str, delta: int = 1) -> None:
-        self._counters[name] = self._counters.get(name, 0) + delta
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + delta
+
+    def gauge(self, name: str, value: float) -> None:
+        at = self._clock() - self._t0
+        with self._lock:
+            self._metrics.set_gauge(name, value, at)
+
+    def observe(self, name: str, value: float) -> None:
+        with self._lock:
+            self._metrics.observe(name, value)
 
     def event(self, name: str, /, **fields: object) -> None:
-        self._events.append(
-            EventRecord(name, self._clock() - self._t0, dict(fields))
-        )
+        at = self._clock() - self._t0
+        with self._lock:
+            self._events.append(EventRecord(name, at, dict(fields)))
 
-    def span(self, name: str) -> _RecorderSpan:
-        return _RecorderSpan(self, name)
+    def span(self, name: str, /, **attrs: object) -> _RecorderSpan:
+        return _RecorderSpan(self, name, attrs)
 
     def annotate(self, **fields: object) -> None:
-        self._meta.update(fields)
+        with self._lock:
+            self._meta.update(fields)
 
-    def _finish_span(self, name: str, seconds: float) -> None:
-        stats = self._spans.get(name)
-        if stats is None:
-            self._spans[name] = SpanStats(seconds, 1)
-        else:
-            self._spans[name] = SpanStats(
-                stats.seconds + seconds, stats.calls + 1
+    def absorb(self, record: RunRecord) -> None:
+        """Fold a finished worker's record into this run.
+
+        The worker's event timestamps and span starts are rebased from
+        its ``wall_base`` onto this recorder's, its tree is appended
+        behind the existing nodes (worker roots stay roots), and its
+        counters/gauges/histograms/span aggregates merge with the same
+        semantics as :func:`repro.obs.record.merge_records`.
+        """
+        offset = record.wall_base - self._wall_base
+        with self._lock:
+            self._meta.update(record.meta)
+            for name, value in record.counters.items():
+                self._counters[name] = self._counters.get(name, 0) + value
+            for name, stats in record.gauges.items():
+                self._metrics.merge_gauge(
+                    name, GaugeStats(stats.value, stats.at + offset)
+                )
+            for name, hist in record.histograms.items():
+                self._metrics.merge_histogram(name, hist)
+            for name, span_stats in record.spans.items():
+                current = self._spans.get(name)
+                if current is None:
+                    self._spans[name] = span_stats
+                else:
+                    self._spans[name] = SpanStats(
+                        current.seconds + span_stats.seconds,
+                        current.calls + span_stats.calls,
+                    )
+            self._tree.extend(
+                rebase_nodes(record.tree, offset, len(self._tree))
             )
+            self._events.extend(
+                EventRecord(event.name, event.at + offset, dict(event.fields))
+                for event in record.events
+            )
+
+    def _span_stack(self) -> List[int]:
+        stack = getattr(self._stack, "open", None)
+        if stack is None:
+            stack = []
+            self._stack.open = stack
+        return stack
+
+    def _enter_span(
+        self, name: str, attrs: Dict[str, object]
+    ) -> Tuple[float, int]:
+        start = self._clock() - self._t0
+        stack = self._span_stack()
+        parent = stack[-1] if stack else -1
+        with self._lock:
+            index = len(self._tree)
+            self._tree.append(SpanNode(name, start, 0.0, parent, dict(attrs)))
+        stack.append(index)
+        return start, index
+
+    def _exit_span(self, name: str, start: float, index: int) -> None:
+        seconds = self._clock() - self._t0 - start
+        stack = self._span_stack()
+        if stack and stack[-1] == index:
+            stack.pop()
+        with self._lock:
+            self._tree[index].seconds = seconds
+            stats = self._spans.get(name)
+            if stats is None:
+                self._spans[name] = SpanStats(seconds, 1)
+            else:
+                self._spans[name] = SpanStats(
+                    stats.seconds + seconds, stats.calls + 1
+                )
 
     @property
     def counters(self) -> Dict[str, int]:
         """Current counter values (live view as a copy)."""
-        return dict(self._counters)
+        with self._lock:
+            return dict(self._counters)
 
     def counter(self, name: str, default: int = 0) -> int:
         """One counter's current value."""
-        return self._counters.get(name, default)
+        with self._lock:
+            return self._counters.get(name, default)
 
     def record(self) -> RunRecord:
         """Snapshot everything captured so far as a :class:`RunRecord`."""
-        return RunRecord(
-            kind=self.kind,
-            meta=dict(self._meta),
-            counters=dict(self._counters),
-            spans=dict(self._spans),
-            events=list(self._events),
-            wall_seconds=self._clock() - self._t0,
+        wall_seconds = self._clock() - self._t0
+        with self._lock:
+            return RunRecord(
+                kind=self.kind,
+                meta=dict(self._meta),
+                counters=dict(self._counters),
+                gauges=self._metrics.gauges(),
+                histograms=self._metrics.histograms(),
+                spans=dict(self._spans),
+                tree=[
+                    SpanNode(
+                        node.name,
+                        node.start,
+                        node.seconds,
+                        node.parent,
+                        dict(node.attrs),
+                    )
+                    for node in self._tree
+                ],
+                events=list(self._events),
+                wall_seconds=wall_seconds,
+                wall_base=self._wall_base,
+            )
+
+
+def _rss_kib() -> int:
+    """The process's peak resident set size, in KiB (0 if unknowable).
+
+    ``ru_maxrss`` is KiB on Linux and bytes on macOS; normalise to KiB.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platforms
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - platform-specific
+        peak //= 1024
+    return int(peak)
+
+
+class ProgressEmitter:
+    """Throttled live-progress heartbeats for long-running fixpoints.
+
+    Engines create one per loop and call :meth:`tick` every round (or
+    every few thousand expansions); the emitter rate-limits the actual
+    reporting so hot loops stay hot.  Each emitted heartbeat is a
+    ``progress.<name>`` event carrying the round index, the current
+    frontier size, cumulative states processed, the states/second rate
+    since the loop started, and the sampled peak RSS — plus a
+    ``proc.rss.kib`` gauge so the memory high-water mark survives into
+    the merged record.
+
+    The first tick always emits (so short runs and deterministic tests
+    still see one heartbeat); later ticks emit at most once per
+    ``interval`` seconds.  When ``instrumentation`` is the null object
+    the emitter disables itself entirely — check :attr:`enabled` to
+    skip even the tick call in the hottest loops.
+
+    Args:
+        instrumentation: where heartbeats go.
+        name: the loop's name; events are ``progress.<name>``.
+        interval: minimum seconds between emitted heartbeats.
+        clock: injectable monotonic time source for tests.
+    """
+
+    __slots__ = ("enabled", "_instrumentation", "_name", "_interval",
+                 "_clock", "_start", "_last")
+
+    def __init__(
+        self,
+        instrumentation: Instrumentation,
+        name: str,
+        interval: float = 0.5,
+        clock: Callable[[], float] = time.perf_counter,
+    ):
+        self.enabled = not _is_null(instrumentation)
+        self._instrumentation = instrumentation
+        self._name = name
+        self._interval = interval
+        self._clock = clock
+        self._start = clock() if self.enabled else 0.0
+        self._last: Optional[float] = None
+
+    def tick(self, round_index: int, frontier: int, states: int) -> None:
+        """Report progress; emits only when the throttle allows.
+
+        Args:
+            round_index: the current round / iteration number.
+            frontier: current frontier (or pending-work) size.
+            states: cumulative states processed so far.
+        """
+        if not self.enabled:
+            return
+        now = self._clock()
+        if self._last is not None and now - self._last < self._interval:
+            return
+        self._last = now
+        elapsed = now - self._start
+        rate = states / elapsed if elapsed > 0 else 0.0
+        rss = _rss_kib()
+        self._instrumentation.event(
+            f"progress.{self._name}",
+            round=round_index,
+            frontier=frontier,
+            states=states,
+            states_per_sec=round(rate, 1),
+            rss_kib=rss,
         )
+        self._instrumentation.gauge("proc.rss.kib", rss)
+
+
+class ProgressTicker(Instrumentation):
+    """Renders ``progress.*`` heartbeat events as live ticker lines.
+
+    Attach it (usually inside a :class:`TeeInstrumentation`, next to a
+    :class:`Recorder`) to get one stderr line per heartbeat::
+
+        [check.fixpoint] frontier=152 round=3 rss_kib=81532 ...
+
+    Every other verb is inherited null behaviour, so the ticker is
+    safe to compose into any instrumented run.
+
+    Args:
+        stream: where to write (default: current ``sys.stderr``,
+            resolved at write time so pytest capture works).
+    """
+
+    __slots__ = ("_stream",)
+
+    def __init__(self, stream: Optional[IO[str]] = None):
+        self._stream = stream
+
+    def event(self, name: str, /, **fields: object) -> None:
+        if not name.startswith("progress."):
+            return
+        stream = self._stream if self._stream is not None else sys.stderr
+        rendered = " ".join(
+            f"{key}={fields[key]}" for key in sorted(fields)
+        )
+        print(
+            f"[{name[len('progress.'):]}] {rendered}",
+            file=stream,
+            flush=True,
+        )
+
+
+class _TeeSpan:
+    """Context manager fanning one span out to several children."""
+
+    __slots__ = ("_spans",)
+
+    def __init__(self, spans: Sequence[object]):
+        self._spans = spans
+
+    def __enter__(self) -> "_TeeSpan":
+        for span in self._spans:
+            span.__enter__()  # type: ignore[attr-defined]
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        for span in reversed(self._spans):
+            span.__exit__(*exc_info)  # type: ignore[attr-defined]
+        return False
+
+
+class TeeInstrumentation(Instrumentation):
+    """Fans every verb out to several instrumentations.
+
+    Used by the CLI to drive a :class:`Recorder` (for ``--obs-out``)
+    and a :class:`ProgressTicker` (for ``--progress``) from the same
+    run without the engines knowing.
+    """
+
+    __slots__ = ("_sinks",)
+
+    def __init__(self, *sinks: Instrumentation):
+        self._sinks = tuple(sinks)
+
+    def count(self, name: str, delta: int = 1) -> None:
+        for sink in self._sinks:
+            sink.count(name, delta)
+
+    def gauge(self, name: str, value: float) -> None:
+        for sink in self._sinks:
+            sink.gauge(name, value)
+
+    def observe(self, name: str, value: float) -> None:
+        for sink in self._sinks:
+            sink.observe(name, value)
+
+    def event(self, name: str, /, **fields: object) -> None:
+        for sink in self._sinks:
+            sink.event(name, **fields)
+
+    def span(self, name: str, /, **attrs: object) -> _TeeSpan:
+        return _TeeSpan([sink.span(name, **attrs) for sink in self._sinks])
+
+    def annotate(self, **fields: object) -> None:
+        for sink in self._sinks:
+            sink.annotate(**fields)
+
+    def absorb(self, record: RunRecord) -> None:
+        for sink in self._sinks:
+            sink.absorb(record)

@@ -1,22 +1,34 @@
 """Run records and their JSONL persistence.
 
 A :class:`RunRecord` is the durable artifact of an instrumented run:
-metadata, monotonic counters, aggregated span timings, and the ordered
-event log.  Records serialize to JSON Lines — one self-describing
-object per line, distinguished by a ``"t"`` tag::
+metadata, monotonic counters, gauges, histograms, aggregated span
+timings, the hierarchical span tree, and the ordered event log.
+Records serialize to JSON Lines — one self-describing object per
+line, distinguished by a ``"t"`` tag::
 
-    {"t": "run", "kind": "check", "wall_seconds": 0.012, "meta": {...}}
+    {"t": "run", "kind": "check", "wall_seconds": 0.012,
+     "wall_base": 1754556000.2, "meta": {...}}
     {"t": "counter", "name": "check.states.enumerated", "value": 64}
+    {"t": "gauge", "name": "proc.rss.kib", "value": 81532, "at": 0.01}
+    {"t": "hist", "name": "check.frontier.size",
+     "bounds": [1.0, 2.0], "counts": [3, 1, 0], "total": 5.0, "count": 4}
     {"t": "span", "name": "check.core", "seconds": 0.008, "calls": 1}
+    {"t": "span-node", "name": "check.core", "start": 0.002,
+     "seconds": 0.008, "parent": 0, "attrs": {}}
     {"t": "event", "name": "check.fixpoint.iteration", "at": 0.004,
      "fields": {"index": 1, "evicted": 3}}
 
-A ``"run"`` line opens a record; the counter/span/event lines that
-follow attach to it, so one file can archive several runs back to
-back.  The same tagged-line convention is used by
+A ``"run"`` line opens a record; the lines that follow attach to it,
+so one file can archive several runs back to back.  ``wall_base`` is
+the absolute epoch time of the record's clock zero: event ``at``
+offsets and span ``start`` offsets are relative to it, which is what
+lets records from several worker processes merge into one coherent
+timeline (:func:`merge_records`).  ``span-node`` lines appear in enter
+order; their ``parent`` indices refer to positions in that order.
+The same tagged-line convention is used by
 :meth:`repro.simulation.trace.Trace.to_jsonl`, which lets ``repro
 report`` summarize run records and archived traces from the same file
-format.
+format — readers skip tags they do not know.
 """
 
 from __future__ import annotations
@@ -24,15 +36,23 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Union
+from typing import Dict, Iterable, List, Sequence, Union
 
 from ..core.errors import ReproError
+from .registry import (
+    GaugeStats,
+    HistogramStats,
+    merge_gauges,
+    merge_histograms,
+)
+from .trace import SpanNode, rebase_nodes
 
 __all__ = [
     "SpanStats",
     "EventRecord",
     "RunRecord",
     "RunRecordError",
+    "merge_records",
     "write_jsonl",
     "append_jsonl_line",
     "load_tagged_lines",
@@ -64,7 +84,7 @@ class EventRecord:
 
     Attributes:
         name: event name (dotted, e.g. ``"sim.progress"``).
-        at: seconds since the recorder was created.
+        at: seconds since the record's clock base (``wall_base``).
         fields: JSON-safe payload.
     """
 
@@ -82,29 +102,48 @@ class RunRecord:
             ``"simulate"``, ``"ring"``, ...).
         meta: run-level annotations (program name, seed, flags).
         counters: monotonic counter totals.
-        spans: per-phase aggregated timings.
+        gauges: last-value metrics with their sample offsets.
+        histograms: fixed-bucket distributions.
+        spans: per-phase aggregated timings (flat, by name).
+        tree: the hierarchical span instances, in enter order.
         events: the ordered event log.
         wall_seconds: total wall time of the run.
+        wall_base: absolute epoch seconds of the record's clock zero;
+            ``0.0`` on legacy records that predate cross-process
+            merging.
     """
 
     kind: str
     meta: Dict[str, object] = field(default_factory=dict)
     counters: Dict[str, int] = field(default_factory=dict)
+    gauges: Dict[str, GaugeStats] = field(default_factory=dict)
+    histograms: Dict[str, HistogramStats] = field(default_factory=dict)
     spans: Dict[str, SpanStats] = field(default_factory=dict)
+    tree: List[SpanNode] = field(default_factory=list)
     events: List[EventRecord] = field(default_factory=list)
     wall_seconds: float = 0.0
+    wall_base: float = 0.0
 
     def to_dict(self) -> Dict[str, object]:
         """A plain-JSON view (used by the benchmark metrics sink)."""
         return {
             "kind": self.kind,
             "wall_seconds": self.wall_seconds,
+            "wall_base": self.wall_base,
             "meta": dict(self.meta),
             "counters": dict(self.counters),
+            "gauges": {
+                name: {"value": stats.value, "at": stats.at}
+                for name, stats in self.gauges.items()
+            },
+            "histograms": {
+                name: stats.to_dict() for name, stats in self.histograms.items()
+            },
             "spans": {
                 name: {"seconds": stats.seconds, "calls": stats.calls}
                 for name, stats in self.spans.items()
             },
+            "tree": [node.to_dict() for node in self.tree],
             "events": [
                 {"name": event.name, "at": event.at, "fields": dict(event.fields)}
                 for event in self.events
@@ -119,6 +158,7 @@ class RunRecord:
                     "t": "run",
                     "kind": self.kind,
                     "wall_seconds": self.wall_seconds,
+                    "wall_base": self.wall_base,
                     "meta": self.meta,
                 },
                 sort_keys=True,
@@ -131,19 +171,40 @@ class RunRecord:
                     sort_keys=True,
                 )
             )
+        for name in sorted(self.gauges):
+            stats = self.gauges[name]
+            lines.append(
+                json.dumps(
+                    {
+                        "t": "gauge",
+                        "name": name,
+                        "value": stats.value,
+                        "at": stats.at,
+                    },
+                    sort_keys=True,
+                )
+            )
+        for name in sorted(self.histograms):
+            payload: Dict[str, object] = {"t": "hist", "name": name}
+            payload.update(self.histograms[name].to_dict())
+            lines.append(json.dumps(payload, sort_keys=True))
         for name in sorted(self.spans):
-            stats = self.spans[name]
+            span_stats = self.spans[name]
             lines.append(
                 json.dumps(
                     {
                         "t": "span",
                         "name": name,
-                        "seconds": stats.seconds,
-                        "calls": stats.calls,
+                        "seconds": span_stats.seconds,
+                        "calls": span_stats.calls,
                     },
                     sort_keys=True,
                 )
             )
+        for node in self.tree:
+            node_payload: Dict[str, object] = {"t": "span-node"}
+            node_payload.update(node.to_dict())
+            lines.append(json.dumps(node_payload, sort_keys=True))
         for event in self.events:
             lines.append(
                 json.dumps(
@@ -157,6 +218,104 @@ class RunRecord:
                 )
             )
         return lines
+
+
+def _record_sort_key(record: RunRecord) -> "tuple[float, str, str]":
+    """A deterministic total order over records, for commutative merges."""
+    return (
+        record.wall_base,
+        record.kind,
+        json.dumps(record.meta, sort_keys=True, default=str),
+    )
+
+
+def _event_sort_key(event: EventRecord) -> "tuple[float, str, str]":
+    return (
+        event.at,
+        event.name,
+        json.dumps(event.fields, sort_keys=True, default=str),
+    )
+
+
+def merge_records(records: Sequence[RunRecord], kind: str = "") -> RunRecord:
+    """Deterministically combine per-process records into one.
+
+    The merge is **commutative and associative up to the sort**: the
+    inputs are first ordered by ``(wall_base, kind, meta)``, so
+    ``merge([A, B]) == merge([B, A])`` field for field.  Semantics per
+    family:
+
+    * ``counters`` and ``histograms`` sum; ``spans`` aggregate
+      (seconds and call counts add);
+    * ``gauges`` keep the sample with the latest *absolute* timestamp
+      (``wall_base + at``), value tie-break;
+    * ``events`` and span ``tree`` nodes are rebased onto the earliest
+      ``wall_base`` and interleaved in absolute-time order (stable
+      name/fields tie-break for events, record order for tree nodes so
+      parent links stay valid);
+    * ``wall_base`` becomes the earliest base and ``wall_seconds`` the
+      covered envelope ``max(base + wall) - min(base)``.
+
+    Args:
+        records: the records to merge (at least one).
+        kind: the merged record's kind; defaults to the first record's
+            (in sorted order).
+
+    Raises:
+        RunRecordError: on an empty sequence or diverging histogram
+            bucket bounds.
+    """
+    if not records:
+        raise RunRecordError("cannot merge zero run records")
+    ordered = sorted(records, key=_record_sort_key)
+    base = min(record.wall_base for record in ordered)
+    merged = RunRecord(
+        kind=kind or ordered[0].kind,
+        wall_base=base,
+        wall_seconds=max(
+            record.wall_base + record.wall_seconds for record in ordered
+        )
+        - base,
+    )
+    for record in ordered:
+        offset = record.wall_base - base
+        merged.meta.update(record.meta)
+        for name, value in record.counters.items():
+            merged.counters[name] = merged.counters.get(name, 0) + value
+        for name, span_stats in record.spans.items():
+            current = merged.spans.get(name)
+            if current is None:
+                merged.spans[name] = span_stats
+            else:
+                merged.spans[name] = SpanStats(
+                    current.seconds + span_stats.seconds,
+                    current.calls + span_stats.calls,
+                )
+        shift = len(merged.tree)
+        merged.tree.extend(rebase_nodes(record.tree, offset, shift))
+        merged.events.extend(
+            EventRecord(event.name, event.at + offset, dict(event.fields))
+            for event in record.events
+        )
+    merged.events.sort(key=_event_sort_key)
+    try:
+        merged.gauges = merge_gauges(
+            [
+                {
+                    name: GaugeStats(
+                        stats.value, stats.at + record.wall_base - base
+                    )
+                    for name, stats in record.gauges.items()
+                }
+                for record in ordered
+            ]
+        )
+        merged.histograms = merge_histograms(
+            [record.histograms for record in ordered]
+        )
+    except ValueError as exc:
+        raise RunRecordError(str(exc))
+    return merged
 
 
 def write_jsonl(
@@ -222,14 +381,15 @@ def loads_jsonl(text: str) -> List[RunRecord]:
     """Parse run records out of JSONL text.
 
     Lines with unknown tags (e.g. archived trace lines) are skipped so
-    mixed files remain loadable; counter/span/event lines appearing
-    before any ``"run"`` line are an error.
+    mixed files remain loadable; record lines appearing before any
+    ``"run"`` line are an error.
 
     Raises:
         RunRecordError: on malformed JSON or an orphaned record line.
     """
     records: List[RunRecord] = []
     current: Union[RunRecord, None] = None
+    known = ("counter", "gauge", "hist", "span", "span-node", "event")
     for index, line in enumerate(text.splitlines(), start=1):
         line = line.strip()
         if not line:
@@ -246,19 +406,41 @@ def loads_jsonl(text: str) -> List[RunRecord]:
                 kind=str(payload.get("kind", "run")),
                 meta=dict(payload.get("meta", {})),
                 wall_seconds=float(payload.get("wall_seconds", 0.0)),
+                wall_base=float(payload.get("wall_base", 0.0)),
             )
             records.append(current)
             continue
-        if tag in ("counter", "span", "event"):
+        if tag in known:
             if current is None:
                 raise RunRecordError(
                     f"line {index}: {tag!r} line before any 'run' line"
                 )
             if tag == "counter":
                 current.counters[str(payload["name"])] = int(payload["value"])
+            elif tag == "gauge":
+                current.gauges[str(payload["name"])] = GaugeStats(
+                    float(payload["value"]), float(payload.get("at", 0.0))
+                )
+            elif tag == "hist":
+                current.histograms[str(payload["name"])] = HistogramStats(
+                    tuple(float(b) for b in payload["bounds"]),
+                    tuple(int(c) for c in payload["counts"]),
+                    float(payload.get("total", 0.0)),
+                    int(payload.get("count", 0)),
+                )
             elif tag == "span":
                 current.spans[str(payload["name"])] = SpanStats(
                     float(payload["seconds"]), int(payload["calls"])
+                )
+            elif tag == "span-node":
+                current.tree.append(
+                    SpanNode(
+                        str(payload["name"]),
+                        float(payload.get("start", 0.0)),
+                        float(payload.get("seconds", 0.0)),
+                        int(payload.get("parent", -1)),
+                        dict(payload.get("attrs", {})),
+                    )
                 )
             else:
                 current.events.append(

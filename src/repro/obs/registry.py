@@ -1,0 +1,247 @@
+"""Gauges and fixed-bucket histograms — the metrics registry.
+
+Counters (monotonic sums) have been part of the instrumentation
+protocol since PR 1; this module adds the two metric families the
+convergence-distribution workloads need:
+
+* **gauges** — "last value wins" measurements (sampled RSS, current
+  frontier size).  A gauge remembers *when* it was last set (seconds
+  since the recorder's creation) so that merging records from several
+  worker processes can pick the latest sample deterministically.
+* **histograms** — fixed-bucket distributions (convergence rounds,
+  frontier sizes, successor fan-out).  Buckets are cumulative-style
+  upper bounds, Prometheus-compatible: ``counts[i]`` counts the
+  observations ``<= bounds[i]`` and ``counts[-1]`` is the overflow
+  bucket (``+Inf``).  Bucket bounds are fixed at the first
+  observation, so merging is a plain element-wise sum.
+
+The :class:`MetricsRegistry` is the mutable store a
+:class:`~repro.obs.instrument.Recorder` owns; the frozen snapshots
+(:class:`GaugeStats`, :class:`HistogramStats`) live on the
+:class:`~repro.obs.record.RunRecord`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "GaugeStats",
+    "HistogramStats",
+    "MetricsRegistry",
+    "merge_gauges",
+    "merge_histograms",
+]
+
+#: Default histogram bucket upper bounds: powers of two up to 2^20.
+#: Wide enough for round counts, frontier sizes, and per-state fan-out
+#: without per-metric tuning; observations above the last bound land in
+#: the overflow (+Inf) bucket.
+DEFAULT_BUCKETS: Tuple[float, ...] = tuple(float(2**i) for i in range(21))
+
+
+@dataclass(frozen=True)
+class GaugeStats:
+    """One gauge's last-set value.
+
+    Attributes:
+        value: the most recent sample.
+        at: seconds (relative to the owning record's clock base) when
+            the sample was taken — the merge tie-breaker.
+    """
+
+    value: float
+    at: float
+
+
+@dataclass(frozen=True)
+class HistogramStats:
+    """A frozen fixed-bucket distribution snapshot.
+
+    Attributes:
+        bounds: ascending bucket upper bounds (inclusive); the implicit
+            final bucket is ``+Inf``.
+        counts: per-bucket observation counts, ``len(bounds) + 1`` long
+            (the last entry is the overflow bucket).
+        total: sum of every observed value.
+        count: number of observations.
+    """
+
+    bounds: Tuple[float, ...]
+    counts: Tuple[int, ...]
+    total: float
+    count: int
+
+    def cumulative(self) -> Tuple[int, ...]:
+        """Prometheus-style cumulative bucket counts (``le`` semantics)."""
+        running = 0
+        out: List[int] = []
+        for value in self.counts:
+            running += value
+            out.append(running)
+        return tuple(out)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "total": self.total,
+            "count": self.count,
+        }
+
+
+class _Histogram:
+    """The mutable accumulation behind one histogram name."""
+
+    __slots__ = ("bounds", "counts", "total", "count")
+
+    def __init__(self, bounds: Sequence[float]):
+        ordered = tuple(float(bound) for bound in bounds)
+        if not ordered or any(
+            upper <= lower for upper, lower in zip(ordered[1:], ordered)
+        ):
+            raise ValueError(
+                f"histogram bounds must be ascending and non-empty, got {ordered}"
+            )
+        self.bounds = ordered
+        self.counts = [0] * (len(ordered) + 1)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        index = len(self.bounds)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                index = i
+                break
+        self.counts[index] += 1
+        self.total += value
+        self.count += 1
+
+    def snapshot(self) -> HistogramStats:
+        return HistogramStats(
+            self.bounds, tuple(self.counts), self.total, self.count
+        )
+
+
+class MetricsRegistry:
+    """The recorder-side store for gauges and histograms.
+
+    Not thread-safe on its own: the owning
+    :class:`~repro.obs.instrument.Recorder` serializes access under its
+    lock (one registry is only ever written through one recorder).
+    """
+
+    __slots__ = ("_gauges", "_histograms")
+
+    def __init__(self) -> None:
+        self._gauges: Dict[str, GaugeStats] = {}
+        self._histograms: Dict[str, _Histogram] = {}
+
+    def set_gauge(self, name: str, value: float, at: float) -> None:
+        """Record the latest sample of gauge ``name``."""
+        self._gauges[name] = GaugeStats(float(value), at)
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        bounds: Optional[Sequence[float]] = None,
+    ) -> None:
+        """Add one observation to histogram ``name``.
+
+        The first observation fixes the bucket bounds
+        (:data:`DEFAULT_BUCKETS` unless ``bounds`` is given); later
+        ``bounds`` arguments are ignored so hot loops do not have to
+        thread bucket configuration through every call.
+        """
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = _Histogram(bounds if bounds is not None else DEFAULT_BUCKETS)
+            self._histograms[name] = histogram
+        histogram.observe(float(value))
+
+    def merge_gauge(self, name: str, stats: GaugeStats) -> None:
+        """Fold a foreign gauge snapshot in (latest ``at`` wins)."""
+        current = self._gauges.get(name)
+        if current is None or _gauge_order(stats) > _gauge_order(current):
+            self._gauges[name] = stats
+
+    def merge_histogram(self, name: str, stats: HistogramStats) -> None:
+        """Fold a foreign histogram snapshot in (element-wise sum)."""
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = _Histogram(stats.bounds)
+            self._histograms[name] = histogram
+        elif histogram.bounds != stats.bounds:
+            raise ValueError(
+                f"histogram {name!r} bucket bounds diverge: "
+                f"{histogram.bounds} != {stats.bounds}"
+            )
+        for index, count in enumerate(stats.counts):
+            histogram.counts[index] += count
+        histogram.total += stats.total
+        histogram.count += stats.count
+
+    def gauges(self) -> Dict[str, GaugeStats]:
+        return dict(self._gauges)
+
+    def histograms(self) -> Dict[str, HistogramStats]:
+        return {
+            name: histogram.snapshot()
+            for name, histogram in self._histograms.items()
+        }
+
+
+def _gauge_order(stats: GaugeStats) -> Tuple[float, float]:
+    """Total order for "which gauge sample is newer" (value tie-break)."""
+    return (stats.at, stats.value)
+
+
+def merge_gauges(
+    sides: Sequence[Dict[str, GaugeStats]],
+) -> Dict[str, GaugeStats]:
+    """Combine gauge maps: per name, the sample with the latest ``at``.
+
+    The ``at`` values must share a time base (the caller rebases worker
+    records onto the parent's ``wall_base`` before merging).  The value
+    tie-break makes the fold commutative even for equal timestamps.
+    """
+    merged: Dict[str, GaugeStats] = {}
+    for side in sides:
+        for name, stats in side.items():
+            current = merged.get(name)
+            if current is None or _gauge_order(stats) > _gauge_order(current):
+                merged[name] = stats
+    return merged
+
+
+def merge_histograms(
+    sides: Sequence[Dict[str, HistogramStats]],
+) -> Dict[str, HistogramStats]:
+    """Combine histogram maps by element-wise bucket sums.
+
+    Raises:
+        ValueError: when two sides disagree on a histogram's bounds.
+    """
+    merged: Dict[str, HistogramStats] = {}
+    for side in sides:
+        for name, stats in side.items():
+            current = merged.get(name)
+            if current is None:
+                merged[name] = stats
+                continue
+            if current.bounds != stats.bounds:
+                raise ValueError(
+                    f"histogram {name!r} bucket bounds diverge: "
+                    f"{current.bounds} != {stats.bounds}"
+                )
+            merged[name] = HistogramStats(
+                current.bounds,
+                tuple(a + b for a, b in zip(current.counts, stats.counts)),
+                current.total + stats.total,
+                current.count + stats.count,
+            )
+    return merged

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Dict, List
 
 from .record import RunRecord, loads_jsonl
+from .trace import render_span_tree
 
 __all__ = ["summarize_record", "summarize_text"]
 
@@ -42,6 +43,22 @@ def summarize_record(record: RunRecord, events: bool = False) -> str:
         width = max(len(name) for name in record.counters)
         for name in sorted(record.counters):
             lines.append(f"    {name.ljust(width)}  {record.counters[name]}")
+    if record.gauges:
+        lines.append("  gauges:")
+        width = max(len(name) for name in record.gauges)
+        for name in sorted(record.gauges):
+            lines.append(
+                f"    {name.ljust(width)}  {record.gauges[name].value:g}"
+            )
+    if record.histograms:
+        lines.append("  histograms:")
+        for name in sorted(record.histograms):
+            stats = record.histograms[name]
+            mean = stats.total / stats.count if stats.count else 0.0
+            lines.append(
+                f"    {name}  n={stats.count} mean={mean:.2f} "
+                f"total={stats.total:g}"
+            )
     if record.spans:
         lines.append("  phases:")
         width = max(len(name) for name in record.spans)
@@ -52,6 +69,10 @@ def summarize_record(record: RunRecord, events: bool = False) -> str:
                 f"    {name.ljust(width)}  "
                 f"{_format_seconds(stats.seconds)}{suffix}"
             )
+    if record.tree:
+        lines.append("  trace:")
+        for tree_line in render_span_tree(record.tree).splitlines():
+            lines.append(f"    {tree_line}")
     if record.events:
         if events:
             lines.append("  events:")

@@ -1,0 +1,123 @@
+"""The hierarchical span tree behind a run record.
+
+PR 1's spans were flat per-name aggregates (total seconds + call
+count); those aggregates remain — they are what the summary report and
+the long-lived metrics files key on — but every span *instance* is now
+additionally recorded as a :class:`SpanNode` in a trace tree, carrying
+its start offset, duration, nesting parent, and per-span attributes.
+
+The tree is stored flat, in **enter order**, with parent links as
+indices into the same list (``-1`` marks a root).  Enter order makes
+the representation appendable while spans are still open (a node is
+created on ``__enter__`` and its duration filled on ``__exit__``), is
+trivially JSONL-serializable, and guarantees a parent always precedes
+its children — the property :func:`render_span_tree` and the Chrome
+``trace_event`` exporter rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+__all__ = ["SpanNode", "render_span_tree", "rebase_nodes"]
+
+
+@dataclass
+class SpanNode:
+    """One timed span instance in the trace tree.
+
+    Attributes:
+        name: the span name (dotted phase name, e.g. ``"check.core"``).
+        start: seconds since the owning record's clock base when the
+            span was entered.
+        seconds: the span's duration (``0.0`` while still open).
+        parent: index of the enclosing span in the flat node list, or
+            ``-1`` for a root span.
+        attrs: JSON-safe per-span attributes (batch sizes, engine
+            names, round indices).
+    """
+
+    name: str
+    start: float
+    seconds: float = 0.0
+    parent: int = -1
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "start": self.start,
+            "seconds": self.seconds,
+            "parent": self.parent,
+            "attrs": dict(self.attrs),
+        }
+
+
+def rebase_nodes(
+    nodes: Sequence[SpanNode], offset: float, parent_shift: int
+) -> List[SpanNode]:
+    """Copies of ``nodes`` shifted in time and in parent-index space.
+
+    Used when folding a worker's span tree into a parent record:
+    ``offset`` moves the start times onto the parent's clock base and
+    ``parent_shift`` re-anchors the parent indices after the worker's
+    nodes are appended behind the parent's existing ones.  Roots stay
+    roots.
+    """
+    return [
+        SpanNode(
+            node.name,
+            node.start + offset,
+            node.seconds,
+            node.parent if node.parent < 0 else node.parent + parent_shift,
+            dict(node.attrs),
+        )
+        for node in nodes
+    ]
+
+
+def render_span_tree(nodes: Sequence[SpanNode], indent: str = "  ") -> str:
+    """An indented text rendering of the span tree, in enter order.
+
+    Example::
+
+        check.total  12.480 ms
+          check.legitimate  1.204 ms
+          check.core  9.911 ms  {rounds: 4}
+    """
+    children: Dict[int, List[int]] = {}
+    roots: List[int] = []
+    for index, node in enumerate(nodes):
+        if node.parent < 0:
+            roots.append(index)
+        else:
+            children.setdefault(node.parent, []).append(index)
+    lines: List[str] = []
+
+    def visit(index: int, depth: int) -> None:
+        node = nodes[index]
+        rendered_attrs = ""
+        if node.attrs:
+            inner = ", ".join(
+                f"{key}: {node.attrs[key]!r}" for key in sorted(node.attrs)
+            )
+            rendered_attrs = f"  {{{inner}}}"
+        lines.append(
+            f"{indent * depth}{node.name}  "
+            f"{_format_seconds(node.seconds)}{rendered_attrs}"
+        )
+        for child in children.get(index, ()):
+            visit(child, depth + 1)
+
+    for root in roots:
+        visit(root, 0)
+    return "\n".join(lines)
+
+
+def _format_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.3f} s"
+    if seconds >= 0.001:
+        return f"{seconds * 1e3:.3f} ms"
+    return f"{seconds * 1e6:.1f} us"

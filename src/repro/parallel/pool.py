@@ -24,13 +24,34 @@ Consequences callers must respect:
 from __future__ import annotations
 
 import multiprocessing
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, TypeVar
+from contextlib import contextmanager
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
+
+from ..obs import (
+    NULL_INSTRUMENTATION,
+    Instrumentation,
+    NullInstrumentation,
+    Recorder,
+    RunRecord,
+)
 
 __all__ = [
     "WorkerPool",
     "parallel_available",
     "resolve_workers",
     "worker_context",
+    "worker_instrumentation",
+    "using_worker_instrumentation",
     "contiguous_chunks",
     "shard_batches",
 ]
@@ -44,10 +65,58 @@ R = TypeVar("R")
 #: running in the children.
 _WORKER_CONTEXT: Dict[str, object] = {}
 
+#: The instrumentation worker-side task code reports through.  In the
+#: parent (and in sequential fallbacks) it is whatever the driver
+#: installed with :func:`using_worker_instrumentation`; inside an
+#: observed pool task it is the per-batch :class:`Recorder` staged by
+#: :func:`_observed_task`.  Defaults to the null object, so task code
+#: can always call :func:`worker_instrumentation` unconditionally.
+_WORKER_INSTRUMENTATION: List[Instrumentation] = [NULL_INSTRUMENTATION]
+
 
 def worker_context() -> Dict[str, object]:
     """The live context mapping (parent: staging; child: inherited)."""
     return _WORKER_CONTEXT
+
+
+def worker_instrumentation() -> Instrumentation:
+    """The instrumentation task code in this process reports through."""
+    return _WORKER_INSTRUMENTATION[0]
+
+
+@contextmanager
+def using_worker_instrumentation(
+    instrumentation: Instrumentation,
+) -> Iterator[Instrumentation]:
+    """Install ``instrumentation`` as this process's worker sink.
+
+    Sequential drivers (and the campaign's in-process executor) use
+    this so the same task code reports to the run's recorder whether
+    it runs forked or inline; the previous sink is restored on exit.
+    """
+    previous = _WORKER_INSTRUMENTATION[0]
+    _WORKER_INSTRUMENTATION[0] = instrumentation
+    try:
+        yield instrumentation
+    finally:
+        _WORKER_INSTRUMENTATION[0] = previous
+
+
+def _observed_task(
+    payload: "Tuple[Callable[[T], R], T]",
+) -> "Tuple[R, RunRecord]":
+    """Run one task batch under a fresh worker-side recorder.
+
+    Executes in the child: the per-batch :class:`Recorder` (with its
+    own absolute ``wall_base``) is installed as the worker sink for the
+    duration of the task, then snapshotted and shipped back over the
+    result channel next to the task's own result.
+    """
+    task, batch = payload
+    recorder = Recorder(kind="worker")
+    with using_worker_instrumentation(recorder):
+        result = task(batch)
+    return result, recorder.record()
 
 
 def parallel_available() -> bool:
@@ -132,6 +201,37 @@ class WorkerPool:
         if self._pool is None:
             raise RuntimeError("WorkerPool used outside its context")
         return self._pool.map(task, batches)  # type: ignore[attr-defined]
+
+    def map_observed(
+        self,
+        task: Callable[[T], R],
+        batches: Sequence[T],
+        instrumentation: Instrumentation,
+    ) -> List[R]:
+        """Like :meth:`map`, but collect worker telemetry.
+
+        Each batch runs under a fresh worker-side :class:`Recorder`
+        (see :func:`_observed_task`); the per-batch records travel
+        back with the results and are folded into ``instrumentation``
+        via ``absorb`` — deterministically, in batch order.  With the
+        null instrumentation this is exactly :meth:`map`: no wrapper,
+        no recorder, no extra pickling.
+
+        ``task`` must be a module-level function (it crosses the task
+        queue by reference, like every pool task).
+        """
+        if type(instrumentation) in (Instrumentation, NullInstrumentation):
+            return self.map(task, batches)
+        if self._pool is None:
+            raise RuntimeError("WorkerPool used outside its context")
+        pairs = self._pool.map(  # type: ignore[attr-defined]
+            _observed_task, [(task, batch) for batch in batches]
+        )
+        results: List[R] = []
+        for result, record in pairs:
+            instrumentation.absorb(record)
+            results.append(result)
+        return results
 
     def imap_unordered(
         self, task: Callable[[T], R], items: Sequence[T]

@@ -47,8 +47,14 @@ from typing import (
 from ..checker.budget import BudgetMeter
 from ..core.state import State
 from ..core.system import System, Transition
-from ..obs import NULL_INSTRUMENTATION, Instrumentation
-from .pool import WorkerPool, contiguous_chunks, shard_batches, worker_context
+from ..obs import NULL_INSTRUMENTATION, Instrumentation, ProgressEmitter
+from .pool import (
+    WorkerPool,
+    contiguous_chunks,
+    shard_batches,
+    worker_context,
+    worker_instrumentation,
+)
 
 __all__ = [
     "parallel_reachable",
@@ -65,13 +71,20 @@ _BATCHES_PER_WORKER = 4
 def _expand_batch(states: List[State]) -> List[State]:
     """Worker task: successors of a batch, deduplicated batch-locally."""
     system: System = worker_context()["system"]  # type: ignore[assignment]
+    obs = worker_instrumentation()
     seen = set(states)
     out: List[State] = []
-    for state in states:
-        for successor in system.successors(state):
-            if successor not in seen:
-                seen.add(successor)
-                out.append(successor)
+    with obs.span("parallel.worker.expand", batch=len(states)):
+        for state in states:
+            fan_out = 0
+            for successor in system.successors(state):
+                fan_out += 1
+                if successor not in seen:
+                    seen.add(successor)
+                    out.append(successor)
+            obs.observe("parallel.worker.fan_out", fan_out)
+    obs.count("parallel.worker.batches")
+    obs.count("parallel.worker.states.expanded", len(states))
     return out
 
 
@@ -80,7 +93,12 @@ def _filter_batch(states: List[State]) -> List[State]:
     predicate: Callable[[State], bool] = worker_context()[  # type: ignore[assignment]
         "predicate"
     ]
-    return [state for state in states if predicate(state)]
+    obs = worker_instrumentation()
+    with obs.span("parallel.worker.filter", batch=len(states)):
+        kept = [state for state in states if predicate(state)]
+    obs.count("parallel.worker.batches")
+    obs.count("parallel.worker.states.scanned", len(states))
+    return kept
 
 
 def parallel_reachable(
@@ -113,6 +131,9 @@ def parallel_reachable(
     """
     seen = set(sources)
     frontier: List[State] = list(seen)
+    progress = ProgressEmitter(instrumentation, phase)
+    rounds = 0
+    expanded = 0
     with WorkerPool(workers, system=system) as pool:
         while frontier:
             if meter is not None:
@@ -121,8 +142,14 @@ def parallel_reachable(
             instrumentation.count("parallel.rounds")
             instrumentation.count("parallel.batches", len(batches))
             instrumentation.count("parallel.states.expanded", len(frontier))
+            instrumentation.observe("parallel.frontier.size", len(frontier))
+            rounds += 1
+            expanded += len(frontier)
+            progress.tick(rounds, len(frontier), expanded)
             frontier = []
-            for successors in pool.map(_expand_batch, batches):
+            for successors in pool.map_observed(
+                _expand_batch, batches, instrumentation
+            ):
                 for state in successors:
                     if state not in seen:
                         seen.add(state)
@@ -163,7 +190,7 @@ def parallel_filter_states(
                 meter.charge(phase, count=len(chunk), frontier=0)
         instrumentation.count("parallel.batches", len(chunks))
         instrumentation.count("parallel.states.expanded", len(states))
-        for kept in pool.map(_filter_batch, chunks):
+        for kept in pool.map_observed(_filter_batch, chunks, instrumentation):
             survivors.extend(kept)
     return survivors
 
@@ -208,6 +235,9 @@ def _scan_chunk(
     from ..checker.graph import shortest_path
 
     ctx = worker_context()
+    obs = worker_instrumentation()
+    obs.count("parallel.worker.batches")
+    obs.count("parallel.worker.transitions.scanned", len(chunk))
     mapping = ctx["mapping"]
     abstract: System = ctx["abstract"]  # type: ignore[assignment]
     stutter_insensitive: bool = ctx["stutter_insensitive"]  # type: ignore[assignment]
@@ -279,7 +309,7 @@ def parallel_transition_scan(
             for chunk in chunks:
                 meter.charge(phase, count=len(chunk), unit="transitions")
         instrumentation.count("parallel.batches", len(chunks))
-        results = pool.map(_scan_chunk, chunks)
+        results = pool.map_observed(_scan_chunk, chunks, instrumentation)
     first: Optional[Tuple[int, str, State, State]] = None
     for _, _, _, found in results:
         if found is not None and (first is None or found[0] < first[0]):

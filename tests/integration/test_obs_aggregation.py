@@ -1,0 +1,228 @@
+"""Telemetry inertness and cross-process aggregation, ring-wide.
+
+Two invariants pin the observability layer down:
+
+* **Inertness** — recording must never perturb a verdict.  For every
+  ring verification of the reproduction, on all three engines, at
+  every worker count, the formatted verdict (holds/fails, witness
+  states, counts) with a full :class:`~repro.obs.Recorder` attached
+  must be byte-identical to the ``NULL_INSTRUMENTATION`` run.
+* **Aggregation correctness** — worker processes report through their
+  own recorders; the driver folds those records back in.  The folded
+  totals must be consistent with what the driver itself counted
+  (every batch the pool dispatched was executed by exactly one
+  worker), and merged records must carry the workers' spans.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.checker import check_convergence_refinement, check_stabilization
+from repro.obs import NULL_INSTRUMENTATION, Recorder
+from repro.parallel import parallel_available
+from repro.rings import (
+    btr3_abstraction,
+    btr4_abstraction,
+    btr_program,
+    c3_composed,
+    dijkstra_four_state,
+    dijkstra_three_state,
+    kstate_program,
+    utr_abstraction,
+    utr_program,
+)
+
+# (name, concrete, spec, alpha, fairness, stutter_insensitive) — the
+# ring verifications of the reproduction, including failing controls.
+RING_CASES = [
+    (
+        "dijkstra4-n3",
+        lambda: dijkstra_four_state(3),
+        lambda: btr_program(3),
+        lambda: btr4_abstraction(3),
+        "none", False,
+    ),
+    (
+        "dijkstra3-n4",
+        lambda: dijkstra_three_state(4),
+        lambda: btr_program(4),
+        lambda: btr3_abstraction(4),
+        "none", False,
+    ),
+    (
+        "c3-composed-n3",
+        lambda: c3_composed(3),
+        lambda: btr_program(3),
+        lambda: btr3_abstraction(3),
+        "strong", True,
+    ),
+    (
+        "kstate-n4",
+        lambda: kstate_program(4, 4),
+        lambda: utr_program(4),
+        lambda: utr_abstraction(4, 4),
+        "none", False,
+    ),
+    (
+        "kstate-n4-k3-refuted",  # a failing case: witness must agree too
+        lambda: kstate_program(4, 3),
+        lambda: utr_program(4),
+        lambda: utr_abstraction(4, 3),
+        "none", False,
+    ),
+]
+
+ENGINES = ("tuple", "packed", "vector")
+
+WORKER_COUNTS = [1, 4] if parallel_available() else [1]
+
+
+class TestTelemetryInertness:
+    @pytest.mark.parametrize(
+        "name,concrete,spec,alpha,fairness,stutter",
+        RING_CASES,
+        ids=[case[0] for case in RING_CASES],
+    )
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_recording_never_changes_the_verdict(
+        self, name, concrete, spec, alpha, fairness, stutter, engine, workers
+    ):
+        kwargs = dict(
+            alpha=alpha(),
+            fairness=fairness,
+            stutter_insensitive=stutter,
+            engine=engine,
+            workers=workers,
+        )
+        plain = check_stabilization(
+            concrete(), spec(), instrumentation=NULL_INSTRUMENTATION, **kwargs
+        )
+        recorded = check_stabilization(
+            concrete(), spec(), instrumentation=Recorder(), **kwargs
+        )
+        assert plain.format() == recorded.format()
+        assert plain.holds == recorded.holds
+        assert plain.core == recorded.core
+        assert plain.legitimate_abstract == recorded.legitimate_abstract
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_refinement_witness_identical_under_recording(self, engine):
+        concrete = dijkstra_three_state(4)
+        spec = btr_program(4)
+        alpha = btr3_abstraction(4)
+        plain = check_convergence_refinement(
+            concrete, spec, alpha, engine=engine
+        )
+        recorded = check_convergence_refinement(
+            concrete, spec, alpha, engine=engine, instrumentation=Recorder()
+        )
+        assert not plain.holds
+        assert plain.format() == recorded.format()
+        assert plain.witness.states == recorded.witness.states
+
+
+@pytest.mark.skipif(
+    not parallel_available(), reason="no fork start method"
+)
+class TestWorkerAggregation:
+    def _recorded_check(self, engine: str, workers: int) -> Recorder:
+        recorder = Recorder(kind="check")
+        check_stabilization(
+            dijkstra_three_state(4),
+            btr_program(4),
+            btr3_abstraction(4),
+            engine=engine,
+            workers=workers,
+            instrumentation=recorder,
+        )
+        return recorder
+
+    @pytest.mark.parametrize("engine", ["tuple", "packed"])
+    def test_worker_batches_match_driver_dispatch(self, engine):
+        recorder = self._recorded_check(engine, workers=2)
+        counters = recorder.counters
+        # Every batch the driver dispatched ran in exactly one worker
+        # and reported back, so the worker-side tally equals the
+        # driver-side one after absorption.
+        assert counters["parallel.worker.batches"] == counters[
+            "parallel.batches"
+        ]
+        assert counters["parallel.workers"] == 2
+        assert counters["parallel.worker.batches"] > 0
+
+    @pytest.mark.parametrize("engine", ["tuple", "packed"])
+    def test_worker_spans_survive_into_the_parent_record(self, engine):
+        record = self._recorded_check(engine, workers=2).record()
+        assert "parallel.worker.expand" in record.spans
+        assert record.spans["parallel.worker.expand"].calls > 0
+        worker_nodes = [
+            node
+            for node in record.tree
+            if node.name == "parallel.worker.expand"
+        ]
+        assert worker_nodes
+        # Worker subtrees fold in as roots of the parent tree.
+        assert all(node.parent == -1 for node in worker_nodes)
+        assert all(node.seconds >= 0.0 for node in worker_nodes)
+
+    #: Counter families whose totals must not depend on worker count.
+    SHARED_COUNTERS = (
+        "check.states.enumerated",
+        "check.candidates.initial",
+        "check.legitimate.size",
+        "check.core.size",
+        "check.outside.size",
+        "check.states.evicted",
+    )
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_counter_totals_match_single_worker_run(self, engine):
+        # Merged multi-process totals must equal what the same check
+        # reports in-process: the work is partitioned, not repeated.
+        sequential = self._recorded_check(engine, workers=1).counters
+        merged = self._recorded_check(engine, workers=4).counters
+        for counter in self.SHARED_COUNTERS:
+            assert sequential.get(counter) == merged.get(counter), counter
+        engine_counters = {
+            name
+            for source in (sequential, merged)
+            for name in source
+            if name.startswith("engine.")
+        }
+        for counter in engine_counters:
+            assert sequential.get(counter) == merged.get(counter), counter
+
+    def test_worker_counter_totals_independent_of_worker_count(self):
+        # The same batches run no matter how many processes share
+        # them, so absorbed worker tallies must not drift with N.
+        at_two = self._recorded_check("packed", workers=2).counters
+        at_four = self._recorded_check("packed", workers=4).counters
+        assert (
+            at_two["parallel.worker.states.expanded"]
+            == at_four["parallel.worker.states.expanded"]
+        )
+        assert (
+            at_two["parallel.worker.states.scanned"]
+            == at_four["parallel.worker.states.scanned"]
+        )
+
+    def test_progress_heartbeats_recorded(self):
+        recorder = self._recorded_check("packed", workers=2)
+        record = recorder.record()
+        heartbeats = [
+            event
+            for event in record.events
+            if event.name.startswith("progress.")
+        ]
+        assert heartbeats
+        for event in heartbeats:
+            assert set(event.fields) == {
+                "round",
+                "frontier",
+                "states",
+                "states_per_sec",
+                "rss_kib",
+            }
+        assert record.gauges["proc.rss.kib"].value > 0

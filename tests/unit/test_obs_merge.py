@@ -1,0 +1,232 @@
+"""Recorder concurrency and deterministic record merging."""
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    EventRecord,
+    Recorder,
+    RunRecord,
+    RunRecordError,
+    SpanStats,
+    loads_jsonl,
+    merge_records,
+)
+from repro.obs.registry import GaugeStats, HistogramStats
+from repro.obs.trace import SpanNode
+
+
+class TestRecorderThreadSafety:
+    def _hammer(self, work, threads: int = 8) -> None:
+        barrier = threading.Barrier(threads)
+
+        def run() -> None:
+            barrier.wait()
+            work()
+
+        pool = [threading.Thread(target=run) for _ in range(threads)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+
+    def test_concurrent_counter_updates_sum_exactly(self):
+        recorder = Recorder()
+        per_thread = 2000
+
+        def work() -> None:
+            for _ in range(per_thread):
+                recorder.count("c")
+
+        self._hammer(work, threads=8)
+        assert recorder.counter("c") == 8 * per_thread
+
+    def test_concurrent_histogram_updates_lose_nothing(self):
+        recorder = Recorder()
+        per_thread = 2000
+
+        def work() -> None:
+            for value in range(per_thread):
+                recorder.observe("h", value % 7)
+
+        self._hammer(work, threads=8)
+        stats = recorder.record().histograms["h"]
+        assert stats.count == 8 * per_thread
+        assert sum(stats.counts) == 8 * per_thread
+
+    def test_spans_on_other_threads_become_roots(self):
+        # Nesting state is per-thread: a span opened on a worker thread
+        # while the main thread has one open must NOT become its child.
+        recorder = Recorder()
+        with recorder.span("main.outer"):
+            self._hammer(
+                lambda: recorder.span("worker.inner").__enter__().__exit__(
+                    None, None, None
+                ),
+                threads=4,
+            )
+        record = recorder.record()
+        workers = [n for n in record.tree if n.name == "worker.inner"]
+        assert len(workers) == 4
+        assert all(node.parent == -1 for node in workers)
+        (outer,) = [n for n in record.tree if n.name == "main.outer"]
+        assert outer.parent == -1
+
+
+def _record(
+    base: float,
+    kind: str = "worker",
+    counters=None,
+    events=(),
+    tree=(),
+    gauges=None,
+    histograms=None,
+    wall: float = 1.0,
+) -> RunRecord:
+    return RunRecord(
+        kind=kind,
+        counters=dict(counters or {}),
+        gauges=dict(gauges or {}),
+        histograms=dict(histograms or {}),
+        events=list(events),
+        tree=list(tree),
+        wall_seconds=wall,
+        wall_base=base,
+    )
+
+
+class TestMergeRecords:
+    def test_counters_sum(self):
+        merged = merge_records(
+            [
+                _record(10.0, counters={"a": 1, "b": 2}),
+                _record(11.0, counters={"a": 4}),
+            ]
+        )
+        assert merged.counters == {"a": 5, "b": 2}
+
+    def test_merge_is_commutative(self):
+        a = _record(
+            10.0,
+            counters={"x": 1},
+            events=[EventRecord("e", 0.5, {"n": 1})],
+            gauges={"g": GaugeStats(7.0, 0.3)},
+            histograms={"h": HistogramStats((2.0,), (1, 0), 1.0, 1)},
+            tree=[SpanNode("s", 0.0, 0.5, -1, {})],
+        )
+        b = _record(
+            10.2,
+            counters={"x": 2},
+            events=[EventRecord("e", 0.1, {"n": 2})],
+            gauges={"g": GaugeStats(9.0, 0.4)},
+            histograms={"h": HistogramStats((2.0,), (0, 1), 3.0, 1)},
+            tree=[SpanNode("s", 0.1, 0.2, -1, {})],
+        )
+        ab = merge_records([a, b])
+        ba = merge_records([b, a])
+        assert ab.to_dict() == ba.to_dict()
+
+    def test_events_interleave_on_absolute_time(self):
+        a = _record(10.0, events=[EventRecord("a", 0.9, {})])
+        b = _record(10.5, events=[EventRecord("b", 0.1, {})])
+        merged = merge_records([a, b])
+        # b's event happens at absolute 10.6, before a's at 10.9... no:
+        # a's at 10.9 is later, so order is b (10.6), a (10.9).
+        assert [event.name for event in merged.events] == ["b", "a"]
+        assert merged.events[0].at == pytest.approx(0.6)
+        assert merged.events[1].at == pytest.approx(0.9)
+
+    def test_gauges_keep_latest_absolute_sample(self):
+        a = _record(10.0, gauges={"g": GaugeStats(1.0, 0.9)})  # abs 10.9
+        b = _record(10.5, gauges={"g": GaugeStats(2.0, 0.2)})  # abs 10.7
+        merged = merge_records([a, b])
+        assert merged.gauges["g"].value == 1.0
+
+    def test_wall_envelope_covers_all_records(self):
+        merged = merge_records(
+            [_record(10.0, wall=1.0), _record(10.8, wall=1.0)]
+        )
+        assert merged.wall_base == 10.0
+        assert merged.wall_seconds == pytest.approx(1.8)
+
+    def test_tree_parent_links_stay_valid(self):
+        a = _record(
+            10.0,
+            tree=[
+                SpanNode("a.root", 0.0, 1.0, -1, {}),
+                SpanNode("a.child", 0.1, 0.5, 0, {}),
+            ],
+        )
+        b = _record(
+            10.5,
+            tree=[
+                SpanNode("b.root", 0.0, 1.0, -1, {}),
+                SpanNode("b.child", 0.1, 0.5, 0, {}),
+            ],
+        )
+        merged = merge_records([a, b])
+        by_name = {node.name: node for node in merged.tree}
+        assert by_name["a.child"].parent == merged.tree.index(
+            by_name["a.root"]
+        )
+        assert by_name["b.child"].parent == merged.tree.index(
+            by_name["b.root"]
+        )
+        assert by_name["b.root"].start == pytest.approx(0.5)
+
+    def test_empty_merge_rejected(self):
+        with pytest.raises(RunRecordError):
+            merge_records([])
+
+    def test_diverging_histogram_bounds_raise_record_error(self):
+        a = _record(10.0, histograms={"h": HistogramStats((2.0,), (1, 0), 1.0, 1)})
+        b = _record(11.0, histograms={"h": HistogramStats((4.0,), (1, 0), 1.0, 1)})
+        with pytest.raises(RunRecordError):
+            merge_records([a, b])
+
+
+class TestAbsorb:
+    def test_absorb_rebases_worker_onto_parent_timeline(self):
+        parent = Recorder(kind="check", wall=lambda: 100.0)
+        worker = RunRecord(
+            kind="worker",
+            counters={"parallel.worker.batches": 3},
+            events=[EventRecord("w.done", 0.25, {})],
+            tree=[SpanNode("w.span", 0.1, 0.2, -1, {})],
+            spans={"w.span": SpanStats(0.2, 1)},
+            wall_base=102.0,
+        )
+        parent.absorb(worker)
+        record = parent.record()
+        assert record.counters["parallel.worker.batches"] == 3
+        (event,) = [e for e in record.events if e.name == "w.done"]
+        assert event.at == pytest.approx(2.25)
+        (node,) = [n for n in record.tree if n.name == "w.span"]
+        assert node.start == pytest.approx(2.1)
+        assert node.parent == -1
+        assert record.spans["w.span"].calls == 1
+
+    def test_absorb_matches_merge_records_counters(self):
+        workers = [
+            _record(100.0 + i, counters={"c": i + 1}, kind="worker")
+            for i in range(3)
+        ]
+        parent = Recorder(kind="check", wall=lambda: 100.0)
+        for worker in workers:
+            parent.absorb(worker)
+        merged = merge_records(
+            [RunRecord(kind="check", wall_base=100.0), *workers]
+        )
+        assert parent.record().counters == merged.counters
+
+    def test_absorbed_record_round_trips_through_jsonl(self):
+        parent = Recorder(kind="check", wall=lambda: 100.0)
+        parent.count("parent.own", 1)
+        parent.absorb(
+            _record(101.0, counters={"w": 2}, kind="worker")
+        )
+        text = "\n".join(parent.record().to_jsonl_lines())
+        (loaded,) = loads_jsonl(text)
+        assert loaded.counters == {"parent.own": 1, "w": 2}
+        assert loaded.wall_base == 100.0

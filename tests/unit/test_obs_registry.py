@@ -1,0 +1,116 @@
+"""Unit tests for the metrics registry (gauges and histograms)."""
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_BUCKETS,
+    GaugeStats,
+    HistogramStats,
+    MetricsRegistry,
+    merge_gauges,
+    merge_histograms,
+)
+
+
+class TestGauges:
+    def test_last_value_wins(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("rss", 100, at=0.1)
+        registry.set_gauge("rss", 90, at=0.2)
+        assert registry.gauges()["rss"] == GaugeStats(90.0, 0.2)
+
+    def test_merge_gauge_keeps_latest_sample(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("rss", 100, at=0.5)
+        registry.merge_gauge("rss", GaugeStats(200.0, 0.1))
+        assert registry.gauges()["rss"].value == 100.0
+        registry.merge_gauge("rss", GaugeStats(300.0, 0.9))
+        assert registry.gauges()["rss"].value == 300.0
+
+    def test_merge_gauges_commutative(self):
+        a = {"rss": GaugeStats(100.0, 0.5), "frontier": GaugeStats(8.0, 0.2)}
+        b = {"rss": GaugeStats(200.0, 0.4), "depth": GaugeStats(3.0, 0.1)}
+        assert merge_gauges([a, b]) == merge_gauges([b, a])
+        assert merge_gauges([a, b])["rss"] == GaugeStats(100.0, 0.5)
+
+    def test_equal_timestamps_break_ties_on_value(self):
+        # The commutativity guarantee must hold even for identical
+        # sample times, so the larger value is chosen deterministically.
+        a = {"g": GaugeStats(1.0, 0.5)}
+        b = {"g": GaugeStats(2.0, 0.5)}
+        assert merge_gauges([a, b]) == merge_gauges([b, a])
+        assert merge_gauges([a, b])["g"].value == 2.0
+
+
+class TestHistograms:
+    def test_observations_land_in_buckets(self):
+        registry = MetricsRegistry()
+        for value in (1, 2, 3, 100):
+            registry.observe("h", value, bounds=(2.0, 10.0))
+        stats = registry.histograms()["h"]
+        assert stats.bounds == (2.0, 10.0)
+        # <=2: {1, 2}; <=10: {3}; overflow: {100}.
+        assert stats.counts == (2, 1, 1)
+        assert stats.total == 106.0
+        assert stats.count == 4
+
+    def test_default_buckets_cover_powers_of_two(self):
+        registry = MetricsRegistry()
+        registry.observe("h", 3)
+        stats = registry.histograms()["h"]
+        assert stats.bounds == DEFAULT_BUCKETS
+        assert DEFAULT_BUCKETS[0] == 1.0
+        assert DEFAULT_BUCKETS[-1] == 2.0**20
+
+    def test_first_observation_fixes_bounds(self):
+        registry = MetricsRegistry()
+        registry.observe("h", 1, bounds=(5.0,))
+        registry.observe("h", 2, bounds=(99.0,))  # ignored
+        assert registry.histograms()["h"].bounds == (5.0,)
+
+    def test_cumulative_counts(self):
+        stats = HistogramStats((1.0, 2.0), (3, 1, 2), 10.0, 6)
+        assert stats.cumulative() == (3, 4, 6)
+
+    def test_non_ascending_bounds_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.observe("h", 1, bounds=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            registry.observe("h2", 1, bounds=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            registry.observe("h3", 1, bounds=())
+
+    def test_ascending_bounds_accepted(self):
+        registry = MetricsRegistry()
+        registry.observe("h", 1, bounds=(1.0, 2.0, 4.0))
+        assert registry.histograms()["h"].bounds == (1.0, 2.0, 4.0)
+
+    def test_merge_histogram_sums_elementwise(self):
+        registry = MetricsRegistry()
+        registry.observe("h", 1, bounds=(2.0,))
+        registry.merge_histogram("h", HistogramStats((2.0,), (4, 2), 9.0, 6))
+        stats = registry.histograms()["h"]
+        assert stats.counts == (5, 2)
+        assert stats.total == 10.0
+        assert stats.count == 7
+
+    def test_merge_histogram_rejects_diverging_bounds(self):
+        registry = MetricsRegistry()
+        registry.observe("h", 1, bounds=(2.0,))
+        with pytest.raises(ValueError):
+            registry.merge_histogram(
+                "h", HistogramStats((3.0,), (1, 0), 1.0, 1)
+            )
+
+    def test_merge_histograms_commutative(self):
+        a = {"h": HistogramStats((2.0,), (1, 0), 1.0, 1)}
+        b = {"h": HistogramStats((2.0,), (0, 1), 5.0, 1)}
+        assert merge_histograms([a, b]) == merge_histograms([b, a])
+        assert merge_histograms([a, b])["h"].counts == (1, 1)
+
+    def test_merge_histograms_diverging_bounds_raise(self):
+        a = {"h": HistogramStats((2.0,), (1, 0), 1.0, 1)}
+        b = {"h": HistogramStats((4.0,), (1, 0), 1.0, 1)}
+        with pytest.raises(ValueError):
+            merge_histograms([a, b])

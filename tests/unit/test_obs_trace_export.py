@@ -1,0 +1,168 @@
+"""Span-tree construction and the trace/Prometheus exporters."""
+
+import json
+import re
+
+from repro.obs import (
+    Recorder,
+    SpanNode,
+    chrome_trace,
+    metric_name,
+    prometheus_text,
+    render_span_tree,
+)
+from repro.obs.trace import rebase_nodes
+
+#: The grammar the CI smoke enforces on every Prometheus sample line.
+PROM_LINE = re.compile(r"^[a-z_]+(\{.*\})? [0-9.eE+-]+$")
+
+
+class FakeClock:
+    def __init__(self, tick: float = 1.0):
+        self.now = 0.0
+        self.tick = tick
+
+    def __call__(self) -> float:
+        value = self.now
+        self.now += self.tick
+        return value
+
+
+def _nested_recorder() -> Recorder:
+    recorder = Recorder(kind="check", clock=FakeClock(), wall=lambda: 100.0)
+    with recorder.span("outer", engine="packed"):
+        with recorder.span("inner.a"):
+            pass
+        with recorder.span("inner.b", batch=3):
+            pass
+    return recorder
+
+
+class TestSpanTree:
+    def test_nesting_records_parent_links(self):
+        record = _nested_recorder().record()
+        names = [node.name for node in record.tree]
+        assert names == ["outer", "inner.a", "inner.b"]
+        parents = [node.parent for node in record.tree]
+        assert parents == [-1, 0, 0]
+        assert record.tree[0].attrs == {"engine": "packed"}
+        assert record.tree[2].attrs == {"batch": 3}
+
+    def test_deterministic_timing_with_fake_clock(self):
+        record = _nested_recorder().record()
+        outer, inner_a, inner_b = record.tree
+        # FakeClock ticks once per reading; the recorder reads exactly
+        # twice per span (enter + exit), so inner spans last one tick
+        # and the outer span covers everything in between.
+        assert inner_a.seconds == 1.0
+        assert inner_b.seconds == 1.0
+        assert outer.seconds == 5.0
+        assert inner_a.start > outer.start
+        assert inner_b.start > inner_a.start
+
+    def test_parent_precedes_child(self):
+        record = _nested_recorder().record()
+        for index, node in enumerate(record.tree):
+            assert node.parent < index
+
+    def test_rebase_shifts_times_and_parents(self):
+        nodes = [
+            SpanNode("a", 0.0, 2.0, -1, {}),
+            SpanNode("b", 0.5, 1.0, 0, {}),
+        ]
+        rebased = rebase_nodes(nodes, offset=10.0, parent_shift=5)
+        assert [node.start for node in rebased] == [10.0, 10.5]
+        # Roots stay roots; child links shift with their parents.
+        assert [node.parent for node in rebased] == [-1, 5]
+        # The originals are untouched.
+        assert nodes[0].start == 0.0 and nodes[1].parent == 0
+
+    def test_render_span_tree_indents_children(self):
+        record = _nested_recorder().record()
+        text = render_span_tree(record.tree)
+        lines = text.splitlines()
+        assert "outer" in text
+        assert any(
+            line.startswith("  ") and "inner.a" in line for line in lines
+        )
+
+
+class TestChromeTrace:
+    def test_export_is_valid_trace_event_json(self):
+        recorder = _nested_recorder()
+        recorder.event("check.verdict", holds=True)
+        payload = json.loads(chrome_trace([recorder.record()]))
+        assert payload["displayTimeUnit"] == "ms"
+        events = payload["traceEvents"]
+        phases = {event["ph"] for event in events}
+        assert phases == {"M", "X", "i"}
+        complete = [event for event in events if event["ph"] == "X"]
+        assert {event["name"] for event in complete} == {
+            "outer",
+            "inner.a",
+            "inner.b",
+        }
+        for event in complete:
+            assert event["dur"] >= 0
+            assert event["pid"] == 0
+
+    def test_records_get_distinct_pids(self):
+        records = [_nested_recorder().record() for _ in range(2)]
+        payload = json.loads(chrome_trace(records))
+        pids = {event["pid"] for event in payload["traceEvents"]}
+        assert pids == {0, 1}
+
+    def test_timestamps_rebase_onto_earliest_wall_base(self):
+        early = _nested_recorder().record()
+        late = _nested_recorder().record()
+        late.wall_base = early.wall_base + 2.0
+        payload = json.loads(chrome_trace([late, early]))
+        by_pid = {}
+        for event in payload["traceEvents"]:
+            if event["ph"] == "X" and event["name"] == "outer":
+                by_pid[event["pid"]] = event["ts"]
+        # `late` was passed first (pid 0) but starts 2s = 2e6us later.
+        assert by_pid[0] - by_pid[1] == 2e6
+
+
+class TestPrometheusText:
+    def test_metric_name_sanitizes(self):
+        assert metric_name("check.states.enumerated") == (
+            "repro_check_states_enumerated"
+        )
+        assert metric_name("proc.rss.kib") == "repro_proc_rss_kib"
+        assert metric_name("Weird-Name.2x") == "repro_weird_name__x"
+
+    def test_every_sample_line_matches_the_grammar(self):
+        recorder = _nested_recorder()
+        recorder.count("check.states.enumerated", 64)
+        recorder.gauge("proc.rss.kib", 4096)
+        recorder.observe("check.round.evicted", 3)
+        text = prometheus_text([recorder.record()])
+        assert text.endswith("\n")
+        for line in text.splitlines():
+            if line.startswith("#"):
+                continue
+            assert PROM_LINE.match(line), line
+
+    def test_histogram_exposition_shape(self):
+        recorder = Recorder(clock=FakeClock())
+        for value in (1, 1, 3):
+            recorder.observe("rounds", value)
+        text = prometheus_text([recorder.record()])
+        assert '# TYPE repro_rounds histogram' in text
+        assert 'repro_rounds_bucket{le="1"} 2' in text
+        assert 'repro_rounds_bucket{le="+Inf"} 3' in text
+        assert "repro_rounds_sum 5" in text
+        assert "repro_rounds_count 3" in text
+
+    def test_multiple_records_merge_to_totals(self):
+        a = Recorder(clock=FakeClock())
+        a.count("c", 1)
+        b = Recorder(clock=FakeClock())
+        b.count("c", 2)
+        text = prometheus_text([a.record(), b.record()])
+        assert "repro_c 3" in text
+
+    def test_empty_input(self):
+        assert prometheus_text([]) == ""
