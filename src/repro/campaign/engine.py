@@ -26,6 +26,7 @@ replayed and inspected with ``repro report``.
 
 from __future__ import annotations
 
+import json
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -38,9 +39,9 @@ from ..obs import (
     Recorder,
     RunRecord,
     append_jsonl_line,
-    load_tagged_lines,
 )
 from ..parallel.pool import using_worker_instrumentation, worker_instrumentation
+from ..resilience import chaos
 from ..simulation.faults import FaultSchedule
 from ..simulation.metrics import legitimacy_predicate
 from ..simulation.runner import SimStatus, execute
@@ -412,8 +413,56 @@ def _note_cell(
     )
 
 
+def _read_checkpoint_rows(
+    file: Path, instrumentation: Instrumentation
+) -> List[Dict[str, object]]:
+    """All tagged payloads in the checkpoint, tolerating a torn tail.
+
+    A crash (SIGKILL, power loss) mid-append leaves exactly one
+    artifact: a *final* line that is not complete JSON.  That line is
+    the cell that was in flight, and the checkpoint contract already
+    concedes the in-flight cell — so the torn tail is dropped with a
+    ``campaign.checkpoint.truncated`` event and the resume simply
+    re-runs that cell.  A malformed line anywhere else is not a crash
+    signature (appends are sequential and flushed) and stays fatal.
+    """
+    lines = file.read_text(encoding="utf-8").splitlines()
+    last_content = -1
+    for index, line in enumerate(lines):
+        if line.strip():
+            last_content = index
+    rows: List[Dict[str, object]] = []
+    for index, line in enumerate(lines):
+        text = line.strip()
+        if not text:
+            continue
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            if index == last_content:
+                instrumentation.count("resilience.checkpoint.truncated")
+                instrumentation.event(
+                    "campaign.checkpoint.truncated",
+                    path=str(file),
+                    line=index + 1,
+                    bytes=len(line),
+                )
+                break
+            raise SimulationError(
+                f"checkpoint {file} line {index + 1} is corrupt ({exc}); "
+                "only a truncated final line (a crash mid-append) is "
+                "recoverable — remove the file to start over"
+            )
+        if isinstance(payload, dict):
+            rows.append(payload)
+    return rows
+
+
 def _load_checkpoint(
-    path: Union[str, Path], cells: Sequence[CellSpec], resume: bool
+    path: Union[str, Path],
+    cells: Sequence[CellSpec],
+    resume: bool,
+    instrumentation: Instrumentation = NULL_INSTRUMENTATION,
 ) -> Dict[str, CellResult]:
     """Completed cells from an existing checkpoint, after validation."""
     file = Path(path)
@@ -424,7 +473,8 @@ def _load_checkpoint(
             f"checkpoint {file} already exists; resume the campaign "
             "(--resume) or remove the file to start over"
         )
-    headers = load_tagged_lines(file, "campaign-meta")
+    rows = _read_checkpoint_rows(file, instrumentation)
+    headers = [row for row in rows if row.get("t") == "campaign-meta"]
     signature = grid_signature(cells)
     if headers and headers[-1].get("grid") != signature:
         raise SimulationError(
@@ -433,9 +483,10 @@ def _load_checkpoint(
             "resume — rerun with the original axes or remove the file"
         )
     completed: Dict[str, CellResult] = {}
-    for payload in load_tagged_lines(file, "campaign-cell"):
-        result = CellResult.from_payload(payload)
-        completed[result.cell_id] = result
+    for payload in rows:
+        if payload.get("t") == "campaign-cell":
+            result = CellResult.from_payload(payload)
+            completed[result.cell_id] = result
     return completed
 
 
@@ -472,7 +523,9 @@ def run_campaign(
     """
     completed: Dict[str, CellResult] = {}
     if config.checkpoint is not None:
-        completed = _load_checkpoint(config.checkpoint, cells, resume)
+        completed = _load_checkpoint(
+            config.checkpoint, cells, resume, instrumentation
+        )
         if not Path(config.checkpoint).exists():
             append_jsonl_line(
                 config.checkpoint,
@@ -519,6 +572,7 @@ def run_campaign(
         _note_cell(instrumentation, result)
         if config.checkpoint is not None:
             append_jsonl_line(config.checkpoint, result.to_payload())
+            chaos.checkpoint_appended(config.checkpoint)
         if on_cell is not None:
             on_cell(cell, result)
     if interrupted_at is not None:
@@ -610,6 +664,7 @@ def _run_campaign_parallel(
                     _note_cell(instrumentation, result)
                     if config.checkpoint is not None:
                         append_jsonl_line(config.checkpoint, result.to_payload())
+                        chaos.checkpoint_appended(config.checkpoint)
                     if on_cell is not None:
                         on_cell(cells[index], result)
             except KeyboardInterrupt:

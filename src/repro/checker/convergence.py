@@ -44,6 +44,7 @@ from ..core.state import State
 from ..core.system import System
 from ..gcl.program import Program
 from ..obs import NULL_INSTRUMENTATION, Instrumentation, ProgressEmitter
+from ..resilience.degrade import DEGRADATION_CHAIN, RECOVERABLE_ENGINE_FAULTS
 from .budget import BudgetExceeded, BudgetMeter
 from .fairness import find_fair_trap
 from .graph import (
@@ -582,43 +583,18 @@ def check_stabilization(
     name = f"{_source_name(concrete)} stabilizing to {_source_name(abstract)}"
     with instrumentation.span("check.total"):
         try:
-            if selected == "vector":
-                result = _decide_stabilization_vector(
-                    concrete,
-                    abstract,
-                    alpha,
-                    stutter_insensitive,
-                    fairness,
-                    compute_steps,
-                    instrumentation,
-                )
-            elif selected == "packed":
-                result = _decide_stabilization_packed(
-                    concrete,
-                    abstract,
-                    alpha,
-                    stutter_insensitive,
-                    fairness,
-                    compute_steps,
-                    instrumentation,
-                    workers,
-                )
-            else:
-                concrete_system = _as_system(concrete)
-                abstract_system = (
-                    concrete_system if abstract is concrete else _as_system(abstract)
-                )
-                result = _decide_stabilization(
-                    concrete_system,
-                    abstract_system,
-                    alpha,
-                    stutter_insensitive,
-                    fairness,
-                    compute_steps,
-                    instrumentation,
-                    meter,
-                    workers,
-                )
+            result = _decide_with_degradation(
+                selected,
+                concrete,
+                abstract,
+                alpha,
+                stutter_insensitive,
+                fairness,
+                compute_steps,
+                instrumentation,
+                meter,
+                workers,
+            )
         except BudgetExceeded as exc:
             instrumentation.event(
                 "check.partial",
@@ -644,6 +620,93 @@ def check_stabilization(
         worst_case_steps=result.worst_case_steps,
     )
     return result
+
+
+def _decide_with_degradation(
+    selected: str,
+    concrete: SystemOrProgram,
+    abstract: SystemOrProgram,
+    alpha: Optional[AbstractionFunction],
+    stutter_insensitive: bool,
+    fairness: str,
+    compute_steps: bool,
+    instrumentation: Instrumentation,
+    meter: Optional[BudgetMeter],
+    workers: int,
+) -> StabilizationResult:
+    """Run the selected engine's decide, degrading on runtime faults.
+
+    Preflight fallback (:func:`_select_engine`) handles the failures
+    known *before* the check starts; this wrapper handles the ones
+    that surface mid-fixpoint — ``MemoryError`` from an array that
+    outgrew RAM, ``ImportError`` from an accelerator that broke on
+    first use, an :class:`~repro.resilience.degrade.EngineFault` from
+    kernel internals.  On each such fault the check restarts on the
+    next engine down the chain (vector → packed → tuple), with a
+    reasoned ``engine.fallback`` event marked ``during="runtime"``.
+    Restarting is sound because the engines are pure functions of
+    their inputs with identical verdicts (the CI differentials pin
+    this), so a partial first attempt leaves nothing behind but the
+    counters it already emitted.
+
+    ``BudgetExceeded`` always propagates: it is a structured PARTIAL
+    verdict, not an engine fault.  The last engine's faults propagate
+    too — masking a tuple-engine crash would hide a real failure.
+    """
+    chain = DEGRADATION_CHAIN[selected]
+    for position, engine_name in enumerate(chain):
+        try:
+            if engine_name == "vector":
+                return _decide_stabilization_vector(
+                    concrete,
+                    abstract,
+                    alpha,
+                    stutter_insensitive,
+                    fairness,
+                    compute_steps,
+                    instrumentation,
+                )
+            if engine_name == "packed":
+                return _decide_stabilization_packed(
+                    concrete,
+                    abstract,
+                    alpha,
+                    stutter_insensitive,
+                    fairness,
+                    compute_steps,
+                    instrumentation,
+                    workers,
+                )
+            concrete_system = _as_system(concrete)
+            abstract_system = (
+                concrete_system if abstract is concrete else _as_system(abstract)
+            )
+            return _decide_stabilization(
+                concrete_system,
+                abstract_system,
+                alpha,
+                stutter_insensitive,
+                fairness,
+                compute_steps,
+                instrumentation,
+                meter,
+                workers,
+            )
+        except BudgetExceeded:
+            raise
+        except RECOVERABLE_ENGINE_FAULTS as fault:
+            if position == len(chain) - 1:
+                raise
+            fallback = chain[position + 1]
+            instrumentation.count(f"engine.fallback.{fallback}", 1)
+            instrumentation.count("resilience.engine.fallback", 1)
+            instrumentation.event(
+                "engine.fallback",
+                requested=engine_name,
+                during="runtime",
+                reason=f"{type(fault).__name__}: {fault}",
+            )
+    raise AssertionError("engine degradation chain exhausted")  # pragma: no cover
 
 
 def _decide_stabilization(

@@ -43,7 +43,8 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-from typing import Callable, Dict, List, Optional, Sequence
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, List, Optional, Sequence
 
 from .checker import (
     check_convergence_refinement,
@@ -355,7 +356,16 @@ def _add_engine_flag(subparser: argparse.ArgumentParser) -> None:
 
 
 def _add_parallel_flags(subparser: argparse.ArgumentParser) -> None:
-    """Attach the shared ``--workers`` / ``--cache-dir`` flags."""
+    """Attach the shared execution flags.
+
+    ``--workers`` / ``--cache-dir`` select parallelism and caching;
+    ``--task-timeout`` / ``--max-task-retries`` tune the supervision
+    policy worker tasks run under; ``--chaos`` injects a deterministic
+    fault plan (see :mod:`repro.resilience.chaos` and
+    ``docs/ROBUSTNESS.md``) so the recovery paths can be exercised on
+    demand — the ``REPRO_CHAOS`` environment variable is the
+    flag-less equivalent.
+    """
     subparser.add_argument(
         "--workers", type=_int_at_least(1), default=1, metavar="N",
         help="worker processes for the state-space phases (default: 1; "
@@ -366,6 +376,26 @@ def _add_parallel_flags(subparser: argparse.ArgumentParser) -> None:
         help="content-addressed verification cache: verdicts are keyed "
         "by the canonical program fingerprint plus the checker "
         "parameters, so re-checking an unchanged spec is a file read",
+    )
+    subparser.add_argument(
+        "--task-timeout", type=_positive_float, default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per worker task; a task past it is "
+        "killed and retried under the supervision policy "
+        "(default: no timeout)",
+    )
+    subparser.add_argument(
+        "--max-task-retries", type=_int_at_least(0), default=None,
+        metavar="N",
+        help="abnormal failures (worker death, timeout) tolerated per "
+        "task before it is quarantined to an inline sequential run "
+        "(default: 2; the verdict is identical either way)",
+    )
+    subparser.add_argument(
+        "--chaos", metavar="PLAN",
+        help="deterministic fault plan to inject — inline JSON or a "
+        "file path (see docs/ROBUSTNESS.md); also read from the "
+        "REPRO_CHAOS environment variable when the flag is absent",
     )
 
 
@@ -395,6 +425,39 @@ def _add_obs_out(subparser: argparse.ArgumentParser) -> None:
         help="profile the whole command under cProfile and store the "
         "pstats dump at PATH (inspect with python -m pstats)",
     )
+
+
+@contextmanager
+def _resilience_context(args) -> Iterator[None]:
+    """Activate the supervision policy and fault plan the flags ask for.
+
+    The chaos plan comes from ``--chaos`` (inline JSON or a file path)
+    or, when the flag is absent, the ``REPRO_CHAOS`` environment
+    variable.  Its seed is folded into the supervision policy, so one
+    plan fully determines both the injected faults and the retry
+    backoff schedule.  Commands without the execution flags run under
+    the defaults — the wrapper is then a no-op.
+    """
+    from .resilience import (
+        DEFAULT_POLICY,
+        SupervisionPolicy,
+        load_plan,
+        using_chaos,
+        using_policy,
+    )
+
+    spec = getattr(args, "chaos", None) or os.environ.get("REPRO_CHAOS")
+    plan = load_plan(spec) if spec else None
+    retries = getattr(args, "max_task_retries", None)
+    policy = SupervisionPolicy(
+        task_timeout=getattr(args, "task_timeout", None),
+        max_task_retries=(
+            DEFAULT_POLICY.max_task_retries if retries is None else retries
+        ),
+        seed=plan.seed if plan is not None else DEFAULT_POLICY.seed,
+    )
+    with using_policy(policy), using_chaos(plan):
+        yield
 
 
 def _recorder_for(args, kind: str):
@@ -724,17 +787,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     command = _DISPATCH[args.command]
     try:
-        profile_out = getattr(args, "profile_out", None)
-        if profile_out:
-            import cProfile
+        with _resilience_context(args):
+            profile_out = getattr(args, "profile_out", None)
+            if profile_out:
+                import cProfile
 
-            profiler = cProfile.Profile()
-            try:
-                return profiler.runcall(command, args)
-            finally:
-                profiler.dump_stats(profile_out)
-                print(f"profile written to {profile_out}", file=sys.stderr)
-        return command(args)
+                profiler = cProfile.Profile()
+                try:
+                    return profiler.runcall(command, args)
+                finally:
+                    profiler.dump_stats(profile_out)
+                    print(
+                        f"profile written to {profile_out}", file=sys.stderr
+                    )
+            return command(args)
     except BrokenPipeError:
         # stdout was closed early (e.g. `repro report ... | head`);
         # suppress the interpreter's close-time flush error too.

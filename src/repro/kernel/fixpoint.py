@@ -31,6 +31,7 @@ from ..parallel.pool import (
     worker_context,
     worker_instrumentation,
 )
+from ..resilience import chaos
 
 #: Sequential loops report progress once per this many expansions —
 #: frequent enough for a live ticker, cheap enough to disappear in the
@@ -102,12 +103,19 @@ def packed_reachable(
             seen[code] = 1
             initial.append(code)
     progress = ProgressEmitter(instrumentation, "packed.reachable")
+    # Resolved once per call: with no active fault plan the hook is a
+    # single ``is not None`` test per expansion, free in the hot loop.
+    chaos_hook = (
+        chaos.engine_states if chaos.active_plan() is not None else None
+    )
     if workers <= 1:
         stack = initial
         expanded = 0
         while stack:
             code = stack.pop()
             expanded += 1
+            if chaos_hook is not None:
+                chaos_hook("packed", expanded)
             if progress.enabled and expanded % _HEARTBEAT_EVERY == 0:
                 progress.tick(0, len(stack), expanded)
             for successor in succ_of(code):
@@ -126,6 +134,8 @@ def packed_reachable(
             instrumentation.observe("parallel.frontier.size", len(frontier))
             rounds += 1
             expanded += len(frontier)
+            if chaos_hook is not None:
+                chaos_hook("packed", expanded)
             progress.tick(rounds, len(frontier), expanded)
             sharded: List[List[int]] = [[] for _ in range(n_batches)]
             for code in frontier:
@@ -226,11 +236,20 @@ def packed_core(
     instrumentation.count("check.states.enumerated", size)
     instrumentation.count("check.candidates.initial", remaining)
     progress = ProgressEmitter(instrumentation, "packed.core")
+    chaos_hook = (
+        chaos.engine_states if chaos.active_plan() is not None else None
+    )
+    if chaos_hook is not None:
+        chaos_hook("packed", size)
     iterations = 0
     changed = True
     while changed:
         changed = False
         iterations += 1
+        if chaos_hook is not None:
+            # Cumulative enumeration: the candidate scan plus one full
+            # membership sweep per fixpoint round.
+            chaos_hook("packed", size * (iterations + 1))
         evicted = 0
         if workers > 1:
             members = [code for code in range(size) if flags[code]]

@@ -23,6 +23,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from ...obs import NULL_INSTRUMENTATION, Instrumentation, ProgressEmitter
+from ...resilience import chaos
 from .kernel import VectorKernel, _ranges, _unique_sorted
 
 __all__ = [
@@ -46,12 +47,17 @@ def vector_reachable(
     if frontier.size:
         seen[frontier] = True
     progress = ProgressEmitter(instrumentation, "vector.reachable")
+    chaos_hook = (
+        chaos.engine_states if chaos.active_plan() is not None else None
+    )
     rounds = 0
     expanded = 0
     while frontier.size:
+        rounds += 1
+        expanded += int(frontier.size)
+        if chaos_hook is not None:
+            chaos_hook("vector", expanded)
         if progress.enabled:
-            rounds += 1
-            expanded += int(frontier.size)
             instrumentation.observe("vector.frontier.size", int(frontier.size))
             progress.tick(rounds, int(frontier.size), expanded)
         _, targets = kernel.succ_pairs(frontier)
@@ -99,10 +105,17 @@ def vector_core(
     abs_has_successor = ~abstract_kernel.terminal_flags()
     ignorable_stutter = stutter_insensitive or fairness_ignores_stutter
     progress = ProgressEmitter(instrumentation, "vector.core")
+    chaos_hook = (
+        chaos.engine_states if chaos.active_plan() is not None else None
+    )
+    if chaos_hook is not None:
+        chaos_hook("vector", size)
     iterations = 0
     changed = True
     while changed:
         iterations += 1
+        if chaos_hook is not None:
+            chaos_hook("vector", size * (iterations + 1))
         members = np.nonzero(flags)[0]
         origins, targets = kernel.succ_pairs(members)
         sources = members[origins]

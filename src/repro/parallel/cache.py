@@ -23,6 +23,12 @@ Entries are JSON files written atomically (temp file + ``os.replace``)
 under two-level fan-out directories, safe for concurrent writers —
 the worst race is two processes computing the same verdict and one
 rename winning, which is idempotent.
+
+Every entry carries a SHA-256 digest of its payload.  A read whose
+digest does not match (bit rot, a torn write that still parses, a
+tampered file) is a *corrupt* entry: it counts ``cache.corrupt`` in
+addition to the miss, and the caller recomputes and overwrites — a
+wrong cached verdict can never be served.
 """
 
 from __future__ import annotations
@@ -38,12 +44,14 @@ from ..gcl.parser import parse_program
 from ..gcl.pretty import render_program
 from ..gcl.program import Program
 from ..obs import NULL_INSTRUMENTATION, Instrumentation
+from ..resilience import chaos
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
     "canonical_program_text",
     "program_fingerprint",
     "cache_key",
+    "payload_digest",
     "VerificationCache",
 ]
 
@@ -52,7 +60,22 @@ __all__ = [
 #: Version 2: fingerprints gained the engine-relevant semantics flags
 #: (``keep_stutter``, fairness mode) — under version 1 two checks that
 #: compiled the same program under different semantics could collide.
-CACHE_SCHEMA_VERSION = 2
+#: Version 3: entries gained the ``digest`` integrity field (SHA-256
+#: over the canonical payload JSON); version-2 entries read as misses
+#: and are rewritten on the next store.
+CACHE_SCHEMA_VERSION = 3
+
+
+def payload_digest(payload: Mapping[str, object]) -> str:
+    """SHA-256 hex digest of a payload's canonical JSON rendering.
+
+    The canonical form (sorted keys, compact separators) is what makes
+    the digest stable across processes regardless of dict ordering.
+    """
+    material = json.dumps(
+        dict(payload), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
 
 
 def canonical_program_text(source: Union[str, Program]) -> str:
@@ -156,28 +179,54 @@ class VerificationCache:
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
+    def _miss(self, key: str, corrupt: Optional[str] = None) -> None:
+        self.misses += 1
+        self._instrumentation.count("cache.miss")
+        if corrupt is not None:
+            self._instrumentation.count("cache.corrupt")
+            self._instrumentation.event(
+                "cache.corrupt", key=key, reason=corrupt
+            )
+
     def get(self, key: str) -> Optional[Dict[str, object]]:
         """The stored payload for ``key``, or ``None``.
 
-        Unreadable or corrupt entries (killed writer, disk trouble)
-        count as misses — the caller recomputes and overwrites.
+        A missing file is a plain miss.  A file that *exists* but does
+        not validate — unparseable JSON, schema drift, a key recorded
+        under the wrong address, a payload whose digest does not match
+        — additionally counts ``cache.corrupt`` (with a ``reason``
+        event) and still reads as a miss, so the caller recomputes and
+        the next :meth:`put` overwrites the bad entry.
         """
         path = self._path(key)
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 entry = json.load(handle)
-        except (OSError, ValueError):
-            self.misses += 1
-            self._instrumentation.count("cache.miss")
+        except FileNotFoundError:
+            self._miss(key)
             return None
-        if entry.get("v") != CACHE_SCHEMA_VERSION or "payload" not in entry:
-            self.misses += 1
-            self._instrumentation.count("cache.miss")
+        except (OSError, ValueError):
+            self._miss(key, corrupt="unreadable")
+            return None
+        if not isinstance(entry, dict):
+            self._miss(key, corrupt="malformed")
+            return None
+        if entry.get("v") != CACHE_SCHEMA_VERSION:
+            # Schema drift is expected across upgrades, not damage —
+            # but the entry is unusable either way.
+            self._miss(key, corrupt="schema-drift")
+            return None
+        payload = entry.get("payload")
+        if not isinstance(payload, dict) or entry.get("key") != key:
+            self._miss(key, corrupt="malformed")
+            return None
+        if entry.get("digest") != payload_digest(payload):
+            self._miss(key, corrupt="digest-mismatch")
             return None
         self.hits += 1
         self._instrumentation.count("cache.hit")
         self._instrumentation.event("cache.hit", key=key)
-        return dict(entry["payload"])
+        return dict(payload)
 
     def put(self, key: str, payload: Mapping[str, object]) -> None:
         """Store ``payload`` under ``key`` atomically.
@@ -187,7 +236,13 @@ class VerificationCache:
         """
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        entry = {"v": CACHE_SCHEMA_VERSION, "key": key, "payload": dict(payload)}
+        stored = dict(payload)
+        entry = {
+            "v": CACHE_SCHEMA_VERSION,
+            "key": key,
+            "digest": payload_digest(stored),
+            "payload": stored,
+        }
         descriptor, temp_name = tempfile.mkstemp(
             dir=str(path.parent), suffix=".tmp"
         )
@@ -202,6 +257,8 @@ class VerificationCache:
                 pass
             raise
         self._instrumentation.count("cache.store")
+        if chaos.active_plan() is not None:
+            chaos.cache_stored(path)
 
     def __len__(self) -> int:
         """Number of entries currently stored on disk."""

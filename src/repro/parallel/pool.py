@@ -3,22 +3,38 @@
 The pool exploits copy-on-write ``fork`` semantics instead of pickling
 work context: the driver stashes the per-phase context (the system
 under exploration, abstraction closures, auxiliary state sets) in a
-module-level slot and *then* forks the workers, which inherit it for
-free.  Only the small per-task batches (lists of states or indices)
-cross the process boundary as pickles.  This is what lets abstraction
-functions — arbitrary Python closures, unpicklable by design — ride
-along into the workers untouched.
+module-level slot, and every task attempt forks a child that inherits
+it for free.  Only the small per-task batches (lists of states or
+indices) cross into the dispatch call, and only results cross back as
+pickles.  This is what lets abstraction functions — arbitrary Python
+closures, unpicklable by design — ride along into the workers
+untouched.
+
+Since the supervised-execution rework, dispatch runs on
+:mod:`repro.resilience.supervisor` rather than a raw
+``multiprocessing.Pool``: each task attempt is its own forked,
+pipe-connected child under the process's active
+:class:`~repro.resilience.policy.SupervisionPolicy`.  A worker killed
+mid-task (OOM, SIGKILL) or stuck past the task timeout is detected
+and retried with deterministic backoff instead of hanging ``map``;
+a task that keeps failing abnormally is quarantined to an inline
+run in the driver — the guaranteed sequential fallback, with the
+byte-identical result.  Recoveries surface as ``resilience.*``
+counters/events.
 
 Consequences callers must respect:
 
 * a :class:`WorkerPool`'s context is frozen at ``__enter__``; a phase
   whose shared data changes between rounds (the fixpoint eviction
-  passes) opens a fresh pool per round, which on Linux is a handful of
-  milliseconds of fork cost;
+  passes) opens a fresh pool per round — forks now happen per task
+  either way, which on Linux is a handful of milliseconds;
 * on platforms without ``fork`` (or inside a daemonic worker process,
   where nested pools are forbidden) :func:`resolve_workers` degrades
   to ``1`` and every caller falls back to the sequential path — the
-  verdict is identical either way, only the wall-clock changes.
+  verdict is identical either way, only the wall-clock changes;
+* an :meth:`WorkerPool.imap_unordered` iterator is only consumable
+  inside the pool's ``with`` block; consuming it later raises
+  ``RuntimeError`` instead of forking against torn-down context.
 """
 
 from __future__ import annotations
@@ -36,6 +52,8 @@ from typing import (
     Tuple,
     TypeVar,
 )
+
+from ..resilience.supervisor import supervised_map, supervised_unordered
 
 from ..obs import (
     NULL_INSTRUMENTATION,
@@ -58,6 +76,40 @@ __all__ = [
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+
+class _PoolIterator(Iterator[R]):
+    """An :meth:`WorkerPool.imap_unordered` result stream.
+
+    Bound to its pool's ``with`` block: advancing it after ``__exit__``
+    raises ``RuntimeError`` (the staged context is gone, so forking
+    another attempt would compute against torn-down state) — even
+    though :meth:`close` has already reaped the in-flight children.
+    """
+
+    def __init__(
+        self, pool: "WorkerPool", inner: Iterator[Tuple[int, R]]
+    ) -> None:
+        self._pool = pool
+        self._inner = inner
+
+    def __iter__(self) -> "Iterator[R]":
+        return self
+
+    def __next__(self) -> R:
+        if not self._pool._active:
+            raise RuntimeError(
+                "WorkerPool.imap_unordered iterator consumed after the "
+                "pool's context exited"
+            )
+        _, result = next(self._inner)
+        return result
+
+    def close(self) -> None:
+        """Tear down the supervised stream, reaping in-flight children."""
+        close = getattr(self._inner, "close", None)
+        if close is not None:
+            close()
 
 #: The per-phase context inherited by forked workers.  Written by
 #: :meth:`WorkerPool.__enter__` in the parent immediately before the
@@ -150,11 +202,13 @@ def resolve_workers(workers: int) -> int:
 
 
 class WorkerPool:
-    """A context-managed fork pool with copy-on-write work context.
+    """A context-managed, supervised fork pool with copy-on-write work
+    context.
 
     Args:
-        workers: number of worker processes (must be >= 2; callers
-            resolve ``1`` to the sequential path before getting here).
+        workers: maximum concurrent worker processes (must be >= 2;
+            callers resolve ``1`` to the sequential path before
+            getting here).
         context: the phase context the workers inherit (systems,
             abstraction closures, frozen state sets).
 
@@ -162,6 +216,13 @@ class WorkerPool:
 
         with WorkerPool(4, system=system) as pool:
             results = pool.map(_expand_batch, batches)
+
+    Dispatch is supervised (see :mod:`repro.resilience.supervisor`):
+    worker death and task timeouts retry under the process's active
+    :class:`~repro.resilience.policy.SupervisionPolicy`, and tasks
+    that exhaust their retries run inline in the driver.  Results,
+    result order, and exception propagation match the raw pool's
+    exactly.
     """
 
     def __init__(self, workers: int, **context: object):
@@ -171,36 +232,48 @@ class WorkerPool:
             )
         self.workers = workers
         self._context = context
-        self._pool: Optional[object] = None
+        self._active = False
         self._saved: Optional[Dict[str, object]] = None
+        self._iterators: List[Iterator[object]] = []
 
     def __enter__(self) -> "WorkerPool":
         self._saved = dict(_WORKER_CONTEXT)
         _WORKER_CONTEXT.clear()
         _WORKER_CONTEXT.update(self._context)
-        ctx = multiprocessing.get_context("fork")
-        self._pool = ctx.Pool(processes=self.workers)
+        self._active = True
         return self
 
     def __exit__(self, *exc_info: object) -> bool:
-        pool = self._pool
-        self._pool = None
-        if pool is not None:
-            pool.terminate()  # type: ignore[attr-defined]
-            pool.join()  # type: ignore[attr-defined]
+        self._active = False
+        # Closing a live imap generator runs its ``finally`` and reaps
+        # any children still in flight (e.g. after KeyboardInterrupt
+        # escaped the consuming loop).
+        for iterator in self._iterators:
+            close = getattr(iterator, "close", None)
+            if close is not None:
+                close()
+        self._iterators.clear()
         _WORKER_CONTEXT.clear()
         if self._saved is not None:
             _WORKER_CONTEXT.update(self._saved)
             self._saved = None
         return False
 
+    def _require_active(self) -> None:
+        if not self._active:
+            raise RuntimeError("WorkerPool used outside its context")
+
     def map(
         self, task: Callable[[T], R], batches: Sequence[T]
     ) -> List[R]:
         """Run ``task`` over ``batches`` across the workers, in order."""
-        if self._pool is None:
-            raise RuntimeError("WorkerPool used outside its context")
-        return self._pool.map(task, batches)  # type: ignore[attr-defined]
+        self._require_active()
+        return supervised_map(
+            task,
+            batches,
+            self.workers,
+            instrumentation=worker_instrumentation(),
+        )
 
     def map_observed(
         self,
@@ -215,17 +288,22 @@ class WorkerPool:
         back with the results and are folded into ``instrumentation``
         via ``absorb`` — deterministically, in batch order.  With the
         null instrumentation this is exactly :meth:`map`: no wrapper,
-        no recorder, no extra pickling.
+        no recorder, no extra pickling.  Supervision recoveries
+        (retries, quarantines) report to ``instrumentation`` directly
+        — they are driver-side events, not worker records.
 
-        ``task`` must be a module-level function (it crosses the task
-        queue by reference, like every pool task).
+        ``task`` must be a module-level function (it crosses into the
+        child by fork, like every pool task).
         """
         if type(instrumentation) in (Instrumentation, NullInstrumentation):
             return self.map(task, batches)
-        if self._pool is None:
-            raise RuntimeError("WorkerPool used outside its context")
-        pairs = self._pool.map(  # type: ignore[attr-defined]
-            _observed_task, [(task, batch) for batch in batches]
+        self._require_active()
+        pairs = supervised_map(
+            _observed_task,
+            [(task, batch) for batch in batches],
+            self.workers,
+            instrumentation=instrumentation,
+            label=getattr(task, "__name__", "task"),
         )
         results: List[R] = []
         for result, record in pairs:
@@ -240,10 +318,23 @@ class WorkerPool:
 
         The campaign executor consumes this so finished cells can be
         checkpointed the moment they land, regardless of grid order.
+        The iterator is bound to the pool's ``with`` block: advancing
+        it after ``__exit__`` raises ``RuntimeError`` — the staged
+        context is gone, so forking another attempt would compute
+        against torn-down state.
         """
-        if self._pool is None:
-            raise RuntimeError("WorkerPool used outside its context")
-        return self._pool.imap_unordered(task, items)  # type: ignore[attr-defined]
+        self._require_active()
+        iterator = _PoolIterator(
+            self,
+            supervised_unordered(
+                task,
+                items,
+                self.workers,
+                instrumentation=worker_instrumentation(),
+            ),
+        )
+        self._iterators.append(iterator)
+        return iterator
 
 
 def contiguous_chunks(items: Sequence[T], chunk_count: int) -> List[List[T]]:

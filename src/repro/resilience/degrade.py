@@ -1,0 +1,65 @@
+"""The runtime engine degradation chain.
+
+Engine *preflight* fallback (unpackable schema, missing NumPy, tight
+budget) has existed since the packed engine landed; this module adds
+the *runtime* half: the recoverable faults an engine can raise
+mid-fixpoint and the order the checker retries cheaper engines in.
+
+The chain is sound because every engine computes the identical
+verdict (CI pins the three-way byte-identity differential): rerunning
+a check on the next engine down cannot change the answer, only the
+wall-clock.  The checker re-raises when the last engine in the chain
+faults — ``tuple`` has no cheaper fallback, and masking its failure
+would turn a crash into a silent wrong answer.
+
+``BudgetExceeded`` is deliberately *not* recoverable: it is a
+structured PARTIAL verdict in flight, not an engine fault.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple, Type
+
+__all__ = [
+    "EngineFault",
+    "RECOVERABLE_ENGINE_FAULTS",
+    "DEGRADATION_CHAIN",
+    "next_engine",
+]
+
+
+class EngineFault(RuntimeError):
+    """A kernel-level failure an engine wants handled by degradation.
+
+    Raised by engine internals for faults that are neither memory
+    exhaustion nor a missing import but still mean "this engine cannot
+    finish — a simpler one can" (e.g. an interner overflow discovered
+    mid-run).
+    """
+
+
+#: Exception classes that trigger a runtime fallback instead of
+#: aborting the check.  ``MemoryError``: the vector/packed arrays
+#: outgrew RAM mid-fixpoint.  ``ImportError``: a lazily imported
+#: accelerator disappeared between preflight and use (broken NumPy
+#: installs raise on first array op, not on ``import numpy``).
+RECOVERABLE_ENGINE_FAULTS: Tuple[Type[BaseException], ...] = (
+    MemoryError,
+    ImportError,
+    EngineFault,
+)
+
+#: For each selected engine, the engines to try in order.  Strictly
+#: decreasing memory footprint: vector (whole-space arrays) → packed
+#: (bitsets + successor closures) → tuple (plain sets, the reference).
+DEGRADATION_CHAIN: Dict[str, Tuple[str, ...]] = {
+    "vector": ("vector", "packed", "tuple"),
+    "packed": ("packed", "tuple"),
+    "tuple": ("tuple",),
+}
+
+
+def next_engine(engine: str) -> Optional[str]:
+    """The engine one step down the chain, or ``None`` at the floor."""
+    chain = DEGRADATION_CHAIN[engine]
+    return chain[1] if len(chain) > 1 else None

@@ -1,0 +1,129 @@
+"""Supervision policy: timeouts, bounded retries, deterministic backoff.
+
+A :class:`SupervisionPolicy` is the contract between a driver and the
+supervised executor (:mod:`repro.resilience.supervisor`): how long one
+task may run, how many *abnormal* failures (worker death, timeout) it
+may accumulate before quarantine, and how long to back off between
+retry attempts.
+
+The backoff is deterministic by construction: the delay for attempt
+``a`` of task ``i`` is derived from ``sha256(seed, i, a)``, never from
+a wall clock or a process-global RNG.  Two runs of the same plan
+produce the same retry schedule, which is what lets the chaos harness
+(:mod:`repro.resilience.chaos`) assert byte-identical verdicts across
+fault injections.
+
+The active policy travels through a process-global stack
+(:func:`using_policy` / :func:`current_policy`) rather than a
+parameter thread: the pool call sites sit several layers below the
+CLI, and a forked worker inherits the slot copy-on-write like the
+worker context itself.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+__all__ = [
+    "SupervisionPolicy",
+    "DEFAULT_POLICY",
+    "current_policy",
+    "using_policy",
+    "backoff_delay",
+]
+
+
+@dataclass(frozen=True)
+class SupervisionPolicy:
+    """Tunables of the supervised executor.
+
+    Attributes:
+        task_timeout: wall-clock seconds one task attempt may run
+            before the supervisor kills and retries it (``None``
+            disables the deadline).
+        max_task_retries: abnormal failures (death or timeout) a task
+            may accumulate before it is quarantined and run inline in
+            the driver — the guaranteed sequential fallback.
+        backoff_base: first-retry backoff ceiling in seconds; attempt
+            ``a`` waits up to ``backoff_base * 2**(a-1)``, capped.
+        backoff_cap: upper bound on any single backoff delay.
+        seed: the deterministic stream every backoff fraction derives
+            from.
+
+    Raises:
+        ValueError: on a non-positive timeout, negative retry bound,
+            or negative backoff parameters.
+    """
+
+    task_timeout: Optional[float] = None
+    max_task_retries: int = 2
+    backoff_base: float = 0.01
+    backoff_cap: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ValueError(
+                f"task timeout must be positive seconds, got {self.task_timeout}"
+            )
+        if self.max_task_retries < 0:
+            raise ValueError(
+                f"max task retries must be >= 0, got {self.max_task_retries}"
+            )
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise ValueError("backoff parameters must be non-negative")
+
+
+DEFAULT_POLICY = SupervisionPolicy()
+
+#: Stack of installed policies; index -1 is the active one.  A list
+#: (not a bare slot) so nested ``using_policy`` contexts restore
+#: correctly even when an inner context outlives an exception.
+_POLICY_STACK: List[SupervisionPolicy] = [DEFAULT_POLICY]
+
+
+def current_policy() -> SupervisionPolicy:
+    """The policy the supervised executor runs under in this process."""
+    return _POLICY_STACK[-1]
+
+
+@contextmanager
+def using_policy(policy: SupervisionPolicy) -> Iterator[SupervisionPolicy]:
+    """Install ``policy`` as the active supervision policy.
+
+    The CLI wraps whole commands in this; library callers can scope it
+    tighter.  Forked workers inherit whatever was active at fork time.
+    """
+    _POLICY_STACK.append(policy)
+    try:
+        yield policy
+    finally:
+        _POLICY_STACK.pop()
+
+
+def _fraction(seed: int, task_index: int, attempt: int) -> float:
+    """A deterministic jitter fraction in ``[0, 1)`` for one retry."""
+    material = f"{seed}:{task_index}:{attempt}".encode("utf-8")
+    digest = hashlib.sha256(material).digest()
+    (value,) = struct.unpack(">Q", digest[:8])
+    return value / 2**64
+
+
+def backoff_delay(
+    policy: SupervisionPolicy, task_index: int, attempt: int
+) -> float:
+    """Seconds to wait before retry ``attempt`` (1-based) of a task.
+
+    Exponential ceiling with deterministic jitter: the delay is a
+    seeded fraction of ``backoff_base * 2**(attempt-1)``, capped at
+    ``backoff_cap``.  The same (seed, task, attempt) triple always
+    yields the same delay, on every platform.
+    """
+    if attempt < 1:
+        raise ValueError(f"attempt must be >= 1, got {attempt}")
+    ceiling = min(policy.backoff_base * 2 ** (attempt - 1), policy.backoff_cap)
+    return ceiling * _fraction(policy.seed, task_index, attempt)

@@ -1,0 +1,304 @@
+"""Chaos-driven integration tests: injected faults, recovered verdicts.
+
+The recovery invariants under test, end to end: a worker SIGKILLed
+mid-shard changes nothing about the verdict (including the structured
+``PARTIAL`` of a budgeted run — never an ``error``); an engine that
+exhausts memory mid-fixpoint degrades down the vector → packed → tuple
+chain with a reasoned ``engine.fallback`` event; a corrupted cache
+entry reads as a miss and the verdict is recomputed; and the CLI under
+a composite fault plan prints byte-identical output to the fault-free
+sequential run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.checker import check_stabilization
+from repro.obs import Recorder
+from repro.parallel import parallel_available
+from repro.resilience import (
+    FaultAction,
+    FaultPlan,
+    SupervisionPolicy,
+    using_chaos,
+    using_policy,
+)
+from repro.rings import (
+    btr3_abstraction,
+    btr4_abstraction,
+    btr_program,
+    dijkstra_four_state,
+    dijkstra_three_state,
+)
+
+pytestmark = pytest.mark.skipif(
+    not parallel_available(), reason="no fork start method"
+)
+
+#: Fast retry schedule so injected faults do not slow the suite.
+FAST = SupervisionPolicy(backoff_base=0.001, backoff_cap=0.005)
+
+#: Kill the first attempt of the first task of every supervised phase.
+KILL_FIRST = FaultPlan(
+    seed=0, faults=(FaultAction(kind="kill-worker", task=0, attempt=0),)
+)
+
+
+def _dijkstra4():
+    return (
+        dijkstra_four_state(3).compile(),
+        btr_program(3).compile(),
+        btr4_abstraction(3),
+    )
+
+
+class TestWorkerDeathMidShard:
+    def test_verdict_identical_after_injected_kills(self):
+        concrete, spec, alpha = _dijkstra4()
+        baseline = check_stabilization(concrete, spec, alpha)
+        recorder = Recorder(kind="test")
+        with using_policy(FAST), using_chaos(KILL_FIRST):
+            chaotic = check_stabilization(
+                concrete, spec, alpha, workers=4, instrumentation=recorder
+            )
+        assert chaotic.format() == baseline.format()
+        counters = recorder.record().counters
+        assert counters["resilience.worker.death"] >= 1
+        assert counters["resilience.task.retries"] >= 1
+
+    def test_budgeted_check_stays_structured_partial_not_error(self):
+        """A worker dying mid-shard of a budget-capped run must not
+        turn the structured PARTIAL into an exception: the budget cut
+        and the fault recovery compose."""
+        concrete = dijkstra_three_state(4).compile()
+        spec = btr_program(4).compile()
+        alpha = btr3_abstraction(4)
+        baseline = check_stabilization(
+            concrete, spec, alpha, state_budget=10
+        )
+        assert baseline.is_partial
+        with using_policy(FAST), using_chaos(KILL_FIRST):
+            chaotic = check_stabilization(
+                concrete, spec, alpha, state_budget=10, workers=4
+            )
+        assert chaotic.is_partial
+        assert (
+            chaotic.result.partial.phase == baseline.result.partial.phase
+        )
+
+    def test_poison_every_attempt_still_converges_via_quarantine(self):
+        """Killing *every* attempt of a task forces quarantine: the
+        inline sequential run must still deliver the identical
+        verdict (chaos worker faults are inert in the driver)."""
+        concrete, spec, alpha = _dijkstra4()
+        baseline = check_stabilization(concrete, spec, alpha)
+        plan = FaultPlan(
+            faults=(FaultAction(kind="kill-worker", task=0, attempt="*"),)
+        )
+        policy = SupervisionPolicy(
+            max_task_retries=1, backoff_base=0.001, backoff_cap=0.005
+        )
+        recorder = Recorder(kind="test")
+        with using_policy(policy), using_chaos(plan):
+            chaotic = check_stabilization(
+                concrete, spec, alpha, workers=2, instrumentation=recorder
+            )
+        assert chaotic.format() == baseline.format()
+        counters = recorder.record().counters
+        assert counters["resilience.task.quarantined"] >= 1
+        assert counters["resilience.sequential_fallback"] >= 1
+
+
+class TestEngineDegradation:
+    def test_packed_memory_fault_degrades_to_tuple(self):
+        concrete, spec, alpha = _dijkstra4()
+        baseline = check_stabilization(
+            concrete, spec, alpha, engine="tuple"
+        )
+        plan = FaultPlan(
+            faults=(
+                FaultAction(kind="raise-memory", engine="packed", at_states=1),
+            )
+        )
+        recorder = Recorder(kind="test")
+        with using_chaos(plan):
+            degraded = check_stabilization(
+                concrete, spec, alpha, engine="packed",
+                instrumentation=recorder,
+            )
+        assert degraded.format() == baseline.format()
+        record = recorder.record()
+        assert record.counters["resilience.engine.fallback"] == 1
+        assert record.counters["engine.fallback.tuple"] == 1
+        events = [
+            event for event in record.events
+            if event.name == "engine.fallback"
+        ]
+        assert len(events) == 1
+        assert events[0].fields["during"] == "runtime"
+        assert "MemoryError" in events[0].fields["reason"]
+
+    def test_vector_memory_fault_walks_the_full_chain(self):
+        pytest.importorskip("numpy")
+        concrete, spec, alpha = _dijkstra4()
+        baseline = check_stabilization(
+            concrete, spec, alpha, engine="tuple"
+        )
+        # Every engine with state hooks faults: vector falls to packed,
+        # packed falls to tuple, and tuple (hook-less) finishes.
+        plan = FaultPlan(
+            faults=(
+                FaultAction(kind="raise-memory", engine="*", at_states=1),
+            )
+        )
+        recorder = Recorder(kind="test")
+        with using_chaos(plan):
+            degraded = check_stabilization(
+                concrete, spec, alpha, engine="vector",
+                instrumentation=recorder,
+            )
+        assert degraded.format() == baseline.format()
+        assert recorder.record().counters["resilience.engine.fallback"] == 2
+
+    def test_budget_exceeded_is_never_treated_as_an_engine_fault(self):
+        """``BudgetExceeded`` is a structured PARTIAL in flight: the
+        degradation chain must let it pass instead of burning through
+        the remaining engines."""
+        concrete = dijkstra_three_state(4).compile()
+        spec = btr_program(4).compile()
+        alpha = btr3_abstraction(4)
+        recorder = Recorder(kind="test")
+        result = check_stabilization(
+            concrete, spec, alpha, state_budget=10, engine="packed",
+            instrumentation=recorder,
+        )
+        assert result.is_partial
+        assert (
+            "resilience.engine.fallback"
+            not in recorder.record().counters
+        )
+
+
+class TestCacheCorruptionRecovery:
+    def test_corrupted_entry_recomputes_the_verdict(self, tmp_path):
+        from repro.parallel import (
+            VerificationCache,
+            cache_key,
+            program_fingerprint,
+        )
+
+        program = dijkstra_four_state(3)
+        key = cache_key("check", [program_fingerprint(program)], {})
+        plan = FaultPlan(
+            faults=(FaultAction(kind="corrupt-cache", index=0),)
+        )
+        recorder = Recorder(kind="test")
+        cache = VerificationCache(tmp_path / "cache", recorder)
+        with using_chaos(plan):
+            cache.put(key, {"holds": True, "text": "verdict"})
+        # The chaos fault flipped a byte of the stored file: the next
+        # read must refuse it rather than serve a damaged verdict.
+        assert cache.get(key) is None
+        counters = recorder.record().counters
+        assert counters["cache.corrupt"] == 1
+        # Recompute-and-overwrite restores service.
+        cache.put(key, {"holds": True, "text": "verdict"})
+        assert cache.get(key) == {"holds": True, "text": "verdict"}
+
+
+TOY_SPEC = (
+    "program toy\n"
+    "var x : mod 4\n"
+    "var y : mod 2\n"
+    "action fix_x :: x != 0 --> x := 0\n"
+    "action fix_y :: y != 0 --> y := 0\n"
+    "init x == 0 && y == 0\n"
+)
+
+#: The acceptance-criteria composite: one worker kill per phase, a
+#: vector-engine memory fault, and one corrupted cache entry.
+COMPOSITE_PLAN = (
+    '{"seed": 0, "faults": ['
+    '{"kind": "kill-worker", "task": 0, "attempt": 0}, '
+    '{"kind": "raise-memory", "engine": "vector", "at_states": 1}, '
+    '{"kind": "corrupt-cache", "index": 0}]}'
+)
+
+
+class TestCliChaosDifferential:
+    def test_chaotic_run_prints_byte_identical_verdict(
+        self, tmp_path, capsys
+    ):
+        from repro.cli import main
+
+        spec = tmp_path / "toy.gcl"
+        spec.write_text(TOY_SPEC, encoding="utf-8")
+        code_baseline = main(["check", str(spec)])
+        out_baseline = capsys.readouterr().out
+        code_chaos = main(
+            [
+                "check", str(spec),
+                "--workers", "4",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--chaos", COMPOSITE_PLAN,
+            ]
+        )
+        out_chaos = capsys.readouterr().out
+        assert code_chaos == code_baseline
+        assert out_chaos == out_baseline
+
+    def test_corrupted_cache_never_serves_a_wrong_verdict(
+        self, tmp_path, capsys
+    ):
+        from repro.cli import main
+
+        spec = tmp_path / "toy.gcl"
+        spec.write_text(TOY_SPEC, encoding="utf-8")
+        cache_dir = str(tmp_path / "cache")
+        # First run stores the verdict; the chaos plan corrupts it.
+        main(
+            ["check", str(spec), "--cache-dir", cache_dir,
+             "--chaos", '{"faults": [{"kind": "corrupt-cache", "index": 0}]}']
+        )
+        first = capsys.readouterr()
+        assert "verification cache: stored" in first.err
+        # Second run must miss (digest check), recompute, and re-store.
+        code = main(["check", str(spec), "--cache-dir", cache_dir])
+        second = capsys.readouterr()
+        assert code == 0
+        assert "verification cache: stored" in second.err
+        assert second.out == first.out
+        # Third run finally hits the repaired entry.
+        main(["check", str(spec), "--cache-dir", cache_dir])
+        third = capsys.readouterr()
+        assert "verification cache: hit" in third.err
+        assert third.out == first.out
+
+    def test_bad_chaos_plan_is_a_clean_cli_error(self, tmp_path, capsys):
+        from repro.cli import main
+
+        spec = tmp_path / "toy.gcl"
+        spec.write_text(TOY_SPEC, encoding="utf-8")
+        code = main(
+            ["check", str(spec), "--chaos", '{"faults": [{"kind": "nope"}]}']
+        )
+        assert code == 2
+        assert "unknown fault kind" in capsys.readouterr().err
+
+    def test_chaos_env_var_is_the_flagless_spelling(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        from repro.cli import main
+
+        spec = tmp_path / "toy.gcl"
+        spec.write_text(TOY_SPEC, encoding="utf-8")
+        baseline_code = main(["check", str(spec)])
+        baseline = capsys.readouterr().out
+        monkeypatch.setenv(
+            "REPRO_CHAOS",
+            '{"faults": [{"kind": "kill-worker", "task": 0, "attempt": 0}]}',
+        )
+        code = main(["check", str(spec), "--workers", "2"])
+        assert code == baseline_code
+        assert capsys.readouterr().out == baseline

@@ -1,0 +1,102 @@
+"""Property-based testing of fault-transparent verdicts.
+
+The resilience layer's core claim, stated as a property: for *any*
+small program and *any* injected fault plan (worker kills across
+tasks and attempts, engine memory faults at arbitrary thresholds),
+the supervised parallel verdict renders identically to the fault-free
+sequential one.  Hypothesis drives both the program generator (shared
+with ``test_prop_parallel``) and the fault-plan generator.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.checker import check_self_stabilization
+from repro.parallel import parallel_available
+from repro.resilience import (
+    FaultAction,
+    FaultPlan,
+    SupervisionPolicy,
+    using_chaos,
+    using_policy,
+)
+
+from tests.property.test_prop_parallel import small_programs
+
+import pytest
+
+pytestmark = pytest.mark.skipif(
+    not parallel_available(), reason="no fork start method"
+)
+
+#: Fast retries so injected kills cost milliseconds, not seconds.
+FAST = SupervisionPolicy(backoff_base=0.001, backoff_cap=0.005)
+
+
+@st.composite
+def fault_plans(draw):
+    """Random recoverable fault plans.
+
+    Worker kills stay on bounded attempts (the default policy allows
+    two retries, so attempts 0 and 1 always leave a clean third try —
+    and even exhausting them only quarantines, which also recovers).
+    Engine faults pick arbitrary thresholds; the degradation chain
+    ends in the hook-less tuple engine, so every plan is survivable.
+    """
+    count = draw(st.integers(min_value=1, max_value=3))
+    faults = []
+    for _ in range(count):
+        kind = draw(st.sampled_from(["kill-worker", "raise-memory"]))
+        if kind == "kill-worker":
+            faults.append(
+                FaultAction(
+                    kind="kill-worker",
+                    task=draw(
+                        st.one_of(
+                            st.just("*"),
+                            st.integers(min_value=0, max_value=3),
+                        )
+                    ),
+                    attempt=draw(st.integers(min_value=0, max_value=1)),
+                )
+            )
+        else:
+            faults.append(
+                FaultAction(
+                    kind="raise-memory",
+                    engine=draw(st.sampled_from(["packed", "*"])),
+                    at_states=draw(st.integers(min_value=1, max_value=20)),
+                )
+            )
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    return FaultPlan(seed=seed, faults=tuple(faults))
+
+
+class TestFaultTransparency:
+    @settings(max_examples=8, deadline=None)
+    @given(small_programs(), fault_plans())
+    def test_supervised_verdict_equals_sequential_under_any_plan(
+        self, program, plan
+    ):
+        baseline = check_self_stabilization(program)
+        with using_policy(FAST), using_chaos(plan):
+            chaotic = check_self_stabilization(program, workers=2)
+        assert chaotic.format() == baseline.format()
+        assert chaotic.holds == baseline.holds
+
+    @settings(max_examples=8, deadline=None)
+    @given(small_programs(), st.integers(min_value=1, max_value=10))
+    def test_engine_faults_never_perturb_the_verdict(
+        self, program, threshold
+    ):
+        baseline = check_self_stabilization(program, engine="tuple")
+        plan = FaultPlan(
+            faults=(
+                FaultAction(
+                    kind="raise-memory", engine="*", at_states=threshold
+                ),
+            )
+        )
+        with using_chaos(plan):
+            degraded = check_self_stabilization(program, engine="packed")
+        assert degraded.format() == baseline.format()

@@ -311,3 +311,67 @@ class TestSummary:
         text = summarize_campaign(campaign)
         assert "needs attention:" not in text
         assert "executed 1" in text
+
+
+class TestCheckpointCrashRecovery:
+    """A crash mid-append leaves a torn final line; resume drops it."""
+
+    def _run_then_tear(self, tmp_path, keep_bytes=None):
+        checkpoint = tmp_path / "campaign.jsonl"
+        cells = build_grid(systems=("dijkstra4",), sizes=(3,), seeds=2)
+        config = quick_config(checkpoint=checkpoint)
+        run_campaign(cells, config, executor=stub_executor)
+        data = checkpoint.read_bytes()
+        head, _, last = data.rstrip(b"\n").rpartition(b"\n")
+        cut = len(last) // 2 if keep_bytes is None else keep_bytes
+        checkpoint.write_bytes(head + b"\n" + last[:cut])
+        return checkpoint, cells, config
+
+    def test_truncated_final_line_is_dropped_and_rerun(self, tmp_path):
+        from repro.obs import Recorder
+
+        checkpoint, cells, config = self._run_then_tear(tmp_path)
+        ran = []
+
+        def counting(cell, config):
+            ran.append(cell.cell_id())
+            return stub_result(cell)
+
+        recorder = Recorder(kind="test")
+        campaign = run_campaign(
+            cells, config, resume=True, executor=counting,
+            instrumentation=recorder,
+        )
+        # Exactly the torn cell re-ran; everything before it resumed.
+        assert ran == [cells[-1].cell_id()]
+        assert campaign.skipped == len(cells) - 1
+        assert campaign.executed == 1
+        record = recorder.record()
+        assert record.counters["resilience.checkpoint.truncated"] == 1
+        truncated = [
+            event for event in record.events
+            if event.name == "campaign.checkpoint.truncated"
+        ]
+        assert len(truncated) == 1
+
+    def test_interior_corruption_stays_fatal(self, tmp_path):
+        checkpoint = tmp_path / "campaign.jsonl"
+        cells = build_grid(systems=("dijkstra4",), sizes=(3,), seeds=2)
+        config = quick_config(checkpoint=checkpoint)
+        run_campaign(cells, config, executor=stub_executor)
+        lines = checkpoint.read_text(encoding="utf-8").splitlines()
+        # Damage a line that is NOT the last one: not a crash signature.
+        lines[1] = lines[1][: len(lines[1]) // 2]
+        checkpoint.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with pytest.raises(SimulationError, match="corrupt"):
+            run_campaign(cells, config, resume=True, executor=stub_executor)
+
+    def test_resumed_checkpoint_replays_identically_after_repair(
+        self, tmp_path
+    ):
+        checkpoint, cells, config = self._run_then_tear(tmp_path)
+        campaign = run_campaign(
+            cells, config, resume=True, executor=stub_executor
+        )
+        assert len(campaign.results) == len(cells)
+        assert campaign.pending == 0 and campaign.ok

@@ -170,3 +170,93 @@ class TestVerificationCache:
 
     def test_empty_cache_has_length_zero(self, tmp_path):
         assert len(VerificationCache(tmp_path / "nonexistent")) == 0
+
+
+class TestCacheIntegrity:
+    """Digest-verified entries: damage reads as a miss, never a verdict."""
+
+    def _entry_path(self, root, key):
+        return root / key[:2] / f"{key}.json"
+
+    def test_bit_flipped_entry_is_a_corrupt_miss(self, tmp_path):
+        """Regression: flip one byte inside the stored payload.  The
+        JSON may still parse, so only the digest check catches it —
+        the entry must read as a miss and count ``cache.corrupt``."""
+        root = tmp_path / "cache"
+        recorder = Recorder(kind="test")
+        cache = VerificationCache(root, recorder)
+        key = cache_key("check", [program_fingerprint(TOY)], {})
+        cache.put(key, {"holds": True, "text": "toy: HOLDS"})
+        path = self._entry_path(root, key)
+        data = bytearray(path.read_bytes())
+        # Flip a bit inside the payload text, not the JSON structure.
+        flip_at = data.index(b"HOLDS")
+        data[flip_at] ^= 0x01
+        path.write_bytes(bytes(data))
+        assert cache.get(key) is None
+        counters = recorder.record().counters
+        assert counters["cache.corrupt"] == 1
+        assert counters["cache.miss"] == 1
+
+    def test_recompute_overwrites_the_corrupt_entry(self, tmp_path):
+        root = tmp_path / "cache"
+        cache = VerificationCache(root)
+        key = cache_key("check", [program_fingerprint(TOY)], {})
+        cache.put(key, {"holds": True})
+        path = self._entry_path(root, key)
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0x01
+        path.write_bytes(bytes(data))
+        assert cache.get(key) is None
+        cache.put(key, {"holds": True})
+        assert cache.get(key) == {"holds": True}
+
+    def test_missing_file_is_a_plain_miss_not_corruption(self, tmp_path):
+        recorder = Recorder(kind="test")
+        cache = VerificationCache(tmp_path / "cache", recorder)
+        assert cache.get("00" + "a" * 62) is None
+        counters = recorder.record().counters
+        assert counters["cache.miss"] == 1
+        assert "cache.corrupt" not in counters
+
+    def test_key_mismatch_is_corrupt(self, tmp_path):
+        """An entry filed under the wrong address (a botched copy, a
+        renamed file) must not be served for the address it sits at."""
+        root = tmp_path / "cache"
+        cache = VerificationCache(root)
+        key = cache_key("check", [program_fingerprint(TOY)], {})
+        other = cache_key("check", [program_fingerprint(TOY_EDITED)], {})
+        cache.put(key, {"holds": True})
+        good = self._entry_path(root, key)
+        moved = self._entry_path(root, other)
+        moved.parent.mkdir(parents=True, exist_ok=True)
+        moved.write_bytes(good.read_bytes())
+        assert cache.get(other) is None
+
+    def test_version_2_entry_reads_as_schema_drift(self, tmp_path):
+        """Entries from before the digest field (schema v2) miss with a
+        ``cache.corrupt`` drift marker and get rewritten on store."""
+        root = tmp_path / "cache"
+        recorder = Recorder(kind="test")
+        cache = VerificationCache(root, recorder)
+        key = cache_key("check", [program_fingerprint(TOY)], {})
+        path = self._entry_path(root, key)
+        path.parent.mkdir(parents=True)
+        path.write_text(
+            '{"v": 2, "key": "%s", "payload": {"holds": true}}' % key,
+            encoding="utf-8",
+        )
+        assert cache.get(key) is None
+        events = [
+            event.fields.get("reason")
+            for event in recorder.record().events
+            if event.name == "cache.corrupt"
+        ]
+        assert events == ["schema-drift"]
+
+    def test_digest_is_order_insensitive(self):
+        from repro.parallel.cache import payload_digest
+
+        assert payload_digest({"a": 1, "b": 2}) == payload_digest(
+            {"b": 2, "a": 1}
+        )

@@ -1,0 +1,100 @@
+"""Unit tests for the supervision policy and deterministic backoff.
+
+The invariants under test: the backoff schedule is a pure function of
+``(seed, task, attempt)`` — never of wall clocks or global RNG state —
+so two runs of the same fault plan retry on the same schedule; the
+policy validates its tunables at construction; and the process-global
+policy stack nests and restores correctly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience import (
+    DEFAULT_POLICY,
+    SupervisionPolicy,
+    backoff_delay,
+    current_policy,
+    using_policy,
+)
+
+
+class TestPolicyValidation:
+    def test_defaults_are_valid(self):
+        policy = SupervisionPolicy()
+        assert policy.task_timeout is None
+        assert policy.max_task_retries == 2
+
+    def test_rejects_nonpositive_timeout(self):
+        with pytest.raises(ValueError):
+            SupervisionPolicy(task_timeout=0.0)
+        with pytest.raises(ValueError):
+            SupervisionPolicy(task_timeout=-1.0)
+
+    def test_rejects_negative_retries(self):
+        with pytest.raises(ValueError):
+            SupervisionPolicy(max_task_retries=-1)
+
+    def test_rejects_negative_backoff(self):
+        with pytest.raises(ValueError):
+            SupervisionPolicy(backoff_base=-0.1)
+        with pytest.raises(ValueError):
+            SupervisionPolicy(backoff_cap=-1.0)
+
+
+class TestBackoffDeterminism:
+    def test_same_triple_same_delay(self):
+        policy = SupervisionPolicy(seed=7)
+        assert backoff_delay(policy, 3, 2) == backoff_delay(policy, 3, 2)
+
+    def test_seed_task_and_attempt_all_perturb_the_delay(self):
+        base = backoff_delay(SupervisionPolicy(seed=0), 0, 1)
+        assert backoff_delay(SupervisionPolicy(seed=1), 0, 1) != base
+        assert backoff_delay(SupervisionPolicy(seed=0), 1, 1) != base
+        # Different attempts draw different jitter fractions *and*
+        # different ceilings; equality would be astronomically unlikely.
+        assert backoff_delay(SupervisionPolicy(seed=0), 0, 2) != base
+
+    def test_delay_respects_ceiling_and_cap(self):
+        policy = SupervisionPolicy(backoff_base=0.01, backoff_cap=0.02)
+        for attempt in range(1, 10):
+            delay = backoff_delay(policy, 0, attempt)
+            ceiling = min(0.01 * 2 ** (attempt - 1), 0.02)
+            assert 0.0 <= delay <= ceiling
+
+    def test_rejects_attempt_below_one(self):
+        with pytest.raises(ValueError):
+            backoff_delay(DEFAULT_POLICY, 0, 0)
+
+    def test_known_value_is_platform_stable(self):
+        """Pin one concrete delay: the schedule must never drift
+        across platforms or Python versions (it is sha256-derived)."""
+        policy = SupervisionPolicy(seed=0, backoff_base=1.0, backoff_cap=1.0)
+        delay = backoff_delay(policy, 0, 1)
+        assert delay == pytest.approx(0.3583419225365296)
+
+
+class TestPolicyStack:
+    def test_default_is_active(self):
+        assert current_policy() is DEFAULT_POLICY
+
+    def test_using_policy_installs_and_restores(self):
+        custom = SupervisionPolicy(max_task_retries=5)
+        with using_policy(custom):
+            assert current_policy() is custom
+        assert current_policy() is DEFAULT_POLICY
+
+    def test_contexts_nest(self):
+        outer = SupervisionPolicy(seed=1)
+        inner = SupervisionPolicy(seed=2)
+        with using_policy(outer):
+            with using_policy(inner):
+                assert current_policy() is inner
+            assert current_policy() is outer
+
+    def test_restores_after_exception(self):
+        with pytest.raises(RuntimeError):
+            with using_policy(SupervisionPolicy(seed=9)):
+                raise RuntimeError("boom")
+        assert current_policy() is DEFAULT_POLICY

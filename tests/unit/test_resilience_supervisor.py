@@ -1,0 +1,170 @@
+"""Unit tests for the supervised fork-per-task executor.
+
+The invariants under test: results and order match ``Pool.map``
+semantics exactly; ordinary task exceptions propagate (they are not
+supervision failures); a worker killed mid-task is retried, not hung;
+a task whose every attempt dies is quarantined to an inline run with
+the identical result; a stuck task is reaped at the timeout; and the
+pool-level iterator guard rejects consumption after ``__exit__``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.obs import Recorder
+from repro.parallel.pool import WorkerPool, parallel_available
+from repro.resilience import (
+    FaultAction,
+    FaultPlan,
+    SupervisionPolicy,
+    supervised_map,
+    supervised_unordered,
+    using_chaos,
+)
+
+pytestmark = pytest.mark.skipif(
+    not parallel_available(), reason="fork-based pools unavailable"
+)
+
+#: Fast retry schedule so the fault tests do not sleep for real.
+FAST = SupervisionPolicy(backoff_base=0.001, backoff_cap=0.005)
+
+
+def square(value):
+    return value * value
+
+
+def explode(value):
+    raise ValueError(f"task says no to {value}")
+
+
+def slow_identity(value):
+    time.sleep(value)
+    return value
+
+
+class TestSupervisedMap:
+    def test_results_in_order(self):
+        assert supervised_map(square, list(range(8)), 3, policy=FAST) == [
+            value * value for value in range(8)
+        ]
+
+    def test_empty_items(self):
+        assert supervised_map(square, [], 2, policy=FAST) == []
+
+    def test_ordinary_exception_propagates(self):
+        # Whichever attempt lands first raises; both carry the marker.
+        with pytest.raises(ValueError, match="task says no to"):
+            supervised_map(explode, [1, 2], 2, policy=FAST)
+
+    def test_unordered_yields_every_index_once(self):
+        pairs = list(supervised_unordered(square, [3, 4, 5], 2, policy=FAST))
+        assert sorted(pairs) == [(0, 9), (1, 16), (2, 25)]
+
+
+class TestWorkerDeathRecovery:
+    def test_killed_worker_is_retried_with_identical_results(self):
+        plan = FaultPlan(
+            faults=(FaultAction(kind="kill-worker", task=1, attempt=0),)
+        )
+        recorder = Recorder(kind="test")
+        with using_chaos(plan):
+            results = supervised_map(
+                square, [2, 3, 4], 2, policy=FAST, instrumentation=recorder
+            )
+        assert results == [4, 9, 16]
+        counters = recorder.record().counters
+        assert counters["resilience.worker.death"] == 1
+        assert counters["resilience.task.retries"] == 1
+        assert "resilience.task.quarantined" not in counters
+
+    def test_poison_task_quarantines_to_an_inline_run(self):
+        plan = FaultPlan(
+            faults=(FaultAction(kind="kill-worker", task=0, attempt="*"),)
+        )
+        policy = SupervisionPolicy(
+            max_task_retries=1, backoff_base=0.001, backoff_cap=0.005
+        )
+        recorder = Recorder(kind="test")
+        with using_chaos(plan):
+            results = supervised_map(
+                square, [5, 6], 2, policy=policy, instrumentation=recorder
+            )
+        # The quarantined inline run still computes the right answer:
+        # chaos worker faults only fire in forked children.
+        assert results == [25, 36]
+        counters = recorder.record().counters
+        assert counters["resilience.worker.death"] == 2  # attempts 0 and 1
+        assert counters["resilience.task.quarantined"] == 1
+        assert counters["resilience.sequential_fallback"] == 1
+
+    def test_death_event_carries_coordinates(self):
+        plan = FaultPlan(
+            faults=(FaultAction(kind="kill-worker", task=0, attempt=0),)
+        )
+        recorder = Recorder(kind="test")
+        with using_chaos(plan):
+            supervised_map(
+                square, [1], 2, policy=FAST, instrumentation=recorder
+            )
+        events = [
+            event
+            for event in recorder.record().events
+            if event.name == "resilience.worker.death"
+        ]
+        assert len(events) == 1
+        assert events[0].fields["phase"] == "square"
+        assert events[0].fields["task"] == 0
+        assert events[0].fields["attempt"] == 0
+
+
+class TestTimeoutRecovery:
+    def test_stalled_task_is_reaped_and_retried(self):
+        # The chaos delay stalls only attempt 0; the retry runs clean.
+        plan = FaultPlan(
+            faults=(
+                FaultAction(
+                    kind="delay-task", task=0, attempt=0, seconds=5.0
+                ),
+            )
+        )
+        policy = SupervisionPolicy(
+            task_timeout=0.25, backoff_base=0.001, backoff_cap=0.005
+        )
+        recorder = Recorder(kind="test")
+        start = time.monotonic()
+        with using_chaos(plan):
+            results = supervised_map(
+                slow_identity,
+                [0.0, 0.0],
+                2,
+                policy=policy,
+                instrumentation=recorder,
+            )
+        elapsed = time.monotonic() - start
+        assert results == [0.0, 0.0]
+        assert elapsed < 5.0  # the 5s stall was reaped, not waited out
+        counters = recorder.record().counters
+        assert counters["resilience.task.timeout"] == 1
+        assert counters["resilience.task.retries"] == 1
+
+
+class TestPoolIteratorGuard:
+    def test_imap_consumed_after_exit_raises(self):
+        with WorkerPool(2) as pool:
+            iterator = iter(pool.imap_unordered(square, [1, 2, 3]))
+        with pytest.raises(RuntimeError, match="after the pool's context"):
+            list(iterator)
+
+    def test_imap_inside_context_works(self):
+        with WorkerPool(2) as pool:
+            results = sorted(pool.imap_unordered(square, [1, 2, 3]))
+        assert results == [1, 4, 9]
+
+    def test_map_outside_context_raises(self):
+        pool = WorkerPool(2)
+        with pytest.raises(RuntimeError, match="outside its context"):
+            pool.map(square, [1])
