@@ -12,13 +12,18 @@ resumes exactly where it stopped.
   registries), :class:`CellSpec`, and deterministic seed derivation;
 * :mod:`repro.campaign.engine` — the resilient executor with
   checkpoint/resume;
+* :mod:`repro.campaign.earlystop` — the cross-cell convergence
+  detector behind ``--early-stop``: a cell class whose last N
+  outcomes are identical stops executing, and its remaining seeds
+  become first-class ``earlystop`` results;
 * :mod:`repro.campaign.outcomes` — the outcome taxonomy
   (``converged`` / ``diverged`` / ``timeout`` / ``partial`` /
-  ``error``) and the per-cell result record;
+  ``error`` / ``earlystop``) and the per-cell result record;
 * :mod:`repro.campaign.report` — the summary table behind
   ``repro campaign``.
 """
 
+from .earlystop import ConvergenceDetector, class_key
 from .engine import CampaignConfig, CampaignResult, execute_cell, run_campaign
 from .grid import (
     INJECTORS,
@@ -38,10 +43,12 @@ __all__ = [
     "CellResult",
     "CellSpec",
     "CellStatus",
+    "ConvergenceDetector",
     "INJECTORS",
     "SCHEDULERS",
     "SYSTEMS",
     "build_grid",
+    "class_key",
     "derive_seed",
     "execute_cell",
     "grid_signature",

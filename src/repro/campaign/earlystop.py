@@ -1,0 +1,78 @@
+"""Cross-cell early stopping for campaign sweeps.
+
+A campaign grid repeats each ``(system, size, scheduler, injector)``
+combination — a *cell class* — across many seed indices.  Classes are
+swept for distribution, not novelty: once a class has produced the
+same outcome enough times in a row, the remaining seeds of that class
+are overwhelmingly likely to repeat it, and the budget is better spent
+elsewhere.  :class:`ConvergenceDetector` implements the stopping rule:
+
+    a class is **settled** once its last ``window`` observed outcomes
+    (in grid order) share one status.
+
+The rule is deterministic and order-independent in the only way that
+matters: observations are always fed in grid order — the sequential
+sweep feeds them as it goes; the parallel sweep batches each class
+into one worker task that runs its cells in grid order — so the same
+grid, seed, and window always stop at the same cell.  Skipped cells
+become first-class ``earlystop`` results (checkpointed like any other,
+reported as ``campaign.earlystop`` counters), so a resumed or
+re-summarized campaign sees exactly what the original decided.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .grid import CellSpec
+from .outcomes import CellStatus
+
+__all__ = ["ConvergenceDetector", "class_key"]
+
+
+def class_key(cell: CellSpec) -> str:
+    """The cell-class identity: the cell id minus its seed index."""
+    return (
+        f"{cell.kind}:{cell.system}:n{cell.n}"
+        f":{cell.scheduler}:{cell.injector}"
+    )
+
+
+class ConvergenceDetector:
+    """The settled-class detector behind ``--early-stop``.
+
+    Args:
+        window: consecutive identical outcomes required before a class
+            counts as settled (must be positive; ``1`` stops a class
+            after its first outcome — maximally aggressive).
+    """
+
+    def __init__(self, window: int):
+        if window < 1:
+            raise ValueError(f"early-stop window must be positive, got {window}")
+        self.window = window
+        self._outcomes: Dict[str, List[str]] = {}
+
+    def observe(self, cell: CellSpec, status: CellStatus) -> None:
+        """Feed one outcome, in grid order.
+
+        ``earlystop`` outcomes (from a resumed checkpoint) are not
+        evidence — they record a *decision*, not a run — and are
+        ignored.
+        """
+        if status is CellStatus.EARLYSTOP:
+            return
+        trail = self._outcomes.setdefault(class_key(cell), [])
+        trail.append(status.value)
+        del trail[: -self.window]
+
+    def settled(self, cell: CellSpec) -> Optional[str]:
+        """The status ``cell``'s class has settled at, or ``None``.
+
+        Settled means: ``window`` outcomes observed and the last
+        ``window`` of them identical.
+        """
+        trail = self._outcomes.get(class_key(cell), ())
+        if len(trail) >= self.window and len(set(trail)) == 1:
+            return trail[0]
+        return None

@@ -45,6 +45,7 @@ from ..resilience import chaos
 from ..simulation.faults import FaultSchedule
 from ..simulation.metrics import legitimacy_predicate
 from ..simulation.runner import SimStatus, execute
+from .earlystop import ConvergenceDetector, class_key
 from .grid import (
     SYSTEMS,
     CellSpec,
@@ -101,6 +102,12 @@ class CampaignConfig:
             to tuple where packing cannot apply) or ``"tuple"``.
             Verdicts are identical either way, so the engine is — like
             ``workers`` — excluded from the verification cache key.
+        early_stop: stop sweeping a cell class (same system, size,
+            scheduler, and injector) once its last ``early_stop``
+            outcomes are identical (``None`` = sweep every seed); the
+            skipped cells become first-class ``earlystop`` results.
+            Deterministic: observations are fed in grid order in both
+            sweep modes (see :mod:`repro.campaign.earlystop`).
 
     Raises:
         SimulationError: on a non-positive budget or an unknown
@@ -119,6 +126,7 @@ class CampaignConfig:
     workers: int = 1
     cache_dir: Optional[Union[str, Path]] = None
     engine: str = "packed"
+    early_stop: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.steps < 1:
@@ -145,6 +153,10 @@ class CampaignConfig:
         if self.state_budget is not None and self.state_budget < 1:
             raise SimulationError(
                 f"state budget must be positive, got {self.state_budget}"
+            )
+        if self.early_stop is not None and self.early_stop < 1:
+            raise SimulationError(
+                f"early-stop window must be positive, got {self.early_stop}"
             )
 
 
@@ -387,6 +399,15 @@ def execute_cell(cell: CellSpec, config: CampaignConfig) -> CellResult:
     )
 
 
+def _earlystop_result(cell: CellSpec, settled: str, window: int) -> CellResult:
+    """The first-class record of a cell skipped by early stopping."""
+    return CellResult(
+        cell.cell_id(), CellStatus.EARLYSTOP, 0, 0.0,
+        detail=f"class {class_key(cell)} settled at '{settled}' "
+        f"({window} identical outcomes)",
+    )
+
+
 def _note_cell(
     instrumentation: Instrumentation, result: CellResult
 ) -> None:
@@ -400,6 +421,11 @@ def _note_cell(
     """
     instrumentation.count("campaign.cells.executed")
     instrumentation.count(f"campaign.status.{result.status.value}")
+    if result.status is CellStatus.EARLYSTOP:
+        instrumentation.count("campaign.earlystop")
+        instrumentation.event(
+            "campaign.earlystop", id=result.cell_id, detail=result.detail
+        )
     if "[cached]" in result.detail:
         instrumentation.count("cache.hit")
     if result.status is CellStatus.CONVERGED and result.steps is not None:
@@ -551,6 +577,11 @@ def run_campaign(
             cells, config, completed, workers, instrumentation,
             executor, on_cell, campaign,
         )
+    detector = (
+        ConvergenceDetector(config.early_stop)
+        if config.early_stop is not None
+        else None
+    )
     interrupted_at: Optional[int] = None
     for index, cell in enumerate(cells):
         cell_id = cell.cell_id()
@@ -558,15 +589,24 @@ def run_campaign(
             campaign.skipped += 1
             campaign.results.append(completed[cell_id])
             instrumentation.count("campaign.cells.skipped")
+            if detector is not None:
+                detector.observe(cell, completed[cell_id].status)
             continue
-        try:
-            # In-process cells report straight to the run's sink (the
-            # same slot forked workers rebind to their own recorder).
-            with using_worker_instrumentation(instrumentation):
-                result = executor(cell, config)
-        except KeyboardInterrupt:
-            interrupted_at = index
-            break
+        settled = detector.settled(cell) if detector is not None else None
+        if settled is not None:
+            assert config.early_stop is not None
+            result = _earlystop_result(cell, settled, config.early_stop)
+        else:
+            try:
+                # In-process cells report straight to the run's sink (the
+                # same slot forked workers rebind to their own recorder).
+                with using_worker_instrumentation(instrumentation):
+                    result = executor(cell, config)
+            except KeyboardInterrupt:
+                interrupted_at = index
+                break
+            if detector is not None:
+                detector.observe(cell, result.status)
         campaign.executed += 1
         campaign.results.append(result)
         _note_cell(instrumentation, result)
@@ -613,6 +653,53 @@ def _run_cell_task(
     return index, result, recorder.record()
 
 
+def _run_class_batch_task(
+    payload: "Tuple[Tuple[Tuple[int, CellSpec], ...], Tuple[str, ...]]",
+) -> "List[Tuple[int, CellResult, Optional[RunRecord]]]":
+    """Pool task: run one cell class sequentially, early-stopping its tail.
+
+    Under ``--early-stop`` the unit of parallel dispatch is the *class*
+    (all pending seeds of one (system, size, scheduler, injector)
+    combination), not the cell: the stopping rule reads the class's
+    outcomes in grid order, so the class must execute in grid order.
+    Classes still sweep concurrently.  ``payload`` carries the class's
+    pending ``(index, cell)`` pairs plus the statuses of its
+    checkpoint-restored cells (grid order) so a resumed class resumes
+    its evidence trail too.
+    """
+    from ..parallel.pool import worker_context
+
+    items, priors = payload
+    ctx = worker_context()
+    executor: Callable[[CellSpec, CampaignConfig], CellResult] = (
+        ctx["campaign_executor"]  # type: ignore[assignment]
+    )
+    config: CampaignConfig = ctx["campaign_config"]  # type: ignore[assignment]
+    assert config.early_stop is not None
+    detector = ConvergenceDetector(config.early_stop)
+    for status_value in priors:
+        detector.observe(items[0][1], CellStatus(status_value))
+    entries: List[Tuple[int, CellResult, Optional[RunRecord]]] = []
+    for index, cell in items:
+        settled = detector.settled(cell)
+        if settled is not None:
+            entries.append(
+                (index, _earlystop_result(cell, settled, config.early_stop), None)
+            )
+            continue
+        record: Optional[RunRecord] = None
+        if ctx.get("campaign_record"):
+            recorder = Recorder(kind="worker")
+            with using_worker_instrumentation(recorder):
+                result = executor(cell, config)
+            record = recorder.record()
+        else:
+            result = executor(cell, config)
+        detector.observe(cell, result.status)
+        entries.append((index, result, record))
+    return entries
+
+
 def _run_campaign_parallel(
     cells: Sequence[CellSpec],
     config: CampaignConfig,
@@ -646,6 +733,19 @@ def _run_campaign_parallel(
     finished: Dict[int, CellResult] = {}
     interrupted = False
     record_workers = instrumentation is not NULL_INSTRUMENTATION
+
+    def land(index: int, result: CellResult, record: Optional[RunRecord]) -> None:
+        finished[index] = result
+        campaign.executed += 1
+        if record is not None:
+            instrumentation.absorb(record)
+        _note_cell(instrumentation, result)
+        if config.checkpoint is not None:
+            append_jsonl_line(config.checkpoint, result.to_payload())
+            chaos.checkpoint_appended(config.checkpoint)
+        if on_cell is not None:
+            on_cell(cells[index], result)
+
     if pending_items:
         with WorkerPool(
             workers,
@@ -654,19 +754,36 @@ def _run_campaign_parallel(
             campaign_record=record_workers,
         ) as pool:
             try:
-                for index, result, record in pool.imap_unordered(
-                    _run_cell_task, pending_items
-                ):
-                    finished[index] = result
-                    campaign.executed += 1
-                    if record is not None:
-                        instrumentation.absorb(record)
-                    _note_cell(instrumentation, result)
-                    if config.checkpoint is not None:
-                        append_jsonl_line(config.checkpoint, result.to_payload())
-                        chaos.checkpoint_appended(config.checkpoint)
-                    if on_cell is not None:
-                        on_cell(cells[index], result)
+                if config.early_stop is not None:
+                    # Dispatch whole classes: the stopping rule needs
+                    # each class's outcomes in grid order (see
+                    # _run_class_batch_task).
+                    priors: Dict[str, List[str]] = {}
+                    for cell in cells:
+                        done = completed.get(cell.cell_id())
+                        if done is not None:
+                            priors.setdefault(class_key(cell), []).append(
+                                done.status.value
+                            )
+                    batches: Dict[str, List[Tuple[int, CellSpec]]] = {}
+                    for index, cell in pending_items:
+                        batches.setdefault(class_key(cell), []).append(
+                            (index, cell)
+                        )
+                    payloads = [
+                        (tuple(items), tuple(priors.get(key, ())))
+                        for key, items in batches.items()
+                    ]
+                    for entries in pool.imap_unordered(
+                        _run_class_batch_task, payloads
+                    ):
+                        for index, result, record in entries:
+                            land(index, result, record)
+                else:
+                    for index, result, record in pool.imap_unordered(
+                        _run_cell_task, pending_items
+                    ):
+                        land(index, result, record)
             except KeyboardInterrupt:
                 interrupted = True
     for index, cell in enumerate(cells):

@@ -16,7 +16,11 @@ classifying everything:
 * ``partial``   — the checker hit its state budget before deciding
   (see :mod:`repro.checker.budget`);
 * ``error``     — the cell crashed even after its bounded retries; the
-  exception is summarized in ``detail``.
+  exception is summarized in ``detail``;
+* ``earlystop`` — the cell was skipped because its cell class had
+  already settled under ``--early-stop``
+  (see :mod:`repro.campaign.earlystop`); ``detail`` names the settled
+  status.
 
 Results serialize as tagged ``{"t": "campaign-cell"}`` JSONL lines —
 the same convention as :mod:`repro.obs.record`, so checkpoint files
@@ -41,6 +45,7 @@ class CellStatus(Enum):
     TIMEOUT = "timeout"
     PARTIAL = "partial"
     ERROR = "error"
+    EARLYSTOP = "earlystop"
 
 
 @dataclass(frozen=True)

@@ -20,6 +20,7 @@ _COLUMNS: Tuple[CellStatus, ...] = (
     CellStatus.TIMEOUT,
     CellStatus.PARTIAL,
     CellStatus.ERROR,
+    CellStatus.EARLYSTOP,
 )
 
 
@@ -35,7 +36,7 @@ def summarize_campaign(campaign: CampaignResult) -> str:
     """A plain-text summary table of a campaign run.
 
     Rows are (system, ring size) groups in first-seen order; columns
-    are the five outcomes plus a total.  Cells that demand attention —
+    are the outcome taxonomy plus a total.  Cells that demand attention —
     suspected divergences with archived traces, errors, partial
     verdicts — are listed beneath the table with their detail lines.
     """

@@ -36,7 +36,7 @@ paper's ``C3``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple, Union
 
 from ..core.abstraction import AbstractionFunction, identity_abstraction
@@ -157,12 +157,19 @@ class StabilizationResult:
         worst_case_steps: length of the longest transition path that
             stays outside ``G`` (the adversarial convergence time), or
             ``None`` when the check failed.
+        engine: the engine that actually decided the check (after
+            preflight fallback and runtime degradation) when it came
+            through :func:`check_stabilization`; ``None`` on directly
+            constructed results.  Excluded from equality — verdicts
+            are engine-identical, and the differential tests compare
+            results across engines.
     """
 
     result: CheckResult
     legitimate_abstract: FrozenSet[State]
     core: FrozenSet[State]
     worst_case_steps: Optional[int]
+    engine: Optional[str] = field(default=None, compare=False)
 
     @property
     def holds(self) -> bool:
@@ -608,6 +615,10 @@ def check_stabilization(
                 frozenset(),
                 frozenset(),
                 None,
+                # Only metered (tuple-engine) exploration can trip the
+                # budget; _select_engine guarantees tight budgets land
+                # there.
+                engine="tuple",
             )
     instrumentation.count("check.legitimate.size", len(result.legitimate_abstract))
     instrumentation.count("check.core.size", len(result.core))
@@ -657,7 +668,7 @@ def _decide_with_degradation(
     for position, engine_name in enumerate(chain):
         try:
             if engine_name == "vector":
-                return _decide_stabilization_vector(
+                decided = _decide_stabilization_vector(
                     concrete,
                     abstract,
                     alpha,
@@ -666,8 +677,8 @@ def _decide_with_degradation(
                     compute_steps,
                     instrumentation,
                 )
-            if engine_name == "packed":
-                return _decide_stabilization_packed(
+            elif engine_name == "packed":
+                decided = _decide_stabilization_packed(
                     concrete,
                     abstract,
                     alpha,
@@ -677,21 +688,28 @@ def _decide_with_degradation(
                     instrumentation,
                     workers,
                 )
-            concrete_system = _as_system(concrete)
-            abstract_system = (
-                concrete_system if abstract is concrete else _as_system(abstract)
-            )
-            return _decide_stabilization(
-                concrete_system,
-                abstract_system,
-                alpha,
-                stutter_insensitive,
-                fairness,
-                compute_steps,
-                instrumentation,
-                meter,
-                workers,
-            )
+            else:
+                concrete_system = _as_system(concrete)
+                abstract_system = (
+                    concrete_system
+                    if abstract is concrete
+                    else _as_system(abstract)
+                )
+                decided = _decide_stabilization(
+                    concrete_system,
+                    abstract_system,
+                    alpha,
+                    stutter_insensitive,
+                    fairness,
+                    compute_steps,
+                    instrumentation,
+                    meter,
+                    workers,
+                )
+            # Stamp the engine that actually decided (not the one
+            # requested): runtime degradation may have moved down the
+            # chain since preflight selection.
+            return replace(decided, engine=engine_name)
         except BudgetExceeded:
             raise
         except RECOVERABLE_ENGINE_FAULTS as fault:

@@ -3,6 +3,7 @@
 Subcommands::
 
     python -m repro check FILE [--spec FILE] [--fairness MODE] ...
+    python -m repro verify-tree DIR [--tier T] [--manifest F] ...
     python -m repro refines CONCRETE ABSTRACT [--relation R] ...
     python -m repro ring SYSTEM -n N [--fairness MODE]
     python -m repro simulate FILE [--steps N] [--seed S] ...
@@ -12,7 +13,12 @@ Subcommands::
     python -m repro synthesize FILE [--spec FILE]
 
 ``check`` decides self-stabilization of a program (or stabilization to
-a second program over the same variables); ``refines`` decides one of
+a second program over the same variables); ``verify-tree`` brings a
+whole directory of specs to a verified state incrementally — verdicts
+replay from a fingerprint manifest unless the spec changed, and each
+re-verified spec runs at an adaptively selected tier (see
+:mod:`repro.tiering` and ``docs/PERFORMANCE.md``); ``refines`` decides
+one of
 the paper's refinement relations between two programs; ``ring`` runs a
 named token-ring verification from the reproduction; ``simulate`` runs
 the random-daemon simulator and prints the trace tail; ``report``
@@ -162,6 +168,51 @@ def build_parser() -> argparse.ArgumentParser:
     _add_parallel_flags(check)
     _add_obs_out(check)
 
+    vtree = commands.add_parser(
+        "verify-tree",
+        help="incrementally verify every GCL spec under a directory: "
+        "unchanged specs replay manifest verdicts byte for byte, "
+        "changed ones re-verify at an adaptively selected tier",
+    )
+    vtree.add_argument(
+        "root", help="directory walked recursively for *.gcl spec files"
+    )
+    vtree.add_argument(
+        "--manifest", metavar="PATH",
+        help="fingerprint manifest from the previous run "
+        "(default: ROOT/.repro-verify/manifest.json)",
+    )
+    vtree.add_argument(
+        "--ledger", metavar="PATH",
+        help="persisted per-spec risk ledger feeding tier selection "
+        "(default: ROOT/.repro-verify/ledger.json)",
+    )
+    vtree.add_argument(
+        "--tier", choices=("light", "standard", "thorough"), default=None,
+        help="pin every re-verified spec to one tier instead of "
+        "adaptive selection; manifest entries verified at another "
+        "tier are re-verified (default: select per spec from size "
+        "and verdict history)",
+    )
+    vtree.add_argument(
+        "--fairness", choices=("none", "weak", "strong"), default="none",
+        help="daemon fairness for the exhaustive tiers; part of the "
+        "fingerprint, so changing it invalidates the manifest "
+        "(default: none)",
+    )
+    vtree.add_argument(
+        "--seed", type=_int_at_least(0), default=0,
+        help="RNG seed for LIGHT-tier Monte-Carlo estimates; a "
+        "manifest parameter (default: 0)",
+    )
+    vtree.add_argument(
+        "--workers", type=_int_at_least(1), default=1, metavar="N",
+        help="worker processes to fan re-verified specs across "
+        "(default: 1; the verdict stream is identical at every count)",
+    )
+    _add_engine_flag(vtree)
+    _add_obs_out(vtree)
+
     refines = commands.add_parser(
         "refines", help="check a refinement relation between two programs"
     )
@@ -292,6 +343,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-out", metavar="DIR",
         help="archive the trace of every suspected-divergence run "
         "under DIR (replayable via 'repro report')",
+    )
+    camp.add_argument(
+        "--early-stop", type=_int_at_least(1), default=None, metavar="N",
+        help="stop sweeping a grid cell class (same system, size, "
+        "scheduler, injector) once its last N outcomes are identical; "
+        "skipped cells are recorded as first-class 'earlystop' "
+        "results (default: sweep every seed)",
     )
     camp.add_argument(
         "--smoke", action="store_true",
@@ -560,6 +618,29 @@ def _cmd_check(args) -> int:
     return 0 if result.holds else 1
 
 
+def _cmd_verify_tree(args) -> int:
+    from .tiering import Tier, verify_tree
+
+    instrumentation, recorder = _recorder_for(args, "verify-tree")
+    instrumentation.annotate(
+        root=args.root, fairness=args.fairness, engine=args.engine,
+        workers=args.workers, tier=args.tier, seed=args.seed,
+    )
+    report = verify_tree(
+        args.root,
+        manifest_path=args.manifest,
+        ledger_path=args.ledger,
+        forced_tier=Tier(args.tier) if args.tier else None,
+        fairness=args.fairness,
+        engine=args.engine,
+        seed=args.seed,
+        workers=args.workers,
+        instrumentation=instrumentation,
+    )
+    _flush_recorder(args, recorder)
+    return 0 if report.ok else 1
+
+
 def _cmd_refines(args) -> int:
     instrumentation, recorder = _recorder_for(args, "refines")
     concrete = _load(args.concrete).compile()
@@ -688,7 +769,7 @@ def _cmd_campaign(args) -> int:
             seed=args.seed, state_budget=100_000,
             checkpoint=args.checkpoint, trace_dir=args.trace_out,
             workers=args.workers, cache_dir=args.cache_dir,
-            engine=args.engine,
+            engine=args.engine, early_stop=args.early_stop,
         )
     else:
         cells = build_grid(
@@ -705,7 +786,7 @@ def _cmd_campaign(args) -> int:
             fault_count=args.faults, state_budget=args.state_budget,
             checkpoint=args.checkpoint, trace_dir=args.trace_out,
             workers=args.workers, cache_dir=args.cache_dir,
-            engine=args.engine,
+            engine=args.engine, early_stop=args.early_stop,
         )
     instrumentation, recorder = _recorder_for(args, "campaign")
 
@@ -771,6 +852,7 @@ def _cmd_synthesize(args) -> int:
 
 _DISPATCH = {
     "check": _cmd_check,
+    "verify-tree": _cmd_verify_tree,
     "refines": _cmd_refines,
     "ring": _cmd_ring,
     "simulate": _cmd_simulate,

@@ -191,12 +191,16 @@ class VerificationCache:
     def get(self, key: str) -> Optional[Dict[str, object]]:
         """The stored payload for ``key``, or ``None``.
 
-        A missing file is a plain miss.  A file that *exists* but does
-        not validate — unparseable JSON, schema drift, a key recorded
-        under the wrong address, a payload whose digest does not match
-        — additionally counts ``cache.corrupt`` (with a ``reason``
-        event) and still reads as a miss, so the caller recomputes and
-        the next :meth:`put` overwrites the bad entry.
+        A missing file is a plain miss.  A well-formed entry written
+        under a *known older* schema (v1/v2) is drift, not damage: it
+        counts ``cache.stale_schema`` (with the versions in the event)
+        so upgrades and bit rot are distinguishable downstream.  A
+        file that *exists* but does not validate — unparseable JSON,
+        an unknown schema version, a key recorded under the wrong
+        address, a payload whose digest does not match — additionally
+        counts ``cache.corrupt`` (with a ``reason`` event).  Every
+        case still reads as a miss, so the caller recomputes and the
+        next :meth:`put` overwrites the old entry.
         """
         path = self._path(key)
         try:
@@ -212,8 +216,26 @@ class VerificationCache:
             self._miss(key, corrupt="malformed")
             return None
         if entry.get("v") != CACHE_SCHEMA_VERSION:
-            # Schema drift is expected across upgrades, not damage —
-            # but the entry is unusable either way.
+            version = entry.get("v")
+            if (
+                version in (1, 2)
+                and entry.get("key") == key
+                and isinstance(entry.get("payload"), dict)
+            ):
+                # A well-formed entry from a known older schema: an
+                # upgrade left it behind, nothing damaged it.  Distinct
+                # from cache.corrupt so manifest diffs and operators
+                # can tell drift from damage.
+                self.misses += 1
+                self._instrumentation.count("cache.miss")
+                self._instrumentation.count("cache.stale_schema")
+                self._instrumentation.event(
+                    "cache.stale_schema",
+                    key=key,
+                    found=version,
+                    expected=CACHE_SCHEMA_VERSION,
+                )
+                return None
             self._miss(key, corrupt="schema-drift")
             return None
         payload = entry.get("payload")

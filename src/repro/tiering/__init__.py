@@ -1,0 +1,61 @@
+"""Adaptive tiered verification and fingerprint-incremental re-verification.
+
+The checks of :mod:`repro.checker` are compositional: a verdict for a
+spec does not change unless the program, the abstraction, or the check
+semantics change.  This package exploits that twice over:
+
+* :mod:`repro.tiering.select` — the **tier selector**: LIGHT (seeded
+  Monte-Carlo estimate, :mod:`repro.tiering.montecarlo`), STANDARD
+  (budgeted exhaustive), or THOROUGH (full exhaustive plus refinement
+  witnesses), chosen per spec from its size, its verdict history
+  (:mod:`repro.tiering.ledger`), or an explicit override — every
+  decision explained by a ``tier.select`` event;
+* :mod:`repro.tiering.manifest` + :mod:`repro.tiering.runner` — the
+  **incremental layer**: ``repro verify-tree <dir>`` diffs canonical
+  program fingerprints against the previous run's manifest and
+  re-verifies only what changed, replaying unchanged verdicts byte
+  for byte with zero engine fixpoints.
+
+See ``docs/PERFORMANCE.md`` ("Tiered and incremental verification")
+for the selection matrix, the manifest format, and the invalidation
+rules.
+"""
+
+from .ledger import LEDGER_SCHEMA_VERSION, MAX_OUTCOMES, RiskLedger
+from .manifest import (
+    MANIFEST_SCHEMA_VERSION,
+    Manifest,
+    ManifestDiff,
+    ManifestEntry,
+)
+from .montecarlo import LightVerdict, light_convergence_estimate
+from .runner import SpecOutcome, TreeReport, verify_tree
+from .select import (
+    DEFAULT_THRESHOLDS,
+    Tier,
+    TierDecision,
+    TierThresholds,
+    select_tier,
+    spec_cells,
+)
+
+__all__ = [
+    "Tier",
+    "TierThresholds",
+    "DEFAULT_THRESHOLDS",
+    "TierDecision",
+    "select_tier",
+    "spec_cells",
+    "RiskLedger",
+    "LEDGER_SCHEMA_VERSION",
+    "MAX_OUTCOMES",
+    "Manifest",
+    "ManifestDiff",
+    "ManifestEntry",
+    "MANIFEST_SCHEMA_VERSION",
+    "LightVerdict",
+    "light_convergence_estimate",
+    "SpecOutcome",
+    "TreeReport",
+    "verify_tree",
+]

@@ -1,0 +1,123 @@
+"""The persisted risk ledger feeding tier selection.
+
+One small JSON file records, per spec *path*, the recent verification
+outcomes — whether the verdict held, whether it was cut PARTIAL, the
+tier it ran at, and the fingerprint it was computed for.  The ledger
+is keyed by path (not fingerprint) deliberately: a spec that failed
+last week and was edited since is exactly the spec that deserves a
+THOROUGH re-check, and a fingerprint key would forget its history the
+moment the content changed.
+
+The file is written atomically (temp file + ``os.replace``), tolerates
+a missing or damaged file by starting empty (the ledger is advisory —
+losing it only costs tier optimality, never correctness), and keeps a
+bounded number of outcomes per spec.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, List, Mapping, Tuple, Union
+
+__all__ = ["LEDGER_SCHEMA_VERSION", "MAX_OUTCOMES", "RiskLedger"]
+
+#: Bumped when the on-disk layout changes; an unknown version is
+#: discarded (advisory data, see the module docstring).
+LEDGER_SCHEMA_VERSION = 1
+
+#: Outcomes retained per spec — enough for every history rule in
+#: :mod:`repro.tiering.select` with room to spare.
+MAX_OUTCOMES = 10
+
+
+class RiskLedger:
+    """Per-spec verdict history, persisted as one JSON file.
+
+    Args:
+        path: where the ledger lives; read eagerly, written only on
+            :meth:`save`.
+    """
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self._specs: Dict[str, List[Dict[str, object]]] = {}
+        self.stale = False
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                raw = json.load(handle)
+        except FileNotFoundError:
+            return
+        except (OSError, ValueError):
+            self.stale = True
+            return
+        if (
+            not isinstance(raw, dict)
+            or raw.get("v") != LEDGER_SCHEMA_VERSION
+            or not isinstance(raw.get("specs"), dict)
+        ):
+            self.stale = True
+            return
+        for key, outcomes in raw["specs"].items():
+            if not isinstance(outcomes, list):
+                continue
+            kept = [
+                dict(outcome)
+                for outcome in outcomes
+                if isinstance(outcome, dict)
+            ]
+            if kept:
+                self._specs[str(key)] = kept[-MAX_OUTCOMES:]
+
+    def history(self, key: str) -> Tuple[Mapping[str, object], ...]:
+        """Recent outcomes for ``key``, oldest first (empty when unknown)."""
+        return tuple(self._specs.get(key, ()))
+
+    def record(
+        self,
+        key: str,
+        *,
+        holds: bool,
+        partial: bool,
+        tier: str,
+        fingerprint: str,
+    ) -> None:
+        """Append one outcome for ``key``, trimming to the retention cap."""
+        outcomes = self._specs.setdefault(key, [])
+        outcomes.append(
+            {
+                "holds": bool(holds),
+                "partial": bool(partial),
+                "tier": tier,
+                "fingerprint": fingerprint,
+            }
+        )
+        del outcomes[:-MAX_OUTCOMES]
+
+    def forget(self, key: str) -> None:
+        """Drop the history of a spec that no longer exists."""
+        self._specs.pop(key, None)
+
+    def save(self) -> None:
+        """Persist atomically (temp file + rename)."""
+        payload = {"v": LEDGER_SCHEMA_VERSION, "specs": self._specs}
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        descriptor, temp_name = tempfile.mkstemp(
+            dir=str(self.path.parent), suffix=".tmp"
+        )
+        try:
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(temp_name, self.path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        """Number of specs with recorded history."""
+        return len(self._specs)

@@ -1,0 +1,178 @@
+"""The LIGHT tier: a seeded Monte-Carlo convergence estimate.
+
+When a spec is too large for exhaustive fixpoints, the principled
+budget-bounded stand-in (per *Weak vs. Self vs. Probabilistic
+Stabilization*, PAPERS.md) is statistical: sample random states,
+run the random daemon, and measure how many trajectories re-enter
+legitimate behaviour within a step horizon.
+
+The estimate runs entirely on the packed kernel — states are dense int
+codes, so sampling a random state is one ``randrange`` over the
+interner range (never an enumeration of the space), and stepping is
+one successor-closure call.  The procedure:
+
+1. **Empirical legitimate set.**  From a bounded sample of the spec's
+   initial codes, run the seeded random daemon ``warmup`` steps (the
+   burn-in), then keep walking ``collect`` further steps recording
+   every state visited.  For a stabilizing system this tail is inside
+   the legitimate behaviour almost surely once the burn-in exceeds the
+   convergence time.
+2. **Trajectory sampling.**  Draw ``samples`` uniform random codes and
+   walk each under the same daemon for up to ``horizon`` steps; a
+   trajectory *converges* when it enters the empirical legitimate set
+   (a deadlock outside it, or horizon exhaustion, is a non-converged
+   trajectory).
+
+The verdict is an **estimate**, never a proof — its formatted text
+says so loudly — and it is fully deterministic for a given seed: every
+random draw comes from one ``random.Random`` stream.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Set
+
+from ..gcl.program import Program
+from ..obs import NULL_INSTRUMENTATION, Instrumentation
+
+__all__ = ["LightVerdict", "light_convergence_estimate"]
+
+
+@dataclass(frozen=True)
+class LightVerdict:
+    """Outcome of a LIGHT-tier Monte-Carlo convergence estimate.
+
+    Attributes:
+        name: the checked program's name.
+        samples: trajectories sampled.
+        converged: how many entered the empirical legitimate set.
+        horizon: per-trajectory step budget.
+        seed: the RNG seed (the estimate is a pure function of it).
+        legitimate_size: size of the empirical legitimate set.
+        states: the full state-space size the samples were drawn from.
+    """
+
+    name: str
+    samples: int
+    converged: int
+    horizon: int
+    seed: int
+    legitimate_size: int
+    states: int
+
+    @property
+    def holds(self) -> bool:
+        """Every sampled trajectory converged (statistical evidence only)."""
+        return self.samples > 0 and self.converged == self.samples
+
+    @property
+    def is_partial(self) -> bool:
+        """Sampling never decides; kept for result-shape compatibility."""
+        return False
+
+    def format(self) -> str:
+        """Render the estimate, clearly marked as simulated."""
+        verdict = "LIKELY HOLDS" if self.holds else "NOT CONFIRMED"
+        return (
+            f"{self.name} self-stabilization estimate (LIGHT tier, "
+            f"simulated): {verdict}\n"
+            f"  {self.converged}/{self.samples} sampled trajectories "
+            f"converged within {self.horizon} steps "
+            f"(seed {self.seed}, empirical legitimate set "
+            f"{self.legitimate_size} of {self.states} states)"
+        )
+
+
+def light_convergence_estimate(
+    program: Program,
+    *,
+    samples: int = 64,
+    horizon: int = 1024,
+    warmup: int = 256,
+    collect: int = 128,
+    warmup_starts: int = 8,
+    seed: int = 0,
+    instrumentation: Instrumentation = NULL_INSTRUMENTATION,
+) -> LightVerdict:
+    """Estimate self-stabilization of ``program`` by seeded simulation.
+
+    Args:
+        program: the spec (must have a packable schema — tier
+            selection guarantees this before routing a spec here).
+        samples: trajectories to sample.
+        horizon: step budget per sampled trajectory.
+        warmup: burn-in steps before the legitimate tail is recorded.
+        collect: steps of tail recorded per warm-up walk.
+        warmup_starts: how many initial codes seed the warm-up walks.
+        seed: the single RNG seed behind every draw.
+        instrumentation: observability sink (``tier.light.*``
+            counters and the summary event).
+
+    Returns:
+        A deterministic :class:`LightVerdict`.
+
+    Raises:
+        ValueError: on non-positive sampling parameters.
+    """
+    if samples < 1 or horizon < 1 or warmup < 0 or collect < 1:
+        raise ValueError("sampling parameters must be positive")
+    from ..kernel import as_kernel
+
+    kernel = as_kernel(program, instrumentation=instrumentation)
+    rng = random.Random(seed)
+
+    with instrumentation.span("tier.light.legitimate"):
+        legitimate: Set[int] = set()
+        starts = kernel.initial_codes[: max(1, warmup_starts)]
+        for code in starts:
+            for _ in range(warmup):
+                successors = kernel.successors(code)
+                if not successors:
+                    break
+                code = successors[rng.randrange(len(successors))]
+            legitimate.add(code)
+            for _ in range(collect):
+                successors = kernel.successors(code)
+                if not successors:
+                    break
+                code = successors[rng.randrange(len(successors))]
+                legitimate.add(code)
+
+    converged = 0
+    with instrumentation.span("tier.light.sample"):
+        for _ in range(samples):
+            code = rng.randrange(kernel.size)
+            if code in legitimate:
+                converged += 1
+                continue
+            for _ in range(horizon):
+                successors = kernel.successors(code)
+                if not successors:
+                    break
+                code = successors[rng.randrange(len(successors))]
+                if code in legitimate:
+                    converged += 1
+                    break
+
+    instrumentation.count("tier.light.samples", samples)
+    instrumentation.count("tier.light.converged", converged)
+    instrumentation.event(
+        "tier.light.estimate",
+        program=program.name,
+        samples=samples,
+        converged=converged,
+        horizon=horizon,
+        seed=seed,
+        legitimate=len(legitimate),
+    )
+    return LightVerdict(
+        name=program.name,
+        samples=samples,
+        converged=converged,
+        horizon=horizon,
+        seed=seed,
+        legitimate_size=len(legitimate),
+        states=kernel.size,
+    )

@@ -1,0 +1,273 @@
+"""Adaptive verification-tier selection.
+
+A convergence-refinement verdict costs wildly different amounts
+depending on how it is computed: a full exhaustive check with
+refinement witnesses (the THOROUGH tier) is exact but scales with the
+state space; a budgeted exhaustive check (STANDARD) trades the
+worst-case convergence metric and unbounded exploration for a hard
+state cap; a seeded Monte-Carlo convergence estimate (LIGHT,
+:mod:`repro.tiering.montecarlo`) samples trajectories instead of
+enumerating states — the principled stand-in that *Weak vs. Self vs.
+Probabilistic Stabilization* (PAPERS.md) motivates when exhaustive
+fixpoints are out of budget.
+
+:func:`select_tier` picks the tier for one spec from three signals:
+
+* **size** — the packed-cell count of the spec (state-space size times
+  actions-plus-variables, the same footprint formula the vector
+  engine's lowerability analysis uses): small specs are cheap enough
+  to always verify THOROUGH, huge ones only afford LIGHT;
+* **verdict history** — a persisted :class:`~repro.tiering.ledger.
+  RiskLedger` of recent outcomes: a spec that failed, flapped, or cut
+  PARTIAL recently is *promoted* to THOROUGH regardless of size (risk
+  demands a witness), while a long clean streak *demotes* one tier
+  (stability earns speed);
+* **an explicit override** — a forced ``--tier`` wins over everything
+  (modulo feasibility: the LIGHT sampler needs a packable schema).
+
+Every decision is explained: a reasoned ``tier.select`` event (and a
+``tier.select.<tier>`` counter) goes to the instrumentation sink, so
+``repro report`` answers "why did this spec run LIGHT?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Mapping, Optional, Sequence, Tuple
+
+from ..gcl.program import Program
+from ..obs import NULL_INSTRUMENTATION, Instrumentation
+
+__all__ = [
+    "Tier",
+    "TierThresholds",
+    "DEFAULT_THRESHOLDS",
+    "TierDecision",
+    "spec_cells",
+    "select_tier",
+]
+
+
+class Tier(Enum):
+    """The three verification depths, cheapest first."""
+
+    LIGHT = "light"
+    STANDARD = "standard"
+    THOROUGH = "thorough"
+
+    @property
+    def rank(self) -> int:
+        """Position in the cheap-to-exact order (LIGHT=0 .. THOROUGH=2)."""
+        return _RANKS[self]
+
+
+_RANKS = {Tier.LIGHT: 0, Tier.STANDARD: 1, Tier.THOROUGH: 2}
+_BY_RANK = (Tier.LIGHT, Tier.STANDARD, Tier.THOROUGH)
+
+
+@dataclass(frozen=True)
+class TierThresholds:
+    """The tunable boundaries of :func:`select_tier`.
+
+    Attributes:
+        thorough_max_cells: specs at or below this packed-cell count
+            always afford the THOROUGH tier.
+        light_min_cells: specs at or above this cell count only afford
+            the LIGHT (simulated) tier; between the two bounds the
+            base tier is STANDARD.
+        standard_state_budget: the state cap a STANDARD-tier exhaustive
+            check runs under (past it the verdict is PARTIAL).
+        risk_window: how many most-recent ledger outcomes the risk
+            rules examine.
+        demote_streak: consecutive clean passes (held, not partial)
+            required before a spec is demoted one tier below its
+            size-based choice.
+    """
+
+    thorough_max_cells: int = 1 << 18
+    light_min_cells: int = 1 << 22
+    standard_state_budget: int = 250_000
+    risk_window: int = 5
+    demote_streak: int = 8
+
+    def __post_init__(self) -> None:
+        if self.thorough_max_cells < 1 or self.light_min_cells < 1:
+            raise ValueError("tier cell thresholds must be positive")
+        if self.thorough_max_cells >= self.light_min_cells:
+            raise ValueError(
+                f"thorough_max_cells ({self.thorough_max_cells}) must lie "
+                f"below light_min_cells ({self.light_min_cells})"
+            )
+        if self.standard_state_budget < 1:
+            raise ValueError("standard_state_budget must be positive")
+        if self.risk_window < 1 or self.demote_streak < 1:
+            raise ValueError("risk_window and demote_streak must be positive")
+
+
+DEFAULT_THRESHOLDS = TierThresholds()
+
+
+@dataclass(frozen=True)
+class TierDecision:
+    """One reasoned tier choice.
+
+    Attributes:
+        tier: the tier the spec will be verified at.
+        base: the purely size-based tier, before history overrides.
+        reason: one human-readable sentence explaining the choice.
+        cells: the packed-cell count the size rule judged.
+        states: the spec's state-space size.
+    """
+
+    tier: Tier
+    base: Tier
+    reason: str
+    cells: int
+    states: int
+
+
+def spec_cells(program: Program) -> int:
+    """The packed-cell footprint of a spec.
+
+    ``|Sigma| * (actions + variables)`` — the same formula the vector
+    engine's lowerability ceiling uses
+    (:data:`repro.kernel.vector.analyze.MAX_VECTOR_CELLS`), so the
+    size axis of tier selection and the engine-selection ceiling speak
+    the same unit.
+    """
+    schema = program.schema()
+    return schema.size() * (len(program.actions) + len(schema.names))
+
+
+def _packable_reason(program: Program) -> Optional[str]:
+    """Why the LIGHT sampler cannot run on this spec (``None`` = it can)."""
+    from ..kernel import unpackable_reason
+
+    return unpackable_reason(program.schema())
+
+
+def _clean_streak(history: Sequence[Mapping[str, object]]) -> int:
+    """Trailing run of held-and-complete outcomes, newest last."""
+    streak = 0
+    for outcome in reversed(history):
+        if outcome.get("holds") and not outcome.get("partial"):
+            streak += 1
+        else:
+            break
+    return streak
+
+
+def _risk_reason(
+    history: Sequence[Mapping[str, object]], window: int
+) -> Optional[str]:
+    """Why recent history demands the THOROUGH tier (``None`` = it doesn't)."""
+    recent: Tuple[Mapping[str, object], ...] = tuple(history[-window:])
+    if any(o.get("partial") for o in recent):
+        return "a recent verdict was PARTIAL (budget too small for this spec)"
+    if any(not o.get("holds") for o in recent):
+        return "the spec failed verification recently"
+    verdicts = [bool(o.get("holds")) for o in recent]
+    if any(a != b for a, b in zip(verdicts, verdicts[1:])):
+        return "the verdict flapped across recent runs"
+    return None
+
+
+def select_tier(
+    program: Program,
+    *,
+    label: str = "",
+    history: Sequence[Mapping[str, object]] = (),
+    forced: Optional[Tier] = None,
+    thresholds: TierThresholds = DEFAULT_THRESHOLDS,
+    instrumentation: Instrumentation = NULL_INSTRUMENTATION,
+) -> TierDecision:
+    """Pick the verification tier for one spec (see the module docstring).
+
+    Args:
+        program: the parsed spec.
+        label: how the spec is named in the ``tier.select`` event
+            (typically its path).
+        history: recent ledger outcomes, oldest first — mappings with
+            ``holds``/``partial``/``tier`` keys
+            (:meth:`repro.tiering.ledger.RiskLedger.history`).
+        forced: an explicit tier override (the ``--tier`` flag); wins
+            over size and history, except that a forced LIGHT on an
+            unpackable schema degrades to STANDARD (the sampler cannot
+            intern its states).
+        thresholds: the boundary tunables.
+        instrumentation: observability sink for the reasoned
+            ``tier.select`` event and ``tier.select.<tier>`` counter.
+
+    Returns:
+        A :class:`TierDecision`.
+    """
+    schema = program.schema()
+    states = schema.size()
+    cells = spec_cells(program)
+
+    if cells <= thresholds.thorough_max_cells:
+        base = Tier.THOROUGH
+        base_reason = (
+            f"{cells} cells fit the THOROUGH ceiling "
+            f"({thresholds.thorough_max_cells})"
+        )
+    elif cells >= thresholds.light_min_cells:
+        base = Tier.LIGHT
+        base_reason = (
+            f"{cells} cells exceed the LIGHT floor "
+            f"({thresholds.light_min_cells}); exhaustive fixpoints are "
+            f"out of budget"
+        )
+    else:
+        base = Tier.STANDARD
+        base_reason = (
+            f"{cells} cells sit between the THOROUGH ceiling and the "
+            f"LIGHT floor"
+        )
+
+    tier = base
+    reason = base_reason
+    if forced is not None:
+        tier = forced
+        reason = f"forced by --tier {forced.value}"
+    else:
+        risk = _risk_reason(history, thresholds.risk_window)
+        if risk is not None and base is not Tier.THOROUGH:
+            tier = Tier.THOROUGH
+            reason = f"promoted from {base.value}: {risk}"
+        elif (
+            _clean_streak(history) >= thresholds.demote_streak
+            and base.rank > Tier.LIGHT.rank
+        ):
+            tier = _BY_RANK[base.rank - 1]
+            reason = (
+                f"demoted from {base.value}: "
+                f"{_clean_streak(history)} consecutive clean passes"
+            )
+
+    if tier is Tier.LIGHT:
+        unpackable = _packable_reason(program)
+        if unpackable is not None:
+            tier = Tier.STANDARD
+            reason = (
+                f"LIGHT sampler unavailable ({unpackable}); running "
+                f"STANDARD instead"
+            )
+
+    decision = TierDecision(
+        tier=tier, base=base, reason=reason, cells=cells, states=states
+    )
+    instrumentation.count(f"tier.select.{tier.value}")
+    instrumentation.event(
+        "tier.select",
+        spec=label or program.name,
+        tier=tier.value,
+        base=base.value,
+        reason=reason,
+        cells=cells,
+        states=states,
+        history=len(history),
+        forced=forced.value if forced is not None else None,
+    )
+    return decision

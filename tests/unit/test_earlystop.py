@@ -1,0 +1,272 @@
+"""Unit tests for campaign cross-cell early stopping.
+
+The stopping rule under test: a cell class (same system, size,
+scheduler, injector) settles once its last ``window`` outcomes in grid
+order are identical; the remaining seeds of a settled class become
+first-class ``earlystop`` results without executing; the rule is
+deterministic across worker counts (classes dispatch as single batch
+tasks that run in grid order); and a resumed campaign counts its
+checkpoint-restored *executed* outcomes as evidence while ignoring
+restored ``earlystop`` rows (decisions are not evidence).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign import (
+    CampaignConfig,
+    CellResult,
+    CellSpec,
+    CellStatus,
+    build_grid,
+    run_campaign,
+)
+from repro.campaign.earlystop import ConvergenceDetector, class_key
+from repro.core.errors import SimulationError
+from repro.parallel import parallel_available
+
+
+def cell(seed_index, system="dijkstra3", n=3):
+    return CellSpec(
+        "simulate", system, n, "random", "corrupt-all", seed_index
+    )
+
+
+def grid(seeds=4):
+    return build_grid(
+        systems=("dijkstra3",), sizes=(3,), schedulers=("random",),
+        injectors=("corrupt-all",), seeds=seeds,
+    )
+
+
+def quick_config(**overrides):
+    defaults = dict(steps=2000, deadline=30.0, retries=1, seed=7)
+    defaults.update(overrides)
+    return CampaignConfig(**defaults)
+
+
+class TestClassKey:
+    def test_key_drops_only_the_seed_index(self):
+        assert class_key(cell(0)) == class_key(cell(5))
+        assert class_key(cell(0, system="dijkstra4")) != class_key(cell(0))
+        assert class_key(cell(0, n=4)) != class_key(cell(0, n=3))
+
+
+class TestDetector:
+    def test_window_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ConvergenceDetector(0)
+
+    def test_settles_after_window_identical_outcomes(self):
+        detector = ConvergenceDetector(2)
+        detector.observe(cell(0), CellStatus.CONVERGED)
+        assert detector.settled(cell(1)) is None
+        detector.observe(cell(1), CellStatus.CONVERGED)
+        assert detector.settled(cell(2)) == "converged"
+
+    def test_mixed_outcomes_do_not_settle(self):
+        detector = ConvergenceDetector(2)
+        detector.observe(cell(0), CellStatus.CONVERGED)
+        detector.observe(cell(1), CellStatus.TIMEOUT)
+        assert detector.settled(cell(2)) is None
+        # The window slides: two fresh identical outcomes settle it.
+        detector.observe(cell(2), CellStatus.TIMEOUT)
+        assert detector.settled(cell(3)) == "timeout"
+
+    def test_classes_are_tracked_independently(self):
+        detector = ConvergenceDetector(1)
+        detector.observe(cell(0), CellStatus.CONVERGED)
+        assert detector.settled(cell(1, system="dijkstra4")) is None
+        assert detector.settled(cell(1)) == "converged"
+
+    def test_earlystop_outcomes_are_not_evidence(self):
+        detector = ConvergenceDetector(1)
+        detector.observe(cell(0), CellStatus.EARLYSTOP)
+        assert detector.settled(cell(1)) is None
+
+
+class TestConfig:
+    def test_nonpositive_window_rejected(self):
+        with pytest.raises(SimulationError):
+            CampaignConfig(early_stop=0)
+
+    def test_window_is_off_by_default(self):
+        assert CampaignConfig().early_stop is None
+
+
+class TestSequentialEarlyStop:
+    def test_settled_class_stops_executing(self):
+        cells = grid(seeds=4)
+        campaign = run_campaign(cells, quick_config(early_stop=2))
+        statuses = [r.status for r in campaign.results]
+        # dijkstra3 n=3 converges under every seed: two executed
+        # outcomes settle the class, the tail early-stops.
+        assert statuses[:2] == [CellStatus.CONVERGED, CellStatus.CONVERGED]
+        assert statuses[2:] == [CellStatus.EARLYSTOP, CellStatus.EARLYSTOP]
+
+    def test_earlystop_results_are_first_class(self):
+        campaign = run_campaign(grid(seeds=3), quick_config(early_stop=2))
+        stopped = [
+            r for r in campaign.results if r.status is CellStatus.EARLYSTOP
+        ]
+        assert len(stopped) == 1
+        result = stopped[0]
+        assert result.attempts == 0
+        assert result.seconds == 0.0
+        assert "settled at 'converged'" in result.detail
+        assert class_key(grid()[0]) in result.detail
+        # Round-trips through the checkpoint payload like any result.
+        assert CellResult.from_payload(result.to_payload()) == result
+
+    def test_no_early_stop_without_the_flag(self):
+        campaign = run_campaign(grid(seeds=3), quick_config())
+        assert all(
+            r.status is not CellStatus.EARLYSTOP for r in campaign.results
+        )
+
+    def test_wide_window_never_stops_a_short_class(self):
+        campaign = run_campaign(grid(seeds=3), quick_config(early_stop=3))
+        assert all(
+            r.status is CellStatus.CONVERGED for r in campaign.results
+        )
+
+    def test_earlystop_counter_and_event_emitted(self, tmp_path):
+        from repro.obs import Recorder
+
+        recorder = Recorder(kind="test")
+        run_campaign(
+            grid(seeds=3), quick_config(early_stop=2),
+            instrumentation=recorder,
+        )
+        record = recorder.record()
+        assert record.counters["campaign.earlystop"] == 1
+        events = [e for e in record.events if e.name == "campaign.earlystop"]
+        assert len(events) == 1
+        assert "settled" in events[0].fields["detail"]
+
+
+def stub_converged(cell, config):
+    return CellResult(cell.cell_id(), CellStatus.CONVERGED, 1, 0.001)
+
+
+class TestResume:
+    def test_restored_outcomes_count_as_evidence(self, tmp_path):
+        checkpoint = tmp_path / "cells.jsonl"
+        cells = grid(seeds=4)
+        ran_first = []
+
+        def interrupting(cell, config):
+            if len(ran_first) == 2:
+                raise KeyboardInterrupt
+            ran_first.append(cell.cell_id())
+            return stub_converged(cell, config)
+
+        first = run_campaign(
+            cells, quick_config(checkpoint=checkpoint),
+            executor=interrupting,
+        )
+        assert first.interrupted and first.executed == 2
+
+        ran_second = []
+
+        def counting(cell, config):
+            ran_second.append(cell.cell_id())
+            return stub_converged(cell, config)
+
+        # The two restored converged outcomes are enough evidence for
+        # window=2: the remaining seeds early-stop without executing.
+        campaign = run_campaign(
+            cells, quick_config(checkpoint=checkpoint, early_stop=2),
+            resume=True, executor=counting,
+        )
+        assert ran_second == []
+        assert campaign.skipped == 2
+        assert [r.status for r in campaign.results[2:]] == [
+            CellStatus.EARLYSTOP, CellStatus.EARLYSTOP
+        ]
+
+    def test_restored_earlystop_rows_are_not_evidence(self, tmp_path):
+        checkpoint = tmp_path / "cells.jsonl"
+        cells = grid(seeds=4)
+        first = run_campaign(
+            cells, quick_config(checkpoint=checkpoint, early_stop=2),
+            executor=stub_converged,
+        )
+        assert [r.status for r in first.results] == [
+            CellStatus.CONVERGED, CellStatus.CONVERGED,
+            CellStatus.EARLYSTOP, CellStatus.EARLYSTOP,
+        ]
+        # Drop the final checkpoint row, leaving [converged, converged,
+        # earlystop] restored and the last seed pending.  If the
+        # restored earlystop row counted as evidence, the window-2
+        # trail would read (converged, earlystop) — unsettled — and
+        # the pending cell would execute.  Ignored correctly, the
+        # trail is (converged, converged): settled, no execution.
+        lines = checkpoint.read_text(encoding="utf-8").splitlines()
+        checkpoint.write_text(
+            "\n".join(lines[:-1]) + "\n", encoding="utf-8"
+        )
+
+        ran = []
+
+        def counting(cell, config):
+            ran.append(cell.cell_id())
+            return stub_converged(cell, config)
+
+        campaign = run_campaign(
+            cells, quick_config(checkpoint=checkpoint, early_stop=2),
+            resume=True, executor=counting,
+        )
+        assert ran == []
+        assert campaign.skipped == 3
+        assert campaign.results[-1].status is CellStatus.EARLYSTOP
+
+
+@pytest.mark.skipif(
+    not parallel_available(), reason="no fork start method"
+)
+class TestParallelEarlyStop:
+    def test_parallel_matches_sequential(self):
+        cells = build_grid(
+            systems=("dijkstra3", "dijkstra4"), sizes=(3,),
+            schedulers=("random",), injectors=("corrupt-all",), seeds=4,
+        )
+        sequential = run_campaign(cells, quick_config(early_stop=2))
+        parallel = run_campaign(
+            cells, quick_config(early_stop=2, workers=2)
+        )
+
+        def stable(result):  # everything but the wall clock
+            payload = result.to_payload()
+            payload.pop("seconds")
+            return payload
+
+        assert [stable(r) for r in sequential.results] == [
+            stable(r) for r in parallel.results
+        ]
+
+    def test_parallel_resume_uses_restored_evidence(self, tmp_path):
+        checkpoint = tmp_path / "cells.jsonl"
+        cells = grid(seeds=4)
+        ran = []
+
+        def interrupting(cell, config):
+            if len(ran) == 2:
+                raise KeyboardInterrupt
+            ran.append(cell.cell_id())
+            return stub_converged(cell, config)
+
+        run_campaign(
+            cells, quick_config(checkpoint=checkpoint),
+            executor=interrupting,
+        )
+        campaign = run_campaign(
+            cells,
+            quick_config(checkpoint=checkpoint, early_stop=2, workers=2),
+            resume=True,
+        )
+        assert campaign.skipped == 2
+        assert [r.status for r in campaign.results[2:]] == [
+            CellStatus.EARLYSTOP, CellStatus.EARLYSTOP
+        ]

@@ -233,9 +233,10 @@ class TestCacheIntegrity:
         moved.write_bytes(good.read_bytes())
         assert cache.get(other) is None
 
-    def test_version_2_entry_reads_as_schema_drift(self, tmp_path):
-        """Entries from before the digest field (schema v2) miss with a
-        ``cache.corrupt`` drift marker and get rewritten on store."""
+    def test_version_2_entry_reads_as_stale_schema_not_corrupt(self, tmp_path):
+        """A well-formed entry from before the digest field (schema v2)
+        is drift left behind by an upgrade, not damage: it misses with
+        ``cache.stale_schema`` and never touches ``cache.corrupt``."""
         root = tmp_path / "cache"
         recorder = Recorder(kind="test")
         cache = VerificationCache(root, recorder)
@@ -247,12 +248,53 @@ class TestCacheIntegrity:
             encoding="utf-8",
         )
         assert cache.get(key) is None
+        record = recorder.record()
+        assert record.counters["cache.stale_schema"] == 1
+        assert record.counters["cache.miss"] == 1
+        assert "cache.corrupt" not in record.counters
+        stale = [e for e in record.events if e.name == "cache.stale_schema"]
+        assert [e.fields.get("found") for e in stale] == [2]
+        assert [e.fields.get("expected") for e in stale] == [3]
+
+    def test_unknown_future_schema_is_still_corrupt_drift(self, tmp_path):
+        """An unknown (e.g. future) schema version is not a *known*
+        older layout, so it keeps the conservative corrupt marker."""
+        root = tmp_path / "cache"
+        recorder = Recorder(kind="test")
+        cache = VerificationCache(root, recorder)
+        key = cache_key("check", [program_fingerprint(TOY)], {})
+        path = self._entry_path(root, key)
+        path.parent.mkdir(parents=True)
+        path.write_text(
+            '{"v": 99, "key": "%s", "payload": {"holds": true}}' % key,
+            encoding="utf-8",
+        )
+        assert cache.get(key) is None
+        record = recorder.record()
+        assert "cache.stale_schema" not in record.counters
         events = [
             event.fields.get("reason")
-            for event in recorder.record().events
+            for event in record.events
             if event.name == "cache.corrupt"
         ]
         assert events == ["schema-drift"]
+
+    def test_stale_v1_entry_with_wrong_key_is_corrupt(self, tmp_path):
+        """Old-schema leniency does not extend to a mis-filed entry."""
+        root = tmp_path / "cache"
+        recorder = Recorder(kind="test")
+        cache = VerificationCache(root, recorder)
+        key = cache_key("check", [program_fingerprint(TOY)], {})
+        path = self._entry_path(root, key)
+        path.parent.mkdir(parents=True)
+        path.write_text(
+            '{"v": 1, "key": "somewhere-else", "payload": {"holds": true}}',
+            encoding="utf-8",
+        )
+        assert cache.get(key) is None
+        record = recorder.record()
+        assert "cache.stale_schema" not in record.counters
+        assert record.counters["cache.corrupt"] == 1
 
     def test_digest_is_order_insensitive(self):
         from repro.parallel.cache import payload_digest
