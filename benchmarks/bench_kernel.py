@@ -13,8 +13,16 @@ materializing full-space action tables) has fixed cost that only pays
 off once the state space is large enough to amortize it (see
 docs/PERFORMANCE.md).
 
-Artifacts: ``results/p02_kernel_scaling.{txt,json}`` and
-``results/p05_vector_scaling.{txt,json}`` with the sweep tables, and
+The P09 mega sweep takes the shared engine past the vector ceiling:
+``run_mega.py`` streams K-state(7, 7) in a child process under a tiny
+16 MiB ``--mem-budget`` and the suite asserts the verdict holds, spill
+engaged, and the child's peak RSS stayed within budget plus the
+documented baseline allowance.  ``REPRO_MEGA=1`` adds the 16.7M-state
+(8, 8) acceptance point.
+
+Artifacts: ``results/p02_kernel_scaling.{txt,json}``,
+``results/p05_vector_scaling.{txt,json}``, and
+``results/p09_mega_scaling.{txt,json}`` with the sweep tables, and
 ``results/{p02_kernel,p05_vector}.metrics.json`` with the ``engine.*``
 and ``check.*`` counters from instrumented runs.
 """
@@ -22,7 +30,11 @@ and ``check.*`` counters from instrumented runs.
 from __future__ import annotations
 
 import json
+import os
+import pathlib
 import resource
+import subprocess
+import sys
 import time
 
 import pytest
@@ -54,6 +66,22 @@ VECTOR_SWEEP = ((5, 5), (6, 6), (7, 7))
 
 #: Required speedup of vector over packed on the largest configuration.
 REQUIRED_VECTOR_SPEEDUP = 5.0
+
+#: P09 mega sweep through the shared engine: (n, k, budget).  The CI
+#: smoke point is the previous vector ceiling — 823 543 states — under
+#: a deliberately tiny 16 MiB budget, so out-of-core spill genuinely
+#: engages.  The 16.7M-state acceptance point (20x that ceiling, ~10
+#: minutes) only runs when REPRO_MEGA=1 is exported.
+MEGA_SWEEP = [(7, 7, "16M")]
+if os.environ.get("REPRO_MEGA") == "1":
+    MEGA_SWEEP.append((8, 8, "256M"))
+
+#: The memory budget governs the engine's working set; peak process
+#: RSS additionally carries the interpreter + NumPy baseline and
+#: allocator transients (see "Memory architecture" in
+#: docs/PERFORMANCE.md), so the bounded-RSS assertion allows this much
+#: on top of the budget.
+MEGA_RSS_ALLOWANCE_KIB = 256 * 1024
 
 
 def _peak_rss_kib() -> int:
@@ -212,6 +240,86 @@ def test_p05_vector_scaling(benchmark, record_table):
             ),
         ),
         rows=rows,
+    )
+
+
+def _mega_rows():
+    """P09 rows: each configuration runs in a child process so its
+    ``ru_maxrss`` measures the shared engine alone — the parent's
+    earlier sweeps would otherwise dominate the high-water mark."""
+    root = pathlib.Path(__file__).resolve().parent.parent
+    runner = root / "benchmarks" / "run_mega.py"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        path for path in (str(root / "src"), env.get("PYTHONPATH")) if path
+    )
+    rows = []
+    for n, k, budget in MEGA_SWEEP:
+        completed = subprocess.run(
+            [sys.executable, str(runner), "--n", str(n), "--k", str(k),
+             "--mem-budget", budget],
+            capture_output=True, text=True, env=env, timeout=1800,
+        )
+        assert completed.returncode == 0, (
+            f"mega run (n={n}, k={k}) failed:\n{completed.stderr}"
+        )
+        row = json.loads(completed.stdout)
+        rows.append(
+            {
+                "n": n,
+                "k": k,
+                "states": row["states"],
+                "seconds": row["seconds"],
+                "states_per_s": row["states_per_s"],
+                "peak_rss_kib": row["peak_rss_kib"],
+                "budget_kib": row["budget_bytes"] // 1024,
+                "spill_files": row["counters"].get("shm.spill.files", 0),
+                "spill_mib": round(
+                    row["counters"].get("shm.spill.bytes", 0) / (1 << 20), 1
+                ),
+                "holds": row["holds"],
+                "engine": row["engine"],
+            }
+        )
+    return rows
+
+
+@needs_numpy
+def test_p09_mega_bounded_rss(benchmark, record_table):
+    """The shared engine's headline claim: state spaces past the
+    vector ceiling complete with RSS bounded by the budget plus the
+    documented baseline allowance, spilling the excess to disk."""
+    rows = benchmark.pedantic(_mega_rows, rounds=1, iterations=1)
+    for row in rows:
+        assert row["holds"], f"verdict broke at {row['states']} states"
+        assert row["engine"] == "shared", (
+            f"expected the shared engine, got {row['engine']}"
+        )
+        assert row["spill_files"] > 0, (
+            "the budget never tripped the spill path — the bounded-RSS "
+            "claim was not exercised"
+        )
+        ceiling = row["budget_kib"] + MEGA_RSS_ALLOWANCE_KIB
+        assert row["peak_rss_kib"] <= ceiling, (
+            f"peak RSS {row['peak_rss_kib']} KiB exceeds budget "
+            f"{row['budget_kib']} KiB + allowance "
+            f"{MEGA_RSS_ALLOWANCE_KIB} KiB at {row['states']} states"
+        )
+    record_table(
+        "p09_mega_scaling",
+        format_table(
+            rows,
+            columns=[
+                "n", "k", "states", "seconds", "states_per_s",
+                "peak_rss_kib", "budget_kib", "spill_files", "spill_mib",
+            ],
+            title=(
+                "P09 shared engine at mega scale: K-state(n, k=n) "
+                "stabilizing to UTR under a hard memory budget"
+            ),
+        ),
+        rows=rows,
+        engine="shared",
     )
 
 

@@ -1,0 +1,106 @@
+"""P09 mega-scale runner: one K-state ring through the shared engine.
+
+Streams the full stabilization check of K-state(n, k) refining the
+unidirectional token ring through the shared-memory engine under an
+explicit ``--mem-budget``, and prints one JSON row: states checked,
+wall seconds, **this process's own** peak RSS (``ru_maxrss``, which is
+why the bench suite runs this module as a subprocess — the parent's
+NumPy baseline and earlier sweeps must not pollute the high-water
+mark), the verdict, the engine that actually ran, and the ``shm.*``
+staging counters.
+
+Standalone usage (the 16.7M-state acceptance point takes ~10 minutes):
+
+    PYTHONPATH=src python benchmarks/run_mega.py --n 7 --k 7 \
+        --mem-budget 16M
+    PYTHONPATH=src python benchmarks/run_mega.py --n 8 --k 8 \
+        --mem-budget 256M
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import resource
+import sys
+import time
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="stream one K-state ring through the shared engine"
+    )
+    parser.add_argument("--n", type=int, default=7, help="ring size")
+    parser.add_argument("--k", type=int, default=7, help="token modulus")
+    parser.add_argument(
+        "--mem-budget", default="256M",
+        help="working-set budget for the shared engine (e.g. 16M, 1G)",
+    )
+    parser.add_argument(
+        "--spill-dir", default=None,
+        help="directory for out-of-core spill files (default: a temp dir)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1, help="worker processes"
+    )
+    parser.add_argument(
+        "--json", default=None,
+        help="write the result row here instead of stdout",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.checker import check_stabilization
+    from repro.kernel.shared import parse_mem_budget, using_memory_budget
+    from repro.obs import Recorder
+    from repro.rings import kstate_program, utr_abstraction, utr_program
+
+    budget_bytes = parse_mem_budget(args.mem_budget)
+    concrete = kstate_program(args.n, args.k)
+    recorder = Recorder(kind="bench")
+    recorder.annotate(
+        experiment="p09_mega", n=args.n, k=args.k, engine="shared",
+        budget=budget_bytes, workers=args.workers,
+    )
+
+    start = time.perf_counter()
+    with using_memory_budget(args.mem_budget, spill_dir=args.spill_dir):
+        result = check_stabilization(
+            concrete,
+            utr_program(args.n),
+            utr_abstraction(args.n, args.k),
+            compute_steps=False,
+            engine="shared",
+            workers=args.workers,
+            instrumentation=recorder,
+        )
+    seconds = time.perf_counter() - start
+
+    counters = recorder.record().counters
+    row = {
+        "n": args.n,
+        "k": args.k,
+        "states": concrete.schema().size(),
+        "seconds": round(seconds, 3),
+        "states_per_s": round(concrete.schema().size() / seconds),
+        "peak_rss_kib": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        "budget_bytes": budget_bytes,
+        "workers": args.workers,
+        "holds": result.holds,
+        "engine": result.engine,
+        "counters": {
+            name: value
+            for name, value in sorted(counters.items())
+            if name.startswith(("shm.", "engine."))
+        },
+    }
+    text = json.dumps(row, indent=2) + "\n"
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    else:
+        sys.stdout.write(text)
+    return 0 if result.holds else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

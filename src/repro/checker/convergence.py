@@ -43,6 +43,9 @@ from ..core.abstraction import AbstractionFunction, identity_abstraction
 from ..core.state import State
 from ..core.system import System
 from ..gcl.program import Program
+from ..kernel.shared.budget import (
+    active_memory_context as _active_memory_context,
+)
 from ..obs import NULL_INSTRUMENTATION, Instrumentation, ProgressEmitter
 from ..resilience.degrade import DEGRADATION_CHAIN, RECOVERABLE_ENGINE_FAULTS
 from .budget import BudgetExceeded, BudgetMeter
@@ -70,7 +73,7 @@ __all__ = [
 #: packed engine lowers programs directly, the tuple engine compiles.
 SystemOrProgram = Union[System, Program]
 
-ENGINES = ("packed", "tuple", "vector")
+ENGINES = ("packed", "tuple", "vector", "shared")
 
 
 def _as_system(source: SystemOrProgram) -> System:
@@ -88,6 +91,7 @@ def _select_engine(
     abstract: SystemOrProgram,
     state_budget: Optional[int],
     instrumentation: Instrumentation,
+    alpha: Optional[AbstractionFunction] = None,
 ) -> str:
     """The engine that actually runs, emitting the ``engine.*`` counters.
 
@@ -100,15 +104,52 @@ def _select_engine(
     *packed* engine when NumPy is missing or the program lies outside
     the statically lowerable fragment (non-central daemons,
     non-int/bool domains, dynamically typed expressions).
+
+    The shared engine is tried first when explicitly requested
+    (``engine="shared"``) or when a memory context
+    (:func:`repro.kernel.shared.using_memory_budget`) is active and
+    the vector engine was requested — and, crucially, *before* the
+    packed-interner gate: the packed ceiling is exactly the limit the
+    streamed engine exists to bypass, so a mega-state space must not
+    bounce to the tuple engine just because it cannot intern.  Budgeted
+    checks still honour the tuple-replay floor.
     """
     if engine not in ENGINES:
         raise ValueError(
             f"unknown engine {engine!r}; expected one of 'packed', "
-            f"'tuple', 'vector'"
+            f"'tuple', 'vector', 'shared'"
         )
     if engine == "tuple":
         return "tuple"
     from ..kernel import packed_fallback_reason, source_schema
+
+    shared_eligible = engine == "shared" or (
+        engine == "vector" and _active_memory_context() is not None
+    )
+    if shared_eligible:
+        from ..kernel.shared import shared_fallback_reason
+
+        shared_reason = shared_fallback_reason(concrete, abstract, alpha)
+        if shared_reason is None and state_budget is not None:
+            floor = (
+                2 * source_schema(abstract).size()
+                + 2 * source_schema(concrete).size()
+            )
+            if state_budget < floor:
+                shared_reason = (
+                    f"state budget {state_budget} is below the engine "
+                    f"floor of {floor} states (a PARTIAL cut must replay "
+                    f"the tuple engine's exploration order)"
+                )
+        if shared_reason is None:
+            instrumentation.count("engine.shared", 1)
+            instrumentation.event("engine.selected", engine="shared")
+            return "shared"
+        instrumentation.event(
+            "engine.fallback", requested="shared", reason=shared_reason
+        )
+        if engine == "shared":
+            instrumentation.count("engine.fallback.vector", 1)
 
     reason = packed_fallback_reason(concrete, abstract)
     if reason is None and state_budget is not None:
@@ -128,7 +169,7 @@ def _select_engine(
         instrumentation.count("engine.fallback.tuple", 1)
         instrumentation.event("engine.fallback", requested=engine, reason=reason)
         return "tuple"
-    if engine == "vector":
+    if engine in ("vector", "shared"):
         from ..kernel.vector import vector_fallback_reason
 
         vector_reason = vector_fallback_reason(concrete, abstract)
@@ -579,7 +620,9 @@ def check_stabilization(
     """
     if fairness not in ("none", "weak", "strong"):
         raise ValueError(f"unknown fairness mode {fairness!r}")
-    selected = _select_engine(engine, concrete, abstract, state_budget, instrumentation)
+    selected = _select_engine(
+        engine, concrete, abstract, state_budget, instrumentation, alpha
+    )
     if workers > 1:
         from ..parallel import resolve_workers
 
@@ -665,9 +708,45 @@ def _decide_with_degradation(
     too — masking a tuple-engine crash would hide a real failure.
     """
     chain = DEGRADATION_CHAIN[selected]
+    if selected == "shared":
+        # Filter the chain to engines that can actually run these
+        # sources: a mega-state space degrading out of the shared
+        # engine must not crash on the vector/packed preflight limits
+        # mid-recovery (their lowering errors are ValueErrors, not
+        # recoverable faults).
+        from ..kernel import packed_fallback_reason
+        from ..kernel.vector import vector_fallback_reason
+
+        chain = tuple(
+            engine_name
+            for engine_name in chain
+            if (
+                engine_name == "shared"
+                or engine_name == "tuple"
+                or (
+                    engine_name == "vector"
+                    and vector_fallback_reason(concrete, abstract) is None
+                )
+                or (
+                    engine_name == "packed"
+                    and packed_fallback_reason(concrete, abstract) is None
+                )
+            )
+        )
     for position, engine_name in enumerate(chain):
         try:
-            if engine_name == "vector":
+            if engine_name == "shared":
+                decided = _decide_stabilization_shared(
+                    concrete,
+                    abstract,
+                    alpha,
+                    stutter_insensitive,
+                    fairness,
+                    compute_steps,
+                    instrumentation,
+                    workers,
+                )
+            elif engine_name == "vector":
                 decided = _decide_stabilization_vector(
                     concrete,
                     abstract,
@@ -1405,6 +1484,281 @@ def _decide_stabilization_vector(
         core,
         steps,
     )
+
+
+def _decide_stabilization_shared(
+    concrete_source: SystemOrProgram,
+    abstract_source: SystemOrProgram,
+    alpha: Optional[AbstractionFunction],
+    stutter_insensitive: bool,
+    fairness: str,
+    compute_steps: bool,
+    instrumentation: Instrumentation,
+    workers: int = 1,
+) -> StabilizationResult:
+    """:func:`_decide_stabilization` on the shared-memory mega engine.
+
+    Phase for phase the vector decide — same spans, same witness
+    messages, same counters — with the set computations streamed
+    through :mod:`repro.kernel.shared`: membership flags are
+    bit-packed (segment-backed when workers shard the rounds),
+    successor evaluation is chunked through the table-free
+    :class:`~repro.kernel.shared.SharedKernel`, and collections past
+    the memory budget spill to the run's spill directory.  The
+    abstract side runs on the in-RAM vector kernel (preflight
+    guarantees it fits).  Witness construction on failure decodes and
+    materializes exactly as the other engines do — failing verdicts
+    are inherently explicit.
+    """
+    import numpy as np
+
+    from ..kernel.shared import (
+        BitField,
+        SharedImage,
+        SharedKernel,
+        open_runtime,
+        shared_core,
+        shared_has_cycle,
+        shared_longest_path,
+        shared_terminals,
+    )
+    from ..kernel.vector import as_vector_kernel, vector_reachable
+
+    name = f"{_source_name(concrete_source)} stabilizing to {_source_name(abstract_source)}"
+    kernel = SharedKernel(concrete_source)
+    abstract_kernel = as_vector_kernel(abstract_source)
+    interner = kernel.interner
+    size = kernel.size
+
+    def decode_bits(bits: BitField, chunk: int) -> FrozenSet[State]:
+        # Ascending-code decode: identical set layout to the other
+        # engines, so order-dependent witness subroutines agree.
+        return frozenset(
+            interner.decode(int(code))
+            for codes in bits.member_chunks(chunk)
+            for code in codes
+        )
+
+    with open_runtime(
+        kernel, workers=workers, instrumentation=instrumentation
+    ) as runtime:
+        with instrumentation.span("check.legitimate"):
+            legitimate_flags = vector_reachable(
+                abstract_kernel,
+                abstract_kernel.initial_array,
+                instrumentation=instrumentation,
+            )
+        legitimate = frozenset(
+            abstract_kernel.interner.decode(int(code))
+            for code in np.nonzero(legitimate_flags)[0]
+        )
+        fairness_ignores_stutter = fairness in ("weak", "strong")
+        with instrumentation.span("check.core"):
+            image = SharedImage(interner, abstract_kernel.interner, alpha)
+            core_bits = shared_core(
+                kernel,
+                abstract_kernel,
+                image,
+                legitimate_flags,
+                stutter_insensitive,
+                fairness_ignores_stutter,
+                runtime,
+                instrumentation=instrumentation,
+            )
+        core = decode_bits(core_bits, runtime.chunk)
+
+        if not core:
+            return StabilizationResult(
+                CheckResult(
+                    False,
+                    name,
+                    Witness(
+                        WitnessKind.CLOSURE_VIOLATION,
+                        "no concrete state forever tracks the specification "
+                        "(behavioural core is empty)",
+                    ),
+                ),
+                legitimate,
+                core,
+                None,
+            )
+
+        outside_bits = BitField(size)
+        core_bits.complement_into(outside_bits)
+        instrumentation.count("check.outside.size", size - len(core))
+        with instrumentation.span("check.deadlock_search"):
+            deadlock_codes = shared_terminals(
+                kernel,
+                outside_bits,
+                runtime,
+                drop_self=fairness_ignores_stutter,
+            )
+        if deadlock_codes.size:
+            stuck = min(
+                (interner.decode(int(code)) for code in deadlock_codes),
+                key=repr,
+            )
+            return StabilizationResult(
+                CheckResult(
+                    False,
+                    name,
+                    Witness(
+                        WitnessKind.ILLEGITIMATE_DEADLOCK,
+                        "a computation can end outside the legitimate core",
+                        (stuck,),
+                        interner.schema,
+                    ),
+                ),
+                legitimate,
+                core,
+                None,
+            )
+
+        def decode_outside() -> FrozenSet[State]:
+            return decode_bits(outside_bits, runtime.chunk)
+
+        def analysis_system_of() -> System:
+            system = kernel.materialize()
+            return (
+                system.without_self_loops()
+                if fairness_ignores_stutter
+                else system
+            )
+
+        if fairness == "strong":
+            with instrumentation.span("check.cycle_search"):
+                trap = None
+                if shared_has_cycle(
+                    kernel,
+                    outside_bits,
+                    runtime,
+                    drop_self=fairness_ignores_stutter,
+                ):
+                    analysis_system = analysis_system_of()
+                    trap = find_fair_trap(analysis_system, decode_outside())
+            if trap is not None:
+                cycle = find_cycle_within(analysis_system, trap)
+                return StabilizationResult(
+                    CheckResult(
+                        False,
+                        name,
+                        Witness(
+                            WitnessKind.DIVERGENT_CYCLE,
+                            "a strongly fair computation can stay forever outside "
+                            "the legitimate core (fair trap)",
+                            cycle or tuple(sorted(trap, key=repr)[:4]),
+                            interner.schema,
+                        ),
+                    ),
+                    legitimate,
+                    core,
+                    None,
+                )
+        else:
+            with instrumentation.span("check.cycle_search"):
+                has_divergent = shared_has_cycle(
+                    kernel,
+                    outside_bits,
+                    runtime,
+                    drop_self=fairness_ignores_stutter,
+                )
+            if has_divergent:
+                cycle = find_cycle_within(
+                    analysis_system_of(), decode_outside()
+                )
+                return StabilizationResult(
+                    CheckResult(
+                        False,
+                        name,
+                        Witness(
+                            WitnessKind.DIVERGENT_CYCLE,
+                            "a computation can cycle forever outside the legitimate core",
+                            cycle or (),
+                            interner.schema,
+                        ),
+                    ),
+                    legitimate,
+                    core,
+                    None,
+                )
+
+        if stutter_insensitive and alpha is not None:
+            with instrumentation.span("check.invisible_cycles"):
+                invisible_cycle: Optional[Tuple[State, ...]] = None
+                if shared_has_cycle(
+                    kernel,
+                    core_bits,
+                    runtime,
+                    drop_self=fairness_ignores_stutter,
+                    image=image,
+                ):
+                    # Reconstruct the witness exactly as the tuple
+                    # engine does, on the materialized system.
+                    analysis_system = analysis_system_of()
+                    invisible = [
+                        (source, target)
+                        for source in sorted(core, key=repr)
+                        for target in analysis_system.successors(source)
+                        if target in core and alpha(source) == alpha(target)
+                    ]
+                    invisible_system = System(
+                        interner.schema,
+                        invisible,
+                        (),
+                        name=f"{_source_name(concrete_source)}|invisible",
+                    )
+                    if states_on_cycles(invisible_system, core):
+                        invisible_cycle = (
+                            find_cycle_within(invisible_system, core) or ()
+                        )
+            if invisible_cycle is not None:
+                return StabilizationResult(
+                    CheckResult(
+                        False,
+                        name,
+                        Witness(
+                            WitnessKind.DIVERGENT_CYCLE,
+                            "cycle of abstract-invisible steps inside the core",
+                            invisible_cycle,
+                            interner.schema,
+                        ),
+                    ),
+                    legitimate,
+                    core,
+                    None,
+                )
+
+        with instrumentation.span("check.worst_case"):
+            if compute_steps and not shared_has_cycle(
+                kernel,
+                outside_bits,
+                runtime,
+                drop_self=fairness_ignores_stutter,
+            ):
+                steps: Optional[int] = shared_longest_path(
+                    kernel,
+                    outside_bits,
+                    runtime,
+                    drop_self=fairness_ignores_stutter,
+                )
+            else:
+                # Under strong fairness the sup over fair runs may be
+                # unbounded when cycles remain outside the core;
+                # report no finite metric.
+                steps = None
+        return StabilizationResult(
+            CheckResult(
+                True,
+                name,
+                detail=(
+                    f"core has {len(core)} of {interner.schema.size()} states; "
+                    f"legitimate spec states: {len(legitimate)}"
+                ),
+            ),
+            legitimate,
+            core,
+            steps,
+        )
 
 
 def check_self_stabilization(

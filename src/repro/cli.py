@@ -135,6 +135,16 @@ def _positive_float(text: str) -> float:
     return value
 
 
+def _mem_budget(text: str) -> int:
+    """An argparse ``type`` for ``--mem-budget`` ('512M', '2G', bytes)."""
+    from .kernel.shared import parse_mem_budget
+
+    try:
+        return parse_mem_budget(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse tree (exposed for --help tests and shell completion)."""
     parser = argparse.ArgumentParser(
@@ -403,13 +413,31 @@ def build_parser() -> argparse.ArgumentParser:
 def _add_engine_flag(subparser: argparse.ArgumentParser) -> None:
     """Attach the shared ``--engine`` flag (vector/packed kernels vs tuple)."""
     subparser.add_argument(
-        "--engine", choices=("packed", "tuple", "vector"), default="packed",
-        help="checker engine: 'vector' batch-evaluates whole frontiers as "
-        "NumPy arrays (needs the repro[vector] extra; falls back to packed "
-        "without it); 'packed' runs dense state codes and bitset fixpoints "
-        "(falls back to tuple automatically where packing cannot apply); "
-        "'tuple' is the reference set-based engine. Verdicts are identical "
-        "either way (default: packed)",
+        "--engine", choices=("packed", "tuple", "vector", "shared"),
+        default="packed",
+        help="checker engine: 'shared' streams chunked frontiers through "
+        "shared-memory segments with out-of-core spill (mega state spaces "
+        "in bounded RSS; see --mem-budget); 'vector' batch-evaluates whole "
+        "frontiers as NumPy arrays (needs the repro[vector] extra; falls "
+        "back to packed without it); 'packed' runs dense state codes and "
+        "bitset fixpoints (falls back to tuple automatically where packing "
+        "cannot apply); 'tuple' is the reference set-based engine. "
+        "Verdicts are identical either way (default: packed)",
+    )
+    subparser.add_argument(
+        "--mem-budget", metavar="BYTES", type=_mem_budget, default=None,
+        help="in-RAM budget for the shared engine's resident arrays, as "
+        "bytes or a suffixed size ('512M', '2G'); activates a memory "
+        "context, so '--engine vector' upgrades to the shared engine "
+        "where it applies and collections past the budget spill to disk "
+        "(default: no context; the shared engine runs with its built-in "
+        "budget only when requested explicitly)",
+    )
+    subparser.add_argument(
+        "--spill-dir", metavar="DIR", default=None,
+        help="parent directory for the shared engine's run-scoped spill "
+        "files (default: the system temp dir); the run's subdirectory "
+        "is removed when the check ends, success or not",
     )
 
 
@@ -483,6 +511,27 @@ def _add_obs_out(subparser: argparse.ArgumentParser) -> None:
         help="profile the whole command under cProfile and store the "
         "pstats dump at PATH (inspect with python -m pstats)",
     )
+
+
+@contextmanager
+def _memory_context(args) -> Iterator[None]:
+    """Activate the shared-engine memory context the flags ask for.
+
+    A no-op unless ``--mem-budget`` or ``--spill-dir`` was given (or
+    the command has no such flags).  With either flag the wrapped
+    command runs under :func:`repro.kernel.shared.using_memory_budget`,
+    which both parameterizes the shared engine and makes a
+    ``--engine vector`` request upgrade to it where it applies.
+    """
+    budget = getattr(args, "mem_budget", None)
+    spill_dir = getattr(args, "spill_dir", None)
+    if budget is None and spill_dir is None:
+        yield
+        return
+    from .kernel.shared import using_memory_budget
+
+    with using_memory_budget(budget=budget, spill_dir=spill_dir):
+        yield
 
 
 @contextmanager
@@ -869,7 +918,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     command = _DISPATCH[args.command]
     try:
-        with _resilience_context(args):
+        with _resilience_context(args), _memory_context(args):
             profile_out = getattr(args, "profile_out", None)
             if profile_out:
                 import cProfile

@@ -64,15 +64,23 @@ class StateInterner:
     Codes run from ``0`` to ``schema.size() - 1`` and enumerate the
     state space in exactly the order of ``schema.states()``.
 
+    Args:
+        schema: the state schema to intern.
+        enforce_ceiling: when ``False`` the :data:`MAX_PACKED_STATES`
+            size check is skipped — the shared-memory engine streams
+            code chunks and bit-packed flags instead of byte-per-state
+            arrays, so the ceiling's rationale does not apply to it.
+            The arithmetic itself is exact at any size.
+
     Raises:
         ValueError: if the schema is unpackable (see
-            :func:`unpackable_reason`).
+            :func:`unpackable_reason`) and the ceiling is enforced.
     """
 
     __slots__ = ("_schema", "_names", "_domains", "_places", "_digit_maps", "size")
 
-    def __init__(self, schema: StateSchema):
-        reason = unpackable_reason(schema)
+    def __init__(self, schema: StateSchema, enforce_ceiling: bool = True):
+        reason = unpackable_reason(schema) if enforce_ceiling else None
         if reason is not None:
             raise ValueError(f"schema is not packable: {reason}")
         self._schema = schema

@@ -1,0 +1,705 @@
+"""Streamed fixpoints: vector verdicts in bounded RSS.
+
+Re-implementations of the vector engine's fixpoints
+(:mod:`repro.kernel.vector.fixpoint`) over the shared substrate:
+
+* flags live in bit-packed :class:`~.frontier.BitField`\\ s (in a
+  shared-memory segment when workers shard the rounds);
+* member/frontier batches are evaluated one code chunk at a time
+  through the table-free :class:`~.kernel.SharedKernel`;
+* frontier rounds and eviction lists that outgrow their RAM cap spill
+  delta-encoded to the run's :class:`~.spill.SpillStore`;
+* the cycle and longest-path analyses run as an **out-of-core Kahn
+  peel**: one streamed sweep writes in-edges to bucket files
+  partitioned by target code range, then the peel loads one bucket at
+  a time — each edge is touched O(1) times and resident cost is one
+  bucket plus the per-code degree array, never the edge set.
+
+Verdict- and counter-compatibility with the vector fixpoints is exact:
+the chunked core rounds evaluate the same Jacobi operator against the
+same round-start snapshot (a member's eviction depends only on its own
+out-edges and the snapshot, so chunk boundaries cannot change any
+round's eviction set), and the peel computes the same
+processed-versus-member count as the in-RAM Kahn trim.
+
+Worker sharding follows the repo's fork protocol: the driver stages
+kernel and round parameters in the :class:`~repro.parallel.pool.WorkerPool`
+context (inherited copy-on-write — lowered closures need no pickling
+and no re-derivation), workers attach to the flags segment by name and
+scan their byte-range partition, and each returns its results through
+a run-prefixed output segment the driver attaches, consumes, and
+unlinks.  Supervision (timeouts, kills, quarantine-to-inline) comes
+from the resilience supervisor; the registry's prefix sweep reclaims
+any segment a killed worker left behind.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ...obs import NULL_INSTRUMENTATION, Instrumentation, ProgressEmitter
+from ...parallel.pool import (
+    WorkerPool,
+    using_worker_instrumentation,
+    worker_context,
+)
+from ...resilience import chaos
+from ..vector.kernel import VectorKernel, _ranges, _unique_sorted
+from .frontier import BitField, CodeRuns
+from .image import SharedImage
+from .kernel import SharedKernel
+from .runtime import SharedRuntime
+from .segments import attach_segment, create_worker_segment
+
+__all__ = [
+    "shared_reachable",
+    "shared_core",
+    "shared_terminals",
+    "shared_has_cycle",
+    "shared_longest_path",
+]
+
+#: Cap on peel buckets; above this the per-bucket bookkeeping
+#: outweighs the RAM saving.
+_MAX_BUCKETS = 512
+
+
+def _partition_bounds(nbytes: int, parts: int) -> List[Tuple[int, int]]:
+    """Byte-range partition of a bitfield across ``parts`` workers."""
+    return [
+        (part * nbytes // parts, (part + 1) * nbytes // parts)
+        for part in range(parts)
+    ]
+
+
+def _consume_outputs(
+    runtime: SharedRuntime, results: List[Tuple[Optional[str], int]]
+) -> List[np.ndarray]:
+    """Attach, copy out, and unlink every worker output segment."""
+    arrays: List[np.ndarray] = []
+    for name, count in results:
+        if not name or count == 0:
+            continue
+        segment = runtime.registry.attach(name)
+        try:
+            codes = np.frombuffer(
+                segment.buf, dtype=np.int64, count=count
+            ).copy()
+        finally:
+            runtime.registry.release(segment)
+        arrays.append(codes)
+    return arrays
+
+
+# ----------------------------------------------------------------------
+# Reachability.
+# ----------------------------------------------------------------------
+
+
+def _expand_task(payload: Tuple[int, int, int]) -> Tuple[Optional[str], int]:
+    """Worker: expand one code-range partition of the staged frontier.
+
+    Reads the frontier run and the visited bitfield zero-copy from
+    their segments, expands its partition chunk-wise, and writes the
+    deduplicated unvisited targets to an output segment.
+    """
+    part, parts, round_index = payload
+    ctx = worker_context()["shared_reachable"]
+    kernel: SharedKernel = ctx["kernel"]
+    frontier_segment = attach_segment(ctx["frontier_name"])
+    visited_segment = attach_segment(ctx["visited_name"])
+    frontier = None
+    visited = None
+    try:
+        frontier = np.frombuffer(
+            frontier_segment.buf, dtype=np.int64, count=ctx["frontier_count"]
+        )
+        visited = BitField(kernel.size, visited_segment.buf)
+        lo = part * kernel.size // parts
+        hi = (part + 1) * kernel.size // parts
+        begin, end = np.searchsorted(frontier, [lo, hi])
+        fresh_parts: List[np.ndarray] = []
+        for start in range(begin, end, ctx["chunk"]):
+            codes = frontier[start : min(start + ctx["chunk"], end)]
+            _, targets = kernel.succ_pairs(codes)
+            fresh = _unique_sorted(targets)
+            fresh = fresh[~visited.test(fresh)]
+            if fresh.size:
+                fresh_parts.append(fresh)
+        if not fresh_parts:
+            return None, 0
+        fresh_all = _unique_sorted(np.concatenate(fresh_parts))
+        return _write_output(
+            ctx["prefix"], f"x{round_index}p{part}", fresh_all
+        )
+    finally:
+        frontier = None  # noqa: F841 - drops the exported buffer view
+        if visited is not None:
+            visited.release_buffer()
+        frontier_segment.close()
+        visited_segment.close()
+
+
+def _write_output(
+    prefix: str, tag: str, codes: np.ndarray
+) -> Tuple[str, int]:
+    """Write a worker result array into a fresh run-prefixed segment."""
+    out = create_worker_segment(prefix, tag, codes.nbytes)
+    view = np.frombuffer(out.buf, dtype=np.int64, count=codes.size)
+    view[:] = codes
+    del view  # release the exported buffer before unmapping
+    name = out.name
+    out.close()
+    return name, int(codes.size)
+
+
+def shared_reachable(
+    kernel: SharedKernel,
+    sources: np.ndarray,
+    runtime: SharedRuntime,
+    instrumentation: Instrumentation = NULL_INSTRUMENTATION,
+) -> BitField:
+    """Codes reachable from ``sources`` as a bit-packed field.
+
+    The vector BFS with three substitutions: visited flags are one bit
+    per code (in a shm segment when sharded), each frontier round is a
+    :class:`CodeRuns` that spills past its RAM cap, and rounds larger
+    than the sharding threshold fan out over code-range partitions.
+    The visited *set* per round is identical to the vector engine's.
+    """
+    size = kernel.size
+    visited_segment = None
+    if runtime.workers > 1:
+        visited_segment = runtime.registry.create(
+            (size + 7) // 8, "visited"
+        )
+        visited = BitField(size, visited_segment.buf)
+        visited.zero()
+    else:
+        visited = BitField(size)
+    frontier = CodeRuns(runtime.spill, runtime.run_cap_bytes)
+    start = _unique_sorted(np.asarray(sources, dtype=np.int64))
+    visited.set_codes(start)
+    frontier.append(start)
+    progress = ProgressEmitter(instrumentation, "shared.reachable")
+    chaos_hook = (
+        chaos.engine_states if chaos.active_plan() is not None else None
+    )
+    rounds = 0
+    expanded = 0
+    while frontier.count:
+        rounds += 1
+        expanded += frontier.count
+        if chaos_hook is not None:
+            chaos_hook("shared", expanded)
+        if progress.enabled:
+            instrumentation.observe("shm.frontier.size", frontier.count)
+            progress.tick(rounds, frontier.count, expanded)
+        next_frontier = CodeRuns(runtime.spill, runtime.run_cap_bytes)
+        for run_index, run in enumerate(frontier.chunks()):
+            if runtime.parallel(run.size):
+                run_segment = runtime.registry.create(
+                    run.nbytes, f"f{rounds}r{run_index}"
+                )
+                staged = np.frombuffer(
+                    run_segment.buf, dtype=np.int64, count=run.size
+                )
+                staged[:] = run
+                del staged
+                with WorkerPool(
+                    runtime.workers,
+                    shared_reachable={
+                        "kernel": kernel,
+                        "frontier_name": run_segment.name,
+                        "frontier_count": int(run.size),
+                        "visited_name": visited_segment.name,
+                        "prefix": runtime.registry.prefix,
+                        "chunk": runtime.chunk,
+                    },
+                ) as pool:
+                    # Route supervision recoveries (worker death,
+                    # retries, quarantine) to the engine's sink.
+                    with using_worker_instrumentation(instrumentation):
+                        results = pool.map(
+                            _expand_task,
+                            [
+                                (part, runtime.workers, rounds)
+                                for part in range(runtime.workers)
+                            ],
+                        )
+                runtime.registry.release(run_segment)
+                for codes in _consume_outputs(runtime, results):
+                    mask = ~visited.test(codes)
+                    fresh = codes[mask]
+                    visited.set_codes(fresh)
+                    next_frontier.append(fresh)
+            else:
+                for offset in range(0, run.size, runtime.chunk):
+                    codes = run[offset : offset + runtime.chunk]
+                    _, targets = kernel.succ_pairs(codes)
+                    fresh = _unique_sorted(targets)
+                    fresh = fresh[~visited.test(fresh)]
+                    visited.set_codes(fresh)
+                    next_frontier.append(fresh)
+        frontier.clear()
+        frontier = next_frontier
+        if frontier.spilled_runs:
+            instrumentation.count("shm.spill.rounds")
+    frontier.clear()
+    if visited_segment is not None:
+        # Copy out before the segment is released; the caller owns a
+        # private bitfield either way.
+        private = BitField(size)
+        visited.copy_into(private)
+        visited.release_buffer()
+        runtime.registry.release(visited_segment)
+        return private
+    return visited
+
+
+# ----------------------------------------------------------------------
+# The behavioural core.
+# ----------------------------------------------------------------------
+
+
+def _evict_chunk(
+    members: np.ndarray,
+    kernel: SharedKernel,
+    abstract_kernel: VectorKernel,
+    image: SharedImage,
+    flags: BitField,
+    abs_has_successor: np.ndarray,
+    stutter_insensitive: bool,
+    ignorable_stutter: bool,
+) -> np.ndarray:
+    """Members of one chunk the current Jacobi round evicts.
+
+    A transliteration of one ``vector_core`` round restricted to
+    ``members`` — exact, because a member's eviction depends only on
+    its own out-edges and the round-start snapshot in ``flags``.
+    """
+    origins, targets = kernel.succ_pairs(members)
+    image_members = image.of(members)
+    sources = members[origins]
+    image_source = image_members[origins]
+    image_target = image.of(targets)
+    abstract_edge = abstract_kernel.has_edge(image_source, image_target)
+    self_loop = targets == sources
+    if stutter_insensitive:
+        stutter_progress = image_target == image_source
+    else:
+        stutter_progress = np.zeros(targets.shape, dtype=bool)
+    member_target = flags.test(targets)
+    if ignorable_stutter:
+        evict_self = np.zeros(targets.shape, dtype=bool)
+    else:
+        evict_self = ~abstract_edge
+    evict_edge = np.where(
+        self_loop,
+        evict_self,
+        ~member_target | (~stutter_progress & ~abstract_edge),
+    )
+    progress_edge = np.where(
+        self_loop,
+        abstract_edge,
+        member_target & (stutter_progress | abstract_edge),
+    )
+    count = members.size
+    evict = np.bincount(origins[evict_edge], minlength=count) > 0
+    progressed = np.bincount(origins[progress_edge], minlength=count) > 0
+    evict |= ~progressed & abs_has_successor[image_members]
+    return members[evict]
+
+
+def _core_round_task(
+    payload: Tuple[int, int, int]
+) -> Tuple[Optional[str], int]:
+    """Worker: evaluate one Jacobi round over a flags partition."""
+    part, parts, round_index = payload
+    ctx = worker_context()["shared_core"]
+    kernel: SharedKernel = ctx["kernel"]
+    flags_segment = attach_segment(ctx["flags_name"])
+    flags = None
+    try:
+        flags = BitField(kernel.size, flags_segment.buf)
+        start_byte, end_byte = _partition_bounds(flags.nbytes, parts)[part]
+        evicted_parts: List[np.ndarray] = []
+        for members in flags.member_chunks(ctx["chunk"], start_byte, end_byte):
+            evicted = _evict_chunk(
+                members,
+                kernel,
+                ctx["abstract_kernel"],
+                ctx["image"],
+                flags,
+                ctx["abs_has_successor"],
+                ctx["stutter_insensitive"],
+                ctx["ignorable_stutter"],
+            )
+            if evicted.size:
+                evicted_parts.append(evicted)
+        if not evicted_parts:
+            return None, 0
+        evicted_all = np.concatenate(evicted_parts)
+        return _write_output(
+            ctx["prefix"], f"c{round_index}p{part}", evicted_all
+        )
+    finally:
+        if flags is not None:
+            flags.release_buffer()
+        flags_segment.close()
+
+
+def shared_core(
+    kernel: SharedKernel,
+    abstract_kernel: VectorKernel,
+    image: SharedImage,
+    legitimate: np.ndarray,
+    stutter_insensitive: bool,
+    fairness_ignores_stutter: bool,
+    runtime: SharedRuntime,
+    instrumentation: Instrumentation = NULL_INSTRUMENTATION,
+) -> BitField:
+    """The behavioural core as a bit-packed field over concrete codes.
+
+    ``vector_core``'s Jacobi fixpoint with streamed init and rounds.
+    Counters and per-iteration events are emitted with the vector
+    engine's names and values — the rounds evaluate the identical
+    operator, so ``check.fixpoint.iteration`` sequences agree.
+    """
+    size = kernel.size
+    legitimate = np.asarray(legitimate, dtype=bool)
+    flags_segment = None
+    if runtime.workers > 1:
+        flags_segment = runtime.registry.create((size + 7) // 8, "core")
+        flags = BitField(size, flags_segment.buf)
+        flags.zero()
+    else:
+        flags = BitField(size)
+    remaining = 0
+    for start in range(0, size, runtime.chunk):
+        codes = np.arange(
+            start, min(start + runtime.chunk, size), dtype=np.int64
+        )
+        images = image.of(codes)
+        valid = images >= 0
+        member = valid & legitimate[np.where(valid, images, 0)]
+        hits = codes[member]
+        flags.set_codes(hits)
+        remaining += int(hits.size)
+    instrumentation.count("check.states.enumerated", size)
+    instrumentation.count("check.candidates.initial", remaining)
+    abs_has_successor = ~abstract_kernel.terminal_flags()
+    ignorable_stutter = stutter_insensitive or fairness_ignores_stutter
+    progress = ProgressEmitter(instrumentation, "shared.core")
+    chaos_hook = (
+        chaos.engine_states if chaos.active_plan() is not None else None
+    )
+    if chaos_hook is not None:
+        chaos_hook("shared", size)
+    iterations = 0
+    changed = True
+    while changed:
+        iterations += 1
+        if chaos_hook is not None:
+            chaos_hook("shared", size * (iterations + 1))
+        evicted_runs = CodeRuns(runtime.spill, runtime.run_cap_bytes)
+        if runtime.parallel(remaining) and flags_segment is not None:
+            with WorkerPool(
+                runtime.workers,
+                shared_core={
+                    "kernel": kernel,
+                    "abstract_kernel": abstract_kernel,
+                    "image": image,
+                    "flags_name": flags_segment.name,
+                    "abs_has_successor": abs_has_successor,
+                    "stutter_insensitive": stutter_insensitive,
+                    "ignorable_stutter": ignorable_stutter,
+                    "prefix": runtime.registry.prefix,
+                    "chunk": runtime.chunk,
+                },
+            ) as pool:
+                # Route supervision recoveries to the engine's sink.
+                with using_worker_instrumentation(instrumentation):
+                    results = pool.map(
+                        _core_round_task,
+                        [
+                            (part, runtime.workers, iterations)
+                            for part in range(runtime.workers)
+                        ],
+                    )
+            for codes in _consume_outputs(runtime, results):
+                evicted_runs.append(codes)
+        else:
+            for members in flags.member_chunks(runtime.chunk):
+                evicted = _evict_chunk(
+                    members,
+                    kernel,
+                    abstract_kernel,
+                    image,
+                    flags,
+                    abs_has_successor,
+                    stutter_insensitive,
+                    ignorable_stutter,
+                )
+                evicted_runs.append(evicted)
+        evicted_total = evicted_runs.count
+        for codes in evicted_runs.chunks():
+            flags.clear_codes(codes)
+        if evicted_runs.spilled_runs:
+            instrumentation.count("shm.spill.rounds")
+        evicted_runs.clear()
+        changed = evicted_total > 0
+        remaining -= evicted_total
+        instrumentation.event(
+            "check.fixpoint.iteration",
+            index=iterations,
+            evicted=evicted_total,
+            remaining=remaining,
+        )
+        instrumentation.count("check.states.evicted", evicted_total)
+        instrumentation.observe("check.round.evicted", evicted_total)
+        progress.tick(iterations, remaining, size * iterations)
+    instrumentation.count("check.fixpoint.iterations", iterations)
+    if flags_segment is not None:
+        private = BitField(size)
+        flags.copy_into(private)
+        flags.release_buffer()
+        runtime.registry.release(flags_segment)
+        return private
+    return flags
+
+
+# ----------------------------------------------------------------------
+# Terminals, cycles, longest path (out-of-core Kahn peel).
+# ----------------------------------------------------------------------
+
+
+def shared_terminals(
+    kernel: SharedKernel,
+    region: BitField,
+    runtime: SharedRuntime,
+    drop_self: bool = False,
+) -> np.ndarray:
+    """Codes in ``region`` with no successors at all, ascending."""
+    found: List[np.ndarray] = []
+    for codes in region.member_chunks(runtime.chunk):
+        terminal = kernel.terminal_chunk(codes, drop_self)
+        if terminal.any():
+            found.append(codes[terminal])
+    if not found:
+        return np.empty(0, dtype=np.int64)
+    return np.concatenate(found)
+
+
+class _PeelGraph:
+    """Phase A of the out-of-core peel: degrees and bucketed in-edges.
+
+    One streamed sweep over the region computes the per-code in-region
+    out-degree (the only full-space array the peel keeps) and appends
+    each in-region edge, as a ``(target, source)`` pair, to the spill
+    bucket owning the target's code range.
+    """
+
+    def __init__(
+        self,
+        kernel: SharedKernel,
+        region: BitField,
+        runtime: SharedRuntime,
+        drop_self: bool,
+        image: Optional[SharedImage],
+        track_exits: bool,
+    ):
+        size = kernel.size
+        self.runtime = runtime
+        edge_estimate = size * max(1, len(kernel.actions)) * 16
+        self.buckets = max(
+            1,
+            min(_MAX_BUCKETS, -(-edge_estimate // runtime.run_cap_bytes)),
+        )
+        self.span = -(-size // self.buckets)
+        self.out_degree = np.zeros(size, dtype=np.uint16)
+        self.member_count = 0
+        self.exit_bits = BitField(size) if track_exits else None
+        writers = [
+            runtime.spill.bucket_writer(str(bucket))
+            for bucket in range(self.buckets)
+        ]
+        for codes in region.member_chunks(runtime.chunk):
+            self.member_count += int(codes.size)
+            origins, targets = kernel.succ_pairs(codes)
+            sources = codes[origins]
+            if drop_self:
+                live = targets != sources
+                sources, targets = sources[live], targets[live]
+            inside = region.test(targets)
+            if self.exit_bits is not None:
+                self.exit_bits.set_codes(sources[~inside])
+            sources, targets = sources[inside], targets[inside]
+            if image is not None and sources.size:
+                invisible = image.of(sources) == image.of(targets)
+                sources, targets = sources[invisible], targets[invisible]
+            if not sources.size:
+                continue
+            np.add.at(self.out_degree, sources, 1)
+            bucket_of = targets // self.span
+            order = np.argsort(bucket_of, kind="stable")
+            targets, sources, bucket_of = (
+                targets[order],
+                sources[order],
+                bucket_of[order],
+            )
+            edges = np.searchsorted(
+                bucket_of, np.arange(self.buckets + 1, dtype=np.int64)
+            )
+            for bucket in range(self.buckets):
+                lo, hi = edges[bucket], edges[bucket + 1]
+                if hi > lo:
+                    writers[bucket].append(
+                        targets[lo:hi], sources[lo:hi]
+                    )
+
+    def initial_pending(
+        self, region: BitField
+    ) -> Tuple[List[List[np.ndarray]], int]:
+        """Zero-out-degree members, routed to their owning buckets."""
+        pending: List[List[np.ndarray]] = [[] for _ in range(self.buckets)]
+        processed = 0
+        for codes in region.member_chunks(self.runtime.chunk):
+            zero = codes[self.out_degree[codes] == 0]
+            processed += int(zero.size)
+            self._route(pending, zero)
+        return pending, processed
+
+    def _route(
+        self, pending: List[List[np.ndarray]], nodes: np.ndarray
+    ) -> None:
+        if not nodes.size:
+            return
+        bucket_of = nodes // self.span
+        edges = np.searchsorted(
+            bucket_of, np.arange(self.buckets + 1, dtype=np.int64)
+        )
+        for bucket in range(self.buckets):
+            lo, hi = edges[bucket], edges[bucket + 1]
+            if hi > lo:
+                pending[bucket].append(nodes[lo:hi])
+
+    def peel(
+        self,
+        pending: List[List[np.ndarray]],
+        processed: int,
+        depth: Optional[np.ndarray] = None,
+    ) -> int:
+        """Run the peel to exhaustion; returns nodes processed.
+
+        With ``depth`` (an int32 per-code array) accumulates the
+        longest-path metric exactly as the in-RAM peel: when a node is
+        finalized, each in-edge source's depth rises to at least
+        ``1 + depth[node]``.
+        """
+        while True:
+            bucket = next(
+                (
+                    index
+                    for index, items in enumerate(pending)
+                    if items
+                ),
+                None,
+            )
+            if bucket is None:
+                return processed
+            nodes = _unique_sorted(np.concatenate(pending[bucket]))
+            pending[bucket] = []
+            targets_b, sources_b = self.runtime.spill.load_bucket_sorted(
+                str(bucket)
+            )
+            left = np.searchsorted(targets_b, nodes)
+            right = np.searchsorted(targets_b, nodes, side="right")
+            counts = right - left
+            in_sources = sources_b[_ranges(left, counts)]
+            if not in_sources.size:
+                continue
+            if depth is not None:
+                finalized = np.repeat(nodes, counts)
+                np.maximum.at(
+                    depth, in_sources, depth[finalized].astype(np.int32) + 1
+                )
+            np.subtract.at(self.out_degree, in_sources, 1)
+            newly = _unique_sorted(in_sources)
+            newly = newly[self.out_degree[newly] == 0]
+            processed += int(newly.size)
+            self._route(pending, newly)
+
+
+def _peel(
+    kernel: SharedKernel,
+    region: BitField,
+    runtime: SharedRuntime,
+    drop_self: bool,
+    image: Optional[SharedImage],
+    track_exits: bool,
+    depth: Optional[np.ndarray],
+) -> Tuple[int, int, Optional[BitField]]:
+    """Build the bucketed graph, peel it, and clean the buckets up."""
+    try:
+        graph = _PeelGraph(
+            kernel, region, runtime, drop_self, image, track_exits
+        )
+        if graph.member_count == 0:
+            return 0, 0, None
+        pending, processed = graph.initial_pending(region)
+        if depth is not None and graph.exit_bits is not None:
+            for codes in region.member_chunks(runtime.chunk):
+                exits = codes[graph.exit_bits.test(codes)]
+                depth[exits] = 1
+        processed = graph.peel(pending, processed, depth)
+        return processed, graph.member_count, graph.exit_bits
+    finally:
+        runtime.spill.drop_buckets()
+
+
+def shared_has_cycle(
+    kernel: SharedKernel,
+    region: BitField,
+    runtime: SharedRuntime,
+    drop_self: bool = False,
+    image: Optional[SharedImage] = None,
+) -> bool:
+    """Whether a cycle (including a self-loop) lies within ``region``.
+
+    The vector engine's Kahn trim with the edge set on disk: a cycle
+    exists iff the peel cannot exhaust the region.  With ``image`` the
+    relation is first restricted to image-invisible edges.
+    """
+    processed, member_count, _ = _peel(
+        kernel, region, runtime, drop_self, image, False, None
+    )
+    return processed < member_count
+
+
+def shared_longest_path(
+    kernel: SharedKernel,
+    region: BitField,
+    runtime: SharedRuntime,
+    drop_self: bool = False,
+) -> int:
+    """Longest transition path staying within ``region``.
+
+    Raises:
+        ValueError: if a cycle is found after all, with the tuple
+            engine's exact message.
+    """
+    depth = np.zeros(kernel.size, dtype=np.int32)
+    processed, member_count, _ = _peel(
+        kernel, region, runtime, drop_self, None, True, depth
+    )
+    if member_count == 0:
+        return 0
+    if processed < member_count:
+        raise ValueError("cycle outside the core; check stabilization first")
+    longest = 0
+    for codes in region.member_chunks(runtime.chunk):
+        longest = max(longest, int(depth[codes].max()))
+    return longest

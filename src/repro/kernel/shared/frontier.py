@@ -1,0 +1,191 @@
+"""Bit-packed flag fields and budget-capped code collections.
+
+Two containers the streamed fixpoints are built from:
+
+* :class:`BitField` — one bit per packed code over the full state
+  space (visited / membership / processed flags).  An 8x density win
+  over the vector engine's byte-per-state bool arrays, and the buffer
+  can live in a shared-memory segment so forked workers test
+  membership zero-copy against the driver's *current* flags.
+* :class:`CodeRuns` — an ordered collection of sorted-unique int64
+  code arrays (frontier rounds, eviction lists) that keeps at most
+  ``cap_bytes`` resident and spills older runs to a
+  :class:`~.spill.SpillStore`, streaming them back on iteration.
+
+Both are driver-side data structures; workers only ever see the raw
+buffers behind them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple, Union
+
+import numpy as np
+
+from .spill import SpillHandle, SpillStore
+
+__all__ = ["BitField", "CodeRuns"]
+
+#: Bytes-per-byte popcount, for fast set-bit counting.
+_POPCOUNT = np.array(
+    [bin(value).count("1") for value in range(256)], dtype=np.int64
+)
+
+
+class BitField:
+    """One bit per code in ``[0, size)``, batch-addressable.
+
+    Args:
+        size: number of codes covered.
+        buffer: optional external buffer (a shared-memory segment's
+            ``buf``) of at least ``(size + 7) // 8`` bytes; when
+            omitted a private zeroed array is allocated.
+    """
+
+    __slots__ = ("size", "nbytes", "_bytes")
+
+    def __init__(self, size: int, buffer: Optional[memoryview] = None):
+        self.size = size
+        self.nbytes = (size + 7) // 8
+        if buffer is None:
+            self._bytes = np.zeros(self.nbytes, dtype=np.uint8)
+        else:
+            self._bytes = np.frombuffer(
+                buffer, dtype=np.uint8, count=self.nbytes
+            )
+
+    def zero(self) -> None:
+        """Clear all bits (external buffers arrive uninitialized)."""
+        self._bytes[:] = 0
+
+    def test(self, codes: np.ndarray) -> np.ndarray:
+        """Boolean membership of each code (vectorized)."""
+        return (
+            (self._bytes[codes >> 3] >> (codes & 7).astype(np.uint8)) & 1
+        ).astype(bool)
+
+    def set_codes(self, codes: np.ndarray) -> None:
+        """Set the bit of every code (duplicates are harmless)."""
+        if codes.shape[0] == 0:
+            return
+        bits = (np.uint8(1) << (codes & 7).astype(np.uint8)).astype(np.uint8)
+        np.bitwise_or.at(self._bytes, codes >> 3, bits)
+
+    def clear_codes(self, codes: np.ndarray) -> None:
+        """Clear the bit of every code (duplicates are harmless)."""
+        if codes.shape[0] == 0:
+            return
+        bits = (np.uint8(1) << (codes & 7).astype(np.uint8)).astype(np.uint8)
+        np.bitwise_and.at(self._bytes, codes >> 3, np.uint8(0xFF) ^ bits)
+
+    def count(self) -> int:
+        """Number of set bits (tail bits beyond ``size`` are never set)."""
+        return int(_POPCOUNT[self._bytes].sum())
+
+    def member_chunks(
+        self,
+        chunk: int,
+        start_byte: int = 0,
+        end_byte: Optional[int] = None,
+    ) -> Iterator[np.ndarray]:
+        """Yield set codes in ascending order, ``<= chunk`` per batch.
+
+        Walks the byte array in windows of ``chunk // 8`` bytes, so a
+        fully dense window yields exactly ``chunk`` codes and resident
+        cost stays bounded regardless of population.  ``start_byte`` /
+        ``end_byte`` restrict the scan to a byte sub-range — the
+        worker-partition form (byte boundaries keep partitions
+        bit-exact disjoint).
+        """
+        step_bytes = max(1, chunk // 8)
+        stop = self.nbytes if end_byte is None else min(end_byte, self.nbytes)
+        for start in range(start_byte, stop, step_bytes):
+            window = self._bytes[start : min(start + step_bytes, stop)]
+            if not window.any():
+                continue
+            bits = np.unpackbits(window, bitorder="little")
+            codes = np.flatnonzero(bits).astype(np.int64) + start * 8
+            if codes.shape[0] and codes[-1] >= self.size:
+                codes = codes[codes < self.size]
+            if codes.shape[0]:
+                yield codes
+
+    def complement_into(self, other: "BitField") -> None:
+        """Set ``other`` to the complement of ``self`` over ``[0, size)``."""
+        np.bitwise_xor(self._bytes, np.uint8(0xFF), out=other._bytes)
+        tail = self.size & 7
+        if tail:
+            other._bytes[-1] &= np.uint8((1 << tail) - 1)
+
+    def copy_into(self, other: "BitField") -> None:
+        other._bytes[:] = self._bytes
+
+    def release_buffer(self) -> None:
+        """Drop the view on an external buffer (before segment close).
+
+        A live NumPy view keeps the segment's mmap pinned ("cannot
+        close exported pointers exist"); callers that back a field
+        with a segment must call this before closing it.  The field
+        becomes unusable afterwards.
+        """
+        self._bytes = np.empty(0, dtype=np.uint8)
+
+
+class CodeRuns:
+    """Sorted-unique code runs with an in-RAM cap and spill overflow.
+
+    ``append`` takes ownership of sorted-unique arrays; once resident
+    bytes pass ``cap_bytes`` the oldest runs spill (delta-encoded) to
+    the store.  ``chunks`` streams every run back — resident runs
+    as-is, spilled runs loaded one at a time — so peak RSS during
+    iteration is one run, not the collection.  Runs need not be
+    disjoint or globally ordered; consumers treat the union as a set.
+    """
+
+    def __init__(self, store: SpillStore, cap_bytes: int):
+        self._store = store
+        self._cap = max(cap_bytes, 1 << 16)
+        self._runs: List[Union[np.ndarray, SpillHandle]] = []
+        self._resident_bytes = 0
+        self.count = 0
+        self.spilled_runs = 0
+
+    def append(self, codes: np.ndarray) -> None:
+        """Add one sorted-unique int64 run (empty arrays are dropped)."""
+        if codes.shape[0] == 0:
+            return
+        self._runs.append(codes)
+        self._resident_bytes += codes.nbytes
+        self.count += int(codes.shape[0])
+        while self._resident_bytes > self._cap:
+            victim_index = next(
+                (
+                    index
+                    for index, run in enumerate(self._runs)
+                    if isinstance(run, np.ndarray)
+                ),
+                None,
+            )
+            if victim_index is None:  # pragma: no cover - all spilled
+                break
+            victim = self._runs[victim_index]
+            self._runs[victim_index] = self._store.save_sorted(victim)
+            self._resident_bytes -= victim.nbytes
+            self.spilled_runs += 1
+
+    def chunks(self) -> Iterator[np.ndarray]:
+        """Stream every run; spilled runs are loaded one at a time."""
+        for run in self._runs:
+            if isinstance(run, SpillHandle):
+                yield self._store.load(run)
+            else:
+                yield run
+
+    def clear(self) -> None:
+        """Drop all runs (deleting consumed spill files)."""
+        for run in self._runs:
+            if isinstance(run, SpillHandle):
+                self._store.drop(run)
+        self._runs.clear()
+        self._resident_bytes = 0
+        self.count = 0

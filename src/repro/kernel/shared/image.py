@@ -1,0 +1,146 @@
+"""Chunk-streamed abstraction images for the shared engine.
+
+The vector engine precomputes the whole concrete→abstract code table
+(:func:`~repro.kernel.vector.image.vector_image_codes`); at mega-state
+sizes that table alone would be ``8 * |Sigma|`` bytes.
+:class:`SharedImage` evaluates the same mapping per code *chunk*
+instead — identity as an offset ``arange``, a batch
+:attr:`~repro.core.abstraction.AbstractionFunction.array_mapping`
+column-wise, or (for small spaces only) the dense scalar-loop table —
+with the vector path's exact ``-1`` out-of-schema convention, so every
+downstream comparison (``legitimate[image]`` gathers, invisible-step
+masks) sees identical values.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ...core.abstraction import AbstractionFunction
+from ..engine import image_codes
+from ..interner import StateInterner
+from ..vector.analyze import BOOL, domain_type
+from ..vector.image import _encode_columns
+
+__all__ = ["SharedImage", "shared_image_unsupported_reason"]
+
+
+def shared_image_unsupported_reason(
+    concrete: StateInterner,
+    abstract: StateInterner,
+    alpha: Optional[AbstractionFunction],
+    dense_ceiling: int,
+) -> Optional[str]:
+    """Why the image cannot be streamed (``None`` = it can).
+
+    Streaming needs the identity, a batch ``array_mapping`` over
+    int/bool domains, or a space small enough (``<= dense_ceiling``)
+    for the scalar-loop dense table.
+    """
+    if alpha is None and concrete.schema.compatible_with(abstract.schema):
+        return None
+    if (
+        getattr(alpha, "array_mapping", None) is not None
+        and all(
+            domain_type(domain) is not None
+            for domain in concrete.schema.domains
+        )
+        and all(
+            domain_type(domain) is not None
+            for domain in abstract.schema.domains
+        )
+    ):
+        return None
+    if concrete.size <= dense_ceiling:
+        return None
+    return (
+        "abstraction has no batch array form and the state space is too "
+        "large for the scalar image table"
+    )
+
+
+class SharedImage:
+    """``image.of(codes)`` — abstract codes of a concrete chunk.
+
+    Strategies, probed in the vector table's order: identity, batch
+    ``array_mapping`` columns, dense scalar table (small spaces only —
+    the caller gates via :func:`shared_image_unsupported_reason`).
+    """
+
+    def __init__(
+        self,
+        concrete: StateInterner,
+        abstract: StateInterner,
+        alpha: Optional[AbstractionFunction],
+    ):
+        self._concrete = concrete
+        self._abstract = abstract
+        self._alpha = alpha
+        self._identity = alpha is None and concrete.schema.compatible_with(
+            abstract.schema
+        )
+        self._mapping = None
+        self._columns_plan: Dict[str, tuple] = {}
+        self._table: Optional[np.ndarray] = None
+        if self._identity:
+            return
+        array_mapping = getattr(alpha, "array_mapping", None)
+        if (
+            array_mapping is not None
+            and all(
+                domain_type(domain) is not None
+                for domain in concrete.schema.domains
+            )
+            and all(
+                domain_type(domain) is not None
+                for domain in abstract.schema.domains
+            )
+        ):
+            self._mapping = array_mapping
+            places = concrete.places_by_name()
+            for name, domain in zip(
+                concrete.schema.names, concrete.schema.domains
+            ):
+                values = np.asarray(
+                    [int(value) for value in domain], dtype=np.int64
+                )
+                self._columns_plan[name] = (
+                    places[name],
+                    len(domain),
+                    values,
+                    domain_type(domain) == BOOL,
+                )
+            # Probe coverage on one code, mirroring the vector table's
+            # column-coverage check; a partial mapping falls through to
+            # the dense path below.
+            probe = self._mapping_columns(np.zeros(1, dtype=np.int64))
+            if set(probe) == set(abstract.schema.names):
+                return
+            self._mapping = None
+            self._columns_plan = {}
+        # Dense fallback: the scalar loop, once.  Only reachable for
+        # small spaces (the fallback reason refuses large ones).
+        self._table = np.asarray(
+            image_codes(concrete, abstract, alpha), dtype=np.int64
+        )
+
+    def _mapping_columns(self, codes: np.ndarray) -> Dict[str, np.ndarray]:
+        columns: Dict[str, np.ndarray] = {}
+        for name, (place, radix, values, is_bool) in self._columns_plan.items():
+            digit = (codes // place) % radix
+            column = values[digit]
+            columns[name] = column.astype(bool) if is_bool else column
+        return self._mapping(columns)
+
+    def of(self, codes: np.ndarray) -> np.ndarray:
+        """Abstract codes of ``codes`` (``-1`` = outside the schema)."""
+        if self._identity:
+            return codes
+        if self._table is not None:
+            return self._table[codes]
+        image_columns = self._mapping_columns(codes)
+        return _encode_columns(
+            self._abstract, image_columns, int(codes.shape[0])
+        )

@@ -1,0 +1,92 @@
+"""The per-check runtime of the shared engine: budget, segments, spill.
+
+One :class:`SharedRuntime` spans one engine run (one decide).  It owns
+the :class:`~.segments.SegmentRegistry` and :class:`~.spill.SpillStore`
+whose cleanup must be unconditional — :func:`open_runtime` is the only
+sanctioned way in, and its ``finally`` sweeps segments and removes the
+spill directory no matter how the check ends (success, engine fault
+feeding the degradation chain, chaos-injected worker kill).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from ...obs import NULL_INSTRUMENTATION, Instrumentation
+from .budget import MemoryContext, active_memory_context, chunk_codes
+from .kernel import SharedKernel
+from .segments import SegmentRegistry
+from .spill import SpillStore
+
+__all__ = ["SharedRuntime", "open_runtime"]
+
+
+@dataclass
+class SharedRuntime:
+    """Everything a streamed fixpoint needs besides its kernel."""
+
+    context: MemoryContext
+    chunk: int
+    workers: int
+    registry: SegmentRegistry
+    spill: SpillStore
+    instrumentation: Instrumentation
+
+    @property
+    def run_cap_bytes(self) -> int:
+        """In-RAM cap for one code collection (frontier, evictions).
+
+        A quarter of the budget: flag bitfields, peel arrays, and the
+        evaluation chunks share the rest.
+        """
+        return max(1 << 16, self.context.budget_bytes // 4)
+
+    def parallel(self, items: int) -> bool:
+        """Whether a batch of ``items`` is worth sharding to workers."""
+        return self.workers > 1 and items >= self.context.parallel_min
+
+
+@contextmanager
+def open_runtime(
+    kernel: SharedKernel,
+    workers: int = 1,
+    instrumentation: Instrumentation = NULL_INSTRUMENTATION,
+    context: Optional[MemoryContext] = None,
+) -> Iterator[SharedRuntime]:
+    """Open the segment registry and spill store for one engine run.
+
+    Args:
+        kernel: the streamed kernel (its action/variable counts size
+            the evaluation chunks).
+        workers: resolved worker count (``1`` = fully in-process).
+        context: explicit memory context; defaults to the active one
+            (``open_runtime`` outside any context uses the defaults —
+            the library API allows it even though engine selection
+            requires an active context).
+    """
+    chosen = context or active_memory_context() or MemoryContext()
+    chunk = chunk_codes(
+        chosen.budget_bytes,
+        len(kernel.actions),
+        len(kernel.schema.names),
+    )
+    registry = SegmentRegistry(instrumentation)
+    spill = SpillStore(chosen.spill_dir, instrumentation)
+    runtime = SharedRuntime(
+        context=chosen,
+        chunk=chunk,
+        workers=workers,
+        registry=registry,
+        spill=spill,
+        instrumentation=instrumentation,
+    )
+    try:
+        with instrumentation.span(
+            "shm.runtime", budget=chosen.budget_bytes, workers=workers
+        ):
+            yield runtime
+    finally:
+        registry.sweep()
+        spill.close()

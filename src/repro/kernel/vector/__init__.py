@@ -24,8 +24,11 @@ from .analyze import (
     BOOL,
     INT,
     MAX_VECTOR_CELLS,
+    MAX_VECTOR_CELLS_ENV,
     domain_type,
+    effective_max_vector_cells,
     expr_type,
+    structural_unlowerable_reason,
     unlowerable_reason,
 )
 from .availability import (
@@ -40,11 +43,14 @@ __all__ = [
     "INT",
     "HAVE_NUMPY",
     "MAX_VECTOR_CELLS",
+    "MAX_VECTOR_CELLS_ENV",
     "NUMPY_MISSING_REASON",
     "domain_type",
+    "effective_max_vector_cells",
     "expr_type",
     "numpy_available",
     "numpy_version",
+    "structural_unlowerable_reason",
     "unlowerable_reason",
     "vector_fallback_reason",
 ]

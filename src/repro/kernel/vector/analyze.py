@@ -17,6 +17,7 @@ fallback path) must run on a pure-Python install.
 
 from __future__ import annotations
 
+import os
 from typing import Dict, Optional, Sequence
 
 from ...gcl import expr as ast
@@ -27,8 +28,11 @@ __all__ = [
     "BOOL",
     "INT",
     "MAX_VECTOR_CELLS",
+    "MAX_VECTOR_CELLS_ENV",
     "domain_type",
+    "effective_max_vector_cells",
     "expr_type",
+    "structural_unlowerable_reason",
     "unlowerable_reason",
 ]
 
@@ -36,11 +40,34 @@ __all__ = [
 BOOL = "bool"
 INT = "int"
 
-#: Ceiling on ``|Sigma| * (actions + variables)``: the vector kernel
-#: materializes one full-space int64/bool array per action and per
-#: variable, so this caps its resident footprint at a few hundred MiB
-#: (the packed engine, which stays lazy, picks up anything larger).
+#: Default ceiling on ``|Sigma| * (actions + variables)``: the vector
+#: kernel materializes one full-space int64/bool array per action and
+#: per variable, so this caps its resident footprint at a few hundred
+#: MiB (the packed engine, which stays lazy, picks up anything larger).
+#: Override per process with :data:`MAX_VECTOR_CELLS_ENV` or per call
+#: with the ``max_cells`` keyword of :func:`unlowerable_reason`.
 MAX_VECTOR_CELLS: int = 1 << 25
+
+#: Environment variable overriding :data:`MAX_VECTOR_CELLS`.
+MAX_VECTOR_CELLS_ENV = "REPRO_MAX_VECTOR_CELLS"
+
+
+def effective_max_vector_cells() -> int:
+    """The vector-cell ceiling in force: env override or the default.
+
+    Read at call time (not import time) so tests and long-lived
+    processes can retune it.  Unparsable or non-positive values fall
+    back to the default — a misconfigured environment must degrade a
+    check to the packed engine, never crash it.
+    """
+    raw = os.environ.get(MAX_VECTOR_CELLS_ENV)
+    if raw is None:
+        return MAX_VECTOR_CELLS
+    try:
+        value = int(raw, 0)
+    except ValueError:
+        return MAX_VECTOR_CELLS
+    return value if value > 0 else MAX_VECTOR_CELLS
 
 
 def domain_type(values: Sequence[object]) -> Optional[str]:
@@ -138,14 +165,17 @@ def expr_type(node: ast.Expr, var_types: Dict[str, str]) -> Optional[str]:
     return None  # unknown node kind: never guess
 
 
-def unlowerable_reason(
+def structural_unlowerable_reason(
     program: Program, daemon: Optional[Daemon] = None
 ) -> Optional[str]:
-    """Why ``program`` cannot lower to array kernels (``None`` = it can).
+    """The size-independent half of :func:`unlowerable_reason`.
 
-    Checks, in order: the daemon (only the plain central daemon has a
-    digit-delta batch form), the domains, every guard, every
-    assignment, and the full-space array footprint.
+    Checks the daemon, the domains, every guard, and every assignment
+    — everything except the full-space footprint ceiling.  Consumers
+    that never materialize full-space tables (the shared-memory
+    streamed kernel, the batch Monte-Carlo sampler) use this form: the
+    cell ceiling is a RAM bound on table materialization, not a limit
+    of the lowering itself.
     """
     if daemon is not None and type(daemon) is not CentralDaemon:
         return (
@@ -179,10 +209,37 @@ def unlowerable_reason(
                     f"assignment to {target!r} in action {action.name!r} "
                     f"does not lower to an array expression"
                 )
+    return None
+
+
+def unlowerable_reason(
+    program: Program,
+    daemon: Optional[Daemon] = None,
+    max_cells: Optional[int] = None,
+) -> Optional[str]:
+    """Why ``program`` cannot lower to array kernels (``None`` = it can).
+
+    Checks, in order: the daemon (only the plain central daemon has a
+    digit-delta batch form), the domains, every guard, every
+    assignment, and the full-space array footprint.
+
+    Args:
+        program: the program to analyze.
+        daemon: the execution daemon, when not the plain central one.
+        max_cells: the footprint ceiling to judge against; defaults to
+            :func:`effective_max_vector_cells` (the
+            ``REPRO_MAX_VECTOR_CELLS`` override or the built-in
+            default).
+    """
+    reason = structural_unlowerable_reason(program, daemon)
+    if reason is not None:
+        return reason
+    ceiling = max_cells if max_cells is not None else effective_max_vector_cells()
+    schema = program.schema()
     cells = schema.size() * (len(program.actions) + len(schema.names))
-    if cells > MAX_VECTOR_CELLS:
+    if cells > ceiling:
         return (
             f"full-space action tables need {cells} cells, above the "
-            f"vector-engine ceiling of {MAX_VECTOR_CELLS}"
+            f"vector-engine ceiling of {ceiling}"
         )
     return None

@@ -50,9 +50,12 @@ RECOVERABLE_ENGINE_FAULTS: Tuple[Type[BaseException], ...] = (
 )
 
 #: For each selected engine, the engines to try in order.  Strictly
-#: decreasing memory footprint: vector (whole-space arrays) → packed
-#: (bitsets + successor closures) → tuple (plain sets, the reference).
+#: decreasing exoticism: shared (streamed chunks + shm segments) →
+#: vector (whole-space arrays) → packed (bitsets + successor closures)
+#: → tuple (plain sets, the reference).  The checker filters a chain
+#: to the engines whose preflight passes before walking it.
 DEGRADATION_CHAIN: Dict[str, Tuple[str, ...]] = {
+    "shared": ("shared", "vector", "packed", "tuple"),
     "vector": ("vector", "packed", "tuple"),
     "packed": ("packed", "tuple"),
     "tuple": ("tuple",),

@@ -26,18 +26,34 @@ one successor-closure call.  The procedure:
 The verdict is an **estimate**, never a proof — its formatted text
 says so loudly — and it is fully deterministic for a given seed: every
 random draw comes from one ``random.Random`` stream.
+
+Trajectory sampling is round-synchronous: each round draws one uniform
+float per live trajectory (in trajectory order), then steps every
+trajectory to the ``floor(u * k)``-th of its ``k`` distinct ascending
+successors.  The round itself has two interchangeable executors — a
+batch NumPy one that evaluates all live trajectories in a single
+:meth:`~repro.kernel.shared.SharedKernel.action_matrix` call, and a
+pure-Python one stepping each code through the packed kernel.  Both
+consume the identical draw sequence and implement the identical
+selection rule, so the verdict is the same object either way; the
+scalar executor is the fallback when NumPy is missing or the program
+has no array lowering.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Set
+from typing import Callable, List, Optional, Set, Tuple
 
 from ..gcl.program import Program
 from ..obs import NULL_INSTRUMENTATION, Instrumentation
 
-__all__ = ["LightVerdict", "light_convergence_estimate"]
+__all__ = [
+    "LightVerdict",
+    "batch_sampler_unavailable_reason",
+    "light_convergence_estimate",
+]
 
 
 @dataclass(frozen=True)
@@ -83,6 +99,105 @@ class LightVerdict:
             f"(seed {self.seed}, empirical legitimate set "
             f"{self.legitimate_size} of {self.states} states)"
         )
+
+
+#: One sampling round: live codes (all outside the legitimate set) and
+#: their per-trajectory uniform draws in, the codes still live after
+#: the step and the number that converged this round out.
+_RoundFn = Callable[[List[int], List[float]], Tuple[List[int], int]]
+
+
+def batch_sampler_unavailable_reason(program: Program) -> Optional[str]:
+    """Why trajectory rounds cannot run batched (``None`` = they can).
+
+    The batch executor needs NumPy and an array lowering of the
+    program's guards and assignments; when either is missing the
+    estimate silently uses the scalar executor (same verdict, more
+    Python-loop time per round).
+    """
+    from ..kernel.vector import NUMPY_MISSING_REASON, numpy_available
+
+    if not numpy_available():
+        return NUMPY_MISSING_REASON
+    if not isinstance(program, Program):
+        return "batch stepping lowers guards directly from a Program"
+    from ..kernel.vector.analyze import structural_unlowerable_reason
+
+    return structural_unlowerable_reason(program)
+
+
+def _scalar_round(kernel, legitimate: Set[int]) -> _RoundFn:
+    """The pure-Python round executor: one packed successor-closure
+    call per live trajectory (successors arrive sorted-unique)."""
+
+    def step(codes: List[int], draws: List[float]) -> Tuple[List[int], int]:
+        converged = 0
+        live: List[int] = []
+        for code, draw in zip(codes, draws):
+            successors = kernel.successors(code)
+            if not successors:
+                continue
+            target = successors[
+                min(int(draw * len(successors)), len(successors) - 1)
+            ]
+            if target in legitimate:
+                converged += 1
+            else:
+                live.append(target)
+        return live, converged
+
+    return step
+
+
+def _batch_round(program: Program, legitimate: Set[int]) -> _RoundFn:
+    """The NumPy round executor: all live trajectories in one
+    ``action_matrix`` call, per-column distinct-ascending selection.
+
+    Implements the identical rule as :func:`_scalar_round` — the
+    packed kernel's ``sorted(set(...))`` successor view — by sorting
+    each column's enabled successors with a ``size`` sentinel on the
+    disabled slots and ranking the distinct values.
+    """
+    import numpy as np
+
+    from ..kernel.shared.kernel import SharedKernel
+
+    # validate=False skips the eager full-space out-of-domain sweep —
+    # the sampler must never enumerate the space; the scalar warm-up
+    # walks still raise on any out-of-domain write they reach.
+    kernel = SharedKernel(program, validate=False)
+    size = np.int64(kernel.size)
+    legit_sorted = np.asarray(sorted(legitimate), dtype=np.int64)
+
+    def step(codes: List[int], draws: List[float]) -> Tuple[List[int], int]:
+        columns = np.asarray(codes, dtype=np.int64)
+        uniforms = np.asarray(draws, dtype=np.float64)
+        enabled, successors = kernel.action_matrix(columns)
+        ordered = np.sort(np.where(enabled, successors, size), axis=0)
+        distinct = np.ones(ordered.shape, dtype=bool)
+        distinct[1:] = ordered[1:] != ordered[:-1]
+        distinct &= ordered < size
+        counts = distinct.sum(axis=0)
+        choice = np.minimum(
+            (uniforms * counts).astype(np.int64),
+            np.maximum(counts - 1, 0),
+        )
+        rank = np.cumsum(distinct, axis=0) - 1
+        row = (distinct & (rank == choice[None, :])).argmax(axis=0)
+        targets = ordered[row, np.arange(columns.shape[0])]
+        alive = counts > 0
+        if legit_sorted.size:
+            slots = np.minimum(
+                np.searchsorted(legit_sorted, targets),
+                legit_sorted.size - 1,
+            )
+            entered = legit_sorted[slots] == targets
+        else:
+            entered = np.zeros(columns.shape, dtype=bool)
+        converged = int(np.count_nonzero(alive & entered))
+        return [int(code) for code in targets[alive & ~entered]], converged
+
+    return step
 
 
 def light_convergence_estimate(
@@ -140,24 +255,31 @@ def light_convergence_estimate(
                 code = successors[rng.randrange(len(successors))]
                 legitimate.add(code)
 
-    converged = 0
-    with instrumentation.span("tier.light.sample"):
-        for _ in range(samples):
-            code = rng.randrange(kernel.size)
-            if code in legitimate:
-                converged += 1
-                continue
-            for _ in range(horizon):
-                successors = kernel.successors(code)
-                if not successors:
-                    break
-                code = successors[rng.randrange(len(successors))]
-                if code in legitimate:
-                    converged += 1
-                    break
+    batch_reason = batch_sampler_unavailable_reason(program)
+    mode = "scalar" if batch_reason is not None else "batch"
+    with instrumentation.span("tier.light.sample", mode=mode):
+        if batch_reason is None:
+            step_round = _batch_round(program, legitimate)
+        else:
+            step_round = _scalar_round(kernel, legitimate)
+            instrumentation.event(
+                "tier.light.scalar_fallback", reason=batch_reason
+            )
+        starts = [rng.randrange(kernel.size) for _ in range(samples)]
+        live = [code for code in starts if code not in legitimate]
+        converged = samples - len(live)
+        rounds = 0
+        for _ in range(horizon):
+            if not live:
+                break
+            draws = [rng.random() for _ in live]
+            live, entered = step_round(live, draws)
+            converged += entered
+            rounds += 1
 
     instrumentation.count("tier.light.samples", samples)
     instrumentation.count("tier.light.converged", converged)
+    instrumentation.count(f"tier.light.rounds.{mode}", rounds)
     instrumentation.event(
         "tier.light.estimate",
         program=program.name,
@@ -166,6 +288,8 @@ def light_convergence_estimate(
         horizon=horizon,
         seed=seed,
         legitimate=len(legitimate),
+        mode=mode,
+        rounds=rounds,
     )
     return LightVerdict(
         name=program.name,

@@ -16,7 +16,10 @@ fixpoints are out of budget.
 * **size** — the packed-cell count of the spec (state-space size times
   actions-plus-variables, the same footprint formula the vector
   engine's lowerability analysis uses): small specs are cheap enough
-  to always verify THOROUGH, huge ones only afford LIGHT;
+  to always verify THOROUGH, huge ones only afford LIGHT.  Because the
+  units agree, a ``REPRO_MAX_VECTOR_CELLS`` override retunes the LIGHT
+  floor along with the engine ceiling (see
+  :func:`_light_floor_in_force`);
 * **verdict history** — a persisted :class:`~repro.tiering.ledger.
   RiskLedger` of recent outcomes: a spec that failed, flapped, or cut
   PARTIAL recently is *promoted* to THOROUGH regardless of size (risk
@@ -147,6 +150,30 @@ def _packable_reason(program: Program) -> Optional[str]:
     return unpackable_reason(program.schema())
 
 
+def _light_floor_in_force(thresholds: TierThresholds) -> Tuple[int, bool]:
+    """The LIGHT floor the size rule judges against, and whether the
+    ``REPRO_MAX_VECTOR_CELLS`` override retuned it.
+
+    Tier selection and the vector engine's lowerability ceiling speak
+    the same cell unit (:func:`spec_cells`), so an operator who retunes
+    the engine ceiling has also moved the exhaustive-affordability
+    boundary: the floor in force becomes the overridden ceiling itself
+    (clamped above the THOROUGH ceiling) — specs the retuned engine can
+    lower are judged affordable for exhaustive checking, and specs it
+    refuses are not.  Without an override the configured
+    ``light_min_cells`` stands.
+    """
+    from ..kernel.vector.analyze import (
+        MAX_VECTOR_CELLS,
+        effective_max_vector_cells,
+    )
+
+    ceiling = effective_max_vector_cells()
+    if ceiling == MAX_VECTOR_CELLS:
+        return thresholds.light_min_cells, False
+    return max(ceiling, thresholds.thorough_max_cells + 1), True
+
+
 def _clean_streak(history: Sequence[Mapping[str, object]]) -> int:
     """Trailing run of held-and-complete outcomes, newest last."""
     streak = 0
@@ -205,6 +232,8 @@ def select_tier(
     schema = program.schema()
     states = schema.size()
     cells = spec_cells(program)
+    light_floor, retuned = _light_floor_in_force(thresholds)
+    retuned_note = " (floor retuned by REPRO_MAX_VECTOR_CELLS)" if retuned else ""
 
     if cells <= thresholds.thorough_max_cells:
         base = Tier.THOROUGH
@@ -212,18 +241,18 @@ def select_tier(
             f"{cells} cells fit the THOROUGH ceiling "
             f"({thresholds.thorough_max_cells})"
         )
-    elif cells >= thresholds.light_min_cells:
+    elif cells >= light_floor:
         base = Tier.LIGHT
         base_reason = (
             f"{cells} cells exceed the LIGHT floor "
-            f"({thresholds.light_min_cells}); exhaustive fixpoints are "
-            f"out of budget"
+            f"({light_floor}); exhaustive fixpoints are "
+            f"out of budget{retuned_note}"
         )
     else:
         base = Tier.STANDARD
         base_reason = (
             f"{cells} cells sit between the THOROUGH ceiling and the "
-            f"LIGHT floor"
+            f"LIGHT floor{retuned_note}"
         )
 
     tier = base
@@ -267,6 +296,7 @@ def select_tier(
         reason=reason,
         cells=cells,
         states=states,
+        light_floor=light_floor,
         history=len(history),
         forced=forced.value if forced is not None else None,
     )

@@ -1,0 +1,274 @@
+"""Differential tests: the shared-memory engine against the references.
+
+The shared engine streams its fixpoints through bounded chunks, shm
+segments, and spill files — none of which may show in the verdict: for
+every ring system, fairness mode, worker count, and budget,
+``engine="shared"`` must render the *byte-identical* formatted verdict
+as the tuple reference, emit the same size-based counters, and leave
+behind **zero** shm segments or spill files.  The module also pins the
+engine-selection contract: a ``--mem-budget`` context transparently
+upgrades ``engine="vector"`` requests, tiny schemas fall back with a
+reasoned event, and a pure-Python install degrades down the documented
+chain.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.checker import check_stabilization
+from repro.kernel.shared import (
+    SHARED_MIN_STATES,
+    shared_fallback_reason,
+    using_memory_budget,
+)
+from repro.kernel.shared.segments import shm_dir
+from repro.kernel.vector import numpy_available
+from repro.obs import Recorder
+from repro.parallel import parallel_available
+from repro.rings import (
+    btr3_abstraction,
+    btr_program,
+    dijkstra_three_state,
+    kstate_program,
+    utr_abstraction,
+    utr_program,
+)
+from tests.integration.test_packed_differential import (
+    RING_CASES,
+    SHARED_COUNTERS,
+)
+
+_WORKER_COUNTS = [1, 4] if parallel_available() else [1]
+
+#: With NumPy the shared engine must actually run these cases (every
+#: ring case is at or above ``SHARED_MIN_STATES``); without it the
+#: request must fall back down the chain, starting at vector.
+_EXPECTED_SELECTION_COUNTER = (
+    "engine.shared" if numpy_available() else "engine.fallback.vector"
+)
+
+
+def _shm_leaks() -> list:
+    """Engine-owned shm segments still present (must always be [])."""
+    directory = shm_dir()
+    if directory is None:
+        return []
+    return [
+        name for name in os.listdir(directory) if name.startswith("rs-")
+    ]
+
+
+def _spill_leaks(parent) -> list:
+    """Entries left in a run's spill parent directory (must be [])."""
+    return sorted(entry.name for entry in parent.iterdir())
+
+
+class TestStabilizationDifferential:
+    @pytest.mark.parametrize(
+        "name,concrete,spec,alpha,fairness,stutter",
+        RING_CASES,
+        ids=[case[0] for case in RING_CASES],
+    )
+    @pytest.mark.parametrize("workers", _WORKER_COUNTS)
+    def test_verdicts_byte_identical(
+        self, name, concrete, spec, alpha, fairness, stutter, workers,
+        tmp_path,
+    ):
+        kwargs = dict(
+            alpha=alpha(), stutter_insensitive=stutter, fairness=fairness,
+            workers=workers,
+        )
+        tuple_verdict = check_stabilization(
+            concrete(), spec(), engine="tuple", **kwargs
+        )
+        shared_rec = Recorder()
+        # A deliberately tiny budget with a scoped spill directory: the
+        # streamed paths must engage without changing a byte, and the
+        # run must clean up after itself.
+        with using_memory_budget("1M", spill_dir=str(tmp_path),
+                                 parallel_min=16):
+            shared_verdict = check_stabilization(
+                concrete(), spec(), engine="shared",
+                instrumentation=shared_rec, **kwargs
+            )
+        assert tuple_verdict.format() == shared_verdict.format()
+        assert tuple_verdict.holds == shared_verdict.holds
+        assert (
+            tuple_verdict.legitimate_abstract
+            == shared_verdict.legitimate_abstract
+        )
+        assert tuple_verdict.core == shared_verdict.core
+        assert (
+            shared_rec.record().counters[_EXPECTED_SELECTION_COUNTER] == 1
+        )
+        assert _shm_leaks() == []
+        assert _spill_leaks(tmp_path) == []
+
+    @pytest.mark.parametrize(
+        "name,concrete,spec,alpha,fairness,stutter",
+        RING_CASES,
+        ids=[case[0] for case in RING_CASES],
+    )
+    def test_shared_counters_agree_with_packed(
+        self, name, concrete, spec, alpha, fairness, stutter
+    ):
+        kwargs = dict(
+            alpha=alpha(), stutter_insensitive=stutter, fairness=fairness
+        )
+        packed_rec, shared_rec = Recorder(), Recorder()
+        check_stabilization(
+            concrete(), spec(), engine="packed",
+            instrumentation=packed_rec, **kwargs
+        )
+        check_stabilization(
+            concrete(), spec(), engine="shared",
+            instrumentation=shared_rec, **kwargs
+        )
+        packed_counters = packed_rec.record().counters
+        shared_counters = shared_rec.record().counters
+        for counter in SHARED_COUNTERS:
+            assert packed_counters.get(counter) == shared_counters.get(
+                counter
+            ), counter
+
+    def test_partial_budget_cut_byte_identical(self):
+        """Below the engine floor every request replays the tuple
+        engine's PARTIAL cut; a shared request must not change it."""
+        recorder = Recorder()
+        tuple_verdict = check_stabilization(
+            dijkstra_three_state(4), btr_program(4), btr3_abstraction(4),
+            state_budget=10, engine="tuple",
+        )
+        shared_verdict = check_stabilization(
+            dijkstra_three_state(4), btr_program(4), btr3_abstraction(4),
+            state_budget=10, engine="shared", instrumentation=recorder,
+        )
+        assert tuple_verdict.is_partial and shared_verdict.is_partial
+        assert tuple_verdict.format() == shared_verdict.format()
+        assert recorder.record().counters["engine.fallback.tuple"] == 1
+
+
+@pytest.mark.skipif(not numpy_available(), reason="NumPy not installed")
+class TestEngineSelection:
+    def test_memory_context_upgrades_vector_requests(self):
+        """``--mem-budget`` makes plain vector requests stream: same
+        verdict, shared engine selected."""
+        baseline = check_stabilization(
+            kstate_program(4, 4), utr_program(4), utr_abstraction(4, 4),
+            engine="vector",
+        )
+        recorder = Recorder()
+        with using_memory_budget("32M"):
+            upgraded = check_stabilization(
+                kstate_program(4, 4), utr_program(4), utr_abstraction(4, 4),
+                engine="vector", instrumentation=recorder,
+            )
+        assert upgraded.format() == baseline.format()
+        assert upgraded.engine == "shared"
+        assert recorder.record().counters["engine.shared"] == 1
+
+    def test_no_context_vector_requests_stay_vector(self):
+        recorder = Recorder()
+        result = check_stabilization(
+            kstate_program(4, 4), utr_program(4), utr_abstraction(4, 4),
+            engine="vector", instrumentation=recorder,
+        )
+        assert result.engine == "vector"
+        assert "engine.shared" not in recorder.record().counters
+
+    def test_tiny_schema_falls_back_with_a_reasoned_event(self):
+        """Below ``SHARED_MIN_STATES`` segment setup costs more than
+        the whole check: the request must fall back, loudly."""
+        from repro.gcl.parser import parse_program
+
+        toy = parse_program(
+            "program toy\n"
+            "var x : mod 3\n"
+            "action heal :: x != 0 --> x := 0\n"
+            "init x == 0\n"
+        )
+        assert toy.schema().size() < SHARED_MIN_STATES
+        reason = shared_fallback_reason(toy, toy)
+        assert reason is not None and "costs more than it saves" in reason
+        recorder = Recorder()
+        result = check_stabilization(
+            toy, toy, engine="shared", instrumentation=recorder,
+        )
+        assert result.engine != "shared"
+        record = recorder.record()
+        assert record.counters["engine.fallback.vector"] == 1
+        events = [
+            event for event in record.events
+            if event.name == "engine.fallback"
+        ]
+        assert events and events[0].fields["requested"] == "shared"
+
+
+TOY_SPEC = (
+    "program grid\n"
+    "var x : mod 8\n"
+    "var y : mod 8\n"
+    "action fix_x :: x != 0 --> x := 0\n"
+    "action fix_y :: y != 0 --> y := 0\n"
+    "init x == 0 && y == 0\n"
+)
+
+
+class TestCliDifferential:
+    def _write_spec(self, tmp_path):
+        spec = tmp_path / "grid.gcl"
+        spec.write_text(TOY_SPEC, encoding="utf-8")
+        return spec
+
+    def test_check_output_identical_across_engines(self, tmp_path, capsys):
+        """64 states: large enough to route shared for real, and the
+        CLI flags must not change a byte of the verdict."""
+        from repro.cli import main
+
+        spec = self._write_spec(tmp_path)
+        spill = tmp_path / "spill"
+        spill.mkdir()
+        outputs = {}
+        codes = {}
+        for engine in ("tuple", "packed", "vector", "shared"):
+            argv = ["check", str(spec), "--engine", engine]
+            if engine == "shared":
+                argv += ["--mem-budget", "8M", "--spill-dir", str(spill)]
+            codes[engine] = main(argv)
+            outputs[engine] = capsys.readouterr().out
+        assert (
+            codes["shared"] == codes["vector"]
+            == codes["tuple"] == codes["packed"]
+        )
+        assert (
+            outputs["shared"] == outputs["vector"]
+            == outputs["tuple"] == outputs["packed"]
+        )
+        assert _shm_leaks() == []
+        assert _spill_leaks(spill) == []
+
+    def test_shared_engine_flag_recorded(self, tmp_path, capsys):
+        from repro.cli import main
+
+        spec = self._write_spec(tmp_path)
+        record = tmp_path / "run.jsonl"
+        main(["check", str(spec), "--engine", "shared",
+              "--obs-out", str(record)])
+        capsys.readouterr()
+        text = record.read_text(encoding="utf-8")
+        if numpy_available():
+            assert '"engine.shared"' in text
+        else:
+            assert '"engine.fallback.vector"' in text
+
+    def test_bad_mem_budget_is_a_clean_cli_error(self, tmp_path, capsys):
+        from repro.cli import main
+
+        spec = self._write_spec(tmp_path)
+        with pytest.raises(SystemExit) as excinfo:
+            main(["check", str(spec), "--mem-budget", "lots"])
+        assert excinfo.value.code == 2
+        assert "memory budget" in capsys.readouterr().err

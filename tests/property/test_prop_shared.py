@@ -1,0 +1,179 @@
+"""Property-based differential testing of the shared-memory engine.
+
+Random well-typed programs drive the streamed kernel against the
+references: chunk-streamed successor enumeration must agree with the
+vector kernel at *every* chunk size (streaming is a partition of the
+work, never a change to it), the frontier/core fixpoints must compute
+the same sets bit for bit, and the full shared-engine stabilization
+verdict — selected explicitly or upgraded from a ``--mem-budget``
+context — must render byte-identically to the sequential tuple
+engine.  Programs here use a mod-5 space (25 states) so they clear
+``SHARED_MIN_STATES`` and the shared engine genuinely runs.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.checker import check_self_stabilization
+from repro.gcl.action import GuardedAction
+from repro.gcl.domain import ModularDomain
+from repro.gcl.expr import AddMod, Const, Eq, Ne, Var
+from repro.gcl.program import Program
+from repro.gcl.variable import Variable
+from repro.kernel.shared import SHARED_MIN_STATES, using_memory_budget
+from repro.kernel.vector import numpy_available
+from repro.obs import Recorder
+
+needs_numpy = pytest.mark.skipif(
+    not numpy_available(), reason="NumPy not installed"
+)
+
+MODULUS = 5
+VAR_NAMES = ("u", "w.0")
+
+
+@st.composite
+def shared_programs(draw):
+    """Random two-variable programs over ``mod 5`` — 25 states, large
+    enough that a shared-engine request is honoured, small enough to
+    cross-check exhaustively."""
+    n_actions = draw(st.integers(min_value=1, max_value=3))
+    actions = []
+    for index in range(n_actions):
+        guard_var = draw(st.sampled_from(VAR_NAMES))
+        guard_value = draw(st.integers(min_value=0, max_value=MODULUS - 1))
+        guard_kind = draw(st.sampled_from([Eq, Ne]))
+        target = draw(st.sampled_from(VAR_NAMES))
+        effect = draw(
+            st.one_of(
+                st.integers(min_value=0, max_value=MODULUS - 1).map(Const),
+                st.sampled_from(
+                    [AddMod(Var(name), Const(1), MODULUS) for name in VAR_NAMES]
+                ),
+            )
+        )
+        actions.append(
+            GuardedAction(
+                f"act.{index}",
+                guard_kind(Var(guard_var), Const(guard_value)),
+                {target: effect},
+            )
+        )
+    variables = [Variable(name, ModularDomain(MODULUS)) for name in VAR_NAMES]
+    init = Eq(Var("u"), Const(0))
+    return Program("fuzzed", variables, actions, init=init)
+
+
+@needs_numpy
+class TestSharedPrimitives:
+    @settings(max_examples=40, deadline=None)
+    @given(shared_programs(), st.integers(min_value=3, max_value=40))
+    def test_streamed_successors_match_vector_at_any_chunk(
+        self, program, chunk
+    ):
+        """Chunking partitions the evaluation; it must never change it."""
+        import numpy as np
+
+        from repro.kernel.shared import SharedKernel
+        from repro.kernel.vector import as_vector_kernel
+
+        shared = SharedKernel(program, chunk=chunk)
+        vector = as_vector_kernel(program)
+        assert shared.initial_codes == vector.initial_codes
+        codes = np.arange(shared.size, dtype=np.int64)
+        shared_origins, shared_targets = shared.succ_pairs(codes)
+        vector_origins, vector_targets = vector.succ_pairs(codes)
+        assert shared_origins.tolist() == vector_origins.tolist()
+        assert shared_targets.tolist() == vector_targets.tolist()
+
+    @settings(max_examples=40, deadline=None)
+    @given(shared_programs(), st.integers(min_value=3, max_value=40))
+    def test_shared_reachable_equals_vector_reachable(self, program, chunk):
+        import numpy as np
+
+        from repro.kernel.shared import (
+            SharedKernel,
+            open_runtime,
+            shared_reachable,
+        )
+        from repro.kernel.vector import as_vector_kernel, vector_reachable
+
+        shared = SharedKernel(program, chunk=chunk)
+        vector = as_vector_kernel(program)
+        expected = np.nonzero(
+            vector_reachable(vector, vector.initial_array)
+        )[0].tolist()
+        with open_runtime(shared) as runtime:
+            visited = shared_reachable(
+                shared, shared.initial_array, runtime
+            )
+            reached = [
+                int(code)
+                for member in visited.member_chunks(chunk)
+                for code in member.tolist()
+            ]
+        assert reached == expected
+
+
+class TestSharedVerdicts:
+    @settings(max_examples=25, deadline=None)
+    @given(shared_programs())
+    def test_self_stabilization_verdict_identical(self, program):
+        """End to end against the sequential reference, witness states
+        included.  On a pure-Python install the shared request walks
+        the fallback chain, which must render the same verdict anyway.
+        """
+        assert program.schema().size() >= SHARED_MIN_STATES
+        tuple_verdict = check_self_stabilization(
+            program, compute_steps=False, engine="tuple"
+        )
+        shared_verdict = check_self_stabilization(
+            program, compute_steps=False, engine="shared"
+        )
+        assert shared_verdict.format() == tuple_verdict.format()
+        assert shared_verdict.core == tuple_verdict.core
+        assert (
+            shared_verdict.legitimate_abstract
+            == tuple_verdict.legitimate_abstract
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(shared_programs())
+    def test_memory_context_upgrade_is_transparent(self, program):
+        """A ``--mem-budget`` context upgrades vector requests to the
+        shared engine without changing a byte of the verdict."""
+        plain = check_self_stabilization(
+            program, compute_steps=False, engine="vector"
+        )
+        recorder = Recorder()
+        with using_memory_budget("4M"):
+            streamed = check_self_stabilization(
+                program, compute_steps=False, engine="vector",
+                instrumentation=recorder,
+            )
+        assert streamed.format() == plain.format()
+        if numpy_available():
+            assert recorder.record().counters["engine.shared"] == 1
+
+    @settings(max_examples=15, deadline=None)
+    @given(shared_programs())
+    def test_fallback_verdict_identical_without_numpy(self, program):
+        """With availability forced off, a shared request must degrade
+        down the chain and still match the packed verdict."""
+        from repro.kernel.vector import availability
+
+        with pytest.MonkeyPatch.context() as patcher:
+            patcher.setattr(availability, "HAVE_NUMPY", False)
+            recorder = Recorder()
+            fallback_verdict = check_self_stabilization(
+                program, compute_steps=False, engine="shared",
+                instrumentation=recorder,
+            )
+        packed_verdict = check_self_stabilization(
+            program, compute_steps=False, engine="packed"
+        )
+        assert fallback_verdict.format() == packed_verdict.format()
+        counters = recorder.record().counters
+        assert counters["engine.fallback.vector"] == 1
+        assert counters["engine.packed"] == 1
