@@ -1,4 +1,4 @@
-"""P09 mega-scale runner: one K-state ring through the shared engine.
+"""P09/P10 mega-scale runner: one K-state ring through the shared engine.
 
 Streams the full stabilization check of K-state(n, k) refining the
 unidirectional token ring through the shared-memory engine under an
@@ -6,15 +6,31 @@ explicit ``--mem-budget``, and prints one JSON row: states checked,
 wall seconds, **this process's own** peak RSS (``ru_maxrss``, which is
 why the bench suite runs this module as a subprocess — the parent's
 NumPy baseline and earlier sweeps must not pollute the high-water
-mark), the verdict, the engine that actually ran, and the ``shm.*``
-staging counters.
+mark), the chosen code width, the verdict, the engine that actually
+ran, and the ``shm.*`` / ``kernel.tables.*`` staging counters.
 
-Standalone usage (the 16.7M-state acceptance point takes ~10 minutes):
+``--ablate`` runs the P10 ablation grid instead: the same
+configuration four times — everything on, then adaptive code-width
+packing, cross-round table reuse, and the mmap visited backing each
+switched off in turn — and prints one row per mode, so the
+contribution of each axis (bytes spilled per state, table hits and
+re-lowering avoided, states/s) is measured rather than asserted from
+theory.  Ablation rows run with ``compute_steps=True``: the worst-case
+phase re-walks the converged core region three to four times, which is
+exactly the recurrence the table pool exists for (with
+``compute_steps=False`` no chunk is ever walked a third time, so the
+tables axis has nothing to serve).
+
+Standalone usage:
 
     PYTHONPATH=src python benchmarks/run_mega.py --n 7 --k 7 \
         --mem-budget 16M
-    PYTHONPATH=src python benchmarks/run_mega.py --n 8 --k 8 \
-        --mem-budget 256M
+    PYTHONPATH=src python benchmarks/run_mega.py --n 7 --k 13 \
+        --mem-budget 512M          # 62.7M states, the P10 smoke point
+    PYTHONPATH=src python benchmarks/run_mega.py --n 9 --k 8 \
+        --mem-budget 1G            # 134M states (REPRO_MEGA point)
+    PYTHONPATH=src python benchmarks/run_mega.py --n 7 --k 7 \
+        --mem-budget 16M --ablate
 """
 
 from __future__ import annotations
@@ -25,6 +41,75 @@ import resource
 import sys
 import time
 
+#: Ablation modes: name -> context-flag overrides.
+ABLATION_MODES = (
+    ("full", {}),
+    ("no-pack", {"pack_codes": False}),
+    ("no-tables", {"reuse_tables": False}),
+    ("no-mmap", {"mmap_visited": False}),
+)
+
+
+def _run_once(
+    args, budget_bytes: int, overrides: dict, compute_steps: bool = False
+) -> dict:
+    from repro.checker import check_stabilization
+    from repro.kernel.shared import using_memory_budget
+    from repro.obs import Recorder
+    from repro.rings import kstate_program, utr_abstraction, utr_program
+
+    concrete = kstate_program(args.n, args.k)
+    recorder = Recorder(kind="bench")
+    recorder.annotate(
+        experiment="p09_mega", n=args.n, k=args.k, engine="shared",
+        budget=budget_bytes, workers=args.workers, **overrides,
+    )
+    start = time.perf_counter()
+    with using_memory_budget(
+        args.mem_budget, spill_dir=args.spill_dir, **overrides
+    ):
+        result = check_stabilization(
+            concrete,
+            utr_program(args.n),
+            utr_abstraction(args.n, args.k),
+            compute_steps=compute_steps,
+            engine="shared",
+            workers=args.workers,
+            instrumentation=recorder,
+        )
+    seconds = time.perf_counter() - start
+    record = recorder.record()
+    widths = [
+        event.fields for event in record.events
+        if event.name == "shm.code_width"
+    ]
+    size = concrete.schema().size()
+    counters = {
+        name: value
+        for name, value in sorted(record.counters.items())
+        if name.startswith(("shm.", "engine.", "kernel.tables."))
+    }
+    return {
+        "n": args.n,
+        "k": args.k,
+        "states": size,
+        "seconds": round(seconds, 3),
+        "states_per_s": round(size / seconds),
+        "peak_rss_kib": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        "budget_bytes": budget_bytes,
+        "workers": args.workers,
+        "code_width": widths[0]["width"] if widths else None,
+        "spill_bytes_per_state": round(
+            counters.get("shm.spill.bytes", 0) / size, 2
+        ),
+        "relowering_avoided_codes": counters.get(
+            "kernel.tables.hit_codes", 0
+        ),
+        "holds": result.holds,
+        "engine": result.engine,
+        "counters": counters,
+    }
+
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
@@ -34,7 +119,7 @@ def main(argv=None) -> int:
     parser.add_argument("--k", type=int, default=7, help="token modulus")
     parser.add_argument(
         "--mem-budget", default="256M",
-        help="working-set budget for the shared engine (e.g. 16M, 1G)",
+        help="working-set budget for the shared engine (e.g. 16M, 1.5G)",
     )
     parser.add_argument(
         "--spill-dir", default=None,
@@ -44,62 +129,38 @@ def main(argv=None) -> int:
         "--workers", type=int, default=1, help="worker processes"
     )
     parser.add_argument(
+        "--ablate", action="store_true",
+        help="run the width/reuse/mmap ablation grid (one row per mode)",
+    )
+    parser.add_argument(
         "--json", default=None,
-        help="write the result row here instead of stdout",
+        help="write the result row(s) here instead of stdout",
     )
     args = parser.parse_args(argv)
 
-    from repro.checker import check_stabilization
-    from repro.kernel.shared import parse_mem_budget, using_memory_budget
-    from repro.obs import Recorder
-    from repro.rings import kstate_program, utr_abstraction, utr_program
+    from repro.kernel.shared import parse_mem_budget
 
     budget_bytes = parse_mem_budget(args.mem_budget)
-    concrete = kstate_program(args.n, args.k)
-    recorder = Recorder(kind="bench")
-    recorder.annotate(
-        experiment="p09_mega", n=args.n, k=args.k, engine="shared",
-        budget=budget_bytes, workers=args.workers,
-    )
+    if args.ablate:
+        rows = []
+        for mode, overrides in ABLATION_MODES:
+            row = _run_once(args, budget_bytes, overrides, compute_steps=True)
+            row["mode"] = mode
+            rows.append(row)
+        payload = rows
+        ok = all(row["holds"] for row in rows)
+    else:
+        row = _run_once(args, budget_bytes, {})
+        payload = row
+        ok = row["holds"]
 
-    start = time.perf_counter()
-    with using_memory_budget(args.mem_budget, spill_dir=args.spill_dir):
-        result = check_stabilization(
-            concrete,
-            utr_program(args.n),
-            utr_abstraction(args.n, args.k),
-            compute_steps=False,
-            engine="shared",
-            workers=args.workers,
-            instrumentation=recorder,
-        )
-    seconds = time.perf_counter() - start
-
-    counters = recorder.record().counters
-    row = {
-        "n": args.n,
-        "k": args.k,
-        "states": concrete.schema().size(),
-        "seconds": round(seconds, 3),
-        "states_per_s": round(concrete.schema().size() / seconds),
-        "peak_rss_kib": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
-        "budget_bytes": budget_bytes,
-        "workers": args.workers,
-        "holds": result.holds,
-        "engine": result.engine,
-        "counters": {
-            name: value
-            for name, value in sorted(counters.items())
-            if name.startswith(("shm.", "engine."))
-        },
-    }
-    text = json.dumps(row, indent=2) + "\n"
+    text = json.dumps(payload, indent=2) + "\n"
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
             handle.write(text)
     else:
         sys.stdout.write(text)
-    return 0 if result.holds else 1
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":

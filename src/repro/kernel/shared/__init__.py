@@ -157,16 +157,33 @@ if numpy_available():
     from .kernel import SharedKernel, SharedLoweringError
     from .runtime import SharedRuntime, open_runtime
     from .spill import SpillStore
+    from .tables import TablePool
+    from .visited import (
+        MmapBitField,
+        VisitedHandle,
+        attach_visited,
+        mmap_threshold,
+        open_visited,
+    )
+    from .width import code_dtype, code_width
 
     __all__ += [
         "BitField",
         "CodeRuns",
+        "MmapBitField",
         "SharedImage",
         "SharedKernel",
         "SharedLoweringError",
         "SharedRuntime",
         "SpillStore",
+        "TablePool",
+        "VisitedHandle",
+        "attach_visited",
+        "code_dtype",
+        "code_width",
+        "mmap_threshold",
         "open_runtime",
+        "open_visited",
         "shared_core",
         "shared_has_cycle",
         "shared_image_unsupported_reason",

@@ -68,15 +68,16 @@ _SUFFIXES = {
 def parse_mem_budget(text: str) -> int:
     """Parse a human-readable byte budget (``"512M"``, ``"1.5G"``).
 
-    Accepts a decimal number with an optional binary suffix
-    (``K``/``M``/``G``/``T``, optionally followed by ``B`` or ``iB``,
-    any case).  A bare number is bytes.
+    Accepts a decimal number — fractional forms like ``"1.5G"``,
+    ``"0.5T"``, and ``".25G"`` included — with an optional binary
+    suffix (``K``/``M``/``G``/``T``, optionally followed by ``B`` or
+    ``iB``, any case).  A bare number is bytes.
 
     Raises:
         ValueError: on unparsable text or a non-positive budget.
     """
     match = re.fullmatch(
-        r"\s*([0-9]+(?:\.[0-9]+)?)\s*([a-zA-Z]*)\s*", text or ""
+        r"\s*([0-9]+(?:\.[0-9]*)?|\.[0-9]+)\s*([a-zA-Z]*)\s*", text or ""
     )
     if not match:
         raise ValueError(f"unparsable memory budget {text!r}")
@@ -102,11 +103,22 @@ class MemoryContext:
         parallel_min: smallest frontier/member batch worth sharding
             across workers; below it rounds run in-process even when
             ``workers > 1`` (the verdict is identical either way).
+        pack_codes: store codes at the adaptive width
+            (:mod:`~.width`) instead of int64 wherever they are at
+            rest.  Off = the PR 9 layout; verdicts are identical
+            either way (the ablation axis ``run_mega.py`` measures).
+        reuse_tables: cache lowered per-chunk action tables in the
+            bounded shm table pool (:mod:`~.tables`) across rounds.
+        mmap_visited: allow flag fields past their budget slice to
+            page onto a run-scoped mmap file (:mod:`~.visited`).
     """
 
     budget_bytes: int = DEFAULT_MEM_BUDGET
     spill_dir: Optional[str] = None
     parallel_min: int = 256
+    pack_codes: bool = True
+    reuse_tables: bool = True
+    mmap_visited: bool = True
 
     def __post_init__(self) -> None:
         if self.budget_bytes < 1:
@@ -129,6 +141,9 @@ def using_memory_budget(
     budget: Optional[object] = None,
     spill_dir: Optional[str] = None,
     parallel_min: Optional[int] = None,
+    pack_codes: Optional[bool] = None,
+    reuse_tables: Optional[bool] = None,
+    mmap_visited: Optional[bool] = None,
 ) -> Iterator[MemoryContext]:
     """Activate the shared-memory engine for the dynamic extent.
 
@@ -137,6 +152,8 @@ def using_memory_budget(
             :data:`DEFAULT_MEM_BUDGET`.
         spill_dir: parent directory for spill files.
         parallel_min: override the sharding threshold (tests).
+        pack_codes / reuse_tables / mmap_visited: ablation switches
+            (see :class:`MemoryContext`); ``None`` keeps the default.
     """
     if budget is None:
         budget_bytes = DEFAULT_MEM_BUDGET
@@ -149,6 +166,12 @@ def using_memory_budget(
     kwargs = {"budget_bytes": budget_bytes, "spill_dir": spill_dir}
     if parallel_min is not None:
         kwargs["parallel_min"] = parallel_min
+    if pack_codes is not None:
+        kwargs["pack_codes"] = pack_codes
+    if reuse_tables is not None:
+        kwargs["reuse_tables"] = reuse_tables
+    if mmap_visited is not None:
+        kwargs["mmap_visited"] = mmap_visited
     context = MemoryContext(**kwargs)
     previous = _ACTIVE[0]
     _ACTIVE[0] = context
@@ -169,7 +192,16 @@ def chunk_codes(
     sized so that footprint stays within a quarter of the budget,
     leaving the rest for flag bitfields, frontier runs, and the
     interpreter itself.
+
+    Raises:
+        ValueError: on a non-positive budget — planning chunks from a
+            degenerate budget would silently clamp to the floor and
+            mask the caller's configuration error.
     """
+    if budget_bytes <= 0:
+        raise ValueError(
+            f"memory budget must be positive, got {budget_bytes}"
+        )
     per_code = 8 * (variables + 4 * max(1, actions) + 8)
     chunk = (budget_bytes // 4) // per_code
     return max(_MIN_CHUNK, min(_MAX_CHUNK, chunk))

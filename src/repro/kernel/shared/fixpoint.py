@@ -52,6 +52,7 @@ from .image import SharedImage
 from .kernel import SharedKernel
 from .runtime import SharedRuntime
 from .segments import attach_segment, create_worker_segment
+from .visited import attach_visited, open_visited
 
 __all__ = [
     "shared_reachable",
@@ -77,7 +78,11 @@ def _partition_bounds(nbytes: int, parts: int) -> List[Tuple[int, int]]:
 def _consume_outputs(
     runtime: SharedRuntime, results: List[Tuple[Optional[str], int]]
 ) -> List[np.ndarray]:
-    """Attach, copy out, and unlink every worker output segment."""
+    """Attach, copy out, and unlink every worker output segment.
+
+    Outputs travel at the run's storage width; consumers widen at the
+    arithmetic boundary.
+    """
     arrays: List[np.ndarray] = []
     for name, count in results:
         if not name or count == 0:
@@ -85,7 +90,7 @@ def _consume_outputs(
         segment = runtime.registry.attach(name)
         try:
             codes = np.frombuffer(
-                segment.buf, dtype=np.int64, count=count
+                segment.buf, dtype=runtime.code_dtype, count=count
             ).copy()
         finally:
             runtime.registry.release(segment)
@@ -101,25 +106,35 @@ def _consume_outputs(
 def _expand_task(payload: Tuple[int, int, int]) -> Tuple[Optional[str], int]:
     """Worker: expand one code-range partition of the staged frontier.
 
-    Reads the frontier run and the visited bitfield zero-copy from
-    their segments, expands its partition chunk-wise, and writes the
-    deduplicated unvisited targets to an output segment.
+    Reads the frontier run (at the run's storage width) and the shared
+    visited backing — shm segment or mmap file — zero-copy, expands
+    its partition chunk-wise, and writes the deduplicated unvisited
+    targets to an output segment.
     """
     part, parts, round_index = payload
     ctx = worker_context()["shared_reachable"]
     kernel: SharedKernel = ctx["kernel"]
+    code_dtype: np.dtype = ctx["code_dtype"]
     frontier_segment = attach_segment(ctx["frontier_name"])
-    visited_segment = attach_segment(ctx["visited_name"])
+    attached = attach_visited(ctx["visited_ref"])
     frontier = None
-    visited = None
     try:
         frontier = np.frombuffer(
-            frontier_segment.buf, dtype=np.int64, count=ctx["frontier_count"]
+            frontier_segment.buf, dtype=code_dtype, count=ctx["frontier_count"]
         )
-        visited = BitField(kernel.size, visited_segment.buf)
+        visited = attached.field
         lo = part * kernel.size // parts
         hi = (part + 1) * kernel.size // parts
-        begin, end = np.searchsorted(frontier, [lo, hi])
+        # Probe at the frontier's storage width: ``hi`` can equal
+        # ``size`` (one past the largest code), which may not fit a
+        # narrow dtype — but then every frontier code is below it.
+        begin = int(np.searchsorted(frontier, np.asarray(lo, dtype=code_dtype)))
+        if hi >= kernel.size:
+            end = int(frontier.shape[0])
+        else:
+            end = int(
+                np.searchsorted(frontier, np.asarray(hi, dtype=code_dtype))
+            )
         fresh_parts: List[np.ndarray] = []
         for start in range(begin, end, ctx["chunk"]):
             codes = frontier[start : min(start + ctx["chunk"], end)]
@@ -132,27 +147,26 @@ def _expand_task(payload: Tuple[int, int, int]) -> Tuple[Optional[str], int]:
             return None, 0
         fresh_all = _unique_sorted(np.concatenate(fresh_parts))
         return _write_output(
-            ctx["prefix"], f"x{round_index}p{part}", fresh_all
+            ctx["prefix"], f"x{round_index}p{part}", fresh_all, code_dtype
         )
     finally:
         frontier = None  # noqa: F841 - drops the exported buffer view
-        if visited is not None:
-            visited.release_buffer()
+        attached.close()
         frontier_segment.close()
-        visited_segment.close()
 
 
 def _write_output(
-    prefix: str, tag: str, codes: np.ndarray
+    prefix: str, tag: str, codes: np.ndarray, dtype: np.dtype
 ) -> Tuple[str, int]:
     """Write a worker result array into a fresh run-prefixed segment."""
-    out = create_worker_segment(prefix, tag, codes.nbytes)
-    view = np.frombuffer(out.buf, dtype=np.int64, count=codes.size)
-    view[:] = codes
+    stored = np.ascontiguousarray(codes, dtype=dtype)
+    out = create_worker_segment(prefix, tag, stored.nbytes)
+    view = np.frombuffer(out.buf, dtype=dtype, count=stored.size)
+    view[:] = stored
     del view  # release the exported buffer before unmapping
     name = out.name
     out.close()
-    return name, int(codes.size)
+    return name, int(stored.size)
 
 
 def shared_reachable(
@@ -164,22 +178,19 @@ def shared_reachable(
     """Codes reachable from ``sources`` as a bit-packed field.
 
     The vector BFS with three substitutions: visited flags are one bit
-    per code (in a shm segment when sharded), each frontier round is a
-    :class:`CodeRuns` that spills past its RAM cap, and rounds larger
-    than the sharding threshold fan out over code-range partitions.
-    The visited *set* per round is identical to the vector engine's.
+    per code (in a shm segment when sharded, an mmap file when the
+    field outgrows its budget slice — :func:`~.visited.open_visited`),
+    each frontier round is a :class:`CodeRuns` that spills past its
+    RAM cap, and rounds larger than the sharding threshold fan out
+    over code-range partitions.  The visited *set* per round is
+    identical to the vector engine's.
     """
     size = kernel.size
-    visited_segment = None
-    if runtime.workers > 1:
-        visited_segment = runtime.registry.create(
-            (size + 7) // 8, "visited"
-        )
-        visited = BitField(size, visited_segment.buf)
-        visited.zero()
-    else:
-        visited = BitField(size)
-    frontier = CodeRuns(runtime.spill, runtime.run_cap_bytes)
+    handle = open_visited(runtime, size, "visited", instrumentation)
+    visited = handle.field
+    frontier = CodeRuns(
+        runtime.spill, runtime.run_cap_bytes, dtype=runtime.code_dtype
+    )
     start = _unique_sorted(np.asarray(sources, dtype=np.int64))
     visited.set_codes(start)
     frontier.append(start)
@@ -197,24 +208,28 @@ def shared_reachable(
         if progress.enabled:
             instrumentation.observe("shm.frontier.size", frontier.count)
             progress.tick(rounds, frontier.count, expanded)
-        next_frontier = CodeRuns(runtime.spill, runtime.run_cap_bytes)
+        next_frontier = CodeRuns(
+            runtime.spill, runtime.run_cap_bytes, dtype=runtime.code_dtype
+        )
         for run_index, run in enumerate(frontier.chunks()):
-            if runtime.parallel(run.size):
+            if runtime.parallel(run.size) and handle.sharable:
                 run_segment = runtime.registry.create(
                     run.nbytes, f"f{rounds}r{run_index}"
                 )
                 staged = np.frombuffer(
-                    run_segment.buf, dtype=np.int64, count=run.size
+                    run_segment.buf, dtype=run.dtype, count=run.size
                 )
                 staged[:] = run
                 del staged
+                handle.flush()
                 with WorkerPool(
                     runtime.workers,
                     shared_reachable={
                         "kernel": kernel,
                         "frontier_name": run_segment.name,
                         "frontier_count": int(run.size),
-                        "visited_name": visited_segment.name,
+                        "code_dtype": runtime.code_dtype,
+                        "visited_ref": handle.ref,
                         "prefix": runtime.registry.prefix,
                         "chunk": runtime.chunk,
                     },
@@ -248,15 +263,9 @@ def shared_reachable(
         if frontier.spilled_runs:
             instrumentation.count("shm.spill.rounds")
     frontier.clear()
-    if visited_segment is not None:
-        # Copy out before the segment is released; the caller owns a
-        # private bitfield either way.
-        private = BitField(size)
-        visited.copy_into(private)
-        visited.release_buffer()
-        runtime.registry.release(visited_segment)
-        return private
-    return visited
+    # The caller owns a private bitfield either way; the shared
+    # backing (segment or mmap file) is released here.
+    return handle.detach_private()
 
 
 # ----------------------------------------------------------------------
@@ -320,10 +329,9 @@ def _core_round_task(
     part, parts, round_index = payload
     ctx = worker_context()["shared_core"]
     kernel: SharedKernel = ctx["kernel"]
-    flags_segment = attach_segment(ctx["flags_name"])
-    flags = None
+    attached = attach_visited(ctx["flags_ref"])
     try:
-        flags = BitField(kernel.size, flags_segment.buf)
+        flags = attached.field
         start_byte, end_byte = _partition_bounds(flags.nbytes, parts)[part]
         evicted_parts: List[np.ndarray] = []
         for members in flags.member_chunks(ctx["chunk"], start_byte, end_byte):
@@ -343,12 +351,11 @@ def _core_round_task(
             return None, 0
         evicted_all = np.concatenate(evicted_parts)
         return _write_output(
-            ctx["prefix"], f"c{round_index}p{part}", evicted_all
+            ctx["prefix"], f"c{round_index}p{part}", evicted_all,
+            ctx["code_dtype"],
         )
     finally:
-        if flags is not None:
-            flags.release_buffer()
-        flags_segment.close()
+        attached.close()
 
 
 def shared_core(
@@ -370,13 +377,8 @@ def shared_core(
     """
     size = kernel.size
     legitimate = np.asarray(legitimate, dtype=bool)
-    flags_segment = None
-    if runtime.workers > 1:
-        flags_segment = runtime.registry.create((size + 7) // 8, "core")
-        flags = BitField(size, flags_segment.buf)
-        flags.zero()
-    else:
-        flags = BitField(size)
+    handle = open_visited(runtime, size, "core", instrumentation)
+    flags = handle.field
     remaining = 0
     for start in range(0, size, runtime.chunk):
         codes = np.arange(
@@ -404,15 +406,19 @@ def shared_core(
         iterations += 1
         if chaos_hook is not None:
             chaos_hook("shared", size * (iterations + 1))
-        evicted_runs = CodeRuns(runtime.spill, runtime.run_cap_bytes)
-        if runtime.parallel(remaining) and flags_segment is not None:
+        evicted_runs = CodeRuns(
+            runtime.spill, runtime.run_cap_bytes, dtype=runtime.code_dtype
+        )
+        if runtime.parallel(remaining) and handle.sharable:
+            handle.flush()
             with WorkerPool(
                 runtime.workers,
                 shared_core={
                     "kernel": kernel,
                     "abstract_kernel": abstract_kernel,
                     "image": image,
-                    "flags_name": flags_segment.name,
+                    "flags_ref": handle.ref,
+                    "code_dtype": runtime.code_dtype,
                     "abs_has_successor": abs_has_successor,
                     "stutter_insensitive": stutter_insensitive,
                     "ignorable_stutter": ignorable_stutter,
@@ -462,13 +468,7 @@ def shared_core(
         instrumentation.observe("check.round.evicted", evicted_total)
         progress.tick(iterations, remaining, size * iterations)
     instrumentation.count("check.fixpoint.iterations", iterations)
-    if flags_segment is not None:
-        private = BitField(size)
-        flags.copy_into(private)
-        flags.release_buffer()
-        runtime.registry.release(flags_segment)
-        return private
-    return flags
+    return handle.detach_private()
 
 
 # ----------------------------------------------------------------------
@@ -513,7 +513,8 @@ class _PeelGraph:
     ):
         size = kernel.size
         self.runtime = runtime
-        edge_estimate = size * max(1, len(kernel.actions)) * 16
+        pair_bytes = 2 * runtime.code_dtype.itemsize
+        edge_estimate = size * max(1, len(kernel.actions)) * pair_bytes
         self.buckets = max(
             1,
             min(_MAX_BUCKETS, -(-edge_estimate // runtime.run_cap_bytes)),
@@ -542,7 +543,17 @@ class _PeelGraph:
                 sources, targets = sources[invisible], targets[invisible]
             if not sources.size:
                 continue
-            np.add.at(self.out_degree, sources, 1)
+            # ``sources`` is nondecreasing (succ_pairs sorts by origin
+            # and the filters preserve order), so the out-degree bump
+            # is a boundary count, not a scalar ``ufunc.at`` loop.
+            grouped = sources
+            if np.any(grouped[1:] < grouped[:-1]):
+                grouped = np.sort(grouped)
+            starts = np.flatnonzero(
+                np.concatenate(([True], grouped[1:] != grouped[:-1]))
+            )
+            per_source = np.diff(np.append(starts, grouped.shape[0]))
+            self.out_degree[grouped[starts]] += per_source.astype(np.uint16)
             bucket_of = targets // self.span
             order = np.argsort(bucket_of, kind="stable")
             targets, sources, bucket_of = (
@@ -615,20 +626,40 @@ class _PeelGraph:
             targets_b, sources_b = self.runtime.spill.load_bucket_sorted(
                 str(bucket)
             )
-            left = np.searchsorted(targets_b, nodes)
-            right = np.searchsorted(targets_b, nodes, side="right")
+            # Probe at the bucket's storage width: widening the probe
+            # instead would upcast (and copy) the whole memory map.
+            probe = nodes.astype(targets_b.dtype, copy=False)
+            left = np.searchsorted(targets_b, probe)
+            right = np.searchsorted(targets_b, probe, side="right")
             counts = right - left
-            in_sources = sources_b[_ranges(left, counts)]
+            in_sources = np.asarray(
+                sources_b[_ranges(left, counts)], dtype=np.int64
+            )
             if not in_sources.size:
                 continue
+            # One shared sort groups the in-edges by source; the
+            # grouped forms of the degree decrement and the depth max
+            # are exact replacements for the scalar ``ufunc.at`` loops
+            # (subtraction of per-group counts, ``reduceat`` max).
             if depth is not None:
-                finalized = np.repeat(nodes, counts)
-                np.maximum.at(
-                    depth, in_sources, depth[finalized].astype(np.int32) + 1
+                contrib = np.repeat(
+                    depth[nodes].astype(np.int32) + 1, counts
                 )
-            np.subtract.at(self.out_degree, in_sources, 1)
-            newly = _unique_sorted(in_sources)
-            newly = newly[self.out_degree[newly] == 0]
+                order = np.argsort(in_sources, kind="stable")
+                grouped = in_sources[order]
+                contrib = contrib[order]
+            else:
+                grouped = np.sort(in_sources)
+            starts = np.flatnonzero(
+                np.concatenate(([True], grouped[1:] != grouped[:-1]))
+            )
+            uniq = grouped[starts]
+            per_source = np.diff(np.append(starts, grouped.shape[0]))
+            if depth is not None:
+                peak = np.maximum.reduceat(contrib, starts)
+                depth[uniq] = np.maximum(depth[uniq], peak)
+            self.out_degree[uniq] -= per_source.astype(np.uint16)
+            newly = uniq[self.out_degree[uniq] == 0]
             processed += int(newly.size)
             self._route(pending, newly)
 

@@ -7,8 +7,9 @@ Two containers the streamed fixpoints are built from:
   over the vector engine's byte-per-state bool arrays, and the buffer
   can live in a shared-memory segment so forked workers test
   membership zero-copy against the driver's *current* flags.
-* :class:`CodeRuns` — an ordered collection of sorted-unique int64
-  code arrays (frontier rounds, eviction lists) that keeps at most
+* :class:`CodeRuns` — an ordered collection of sorted-unique code
+  arrays (frontier rounds, eviction lists), stored at the run's
+  adaptive code width (:mod:`.width`), that keeps at most
   ``cap_bytes`` resident and spills older runs to a
   :class:`~.spill.SpillStore`, streaming them back on iteration.
 
@@ -18,9 +19,12 @@ buffers behind them.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from numpy.typing import DTypeLike
 
 from .spill import SpillHandle, SpillStore
 
@@ -64,19 +68,42 @@ class BitField:
             (self._bytes[codes >> 3] >> (codes & 7).astype(np.uint8)) & 1
         ).astype(bool)
 
+    def _merged_bits(self, codes: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Distinct byte indices and their OR-merged bit patterns.
+
+        Grouping adjacent equal byte indices and merging with
+        ``reduceat`` replaces the scalar ``ufunc.at`` loop (an order of
+        magnitude slower on big batches).  Codes arrive sorted from
+        every engine path; the argsort is a safety net for direct API
+        users and costs one comparison pass when it is not needed.
+        """
+        byte_idx = codes >> 3
+        bits = np.uint8(1) << (codes & 7).astype(np.uint8)
+        if byte_idx.shape[0] > 1 and bool(
+            np.any(byte_idx[1:] < byte_idx[:-1])
+        ):
+            order = np.argsort(byte_idx, kind="stable")
+            byte_idx = byte_idx[order]
+            bits = bits[order]
+        head = np.ones(1, dtype=bool)
+        starts = np.flatnonzero(
+            np.concatenate((head, byte_idx[1:] != byte_idx[:-1]))
+        )
+        return byte_idx[starts], np.bitwise_or.reduceat(bits, starts)
+
     def set_codes(self, codes: np.ndarray) -> None:
         """Set the bit of every code (duplicates are harmless)."""
         if codes.shape[0] == 0:
             return
-        bits = (np.uint8(1) << (codes & 7).astype(np.uint8)).astype(np.uint8)
-        np.bitwise_or.at(self._bytes, codes >> 3, bits)
+        byte_idx, merged = self._merged_bits(codes)
+        self._bytes[byte_idx] |= merged
 
     def clear_codes(self, codes: np.ndarray) -> None:
         """Clear the bit of every code (duplicates are harmless)."""
         if codes.shape[0] == 0:
             return
-        bits = (np.uint8(1) << (codes & 7).astype(np.uint8)).astype(np.uint8)
-        np.bitwise_and.at(self._bytes, codes >> 3, np.uint8(0xFF) ^ bits)
+        byte_idx, merged = self._merged_bits(codes)
+        self._bytes[byte_idx] &= np.uint8(0xFF) ^ merged
 
     def count(self) -> int:
         """Number of set bits (tail bits beyond ``size`` are never set)."""
@@ -140,20 +167,32 @@ class CodeRuns:
     as-is, spilled runs loaded one at a time — so peak RSS during
     iteration is one run, not the collection.  Runs need not be
     disjoint or globally ordered; consumers treat the union as a set.
+
+    ``dtype`` is the storage width (:func:`~.width.code_dtype`):
+    appended runs are narrowed on entry — lossless, codes are bounded
+    by the state-space size — and ``chunks`` yields the narrow form;
+    consumers widen at the arithmetic boundary.
     """
 
-    def __init__(self, store: SpillStore, cap_bytes: int):
+    def __init__(
+        self,
+        store: SpillStore,
+        cap_bytes: int,
+        dtype: "DTypeLike" = np.int64,
+    ):
         self._store = store
         self._cap = max(cap_bytes, 1 << 16)
+        self._dtype = np.dtype(dtype)
         self._runs: List[Union[np.ndarray, SpillHandle]] = []
         self._resident_bytes = 0
         self.count = 0
         self.spilled_runs = 0
 
     def append(self, codes: np.ndarray) -> None:
-        """Add one sorted-unique int64 run (empty arrays are dropped)."""
+        """Add one sorted-unique code run (empty arrays are dropped)."""
         if codes.shape[0] == 0:
             return
+        codes = np.ascontiguousarray(codes, dtype=self._dtype)
         self._runs.append(codes)
         self._resident_bytes += codes.nbytes
         self.count += int(codes.shape[0])

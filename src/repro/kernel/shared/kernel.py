@@ -43,6 +43,7 @@ from ..vector.analyze import domain_type, structural_unlowerable_reason
 from ..vector.kernel import _raise_out_of_domain, _unique_sorted
 from ..vector.lower import ArrayEnv, ArrayFn, lower_expr
 from .budget import MemoryContext, active_memory_context, chunk_codes
+from .tables import TablePool
 
 __all__ = ["SharedKernel", "SharedLoweringError"]
 
@@ -149,6 +150,8 @@ class SharedKernel:
         )
         self.initial_array = np.asarray(self.initial_codes, dtype=np.int64)
         self._materialized: Optional[System] = None
+        self._tables: Optional[TablePool] = None
+        self._scratch: Dict[str, np.ndarray] = {}
         if validate:
             self._validate_full_space()
 
@@ -170,16 +173,58 @@ class SharedKernel:
         return self._materialized
 
     # ------------------------------------------------------------------
+    # Cross-round table reuse.
+    # ------------------------------------------------------------------
+
+    def attach_tables(self, pool: Optional[TablePool]) -> None:
+        """Install (or clear) the run's action-table pool.
+
+        The runtime attaches its pool before any fixpoint runs (so
+        forked workers inherit it copy-on-write) and detaches it in
+        its ``finally`` — the kernel itself may outlive the run.
+        """
+        self._tables = pool
+
+    # ------------------------------------------------------------------
     # Chunk evaluation.
     # ------------------------------------------------------------------
 
-    def env_of(self, codes: np.ndarray) -> Tuple[Dict[str, np.ndarray], ArrayEnv]:
-        """Digit columns and int64 value columns for a code chunk."""
+    def _scratch_buffer(self, key: str, length: int) -> np.ndarray:
+        """A reusable int64 work buffer (one per key, resized on demand).
+
+        Chunks in a sweep share one length (plus one tail), so reuse
+        turns per-chunk allocations into buffer rewrites.  Returned
+        buffers are only valid until the next chunk's evaluation —
+        every consumer in the engine finishes a chunk before asking
+        for the next.
+        """
+        buffer = self._scratch.get(key)
+        if buffer is None or buffer.shape[0] != length:
+            buffer = np.empty(length, dtype=np.int64)
+            self._scratch[key] = buffer
+        return buffer
+
+    def env_of(
+        self, codes: np.ndarray, scratch: bool = False
+    ) -> Tuple[Dict[str, np.ndarray], ArrayEnv]:
+        """Digit columns and int64 value columns for a code chunk.
+
+        With ``scratch`` the digit columns live in per-variable reuse
+        buffers valid only until the next ``scratch`` call — the
+        streamed evaluator's mode; direct callers get fresh arrays.
+        """
         digits: Dict[str, np.ndarray] = {}
         env: ArrayEnv = {}
         for var_name in self._names:
             plan = self._vars[var_name]
-            digit = (codes // plan.place) % plan.radix
+            if scratch:
+                digit = self._scratch_buffer(
+                    f"digit:{var_name}", codes.shape[0]
+                )
+                np.floor_divide(codes, plan.place, out=digit)
+                np.remainder(digit, plan.radix, out=digit)
+            else:
+                digit = (codes // plan.place) % plan.radix
             digits[var_name] = digit
             env[var_name] = digit if plan.identity else plan.values[digit]
         return digits, env
@@ -191,9 +236,33 @@ class SharedKernel:
 
         ``successor[i] == codes[i]`` wherever the action is disabled,
         matching the vector tables' identity default.  Digits and env
-        are computed once and shared across actions.
+        are computed once and shared across actions.  When a table
+        pool is attached, a chunk seen before is reconstructed from
+        its cached tables (value-identical to a fresh evaluation) and
+        a fresh evaluation is packed for admission as it streams.
+        Yielded arrays are valid only until the next iteration step —
+        consumers must copy anything they keep.
         """
-        digits, env = self.env_of(codes)
+        codes = np.asarray(codes)
+        if codes.dtype != np.int64:
+            codes = codes.astype(np.int64)
+        pool = self._tables
+        if pool is None:
+            yield from self._stream_actions(codes)
+            return
+        cached, probe = pool.lookup(codes)
+        if cached is not None:
+            yield from cached
+            return
+        yield from pool.filling(
+            codes, self._stream_actions(codes), probe=probe
+        )
+
+    def _stream_actions(
+        self, codes: np.ndarray
+    ) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Evaluate one chunk action by action (the PR 9 hot path)."""
+        digits, env = self.env_of(codes, scratch=True)
         for index in range(len(self._guards)):
             yield self._action_chunk(index, codes, digits, env)
 
@@ -207,7 +276,8 @@ class SharedKernel:
         mask = np.broadcast_to(
             np.asarray(self._guards[index](env), dtype=bool), codes.shape
         )
-        succ = codes.copy()
+        succ = self._scratch_buffer("succ", codes.shape[0])
+        np.copyto(succ, codes)
         enabled = np.nonzero(mask)[0]
         if enabled.size:
             action_env: ArrayEnv = {

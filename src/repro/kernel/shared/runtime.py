@@ -3,22 +3,39 @@
 One :class:`SharedRuntime` spans one engine run (one decide).  It owns
 the :class:`~.segments.SegmentRegistry` and :class:`~.spill.SpillStore`
 whose cleanup must be unconditional — :func:`open_runtime` is the only
-sanctioned way in, and its ``finally`` sweeps segments and removes the
-spill directory no matter how the check ends (success, engine fault
-feeding the degradation chain, chaos-injected worker kill).
+sanctioned way in, and its ``finally`` sweeps segments, releases the
+table pool, and removes the spill directory (mmap visited files
+included) no matter how the check ends: success, engine fault feeding
+the degradation chain, chaos-injected worker kill, or a
+``KeyboardInterrupt`` mid-fixpoint.
+
+The runtime also fixes the run's two cross-cutting perf decisions:
+
+* **code width** — :attr:`SharedRuntime.code_dtype`, chosen once from
+  the interner's radix product (:mod:`.width`) when the context allows
+  packing; every at-rest code structure (frontier runs, spill files,
+  edge buckets, staging segments) uses it, and the choice is emitted
+  as the ``shm.code_width`` event;
+* **table pool** — a bounded :class:`~.tables.TablePool` attached to
+  the kernel for the run's extent when the context allows reuse, so
+  fixpoints that re-walk the same chunks skip re-lowering them.
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterator, Optional
+
+import numpy as np
 
 from ...obs import NULL_INSTRUMENTATION, Instrumentation
 from .budget import MemoryContext, active_memory_context, chunk_codes
 from .kernel import SharedKernel
 from .segments import SegmentRegistry
 from .spill import SpillStore
+from .tables import TablePool
+from .width import code_dtype
 
 __all__ = ["SharedRuntime", "open_runtime"]
 
@@ -33,6 +50,8 @@ class SharedRuntime:
     registry: SegmentRegistry
     spill: SpillStore
     instrumentation: Instrumentation
+    code_dtype: np.dtype = field(default_factory=lambda: np.dtype(np.int64))
+    tables: Optional[TablePool] = None
 
     @property
     def run_cap_bytes(self) -> int:
@@ -72,8 +91,19 @@ def open_runtime(
         len(kernel.actions),
         len(kernel.schema.names),
     )
+    dtype = (
+        code_dtype(kernel.size) if chosen.pack_codes else np.dtype(np.int64)
+    )
     registry = SegmentRegistry(instrumentation)
-    spill = SpillStore(chosen.spill_dir, instrumentation)
+    spill = SpillStore(chosen.spill_dir, instrumentation, code_dtype=dtype)
+    tables: Optional[TablePool] = None
+    if chosen.reuse_tables:
+        tables = TablePool(
+            registry,
+            cap_bytes=chosen.budget_bytes // 4,
+            dtype=dtype,
+            instrumentation=instrumentation,
+        )
     runtime = SharedRuntime(
         context=chosen,
         chunk=chunk,
@@ -81,12 +111,25 @@ def open_runtime(
         registry=registry,
         spill=spill,
         instrumentation=instrumentation,
+        code_dtype=dtype,
+        tables=tables,
     )
+    instrumentation.event(
+        "shm.code_width",
+        width=int(dtype.itemsize),
+        dtype=dtype.name,
+        states=kernel.size,
+        packed=bool(chosen.pack_codes),
+    )
+    kernel.attach_tables(tables)
     try:
         with instrumentation.span(
             "shm.runtime", budget=chosen.budget_bytes, workers=workers
         ):
             yield runtime
     finally:
+        kernel.attach_tables(None)
+        if tables is not None:
+            tables.close()
         registry.sweep()
         spill.close()

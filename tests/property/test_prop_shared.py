@@ -116,6 +116,114 @@ class TestSharedPrimitives:
         assert reached == expected
 
 
+@needs_numpy
+class TestSpillRoundTrips:
+    """Spill encodings must be lossless at every awkward boundary."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=(1 << 40)),
+            min_size=0,
+            max_size=200,
+            unique=True,
+        ),
+        st.sampled_from([2, 4, 8]),
+    )
+    def test_delta_encoding_round_trips_any_sorted_run(self, codes, width):
+        """Diff widths 1/2/4/8 are chosen per run; whatever is chosen
+        must invert exactly, at every storage width that fits."""
+        import numpy as np
+
+        from repro.kernel.shared import SpillStore
+        from repro.kernel.shared.width import code_dtype
+
+        dtype = {2: np.int16, 4: np.int32, 8: np.int64}[width]
+        limit = int(np.iinfo(dtype).max)
+        codes = sorted(code for code in codes if code <= limit)
+        with SpillStore(code_dtype=dtype) as store:
+            array = np.asarray(codes, dtype=np.int64)
+            handle = store.save_sorted(array.astype(dtype))
+            loaded = store.load(handle)
+            assert loaded.dtype == np.dtype(dtype)
+            assert loaded.tolist() == codes
+        assert code_dtype(limit).itemsize <= width
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=0, max_value=3),
+        st.randoms(use_true_random=False),
+    )
+    def test_code_runs_round_trip_at_exact_cap_boundaries(
+        self, run_count, jitter, rnd
+    ):
+        """Runs sized to land exactly on (and one element around) the
+        64K resident cap must stream back identically, spilled or not."""
+        import numpy as np
+
+        from repro.kernel.shared import CodeRuns, SpillStore
+
+        cap = 1 << 16
+        per_run = cap // 8 + (jitter - 1)  # straddle the exact boundary
+        with SpillStore() as store:
+            runs = CodeRuns(store, cap, dtype=np.int64)
+            originals = []
+            base = 0
+            for _ in range(run_count):
+                stride = rnd.randint(1, 5)
+                codes = base + np.arange(per_run, dtype=np.int64) * stride
+                base = int(codes[-1]) + rnd.randint(1, 1000)
+                originals.append(codes)
+                runs.append(codes)
+            streamed = list(runs.chunks())
+            assert len(streamed) == len(originals)
+            for out, original in zip(streamed, originals):
+                assert out.tolist() == original.tolist()
+            assert runs.count == sum(len(o) for o in originals)
+            runs.clear()
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.sampled_from(
+            [(1 << 15) - 1, 1 << 15, (1 << 15) + 1, (1 << 15) + 977]
+        ),
+        st.integers(min_value=0, max_value=1000),
+    )
+    def test_width_promotion_edges_round_trip_through_spill(
+        self, size, offset
+    ):
+        """Codes near the int16/int32 promotion edge, stored at the
+        width the module chooses for that size, must survive a full
+        spill round trip — the closed-edge rule in executable form."""
+        import numpy as np
+
+        from repro.kernel.shared import CodeRuns, SpillStore
+        from repro.kernel.shared.width import code_dtype, code_width
+
+        dtype = code_dtype(size)
+        assert code_width(size) == (2 if size <= (1 << 15) else 4)
+        top = size - 1
+        codes = np.unique(
+            np.clip(
+                np.asarray(
+                    [0, 1, offset, top - 1, top], dtype=np.int64
+                ),
+                0,
+                top,
+            )
+        )
+        with SpillStore(code_dtype=dtype) as store:
+            runs = CodeRuns(store, 1 << 16, dtype=dtype)
+            runs.append(codes)
+            (out,) = list(runs.chunks())
+            assert out.dtype == dtype
+            assert int(out.max()) == top
+            assert out.tolist() == codes.tolist()
+            handle = store.save_sorted(out)
+            assert store.load(handle).tolist() == codes.tolist()
+
+
 class TestSharedVerdicts:
     @settings(max_examples=25, deadline=None)
     @given(shared_programs())

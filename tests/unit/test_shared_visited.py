@@ -1,0 +1,239 @@
+"""The visited-set backing ladder and its unconditional cleanup.
+
+The ladder (private array, shm segment, mmap file) must be invisible
+to the fixpoints: same bits, same verdicts, and nothing left on disk
+or in ``/dev/shm`` afterwards — including when the run dies to a
+``KeyboardInterrupt`` mid-fixpoint or the mmap backing cannot be
+created at all (which must degrade, not crash).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.kernel.vector import numpy_available
+
+pytestmark = pytest.mark.skipif(
+    not numpy_available(), reason="the shared engine needs NumPy"
+)
+
+
+def _shm_leaks() -> list:
+    # Segments owned by this process or by a dead driver are leaks; a
+    # live concurrent run (xdist, a benchmark) owns its own segments.
+    from repro.kernel.shared import shm_dir
+
+    directory = shm_dir()
+    if directory is None:
+        return []
+    leaks = []
+    for name in os.listdir(directory):
+        if not name.startswith("rs-"):
+            continue
+        try:
+            owner = int(name.split("-")[1], 16)
+        except (IndexError, ValueError):
+            leaks.append(name)
+            continue
+        if owner == os.getpid():
+            leaks.append(name)
+            continue
+        try:
+            os.kill(owner, 0)
+        except ProcessLookupError:
+            leaks.append(name)
+        except PermissionError:
+            pass
+    return sorted(leaks)
+
+
+class TestMmapBitField:
+    def test_bits_persist_through_the_file(self, tmp_path):
+        import numpy as np
+
+        from repro.kernel.shared import MmapBitField
+
+        path = str(tmp_path / "field.bits")
+        field = MmapBitField(4096, path)
+        codes = np.array([0, 5, 4095], dtype=np.int64)
+        field.set_codes(codes)
+        field.flush()
+        reader = MmapBitField(4096, path, create=False, readonly=True)
+        assert reader.test(codes).all()
+        assert reader.count() == 3
+        reader.release_buffer()
+        field.release_buffer()
+
+    def test_unwritable_path_raises_engine_fault(self, tmp_path):
+        from repro.kernel.shared import MmapBitField
+        from repro.resilience import EngineFault
+
+        with pytest.raises(EngineFault, match="mmap visited backing"):
+            MmapBitField(64, str(tmp_path / "missing" / "field.bits"))
+
+
+class TestOpenVisitedLadder:
+    def _runtime(self, tmp_path, budget, workers=1):
+        from repro.kernel.shared import (
+            MemoryContext,
+            SharedKernel,
+            open_runtime,
+        )
+        from repro.rings import kstate_program
+
+        kernel = SharedKernel(kstate_program(3, 4))
+        context = MemoryContext(
+            budget_bytes=budget, spill_dir=str(tmp_path)
+        )
+        return kernel, open_runtime(kernel, workers=workers, context=context)
+
+    def test_small_field_stays_private(self, tmp_path):
+        from repro.kernel.shared import open_visited
+
+        kernel, runtime_cm = self._runtime(tmp_path, 1 << 20)
+        with runtime_cm as runtime:
+            handle = open_visited(runtime, kernel.size, "t")
+            assert not handle.sharable
+            assert handle.ref is None
+            assert handle.detach_private() is handle.field
+
+    def test_workers_get_a_shm_segment(self, tmp_path):
+        import numpy as np
+
+        from repro.kernel.shared import attach_visited, open_visited
+
+        kernel, runtime_cm = self._runtime(tmp_path, 1 << 20, workers=2)
+        with runtime_cm as runtime:
+            handle = open_visited(runtime, kernel.size, "t")
+            assert handle.sharable and handle.ref[0] == "shm"
+            codes = np.array([1, 7], dtype=np.int64)
+            handle.field.set_codes(codes)
+            attached = attach_visited(handle.ref)
+            assert attached.field.test(codes).all()
+            attached.close()
+            private = handle.detach_private()
+            assert private.test(codes).all()
+        assert _shm_leaks() == []
+
+    def test_big_field_pages_onto_mmap(self, tmp_path):
+        import numpy as np
+
+        from repro.kernel.shared import attach_visited, open_visited
+        from repro.obs import Recorder
+
+        recorder = Recorder()
+        # 16 states need 2 bytes of flags; a 16-byte budget makes the
+        # threshold 1 byte, forcing the mmap rung.
+        kernel, runtime_cm = self._runtime(tmp_path, 16)
+        with runtime_cm as runtime:
+            handle = open_visited(
+                runtime, kernel.size, "t", instrumentation=recorder
+            )
+            assert handle.sharable and handle.ref[0] == "mmap"
+            path = handle.ref[1][0]
+            assert os.path.exists(path)
+            codes = np.array([0, 63], dtype=np.int64)
+            handle.field.set_codes(codes)
+            handle.flush()
+            attached = attach_visited(handle.ref)
+            assert attached.field.test(codes).all()
+            attached.close()
+            private = handle.detach_private()
+            assert private.test(codes).all()
+            assert not os.path.exists(path)  # detach released the file
+        counters = recorder.record().counters
+        assert counters["shm.visited.mmap_bytes"] >= 1
+        assert list(tmp_path.iterdir()) == []  # spill dir swept
+
+    def test_mmap_disabled_by_context_flag(self, tmp_path):
+        from repro.kernel.shared import (
+            MemoryContext,
+            SharedKernel,
+            open_runtime,
+            open_visited,
+        )
+        from repro.rings import kstate_program
+
+        kernel = SharedKernel(kstate_program(3, 4))
+        context = MemoryContext(
+            budget_bytes=16, spill_dir=str(tmp_path), mmap_visited=False
+        )
+        with open_runtime(kernel, context=context) as runtime:
+            handle = open_visited(runtime, kernel.size, "t")
+            assert handle.ref is None  # fell through to private
+
+
+class TestUnconditionalCleanup:
+    def test_keyboard_interrupt_leaves_empty_spill_dir(self, tmp_path):
+        """A ^C mid-fixpoint must still sweep segments, mmap visited
+        files, and the whole run spill directory."""
+        from repro.checker import check_stabilization
+        from repro.kernel.shared import using_memory_budget
+        from repro.obs import Instrumentation
+        from repro.rings import kstate_program, utr_abstraction, utr_program
+
+        class Interrupter(Instrumentation):
+            def __init__(self):
+                self.events = 0
+
+            def event(self, name, **fields):
+                if name.startswith("check.fixpoint"):
+                    raise KeyboardInterrupt
+
+        with using_memory_budget(
+            "64K", spill_dir=str(tmp_path)
+        ):
+            with pytest.raises(KeyboardInterrupt):
+                check_stabilization(
+                    kstate_program(4, 4),
+                    utr_program(4),
+                    utr_abstraction(4, 4),
+                    engine="shared",
+                    instrumentation=Interrupter(),
+                )
+        assert list(tmp_path.iterdir()) == []
+        assert _shm_leaks() == []
+
+    def test_mmap_failure_degrades_to_vector_with_identical_verdict(
+        self, tmp_path, monkeypatch
+    ):
+        """An unusable mmap backing is an EngineFault, and the
+        degradation chain must absorb it."""
+        from repro.checker import check_stabilization
+        from repro.kernel.shared import using_memory_budget
+        from repro.kernel.shared import visited as visited_module
+        from repro.obs import Recorder
+        from repro.resilience import EngineFault
+        from repro.rings import kstate_program, utr_abstraction, utr_program
+
+        def broken_backing(*args, **kwargs):
+            raise EngineFault(
+                "mmap visited backing failed: "
+                "[Errno 28] No space left on device"
+            )
+
+        monkeypatch.setattr(visited_module, "MmapBitField", broken_backing)
+        baseline = check_stabilization(
+            kstate_program(4, 4),
+            utr_program(4),
+            utr_abstraction(4, 4),
+            engine="vector",
+        )
+        recorder = Recorder()
+        # A 256-byte budget puts the threshold below the 32-byte flag
+        # field, forcing the (broken) mmap rung.
+        with using_memory_budget("256", spill_dir=str(tmp_path)):
+            degraded = check_stabilization(
+                kstate_program(4, 4),
+                utr_program(4),
+                utr_abstraction(4, 4),
+                engine="shared",
+                instrumentation=recorder,
+            )
+        assert degraded.format() == baseline.format()
+        counters = recorder.record().counters
+        assert counters["engine.fallback.vector"] == 1
+        assert list(tmp_path.iterdir()) == []
+        assert _shm_leaks() == []
